@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the design space exploration itself — the
+//! paper notes the exhaustive search solves "within a few seconds",
+//! negligible next to hours of FPGA synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fxhenn_bench::{cifar10_program, mnist_program};
+use fxhenn_dse::design::{DesignPoint, ProgramCost};
+use fxhenn_dse::explore_default;
+use fxhenn_hw::FpgaDevice;
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let mnist = mnist_program();
+    let cifar = cifar10_program();
+    let device = FpgaDevice::acu9eg();
+
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.bench_function("explore_mnist_acu9eg", |b| {
+        b.iter(|| black_box(explore_default(&mnist, &device, 30)))
+    });
+    group.bench_function("explore_cifar10_acu9eg", |b| {
+        b.iter(|| black_box(explore_default(&cifar, &device, 36)))
+    });
+    group.finish();
+}
+
+fn bench_point_eval(c: &mut Criterion) {
+    let mnist = mnist_program();
+    let device = FpgaDevice::acu9eg();
+    let cost = ProgramCost::new(&mnist, 30);
+    let point = DesignPoint::minimal();
+    c.bench_function("evaluate_single_point", |b| {
+        b.iter(|| black_box(cost.evaluate(&point, &device)))
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    use fxhenn_nn::{fxhenn_cifar10, fxhenn_mnist, lower_network};
+    let mnist = fxhenn_mnist(1);
+    let cifar = fxhenn_cifar10(1);
+    let mut group = c.benchmark_group("lowering");
+    group.sample_size(10);
+    group.bench_function("lower_mnist", |b| {
+        b.iter(|| black_box(lower_network(&mnist, 8192, 7)))
+    });
+    group.bench_function("lower_cifar10", |b| {
+        b.iter(|| black_box(lower_network(&cifar, 16384, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_point_eval, bench_lowering);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the five HE operations (the paper's OP1–OP5)
+//! executed in software by `fxhenn-ckks` — the CPU-side ground truth the
+//! FPGA model accelerates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fxhenn_ckks::{
+    Ciphertext, CkksContext, CkksParams, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+    Plaintext, RelinKey,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Rig {
+    ctx: CkksContext,
+}
+
+struct Material {
+    ct_a: Ciphertext,
+    ct_b: Ciphertext,
+    pt: Plaintext,
+    rk: RelinKey,
+    gks: GaloisKeys,
+}
+
+fn setup(n_log2: u32, levels: usize) -> (Rig, Material) {
+    let params = CkksParams::new(1 << n_log2, levels, 30, 45).expect("valid");
+    let ctx = CkksContext::new(params);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(5));
+    let pk = kg.public_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&[1]);
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(6));
+    let values: Vec<f64> = (0..64).map(|i| (i as f64) / 17.0).collect();
+    let ct_a = enc.encrypt(&values);
+    let ct_b = enc.encrypt(&values);
+    let ev = Evaluator::new(&ctx);
+    let pt = ev.encode_for_mul(&values, ct_a.level());
+    (
+        Rig { ctx },
+        Material {
+            ct_a,
+            ct_b,
+            pt,
+            rk,
+            gks,
+        },
+    )
+}
+
+fn bench_he_ops(c: &mut Criterion) {
+    // N = 4096 with L = 7: half the paper's MNIST degree, same level
+    // structure — software timings that motivate the accelerator.
+    let (rig, m) = setup(12, 7);
+    let mut group = c.benchmark_group("he_ops_n4096_l7");
+    group.sample_size(20);
+
+    group.bench_function("ccadd_op1", |b| {
+        let mut ev = Evaluator::new(&rig.ctx);
+        b.iter(|| black_box(ev.add(&m.ct_a, &m.ct_b)))
+    });
+    group.bench_function("pcmult_op2", |b| {
+        let mut ev = Evaluator::new(&rig.ctx);
+        b.iter(|| black_box(ev.mul_plain(&m.ct_a, &m.pt)))
+    });
+    group.bench_function("ccmult_op3", |b| {
+        let mut ev = Evaluator::new(&rig.ctx);
+        b.iter(|| black_box(ev.mul(&m.ct_a, &m.ct_b)))
+    });
+    group.bench_function("rescale_op4", |b| {
+        let mut ev = Evaluator::new(&rig.ctx);
+        let prod = ev.mul_plain(&m.ct_a, &m.pt);
+        b.iter(|| black_box(ev.rescale(&prod)))
+    });
+    group.bench_function("relinearize_op5", |b| {
+        let mut ev = Evaluator::new(&rig.ctx);
+        let tri = ev.mul(&m.ct_a, &m.ct_b);
+        b.iter(|| black_box(ev.relinearize(&tri, &m.rk)))
+    });
+    group.bench_function("rotate_op5", |b| {
+        let mut ev = Evaluator::new(&rig.ctx);
+        b.iter(|| black_box(ev.rotate(&m.ct_a, 1, &m.gks)))
+    });
+    group.finish();
+}
+
+fn bench_keyswitch_vs_level(c: &mut Criterion) {
+    // KeySwitch cost grows superlinearly with level — the software
+    // mirror of Eq. 2's L factor.
+    let mut group = c.benchmark_group("rotate_by_level_n1024");
+    group.sample_size(20);
+    for levels in [2usize, 4, 7] {
+        let (rig, m) = setup(10, levels);
+        group.bench_function(format!("l{levels}"), |b| {
+            let mut ev = Evaluator::new(&rig.ctx);
+            b.iter(|| black_box(ev.rotate(&m.ct_a, 1, &m.gks)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_he_ops, bench_keyswitch_vs_level);
+criterion_main!(benches);

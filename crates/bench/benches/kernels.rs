@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the basic operation kernels the paper's
+//! modules implement in hardware: NTT/INTT, Barrett reduction, modular
+//! multiplication, CRT reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fxhenn_math::modops::{mul_mod, BarrettReducer, ShoupMul};
+use fxhenn_math::ntt::NttTable;
+use fxhenn_math::prime::generate_ntt_primes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for n in [1024usize, 4096, 8192, 16384] {
+        let q = generate_ntt_primes(30, n, 1)[0];
+        let table = NttTable::new(n, q);
+        let mut rng = StdRng::seed_from_u64(1);
+        let poly: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter_batched(
+                || poly.clone(),
+                |mut p| {
+                    table.forward(&mut p);
+                    black_box(p)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter_batched(
+                || poly.clone(),
+                |mut p| {
+                    table.inverse(&mut p);
+                    black_box(p)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_modops(c: &mut Criterion) {
+    let q = 4_611_686_018_427_387_847u64; // < 2^62
+    let red = BarrettReducer::new(q);
+    let shoup = ShoupMul::new(q / 3, q);
+    let mut rng = StdRng::seed_from_u64(2);
+    let xs: Vec<u64> = (0..1024).map(|_| rng.gen_range(0..q)).collect();
+    let ys: Vec<u64> = (0..1024).map(|_| rng.gen_range(0..q)).collect();
+
+    let mut group = c.benchmark_group("modmul_1024");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("u128_rem", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc = acc.wrapping_add(mul_mod(x, y, q));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("barrett", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc = acc.wrapping_add(red.mul(x, y));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("shoup_fixed_operand", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &xs {
+                acc = acc.wrapping_add(shoup.mul(x));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_crt(c: &mut Criterion) {
+    use fxhenn_math::rns::RnsBasis;
+    let n = 64;
+    let basis = RnsBasis::new(n, generate_ntt_primes(30, n, 7));
+    let mut rng = StdRng::seed_from_u64(3);
+    let residues: Vec<u64> = basis
+        .moduli()
+        .iter()
+        .map(|&q| rng.gen_range(0..q))
+        .collect();
+    c.bench_function("crt_reconstruct_l7", |b| {
+        b.iter(|| black_box(basis.crt_to_centered_f64(black_box(&residues))))
+    });
+}
+
+criterion_group!(benches, bench_ntt, bench_modops, bench_crt);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of functional HE-CNN layer execution at toy
+//! scale — the software cost per layer type, mirroring the per-layer
+//! breakdown of the paper's Fig. 7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fxhenn_ckks::{CkksContext, CkksParams, Encryptor, KeyGenerator};
+use fxhenn_nn::executor::{encrypt_input, HeCnnExecutor};
+use fxhenn_nn::model::{synthetic_input, toy_mnist_like};
+use fxhenn_nn::{lower_network, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_network_prefixes(c: &mut Criterion) {
+    let full = toy_mnist_like(9);
+    let ctx = CkksContext::new(CkksParams::insecure_toy(7));
+    let prog = lower_network(&full, ctx.degree(), ctx.max_level());
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(7));
+    let pk = kg.public_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&prog.required_rotations());
+    let image = synthetic_input(&full, 2);
+
+    let mut group = c.benchmark_group("he_cnn_toy");
+    group.sample_size(10);
+    for upto in [1usize, 2, 3, 5] {
+        let net = Network::new(
+            format!("prefix-{upto}"),
+            &[1, 9, 9],
+            full.layers()[..upto].to_vec(),
+        );
+        let mut enc = Encryptor::new(&ctx, pk.clone(), StdRng::seed_from_u64(8));
+        let input = encrypt_input(&net, &image, &mut enc, ctx.degree() / 2);
+        group.bench_function(format!("layers_{upto}"), |b| {
+            b.iter(|| {
+                let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
+                black_box(exec.run(&net, &input))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_keygen_and_encrypt(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::insecure_toy(7));
+    let mut group = c.benchmark_group("setup_toy");
+    group.sample_size(10);
+    group.bench_function("keygen_public", |b| {
+        b.iter(|| {
+            let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(9));
+            black_box(kg.public_key())
+        })
+    });
+    group.bench_function("encrypt_512_slots", |b| {
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(10));
+        let pk = kg.public_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(11));
+        let values: Vec<f64> = (0..512).map(|i| i as f64 / 512.0).collect();
+        b.iter(|| black_box(enc.encrypt(&values)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_prefixes, bench_keygen_and_encrypt);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation study: how much each FxHENN mechanism (inter-layer buffer
+//! reuse, module reuse, URAM conversion) contributes to the end-to-end
+//! latency — the quantified version of the design choices DESIGN.md
+//! calls out.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin ablation`
+
+use fxhenn::dse::{ablate, Variant};
+use fxhenn::sim::batch_throughput;
+use fxhenn::sim::simulate;
+use fxhenn::FpgaDevice;
+use fxhenn_bench::{header, mnist_program, MNIST_W};
+
+fn main() {
+    header(
+        "Ablation — contribution of each FxHENN mechanism (FxHENN-MNIST)",
+        "Secs. V-C, VI-A, VII-C",
+    );
+    let prog = mnist_program();
+    for device in [FpgaDevice::acu9eg(), FpgaDevice::acu15eg()] {
+        println!();
+        println!("-- {} --", device.name());
+        println!("{:<18} {:>12} {:>10}", "variant", "latency(s)", "slowdown");
+        for row in ablate(&prog, &device, MNIST_W) {
+            println!(
+                "{:<18} {:>12.3} {:>9.2}x",
+                row.variant.to_string(),
+                row.latency_s,
+                row.slowdown
+            );
+        }
+    }
+
+    // Bonus: throughput view of the chosen ACU9EG design.
+    println!();
+    println!("-- batch throughput on ACU9EG (layer-pipelined images) --");
+    let device = FpgaDevice::acu9eg();
+    let best = fxhenn::dse::explore_default(&prog, &device, MNIST_W)
+        .best
+        .expect("feasible");
+    let sim = simulate(&prog, &best.point, &device, MNIST_W);
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "batch", "images/s", "latency(s)"
+    );
+    for batch in [1usize, 8, 64, 256] {
+        let t = batch_throughput(&sim, batch);
+        println!(
+            "{:>8} {:>14.2} {:>14.3}",
+            batch, t.images_per_sec, t.latency_s
+        );
+    }
+    let t = batch_throughput(&sim, 256);
+    println!(
+        "steady-state bound: {:.2} images/s (bottleneck layer {})",
+        t.steady_state_images_per_sec,
+        sim.bottleneck().name
+    );
+    let _ = Variant::Full;
+}

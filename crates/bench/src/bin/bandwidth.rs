@@ -1,0 +1,57 @@
+//! Off-chip streaming audit: verifies the paper's Sec. VI-A claim that
+//! plaintext weights and KeySwitch keys, read in burst mode, hide behind
+//! the compute pipeline — by computing each layer's required DDR rate
+//! under the DSE-chosen design.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin bandwidth`
+
+use fxhenn::dse::explore_default;
+use fxhenn::hw::bandwidth::{layer_stream_requirement, DDR_BYTES_PER_SEC};
+use fxhenn::FpgaDevice;
+use fxhenn_bench::{cifar10_program, header, mnist_program, CIFAR_W, CLOCK_MHZ, MNIST_W};
+
+fn main() {
+    header(
+        "Off-chip streaming audit (weights + KeySwitch keys vs DDR bandwidth)",
+        "Sec. VI-A",
+    );
+    for (prog, w_bits) in [(mnist_program(), MNIST_W), (cifar10_program(), CIFAR_W)] {
+        for device in [FpgaDevice::acu9eg(), FpgaDevice::acu15eg()] {
+            let Some(best) = explore_default(&prog, &device, w_bits).best else {
+                continue;
+            };
+            println!();
+            println!("-- {} on {} --", prog.network_name, device.name());
+            println!(
+                "{:<6} {:>12} {:>12} {:>12} {:>8}",
+                "Layer", "stream(MB)", "window(s)", "rate(GB/s)", "hidden?"
+            );
+            for plan in &prog.layers {
+                let req = layer_stream_requirement(
+                    plan,
+                    &best.point.modules,
+                    prog.degree,
+                    CLOCK_MHZ,
+                );
+                println!(
+                    "{:<6} {:>12.1} {:>12.4} {:>12.2} {:>8}",
+                    plan.name,
+                    req.bytes as f64 / 1e6,
+                    req.window_s,
+                    req.bytes_per_sec / 1e9,
+                    if req.hidden_behind_compute(DDR_BYTES_PER_SEC) {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                );
+            }
+        }
+    }
+    println!();
+    println!(
+        "DDR model: {:.1} GB/s effective. A 'NO' row means the burst streams \
+         would throttle the pipeline — none should appear for the chosen designs.",
+        DDR_BYTES_PER_SEC / 1e9
+    );
+}

@@ -1,0 +1,54 @@
+//! Table I: implementation of HE operation modules on ALINX ACU9EG —
+//! DSP %, BRAM block % and latency per module, versus `nc_NTT`.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin table1`
+
+use fxhenn::hw::buffers::module_bram_blocks;
+use fxhenn::hw::calibration::PAPER_TABLE1;
+use fxhenn::hw::{HeOpModule, ModuleConfig};
+use fxhenn_bench::{delta, header, pct, CLOCK_MHZ, LEVELS, MNIST_N, MNIST_W};
+
+fn main() {
+    header(
+        "Table I — HE operation modules on ACU9EG (N=8192, L=7, 30-bit q)",
+        "Table I",
+    );
+    println!(
+        "{:<12} {:>4} | {:>8} {:>8} {:>6} | {:>9} {:>9} {:>6} | {:>9} {:>9} {:>6}",
+        "op", "nc", "DSP%", "(paper)", "Δ", "BRAM%", "(paper)", "Δ", "lat(ms)", "(paper)", "Δ"
+    );
+    let total_dsp = 2520usize;
+    let total_bram = 912usize;
+    for &(class, nc, paper_dsp, paper_bram, paper_lat) in PAPER_TABLE1 {
+        let module = HeOpModule::new(
+            class,
+            ModuleConfig {
+                nc_ntt: nc,
+                p_intra: 1,
+                p_inter: 1,
+            },
+        );
+        let dsp = pct(module.dsp_usage(), total_dsp);
+        let bram = pct(
+            module_bram_blocks(class, LEVELS, MNIST_N, MNIST_W, nc),
+            total_bram,
+        );
+        let lat_ms = module.op_latency_cycles(LEVELS, MNIST_N) as f64 / (CLOCK_MHZ * 1e3);
+        println!(
+            "{:<12} {:>4} | {:>8.2} {:>8.2} {:>6} | {:>9.2} {:>9.2} {:>6} | {:>9.3} {:>9.2} {:>6}",
+            format!("{class}"),
+            nc,
+            dsp,
+            paper_dsp,
+            delta(dsp, paper_dsp),
+            bram,
+            paper_bram,
+            delta(bram, paper_bram),
+            lat_ms,
+            paper_lat,
+            delta(lat_ms, paper_lat),
+        );
+    }
+    println!();
+    println!("Shape checks: NTT-bound ops halve with nc; BRAM flat 2->4, doubles at 8.");
+}

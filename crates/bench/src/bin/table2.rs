@@ -1,0 +1,72 @@
+//! Table II: a preliminary (per-layer dedicated modules, nc = 2)
+//! accelerator for LoLa-MNIST on ACU9EG — per-layer DSP and BRAM usage,
+//! showing the >200 % aggregate BRAM demand that motivates FxHENN.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin table2`
+
+use fxhenn::dse::baseline::layer_dedicated_dsp;
+use fxhenn::hw::buffers::layer_bram_blocks;
+use fxhenn::hw::layer::LayerShape;
+use fxhenn::hw::{ModuleConfig, ModuleSet};
+use fxhenn_bench::{delta, header, mnist_program, pct, MNIST_N, MNIST_W};
+
+fn main() {
+    header(
+        "Table II — preliminary per-layer design for LoLa-MNIST on ACU9EG (nc=2)",
+        "Table II",
+    );
+    let prog = mnist_program();
+    let set = ModuleSet::minimal();
+    let cfg = ModuleConfig::minimal();
+
+    // Paper's per-layer rows: (name, ops, dsp%, bram%).
+    let paper = [
+        ("Cnv1", "OP1,OP2,OP4", 10.0, 25.0),
+        ("Act1", "OP3,OP4,OP5", 18.0, 57.0),
+        ("Fc1", "OP1,OP2,OP4,OP5", 15.0, 53.0),
+        ("Act2", "OP3,OP4,OP5", 12.0, 39.0),
+        ("Fc2", "OP1,OP2,OP4,OP5", 10.0, 32.0),
+    ];
+
+    println!(
+        "{:<6} {:<18} | {:>7} {:>8} {:>6} | {:>7} {:>8} {:>6}",
+        "Layer", "HE Operations", "DSP%", "(paper)", "Δ", "BRAM%", "(paper)", "Δ"
+    );
+    let mut dsp_sum = 0.0;
+    let mut bram_sum = 0.0;
+    for (plan, (name, ops, paper_dsp, paper_bram)) in prog.layers.iter().zip(paper) {
+        assert_eq!(plan.name, name);
+        let dsp = pct(layer_dedicated_dsp(plan, &set), 2520);
+        let shape = LayerShape::from_plan(plan, MNIST_N, MNIST_W);
+        let bram = pct(layer_bram_blocks(&shape, &cfg), 912);
+        dsp_sum += dsp;
+        bram_sum += bram;
+        println!(
+            "{:<6} {:<18} | {:>7.1} {:>8.1} {:>6} | {:>7.1} {:>8.1} {:>6}",
+            name,
+            ops,
+            dsp,
+            paper_dsp,
+            delta(dsp, paper_dsp),
+            bram,
+            paper_bram,
+            delta(bram, paper_bram),
+        );
+    }
+    println!(
+        "{:<6} {:<18} | {:>7.1} {:>8.1} {:>6} | {:>7.1} {:>8.1} {:>6}",
+        "Sum",
+        "",
+        dsp_sum,
+        65.0,
+        delta(dsp_sum, 65.0),
+        bram_sum,
+        206.0,
+        delta(bram_sum, 206.0),
+    );
+    println!();
+    println!(
+        "Key observation reproduced: aggregate BRAM demand ({bram_sum:.0}%) far exceeds \
+         the chip while DSP stays under-utilized — per-layer dedication cannot work."
+    );
+}

@@ -1,0 +1,52 @@
+//! Table III: the impact of BRAM residency on layer latency — Cnv1 and
+//! Fc1 of FxHENN-MNIST fully on-chip versus streaming everything from
+//! off-chip DRAM.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin table3`
+
+use fxhenn::dse::DesignPoint;
+use fxhenn::sim::{simulate, simulate_with_grants};
+use fxhenn::FpgaDevice;
+use fxhenn_bench::{delta, header, mnist_program, MNIST_W};
+
+fn main() {
+    header(
+        "Table III — BRAM residency vs HE-CNN layer latency (ACU9EG)",
+        "Table III",
+    );
+    let prog = mnist_program();
+    let device = FpgaDevice::acu9eg();
+    let point = DesignPoint::minimal();
+
+    let full = simulate(&prog, &point, &device, MNIST_W);
+    let zero_grants = vec![0usize; prog.layers.len()];
+    let off = simulate_with_grants(&prog, &point, &device, MNIST_W, &zero_grants);
+
+    // Paper rows: Cnv1 292 blocks -> 0.021 s / 0 -> 0.334 s (15.9x);
+    //             Fc1 773 blocks -> 0.162 s / 0 -> 22.612 s (139.6x).
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>10} {:>12} {:>8}",
+        "Layer", "BRAM36K", "lat on(s)", "lat off(s)", "slowdown", "(paper)", "Δ"
+    );
+    for (name, paper_ratio) in [("Cnv1", 0.334 / 0.021), ("Fc1", 22.612 / 0.162)] {
+        let idx = prog.layers.iter().position(|l| l.name == name).unwrap();
+        let on = &full.layers[idx];
+        let off_l = &off.layers[idx];
+        let ratio = off_l.seconds / on.seconds;
+        println!(
+            "{:<6} {:>10} {:>12.3} {:>12.3} {:>9.1}x {:>11.1}x {:>8}",
+            name,
+            on.bram_demand,
+            on.seconds,
+            off_l.seconds,
+            ratio,
+            paper_ratio,
+            delta(ratio, paper_ratio),
+        );
+    }
+    println!();
+    println!(
+        "(paper buffers: Cnv1 292 / Fc1 773 blocks at its chosen parallelism; ours are \
+         the demands of the minimal configuration)"
+    );
+}

@@ -1,0 +1,84 @@
+//! Table V: hand-picked DSE points for Cnv1 + Fc1 of FxHENN-MNIST on
+//! ACU9EG — configuration A (intra-parallelism on Fc1's KeySwitch)
+//! versus configuration B (intra-parallelism on Cnv1's Rescale).
+//! A wins ~2x because Fc1 carries 13x the HE workload.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin table5`
+
+use fxhenn::hw::layer::layer_latency_seconds;
+use fxhenn::hw::{HeOpModule, ModuleConfig, ModuleSet, OpClass};
+use fxhenn_bench::{delta, header, mnist_program, CLOCK_MHZ, MNIST_N};
+
+fn main() {
+    header(
+        "Table V — DSE for Cnv1 and Fc1 of LoLa-MNIST on ACU9EG",
+        "Table V",
+    );
+    let prog = mnist_program();
+    let cnv1 = prog.layer("Cnv1").unwrap();
+    let fc1 = prog.layer("Fc1").unwrap();
+
+    // Configuration A: Fc1's KeySwitch gets intra = 3 (Cnv1 minimal).
+    let mut a = ModuleSet::minimal();
+    a.set(
+        OpClass::KeySwitch,
+        ModuleConfig {
+            nc_ntt: 2,
+            p_intra: 3,
+            p_inter: 1,
+        },
+    );
+    // Configuration B: Cnv1's Rescale gets intra = 4 (Fc1 minimal).
+    let mut b = ModuleSet::minimal();
+    b.set(
+        OpClass::Rescale,
+        ModuleConfig {
+            nc_ntt: 2,
+            p_intra: 4,
+            p_inter: 1,
+        },
+    );
+
+    // Paper rows: (cfg, cnv1 intra, cnv1 lat, fc1 intra, fc1 lat, dsp%, sum lat).
+    let paper = [
+        ("A", 1usize, 0.062f64, 3usize, 0.29f64, 18.1f64, 0.352f64),
+        ("B", 4, 0.021, 1, 0.709, 27.9, 0.73),
+    ];
+
+    println!(
+        "{:<3} | {:>10} {:>10} | {:>9} {:>9} | {:>7} | {:>8} {:>8} {:>6}",
+        "cfg", "Cnv1(s)", "(paper)", "Fc1(s)", "(paper)", "DSP%", "sum(s)", "(paper)", "Δ"
+    );
+    let mut sums = Vec::new();
+    for (set, (cfg, _ci, p_cnv, _fi, p_fc, p_dsp, p_sum)) in [(&a, paper[0]), (&b, paper[1])] {
+        let l_cnv = layer_latency_seconds(cnv1, set, MNIST_N, CLOCK_MHZ);
+        let l_fc = layer_latency_seconds(fc1, set, MNIST_N, CLOCK_MHZ);
+        // DSP of the modules these two layers need (Add, PCmult, CCmult
+        // excluded/minimal as in the paper's table focus).
+        let dsp: usize = [OpClass::PcMult, OpClass::Rescale, OpClass::KeySwitch]
+            .into_iter()
+            .map(|c| HeOpModule::new(c, set.get(c)).dsp_usage())
+            .sum();
+        let sum = l_cnv + l_fc;
+        sums.push(sum);
+        println!(
+            "{:<3} | {:>10.3} {:>10.3} | {:>9.3} {:>9.3} | {:>7.1} | {:>8.3} {:>8.3} {:>6}",
+            cfg,
+            l_cnv,
+            p_cnv,
+            l_fc,
+            p_fc,
+            dsp as f64 / 2520.0 * 100.0,
+            sum,
+            p_sum,
+            delta(sum, p_sum),
+        );
+        let _ = p_dsp;
+    }
+    println!();
+    let speedup = sums[1] / sums[0];
+    println!(
+        "Configuration A over B: {speedup:.2}x (paper 2.07x) — parallelism belongs on \
+         the heavy Fc1 layer."
+    );
+}

@@ -1,0 +1,87 @@
+//! Table VII: the end-to-end comparison — published CPU/GPU HE-CNN
+//! inference results versus FxHENN's generated accelerators on both
+//! ALINX boards (simulated by this reproduction).
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin table7`
+
+use fxhenn::ckks::CkksParams;
+use fxhenn::nn::{fxhenn_cifar10, fxhenn_mnist};
+use fxhenn::sim::{cifar10_references, lola_reference, mnist_references, Dataset};
+use fxhenn::{generate_accelerator, FpgaDevice};
+use fxhenn_bench::header;
+
+fn main() {
+    header(
+        "Table VII — performance of HE-CNN inference on MNIST and CIFAR10",
+        "Table VII",
+    );
+
+    println!("-- published reference systems --");
+    println!(
+        "{:<12} {:<8} {:>8} {:>8} {:>10} | {:<32} {:>7} {:<6}",
+        "System", "Dataset", "HOP", "KS", "Lat.(s)", "Platform", "TDP(W)", "Scheme"
+    );
+    for r in mnist_references().iter().chain(cifar10_references().iter()) {
+        println!(
+            "{:<12} {:<8} {:>8} {:>8} {:>10} | {:<32} {:>7} {:<6}",
+            r.system,
+            r.dataset.to_string(),
+            r.hops.map_or("-".into(), |v| v.to_string()),
+            r.key_switches.map_or("-".into(), |v| v.to_string()),
+            r.latency_s,
+            r.platform,
+            r.tdp_watts,
+            r.scheme
+        );
+    }
+
+    println!();
+    println!("-- FxHENN rows (this reproduction, simulated) --");
+    println!(
+        "{:<22} {:>8} {:>8} {:>10} {:>10} | {:>12} {:>14}",
+        "Config", "HOP", "KS", "Lat.(s)", "(paper)", "vs LoLa", "energy eff."
+    );
+
+    let mnist = fxhenn_mnist(1);
+    let cifar = fxhenn_cifar10(1);
+    let cases = [
+        ("MNIST", &mnist, CkksParams::fxhenn_mnist(), FpgaDevice::acu15eg(), 0.19, Dataset::Mnist),
+        ("MNIST", &mnist, CkksParams::fxhenn_mnist(), FpgaDevice::acu9eg(), 0.24, Dataset::Mnist),
+        (
+            "CIFAR10",
+            &cifar,
+            CkksParams::fxhenn_cifar10(),
+            FpgaDevice::acu15eg(),
+            54.1,
+            Dataset::Cifar10,
+        ),
+        (
+            "CIFAR10",
+            &cifar,
+            CkksParams::fxhenn_cifar10(),
+            FpgaDevice::acu9eg(),
+            254.0,
+            Dataset::Cifar10,
+        ),
+    ];
+    for (name, net, params, device, paper_lat, ds) in cases {
+        let r = generate_accelerator(net, &params, &device).expect("feasible");
+        let lola = lola_reference(ds);
+        let m = r.measured(&device);
+        println!(
+            "{:<22} {:>8} {:>8} {:>10.3} {:>10} | {:>11.2}x {:>13.0}x",
+            format!("FxHENN-{name}/{}", device.name()),
+            r.program.hop_count(),
+            r.program.key_switch_count(),
+            r.latency_s(),
+            paper_lat,
+            m.speedup_over(&lola),
+            m.energy_efficiency_over(&lola),
+        );
+    }
+    println!();
+    println!(
+        "paper headlines: up to 13.49x speedup and 1187.12x energy efficiency vs LoLa \
+         (CIFAR10 on ACU15EG); MNIST 9.17x/11.58x on ACU9EG/ACU15EG."
+    );
+}

@@ -1,0 +1,81 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper, printing the paper's published values next to the values this
+//! reproduction computes, with a relative delta. EXPERIMENTS.md indexes
+//! them all.
+
+use fxhenn::nn::{fxhenn_cifar10, fxhenn_mnist, lower_network, HeCnnProgram};
+
+/// Ring degree of the MNIST parameter set.
+pub const MNIST_N: usize = 8192;
+/// Prime width of the MNIST parameter set.
+pub const MNIST_W: u32 = 30;
+/// Ring degree of the CIFAR10 parameter set.
+pub const CIFAR_N: usize = 16384;
+/// Prime width of the CIFAR10 parameter set.
+pub const CIFAR_W: u32 = 36;
+/// Level budget of both benchmark networks.
+pub const LEVELS: usize = 7;
+/// The HLS clock the module calibration assumes.
+pub const CLOCK_MHZ: f64 = 250.0;
+
+/// The lowered FxHENN-MNIST program (seed 1).
+pub fn mnist_program() -> HeCnnProgram {
+    lower_network(&fxhenn_mnist(1), MNIST_N, LEVELS)
+}
+
+/// The lowered FxHENN-CIFAR10 program (seed 1).
+pub fn cifar10_program() -> HeCnnProgram {
+    lower_network(&fxhenn_cifar10(1), CIFAR_N, LEVELS)
+}
+
+/// Percentage of a total.
+pub fn pct(x: usize, total: usize) -> f64 {
+    x as f64 / total as f64 * 100.0
+}
+
+/// Formats a signed relative delta between ours and the paper's value.
+pub fn delta(ours: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return if ours == 0.0 {
+            "exact".to_string()
+        } else {
+            "n/a".to_string()
+        };
+    }
+    let d = (ours - paper) / paper * 100.0;
+    format!("{d:+.0}%")
+}
+
+/// Prints a standard table header naming the experiment.
+pub fn header(title: &str, source: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("(reproducing {source}; paper values in parentheses)");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_build() {
+        assert_eq!(mnist_program().layers.len(), 5);
+        assert_eq!(cifar10_program().layers.len(), 5);
+    }
+
+    #[test]
+    fn delta_formats() {
+        assert_eq!(delta(110.0, 100.0), "+10%");
+        assert_eq!(delta(90.0, 100.0), "-10%");
+        assert_eq!(delta(0.0, 0.0), "exact");
+    }
+
+    #[test]
+    fn pct_computes() {
+        assert_eq!(pct(912, 912), 100.0);
+        assert_eq!(pct(228, 912), 25.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Plaintext and ciphertext containers.
+//!
+//! A CKKS [`Plaintext`] is one RNS polynomial with an encoding scale; a
+//! [`Ciphertext`] is two (or, right after a CCmult, three) RNS polynomials
+//! with a scale and a level. All polynomials are kept in the NTT domain so
+//! that additions and multiplications are pointwise, matching the
+//! evaluation-domain-resident layout of the FPGA buffers.
+
+use fxhenn_math::poly::{Domain, RnsPoly};
+
+/// An encoded plaintext polynomial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    poly: RnsPoly,
+    scale: f64,
+}
+
+impl Plaintext {
+    /// Wraps an NTT-domain polynomial with its encoding scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is not in the NTT domain or the scale is
+    /// not positive.
+    pub fn new(poly: RnsPoly, scale: f64) -> Self {
+        assert_eq!(poly.domain(), Domain::Ntt, "plaintexts live in NTT domain");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        Self { poly, scale }
+    }
+
+    /// The underlying polynomial.
+    #[inline]
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// Encoding scale Δ.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Level (number of active RNS components).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.poly.level_count()
+    }
+}
+
+/// An RLWE ciphertext: `size()` polynomials at a common level and scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    polys: Vec<RnsPoly>,
+    scale: f64,
+}
+
+impl Ciphertext {
+    /// Wraps ciphertext polynomials (all NTT domain, equal level).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there are 2 or 3 polynomials, all in the NTT domain
+    /// at the same level, and the scale is positive.
+    pub fn new(polys: Vec<RnsPoly>, scale: f64) -> Self {
+        assert!(
+            polys.len() == 2 || polys.len() == 3,
+            "a ciphertext has 2 or 3 polynomials, got {}",
+            polys.len()
+        );
+        let level = polys[0].level_count();
+        for p in &polys {
+            assert_eq!(p.domain(), Domain::Ntt, "ciphertexts live in NTT domain");
+            assert_eq!(p.level_count(), level, "all polynomials at one level");
+        }
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        Self { polys, scale }
+    }
+
+    /// Number of polynomials (2, or 3 before relinearization).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Ciphertext level (active RNS components).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.polys[0].level_count()
+    }
+
+    /// The scale of the encrypted message.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Updates the scale (evaluator-internal bookkeeping).
+    pub(crate) fn set_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        self.scale = scale;
+    }
+
+    /// Component polynomial `i`.
+    #[inline]
+    pub fn poly(&self, i: usize) -> &RnsPoly {
+        &self.polys[i]
+    }
+
+    /// Mutable component polynomial `i`.
+    pub(crate) fn poly_mut(&mut self, i: usize) -> &mut RnsPoly {
+        &mut self.polys[i]
+    }
+
+    /// All component polynomials.
+    #[inline]
+    pub fn polys(&self) -> &[RnsPoly] {
+        &self.polys
+    }
+
+    /// Consumes the ciphertext, returning its polynomials.
+    pub fn into_polys(self) -> Vec<RnsPoly> {
+        self.polys
+    }
+
+    /// True if the ciphertext needs relinearization before rescale or
+    /// rotation.
+    #[inline]
+    pub fn is_linear(&self) -> bool {
+        self.polys.len() == 2
+    }
+
+    /// Size in bytes of the ciphertext payload.
+    pub fn byte_size(&self) -> usize {
+        self.polys.len() * self.level() * self.polys[0].degree() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ntt_poly(n: usize, levels: usize) -> RnsPoly {
+        RnsPoly::zero(n, levels, Domain::Ntt)
+    }
+
+    #[test]
+    fn ciphertext_shape_accessors() {
+        let ct = Ciphertext::new(vec![ntt_poly(16, 3), ntt_poly(16, 3)], 1024.0);
+        assert_eq!(ct.size(), 2);
+        assert_eq!(ct.level(), 3);
+        assert!(ct.is_linear());
+        assert_eq!(ct.scale(), 1024.0);
+        assert_eq!(ct.byte_size(), 2 * 3 * 16 * 8);
+    }
+
+    #[test]
+    fn three_poly_ciphertext_is_not_linear() {
+        let ct = Ciphertext::new(
+            vec![ntt_poly(16, 2), ntt_poly(16, 2), ntt_poly(16, 2)],
+            2.0,
+        );
+        assert!(!ct.is_linear());
+        assert_eq!(ct.size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 or 3 polynomials")]
+    fn wrong_poly_count_panics() {
+        Ciphertext::new(vec![ntt_poly(16, 2)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NTT domain")]
+    fn coeff_domain_ciphertext_panics() {
+        Ciphertext::new(
+            vec![
+                RnsPoly::zero(16, 2, Domain::Coeff),
+                RnsPoly::zero(16, 2, Domain::Coeff),
+            ],
+            2.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one level")]
+    fn mixed_levels_panic() {
+        Ciphertext::new(vec![ntt_poly(16, 2), ntt_poly(16, 3)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn bad_scale_panics() {
+        Plaintext::new(ntt_poly(16, 2), 0.0);
+    }
+
+    #[test]
+    fn plaintext_accessors() {
+        let pt = Plaintext::new(ntt_poly(16, 2), 512.0);
+        assert_eq!(pt.level(), 2);
+        assert_eq!(pt.scale(), 512.0);
+        assert_eq!(pt.poly().degree(), 16);
+    }
+}

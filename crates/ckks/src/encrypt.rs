@@ -1,0 +1,231 @@
+//! Encryption and decryption.
+//!
+//! Encryption happens client-side in the paper's deployment model
+//! (ciphertext-input, plaintext-weight); the accelerator only ever sees
+//! ciphertexts. Decryption requires the secret key and is used here for
+//! functional verification of HE-CNN inference results.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::keys::{PublicKey, SecretKey};
+use fxhenn_math::poly::RnsPoly;
+use fxhenn_math::sampling::{sample_gaussian, sample_ternary, small_to_rns, STANDARD_SIGMA};
+use rand::Rng;
+
+/// Encrypts encoded plaintexts under a public key.
+#[derive(Debug)]
+pub struct Encryptor<'a, R: Rng> {
+    ctx: &'a CkksContext,
+    pk: PublicKey,
+    rng: R,
+}
+
+impl<'a, R: Rng> Encryptor<'a, R> {
+    /// Creates an encryptor from a public key.
+    pub fn new(ctx: &'a CkksContext, pk: PublicKey, rng: R) -> Self {
+        Self { ctx, pk, rng }
+    }
+
+    /// Encodes `values` at the default scale and encrypts at the top
+    /// level.
+    pub fn encrypt(&mut self, values: &[f64]) -> Ciphertext {
+        let scale = self.ctx.params().scale();
+        self.encrypt_at(values, scale)
+    }
+
+    /// Encodes `values` at `scale` and encrypts at the top level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` values are supplied or the scale is not
+    /// positive.
+    pub fn encrypt_at(&mut self, values: &[f64], scale: f64) -> Ciphertext {
+        let l = self.ctx.max_level();
+        let moduli = self.ctx.moduli_at(l);
+        let tables = self.ctx.tables_at(l);
+        let mut m = self.ctx.encoder().encode_rns(values, scale, moduli);
+        m.to_ntt(&tables);
+        self.encrypt_poly(m, scale)
+    }
+
+    /// Encrypts a pre-encoded plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext is not at the top level (fresh encryptions
+    /// always start there).
+    pub fn encrypt_plaintext(&mut self, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(
+            pt.level(),
+            self.ctx.max_level(),
+            "fresh encryptions start at the top level"
+        );
+        self.encrypt_poly(pt.poly().clone(), pt.scale())
+    }
+
+    fn encrypt_poly(&mut self, m: RnsPoly, scale: f64) -> Ciphertext {
+        let ctx = self.ctx;
+        let l = ctx.max_level();
+        let moduli = ctx.moduli_at(l);
+        let tables = ctx.tables_at(l);
+        let n = ctx.degree();
+
+        let mut u = small_to_rns(&sample_ternary(n, &mut self.rng), moduli);
+        u.to_ntt(&tables);
+        let mut e0 = small_to_rns(&sample_gaussian(n, STANDARD_SIGMA, &mut self.rng), moduli);
+        e0.to_ntt(&tables);
+        let mut e1 = small_to_rns(&sample_gaussian(n, STANDARD_SIGMA, &mut self.rng), moduli);
+        e1.to_ntt(&tables);
+
+        let mut c0 = self.pk.b.clone();
+        c0.mul_pointwise_assign(&u, moduli);
+        c0.add_assign(&e0, moduli);
+        c0.add_assign(&m, moduli);
+
+        let mut c1 = self.pk.a.clone();
+        c1.mul_pointwise_assign(&u, moduli);
+        c1.add_assign(&e1, moduli);
+
+        Ciphertext::new(vec![c0, c1], scale)
+    }
+}
+
+/// Decrypts ciphertexts with the secret key and decodes the slots.
+#[derive(Debug)]
+pub struct Decryptor<'a> {
+    ctx: &'a CkksContext,
+    sk: SecretKey,
+}
+
+impl<'a> Decryptor<'a> {
+    /// Creates a decryptor from the secret key.
+    pub fn new(ctx: &'a CkksContext, sk: SecretKey) -> Self {
+        Self { ctx, sk }
+    }
+
+    /// Decrypts and decodes the slot values of a ciphertext (2 or 3
+    /// polynomials, any level).
+    pub fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
+        let ctx = self.ctx;
+        let l = ct.level();
+        let moduli = ctx.moduli_at(l);
+        let tables = ctx.tables_at(l);
+        let s = self.sk.at_level(l);
+
+        // m̂ = c0 + c1·s (+ c2·s²)
+        let mut acc = ct.poly(0).clone();
+        let mut c1s = ct.poly(1).clone();
+        c1s.mul_pointwise_assign(&s, moduli);
+        acc.add_assign(&c1s, moduli);
+        if ct.size() == 3 {
+            let mut c2ss = ct.poly(2).clone();
+            c2ss.mul_pointwise_assign(&s, moduli);
+            c2ss.mul_pointwise_assign(&s, moduli);
+            acc.add_assign(&c2ss, moduli);
+        }
+        acc.to_coeff(&tables);
+        let coeffs = ctx.centered_coefficients(&acc, l);
+        ctx.encoder().decode_coefficients(&coeffs, ct.scale())
+    }
+
+    /// Decrypts and returns the centered raw plaintext coefficients
+    /// (before slot decoding) — useful for noise measurements.
+    pub fn decrypt_coefficients(&self, ct: &Ciphertext) -> Vec<f64> {
+        let ctx = self.ctx;
+        let l = ct.level();
+        let moduli = ctx.moduli_at(l);
+        let tables = ctx.tables_at(l);
+        let s = self.sk.at_level(l);
+        let mut acc = ct.poly(0).clone();
+        let mut c1s = ct.poly(1).clone();
+        c1s.mul_pointwise_assign(&s, moduli);
+        acc.add_assign(&c1s, moduli);
+        if ct.size() == 3 {
+            let mut c2ss = ct.poly(2).clone();
+            c2ss.mul_pointwise_assign(&s, moduli);
+            c2ss.mul_pointwise_assign(&s, moduli);
+            acc.add_assign(&c2ss, moduli);
+        }
+        acc.to_coeff(&tables);
+        ctx.centered_coefficients(&acc, l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, PublicKey, SecretKey) {
+        let ctx = CkksContext::new(CkksParams::insecure_toy(3));
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(11));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        (ctx, pk, sk)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, pk, sk) = setup();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(12));
+        let dec = Decryptor::new(&ctx, sk);
+        let values = [1.0, -2.5, 3.375, 0.0, 100.25, -77.5];
+        let ct = enc.encrypt(&values);
+        assert_eq!(ct.level(), ctx.max_level());
+        let out = dec.decrypt(&ct);
+        for (i, (&x, &y)) in values.iter().zip(&out).enumerate() {
+            assert!((x - y).abs() < 1e-3, "slot {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn unused_slots_decrypt_near_zero() {
+        let (ctx, pk, sk) = setup();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(13));
+        let dec = Decryptor::new(&ctx, sk);
+        let ct = enc.encrypt(&[5.0]);
+        let out = dec.decrypt(&ct);
+        for (i, &y) in out.iter().enumerate().skip(1) {
+            assert!(y.abs() < 1e-3, "slot {i} = {y}");
+        }
+    }
+
+    #[test]
+    fn different_encryptions_of_same_message_differ() {
+        let (ctx, pk, _sk) = setup();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(14));
+        let a = enc.encrypt(&[1.0]);
+        let b = enc.encrypt(&[1.0]);
+        assert_ne!(a.poly(0), b.poly(0), "encryption must be randomized");
+    }
+
+    #[test]
+    fn noise_is_bounded_for_fresh_ciphertexts() {
+        let (ctx, pk, sk) = setup();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(15));
+        let dec = Decryptor::new(&ctx, sk);
+        let ct = enc.encrypt(&[0.0; 8]);
+        let coeffs = dec.decrypt_coefficients(&ct);
+        // Fresh noise ~ N*sigma scale; for N=1024 should be far below the
+        // 2^30 scale.
+        let max = coeffs.iter().fold(0f64, |m, &c| m.max(c.abs()));
+        assert!(max < 1e7, "fresh noise {max} too large");
+        assert!(max > 0.0, "there should be *some* noise");
+    }
+
+    #[test]
+    fn custom_scale_roundtrips() {
+        let (ctx, pk, sk) = setup();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(16));
+        let dec = Decryptor::new(&ctx, sk);
+        let scale = (2f64).powi(24);
+        let ct = enc.encrypt_at(&[3.5, -1.25], scale);
+        assert_eq!(ct.scale(), scale);
+        let out = dec.decrypt(&ct);
+        assert!((out[0] - 3.5).abs() < 1e-2);
+        assert!((out[1] + 1.25).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,906 @@
+//! The homomorphic evaluator: the software mirror of the paper's HE
+//! operation modules.
+//!
+//! Implements CCadd/PCadd (OP1), PCmult (OP2), CCmult (OP3), Rescale
+//! (OP4) and KeySwitch — Relinearize and Rotate — (OP5). An optional
+//! [`OpTrace`] records every executed operation with its level, which is
+//! how the functional co-simulation cross-checks the analytic HE-CNN
+//! lowering of `fxhenn-nn`.
+//!
+//! Key switching follows the hybrid construction with per-prime digits:
+//! the input polynomial is decomposed into its `l` residue digits, each
+//! digit is lifted (exactly — single-prime digits need no approximate
+//! base conversion) to the level basis extended with the special prime
+//! `p`, multiplied against the matching key digit, accumulated, and the
+//! result is scaled back down by `p`.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
+use crate::trace::{HeOpKind, OpTrace};
+use fxhenn_math::modops::{mul_mod, sub_mod};
+use fxhenn_math::poly::{Domain, RnsPoly};
+
+/// Relative scale mismatch tolerated by additive operations.
+const SCALE_TOLERANCE: f64 = 1e-9;
+
+/// Executes HE operations over a CKKS context, optionally recording an
+/// operation trace.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    ctx: &'a CkksContext,
+    trace: Option<OpTrace>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with tracing disabled.
+    pub fn new(ctx: &'a CkksContext) -> Self {
+        Self { ctx, trace: None }
+    }
+
+    /// The underlying context.
+    #[inline]
+    pub fn context(&self) -> &CkksContext {
+        self.ctx
+    }
+
+    /// Starts recording an operation trace (clearing any previous one).
+    pub fn start_trace(&mut self) {
+        self.trace = Some(OpTrace::new());
+    }
+
+    /// Stops recording and returns the trace, if any.
+    pub fn take_trace(&mut self) -> Option<OpTrace> {
+        self.trace.take()
+    }
+
+    fn record(&mut self, kind: HeOpKind, level: usize) {
+        if let Some(t) = &mut self.trace {
+            t.record(kind, level);
+        }
+    }
+
+    /// Encodes a real vector into a plaintext at the given level and
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level is out of range or too many values are given.
+    pub fn encode_at(&self, values: &[f64], scale: f64, level: usize) -> Plaintext {
+        let moduli = self.ctx.moduli_at(level);
+        let tables = self.ctx.tables_at(level);
+        let mut p = self.ctx.encoder().encode_rns(values, scale, moduli);
+        p.to_ntt(&tables);
+        Plaintext::new(p, scale)
+    }
+
+    /// Encodes at the scale that makes a following `mul_plain` +
+    /// `rescale` land back on the input ciphertext's scale: the prime
+    /// that the rescale will drop.
+    pub fn encode_for_mul(&self, values: &[f64], level: usize) -> Plaintext {
+        let scale = self.ctx.dropped_prime_at(level) as f64;
+        self.encode_at(values, scale, level)
+    }
+
+    fn assert_same_scale(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= SCALE_TOLERANCE * a.abs().max(b.abs()),
+            "scale mismatch: {a} vs {b}"
+        );
+    }
+
+    /// Ciphertext + ciphertext addition (CCadd, OP1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.level(), b.level(), "CCadd needs matching levels");
+        assert_eq!(a.size(), b.size(), "CCadd needs matching sizes");
+        Self::assert_same_scale(a.scale(), b.scale());
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut out = a.clone();
+        for i in 0..out.size() {
+            out.poly_mut(i).add_assign(b.poly(i), moduli);
+        }
+        self.record(HeOpKind::CcAdd, a.level());
+        out
+    }
+
+    /// Ciphertext - ciphertext subtraction (costed as CCadd).
+    pub fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.level(), b.level(), "subtraction needs matching levels");
+        assert_eq!(a.size(), b.size(), "subtraction needs matching sizes");
+        Self::assert_same_scale(a.scale(), b.scale());
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut out = a.clone();
+        for i in 0..out.size() {
+            out.poly_mut(i).sub_assign(b.poly(i), moduli);
+        }
+        self.record(HeOpKind::CcAdd, a.level());
+        out
+    }
+
+    /// Plaintext + ciphertext addition (PCadd, OP1).
+    pub fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level(), pt.level(), "PCadd needs matching levels");
+        Self::assert_same_scale(a.scale(), pt.scale());
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut out = a.clone();
+        out.poly_mut(0).add_assign(pt.poly(), moduli);
+        self.record(HeOpKind::PcAdd, a.level());
+        out
+    }
+
+    /// Plaintext - ciphertext subtraction: `ct - pt` (costed as PCadd).
+    pub fn sub_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level(), pt.level(), "PCsub needs matching levels");
+        Self::assert_same_scale(a.scale(), pt.scale());
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut out = a.clone();
+        out.poly_mut(0).sub_assign(pt.poly(), moduli);
+        self.record(HeOpKind::PcAdd, a.level());
+        out
+    }
+
+    /// Plaintext × ciphertext multiplication (PCmult, OP2). The output
+    /// scale is the product of the input scales; follow with [`rescale`]
+    /// to bring it back down.
+    ///
+    /// [`rescale`]: Evaluator::rescale
+    pub fn mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level(), pt.level(), "PCmult needs matching levels");
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut out = a.clone();
+        for i in 0..out.size() {
+            out.poly_mut(i).mul_pointwise_assign(pt.poly(), moduli);
+        }
+        out.set_scale(a.scale() * pt.scale());
+        self.record(HeOpKind::PcMult, a.level());
+        out
+    }
+
+    /// Ciphertext × ciphertext multiplication (CCmult, OP3), producing a
+    /// 3-polynomial ciphertext; relinearize before rescaling or rotating.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both inputs are 2-polynomial ciphertexts at the same
+    /// level.
+    pub fn mul(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert!(a.is_linear() && b.is_linear(), "CCmult needs linear inputs");
+        assert_eq!(a.level(), b.level(), "CCmult needs matching levels");
+        let moduli = self.ctx.moduli_at(a.level());
+
+        let mut d0 = a.poly(0).clone();
+        d0.mul_pointwise_assign(b.poly(0), moduli);
+
+        let mut d1 = a.poly(0).clone();
+        d1.mul_pointwise_assign(b.poly(1), moduli);
+        let mut d1b = a.poly(1).clone();
+        d1b.mul_pointwise_assign(b.poly(0), moduli);
+        d1.add_assign(&d1b, moduli);
+
+        let mut d2 = a.poly(1).clone();
+        d2.mul_pointwise_assign(b.poly(1), moduli);
+
+        self.record(HeOpKind::CcMult, a.level());
+        Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale())
+    }
+
+    /// Homomorphic squaring: CCmult of a ciphertext with itself (the form
+    /// used by the square activation layers of HE-CNNs).
+    pub fn square(&mut self, a: &Ciphertext) -> Ciphertext {
+        self.mul(a, a)
+    }
+
+    /// Relinearization (OP5 KeySwitch): reduces a 3-polynomial ciphertext
+    /// back to 2 polynomials using the relinearization key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is already linear.
+    pub fn relinearize(&mut self, ct: &Ciphertext, rk: &RelinKey) -> Ciphertext {
+        assert_eq!(ct.size(), 3, "relinearization needs a 3-poly ciphertext");
+        let l = ct.level();
+        let moduli = self.ctx.moduli_at(l);
+        let tables = self.ctx.tables_at(l);
+
+        let mut d2 = ct.poly(2).clone();
+        d2.to_coeff(&tables);
+        let (ks0, ks1) = self.apply_key_switch(&d2, &rk.0, l);
+
+        let mut c0 = ct.poly(0).clone();
+        c0.add_assign(&ks0, moduli);
+        let mut c1 = ct.poly(1).clone();
+        c1.add_assign(&ks1, moduli);
+
+        self.record(HeOpKind::Relinearize, l);
+        Ciphertext::new(vec![c0, c1], ct.scale())
+    }
+
+    /// Rescale (OP4): divides the ciphertext by the last prime of its
+    /// level, dropping one RNS component and dividing the scale by that
+    /// prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not linear or already at level 1.
+    pub fn rescale(&mut self, ct: &Ciphertext) -> Ciphertext {
+        assert!(ct.is_linear(), "relinearize before rescaling");
+        let l = ct.level();
+        assert!(l >= 2, "cannot rescale below level 1");
+        let tables = self.ctx.tables_at(l);
+        let new_tables = self.ctx.tables_at(l - 1);
+
+        let polys = ct
+            .polys()
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.to_coeff(&tables);
+                let mut out = self.exact_divide_drop_last(p, l);
+                out.to_ntt(&new_tables);
+                out
+            })
+            .collect();
+        let mut out = Ciphertext::new(polys, ct.scale());
+        out.set_scale(ct.scale() / self.ctx.dropped_prime_at(l) as f64);
+        self.record(HeOpKind::Rescale, l);
+        out
+    }
+
+    /// Modulus switch without scaling: drops RNS components down to
+    /// `target_level`, leaving message and scale unchanged. Used to align
+    /// ciphertext levels before additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_level` is zero or above the current level.
+    pub fn mod_switch_to(&mut self, ct: &Ciphertext, target_level: usize) -> Ciphertext {
+        let l = ct.level();
+        assert!(
+            target_level >= 1 && target_level <= l,
+            "target level {target_level} out of range"
+        );
+        if target_level == l {
+            return ct.clone();
+        }
+        let indices: Vec<usize> = (0..target_level).collect();
+        let polys = ct
+            .polys()
+            .iter()
+            .map(|p| p.select_components(&indices))
+            .collect();
+        Ciphertext::new(polys, ct.scale())
+    }
+
+    /// Rotate (OP5 KeySwitch): left-rotates the slot vector by `steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not linear or the required Galois key
+    /// is missing.
+    pub fn rotate(&mut self, ct: &Ciphertext, steps: usize, gks: &GaloisKeys) -> Ciphertext {
+        assert!(ct.is_linear(), "relinearize before rotating");
+        let l = ct.level();
+        let g = self.ctx.galois_exponent(steps);
+        if g == 1 {
+            return ct.clone();
+        }
+        let key = gks
+            .key(g)
+            .unwrap_or_else(|| panic!("missing Galois key for rotation by {steps}"));
+        let moduli = self.ctx.moduli_at(l);
+        let tables = self.ctx.tables_at(l);
+
+        let mut c0 = ct.poly(0).clone();
+        c0.to_coeff(&tables);
+        let c0g = c0.automorphism(g, moduli);
+
+        let mut c1 = ct.poly(1).clone();
+        c1.to_coeff(&tables);
+        let c1g = c1.automorphism(g, moduli);
+
+        let (ks0, ks1) = self.apply_key_switch(&c1g, key, l);
+        let mut out0 = c0g;
+        out0.to_ntt(&tables);
+        out0.add_assign(&ks0, moduli);
+
+        self.record(HeOpKind::Rotate, l);
+        Ciphertext::new(vec![out0, ks1], ct.scale())
+    }
+
+    /// Complex conjugation of the slot vector (Galois element `2N - 1`).
+    ///
+    /// For real-valued slot data this is (up to noise) the identity; it
+    /// exists to support complex-slot pipelines and to cancel imaginary
+    /// noise components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not linear.
+    pub fn conjugate(&mut self, ct: &Ciphertext, key: &KeySwitchKey) -> Ciphertext {
+        assert!(ct.is_linear(), "relinearize before conjugating");
+        let l = ct.level();
+        let g = self.ctx.conjugation_exponent();
+        let moduli = self.ctx.moduli_at(l);
+        let tables = self.ctx.tables_at(l);
+
+        let mut c0 = ct.poly(0).clone();
+        c0.to_coeff(&tables);
+        let c0g = c0.automorphism(g, moduli);
+        let mut c1 = ct.poly(1).clone();
+        c1.to_coeff(&tables);
+        let c1g = c1.automorphism(g, moduli);
+
+        let (ks0, ks1) = self.apply_key_switch(&c1g, key, l);
+        let mut out0 = c0g;
+        out0.to_ntt(&tables);
+        out0.add_assign(&ks0, moduli);
+
+        self.record(HeOpKind::Rotate, l);
+        Ciphertext::new(vec![out0, ks1], ct.scale())
+    }
+
+    /// Core hybrid key switch. `d` must be a coefficient-domain polynomial
+    /// at level `l`; returns the NTT-domain contribution pair `(ks0, ks1)`
+    /// at level `l` such that `ks0 + ks1·s ≈ d·s'`.
+    ///
+    /// Each of the `dnum` digits covers a group of coefficient primes.
+    /// Single-prime digits lift exactly (a residue in `[0, q_i)` reduces
+    /// into every other modulus); multi-prime digits use the fast
+    /// (approximate) base conversion — its `+αD` error multiplies a
+    /// gadget divisible by `Q_l·P` and vanishes, contributing only to
+    /// the noise term that the special-prime mod-down suppresses.
+    fn apply_key_switch(
+        &self,
+        d: &RnsPoly,
+        ksk: &KeySwitchKey,
+        l: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        assert_eq!(d.domain(), Domain::Coeff, "key switch input in coeff domain");
+        assert_eq!(d.level_count(), l, "key switch input level mismatch");
+        let ctx = self.ctx;
+        let n = ctx.degree();
+        let max_l = ctx.max_level();
+        let specials = ctx.special_moduli();
+        let s_count = specials.len();
+        let ext_moduli = ctx.extended_moduli_at(l);
+        let ext_tables = ctx.extended_tables_at(l);
+        // Reducer / key-component index per extended position: the level's
+        // coefficient primes then the special primes (stored after the
+        // full chain, at indices max_l..).
+        let ext_idx: Vec<usize> = (0..l).chain(max_l..max_l + s_count).collect();
+
+        let mut acc0 = RnsPoly::zero(n, l + s_count, Domain::Ntt);
+        let mut acc1 = RnsPoly::zero(n, l + s_count, Domain::Ntt);
+
+        for (j, key_digit) in ksk.digits.iter().enumerate() {
+            let lift = ctx.digit_lift(l, j);
+            let residues: Vec<Vec<u64>> = match lift.indices.len() {
+                0 => continue, // digit entirely above the current level
+                1 => {
+                    // Exact lift: one residue polynomial with coefficients
+                    // in [0, q_i) reduces directly into every modulus.
+                    let src = d.component(lift.indices[0]);
+                    ext_idx
+                        .iter()
+                        .map(|&r| {
+                            let red = ctx.reducer(r);
+                            src.iter().map(|&c| red.reduce_u64(c)).collect()
+                        })
+                        .collect()
+                }
+                _ => {
+                    // Fast base conversion of the multi-prime digit:
+                    // y_m = Σ_i [x_i · (D/q_i)^{-1}]_{q_i} · (D/q_i mod m).
+                    let group_moduli: Vec<u64> =
+                        lift.indices.iter().map(|&i| ctx.coeff_moduli()[i]).collect();
+                    // Per-coefficient inner factors [x_i · ĝ_i]_{q_i}.
+                    let factors: Vec<Vec<u64>> = lift
+                        .indices
+                        .iter()
+                        .enumerate()
+                        .map(|(t, &i)| {
+                            let q_i = group_moduli[t];
+                            let ghat_inv = lift.ghat_inv[t];
+                            d.component(i)
+                                .iter()
+                                .map(|&c| mul_mod(c, ghat_inv, q_i))
+                                .collect()
+                        })
+                        .collect();
+                    ext_idx
+                        .iter()
+                        .enumerate()
+                        .map(|(target, &r)| {
+                            let red = ctx.reducer(r);
+                            (0..n)
+                                .map(|k| {
+                                    let mut acc: u128 = 0;
+                                    for (t, f) in factors.iter().enumerate() {
+                                        acc += f[k] as u128
+                                            * lift.ghat_mod[t][target] as u128;
+                                    }
+                                    red.reduce_u128(acc)
+                                })
+                                .collect()
+                        })
+                        .collect()
+                }
+            };
+            let mut digit = RnsPoly::from_residues(residues, Domain::Coeff);
+            digit.to_ntt(&ext_tables);
+
+            let b = key_digit.0.select_components(&ext_idx);
+            let a = key_digit.1.select_components(&ext_idx);
+
+            let mut t0 = digit.clone();
+            t0.mul_pointwise_assign(&b, &ext_moduli);
+            acc0.add_assign(&t0, &ext_moduli);
+
+            let mut t1 = digit;
+            t1.mul_pointwise_assign(&a, &ext_moduli);
+            acc1.add_assign(&t1, &ext_moduli);
+        }
+
+        (
+            self.mod_down_special(acc0, l),
+            self.mod_down_special(acc1, l),
+        )
+    }
+
+    /// Divides an extended-basis polynomial by the full special modulus
+    /// `P = ∏ specials`, removing one special prime at a time (each step
+    /// an exact centered RNS division), returning a level-`l` polynomial
+    /// in NTT form.
+    fn mod_down_special(&self, mut acc: RnsPoly, l: usize) -> RnsPoly {
+        let ctx = self.ctx;
+        let ext_tables = ctx.extended_tables_at(l);
+        let tables = ctx.tables_at(l);
+        acc.to_coeff(&ext_tables);
+
+        let n = ctx.degree();
+        let moduli = ctx.moduli_at(l);
+        let specials = ctx.special_moduli();
+        let max_l = ctx.max_level();
+
+        for k in (0..specials.len()).rev() {
+            let sp = specials[k];
+            let half = sp / 2;
+            let invs = ctx.moddown_inv(k);
+            // Remaining basis: l coefficient primes + specials[..k].
+            let special_comp = acc.drop_last_component();
+            let mut next = RnsPoly::zero(n, l + k, Domain::Coeff);
+            for pos in 0..l + k {
+                // Target modulus: coefficient prime pos, or special t.
+                // moddown_inv(k) lists inverses for [q_0..q_{L-1}] then
+                // specials[0..k].
+                let (m, red, inv) = if pos < l {
+                    (moduli[pos], ctx.reducer(pos), invs[pos])
+                } else {
+                    let t = pos - l;
+                    (specials[t], ctx.reducer(max_l + t), invs[max_l + t])
+                };
+                let src = acc.component(pos);
+                let dst = next.component_mut(pos);
+                for c_idx in 0..n {
+                    let c = special_comp[c_idx];
+                    let centered = if c > half {
+                        let r = red.reduce_u64(sp - c);
+                        if r == 0 {
+                            0
+                        } else {
+                            m - r
+                        }
+                    } else {
+                        red.reduce_u64(c)
+                    };
+                    let diff = sub_mod(src[c_idx], centered, m);
+                    dst[c_idx] = mul_mod(diff, inv, m);
+                }
+            }
+            acc = next;
+        }
+        acc.to_ntt(&tables);
+        acc
+    }
+
+    /// Exact RNS division by the last prime of level `l` (the Rescale
+    /// core): `(x - [x]_{q_{l-1}}) / q_{l-1}` per remaining component,
+    /// with a centered representative so rounding error stays at ±1/2.
+    fn exact_divide_drop_last(&self, p: RnsPoly, l: usize) -> RnsPoly {
+        assert_eq!(p.domain(), Domain::Coeff);
+        let ctx = self.ctx;
+        let n = ctx.degree();
+        let dropped = ctx.dropped_prime_at(l);
+        let half = dropped / 2;
+        let invs = ctx.rescale_inv_at(l);
+        let moduli = ctx.moduli_at(l);
+
+        let last = p.component(l - 1).to_vec();
+        let mut out = RnsPoly::zero(n, l - 1, Domain::Coeff);
+        for j in 0..l - 1 {
+            let qj = moduli[j];
+            let red = ctx.reducer(j);
+            let inv = invs[j];
+            let src = p.component(j);
+            let dst = out.component_mut(j);
+            for k in 0..n {
+                let c = last[k];
+                let centered = if c > half {
+                    let m = red.reduce_u64(dropped - c);
+                    if m == 0 {
+                        0
+                    } else {
+                        qj - m
+                    }
+                } else {
+                    red.reduce_u64(c)
+                };
+                let diff = sub_mod(src[k], centered, qj);
+                dst[k] = mul_mod(diff, inv, qj);
+            }
+        }
+        out
+    }
+
+    /// Adds a constant (same value in every slot) without consuming a
+    /// level: encodes at the ciphertext's scale and performs PCadd.
+    pub fn add_scalar(&mut self, ct: &Ciphertext, value: f64) -> Ciphertext {
+        let slots = self.ctx.degree() / 2;
+        let pt = self.encode_at(&vec![value; slots], ct.scale(), ct.level());
+        self.add_plain(ct, &pt)
+    }
+
+    /// Multiplies every slot by a scalar constant (a PCmult with the
+    /// constant broadcast to all slots); follow with [`rescale`].
+    ///
+    /// [`rescale`]: Evaluator::rescale
+    pub fn mul_scalar(&mut self, ct: &Ciphertext, value: f64) -> Ciphertext {
+        let slots = self.ctx.degree() / 2;
+        let pt = self.encode_for_mul(&vec![value; slots], ct.level());
+        self.mul_plain(ct, &pt)
+    }
+
+    /// Negates a ciphertext (free on hardware; not a HOP).
+    pub fn negate(&mut self, ct: &Ciphertext) -> Ciphertext {
+        let moduli = self.ctx.moduli_at(ct.level());
+        let mut out = ct.clone();
+        for i in 0..out.size() {
+            out.poly_mut(i).neg_assign(moduli);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        ctx: CkksContext,
+    }
+
+    struct Keys {
+        pk: crate::keys::PublicKey,
+        sk: crate::keys::SecretKey,
+        rk: RelinKey,
+        gks: GaloisKeys,
+    }
+
+    impl Fixture {
+        fn new(levels: usize) -> (Self, Keys) {
+            let ctx = CkksContext::new(CkksParams::insecure_toy(levels));
+            let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(21));
+            let keys = Keys {
+                pk: kg.public_key(),
+                sk: kg.secret_key(),
+                rk: kg.relin_key(),
+                gks: kg.galois_keys(&[1, 2, 4, 8]),
+            };
+            (Self { ctx }, keys)
+        }
+    }
+
+    fn close(a: &[f64], b: &[f64], tol: f64) {
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "slot {i}: {x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(1));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let a = [1.5, -2.0, 3.0];
+        let b = [0.25, 4.0, -1.0];
+        let ca = enc.encrypt(&a);
+        let cb = enc.encrypt(&b);
+        let sum = ev.add(&ca, &cb);
+        close(&dec.decrypt(&sum)[..3], &[1.75, 2.0, 2.0], 1e-2);
+        let diff = ev.sub(&ca, &cb);
+        close(&dec.decrypt(&diff)[..3], &[1.25, -6.0, 4.0], 1e-2);
+    }
+
+    #[test]
+    fn plain_multiplication_with_rescale() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(2));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let a = [1.5, -2.0, 3.0, 0.5];
+        let w = [2.0, 0.5, -1.0, 4.0];
+        let ca = enc.encrypt(&a);
+        let pw = ev.encode_for_mul(&w, ca.level());
+        let prod = ev.mul_plain(&ca, &pw);
+        let scaled = ev.rescale(&prod);
+        assert_eq!(scaled.level(), ca.level() - 1);
+        // scale should be back near the original
+        let ratio = scaled.scale() / ca.scale();
+        assert!((ratio - 1.0).abs() < 1e-9, "scale ratio {ratio}");
+        close(
+            &dec.decrypt(&scaled)[..4],
+            &[3.0, -1.0, -3.0, 2.0],
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn ciphertext_multiplication_with_relin() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(3));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let a = [1.5, -2.0, 3.0];
+        let b = [2.0, 3.0, -1.5];
+        let ca = enc.encrypt(&a);
+        let cb = enc.encrypt(&b);
+        let prod3 = ev.mul(&ca, &cb);
+        assert_eq!(prod3.size(), 3);
+        // 3-poly ciphertexts decrypt correctly too
+        let direct = dec.decrypt(&prod3);
+        close(&direct[..3], &[3.0, -6.0, -4.5], 1e-1);
+        // relinearize, then rescale
+        let lin = ev.relinearize(&prod3, &k.rk);
+        assert_eq!(lin.size(), 2);
+        let out = ev.rescale(&lin);
+        close(&dec.decrypt(&out)[..3], &[3.0, -6.0, -4.5], 1e-1);
+    }
+
+    #[test]
+    fn squaring_matches_mul_self() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(4));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let a = [1.5, -2.0, 0.5, 3.0];
+        let ca = enc.encrypt(&a);
+        let sq = ev.square(&ca);
+        let lin = ev.relinearize(&sq, &k.rk);
+        let out = ev.rescale(&lin);
+        close(&dec.decrypt(&out)[..4], &[2.25, 4.0, 0.25, 9.0], 1e-1);
+    }
+
+    #[test]
+    fn rotation_left_shifts_slots() {
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(5));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let slots = f.ctx.degree() / 2;
+        let values: Vec<f64> = (0..slots).map(|i| (i % 50) as f64).collect();
+        let ct = enc.encrypt(&values);
+        for steps in [1usize, 2, 4, 8] {
+            let rot = ev.rotate(&ct, steps, &k.gks);
+            let out = dec.decrypt(&rot);
+            for i in 0..8 {
+                let expected = values[(i + steps) % slots];
+                assert!(
+                    (out[i] - expected).abs() < 1e-2,
+                    "steps {steps} slot {i}: {} vs {expected}",
+                    out[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_by_zero_is_identity() {
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(6));
+        let mut ev = Evaluator::new(&f.ctx);
+        let ct = enc.encrypt(&[1.0, 2.0]);
+        let rot = ev.rotate(&ct, 0, &k.gks);
+        assert_eq!(rot, ct);
+    }
+
+    #[test]
+    fn rotate_and_add_computes_slot_sums() {
+        // The rotate-and-sum pattern of LoLa's FC layers: log2(k) rotations
+        // accumulate the first k slots.
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(7));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mut acc = enc.encrypt(&values);
+        for shift in [4usize, 2, 1] {
+            let rot = ev.rotate(&acc, shift, &k.gks);
+            acc = ev.add(&acc, &rot);
+        }
+        let out = dec.decrypt(&acc);
+        assert!((out[0] - 36.0).abs() < 1e-1, "sum = {}", out[0]);
+    }
+
+    #[test]
+    fn mod_switch_preserves_message() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(8));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let values = [2.5, -1.0, 0.75];
+        let ct = enc.encrypt(&values);
+        let dropped = ev.mod_switch_to(&ct, 1);
+        assert_eq!(dropped.level(), 1);
+        assert_eq!(dropped.scale(), ct.scale());
+        close(&dec.decrypt(&dropped)[..3], &values, 1e-2);
+    }
+
+    #[test]
+    fn trace_records_operations_with_levels() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(9));
+        let mut ev = Evaluator::new(&f.ctx);
+        ev.start_trace();
+        let ca = enc.encrypt(&[1.0]);
+        let cb = enc.encrypt(&[2.0]);
+        let s = ev.add(&ca, &cb);
+        let sq = ev.square(&s);
+        let lin = ev.relinearize(&sq, &k.rk);
+        let _ = ev.rescale(&lin);
+        let t = ev.take_trace().unwrap();
+        assert_eq!(t.hop_count(), 4);
+        assert_eq!(t.count_of(HeOpKind::CcAdd), 1);
+        assert_eq!(t.count_of(HeOpKind::CcMult), 1);
+        assert_eq!(t.count_of(HeOpKind::Relinearize), 1);
+        assert_eq!(t.count_of(HeOpKind::Rescale), 1);
+        assert_eq!(t.key_switch_count(), 1);
+        // all at top level
+        assert!(t.records().iter().all(|r| r.level == 3));
+        assert!(ev.take_trace().is_none(), "trace is consumed");
+    }
+
+    #[test]
+    fn multiplication_depth_chain() {
+        // Use all levels: ((x^2)^2) with rescale after each square.
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(10));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let x = 1.2f64;
+        let mut ct = enc.encrypt(&[x]);
+        for _ in 0..2 {
+            let sq = ev.square(&ct);
+            let lin = ev.relinearize(&sq, &k.rk);
+            ct = ev.rescale(&lin);
+        }
+        assert_eq!(ct.level(), 1);
+        let out = dec.decrypt(&ct);
+        let expected = x.powi(4);
+        assert!(
+            (out[0] - expected).abs() < 0.05,
+            "{} vs {expected}",
+            out[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale mismatch")]
+    fn add_rejects_mismatched_scales() {
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(11));
+        let mut ev = Evaluator::new(&f.ctx);
+        let a = enc.encrypt_at(&[1.0], (2f64).powi(30));
+        let b = enc.encrypt_at(&[1.0], (2f64).powi(20));
+        ev.add(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "relinearize before rescaling")]
+    fn rescale_rejects_three_poly() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(12));
+        let mut ev = Evaluator::new(&f.ctx);
+        let a = enc.encrypt(&[1.0]);
+        let sq = ev.square(&a);
+        ev.rescale(&sq);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing Galois key")]
+    fn rotate_without_key_panics() {
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(13));
+        let mut ev = Evaluator::new(&f.ctx);
+        let ct = enc.encrypt(&[1.0]);
+        ev.rotate(&ct, 3, &k.gks); // only 1,2,4,8 were generated
+    }
+
+    #[test]
+    fn conjugation_fixes_real_slot_data() {
+        let (f, k) = Fixture::new(2);
+        let mut kg2 = KeyGenerator::new(&f.ctx, StdRng::seed_from_u64(21));
+        // NOTE: a fresh generator has a different secret; we need the
+        // conjugation key for the *fixture's* secret, so regenerate the
+        // whole key set from one generator.
+        let _ = (&k, &mut kg2);
+        let ctx = CkksContext::new(CkksParams::insecure_toy(2));
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(22));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let conj = kg.conjugation_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(23));
+        let dec = Decryptor::new(&ctx, sk);
+        let mut ev = Evaluator::new(&ctx);
+        let values = [1.5, -2.0, 3.25, 0.5];
+        let ct = enc.encrypt(&values);
+        let cc = ev.conjugate(&ct, &conj);
+        let out = dec.decrypt(&cc);
+        close(&out[..4], &values, 1e-2);
+    }
+
+    #[test]
+    fn add_scalar_shifts_all_slots() {
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(14));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let ct = enc.encrypt(&[1.0, -2.0]);
+        let shifted = ev.add_scalar(&ct, 10.0);
+        let out = dec.decrypt(&shifted);
+        assert!((out[0] - 11.0).abs() < 1e-2);
+        assert!((out[1] - 8.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sub_plain_and_mul_scalar() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(16));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let ct = enc.encrypt(&[5.0, -1.0]);
+        let pt = ev.encode_at(&[2.0, 3.0], ct.scale(), ct.level());
+        let diff = ev.sub_plain(&ct, &pt);
+        let out = dec.decrypt(&diff);
+        assert!((out[0] - 3.0).abs() < 1e-2);
+        assert!((out[1] + 4.0).abs() < 1e-2);
+
+        let prod = ev.mul_scalar(&ct, 2.5);
+        let scaled = ev.rescale(&prod);
+        let out2 = dec.decrypt(&scaled);
+        assert!((out2[0] - 12.5).abs() < 0.05, "{}", out2[0]);
+        assert!((out2[1] + 2.5).abs() < 0.05, "{}", out2[1]);
+    }
+
+    #[test]
+    fn negate_flips_sign() {
+        let (f, k) = Fixture::new(2);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(15));
+        let dec = Decryptor::new(&f.ctx, k.sk);
+        let mut ev = Evaluator::new(&f.ctx);
+        let ct = enc.encrypt(&[3.0, -4.0]);
+        let neg = ev.negate(&ct);
+        let out = dec.decrypt(&neg);
+        assert!((out[0] + 3.0).abs() < 1e-2);
+        assert!((out[1] - 4.0).abs() < 1e-2);
+    }
+}

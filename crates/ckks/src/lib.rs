@@ -1,0 +1,59 @@
+//! # fxhenn-ckks
+//!
+//! A from-scratch implementation of the RNS-CKKS fully homomorphic
+//! encryption scheme (Cheon–Kim–Kim–Song with the full-RNS variant of
+//! Cheon–Han–Kim–Kim–Song), providing every HE operation the FxHENN
+//! accelerator implements in hardware: CCadd/PCadd (OP1), PCmult (OP2),
+//! CCmult (OP3), Rescale (OP4) and KeySwitch — Relinearize and Rotate —
+//! (OP5).
+//!
+//! Key switching uses the hybrid construction with per-prime digits and a
+//! single special prime, so one key serves ciphertexts at every level —
+//! the property behind the paper's inter-layer KeySwitch module reuse.
+//!
+//! ## Example
+//!
+//! ```
+//! use fxhenn_ckks::{CkksContext, CkksParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let ctx = CkksContext::new(CkksParams::insecure_toy(3));
+//! let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(7));
+//! let pk = kg.public_key();
+//! let sk = kg.secret_key();
+//!
+//! let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(8));
+//! let dec = Decryptor::new(&ctx, sk);
+//! let mut ev = Evaluator::new(&ctx);
+//!
+//! let ct = enc.encrypt(&[1.0, 2.0, 3.0]);
+//! let doubled = ev.add(&ct, &ct);
+//! let out = dec.decrypt(&doubled);
+//! assert!((out[1] - 4.0).abs() < 1e-2);
+//! ```
+
+pub mod cipher;
+pub mod context;
+pub mod encoding;
+pub mod encrypt;
+pub mod eval;
+pub mod keys;
+pub mod linalg;
+pub mod noise;
+pub mod params;
+pub mod security;
+pub mod serialize;
+pub mod trace;
+
+pub use cipher::{Ciphertext, Plaintext};
+pub use context::CkksContext;
+pub use encoding::CkksEncoder;
+pub use encrypt::{Decryptor, Encryptor};
+pub use eval::Evaluator;
+pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, RelinKey, SecretKey};
+pub use noise::NoiseEstimate;
+pub use params::{CkksParams, ParamsError};
+pub use serialize::DecodeError;
+pub use security::{estimate_security, SecurityLevel};
+pub use trace::{HeOpKind, HeOpRecord, OpTrace};

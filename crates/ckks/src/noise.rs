@@ -1,0 +1,305 @@
+//! Analytic noise tracking for RNS-CKKS.
+//!
+//! CKKS is approximate: every operation adds or amplifies noise, and the
+//! message survives only while `noise ≪ scale`. This module implements
+//! the standard canonical-embedding noise heuristics so users can budget
+//! a computation *before* running it — the same bookkeeping that justifies
+//! the paper's choice of `L = 7` for multiplication-depth-5 networks.
+//!
+//! Estimates track the standard deviation of the coefficient-domain
+//! noise; the *slot* error after decoding is roughly
+//! `noise_std · sqrt(N) / scale`.
+
+use crate::context::CkksContext;
+
+/// Standard deviation of the error distribution (HE standard).
+const SIGMA: f64 = 3.2;
+
+/// An analytic estimate of a ciphertext's noise and scale state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseEstimate {
+    /// Standard deviation of the coefficient-domain noise.
+    pub noise_std: f64,
+    /// Current ciphertext scale Δ.
+    pub scale: f64,
+    /// Current level (active RNS primes).
+    pub level: usize,
+}
+
+impl NoiseEstimate {
+    /// Noise of a fresh public-key encryption at the top level.
+    ///
+    /// Fresh noise is `e0 + u·e + e1·s` with ternary `u, s`: standard
+    /// deviation ≈ `σ · sqrt(4N/3 + 1)`.
+    pub fn fresh(ctx: &CkksContext) -> Self {
+        let n = ctx.degree() as f64;
+        Self {
+            noise_std: SIGMA * (4.0 * n / 3.0 + 1.0).sqrt(),
+            scale: ctx.params().scale(),
+            level: ctx.max_level(),
+        }
+    }
+
+    /// Expected absolute slot error after decryption and decoding.
+    pub fn slot_error(&self, ctx: &CkksContext) -> f64 {
+        self.noise_std * (ctx.degree() as f64).sqrt() / self.scale
+    }
+
+    /// Remaining "noise budget" in bits: `log2(scale / noise_std)`.
+    /// Decryption is meaningful while this stays comfortably positive.
+    pub fn budget_bits(&self) -> f64 {
+        (self.scale / self.noise_std).log2()
+    }
+
+    /// Noise after a ciphertext + ciphertext addition.
+    pub fn after_add(&self, other: &NoiseEstimate) -> Self {
+        assert_eq!(self.level, other.level, "addition needs matching levels");
+        Self {
+            noise_std: (self.noise_std.powi(2) + other.noise_std.powi(2)).sqrt(),
+            scale: self.scale,
+            level: self.level,
+        }
+    }
+
+    /// Noise after a plaintext multiplication, where the plaintext
+    /// encodes values bounded by `value_bound` at scale `pt_scale`.
+    ///
+    /// The old noise is amplified by the plaintext magnitude (≈
+    /// `pt_scale · value_bound`), plus the encoding-rounding error times
+    /// the message magnitude (absorbed into the same bound).
+    pub fn after_mul_plain(&self, pt_scale: f64, value_bound: f64) -> Self {
+        Self {
+            noise_std: self.noise_std * pt_scale * value_bound.max(1.0),
+            scale: self.scale * pt_scale,
+            level: self.level,
+        }
+    }
+
+    /// Noise after a ciphertext × ciphertext multiplication, where the
+    /// two messages are bounded by `bound_a`, `bound_b` (pre-scaling).
+    pub fn after_mul(
+        &self,
+        other: &NoiseEstimate,
+        bound_self: f64,
+        bound_other: f64,
+    ) -> Self {
+        assert_eq!(self.level, other.level, "CCmult needs matching levels");
+        // n_out ≈ n1·|m2|·Δ2 + n2·|m1|·Δ1 + n1·n2
+        let cross1 = self.noise_std * bound_other.max(1.0) * other.scale;
+        let cross2 = other.noise_std * bound_self.max(1.0) * self.scale;
+        let quad = self.noise_std * other.noise_std;
+        Self {
+            noise_std: (cross1.powi(2) + cross2.powi(2) + quad.powi(2)).sqrt(),
+            scale: self.scale * other.scale,
+            level: self.level,
+        }
+    }
+
+    /// Noise after rescaling by the level's last prime.
+    ///
+    /// The old noise divides by `q`; rounding adds ≈
+    /// `sqrt(N/12 · (1 + 2N/3))`-ish, approximated by the dominant
+    /// `sqrt(N/12) · sqrt(1 + N·2/3)` term from rounding against the
+    /// ternary secret.
+    pub fn after_rescale(&self, ctx: &CkksContext) -> Self {
+        assert!(self.level >= 2, "cannot rescale below level 1");
+        let q = ctx.dropped_prime_at(self.level) as f64;
+        let n = ctx.degree() as f64;
+        let rounding = (n / 12.0).sqrt() * (1.0 + 2.0 * n / 3.0).sqrt();
+        Self {
+            noise_std: ((self.noise_std / q).powi(2) + rounding.powi(2)).sqrt(),
+            scale: self.scale / q,
+            level: self.level - 1,
+        }
+    }
+
+    /// Noise added by one key switch (relinearization or rotation).
+    ///
+    /// With per-prime digits and special prime `p`, the switch
+    /// contributes ≈ `sqrt(L) · q_max · sqrt(N/12) · σ / p` plus the
+    /// mod-down rounding.
+    pub fn after_key_switch(&self, ctx: &CkksContext) -> Self {
+        let n = ctx.degree() as f64;
+        let l = self.level as f64;
+        let q_max = ctx.moduli_at(self.level)
+            .iter()
+            .copied()
+            .max()
+            .expect("non-empty") as f64;
+        // Digit magnitude: group_size primes per digit; the special
+        // product P suppresses it after mod-down.
+        let group = ctx.params().digit_group_size() as f64;
+        let digit_mag = q_max.powf(group);
+        let p = ctx.special_product_f64();
+        let switch = (l).sqrt() * digit_mag * (n / 12.0).sqrt() * SIGMA / p;
+        let rounding = (n / 12.0).sqrt() * (1.0 + 2.0 * n / 3.0).sqrt();
+        Self {
+            noise_std: (self.noise_std.powi(2) + switch.powi(2) + rounding.powi(2)).sqrt(),
+            scale: self.scale,
+            level: self.level,
+        }
+    }
+
+    /// Noise after a slot rotation (automorphism is an isometry; only the
+    /// key switch contributes).
+    pub fn after_rotate(&self, ctx: &CkksContext) -> Self {
+        self.after_key_switch(ctx)
+    }
+}
+
+/// Plans the noise of a square-activation step (CCmult + relinearize +
+/// rescale) on a message bounded by `bound`.
+pub fn square_step(est: &NoiseEstimate, bound: f64, ctx: &CkksContext) -> NoiseEstimate {
+    est.after_mul(est, bound, bound)
+        .after_key_switch(ctx)
+        .after_rescale(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::eval::Evaluator;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> CkksContext {
+        CkksContext::new(CkksParams::insecure_toy(4))
+    }
+
+    /// Measures the actual coefficient noise of a ciphertext holding
+    /// (approximately) known slot values.
+    fn measured_noise(
+        ctx: &CkksContext,
+        dec: &Decryptor<'_>,
+        ct: &crate::cipher::Ciphertext,
+        expected_slots: &[f64],
+    ) -> f64 {
+        let got = dec.decrypt(ct);
+        let err_rms = expected_slots
+            .iter()
+            .zip(&got)
+            .map(|(&e, &g)| (e - g).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / (expected_slots.len() as f64).sqrt();
+        // slot error ~ noise_std * sqrt(N) / scale  => invert
+        err_rms * ct.scale() / (ctx.degree() as f64).sqrt()
+    }
+
+    #[test]
+    fn fresh_estimate_matches_measurement_within_an_order() {
+        let ctx = setup();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(2));
+        let dec = Decryptor::new(&ctx, sk);
+
+        let slots = ctx.degree() / 2;
+        let values: Vec<f64> = (0..slots).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let ct = enc.encrypt(&values);
+        let est = NoiseEstimate::fresh(&ctx);
+        let measured = measured_noise(&ctx, &dec, &ct, &values);
+        let ratio = est.noise_std / measured.max(1e-9);
+        assert!(
+            (0.05..=50.0).contains(&ratio),
+            "estimate {:.1} vs measured {:.1} (ratio {ratio:.2})",
+            est.noise_std,
+            measured
+        );
+    }
+
+    #[test]
+    fn addition_grows_noise_sublinearly() {
+        let ctx = setup();
+        let fresh = NoiseEstimate::fresh(&ctx);
+        let sum = fresh.after_add(&fresh);
+        assert!(sum.noise_std > fresh.noise_std);
+        assert!(sum.noise_std < 2.0 * fresh.noise_std, "RSS, not sum");
+        assert_eq!(sum.level, fresh.level);
+    }
+
+    #[test]
+    fn rescale_divides_noise_and_scale() {
+        let ctx = setup();
+        let fresh = NoiseEstimate::fresh(&ctx);
+        let big = fresh.after_mul_plain(ctx.dropped_prime_at(fresh.level) as f64, 1.0);
+        let rescaled = big.after_rescale(&ctx);
+        assert_eq!(rescaled.level, fresh.level - 1);
+        assert!(rescaled.noise_std < big.noise_std / 100.0);
+        assert!((rescaled.scale - fresh.scale).abs() / fresh.scale < 1e-9);
+    }
+
+    #[test]
+    fn budget_survives_depth_three_squares() {
+        // L = 4 supports 3 squarings; the budget should stay positive.
+        let ctx = setup();
+        let mut est = NoiseEstimate::fresh(&ctx);
+        let mut bound = 1.5f64;
+        for depth in 0..3 {
+            est = square_step(&est, bound, &ctx);
+            bound = bound * bound;
+            assert!(
+                est.budget_bits() > 2.0,
+                "budget exhausted at depth {depth}: {:.1} bits",
+                est.budget_bits()
+            );
+        }
+        assert_eq!(est.level, 1);
+    }
+
+    #[test]
+    fn keyswitch_noise_is_small_relative_to_scale() {
+        // The special prime suppresses key-switch noise far below Δ.
+        let ctx = setup();
+        let fresh = NoiseEstimate::fresh(&ctx);
+        let rotated = fresh.after_rotate(&ctx);
+        assert!(rotated.noise_std < fresh.scale / 100.0);
+        assert!(rotated.noise_std >= fresh.noise_std, "noise cannot shrink");
+    }
+
+    #[test]
+    fn predicted_square_noise_tracks_measured() {
+        let ctx = setup();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(3));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let rk = kg.relin_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(4));
+        let dec = Decryptor::new(&ctx, sk);
+        let mut ev = Evaluator::new(&ctx);
+
+        let slots = ctx.degree() / 2;
+        let values: Vec<f64> = (0..slots).map(|i| ((i % 5) as f64) / 2.0 - 1.0).collect();
+        let expected: Vec<f64> = values.iter().map(|&v| v * v).collect();
+        let ct = enc.encrypt(&values);
+        let sq = ev.square(&ct);
+        let lin = ev.relinearize(&sq, &rk);
+        let out = ev.rescale(&lin);
+
+        let est = square_step(&NoiseEstimate::fresh(&ctx), 1.0, &ctx);
+        let measured = measured_noise(&ctx, &dec, &out, &expected);
+        // Heuristic bound: prediction within two orders of magnitude and
+        // not an underestimate by more than 10x.
+        let ratio = est.noise_std / measured.max(1e-9);
+        assert!(
+            (0.1..=500.0).contains(&ratio),
+            "estimate {:.2} vs measured {:.2}",
+            est.noise_std,
+            measured
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "matching levels")]
+    fn add_estimate_rejects_level_mismatch() {
+        let ctx = setup();
+        let a = NoiseEstimate::fresh(&ctx);
+        let mut b = a;
+        b.level -= 1;
+        a.after_add(&b);
+    }
+}

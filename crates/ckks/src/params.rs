@@ -1,0 +1,305 @@
+//! RNS-CKKS parameter sets.
+//!
+//! A parameter set fixes the ring degree `N`, the modulus chain (number of
+//! levels `L` and per-prime bit width), the key-switching special prime
+//! width and the default encoding scale. The two presets used throughout
+//! the paper's evaluation are provided as constructors:
+//!
+//! * [`CkksParams::fxhenn_mnist`] — `N = 8192`, `L = 7`, 30-bit primes
+//!   (`log Q = 210`, 128-bit security);
+//! * [`CkksParams::fxhenn_cifar10`] — `N = 16384`, `L = 7`, 36-bit primes
+//!   (`log Q = 252`, 192-bit security).
+
+use crate::security::{estimate_security, SecurityLevel};
+
+/// Errors arising when validating a parameter set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// Ring degree is not a power of two, or too small.
+    BadDegree(usize),
+    /// Level count must be at least 1.
+    NoLevels,
+    /// Prime bit width outside the supported 14..=60 range.
+    BadPrimeBits(u32),
+    /// Special prime width outside the supported 14..=60 range.
+    BadSpecialBits(u32),
+    /// Scale must be positive and finite.
+    BadScale(f64),
+    /// Key-switch digit count outside `1..=L`.
+    BadDigits {
+        /// Requested digit count.
+        dnum: usize,
+        /// Available levels.
+        levels: usize,
+    },
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::BadDegree(n) => {
+                write!(f, "ring degree {n} must be a power of two of at least 8")
+            }
+            ParamsError::NoLevels => f.write_str("parameter set needs at least one level"),
+            ParamsError::BadPrimeBits(b) => write!(f, "prime width {b} outside 14..=60"),
+            ParamsError::BadSpecialBits(b) => {
+                write!(f, "special prime width {b} outside 14..=60")
+            }
+            ParamsError::BadScale(s) => write!(f, "scale {s} must be positive and finite"),
+            ParamsError::BadDigits { dnum, levels } => {
+                write!(f, "key-switch digit count {dnum} outside 1..={levels}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// A validated RNS-CKKS parameter set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksParams {
+    n: usize,
+    levels: usize,
+    prime_bits: u32,
+    special_bits: u32,
+    scale: f64,
+    ks_digits: usize,
+}
+
+impl CkksParams {
+    /// Creates a parameter set.
+    ///
+    /// `n` — ring degree (power of two); `levels` — number of RNS primes
+    /// `L` in the ciphertext modulus; `prime_bits` — width of each
+    /// coefficient prime; `special_bits` — width of the key-switching
+    /// special prime (usually wider than `prime_bits` to suppress
+    /// key-switching noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamsError`] if any field is out of range.
+    pub fn new(
+        n: usize,
+        levels: usize,
+        prime_bits: u32,
+        special_bits: u32,
+    ) -> Result<Self, ParamsError> {
+        if !n.is_power_of_two() || n < 8 {
+            return Err(ParamsError::BadDegree(n));
+        }
+        if levels == 0 {
+            return Err(ParamsError::NoLevels);
+        }
+        if !(14..=60).contains(&prime_bits) {
+            return Err(ParamsError::BadPrimeBits(prime_bits));
+        }
+        if !(14..=60).contains(&special_bits) {
+            return Err(ParamsError::BadSpecialBits(special_bits));
+        }
+        Ok(Self {
+            n,
+            levels,
+            prime_bits,
+            special_bits,
+            scale: (prime_bits as f64).exp2(),
+            ks_digits: levels,
+        })
+    }
+
+    /// Sets the number of key-switching digits `dnum` (default: one per
+    /// prime, `dnum = L`). Smaller `dnum` groups several primes per
+    /// digit — fewer, larger key components (HEAX-style hybrid key
+    /// switching) at the cost of `ceil(L/dnum)` special primes instead
+    /// of one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError::BadDigits`] unless `1 <= dnum <= L`.
+    pub fn with_key_switch_digits(mut self, dnum: usize) -> Result<Self, ParamsError> {
+        if dnum == 0 || dnum > self.levels {
+            return Err(ParamsError::BadDigits {
+                dnum,
+                levels: self.levels,
+            });
+        }
+        self.ks_digits = dnum;
+        Ok(self)
+    }
+
+    /// Overrides the default encoding scale (`2^prime_bits`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError::BadScale`] unless the scale is positive and
+    /// finite.
+    pub fn with_scale(mut self, scale: f64) -> Result<Self, ParamsError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ParamsError::BadScale(scale));
+        }
+        self.scale = scale;
+        Ok(self)
+    }
+
+    /// The FxHENN-MNIST parameter preset: `N = 8192`, 30-bit `q_i`,
+    /// `L = 7` (`log Q = 210`), 45-bit special prime.
+    pub fn fxhenn_mnist() -> Self {
+        Self::new(8192, 7, 30, 45).expect("preset is valid")
+    }
+
+    /// The FxHENN-CIFAR10 parameter preset: `N = 16384`, 36-bit `q_i`,
+    /// `L = 7` (`log Q = 252`), 49-bit special prime.
+    pub fn fxhenn_cifar10() -> Self {
+        Self::new(16384, 7, 36, 49).expect("preset is valid")
+    }
+
+    /// A small insecure preset for fast functional tests: `N = 1024`.
+    pub fn insecure_toy(levels: usize) -> Self {
+        Self::new(1024, levels, 30, 45).expect("preset is valid")
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Number of plaintext slots (`N / 2`).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Number of coefficient primes `L`.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Width of each coefficient prime, in bits.
+    #[inline]
+    pub fn prime_bits(&self) -> u32 {
+        self.prime_bits
+    }
+
+    /// Width of the key-switching special prime(s), in bits.
+    #[inline]
+    pub fn special_bits(&self) -> u32 {
+        self.special_bits
+    }
+
+    /// Number of key-switching digits `dnum` (default `L`).
+    #[inline]
+    pub fn key_switch_digits(&self) -> usize {
+        self.ks_digits
+    }
+
+    /// Primes per key-switch digit (`ceil(L / dnum)`), which is also the
+    /// number of special primes the context generates.
+    #[inline]
+    pub fn digit_group_size(&self) -> usize {
+        self.levels.div_ceil(self.ks_digits)
+    }
+
+    /// Default encoding scale Δ.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Nominal ciphertext modulus width `log2 Q ≈ L · prime_bits`.
+    #[inline]
+    pub fn total_modulus_bits(&self) -> u32 {
+        self.levels as u32 * self.prime_bits
+    }
+
+    /// Classical security of this set (counting `Q` only, as the paper's
+    /// Table VII does).
+    pub fn security(&self) -> SecurityLevel {
+        estimate_security(self.n, self.total_modulus_bits())
+    }
+
+    /// Size in bytes of one freshly encrypted ciphertext (two polynomials
+    /// of `L` residues of `N` words), the figure behind the paper's
+    /// "5–6 orders of magnitude" ciphertext expansion claim.
+    pub fn fresh_ciphertext_bytes(&self) -> usize {
+        2 * self.levels * self.n * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let m = CkksParams::fxhenn_mnist();
+        assert_eq!(m.degree(), 8192);
+        assert_eq!(m.levels(), 7);
+        assert_eq!(m.total_modulus_bits(), 210);
+        assert_eq!(m.security(), SecurityLevel::Bits128);
+        assert_eq!(m.slot_count(), 4096);
+
+        let c = CkksParams::fxhenn_cifar10();
+        assert_eq!(c.degree(), 16384);
+        assert_eq!(c.total_modulus_bits(), 252);
+        assert_eq!(c.security(), SecurityLevel::Bits192);
+    }
+
+    #[test]
+    fn default_scale_is_two_to_prime_bits() {
+        let p = CkksParams::new(1024, 3, 30, 45).unwrap();
+        assert_eq!(p.scale(), (2f64).powi(30));
+        let p = p.with_scale(1e9).unwrap();
+        assert_eq!(p.scale(), 1e9);
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        assert_eq!(
+            CkksParams::new(1000, 3, 30, 45),
+            Err(ParamsError::BadDegree(1000))
+        );
+        assert_eq!(CkksParams::new(1024, 0, 30, 45), Err(ParamsError::NoLevels));
+        assert_eq!(
+            CkksParams::new(1024, 3, 61, 45),
+            Err(ParamsError::BadPrimeBits(61))
+        );
+        assert_eq!(
+            CkksParams::new(1024, 3, 30, 13),
+            Err(ParamsError::BadSpecialBits(13))
+        );
+        assert!(CkksParams::insecure_toy(3).with_scale(f64::NAN).is_err());
+        assert!(CkksParams::insecure_toy(3).with_scale(-2.0).is_err());
+    }
+
+    #[test]
+    fn digit_configuration_defaults_and_validates() {
+        let p = CkksParams::insecure_toy(6);
+        assert_eq!(p.key_switch_digits(), 6);
+        assert_eq!(p.digit_group_size(), 1);
+        let p2 = p.clone().with_key_switch_digits(2).unwrap();
+        assert_eq!(p2.key_switch_digits(), 2);
+        assert_eq!(p2.digit_group_size(), 3);
+        let p3 = p.clone().with_key_switch_digits(4).unwrap();
+        assert_eq!(p3.digit_group_size(), 2);
+        assert!(matches!(
+            p.clone().with_key_switch_digits(0),
+            Err(ParamsError::BadDigits { .. })
+        ));
+        assert!(p.with_key_switch_digits(7).is_err());
+    }
+
+    #[test]
+    fn ciphertext_size_shows_expansion() {
+        // A fresh MNIST ciphertext is ~917 KiB for a 4096-value message:
+        // 5-6 orders of magnitude over the raw pixels, as the paper notes.
+        let m = CkksParams::fxhenn_mnist();
+        assert_eq!(m.fresh_ciphertext_bytes(), 2 * 7 * 8192 * 8);
+    }
+
+    #[test]
+    fn errors_display_reasonably() {
+        let e = CkksParams::new(1000, 3, 30, 45).unwrap_err();
+        assert!(e.to_string().contains("power of two"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Security estimation per the HomomorphicEncryption.org standard.
+//!
+//! The paper selects `N = 8192, log Q = 210` for FxHENN-MNIST (targeting
+//! 128-bit security) and `N = 16384, log Q = 252` for FxHENN-CIFAR10
+//! (192-bit), citing the standard parameter tables [1], [8]. This module
+//! reproduces the classical-hardness table for ternary secrets so
+//! parameter sets can be validated programmatically.
+
+/// Classical security level of a parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SecurityLevel {
+    /// Modulus too large for the ring degree: below 128-bit security.
+    Insecure,
+    /// At least 128-bit classical security.
+    Bits128,
+    /// At least 192-bit classical security.
+    Bits192,
+    /// At least 256-bit classical security.
+    Bits256,
+}
+
+impl SecurityLevel {
+    /// Numeric bit strength (0 for [`SecurityLevel::Insecure`]).
+    pub fn bits(self) -> u32 {
+        match self {
+            SecurityLevel::Insecure => 0,
+            SecurityLevel::Bits128 => 128,
+            SecurityLevel::Bits192 => 192,
+            SecurityLevel::Bits256 => 256,
+        }
+    }
+}
+
+impl std::fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecurityLevel::Insecure => f.write_str("<128-bit (insecure)"),
+            SecurityLevel::Bits128 => f.write_str("128-bit"),
+            SecurityLevel::Bits192 => f.write_str("192-bit"),
+            SecurityLevel::Bits256 => f.write_str("256-bit"),
+        }
+    }
+}
+
+/// Maximum `log2 Q` for (128, 192, 256)-bit classical security with
+/// ternary secret, per the HE standard.
+const STANDARD_TABLE: &[(usize, [u32; 3])] = &[
+    (1024, [27, 19, 14]),
+    (2048, [54, 37, 29]),
+    (4096, [109, 75, 58]),
+    (8192, [218, 152, 118]),
+    (16384, [438, 305, 237]),
+    (32768, [881, 611, 476]),
+];
+
+/// Returns the maximum ciphertext-modulus width (bits) admissible at the
+/// given security target, or `None` if the ring degree is not tabulated.
+pub fn max_modulus_bits(n: usize, target: SecurityLevel) -> Option<u32> {
+    let idx = match target {
+        SecurityLevel::Bits128 => 0,
+        SecurityLevel::Bits192 => 1,
+        SecurityLevel::Bits256 => 2,
+        SecurityLevel::Insecure => return None,
+    };
+    STANDARD_TABLE
+        .iter()
+        .find(|(deg, _)| *deg == n)
+        .map(|(_, caps)| caps[idx])
+}
+
+/// Classifies the classical security of a `(N, log2 Q)` pair.
+///
+/// Rings smaller than 1024 are always classified [`SecurityLevel::Insecure`]
+/// (they exist in this library for fast functional testing only). Degrees
+/// above the table are conservatively matched to the largest tabulated
+/// ring.
+///
+/// Like the paper (Table VII), the modulus counted here is the ciphertext
+/// modulus `Q` — the key-switching special modulus is reported separately.
+///
+/// # Examples
+///
+/// ```
+/// use fxhenn_ckks::security::{estimate_security, SecurityLevel};
+/// // FxHENN-MNIST: N = 8192, log Q = 210
+/// assert_eq!(estimate_security(8192, 210), SecurityLevel::Bits128);
+/// // FxHENN-CIFAR10: N = 16384, log Q = 252
+/// assert_eq!(estimate_security(16384, 252), SecurityLevel::Bits192);
+/// ```
+pub fn estimate_security(n: usize, total_modulus_bits: u32) -> SecurityLevel {
+    let row = STANDARD_TABLE
+        .iter()
+        .rev()
+        .find(|(deg, _)| *deg <= n)
+        .map(|(_, caps)| caps);
+    let Some(caps) = row else {
+        return SecurityLevel::Insecure;
+    };
+    if total_modulus_bits <= caps[2] {
+        SecurityLevel::Bits256
+    } else if total_modulus_bits <= caps[1] {
+        SecurityLevel::Bits192
+    } else if total_modulus_bits <= caps[0] {
+        SecurityLevel::Bits128
+    } else {
+        SecurityLevel::Insecure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameter_sets_classify_as_claimed() {
+        // Table VII: FxHENN MNIST row claims lambda = 128 at N = 2^13, Q = 210.
+        assert_eq!(estimate_security(8192, 210), SecurityLevel::Bits128);
+        // CIFAR10 row claims lambda = 192 at N = 2^14, Q = 252.
+        assert_eq!(estimate_security(16384, 252), SecurityLevel::Bits192);
+    }
+
+    #[test]
+    fn oversized_modulus_is_insecure() {
+        assert_eq!(estimate_security(8192, 219), SecurityLevel::Insecure);
+        assert_eq!(estimate_security(1024, 28), SecurityLevel::Insecure);
+    }
+
+    #[test]
+    fn small_modulus_reaches_256() {
+        assert_eq!(estimate_security(8192, 118), SecurityLevel::Bits256);
+        assert_eq!(estimate_security(8192, 119), SecurityLevel::Bits192);
+    }
+
+    #[test]
+    fn tiny_test_rings_are_insecure() {
+        assert_eq!(estimate_security(64, 30), SecurityLevel::Insecure);
+        assert_eq!(estimate_security(512, 20), SecurityLevel::Insecure);
+    }
+
+    #[test]
+    fn untabulated_large_ring_uses_largest_row() {
+        assert_eq!(estimate_security(65536, 881), SecurityLevel::Bits128);
+    }
+
+    #[test]
+    fn max_modulus_bits_matches_table() {
+        assert_eq!(max_modulus_bits(8192, SecurityLevel::Bits128), Some(218));
+        assert_eq!(max_modulus_bits(16384, SecurityLevel::Bits192), Some(305));
+        assert_eq!(max_modulus_bits(8192, SecurityLevel::Insecure), None);
+        assert_eq!(max_modulus_bits(1000, SecurityLevel::Bits128), None);
+    }
+
+    #[test]
+    fn ordering_reflects_strength() {
+        assert!(SecurityLevel::Insecure < SecurityLevel::Bits128);
+        assert!(SecurityLevel::Bits128 < SecurityLevel::Bits192);
+        assert!(SecurityLevel::Bits192 < SecurityLevel::Bits256);
+        assert_eq!(SecurityLevel::Bits192.bits(), 192);
+    }
+}

@@ -1,0 +1,450 @@
+//! Wire format for ciphertexts, plaintexts and key material.
+//!
+//! In the paper's deployment model the client encrypts locally and ships
+//! ciphertexts (and one-time evaluation keys) to the accelerator host, so
+//! a stable byte format is part of the system. The format is deliberately
+//! simple: a 4-byte magic, a version byte, a type tag, then little-endian
+//! integers — no external dependencies, fully self-describing for the
+//! shapes involved.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::keys::{GaloisKeys, KeySwitchKey, PublicKey, RelinKey};
+use fxhenn_math::poly::{Domain, RnsPoly};
+
+const MAGIC: &[u8; 4] = b"FXHE";
+const VERSION: u8 = 1;
+
+/// Type tags of the serializable objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    Ciphertext = 1,
+    Plaintext = 2,
+    PublicKey = 3,
+    RelinKey = 4,
+    GaloisKeys = 5,
+}
+
+/// Errors while decoding serialized material.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The type tag does not match the requested object.
+    WrongTag {
+        /// Tag found in the buffer.
+        found: u8,
+        /// Tag required by the decoder that was called.
+        expected: u8,
+    },
+    /// The buffer ended prematurely or carries inconsistent lengths.
+    Truncated,
+    /// A decoded field had an invalid value (e.g. zero degree).
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => f.write_str("bad magic bytes"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::WrongTag { found, expected } => {
+                write!(f, "wrong type tag {found}, expected {expected}")
+            }
+            DecodeError::Truncated => f.write_str("buffer truncated"),
+            DecodeError::InvalidField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: Tag) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.push(tag as u8);
+        Self { buf }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn poly(&mut self, p: &RnsPoly) {
+        self.u64(p.degree() as u64);
+        self.u64(p.level_count() as u64);
+        self.u64(match p.domain() {
+            Domain::Coeff => 0,
+            Domain::Ntt => 1,
+        });
+        for i in 0..p.level_count() {
+            for &c in p.component(i) {
+                self.u64(c);
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], expected: Tag) -> Result<Self, DecodeError> {
+        if buf.len() < 6 {
+            return Err(DecodeError::Truncated);
+        }
+        if &buf[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        if buf[4] != VERSION {
+            return Err(DecodeError::BadVersion(buf[4]));
+        }
+        if buf[5] != expected as u8 {
+            return Err(DecodeError::WrongTag {
+                found: buf[5],
+                expected: expected as u8,
+            });
+        }
+        Ok(Self { buf, pos: 6 })
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn poly(&mut self) -> Result<RnsPoly, DecodeError> {
+        let n = self.u64()? as usize;
+        if n == 0 || !n.is_power_of_two() || n > (1 << 20) {
+            return Err(DecodeError::InvalidField("degree"));
+        }
+        let levels = self.u64()? as usize;
+        if levels == 0 || levels > 64 {
+            return Err(DecodeError::InvalidField("level count"));
+        }
+        let domain = match self.u64()? {
+            0 => Domain::Coeff,
+            1 => Domain::Ntt,
+            _ => return Err(DecodeError::InvalidField("domain")),
+        };
+        let mut residues = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let mut comp = Vec::with_capacity(n);
+            for _ in 0..n {
+                comp.push(self.u64()?);
+            }
+            residues.push(comp);
+        }
+        Ok(RnsPoly::from_residues(residues, domain))
+    }
+
+    fn done(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::InvalidField("trailing bytes"))
+        }
+    }
+}
+
+/// Serializes a ciphertext.
+pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let mut w = Writer::new(Tag::Ciphertext);
+    w.f64(ct.scale());
+    w.u64(ct.size() as u64);
+    for p in ct.polys() {
+        w.poly(p);
+    }
+    w.finish()
+}
+
+/// Deserializes a ciphertext.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode_ciphertext(buf: &[u8]) -> Result<Ciphertext, DecodeError> {
+    let mut r = Reader::new(buf, Tag::Ciphertext)?;
+    let scale = r.f64()?;
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(DecodeError::InvalidField("scale"));
+    }
+    let size = r.u64()? as usize;
+    if !(2..=3).contains(&size) {
+        return Err(DecodeError::InvalidField("polynomial count"));
+    }
+    let polys = (0..size).map(|_| r.poly()).collect::<Result<Vec<_>, _>>()?;
+    r.done()?;
+    Ok(Ciphertext::new(polys, scale))
+}
+
+/// Serializes a plaintext.
+pub fn encode_plaintext(pt: &Plaintext) -> Vec<u8> {
+    let mut w = Writer::new(Tag::Plaintext);
+    w.f64(pt.scale());
+    w.poly(pt.poly());
+    w.finish()
+}
+
+/// Deserializes a plaintext.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode_plaintext(buf: &[u8]) -> Result<Plaintext, DecodeError> {
+    let mut r = Reader::new(buf, Tag::Plaintext)?;
+    let scale = r.f64()?;
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(DecodeError::InvalidField("scale"));
+    }
+    let poly = r.poly()?;
+    r.done()?;
+    Ok(Plaintext::new(poly, scale))
+}
+
+/// Serializes a public key.
+pub fn encode_public_key(pk: &PublicKey) -> Vec<u8> {
+    let mut w = Writer::new(Tag::PublicKey);
+    w.poly(&pk.b);
+    w.poly(&pk.a);
+    w.finish()
+}
+
+/// Deserializes a public key.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode_public_key(buf: &[u8]) -> Result<PublicKey, DecodeError> {
+    let mut r = Reader::new(buf, Tag::PublicKey)?;
+    let b = r.poly()?;
+    let a = r.poly()?;
+    r.done()?;
+    Ok(PublicKey { b, a })
+}
+
+fn write_ksk(w: &mut Writer, ksk: &KeySwitchKey) {
+    w.u64(ksk.digits.len() as u64);
+    for (b, a) in &ksk.digits {
+        w.poly(b);
+        w.poly(a);
+    }
+}
+
+fn read_ksk(r: &mut Reader<'_>) -> Result<KeySwitchKey, DecodeError> {
+    let n = r.u64()? as usize;
+    if n == 0 || n > 64 {
+        return Err(DecodeError::InvalidField("digit count"));
+    }
+    let mut digits = Vec::with_capacity(n);
+    for _ in 0..n {
+        let b = r.poly()?;
+        let a = r.poly()?;
+        digits.push((b, a));
+    }
+    Ok(KeySwitchKey { digits })
+}
+
+/// Serializes a relinearization key.
+pub fn encode_relin_key(rk: &RelinKey) -> Vec<u8> {
+    let mut w = Writer::new(Tag::RelinKey);
+    write_ksk(&mut w, &rk.0);
+    w.finish()
+}
+
+/// Deserializes a relinearization key.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode_relin_key(buf: &[u8]) -> Result<RelinKey, DecodeError> {
+    let mut r = Reader::new(buf, Tag::RelinKey)?;
+    let ksk = read_ksk(&mut r)?;
+    r.done()?;
+    Ok(RelinKey(ksk))
+}
+
+/// Serializes a set of Galois keys.
+pub fn encode_galois_keys(gks: &GaloisKeys) -> Vec<u8> {
+    let mut w = Writer::new(Tag::GaloisKeys);
+    let exps = gks.exponents();
+    w.u64(exps.len() as u64);
+    for g in exps {
+        w.u64(g as u64);
+        write_ksk(&mut w, gks.key(g).expect("listed exponent"));
+    }
+    w.finish()
+}
+
+/// Deserializes a set of Galois keys.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode_galois_keys(buf: &[u8]) -> Result<GaloisKeys, DecodeError> {
+    let mut r = Reader::new(buf, Tag::GaloisKeys)?;
+    let n = r.u64()? as usize;
+    if n > 4096 {
+        return Err(DecodeError::InvalidField("key count"));
+    }
+    let mut keys = std::collections::HashMap::new();
+    for _ in 0..n {
+        let g = r.u64()? as usize;
+        let ksk = read_ksk(&mut r)?;
+        keys.insert(g, ksk);
+    }
+    r.done()?;
+    Ok(GaloisKeys::from_map(keys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::eval::Evaluator;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams::insecure_toy(3))
+    }
+
+    #[test]
+    fn ciphertext_roundtrips_and_still_decrypts() {
+        let ctx = ctx();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(2));
+        let dec = Decryptor::new(&ctx, sk);
+
+        let values = [1.25, -3.5, 0.75];
+        let ct = enc.encrypt(&values);
+        let bytes = encode_ciphertext(&ct);
+        let back = decode_ciphertext(&bytes).expect("valid buffer");
+        assert_eq!(back, ct);
+        let out = dec.decrypt(&back);
+        assert!((out[0] - 1.25).abs() < 1e-2);
+        assert!((out[1] + 3.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn plaintext_roundtrips() {
+        let ctx = ctx();
+        let ev = Evaluator::new(&ctx);
+        let pt = ev.encode_at(&[2.5, -1.0], 1024.0, 2);
+        let bytes = encode_plaintext(&pt);
+        assert_eq!(decode_plaintext(&bytes).expect("valid"), pt);
+    }
+
+    #[test]
+    fn keys_roundtrip_and_still_work() {
+        let ctx = ctx();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(3));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let rk = kg.relin_key();
+        let gks = kg.galois_keys(&[1, 2]);
+
+        let pk2 = decode_public_key(&encode_public_key(&pk)).expect("valid");
+        let rk2 = decode_relin_key(&encode_relin_key(&rk)).expect("valid");
+        let gks2 = decode_galois_keys(&encode_galois_keys(&gks)).expect("valid");
+        assert_eq!(gks2.exponents(), gks.exponents());
+
+        // The decoded keys must actually evaluate correctly.
+        let mut enc = Encryptor::new(&ctx, pk2, StdRng::seed_from_u64(4));
+        let dec = Decryptor::new(&ctx, sk);
+        let mut ev = Evaluator::new(&ctx);
+        let ct = enc.encrypt(&[1.5, 2.0, 3.0]);
+        let sq = ev.square(&ct);
+        let lin = ev.relinearize(&sq, &rk2);
+        let out = ev.rescale(&lin);
+        let got = dec.decrypt(&out);
+        assert!((got[0] - 2.25).abs() < 0.1, "{}", got[0]);
+        let rot = ev.rotate(&ct, 1, &gks2);
+        let got_rot = dec.decrypt(&rot);
+        assert!((got_rot[0] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn wrong_tag_is_rejected() {
+        let ctx = ctx();
+        let ev = Evaluator::new(&ctx);
+        let pt = ev.encode_at(&[1.0], 1024.0, 2);
+        let bytes = encode_plaintext(&pt);
+        assert_eq!(
+            decode_ciphertext(&bytes).unwrap_err(),
+            DecodeError::WrongTag {
+                found: Tag::Plaintext as u8,
+                expected: Tag::Ciphertext as u8
+            }
+        );
+    }
+
+    #[test]
+    fn corrupted_buffers_are_rejected_not_panicking() {
+        let ctx = ctx();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(5));
+        let pk = kg.public_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(6));
+        let bytes = encode_ciphertext(&enc.encrypt(&[1.0]));
+
+        // Truncation at every prefix must fail cleanly.
+        for cut in [0usize, 3, 5, 6, 10, bytes.len() - 1] {
+            assert!(decode_ciphertext(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Magic corruption.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_ciphertext(&bad).unwrap_err(), DecodeError::BadMagic);
+        // Version corruption.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert_eq!(
+            decode_ciphertext(&bad).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(decode_ciphertext(&bad).is_err());
+    }
+
+    #[test]
+    fn sizes_match_payload_expectations() {
+        let ctx = ctx();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(7));
+        let pk = kg.public_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(8));
+        let ct = enc.encrypt(&[1.0]);
+        let bytes = encode_ciphertext(&ct);
+        // header 6 + scale 8 + count 8 + 2 polys x (24 + 3*1024*8)
+        assert_eq!(bytes.len(), 6 + 8 + 8 + 2 * (24 + 3 * 1024 * 8));
+    }
+}

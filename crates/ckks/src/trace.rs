@@ -1,0 +1,239 @@
+//! HE operation vocabulary and operation traces.
+//!
+//! The paper accounts its workloads in *HE operations* (HOPs): PCadd,
+//! PCmult, CCadd, CCmult, Rescale, and KeySwitch (covering both
+//! Relinearize and Rotate — Sec. II-A). [`HeOpKind`] is the shared
+//! vocabulary used by the evaluator (which can record what it executes),
+//! the HE-CNN lowering (which generates traces analytically) and the
+//! hardware model (which costs them).
+
+/// One homomorphic operation kind, as the paper enumerates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HeOpKind {
+    /// Ciphertext + ciphertext addition (paper "OP1").
+    CcAdd,
+    /// Plaintext + ciphertext addition.
+    PcAdd,
+    /// Plaintext × ciphertext multiplication (paper "OP2").
+    PcMult,
+    /// Ciphertext × ciphertext multiplication (paper "OP3"), excluding the
+    /// relinearization.
+    CcMult,
+    /// Rescale after a multiplication (paper "OP4").
+    Rescale,
+    /// Relinearization key switch (paper "OP5" KeySwitch).
+    Relinearize,
+    /// Rotation key switch (paper "OP5" KeySwitch).
+    Rotate,
+}
+
+impl HeOpKind {
+    /// All operation kinds, in a stable order.
+    pub const ALL: [HeOpKind; 7] = [
+        HeOpKind::CcAdd,
+        HeOpKind::PcAdd,
+        HeOpKind::PcMult,
+        HeOpKind::CcMult,
+        HeOpKind::Rescale,
+        HeOpKind::Relinearize,
+        HeOpKind::Rotate,
+    ];
+
+    /// True for the KeySwitch family (Relinearize and Rotate), the
+    /// operations the paper groups as "OP5".
+    pub fn is_key_switch(self) -> bool {
+        matches!(self, HeOpKind::Relinearize | HeOpKind::Rotate)
+    }
+
+    /// The paper's module label for this operation ("OP1" … "OP5").
+    pub fn module_label(self) -> &'static str {
+        match self {
+            HeOpKind::CcAdd | HeOpKind::PcAdd => "OP1",
+            HeOpKind::PcMult => "OP2",
+            HeOpKind::CcMult => "OP3",
+            HeOpKind::Rescale => "OP4",
+            HeOpKind::Relinearize | HeOpKind::Rotate => "OP5",
+        }
+    }
+}
+
+impl std::fmt::Display for HeOpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HeOpKind::CcAdd => "CCadd",
+            HeOpKind::PcAdd => "PCadd",
+            HeOpKind::PcMult => "PCmult",
+            HeOpKind::CcMult => "CCmult",
+            HeOpKind::Rescale => "Rescale",
+            HeOpKind::Relinearize => "Relinearize",
+            HeOpKind::Rotate => "Rotate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One executed (or planned) HE operation: the kind and the ciphertext
+/// level it runs at (the level determines its cost, Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeOpRecord {
+    /// The operation kind.
+    pub kind: HeOpKind,
+    /// Ciphertext level `L` at execution time (number of RNS components).
+    pub level: usize,
+}
+
+/// An ordered trace of HE operations with counting helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpTrace {
+    records: Vec<HeOpRecord>,
+}
+
+impl OpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operation.
+    pub fn record(&mut self, kind: HeOpKind, level: usize) {
+        self.records.push(HeOpRecord { kind, level });
+    }
+
+    /// Appends `count` identical operations.
+    pub fn record_many(&mut self, kind: HeOpKind, level: usize, count: usize) {
+        self.records
+            .extend(std::iter::repeat(HeOpRecord { kind, level }).take(count));
+    }
+
+    /// All records in execution order.
+    pub fn records(&self) -> &[HeOpRecord] {
+        &self.records
+    }
+
+    /// Total HOP count (every record counts as one HOP, as in the paper's
+    /// Table VI/VII accounting).
+    pub fn hop_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of KeySwitch operations (Relinearize + Rotate), the paper's
+    /// "KS" column.
+    pub fn key_switch_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.kind.is_key_switch())
+            .count()
+    }
+
+    /// Number of records of one kind.
+    pub fn count_of(&self, kind: HeOpKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// The set of distinct operation kinds, in `HeOpKind::ALL` order.
+    pub fn kinds_used(&self) -> Vec<HeOpKind> {
+        HeOpKind::ALL
+            .into_iter()
+            .filter(|&k| self.count_of(k) > 0)
+            .collect()
+    }
+
+    /// Extends this trace with another.
+    pub fn extend_from(&mut self, other: &OpTrace) {
+        self.records.extend_from_slice(other.records());
+    }
+
+    /// True if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl FromIterator<HeOpRecord> for OpTrace {
+    fn from_iter<T: IntoIterator<Item = HeOpRecord>>(iter: T) -> Self {
+        Self {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<HeOpRecord> for OpTrace {
+    fn extend<T: IntoIterator<Item = HeOpRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyswitch_classification_matches_paper() {
+        assert!(HeOpKind::Relinearize.is_key_switch());
+        assert!(HeOpKind::Rotate.is_key_switch());
+        for k in [
+            HeOpKind::CcAdd,
+            HeOpKind::PcAdd,
+            HeOpKind::PcMult,
+            HeOpKind::CcMult,
+            HeOpKind::Rescale,
+        ] {
+            assert!(!k.is_key_switch(), "{k} is not a key switch");
+        }
+    }
+
+    #[test]
+    fn module_labels_match_table1() {
+        assert_eq!(HeOpKind::CcAdd.module_label(), "OP1");
+        assert_eq!(HeOpKind::PcMult.module_label(), "OP2");
+        assert_eq!(HeOpKind::CcMult.module_label(), "OP3");
+        assert_eq!(HeOpKind::Rescale.module_label(), "OP4");
+        assert_eq!(HeOpKind::Relinearize.module_label(), "OP5");
+        assert_eq!(HeOpKind::Rotate.module_label(), "OP5");
+    }
+
+    #[test]
+    fn trace_counting() {
+        let mut t = OpTrace::new();
+        t.record_many(HeOpKind::PcMult, 7, 25);
+        t.record_many(HeOpKind::CcAdd, 7, 25);
+        t.record_many(HeOpKind::Rescale, 7, 25);
+        t.record(HeOpKind::Rotate, 6);
+        assert_eq!(t.hop_count(), 76);
+        assert_eq!(t.key_switch_count(), 1);
+        assert_eq!(t.count_of(HeOpKind::PcMult), 25);
+        assert_eq!(
+            t.kinds_used(),
+            vec![
+                HeOpKind::CcAdd,
+                HeOpKind::PcMult,
+                HeOpKind::Rescale,
+                HeOpKind::Rotate
+            ]
+        );
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = OpTrace::new();
+        a.record(HeOpKind::CcAdd, 3);
+        let mut b = OpTrace::new();
+        b.record(HeOpKind::Rotate, 2);
+        a.extend_from(&b);
+        assert_eq!(a.hop_count(), 2);
+        assert_eq!(a.records()[1].kind, HeOpKind::Rotate);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: OpTrace = (1..=3)
+            .map(|l| HeOpRecord {
+                kind: HeOpKind::Rescale,
+                level: l,
+            })
+            .collect();
+        assert_eq!(t.hop_count(), 3);
+        assert_eq!(t.records()[2].level, 3);
+    }
+}

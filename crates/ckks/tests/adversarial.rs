@@ -1,0 +1,171 @@
+//! Adversarial / failure-injection tests: the scheme must degrade the
+//! way lattice cryptography is supposed to — wrong keys and tampered
+//! ciphertexts yield garbage, never silently-plausible plaintexts, and
+//! malformed wire bytes are rejected without panicking.
+
+use fxhenn_ckks::serialize::{decode_ciphertext, encode_ciphertext};
+use fxhenn_ckks::{CkksContext, CkksParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> CkksContext {
+    CkksContext::new(CkksParams::insecure_toy(3))
+}
+
+/// A decryption is "garbage" when it misses every slot by a wide margin.
+fn is_garbage(got: &[f64], expected: &[f64], magnitude: f64) -> bool {
+    expected
+        .iter()
+        .zip(got)
+        .all(|(&e, &g)| (e - g).abs() > magnitude)
+}
+
+#[test]
+fn wrong_key_decrypts_to_garbage() {
+    let ctx = ctx();
+    let mut kg_a = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+    let pk_a = kg_a.public_key();
+    let kg_b = KeyGenerator::new(&ctx, StdRng::seed_from_u64(2));
+    let sk_b = kg_b.secret_key();
+
+    let mut enc = Encryptor::new(&ctx, pk_a, StdRng::seed_from_u64(3));
+    let values = [1.0, 2.0, 3.0, 4.0];
+    let ct = enc.encrypt(&values);
+
+    let wrong = Decryptor::new(&ctx, sk_b);
+    let got = wrong.decrypt(&ct);
+    assert!(
+        is_garbage(&got[..4], &values, 100.0),
+        "wrong-key decryption must not resemble the message: {:?}",
+        &got[..4]
+    );
+}
+
+#[test]
+fn tampered_ciphertext_decrypts_to_garbage() {
+    let ctx = ctx();
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(4));
+    let pk = kg.public_key();
+    let sk = kg.secret_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(5));
+    let values = [5.0, -2.0, 1.5];
+    let ct = enc.encrypt(&values);
+
+    // Flip bits in the serialized body (past the header + scale) and
+    // decode again: every residue word corrupted shifts the mask.
+    let mut bytes = encode_ciphertext(&ct);
+    let body_start = 6 + 8 + 8 + 24; // header, scale, count, first poly header
+    for i in 0..256 {
+        let idx = body_start + i * 64;
+        bytes[idx] ^= 0xA5;
+    }
+    let tampered = decode_ciphertext(&bytes).expect("shape still valid");
+    assert_ne!(tampered, ct);
+
+    let dec = Decryptor::new(&ctx, sk);
+    let got = dec.decrypt(&tampered);
+    assert!(
+        is_garbage(&got[..3], &values, 10.0),
+        "tampering must destroy the plaintext: {:?}",
+        &got[..3]
+    );
+}
+
+#[test]
+fn ciphertexts_from_different_contexts_are_incompatible_shapes() {
+    // Contexts of different degree produce polynomials the other context's
+    // operations reject loudly (degree assertions), rather than mixing.
+    let small = CkksContext::new(CkksParams::insecure_toy(2));
+    let large = CkksContext::new(CkksParams::new(2048, 2, 30, 45).expect("valid"));
+    let mut kg_s = KeyGenerator::new(&small, StdRng::seed_from_u64(6));
+    let pk_s = kg_s.public_key();
+    let mut enc_s = Encryptor::new(&small, pk_s, StdRng::seed_from_u64(7));
+    let ct_small = enc_s.encrypt(&[1.0]);
+
+    let ev_large = Evaluator::new(&large);
+    let pt = ev_large.encode_for_mul(&[1.0], 2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ev = Evaluator::new(&large);
+        ev.mul_plain(&ct_small, &pt)
+    }));
+    assert!(result.is_err(), "cross-context operation must panic");
+    drop(ev_large);
+}
+
+#[test]
+fn randomized_encryptions_do_not_leak_equality() {
+    // Encrypting the same message twice must produce ciphertexts whose
+    // polynomials differ in (essentially) every coefficient.
+    let ctx = ctx();
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(8));
+    let pk = kg.public_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(9));
+    let a = enc.encrypt(&[7.0; 16]);
+    let b = enc.encrypt(&[7.0; 16]);
+    let same = a
+        .poly(0)
+        .component(0)
+        .iter()
+        .zip(b.poly(0).component(0))
+        .filter(|(x, y)| x == y)
+        .count();
+    assert!(
+        same < 4,
+        "{same} equal coefficients out of 1024 — randomness looks broken"
+    );
+}
+
+#[test]
+fn noise_overflow_destroys_the_message_rather_than_rounding_it() {
+    // Squaring without rescaling blows the scale past Q: decryption must
+    // come back wrong (not subtly biased), demonstrating the level
+    // budget is real.
+    let ctx = ctx();
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(10));
+    let pk = kg.public_key();
+    let sk = kg.secret_key();
+    let rk = kg.relin_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(11));
+    let dec = Decryptor::new(&ctx, sk);
+    let mut ev = Evaluator::new(&ctx);
+
+    let x = 3.0f64;
+    let mut ct = enc.encrypt(&[x]);
+    // Three squarings without any rescale: scale = Δ^8 = 2^240 >> Q (~90 bits).
+    for _ in 0..3 {
+        let sq = ev.square(&ct);
+        ct = ev.relinearize(&sq, &rk);
+    }
+    let got = dec.decrypt(&ct);
+    let expected = x.powi(8);
+    assert!(
+        (got[0] - expected).abs() > expected * 0.5,
+        "scale overflow should destroy accuracy: got {} for {expected}",
+        got[0]
+    );
+}
+
+#[test]
+fn decode_never_panics_on_fuzzable_inputs() {
+    // A light fuzz: random byte strings and systematically corrupted
+    // valid buffers must return Err, never panic.
+    let ctx = ctx();
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(12));
+    let pk = kg.public_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(13));
+    let valid = encode_ciphertext(&enc.encrypt(&[1.0]));
+
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(14);
+    for len in [0usize, 1, 5, 6, 7, 64, 1024] {
+        let junk: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let _ = decode_ciphertext(&junk); // must not panic
+    }
+    // Corrupt the length fields specifically.
+    for offset in [6 + 8, 6 + 8 + 8, 6 + 8 + 8 + 8] {
+        let mut bad = valid.clone();
+        bad[offset] = 0xFF;
+        bad[offset + 1] = 0xFF;
+        let _ = decode_ciphertext(&bad); // must not panic
+    }
+}

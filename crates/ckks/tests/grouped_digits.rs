@@ -1,0 +1,178 @@
+//! Functional tests of hybrid key switching with grouped digits
+//! (`dnum < L`): multi-prime digits lifted by fast base conversion and
+//! mod-down over a multi-prime special basis. Every homomorphic
+//! operation that key-switches — relinearization and rotation — must
+//! stay correct at every digit configuration, at every level of the
+//! modulus chain.
+
+use fxhenn_ckks::{
+    CkksContext, CkksParams, Decryptor, Encryptor, Evaluator, KeyGenerator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn context(levels: usize, dnum: usize) -> CkksContext {
+    let params = CkksParams::insecure_toy(levels)
+        .with_key_switch_digits(dnum)
+        .expect("valid dnum");
+    CkksContext::new(params)
+}
+
+fn close(actual: &[f64], expected: &[f64], tol: f64, what: &str) {
+    for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            (a - e).abs() < tol,
+            "{what} slot {i}: {a} vs {e} (tol {tol})"
+        );
+    }
+}
+
+#[test]
+fn key_structure_shrinks_with_dnum() {
+    for (dnum, specials) in [(6usize, 1usize), (3, 2), (2, 3), (1, 6)] {
+        let ctx = context(6, dnum);
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+        let rk = kg.relin_key();
+        assert_eq!(ctx.key_switch_digits(), dnum);
+        assert_eq!(ctx.special_moduli().len(), specials);
+        // RelinKey digit count is visible through Debug only; exercise
+        // the public surface instead: keyswitching must work (below).
+        let _ = rk;
+    }
+}
+
+#[test]
+fn relinearization_works_at_every_dnum() {
+    let a = [1.5, -2.0, 3.0, 0.5];
+    let b = [2.0, 3.0, -1.5, 1.0];
+    let expected: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+
+    for dnum in [6usize, 3, 2, 1] {
+        let ctx = context(6, dnum);
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(2));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let rk = kg.relin_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(3));
+        let dec = Decryptor::new(&ctx, sk);
+        let mut ev = Evaluator::new(&ctx);
+
+        let ca = enc.encrypt(&a);
+        let cb = enc.encrypt(&b);
+        let tri = ev.mul(&ca, &cb);
+        let lin = ev.relinearize(&tri, &rk);
+        let out = ev.rescale(&lin);
+        close(
+            &dec.decrypt(&out)[..4],
+            &expected,
+            0.2,
+            &format!("dnum={dnum}"),
+        );
+    }
+}
+
+#[test]
+fn rotation_works_at_every_dnum() {
+    for dnum in [6usize, 3, 2] {
+        let ctx = context(6, dnum);
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(4));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let gks = kg.galois_keys(&[1, 3]);
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(5));
+        let dec = Decryptor::new(&ctx, sk);
+        let mut ev = Evaluator::new(&ctx);
+
+        let slots = ctx.degree() / 2;
+        let values: Vec<f64> = (0..slots).map(|i| (i % 30) as f64 / 3.0).collect();
+        let ct = enc.encrypt(&values);
+        for steps in [1usize, 3] {
+            let rot = ev.rotate(&ct, steps, &gks);
+            let out = dec.decrypt(&rot);
+            let expected: Vec<f64> = (0..8).map(|i| values[(i + steps) % slots]).collect();
+            close(&out[..8], &expected, 0.05, &format!("dnum={dnum} steps={steps}"));
+        }
+    }
+}
+
+#[test]
+fn keyswitch_stays_correct_down_the_level_chain() {
+    // Partial digit groups: at intermediate levels some digits cover a
+    // truncated group (or none at all). Drive a ciphertext down the
+    // chain with repeated squarings under dnum = 2 (group size 3).
+    let ctx = context(6, 2);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(6));
+    let pk = kg.public_key();
+    let sk = kg.secret_key();
+    let rk = kg.relin_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(7));
+    let dec = Decryptor::new(&ctx, sk);
+    let mut ev = Evaluator::new(&ctx);
+
+    let x = 1.1f64;
+    let mut ct = enc.encrypt(&[x]);
+    let mut expected = x;
+    for depth in 1..=5 {
+        let sq = ev.square(&ct);
+        let lin = ev.relinearize(&sq, &rk);
+        ct = ev.rescale(&lin);
+        expected = expected * expected;
+        let got = dec.decrypt(&ct)[0];
+        assert!(
+            (got - expected).abs() < 0.05 * expected.max(1.0),
+            "depth {depth} (level {}): {got} vs {expected}",
+            ct.level()
+        );
+    }
+    assert_eq!(ct.level(), 1);
+}
+
+#[test]
+fn grouped_and_per_prime_digits_agree() {
+    // The same computation under dnum = L and dnum = 2 must produce the
+    // same plaintext (up to noise).
+    let run = |dnum: usize| -> Vec<f64> {
+        let ctx = context(4, dnum);
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(8));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let rk = kg.relin_key();
+        let gks = kg.galois_keys(&[2]);
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(9));
+        let dec = Decryptor::new(&ctx, sk);
+        let mut ev = Evaluator::new(&ctx);
+        let ct = enc.encrypt(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let sq = ev.square(&ct);
+        let lin = ev.relinearize(&sq, &rk);
+        let down = ev.rescale(&lin);
+        let rot = ev.rotate(&down, 2, &gks);
+        dec.decrypt(&rot)[..6].to_vec()
+    };
+    let per_prime = run(4);
+    let grouped = run(2);
+    close(&grouped, &per_prime, 0.1, "dnum=2 vs dnum=4");
+    // And both match the plaintext expectation: squares rotated by 2.
+    let expected = [9.0, 16.0, 25.0, 36.0, 0.0, 0.0];
+    close(&per_prime[..4], &expected[..4], 0.3, "plaintext");
+}
+
+#[test]
+fn single_digit_dnum_one_works() {
+    // dnum = 1: a single digit covering the whole chain, specials = L.
+    let ctx = context(3, 1);
+    assert_eq!(ctx.special_moduli().len(), 3);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(10));
+    let pk = kg.public_key();
+    let sk = kg.secret_key();
+    let rk = kg.relin_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(11));
+    let dec = Decryptor::new(&ctx, sk);
+    let mut ev = Evaluator::new(&ctx);
+    let ct = enc.encrypt(&[2.0, -3.0]);
+    let sq = ev.square(&ct);
+    let lin = ev.relinearize(&sq, &rk);
+    let out = ev.rescale(&lin);
+    let got = dec.decrypt(&out);
+    assert!((got[0] - 4.0).abs() < 0.2, "{}", got[0]);
+    assert!((got[1] - 9.0).abs() < 0.2, "{}", got[1]);
+}

@@ -1,0 +1,24 @@
+//! The `fxhenn` command-line tool: design-flow runs, workload info and
+//! functional co-simulation from a shell.
+//!
+//! ```sh
+//! fxhenn design --model mnist --device acu9eg
+//! fxhenn info   --model cifar10
+//! fxhenn cosim  --seed 42
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fxhenn::cli::parse(&args).and_then(|cmd| fxhenn::cli::run(&cmd)) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

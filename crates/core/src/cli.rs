@@ -1,0 +1,290 @@
+//! Command-line interface (argument parsing and command execution) for
+//! the `fxhenn` binary.
+//!
+//! Kept dependency-free: arguments are `--key value` pairs parsed by
+//! hand. The binary in `src/bin/fxhenn.rs` is a thin wrapper so the
+//! parser and command logic stay unit-testable.
+
+use crate::flow::generate_accelerator;
+use crate::report::{layer_table, module_table, summary};
+use fxhenn_ckks::CkksParams;
+use fxhenn_hw::FpgaDevice;
+use fxhenn_nn::{fxhenn_cifar10, fxhenn_mnist, Network};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run the design flow for a model on a device.
+    Design {
+        /// "mnist" or "cifar10".
+        model: String,
+        /// "acu9eg" or "acu15eg".
+        device: String,
+    },
+    /// Functionally co-simulate a toy network (real encryption).
+    Cosim {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print workload information for a model.
+    Info {
+        /// "mnist" or "cifar10".
+        model: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse errors with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fxhenn — FPGA accelerator designs for HE-CNN inference
+
+USAGE:
+    fxhenn design --model <mnist|cifar10> --device <acu9eg|acu15eg>
+    fxhenn cosim  [--seed <u64>]
+    fxhenn info   --model <mnist|cifar10>
+    fxhenn help
+";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a usage hint on unknown commands or
+/// missing/invalid flags.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("design") => {
+            let model = flag_value(args, "--model")
+                .ok_or_else(|| CliError("design needs --model <mnist|cifar10>".into()))?;
+            let device = flag_value(args, "--device")
+                .ok_or_else(|| CliError("design needs --device <acu9eg|acu15eg>".into()))?;
+            validate_model(model)?;
+            validate_device(device)?;
+            Ok(Command::Design {
+                model: model.to_string(),
+                device: device.to_string(),
+            })
+        }
+        Some("cosim") => {
+            let seed = match flag_value(args, "--seed") {
+                None => 7,
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| CliError(format!("--seed must be an integer, got {s:?}")))?,
+            };
+            Ok(Command::Cosim { seed })
+        }
+        Some("info") => {
+            let model = flag_value(args, "--model")
+                .ok_or_else(|| CliError("info needs --model <mnist|cifar10>".into()))?;
+            validate_model(model)?;
+            Ok(Command::Info {
+                model: model.to_string(),
+            })
+        }
+        Some(other) => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+fn validate_model(model: &str) -> Result<(), CliError> {
+    match model {
+        "mnist" | "cifar10" => Ok(()),
+        other => Err(CliError(format!(
+            "unknown model {other:?}: expected mnist or cifar10"
+        ))),
+    }
+}
+
+fn validate_device(device: &str) -> Result<(), CliError> {
+    match device {
+        "acu9eg" | "acu15eg" => Ok(()),
+        other => Err(CliError(format!(
+            "unknown device {other:?}: expected acu9eg or acu15eg"
+        ))),
+    }
+}
+
+fn model_of(name: &str) -> (Network, CkksParams) {
+    match name {
+        "mnist" => (fxhenn_mnist(42), CkksParams::fxhenn_mnist()),
+        "cifar10" => (fxhenn_cifar10(42), CkksParams::fxhenn_cifar10()),
+        _ => unreachable!("validated"),
+    }
+}
+
+fn device_of(name: &str) -> FpgaDevice {
+    match name {
+        "acu9eg" => FpgaDevice::acu9eg(),
+        "acu15eg" => FpgaDevice::acu15eg(),
+        _ => unreachable!("validated"),
+    }
+}
+
+/// Executes a parsed command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the flow fails (e.g. no feasible design).
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Design { model, device } => {
+            let (net, params) = model_of(model);
+            let dev = device_of(device);
+            let report = generate_accelerator(&net, &params, &dev)
+                .map_err(|e| CliError(e.to_string()))?;
+            Ok(format!(
+                "{}\n\nModules:\n{}\nLayers:\n{}",
+                summary(&report, &dev),
+                module_table(&report),
+                layer_table(&report)
+            ))
+        }
+        Command::Info { model } => {
+            let (net, params) = model_of(model);
+            let prog =
+                fxhenn_nn::lower_network(&net, params.degree(), params.levels());
+            let mut out = format!(
+                "{}: N={}, L={}, log2Q={}, {}\n{} HOPs, {} KeySwitches, {:.1} MB encoded model\n",
+                net.name(),
+                params.degree(),
+                params.levels(),
+                params.total_modulus_bits(),
+                params.security(),
+                prog.hop_count(),
+                prog.key_switch_count(),
+                prog.model_size_bytes() as f64 / (1024.0 * 1024.0),
+            );
+            for plan in &prog.layers {
+                out.push_str(&format!(
+                    "  {:<6} [{}] {:>6} HOPs {:>6} KS, level {} -> {}\n",
+                    plan.name,
+                    plan.class,
+                    plan.hop_count(),
+                    plan.key_switch_count(),
+                    plan.level_in,
+                    plan.level_out
+                ));
+            }
+            Ok(out)
+        }
+        Command::Cosim { seed } => {
+            let net = fxhenn_nn::toy_mnist_like(*seed);
+            let image = fxhenn_nn::synthetic_input(&net, *seed);
+            let report = fxhenn_sim::cosimulate(
+                &net,
+                &image,
+                CkksParams::insecure_toy(7),
+                *seed,
+            );
+            Ok(format!(
+                "toy network, seed {seed}\nplaintext logits: {:?}\ndecrypted logits: {:?}\n\
+                 max error {:.5}, argmax agrees: {}, trace matches: {}\n",
+                report.expected,
+                report.actual,
+                report.max_error,
+                report.argmax_agrees,
+                report.trace_matches()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_design_command() {
+        let cmd = parse(&args(&["design", "--model", "mnist", "--device", "acu9eg"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Design {
+                model: "mnist".into(),
+                device: "acu9eg".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_cosim_with_default_seed() {
+        assert_eq!(parse(&args(&["cosim"])).unwrap(), Command::Cosim { seed: 7 });
+        assert_eq!(
+            parse(&args(&["cosim", "--seed", "42"])).unwrap(),
+            Command::Cosim { seed: 42 }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_model_and_device() {
+        assert!(parse(&args(&["design", "--model", "resnet", "--device", "acu9eg"])).is_err());
+        assert!(parse(&args(&["design", "--model", "mnist", "--device", "vu9p"])).is_err());
+        assert!(parse(&args(&["design", "--model", "mnist"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_seed_and_unknown_command() {
+        assert!(parse(&args(&["cosim", "--seed", "abc"])).is_err());
+        assert!(parse(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn empty_and_help_yield_usage() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        let out = run(&Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn info_runs_for_mnist() {
+        let cmd = parse(&args(&["info", "--model", "mnist"])).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("FxHENN-MNIST"));
+        assert!(out.contains("HOPs"));
+        assert!(out.contains("Cnv1"));
+    }
+
+    #[test]
+    fn cosim_runs_and_agrees() {
+        let out = run(&Command::Cosim { seed: 3 }).unwrap();
+        assert!(out.contains("argmax agrees: true"), "{out}");
+        assert!(out.contains("trace matches: true"));
+    }
+
+    #[test]
+    fn design_runs_for_mnist_on_acu9eg() {
+        let cmd = Command::Design {
+            model: "mnist".into(),
+            device: "acu9eg".into(),
+        };
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("FxHENN-MNIST"));
+        assert!(out.contains("KeySwitch"));
+    }
+}

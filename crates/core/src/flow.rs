@@ -1,0 +1,148 @@
+//! The end-to-end FxHENN design flow (paper Fig. 1): HE-CNN model +
+//! FHE parameters + FPGA specification in, optimized accelerator design
+//! out.
+
+use fxhenn_ckks::{CkksParams, SecurityLevel};
+use fxhenn_dse::explore::{explore_default, ExploredPoint};
+use fxhenn_hw::FpgaDevice;
+use fxhenn_nn::{lower_network, HeCnnProgram, Network};
+use fxhenn_sim::{simulate, MeasuredResult, SimReport};
+
+/// Errors produced by the design flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// No design point satisfies the device's resource constraints.
+    NoFeasibleDesign {
+        /// Device that rejected every point.
+        device: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::NoFeasibleDesign { device } => {
+                write!(f, "no feasible accelerator design fits device {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// The complete output of one FxHENN flow run: the lowered program, the
+/// DSE-selected design and its simulated performance.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Source network name.
+    pub network_name: String,
+    /// Target device name.
+    pub device_name: String,
+    /// The lowered HE-CNN program (HOP/KS accounting, per-layer plans).
+    pub program: HeCnnProgram,
+    /// The optimal explored design point.
+    pub design: ExploredPoint,
+    /// Cycle-simulated execution of the design.
+    pub sim: SimReport,
+    /// Security classification of the parameter set.
+    pub security: SecurityLevel,
+    /// Designs enumerated by the DSE.
+    pub points_explored: usize,
+}
+
+impl DesignReport {
+    /// End-to-end inference latency in seconds (simulated).
+    pub fn latency_s(&self) -> f64 {
+        self.sim.total_seconds
+    }
+
+    /// The result as a [`MeasuredResult`] for reference comparisons.
+    pub fn measured(&self, device: &FpgaDevice) -> MeasuredResult {
+        MeasuredResult {
+            latency_s: self.latency_s(),
+            tdp_watts: device.tdp_watts(),
+        }
+    }
+}
+
+/// Runs the full FxHENN flow: lowers the network for the parameter set,
+/// explores the design space on the device, and simulates the optimum.
+///
+/// # Errors
+///
+/// Returns [`FlowError::NoFeasibleDesign`] when the device cannot host
+/// any configuration.
+///
+/// # Panics
+///
+/// Panics if the network does not fit the parameter set (insufficient
+/// slots or levels) — these are model/parameter mismatches, not device
+/// limitations.
+pub fn generate_accelerator(
+    net: &Network,
+    params: &CkksParams,
+    device: &FpgaDevice,
+) -> Result<DesignReport, FlowError> {
+    let program = lower_network(net, params.degree(), params.levels());
+    let dse = explore_default(&program, device, params.prime_bits());
+    let design = dse.best.ok_or_else(|| FlowError::NoFeasibleDesign {
+        device: device.name().to_string(),
+    })?;
+    let sim = simulate(&program, &design.point, device, params.prime_bits());
+    Ok(DesignReport {
+        network_name: net.name().to_string(),
+        device_name: device.name().to_string(),
+        program,
+        design,
+        sim,
+        security: params.security(),
+        points_explored: dse.points_enumerated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxhenn_nn::fxhenn_mnist;
+    use fxhenn_sim::{lola_reference, Dataset};
+
+    #[test]
+    fn mnist_flow_on_acu9eg_matches_paper_headline() {
+        let net = fxhenn_mnist(1);
+        let params = CkksParams::fxhenn_mnist();
+        let device = FpgaDevice::acu9eg();
+        let report = generate_accelerator(&net, &params, &device).expect("feasible");
+        // Paper Table VII: 0.24 s on ACU9EG.
+        assert!(
+            (0.08..=0.6).contains(&report.latency_s()),
+            "MNIST/ACU9EG latency = {:.3} s (paper 0.24 s)",
+            report.latency_s()
+        );
+        assert_eq!(report.security, SecurityLevel::Bits128);
+        assert!(report.points_explored > 1000);
+        // Speedup vs LoLa must be substantial (paper: 9.17x).
+        let speedup = report
+            .measured(&device)
+            .speedup_over(&lola_reference(Dataset::Mnist));
+        assert!(speedup > 3.0, "speedup over LoLa = {speedup:.1}x");
+    }
+
+    #[test]
+    fn acu15eg_is_at_least_as_fast_as_acu9eg() {
+        let net = fxhenn_mnist(1);
+        let params = CkksParams::fxhenn_mnist();
+        let a9 = generate_accelerator(&net, &params, &FpgaDevice::acu9eg()).unwrap();
+        let a15 = generate_accelerator(&net, &params, &FpgaDevice::acu15eg()).unwrap();
+        assert!(a15.latency_s() <= a9.latency_s() * 1.01);
+    }
+
+    #[test]
+    fn tiny_device_yields_no_feasible_design() {
+        let net = fxhenn_mnist(1);
+        let params = CkksParams::fxhenn_mnist();
+        let tiny = FpgaDevice::new("tiny", 128, 64, 0, 250.0, 5.0);
+        let err = generate_accelerator(&net, &params, &tiny).unwrap_err();
+        assert!(matches!(err, FlowError::NoFeasibleDesign { .. }));
+        assert!(err.to_string().contains("tiny"));
+    }
+}

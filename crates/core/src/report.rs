@@ -1,0 +1,119 @@
+//! Text rendering of design reports, shared by the examples and the
+//! table-regeneration benches.
+
+use crate::flow::DesignReport;
+use fxhenn_hw::{FpgaDevice, OpClass};
+
+/// Formats a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Renders the per-layer latency/BRAM summary of a report.
+pub fn layer_table(report: &DesignReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>6} {:>12} {:>12} {:>10}\n",
+        "Layer", "class", "HOPs", "latency(s)", "BRAM"
+    ));
+    for (plan, sim) in report.program.layers.iter().zip(&report.sim.layers) {
+        out.push_str(&format!(
+            "{:<8} {:>6} {:>12} {:>12.4} {:>10}\n",
+            plan.name,
+            plan.class.to_string(),
+            plan.hop_count(),
+            sim.seconds,
+            sim.bram_demand,
+        ));
+    }
+    out
+}
+
+/// Renders the chosen module configuration of a report (the Fig. 10
+/// style intra/inter-parallelism listing).
+pub fn module_table(report: &DesignReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>8} {:>8} {:>8}\n",
+        "Module", "nc", "intra", "inter", "DSP"
+    ));
+    for class in OpClass::ALL {
+        let cfg = report.design.point.modules.get(class);
+        let dsp = fxhenn_hw::HeOpModule::new(class, cfg).dsp_usage();
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>8} {:>8} {:>8}\n",
+            class.to_string(),
+            cfg.nc_ntt,
+            cfg.p_intra,
+            cfg.p_inter,
+            dsp
+        ));
+    }
+    out
+}
+
+/// Renders the headline summary (latency, resources, security).
+pub fn summary(report: &DesignReport, device: &FpgaDevice) -> String {
+    format!(
+        "{net} on {dev}: {lat:.3} s/inference | DSP {dsp}/{dsp_cap} ({dsp_pct:.1}%) | \
+         peak BRAM {bram} blocks | {hops} HOPs ({ks} KS) | {sec} | {pts} design points",
+        net = report.network_name,
+        dev = report.device_name,
+        lat = report.latency_s(),
+        dsp = report.design.eval.dsp_used,
+        dsp_cap = device.dsp_slices(),
+        dsp_pct = report.design.eval.dsp_used as f64 / device.dsp_slices() as f64 * 100.0,
+        bram = report.design.eval.bram_peak,
+        hops = report.program.hop_count(),
+        ks = report.program.key_switch_count(),
+        sec = report.security,
+        pts = report.points_explored,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::generate_accelerator;
+    use fxhenn_ckks::CkksParams;
+    use fxhenn_nn::fxhenn_mnist;
+
+    fn sample_report() -> (DesignReport, FpgaDevice) {
+        let device = FpgaDevice::acu9eg();
+        let report = generate_accelerator(
+            &fxhenn_mnist(1),
+            &CkksParams::fxhenn_mnist(),
+            &device,
+        )
+        .expect("feasible");
+        (report, device)
+    }
+
+    #[test]
+    fn tables_render_all_layers_and_modules() {
+        let (report, device) = sample_report();
+        let lt = layer_table(&report);
+        for name in ["Cnv1", "Act1", "Fc1", "Act2", "Fc2"] {
+            assert!(lt.contains(name), "layer table misses {name}");
+        }
+        let mt = module_table(&report);
+        for m in ["PCmult", "Rescale", "KeySwitch"] {
+            assert!(mt.contains(m), "module table misses {m}");
+        }
+        let s = summary(&report, &device);
+        assert!(s.contains("FxHENN-MNIST"));
+        assert!(s.contains("ACU9EG"));
+        assert!(s.contains("128-bit"));
+    }
+
+    #[test]
+    fn row_right_aligns_cells() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,253 @@
+//! Ablation study of FxHENN's design choices: how much latency each
+//! mechanism buys on a given workload/device pair.
+//!
+//! The variants correspond to the paper's own comparisons:
+//!
+//! * **Full** — inter-layer module reuse + inter-layer buffer reuse
+//!   (`max` BRAM semantics) + URAM conversion (the FxHENN flow).
+//! * **NoBufferReuse** — every layer keeps its buffers resident
+//!   simultaneously (`sum` BRAM semantics), so parallelism is starved.
+//! * **NoModuleReuse** — the Sec. VII-C baseline: dedicated modules per
+//!   layer with a proportional BRAM split.
+//! * **NoUram** — the FxHENN flow with the URAM pool removed (isolates
+//!   Sec. VI-A's URAM conversion; only meaningful on URAM devices).
+
+use crate::baseline::{allocate_baseline, evaluate_baseline};
+use crate::design::{layer_governing_config, DesignPoint, ProgramCost};
+use crate::explore::{explore_default, SearchSpace};
+use fxhenn_hw::buffers::{layer_bram_blocks, stall_factor};
+use fxhenn_hw::layer::{LayerCostModel, LayerShape};
+use fxhenn_hw::{FpgaDevice, ModuleConfig, ModuleSet, OpClass};
+use fxhenn_nn::HeCnnProgram;
+
+/// One ablation variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The full FxHENN flow.
+    Full,
+    /// Buffer reuse disabled: BRAM demand sums over layers.
+    NoBufferReuse,
+    /// Module reuse disabled: the per-layer dedicated baseline.
+    NoModuleReuse,
+    /// URAM conversion disabled.
+    NoUram,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Variant::Full => "full FxHENN",
+            Variant::NoBufferReuse => "no buffer reuse",
+            Variant::NoModuleReuse => "no module reuse",
+            Variant::NoUram => "no URAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of one ablation variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Which mechanism was removed.
+    pub variant: Variant,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Slowdown relative to the full flow.
+    pub slowdown: f64,
+}
+
+/// Explores the design space with summed (no-reuse) BRAM semantics.
+fn explore_sum_bram(prog: &HeCnnProgram, device: &FpgaDevice, w_bits: u32) -> f64 {
+    let cost = ProgramCost::new(prog, w_bits);
+    let space = SearchSpace::paper_default(prog.max_level);
+    let budget = device.bram_blocks() + device.uram_blocks();
+    let mut best = f64::INFINITY;
+
+    for &ks_nc in &space.nc_options {
+        for &ks_intra in &space.intra_options {
+            for &rs_nc in &space.nc_options {
+                for &rs_intra in &space.intra_options {
+                    let mut modules = ModuleSet::minimal();
+                    modules.set(
+                        OpClass::KeySwitch,
+                        ModuleConfig {
+                            nc_ntt: ks_nc,
+                            p_intra: ks_intra,
+                            p_inter: 1,
+                        },
+                    );
+                    modules.set(
+                        OpClass::Rescale,
+                        ModuleConfig {
+                            nc_ntt: rs_nc,
+                            p_intra: rs_intra,
+                            p_inter: 1,
+                        },
+                    );
+                    let point = DesignPoint { modules };
+                    // Summed BRAM across all layers must fit.
+                    let total: usize = prog
+                        .layers
+                        .iter()
+                        .map(|plan| {
+                            let shape = LayerShape::from_plan(plan, prog.degree, w_bits);
+                            let cfg = layer_governing_config(plan.class, &point.modules);
+                            layer_bram_blocks(&shape, &cfg)
+                        })
+                        .sum();
+                    if total > budget {
+                        continue;
+                    }
+                    let eval = cost.evaluate(&point, device);
+                    if eval.feasible && eval.latency_s < best {
+                        best = eval.latency_s;
+                    }
+                }
+            }
+        }
+    }
+    if best.is_finite() {
+        return best;
+    }
+    // Nothing fits with resident buffers for every layer (Table II's 206%
+    // aggregate demand): fall back to the minimal design with the budget
+    // split proportionally and stalls on the shortfall.
+    let point = DesignPoint::minimal();
+    let demands: Vec<usize> = prog
+        .layers
+        .iter()
+        .map(|plan| {
+            let shape = LayerShape::from_plan(plan, prog.degree, w_bits);
+            let cfg = layer_governing_config(plan.class, &point.modules);
+            layer_bram_blocks(&shape, &cfg)
+        })
+        .collect();
+    let total: usize = demands.iter().sum();
+    prog.layers
+        .iter()
+        .zip(&demands)
+        .map(|(plan, &demand)| {
+            let grant = (demand as f64 * budget as f64 / total as f64).floor() as usize;
+            let cycles = LayerCostModel::from_plan(plan).latency_cycles(&point.modules, prog.degree);
+            cycles as f64 * device.cycle_seconds() * stall_factor(grant, demand, plan.class)
+        })
+        .sum()
+}
+
+/// Runs the full ablation on a program/device pair, returning one row
+/// per variant (Full first).
+pub fn ablate(prog: &HeCnnProgram, device: &FpgaDevice, w_bits: u32) -> Vec<AblationRow> {
+    let full = explore_default(prog, device, w_bits)
+        .best
+        .map(|b| b.eval.latency_s)
+        .unwrap_or(f64::INFINITY);
+
+    let no_buffer = explore_sum_bram(prog, device, w_bits);
+
+    let base_design = allocate_baseline(prog, device, w_bits);
+    let no_module = evaluate_baseline(prog, &base_design, device, w_bits).latency_s;
+
+    let no_uram_device = FpgaDevice::new(
+        format!("{}-nouram", device.name()),
+        device.dsp_slices(),
+        device.bram_blocks(),
+        0,
+        device.clock_mhz(),
+        device.tdp_watts(),
+    );
+    let no_uram = explore_default(prog, &no_uram_device, w_bits)
+        .best
+        .map(|b| b.eval.latency_s)
+        .unwrap_or(f64::INFINITY);
+
+    [
+        (Variant::Full, full),
+        (Variant::NoBufferReuse, no_buffer),
+        (Variant::NoModuleReuse, no_module),
+        (Variant::NoUram, no_uram),
+    ]
+    .into_iter()
+    .map(|(variant, latency_s)| AblationRow {
+        variant,
+        latency_s,
+        slowdown: latency_s / full,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxhenn_nn::{fxhenn_mnist, lower_network};
+
+    fn mnist() -> HeCnnProgram {
+        lower_network(&fxhenn_mnist(1), 8192, 7)
+    }
+
+    #[test]
+    fn every_ablated_variant_is_no_faster_than_full() {
+        let prog = mnist();
+        let rows = ablate(&prog, &FpgaDevice::acu9eg(), 30);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].variant, Variant::Full);
+        for row in &rows[1..] {
+            assert!(
+                row.slowdown >= 0.999,
+                "{} is faster than the full flow ({:.2}x)",
+                row.variant,
+                row.slowdown
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_matters_on_acu9eg() {
+        // Summed-BRAM semantics reproduce Table II's crunch: feasible
+        // designs exist only at low parallelism, costing real latency.
+        let prog = mnist();
+        let rows = ablate(&prog, &FpgaDevice::acu9eg(), 30);
+        let no_buffer = rows
+            .iter()
+            .find(|r| r.variant == Variant::NoBufferReuse)
+            .unwrap();
+        assert!(
+            no_buffer.slowdown > 1.3,
+            "buffer reuse buys {:.2}x",
+            no_buffer.slowdown
+        );
+    }
+
+    #[test]
+    fn module_reuse_matters() {
+        let prog = mnist();
+        let rows = ablate(&prog, &FpgaDevice::acu9eg(), 30);
+        let no_module = rows
+            .iter()
+            .find(|r| r.variant == Variant::NoModuleReuse)
+            .unwrap();
+        // Table IX: 4.88x baseline gap.
+        assert!(
+            no_module.slowdown > 2.0,
+            "module reuse buys {:.2}x",
+            no_module.slowdown
+        );
+    }
+
+    #[test]
+    fn uram_is_irrelevant_on_acu9eg_but_not_on_acu15eg() {
+        let prog = mnist();
+        let rows9 = ablate(&prog, &FpgaDevice::acu9eg(), 30);
+        let no_uram9 = rows9.iter().find(|r| r.variant == Variant::NoUram).unwrap();
+        assert!(
+            (no_uram9.slowdown - 1.0).abs() < 1e-9,
+            "ACU9EG has no URAM to lose"
+        );
+
+        let rows15 = ablate(&prog, &FpgaDevice::acu15eg(), 30);
+        let no_uram15 = rows15.iter().find(|r| r.variant == Variant::NoUram).unwrap();
+        assert!(
+            no_uram15.slowdown >= 1.0,
+            "removing URAM cannot speed ACU15EG up"
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! The "baseline" accelerator of Sec. VII-C: no computation or storage
+//! reuse across layers.
+//!
+//! Every layer receives dedicated module instances, sized by an
+//! intuitive greedy allocation that keeps giving more resources to the
+//! currently slowest layer until the DSP budget is exhausted. On-chip
+//! BRAM is split proportionally to each layer's demand; layers whose
+//! allocation falls short of their working set stall on off-chip
+//! accesses (harmonic interpolation between full speed and the measured
+//! all-off-chip penalties of Table III).
+
+use crate::design::layer_governing_config;
+pub use fxhenn_hw::buffers::stall_factor;
+use fxhenn_hw::buffers::layer_bram_blocks;
+use fxhenn_hw::layer::{layer_latency_seconds, LayerShape};
+use fxhenn_hw::{FpgaDevice, HeOpModule, ModuleConfig, ModuleSet, OpClass};
+use fxhenn_nn::{HeCnnProgram, HeLayerClass, HeLayerPlan};
+
+/// A baseline design: one dedicated module set per layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDesign {
+    /// Module configurations of each layer, in program order.
+    pub per_layer: Vec<ModuleSet>,
+}
+
+/// Evaluation of a baseline design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEval {
+    /// End-to-end latency including buffer-starvation stalls.
+    pub latency_s: f64,
+    /// Per-layer latency (with stalls).
+    pub per_layer_latency_s: Vec<f64>,
+    /// Per-layer dedicated DSP usage.
+    pub per_layer_dsp: Vec<usize>,
+    /// Per-layer BRAM demand.
+    pub per_layer_bram_demand: Vec<usize>,
+    /// Per-layer BRAM actually allocated (proportional split).
+    pub per_layer_bram_alloc: Vec<usize>,
+    /// Total dedicated DSP (sum over layers — no reuse).
+    pub dsp_total: usize,
+}
+
+/// DSP usage of one layer's dedicated modules (only the classes the
+/// layer actually uses).
+pub fn layer_dedicated_dsp(plan: &HeLayerPlan, set: &ModuleSet) -> usize {
+    plan.trace
+        .kinds_used()
+        .into_iter()
+        .map(|k| {
+            let class = OpClass::from(k);
+            HeOpModule::new(class, set.get(class)).dsp_usage()
+        })
+        .sum()
+}
+
+/// Greedily allocates dedicated per-layer modules: repeatedly upgrades
+/// the slowest layer's governing module while the summed DSP fits the
+/// device.
+pub fn allocate_baseline(prog: &HeCnnProgram, device: &FpgaDevice, w_bits: u32) -> BaselineDesign {
+    let n_layers = prog.layers.len();
+    let mut per_layer = vec![ModuleSet::minimal(); n_layers];
+
+    let total_dsp = |sets: &[ModuleSet]| -> usize {
+        prog.layers
+            .iter()
+            .zip(sets)
+            .map(|(plan, set)| layer_dedicated_dsp(plan, set))
+            .sum()
+    };
+
+    for _ in 0..64 {
+        // Latency of each layer at its current dedicated configuration
+        // (stall-free here; stalls depend on the final BRAM split).
+        let latencies: Vec<f64> = prog
+            .layers
+            .iter()
+            .zip(&per_layer)
+            .map(|(plan, set)| layer_latency_seconds(plan, set, prog.degree, device.clock_mhz()))
+            .collect();
+        let (slowest, _) = latencies
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite latencies"))
+            .expect("non-empty network");
+
+        let plan = &prog.layers[slowest];
+        let class = match plan.class {
+            HeLayerClass::Nks => OpClass::Rescale,
+            HeLayerClass::Ks => OpClass::KeySwitch,
+        };
+        let cur = per_layer[slowest].get(class);
+        // Upgrade ladder: deepen intra-parallelism first (cheapest BRAM),
+        // then NTT cores, then replicate.
+        let candidates = [
+            ModuleConfig {
+                p_intra: cur.p_intra + 1,
+                ..cur
+            },
+            ModuleConfig {
+                nc_ntt: (cur.nc_ntt * 2).min(8),
+                ..cur
+            },
+            ModuleConfig {
+                p_inter: cur.p_inter + 1,
+                ..cur
+            },
+        ];
+        let mut applied = false;
+        for cand in candidates {
+            if cand == cur || cand.p_intra > prog.max_level || cand.p_inter > 4 {
+                continue;
+            }
+            let mut trial = per_layer.clone();
+            trial[slowest].set(class, cand);
+            if total_dsp(&trial) <= device.dsp_slices() {
+                let new_lat = layer_latency_seconds(
+                    &prog.layers[slowest],
+                    &trial[slowest],
+                    prog.degree,
+                    device.clock_mhz(),
+                );
+                if new_lat < latencies[slowest] {
+                    per_layer = trial;
+                    applied = true;
+                    break;
+                }
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+    let _ = w_bits;
+    BaselineDesign { per_layer }
+}
+
+/// Evaluates a baseline design: proportional BRAM split, stall-adjusted
+/// latencies, summed resource usage.
+pub fn evaluate_baseline(
+    prog: &HeCnnProgram,
+    design: &BaselineDesign,
+    device: &FpgaDevice,
+    w_bits: u32,
+) -> BaselineEval {
+    let demands: Vec<usize> = prog
+        .layers
+        .iter()
+        .zip(&design.per_layer)
+        .map(|(plan, set)| {
+            let shape = LayerShape::from_plan(plan, prog.degree, w_bits);
+            layer_bram_blocks(&shape, &layer_governing_config(plan.class, set))
+        })
+        .collect();
+    let total_demand: usize = demands.iter().sum();
+    let budget = device.bram_blocks() + device.uram_blocks(); // URAM at ratio 1 (conservative)
+    let allocs: Vec<usize> = if total_demand <= budget {
+        demands.clone()
+    } else {
+        demands
+            .iter()
+            .map(|&d| (d as f64 * budget as f64 / total_demand as f64).floor() as usize)
+            .collect()
+    };
+
+    let mut per_layer_latency_s = Vec::with_capacity(prog.layers.len());
+    let mut per_layer_dsp = Vec::with_capacity(prog.layers.len());
+    for ((plan, set), (&demand, &alloc)) in prog
+        .layers
+        .iter()
+        .zip(&design.per_layer)
+        .zip(demands.iter().zip(&allocs))
+    {
+        let base = layer_latency_seconds(plan, set, prog.degree, device.clock_mhz());
+        per_layer_latency_s.push(base * stall_factor(alloc, demand, plan.class));
+        per_layer_dsp.push(layer_dedicated_dsp(plan, set));
+    }
+
+    BaselineEval {
+        latency_s: per_layer_latency_s.iter().sum(),
+        per_layer_latency_s,
+        dsp_total: per_layer_dsp.iter().sum(),
+        per_layer_dsp,
+        per_layer_bram_demand: demands,
+        per_layer_bram_alloc: allocs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxhenn_nn::{fxhenn_mnist, lower_network};
+
+    fn mnist() -> HeCnnProgram {
+        lower_network(&fxhenn_mnist(1), 8192, 7)
+    }
+
+    use fxhenn_hw::calibration::{OFFCHIP_PENALTY_KS, OFFCHIP_PENALTY_NKS};
+
+    #[test]
+    fn stall_factor_interpolates_table3_endpoints() {
+        assert_eq!(stall_factor(100, 100, HeLayerClass::Ks), 1.0);
+        assert_eq!(stall_factor(200, 100, HeLayerClass::Ks), 1.0);
+        let all_off = stall_factor(0, 100, HeLayerClass::Ks);
+        assert!((all_off - OFFCHIP_PENALTY_KS).abs() < 1e-9);
+        let all_off_nks = stall_factor(0, 100, HeLayerClass::Nks);
+        assert!((all_off_nks - OFFCHIP_PENALTY_NKS).abs() < 1e-9);
+        // Halfway is mild, not halfway to 139x (convex curve).
+        let half = stall_factor(50, 100, HeLayerClass::Ks);
+        assert!(half > 1.5 && half < 3.0, "half-buffered stall = {half:.2}");
+    }
+
+    #[test]
+    fn baseline_respects_dsp_budget() {
+        let prog = mnist();
+        let device = FpgaDevice::acu9eg();
+        let design = allocate_baseline(&prog, &device, 30);
+        let eval = evaluate_baseline(&prog, &design, &device, 30);
+        assert!(
+            eval.dsp_total <= device.dsp_slices(),
+            "{} DSP > {}",
+            eval.dsp_total,
+            device.dsp_slices()
+        );
+    }
+
+    #[test]
+    fn baseline_latency_matches_table9_scale() {
+        // Table IX: baseline runs FxHENN-MNIST in 1.17 s on ACU9EG.
+        let prog = mnist();
+        let device = FpgaDevice::acu9eg();
+        let design = allocate_baseline(&prog, &device, 30);
+        let eval = evaluate_baseline(&prog, &design, &device, 30);
+        assert!(
+            (0.6..=2.5).contains(&eval.latency_s),
+            "baseline MNIST = {:.2} s (paper 1.17 s)",
+            eval.latency_s
+        );
+    }
+
+    #[test]
+    fn baseline_splits_bram_proportionally() {
+        let prog = mnist();
+        let device = FpgaDevice::acu9eg();
+        let design = allocate_baseline(&prog, &device, 30);
+        let eval = evaluate_baseline(&prog, &design, &device, 30);
+        let total_alloc: usize = eval.per_layer_bram_alloc.iter().sum();
+        assert!(total_alloc <= device.bram_blocks() + device.uram_blocks());
+        // Demands exceed the chip (Table II: 206%), so allocations are cut.
+        let total_demand: usize = eval.per_layer_bram_demand.iter().sum();
+        assert!(total_demand > device.bram_blocks());
+        for (a, d) in eval
+            .per_layer_bram_alloc
+            .iter()
+            .zip(&eval.per_layer_bram_demand)
+        {
+            assert!(a <= d);
+        }
+    }
+
+    #[test]
+    fn baseline_upgrades_the_bottleneck_layer() {
+        let prog = mnist();
+        let device = FpgaDevice::acu9eg();
+        let design = allocate_baseline(&prog, &device, 30);
+        // Fc1 is the slowest layer; the greedy pass must have upgraded its
+        // KeySwitch module beyond minimal.
+        let fc1_idx = prog.layers.iter().position(|l| l.name == "Fc1").unwrap();
+        let fc1_ks = design.per_layer[fc1_idx].get(OpClass::KeySwitch);
+        assert!(
+            fc1_ks != ModuleConfig::minimal(),
+            "Fc1 should receive extra resources"
+        );
+    }
+
+    #[test]
+    fn dedicated_dsp_counts_only_used_classes() {
+        let prog = mnist();
+        let set = ModuleSet::minimal();
+        let cnv1 = prog.layer("Cnv1").unwrap();
+        // Cnv1 uses Add + PCmult + Rescale: 0 + 100 + 112.
+        assert_eq!(layer_dedicated_dsp(cnv1, &set), 212);
+        let act1 = prog.layer("Act1").unwrap();
+        // Act1 uses CCmult + Relin(KS) + Rescale: 100 + 254 + 112.
+        assert_eq!(layer_dedicated_dsp(act1, &set), 466);
+    }
+}

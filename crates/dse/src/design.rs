@@ -1,0 +1,269 @@
+//! Design points and their evaluation against a device.
+//!
+//! A FxHENN design point is one [`ModuleSet`]: a shared pool of HE
+//! operation modules reused by every layer (the paper's inter-layer
+//! module reuse). Evaluation produces per-layer latencies (Eqs. 1–3),
+//! the DSP total (Eq. 7) and the BRAM requirement — the *maximum* over
+//! layers, because inter-layer buffer reuse lets consecutive layers
+//! share the same blocks (Sec. VI-A "Inter-layer reuse").
+
+use fxhenn_hw::buffers::{bn_bank_words, layer_bram_blocks, stall_factor};
+use fxhenn_hw::layer::{LayerCostModel, LayerShape};
+use fxhenn_hw::{FpgaDevice, ModuleConfig, ModuleSet, OpClass};
+use fxhenn_nn::{HeCnnProgram, HeLayerClass};
+
+/// A program with precomputed per-layer cost summaries, so that a DSE
+/// run does not re-walk operation traces for every candidate point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramCost {
+    degree: usize,
+    layers: Vec<(LayerCostModel, LayerShape, HeLayerClass)>,
+}
+
+impl ProgramCost {
+    /// Precomputes the cost summaries of every layer.
+    pub fn new(prog: &HeCnnProgram, w_bits: u32) -> Self {
+        let layers = prog
+            .layers
+            .iter()
+            .map(|plan| {
+                (
+                    LayerCostModel::from_plan(plan),
+                    LayerShape::from_plan(plan, prog.degree, w_bits),
+                    plan.class,
+                )
+            })
+            .collect();
+        Self {
+            degree: prog.degree,
+            layers,
+        }
+    }
+
+    /// Evaluates one design point (fast path used by the explorer).
+    ///
+    /// Inter-layer buffer reuse gives each layer the *whole* BRAM/URAM
+    /// budget while it is active; a layer whose working set exceeds the
+    /// budget spills to off-chip memory and stalls (Table III
+    /// calibration). DSP is the hard constraint of Eq. 10.
+    pub fn evaluate(&self, point: &DesignPoint, device: &FpgaDevice) -> DesignEval {
+        let ks_nc = point.modules.get(OpClass::KeySwitch).nc_ntt;
+        let budget = device.total_bram_equivalent(bn_bank_words(self.degree, ks_nc));
+
+        let mut per_layer_latency_s = Vec::with_capacity(self.layers.len());
+        let mut per_layer_bram = Vec::with_capacity(self.layers.len());
+        for (cost, shape, class) in &self.layers {
+            let cfg = layer_governing_config(*class, &point.modules);
+            let demand = layer_bram_blocks(shape, &cfg);
+            per_layer_bram.push(demand);
+            let cycles = cost.latency_cycles(&point.modules, self.degree);
+            let stall = stall_factor(budget.min(demand), demand, *class);
+            per_layer_latency_s.push(cycles as f64 * device.cycle_seconds() * stall);
+        }
+        let latency_s = per_layer_latency_s.iter().sum();
+        let dsp_used = point.modules.total_dsp();
+        let bram_peak = per_layer_bram.iter().copied().max().unwrap_or(0);
+        DesignEval {
+            latency_s,
+            per_layer_latency_s,
+            dsp_used,
+            bram_occupied: bram_peak.min(budget),
+            fully_buffered: bram_peak <= budget,
+            bram_peak,
+            per_layer_bram,
+            feasible: dsp_used <= device.dsp_slices(),
+        }
+    }
+}
+
+/// A candidate accelerator configuration: one shared module set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// Shared module configurations, one per operation class.
+    pub modules: ModuleSet,
+}
+
+impl DesignPoint {
+    /// The all-minimal design point.
+    pub fn minimal() -> Self {
+        Self {
+            modules: ModuleSet::minimal(),
+        }
+    }
+}
+
+/// The evaluated cost/performance of a design point on a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignEval {
+    /// End-to-end inference latency in seconds (sum of layer latencies,
+    /// Eq. 10's objective).
+    pub latency_s: f64,
+    /// Latency of each layer, in program order.
+    pub per_layer_latency_s: Vec<f64>,
+    /// Total DSP slices of the shared modules.
+    pub dsp_used: usize,
+    /// Peak BRAM blocks demanded (maximum over layers, after inter-layer
+    /// reuse).
+    pub bram_peak: usize,
+    /// BRAM blocks actually resident on-chip (`min(peak, budget)`).
+    pub bram_occupied: usize,
+    /// True if every layer's working set fits on-chip (no stalls).
+    pub fully_buffered: bool,
+    /// BRAM blocks each layer needs while active.
+    pub per_layer_bram: Vec<usize>,
+    /// True if the point satisfies the hard DSP constraint (BRAM
+    /// shortfalls degrade into stalls instead of infeasibility).
+    pub feasible: bool,
+}
+
+impl DesignEval {
+    /// Aggregate (summed-over-layers) DSP usage as a fraction of the
+    /// device — the paper's Table IX "Aggregate" column, which exceeds
+    /// 100 % when modules are reused across layers.
+    pub fn aggregate_dsp(&self, prog: &HeCnnProgram, point: &DesignPoint) -> usize {
+        prog.layers
+            .iter()
+            .map(|plan| {
+                plan.trace
+                    .kinds_used()
+                    .into_iter()
+                    .map(|k| {
+                        let class = OpClass::from(k);
+                        fxhenn_hw::HeOpModule::new(class, point.modules.get(class)).dsp_usage()
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Aggregate (summed-over-layers) BRAM blocks.
+    pub fn aggregate_bram(&self) -> usize {
+        self.per_layer_bram.iter().sum()
+    }
+}
+
+/// The module configuration that governs a layer's buffers: the NTT
+/// class the layer pipelines around.
+pub fn layer_governing_config(class: HeLayerClass, modules: &ModuleSet) -> ModuleConfig {
+    match class {
+        HeLayerClass::Nks => modules.get(OpClass::Rescale),
+        HeLayerClass::Ks => modules.get(OpClass::KeySwitch),
+    }
+}
+
+/// Evaluates a design point for a program on a device.
+///
+/// `w_bits` is the coefficient prime width of the program's parameter
+/// set (30 for FxHENN-MNIST, 36 for FxHENN-CIFAR10).
+pub fn evaluate(
+    prog: &HeCnnProgram,
+    point: &DesignPoint,
+    device: &FpgaDevice,
+    w_bits: u32,
+) -> DesignEval {
+    ProgramCost::new(prog, w_bits).evaluate(point, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxhenn_nn::{fxhenn_mnist, lower_network};
+
+    fn mnist() -> HeCnnProgram {
+        lower_network(&fxhenn_mnist(1), 8192, 7)
+    }
+
+    #[test]
+    fn minimal_point_is_feasible_on_acu9eg() {
+        let prog = mnist();
+        let eval = evaluate(&prog, &DesignPoint::minimal(), &FpgaDevice::acu9eg(), 30);
+        assert!(eval.feasible);
+        assert!(eval.fully_buffered, "minimal MNIST design fits on-chip");
+        assert!(eval.dsp_used > 0);
+        assert!(eval.bram_peak > 0);
+        assert_eq!(eval.per_layer_latency_s.len(), 5);
+        assert!(eval.latency_s > 0.5, "minimal design is slow");
+    }
+
+    #[test]
+    fn bram_peak_is_max_not_sum() {
+        let prog = mnist();
+        let eval = evaluate(&prog, &DesignPoint::minimal(), &FpgaDevice::acu9eg(), 30);
+        assert_eq!(
+            eval.bram_peak,
+            eval.per_layer_bram.iter().copied().max().unwrap()
+        );
+        assert!(
+            eval.aggregate_bram() > eval.bram_peak,
+            "inter-layer reuse shrinks peak below aggregate"
+        );
+    }
+
+    #[test]
+    fn oversized_parallelism_is_infeasible() {
+        let prog = mnist();
+        let mut point = DesignPoint::minimal();
+        point.modules.set(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 8,
+                p_intra: 7,
+                p_inter: 4,
+            },
+        );
+        point.modules.set(
+            OpClass::Rescale,
+            ModuleConfig {
+                nc_ntt: 8,
+                p_intra: 7,
+                p_inter: 4,
+            },
+        );
+        let eval = evaluate(&prog, &point, &FpgaDevice::acu9eg(), 30);
+        assert!(!eval.feasible, "maximal point must exceed ACU9EG");
+    }
+
+    #[test]
+    fn more_parallelism_is_faster_and_costlier() {
+        let prog = mnist();
+        let base = evaluate(&prog, &DesignPoint::minimal(), &FpgaDevice::acu9eg(), 30);
+        let mut point = DesignPoint::minimal();
+        point.modules.set(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 4,
+                p_intra: 2,
+                p_inter: 1,
+            },
+        );
+        let fast = evaluate(&prog, &point, &FpgaDevice::acu9eg(), 30);
+        assert!(fast.latency_s < base.latency_s);
+        assert!(fast.dsp_used > base.dsp_used);
+    }
+
+    #[test]
+    fn aggregate_dsp_exceeds_point_dsp_under_reuse() {
+        // The same KS module serves 4 layers, so summing per-layer usage
+        // counts it 4 times (Table IX's >100 % aggregate).
+        let prog = mnist();
+        let point = DesignPoint::minimal();
+        let eval = evaluate(&prog, &point, &FpgaDevice::acu9eg(), 30);
+        assert!(eval.aggregate_dsp(&prog, &point) > eval.dsp_used);
+    }
+
+    #[test]
+    fn governing_config_picks_ntt_class() {
+        let mut set = ModuleSet::minimal();
+        let ks = ModuleConfig {
+            nc_ntt: 8,
+            p_intra: 3,
+            p_inter: 2,
+        };
+        set.set(OpClass::KeySwitch, ks);
+        assert_eq!(layer_governing_config(HeLayerClass::Ks, &set), ks);
+        assert_eq!(
+            layer_governing_config(HeLayerClass::Nks, &set),
+            ModuleConfig::minimal()
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # fxhenn-dse
+//!
+//! Automatic design space exploration for FxHENN accelerators (paper
+//! Sec. VI-B): exhaustive enumeration of module configurations
+//! (`nc_NTT`, `P_intra`, `P_inter` per HE operation class) under the
+//! target device's DSP and BRAM/URAM constraints, plus the no-reuse
+//! "baseline" allocator of Sec. VII-C and Pareto-frontier tooling for
+//! the budget sweep of Fig. 9.
+
+pub mod ablation;
+pub mod baseline;
+pub mod design;
+pub mod explore;
+pub mod greedy;
+pub mod pareto;
+
+pub use ablation::{ablate, AblationRow, Variant};
+pub use baseline::{allocate_baseline, evaluate_baseline, BaselineDesign, BaselineEval};
+pub use design::{evaluate, DesignEval, DesignPoint};
+pub use explore::{explore, explore_default, explore_with_bram_cap, DseResult, SearchSpace};
+pub use greedy::{explore_greedy, GreedyResult};
+pub use pareto::{is_dominated, pareto_frontier, DsePoint};

@@ -1,0 +1,105 @@
+//! Pareto-frontier tooling for the DSE scatter of Fig. 9.
+
+use crate::explore::ExploredPoint;
+
+/// A `(bram_blocks, latency_s)` sample of one explored design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsePoint {
+    /// Peak BRAM blocks the design occupies.
+    pub bram_blocks: usize,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+}
+
+impl From<&ExploredPoint> for DsePoint {
+    fn from(p: &ExploredPoint) -> Self {
+        Self {
+            bram_blocks: p.eval.bram_occupied,
+            latency_s: p.eval.latency_s,
+        }
+    }
+}
+
+/// Extracts the non-dominated points (minimal latency for at most this
+/// much BRAM), sorted by increasing BRAM.
+///
+/// A point dominates another when it uses no more BRAM *and* is no
+/// slower, being strictly better in at least one of the two.
+pub fn pareto_frontier(points: &[DsePoint]) -> Vec<DsePoint> {
+    let mut sorted: Vec<DsePoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.bram_blocks
+            .cmp(&b.bram_blocks)
+            .then(a.latency_s.partial_cmp(&b.latency_s).expect("finite"))
+    });
+    let mut frontier: Vec<DsePoint> = Vec::new();
+    let mut best_latency = f64::INFINITY;
+    for p in sorted {
+        if p.latency_s < best_latency {
+            best_latency = p.latency_s;
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+/// True if `candidate` is dominated by any point in `points`.
+pub fn is_dominated(candidate: DsePoint, points: &[DsePoint]) -> bool {
+    points.iter().any(|p| {
+        p.bram_blocks <= candidate.bram_blocks
+            && p.latency_s <= candidate.latency_s
+            && (p.bram_blocks < candidate.bram_blocks || p.latency_s < candidate.latency_s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(bram: usize, lat: f64) -> DsePoint {
+        DsePoint {
+            bram_blocks: bram,
+            latency_s: lat,
+        }
+    }
+
+    #[test]
+    fn frontier_keeps_only_improving_points() {
+        let points = vec![
+            pt(400, 1.0),
+            pt(500, 0.8),
+            pt(600, 0.9), // dominated by (500, 0.8)
+            pt(700, 0.5),
+            pt(800, 0.5), // dominated (same latency, more BRAM)
+        ];
+        let f = pareto_frontier(&points);
+        assert_eq!(f, vec![pt(400, 1.0), pt(500, 0.8), pt(700, 0.5)]);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let points = vec![pt(300, 2.0), pt(350, 1.5), pt(320, 1.8), pt(900, 0.3)];
+        let f = pareto_frontier(&points);
+        for w in f.windows(2) {
+            assert!(w[0].bram_blocks < w[1].bram_blocks);
+            assert!(w[0].latency_s > w[1].latency_s);
+        }
+    }
+
+    #[test]
+    fn dominated_detection() {
+        let points = vec![pt(400, 1.0)];
+        assert!(is_dominated(pt(500, 1.0), &points));
+        assert!(is_dominated(pt(400, 1.5), &points));
+        assert!(!is_dominated(pt(400, 1.0), &points), "equal is not dominated");
+        assert!(!is_dominated(pt(300, 1.5), &points));
+        assert!(!is_dominated(pt(500, 0.5), &points));
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let points = vec![pt(512, 0.7)];
+        assert_eq!(pareto_frontier(&points), points);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

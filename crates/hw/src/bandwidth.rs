@@ -1,0 +1,213 @@
+//! Off-chip (DDR) bandwidth model.
+//!
+//! The paper stores two read-only streams in off-chip memory: encoded
+//! plaintext weights ("read only once") and the KeySwitch keys ("read-only
+//! and in large data volume"), both fetched in burst mode so they hide
+//! behind the compute pipeline (Sec. VI-A). Hiding works only while the
+//! required stream rate stays below the DDR bandwidth — this module
+//! computes that requirement so a design can be checked against the
+//! board's memory system.
+
+use crate::layer::LayerCostModel;
+use crate::modules::{HeOpModule, ModuleConfig, OpClass};
+use fxhenn_nn::HeLayerPlan;
+
+/// DDR4-2400 x64 effective bandwidth of the ALINX boards, bytes/second
+/// (~80% efficiency of the 19.2 GB/s peak).
+pub const DDR_BYTES_PER_SEC: f64 = 15.4e9;
+
+/// Bytes of key-switching key material streamed per KeySwitch operation
+/// at ciphertext level `l`: `l` digits × 2 polynomials × `(l+1)` residues
+/// × `N` words.
+pub fn keyswitch_key_bytes(level: usize, degree: usize) -> u64 {
+    (level as u64) * 2 * (level as u64 + 1) * degree as u64 * 8
+}
+
+/// The off-chip streaming requirement of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRequirement {
+    /// Total bytes streamed while the layer runs (weights + keys).
+    pub bytes: u64,
+    /// The layer's modeled latency in seconds.
+    pub window_s: f64,
+    /// Required sustained bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+impl StreamRequirement {
+    /// True if the stream hides behind compute on a link of
+    /// `link_bytes_per_sec`.
+    pub fn hidden_behind_compute(&self, link_bytes_per_sec: f64) -> bool {
+        self.bytes_per_sec <= link_bytes_per_sec
+    }
+
+    /// Fraction of the link this layer's streams occupy.
+    pub fn link_utilization(&self, link_bytes_per_sec: f64) -> f64 {
+        self.bytes_per_sec / link_bytes_per_sec
+    }
+}
+
+/// Computes the streaming requirement of a layer under a module
+/// configuration set.
+pub fn layer_stream_requirement(
+    plan: &HeLayerPlan,
+    set: &crate::layer::ModuleSet,
+    degree: usize,
+    clock_mhz: f64,
+) -> StreamRequirement {
+    // Weights/biases/masks: the lowering already counted their words.
+    let mut bytes = plan.plaintext_words as u64 * 8;
+    // Keys: streamed once per KeySwitch operation.
+    for rec in plan.trace.records() {
+        if rec.kind.is_key_switch() {
+            bytes += keyswitch_key_bytes(rec.level, degree);
+        }
+    }
+    let cycles = LayerCostModel::from_plan(plan).latency_cycles(set, degree);
+    let window_s = cycles as f64 / (clock_mhz * 1e6);
+    StreamRequirement {
+        bytes,
+        window_s,
+        bytes_per_sec: if window_s > 0.0 {
+            bytes as f64 / window_s
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+/// The most bandwidth-hungry layer of a program under a configuration.
+pub fn peak_stream_requirement(
+    plans: &[HeLayerPlan],
+    set: &crate::layer::ModuleSet,
+    degree: usize,
+    clock_mhz: f64,
+) -> StreamRequirement {
+    plans
+        .iter()
+        .map(|p| layer_stream_requirement(p, set, degree, clock_mhz))
+        .max_by(|a, b| {
+            a.bytes_per_sec
+                .partial_cmp(&b.bytes_per_sec)
+                .expect("finite rates")
+        })
+        .expect("at least one layer")
+}
+
+/// A single PCmult stream check (Table I-level): one plaintext of
+/// `level × N` words must arrive within one pipeline interval.
+pub fn pcmult_stream_bytes_per_sec(
+    config: &ModuleConfig,
+    level: usize,
+    degree: usize,
+    clock_mhz: f64,
+) -> f64 {
+    let module = HeOpModule::new(OpClass::PcMult, *config);
+    let interval = module.pipeline_interval_cycles(level, degree);
+    let bytes = (level * degree * 8) as f64;
+    bytes / (interval as f64 / (clock_mhz * 1e6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ModuleSet;
+    use fxhenn_nn::{fxhenn_mnist, lower_network};
+
+    fn mnist() -> fxhenn_nn::HeCnnProgram {
+        lower_network(&fxhenn_mnist(1), 8192, 7)
+    }
+
+    #[test]
+    fn mnist_streams_hide_behind_ddr() {
+        // The paper's claim: burst reads "do not increase latency during
+        // the pipeline". At the minimal configuration every MNIST layer's
+        // stream fits comfortably in DDR bandwidth.
+        let prog = mnist();
+        let set = ModuleSet::minimal();
+        for plan in &prog.layers {
+            let req = layer_stream_requirement(plan, &set, prog.degree, 250.0);
+            assert!(
+                req.hidden_behind_compute(DDR_BYTES_PER_SEC),
+                "{} needs {:.2} GB/s",
+                plan.name,
+                req.bytes_per_sec / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn keyswitch_keys_dominate_fc1_traffic() {
+        let prog = mnist();
+        let fc1 = prog.layer("Fc1").unwrap();
+        let key_bytes: u64 = fc1
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.kind.is_key_switch())
+            .map(|r| keyswitch_key_bytes(r.level, prog.degree))
+            .sum();
+        let weight_bytes = fc1.plaintext_words as u64 * 8;
+        assert!(
+            key_bytes > weight_bytes,
+            "keys {key_bytes} vs weights {weight_bytes}"
+        );
+    }
+
+    #[test]
+    fn faster_configs_need_more_bandwidth() {
+        let prog = mnist();
+        let fc1 = prog.layer("Fc1").unwrap();
+        let slow = ModuleSet::minimal();
+        let mut fast = ModuleSet::minimal();
+        fast.set(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 8,
+                p_intra: 4,
+                p_inter: 2,
+            },
+        );
+        let r_slow = layer_stream_requirement(fc1, &slow, prog.degree, 250.0);
+        let r_fast = layer_stream_requirement(fc1, &fast, prog.degree, 250.0);
+        assert_eq!(r_slow.bytes, r_fast.bytes, "traffic is config-independent");
+        assert!(
+            r_fast.bytes_per_sec > r_slow.bytes_per_sec,
+            "shorter window -> higher rate"
+        );
+    }
+
+    #[test]
+    fn peak_requirement_is_max_over_layers() {
+        let prog = mnist();
+        let set = ModuleSet::minimal();
+        let peak = peak_stream_requirement(&prog.layers, &set, prog.degree, 250.0);
+        for plan in &prog.layers {
+            let r = layer_stream_requirement(plan, &set, prog.degree, 250.0);
+            assert!(r.bytes_per_sec <= peak.bytes_per_sec + 1e-6);
+        }
+        assert!(peak.link_utilization(DDR_BYTES_PER_SEC) > 0.0);
+    }
+
+    #[test]
+    fn key_bytes_formula() {
+        // l=7, N=8192: 7 * 2 * 8 * 8192 * 8 bytes = 7.3 MB per switch.
+        assert_eq!(keyswitch_key_bytes(7, 8192), 7 * 2 * 8 * 8192 * 8);
+    }
+
+    #[test]
+    fn pcmult_stream_scales_with_parallelism() {
+        let base = pcmult_stream_bytes_per_sec(&ModuleConfig::minimal(), 7, 8192, 250.0);
+        let fast = pcmult_stream_bytes_per_sec(
+            &ModuleConfig {
+                nc_ntt: 2,
+                p_intra: 7,
+                p_inter: 1,
+            },
+            7,
+            8192,
+            250.0,
+        );
+        assert!(fast > base, "deeper pipeline pulls plaintexts faster");
+    }
+}

@@ -1,0 +1,173 @@
+//! Calibration constants fitted against the paper's own module
+//! measurements (Table I, ACU9EG, `N = 8192`, 30-bit primes, `L = 7`,
+//! 250 MHz HLS clock).
+//!
+//! The derivation, per constant:
+//!
+//! * [`ELEM_LANES`]`= 2`: CCadd at 0.25 ms ⇒ `2·L·N / lanes` cycles =
+//!   57 344 cycles ≈ 0.23 ms at 250 MHz.
+//! * [`RESCALE_NTT_PASSES_PER_LEVEL`]`= 1.5`: Rescale at `nc = 2` is
+//!   1.19 ms = 10.5 NTT passes ⇒ 1.5 per level at `L = 7` (an exact-RNS
+//!   rescale does 2 transforms per level across its two polynomials, of
+//!   which ~25% overlap with the elementwise stages in the pipeline).
+//! * [`KS_NTT_PASSES_PER_LEVEL`]`= 4.25`: KeySwitch at `nc = 2` is
+//!   3.17 ms = 29.75 NTT passes ⇒ 4.25 per level (digit lifts dominate;
+//!   the paper's halving from `nc` 2→4→8 shows the op is purely
+//!   NTT-bound, which this model reproduces exactly).
+//! * DSP constants are taken from Table I directly: PCmult/CCmult 3.97 %
+//!   of 2 520 = 100 slices; Rescale fits `40 + 36·nc` (112/184/328);
+//!   KeySwitch is tabulated (254/479/721).
+//! * [`LAYER_PIPELINE_OVERHEAD`]`= 2.8`: the per-layer latencies the
+//!   paper reports (Table V, Fig. 7) sit a factor ~2.8 above the ideal
+//!   steady-state pipeline product `#ops · PI` — pipeline fill/drain,
+//!   plaintext streaming and HLS scheduling gaps. One global factor
+//!   reproduces both the baseline and optimized layer latencies.
+//! * Off-chip penalties: Table III measures Cnv1 at 15.9× and Fc1 at
+//!   139.6× slowdown when all buffers spill to DRAM; these bound the
+//!   linear stall model of the simulator.
+
+use crate::modules::OpClass;
+
+/// Parallel lanes of the elementwise basic modules (ModAdd/ModMult/
+/// Barrett), Eq. 5's `p`.
+pub const ELEM_LANES: usize = 2;
+
+/// NTT passes per ciphertext level in one Rescale operation.
+pub const RESCALE_NTT_PASSES_PER_LEVEL: f64 = 1.5;
+
+/// Lanes of the rescale elementwise tail (subtract + multiply by
+/// `q_last^{-1}`).
+pub const RESCALE_ELEM_TAIL_LANES: usize = 8;
+
+/// NTT passes per ciphertext level in one KeySwitch operation.
+pub const KS_NTT_PASSES_PER_LEVEL: f64 = 4.25;
+
+/// Ratio between measured per-layer latency and the ideal steady-state
+/// pipeline product (fill/drain, streaming and scheduling overheads).
+pub const LAYER_PIPELINE_OVERHEAD: f64 = 2.8;
+
+/// Slowdown of an NKS layer running entirely from off-chip DRAM
+/// (Table III, Cnv1: 0.334 s / 0.021 s).
+pub const OFFCHIP_PENALTY_NKS: f64 = 15.9;
+
+/// Slowdown of a KS layer running entirely from off-chip DRAM
+/// (Table III, Fc1: 22.612 s / 0.162 s).
+pub const OFFCHIP_PENALTY_KS: f64 = 139.6;
+
+/// DSP usage of one module instance at `P_intra = P_inter = 1` (Eq. 7's
+/// `Const_op^DSP`), from Table I.
+///
+/// # Panics
+///
+/// Panics if `nc` is not 1, 2, 4 or 8.
+pub fn dsp_const(class: OpClass, nc: usize) -> usize {
+    assert!(matches!(nc, 1 | 2 | 4 | 8), "nc_NTT must be 1, 2, 4 or 8");
+    match class {
+        OpClass::Add => 0,
+        OpClass::PcMult | OpClass::CcMult => 100,
+        OpClass::Rescale => 40 + 36 * nc,
+        OpClass::KeySwitch => match nc {
+            1 => 176,
+            2 => 254,
+            4 => 479,
+            8 => 721,
+            _ => unreachable!(),
+        },
+    }
+}
+
+/// The paper's Table I, pinned: `(class, nc, dsp_pct, bram_pct,
+/// latency_ms)` on ACU9EG. Used by the Table I bench to print
+/// paper-vs-model side by side.
+pub const PAPER_TABLE1: &[(OpClass, usize, f64, f64, f64)] = &[
+    (OpClass::Add, 2, 0.00, 10.53, 0.25),
+    (OpClass::PcMult, 2, 3.97, 10.53, 0.25),
+    (OpClass::CcMult, 2, 3.97, 15.79, 0.25),
+    (OpClass::Rescale, 2, 4.44, 10.53, 1.19),
+    (OpClass::Rescale, 4, 7.30, 10.53, 0.68),
+    (OpClass::Rescale, 8, 13.01, 21.05, 0.34),
+    (OpClass::KeySwitch, 2, 10.08, 35.09, 3.17),
+    (OpClass::KeySwitch, 4, 19.01, 35.09, 1.60),
+    (OpClass::KeySwitch, 8, 28.61, 70.18, 0.81),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::{HeOpModule, ModuleConfig};
+
+    const N: usize = 8192;
+    const L: usize = 7;
+    const CLOCK_MHZ: f64 = 250.0;
+
+    fn latency_ms(class: OpClass, nc: usize) -> f64 {
+        let m = HeOpModule::new(
+            class,
+            ModuleConfig {
+                nc_ntt: nc,
+                p_intra: 1,
+                p_inter: 1,
+            },
+        );
+        m.op_latency_cycles(L, N) as f64 / (CLOCK_MHZ * 1e3)
+    }
+
+    #[test]
+    fn model_reproduces_table1_latencies() {
+        // Every modeled latency within 25% of the paper's measurement.
+        for &(class, nc, _dsp, _bram, paper_ms) in PAPER_TABLE1 {
+            let ours = latency_ms(class, nc);
+            let rel = (ours - paper_ms).abs() / paper_ms;
+            assert!(
+                rel < 0.25,
+                "{class:?} nc={nc}: model {ours:.3} ms vs paper {paper_ms} ms ({:.0}% off)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn model_matches_keyswitch_latency_tightly() {
+        // The KS fit is within 3% at every nc.
+        for (nc, paper) in [(2usize, 3.17f64), (4, 1.60), (8, 0.81)] {
+            let ours = latency_ms(OpClass::KeySwitch, nc);
+            assert!(
+                (ours - paper).abs() / paper < 0.03,
+                "nc={nc}: {ours:.3} vs {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn dsp_constants_match_table1_percentages() {
+        let total = 2520.0;
+        let expect = [
+            (OpClass::PcMult, 2usize, 3.97f64),
+            (OpClass::Rescale, 2, 4.44),
+            (OpClass::Rescale, 4, 7.30),
+            (OpClass::Rescale, 8, 13.01),
+            (OpClass::KeySwitch, 2, 10.08),
+            (OpClass::KeySwitch, 4, 19.01),
+            (OpClass::KeySwitch, 8, 28.61),
+        ];
+        for (class, nc, pct) in expect {
+            let ours = dsp_const(class, nc) as f64 / total * 100.0;
+            assert!(
+                (ours - pct).abs() < 0.6,
+                "{class:?} nc={nc}: {ours:.2}% vs paper {pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn offchip_penalties_match_table3_ratios() {
+        assert!((OFFCHIP_PENALTY_NKS - 0.334 / 0.021).abs() < 0.1);
+        assert!((OFFCHIP_PENALTY_KS - 22.612 / 0.162).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nc_NTT must be")]
+    fn dsp_const_rejects_bad_nc() {
+        dsp_const(OpClass::KeySwitch, 3);
+    }
+}

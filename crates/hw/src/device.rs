@@ -1,0 +1,198 @@
+//! FPGA device catalog.
+//!
+//! The paper evaluates on two ALINX boards: ACU9EG (Zynq UltraScale+
+//! XCZU9EG: 2 520 DSP slices, 32.1 Mbit BRAM) and ACU15EG (XCZU15EG:
+//! 3 528 DSP slices, 26.2 Mbit BRAM plus 31.5 Mbit URAM), both with a
+//! 10 W thermal design power. Resource capacities here are design
+//! constraints for the DSE (Sec. VI-B).
+
+/// Bits in one BRAM36K block.
+pub const BRAM36_BITS: usize = 36 * 1024;
+/// Addressable words in one BRAM36K block (1K × 36 bit).
+pub const BRAM36_DEPTH: usize = 1024;
+/// Addressable words in one URAM block (4K × 72 bit).
+pub const URAM_DEPTH: usize = 4096;
+
+/// A target FPGA device: capacity of the resources the DSE provisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    name: String,
+    dsp_slices: usize,
+    bram_blocks: usize,
+    uram_blocks: usize,
+    clock_mhz: f64,
+    tdp_watts: f64,
+}
+
+impl FpgaDevice {
+    /// Creates a custom device description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if DSP or BRAM capacity is zero, or clock/TDP are not
+    /// positive.
+    pub fn new(
+        name: impl Into<String>,
+        dsp_slices: usize,
+        bram_blocks: usize,
+        uram_blocks: usize,
+        clock_mhz: f64,
+        tdp_watts: f64,
+    ) -> Self {
+        assert!(dsp_slices > 0, "device needs DSP slices");
+        assert!(bram_blocks > 0, "device needs BRAM blocks");
+        assert!(clock_mhz > 0.0 && tdp_watts > 0.0, "clock and TDP positive");
+        Self {
+            name: name.into(),
+            dsp_slices,
+            bram_blocks,
+            uram_blocks,
+            clock_mhz,
+            tdp_watts,
+        }
+    }
+
+    /// ALINX ACU9EG: Zynq UltraScale+ XCZU9EG — 2 520 DSP slices,
+    /// 912 BRAM36K blocks (32.1 Mbit), no URAM, 10 W TDP.
+    pub fn acu9eg() -> Self {
+        Self::new("ACU9EG", 2520, 912, 0, 250.0, 10.0)
+    }
+
+    /// ALINX ACU15EG: Zynq UltraScale+ XCZU15EG — 3 528 DSP slices,
+    /// 744 BRAM36K blocks (26.2 Mbit) plus 112 URAM blocks (31.5 Mbit),
+    /// 10 W TDP.
+    pub fn acu15eg() -> Self {
+        Self::new("ACU15EG", 3528, 744, 112, 250.0, 10.0)
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// DSP slice capacity.
+    #[inline]
+    pub fn dsp_slices(&self) -> usize {
+        self.dsp_slices
+    }
+
+    /// BRAM36K block capacity.
+    #[inline]
+    pub fn bram_blocks(&self) -> usize {
+        self.bram_blocks
+    }
+
+    /// URAM block capacity.
+    #[inline]
+    pub fn uram_blocks(&self) -> usize {
+        self.uram_blocks
+    }
+
+    /// Accelerator clock in MHz (HLS target).
+    #[inline]
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// Thermal design power in watts (for energy-efficiency comparisons).
+    #[inline]
+    pub fn tdp_watts(&self) -> f64 {
+        self.tdp_watts
+    }
+
+    /// Seconds per clock cycle.
+    #[inline]
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1e6)
+    }
+
+    /// Total on-chip BRAM capacity in Mbit (mebibits, as device
+    /// datasheets and the paper count them: 912 × 36 Kib = 32.1 Mbit).
+    pub fn bram_mbit(&self) -> f64 {
+        (self.bram_blocks * BRAM36_BITS) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Equivalent BRAM36K capacity of the URAM pool, given the words each
+    /// buffer bank holds (`num` of Sec. VI-A): URAM and BRAM have 4K and
+    /// 1K addresses, so a URAM replaces between 1 and 4 BRAMs depending
+    /// on how deep the partitioned banks are.
+    pub fn uram_as_bram_blocks(&self, bank_words: usize) -> usize {
+        let ratio = if bank_words >= 4 * BRAM36_DEPTH {
+            4.0
+        } else if bank_words <= BRAM36_DEPTH {
+            1.0
+        } else {
+            bank_words as f64 / BRAM36_DEPTH as f64
+        };
+        (self.uram_blocks as f64 * ratio).floor() as usize
+    }
+
+    /// Total BRAM-equivalent block budget, with URAM converted at the
+    /// given bank depth.
+    pub fn total_bram_equivalent(&self, bank_words: usize) -> usize {
+        self.bram_blocks + self.uram_as_bram_blocks(bank_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acu9eg_matches_paper_specs() {
+        let d = FpgaDevice::acu9eg();
+        assert_eq!(d.dsp_slices(), 2520);
+        assert_eq!(d.bram_blocks(), 912);
+        assert_eq!(d.uram_blocks(), 0);
+        // 912 * 36Kib = 32.1 Mbit as the paper states
+        assert!((d.bram_mbit() - 32.1).abs() < 0.6, "{}", d.bram_mbit());
+        assert_eq!(d.tdp_watts(), 10.0);
+    }
+
+    #[test]
+    fn acu15eg_matches_paper_specs() {
+        let d = FpgaDevice::acu15eg();
+        assert_eq!(d.dsp_slices(), 3528);
+        // 744 * 36Kb = 26.2 Mbit
+        assert!((d.bram_mbit() - 26.2).abs() < 0.6, "{}", d.bram_mbit());
+        // 112 URAM * 288Kb = 31.5 Mbit as the paper states
+        let uram_mbit = (d.uram_blocks() * 288 * 1024) as f64 / (1024.0 * 1024.0);
+        assert!((uram_mbit - 31.5).abs() < 0.8, "{uram_mbit}");
+    }
+
+    #[test]
+    fn uram_conversion_follows_section6a() {
+        let d = FpgaDevice::acu15eg();
+        // Deep banks: ratio 4.
+        assert_eq!(d.uram_as_bram_blocks(8192), 112 * 4);
+        // Shallow banks: ratio 1.
+        assert_eq!(d.uram_as_bram_blocks(512), 112);
+        assert_eq!(d.uram_as_bram_blocks(1024), 112);
+        // In between: num / 1K.
+        assert_eq!(d.uram_as_bram_blocks(2048), 224);
+        // ACU9EG has no URAM to convert.
+        assert_eq!(FpgaDevice::acu9eg().uram_as_bram_blocks(8192), 0);
+    }
+
+    #[test]
+    fn total_budget_combines_bram_and_uram() {
+        let d = FpgaDevice::acu15eg();
+        assert_eq!(d.total_bram_equivalent(8192), 744 + 448);
+        assert!(
+            d.total_bram_equivalent(8192) > FpgaDevice::acu9eg().total_bram_equivalent(8192),
+            "ACU15EG has the larger effective memory"
+        );
+    }
+
+    #[test]
+    fn cycle_time_from_clock() {
+        let d = FpgaDevice::acu9eg();
+        assert!((d.cycle_seconds() - 4e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs DSP")]
+    fn zero_dsp_rejected() {
+        FpgaDevice::new("bad", 0, 100, 0, 200.0, 10.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Per-layer latency model (paper Eqs. 1–3).
+//!
+//! A layer's HE operations stream through the operation modules as a
+//! pipeline; throughput is set by the bottleneck module class. The model
+//! costs each operation at its ciphertext level with the module's
+//! pipeline interval (Eq. 3) — KeySwitch intervals carry the extra `L`
+//! factor of Eq. 2 (Fig. 3: the KS pipeline stage is `L` times slower) —
+//! and the layer latency is the bottleneck class's total divided by its
+//! inter-parallelism (Eqs. 1–2), scaled by the calibrated pipeline
+//! overhead.
+
+use crate::calibration::LAYER_PIPELINE_OVERHEAD;
+use crate::modules::{HeOpModule, ModuleConfig, OpClass};
+use fxhenn_nn::{HeLayerClass, HeLayerPlan};
+use std::collections::BTreeMap;
+
+/// The shape information the buffer model needs about one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerShape {
+    /// NKS/KS classification.
+    pub class: HeLayerClass,
+    /// True for square-activation layers (their CCmult triple buffer).
+    pub is_activation: bool,
+    /// Ciphertext level on entry.
+    pub level: usize,
+    /// Ring degree `N`.
+    pub degree: usize,
+    /// Coefficient prime width.
+    pub w_bits: u32,
+}
+
+impl LayerShape {
+    /// Derives the shape from a lowered layer plan.
+    pub fn from_plan(plan: &HeLayerPlan, degree: usize, w_bits: u32) -> Self {
+        let is_activation = plan
+            .trace
+            .records()
+            .iter()
+            .any(|r| r.kind == fxhenn_ckks::HeOpKind::CcMult);
+        Self {
+            class: plan.class,
+            is_activation,
+            level: plan.level_in,
+            degree,
+            w_bits,
+        }
+    }
+}
+
+/// One module configuration per operation class — the decision vector of
+/// the DSE (`nc_NTT`, `P_intra`, `P_inter` per class, Sec. VI-B).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleSet {
+    configs: BTreeMap<OpClass, ModuleConfig>,
+}
+
+impl ModuleSet {
+    /// All classes at the minimal configuration.
+    pub fn minimal() -> Self {
+        let mut s = Self::default();
+        for class in OpClass::ALL {
+            s.configs.insert(class, ModuleConfig::minimal());
+        }
+        s
+    }
+
+    /// Sets the configuration of one class.
+    pub fn set(&mut self, class: OpClass, config: ModuleConfig) {
+        config.validate();
+        self.configs.insert(class, config);
+    }
+
+    /// The configuration of a class (minimal when unset).
+    pub fn get(&self, class: OpClass) -> ModuleConfig {
+        self.configs
+            .get(&class)
+            .copied()
+            .unwrap_or_else(ModuleConfig::minimal)
+    }
+
+    /// Iterates over `(class, config)` pairs that were explicitly set.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, ModuleConfig)> + '_ {
+        self.configs.iter().map(|(&c, &cfg)| (c, cfg))
+    }
+
+    /// Total DSP usage of all configured modules (Eq. 7 summed): the
+    /// left side of the DSE's DSP constraint when modules are shared
+    /// across layers.
+    pub fn total_dsp(&self) -> usize {
+        OpClass::ALL
+            .into_iter()
+            .map(|c| HeOpModule::new(c, self.get(c)).dsp_usage())
+            .sum()
+    }
+}
+
+/// Precomputed `(class, level) → operation count` summary of one layer,
+/// so design-space exploration does not re-walk the full operation trace
+/// for every candidate point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerCostModel {
+    counts: Vec<(OpClass, usize, u64)>,
+}
+
+impl LayerCostModel {
+    /// Summarizes a layer plan.
+    pub fn from_plan(plan: &HeLayerPlan) -> Self {
+        let mut map: BTreeMap<(OpClass, usize), u64> = BTreeMap::new();
+        for rec in plan.trace.records() {
+            *map.entry((OpClass::from(rec.kind), rec.level)).or_insert(0) += 1;
+        }
+        Self {
+            counts: map.into_iter().map(|((c, l), n)| (c, l, n)).collect(),
+        }
+    }
+
+    /// Per-class total pipeline occupancy in cycles (before
+    /// inter-parallelism and overhead).
+    pub fn class_occupancy_cycles(&self, set: &ModuleSet, degree: usize) -> BTreeMap<OpClass, u64> {
+        let mut acc: BTreeMap<OpClass, u64> = BTreeMap::new();
+        for &(class, level, count) in &self.counts {
+            let module = HeOpModule::new(class, set.get(class));
+            let pi = module.pipeline_interval_cycles(level, degree);
+            // Eq. 2: the KeySwitch pipeline stage is L times slower.
+            let interval = if class == OpClass::KeySwitch {
+                level as u64 * pi
+            } else {
+                pi
+            };
+            *acc.entry(class).or_insert(0) += count * interval;
+        }
+        acc
+    }
+
+    /// Modeled layer latency in cycles (see [`layer_latency_cycles`]).
+    pub fn latency_cycles(&self, set: &ModuleSet, degree: usize) -> u64 {
+        let occ = self.class_occupancy_cycles(set, degree);
+        let bottleneck = occ
+            .into_iter()
+            .map(|(class, cycles)| {
+                let p_inter = set.get(class).p_inter as u64;
+                cycles.div_ceil(p_inter)
+            })
+            .max()
+            .unwrap_or(0);
+        (bottleneck as f64 * LAYER_PIPELINE_OVERHEAD) as u64
+    }
+}
+
+/// Per-class total pipeline occupancy of one layer, in cycles (before
+/// inter-parallelism and overhead).
+pub fn class_occupancy_cycles(
+    plan: &HeLayerPlan,
+    set: &ModuleSet,
+    degree: usize,
+) -> BTreeMap<OpClass, u64> {
+    LayerCostModel::from_plan(plan).class_occupancy_cycles(set, degree)
+}
+
+/// Modeled latency of one layer in cycles: the bottleneck class's
+/// occupancy divided by its `P_inter` (Eqs. 1–2), times the calibrated
+/// pipeline overhead.
+pub fn layer_latency_cycles(plan: &HeLayerPlan, set: &ModuleSet, degree: usize) -> u64 {
+    LayerCostModel::from_plan(plan).latency_cycles(set, degree)
+}
+
+/// Modeled latency of one layer in seconds at the given clock.
+pub fn layer_latency_seconds(
+    plan: &HeLayerPlan,
+    set: &ModuleSet,
+    degree: usize,
+    clock_mhz: f64,
+) -> f64 {
+    layer_latency_cycles(plan, set, degree) as f64 / (clock_mhz * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxhenn_nn::{fxhenn_mnist, lower_network};
+
+    const N: usize = 8192;
+    const CLOCK: f64 = 250.0;
+
+    fn mnist_program() -> fxhenn_nn::HeCnnProgram {
+        lower_network(&fxhenn_mnist(1), N, 7)
+    }
+
+    #[test]
+    fn cnv1_latency_matches_table5_range() {
+        // Table V: Cnv1 at intra = 1 runs in 0.062 s; at intra = 4 in
+        // 0.021 s.
+        let prog = mnist_program();
+        let cnv1 = prog.layer("Cnv1").unwrap();
+        let set1 = ModuleSet::minimal();
+        let lat1 = layer_latency_seconds(cnv1, &set1, N, CLOCK);
+        assert!(
+            (0.03..=0.09).contains(&lat1),
+            "Cnv1 @ intra=1: {lat1:.3} s (paper 0.062 s)"
+        );
+
+        let mut set4 = ModuleSet::minimal();
+        set4.set(
+            OpClass::Rescale,
+            ModuleConfig {
+                nc_ntt: 2,
+                p_intra: 4,
+                p_inter: 1,
+            },
+        );
+        let lat4 = layer_latency_seconds(cnv1, &set4, N, CLOCK);
+        assert!(
+            (0.010..=0.035).contains(&lat4),
+            "Cnv1 @ intra=4: {lat4:.3} s (paper 0.021 s)"
+        );
+        assert!(lat4 < lat1, "more intra-parallelism must be faster");
+    }
+
+    #[test]
+    fn fc1_dominates_and_matches_fig7_scale() {
+        // Fig. 7: baseline Fc1 ≈ 1.06 s; FxHENN Fc1 ≈ 0.16 s.
+        let prog = mnist_program();
+        let fc1 = prog.layer("Fc1").unwrap();
+        let baseline = layer_latency_seconds(fc1, &ModuleSet::minimal(), N, CLOCK);
+        assert!(
+            (0.7..=1.7).contains(&baseline),
+            "baseline Fc1 = {baseline:.2} s (paper ≈ 1.06 s)"
+        );
+
+        let mut opt = ModuleSet::minimal();
+        opt.set(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 4,
+                p_intra: 4,
+                p_inter: 1,
+            },
+        );
+        let fast = layer_latency_seconds(fc1, &opt, N, CLOCK);
+        assert!(
+            (0.08..=0.3).contains(&fast),
+            "optimized Fc1 = {fast:.2} s (paper ≈ 0.16 s)"
+        );
+
+        // Fc1 dominates the network at the baseline configuration.
+        let total: f64 = prog
+            .layers
+            .iter()
+            .map(|l| layer_latency_seconds(l, &ModuleSet::minimal(), N, CLOCK))
+            .sum();
+        assert!(baseline / total > 0.5, "Fc1 is the bottleneck layer");
+    }
+
+    #[test]
+    fn baseline_total_matches_table9() {
+        // Table IX: the baseline accelerator runs FxHENN-MNIST in 1.17 s.
+        let prog = mnist_program();
+        let total: f64 = prog
+            .layers
+            .iter()
+            .map(|l| layer_latency_seconds(l, &ModuleSet::minimal(), N, CLOCK))
+            .sum();
+        assert!(
+            (0.8..=1.9).contains(&total),
+            "baseline MNIST total = {total:.2} s (paper 1.17 s)"
+        );
+    }
+
+    #[test]
+    fn inter_parallelism_divides_latency() {
+        let prog = mnist_program();
+        let fc1 = prog.layer("Fc1").unwrap();
+        let mut set = ModuleSet::minimal();
+        let lat1 = layer_latency_cycles(fc1, &set, N);
+        set.set(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 2,
+                p_intra: 1,
+                p_inter: 2,
+            },
+        );
+        let lat2 = layer_latency_cycles(fc1, &set, N);
+        assert!(
+            lat2 * 2 <= lat1 + lat1 / 10,
+            "P_inter = 2 roughly halves the KS-bound layer: {lat1} -> {lat2}"
+        );
+    }
+
+    #[test]
+    fn module_set_accessors() {
+        let mut set = ModuleSet::minimal();
+        assert_eq!(set.get(OpClass::KeySwitch), ModuleConfig::minimal());
+        let cfg = ModuleConfig {
+            nc_ntt: 8,
+            p_intra: 2,
+            p_inter: 3,
+        };
+        set.set(OpClass::KeySwitch, cfg);
+        assert_eq!(set.get(OpClass::KeySwitch), cfg);
+        assert_eq!(set.iter().count(), 5);
+        // total DSP includes the scaled KS module
+        assert!(set.total_dsp() > ModuleSet::minimal().total_dsp());
+    }
+
+    #[test]
+    fn layer_shape_detects_activation() {
+        let prog = mnist_program();
+        let act1 = LayerShape::from_plan(prog.layer("Act1").unwrap(), N, 30);
+        assert!(act1.is_activation);
+        assert_eq!(act1.level, 6);
+        let fc1 = LayerShape::from_plan(prog.layer("Fc1").unwrap(), N, 30);
+        assert!(!fc1.is_activation);
+        assert_eq!(fc1.class, HeLayerClass::Ks);
+    }
+}

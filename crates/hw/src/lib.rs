@@ -1,0 +1,19 @@
+//! # fxhenn-hw
+//!
+//! FPGA device catalog and HE-operation resource/latency models for the
+//! FxHENN reproduction: the parameterized module library of Table I
+//! (latency Eqs. 3–6, DSP Eq. 7), the Bn/Bb buffer model with banking
+//! and URAM conversion (Sec. VI-A, Eqs. 8–9), and the per-layer pipeline
+//! latency model (Eqs. 1–2). All constants are calibrated against the
+//! paper's own measurements; see [`calibration`] for the derivations.
+
+pub mod bandwidth;
+pub mod buffers;
+pub mod calibration;
+pub mod device;
+pub mod layer;
+pub mod modules;
+
+pub use device::FpgaDevice;
+pub use layer::{layer_latency_cycles, layer_latency_seconds, LayerShape, ModuleSet};
+pub use modules::{HeOpModule, ModuleConfig, OpClass};

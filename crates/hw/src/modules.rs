@@ -1,0 +1,334 @@
+//! Parameterized HE operation module models: latency and DSP usage.
+//!
+//! Mirrors the paper's HLS module library (Table I): five operation
+//! module classes (OP1 CCadd/PCadd, OP2 PCmult, OP3 CCmult, OP4 Rescale,
+//! OP5 KeySwitch), each parameterized by the internal NTT core count
+//! `nc_NTT`, the intra-operation parallelism `P_intra` (parallel RNS
+//! polynomial lanes, Fig. 4) and the inter-operation parallelism
+//! `P_inter` (module replication).
+//!
+//! Latency follows Eqs. (3)–(6); DSP usage follows Eq. (7) with the
+//! per-class constants of [`crate::calibration`].
+
+use crate::calibration::{
+    dsp_const, ELEM_LANES, KS_NTT_PASSES_PER_LEVEL, RESCALE_ELEM_TAIL_LANES,
+    RESCALE_NTT_PASSES_PER_LEVEL,
+};
+use fxhenn_ckks::HeOpKind;
+
+/// The five HE operation module classes of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// OP1: ciphertext/plaintext additions.
+    Add,
+    /// OP2: plaintext × ciphertext multiplication.
+    PcMult,
+    /// OP3: ciphertext × ciphertext multiplication.
+    CcMult,
+    /// OP4: Rescale.
+    Rescale,
+    /// OP5: KeySwitch (Relinearize and Rotate).
+    KeySwitch,
+}
+
+impl OpClass {
+    /// All classes, in Table I order.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::Add,
+        OpClass::PcMult,
+        OpClass::CcMult,
+        OpClass::Rescale,
+        OpClass::KeySwitch,
+    ];
+
+    /// The paper's module label ("OP1" … "OP5").
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Add => "OP1",
+            OpClass::PcMult => "OP2",
+            OpClass::CcMult => "OP3",
+            OpClass::Rescale => "OP4",
+            OpClass::KeySwitch => "OP5",
+        }
+    }
+
+    /// True for the classes whose basic modules are NTT cores.
+    pub fn is_ntt_bound(self) -> bool {
+        matches!(self, OpClass::Rescale | OpClass::KeySwitch)
+    }
+}
+
+impl From<HeOpKind> for OpClass {
+    fn from(kind: HeOpKind) -> Self {
+        match kind {
+            HeOpKind::CcAdd | HeOpKind::PcAdd => OpClass::Add,
+            HeOpKind::PcMult => OpClass::PcMult,
+            HeOpKind::CcMult => OpClass::CcMult,
+            HeOpKind::Rescale => OpClass::Rescale,
+            HeOpKind::Relinearize | HeOpKind::Rotate => OpClass::KeySwitch,
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::Add => "CCadd/PCadd",
+            OpClass::PcMult => "PCmult",
+            OpClass::CcMult => "CCmult",
+            OpClass::Rescale => "Rescale",
+            OpClass::KeySwitch => "KeySwitch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of one HE operation module instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleConfig {
+    /// NTT cores inside each basic NTT module (`nc_NTT`, Table I).
+    pub nc_ntt: usize,
+    /// Parallel RNS polynomial lanes (`P_intra`, Fig. 4).
+    pub p_intra: usize,
+    /// Replicated module instances (`P_inter`).
+    pub p_inter: usize,
+}
+
+impl ModuleConfig {
+    /// A minimal configuration (`nc = 2`, `P_intra = P_inter = 1`).
+    pub fn minimal() -> Self {
+        Self {
+            nc_ntt: 2,
+            p_intra: 1,
+            p_inter: 1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nc_ntt ∈ {1, 2, 4, 8}` and the parallelism degrees
+    /// are at least 1.
+    pub fn validate(&self) {
+        assert!(
+            matches!(self.nc_ntt, 1 | 2 | 4 | 8),
+            "nc_NTT must be 1, 2, 4 or 8 (got {})",
+            self.nc_ntt
+        );
+        assert!(self.p_intra >= 1, "P_intra must be at least 1");
+        assert!(self.p_inter >= 1, "P_inter must be at least 1");
+    }
+}
+
+impl Default for ModuleConfig {
+    fn default() -> Self {
+        Self::minimal()
+    }
+}
+
+/// NTT module latency in cycles (Eq. 4): `log2(N) · N / (2 · nc_NTT)`.
+pub fn ntt_latency_cycles(n: usize, nc_ntt: usize) -> u64 {
+    (n.trailing_zeros() as u64 * n as u64) / (2 * nc_ntt as u64)
+}
+
+/// Elementwise basic module latency in cycles (Eq. 5): `N / p` with the
+/// calibrated lane count.
+pub fn elem_latency_cycles(n: usize) -> u64 {
+    n as u64 / ELEM_LANES as u64
+}
+
+/// One HE operation module with its configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeOpModule {
+    /// Which operation class this module implements.
+    pub class: OpClass,
+    /// Its parallelism configuration.
+    pub config: ModuleConfig,
+}
+
+impl HeOpModule {
+    /// Creates a module, validating the configuration.
+    pub fn new(class: OpClass, config: ModuleConfig) -> Self {
+        config.validate();
+        Self { class, config }
+    }
+
+    /// The bottleneck basic-module latency `LAT_b` (Eq. 6).
+    pub fn basic_latency_cycles(&self, n: usize) -> u64 {
+        if self.class.is_ntt_bound() {
+            ntt_latency_cycles(n, self.config.nc_ntt)
+        } else {
+            elem_latency_cycles(n)
+        }
+    }
+
+    /// Pipeline interval (Eq. 3): `ceil(L / P_intra) · LAT_b`.
+    pub fn pipeline_interval_cycles(&self, level: usize, n: usize) -> u64 {
+        let l = level as u64;
+        let p = self.config.p_intra as u64;
+        l.div_ceil(p) * self.basic_latency_cycles(n)
+    }
+
+    /// Standalone latency of one operation at the given level (the
+    /// quantity of the paper's Table I), in cycles.
+    pub fn op_latency_cycles(&self, level: usize, n: usize) -> u64 {
+        let l = level as u64;
+        let p = self.config.p_intra as u64;
+        let lanes = l.div_ceil(p);
+        match self.class {
+            OpClass::Add | OpClass::PcMult => 2 * lanes * elem_latency_cycles(n),
+            // CCmult forms four pointwise products but streams two per
+            // pass through the dual-ported buffers, so its latency
+            // matches PCmult (Table I reports 0.25 ms for both).
+            OpClass::CcMult => 2 * lanes * elem_latency_cycles(n),
+            OpClass::Rescale => {
+                let ntt = ntt_latency_cycles(n, self.config.nc_ntt);
+                let ntt_part = (RESCALE_NTT_PASSES_PER_LEVEL * lanes as f64 * ntt as f64) as u64;
+                let tail = 2 * l * n as u64 / RESCALE_ELEM_TAIL_LANES as u64;
+                ntt_part + tail
+            }
+            OpClass::KeySwitch => {
+                let ntt = ntt_latency_cycles(n, self.config.nc_ntt);
+                (KS_NTT_PASSES_PER_LEVEL * lanes as f64 * ntt as f64) as u64
+            }
+        }
+    }
+
+    /// DSP slice usage (Eq. 7): `P_inter · P_intra · Const_op(nc)`.
+    pub fn dsp_usage(&self) -> usize {
+        self.config.p_inter * self.config.p_intra * dsp_const(self.class, self.config.nc_ntt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_from_he_op_kind() {
+        assert_eq!(OpClass::from(HeOpKind::CcAdd), OpClass::Add);
+        assert_eq!(OpClass::from(HeOpKind::PcAdd), OpClass::Add);
+        assert_eq!(OpClass::from(HeOpKind::PcMult), OpClass::PcMult);
+        assert_eq!(OpClass::from(HeOpKind::CcMult), OpClass::CcMult);
+        assert_eq!(OpClass::from(HeOpKind::Rescale), OpClass::Rescale);
+        assert_eq!(OpClass::from(HeOpKind::Relinearize), OpClass::KeySwitch);
+        assert_eq!(OpClass::from(HeOpKind::Rotate), OpClass::KeySwitch);
+    }
+
+    #[test]
+    fn ntt_latency_follows_eq4() {
+        // N = 8192: log2 = 13 -> 13 * 8192 / (2 * nc)
+        assert_eq!(ntt_latency_cycles(8192, 2), 26_624);
+        assert_eq!(ntt_latency_cycles(8192, 4), 13_312);
+        assert_eq!(ntt_latency_cycles(8192, 8), 6_656);
+        assert_eq!(ntt_latency_cycles(16384, 2), 14 * 16384 / 4);
+    }
+
+    #[test]
+    fn doubling_cores_halves_ntt_latency() {
+        for nc in [1usize, 2, 4] {
+            assert_eq!(
+                ntt_latency_cycles(8192, nc),
+                2 * ntt_latency_cycles(8192, 2 * nc)
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_interval_follows_eq3() {
+        let m = HeOpModule::new(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 2,
+                p_intra: 2,
+                p_inter: 1,
+            },
+        );
+        // ceil(7/2) = 4 lanes passes
+        assert_eq!(m.pipeline_interval_cycles(7, 8192), 4 * 26_624);
+        // Full intra-parallelism: one pass.
+        let m2 = HeOpModule::new(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 2,
+                p_intra: 7,
+                p_inter: 1,
+            },
+        );
+        assert_eq!(m2.pipeline_interval_cycles(7, 8192), 26_624);
+    }
+
+    #[test]
+    fn intra_parallelism_three_wastes_a_lane() {
+        // The paper's Fig. 4 note: P_intra = 3 on L = 4 does not beat
+        // P_intra = 2 by the full ratio (ceil(4/3) = 2 = ceil(4/2)).
+        let mk = |p| {
+            HeOpModule::new(
+                OpClass::Rescale,
+                ModuleConfig {
+                    nc_ntt: 2,
+                    p_intra: p,
+                    p_inter: 1,
+                },
+            )
+        };
+        assert_eq!(
+            mk(3).pipeline_interval_cycles(4, 8192),
+            mk(2).pipeline_interval_cycles(4, 8192),
+            "P_intra = 3 gives no benefit over 2 at L = 4"
+        );
+        assert!(
+            mk(4).pipeline_interval_cycles(4, 8192) < mk(3).pipeline_interval_cycles(4, 8192)
+        );
+    }
+
+    #[test]
+    fn dsp_usage_scales_with_parallelism() {
+        let base = HeOpModule::new(OpClass::KeySwitch, ModuleConfig::minimal());
+        let dbl = HeOpModule::new(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 2,
+                p_intra: 2,
+                p_inter: 3,
+            },
+        );
+        assert_eq!(dbl.dsp_usage(), 6 * base.dsp_usage());
+    }
+
+    #[test]
+    fn add_module_uses_no_dsp() {
+        let m = HeOpModule::new(OpClass::Add, ModuleConfig::minimal());
+        assert_eq!(m.dsp_usage(), 0);
+    }
+
+    #[test]
+    fn keyswitch_is_slowest_op() {
+        for nc in [2usize, 4, 8] {
+            let cfg = ModuleConfig {
+                nc_ntt: nc,
+                p_intra: 1,
+                p_inter: 1,
+            };
+            let ks = HeOpModule::new(OpClass::KeySwitch, cfg).op_latency_cycles(7, 8192);
+            for class in [OpClass::Add, OpClass::PcMult, OpClass::CcMult, OpClass::Rescale] {
+                let other = HeOpModule::new(class, cfg).op_latency_cycles(7, 8192);
+                assert!(ks > other, "KS slower than {class:?} at nc={nc}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nc_NTT must be")]
+    fn invalid_core_count_rejected() {
+        HeOpModule::new(
+            OpClass::Rescale,
+            ModuleConfig {
+                nc_ntt: 3,
+                p_intra: 1,
+                p_inter: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests of the hardware models: monotonicity and
+//! consistency laws every resource/latency model must satisfy,
+//! independent of calibration values.
+
+use fxhenn_hw::buffers::{
+    bank_factor, bn_poly_blocks, layer_bram_blocks, module_bram_blocks, poly_base_blocks,
+    stall_factor,
+};
+use fxhenn_hw::layer::LayerShape;
+use fxhenn_hw::modules::{elem_latency_cycles, ntt_latency_cycles, HeOpModule};
+use fxhenn_hw::{FpgaDevice, ModuleConfig, OpClass};
+use fxhenn_nn::HeLayerClass;
+use proptest::prelude::*;
+
+fn nc_strategy() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 4, 8])
+}
+
+fn config_strategy() -> impl Strategy<Value = ModuleConfig> {
+    (nc_strategy(), 1usize..=7, 1usize..=4).prop_map(|(nc_ntt, p_intra, p_inter)| ModuleConfig {
+        nc_ntt,
+        p_intra,
+        p_inter,
+    })
+}
+
+fn class_strategy() -> impl Strategy<Value = OpClass> {
+    prop::sample::select(OpClass::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn ntt_latency_halves_exactly_with_core_doubling(
+        log_n in 8u32..15,
+        nc in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let n = 1usize << log_n;
+        prop_assert_eq!(
+            ntt_latency_cycles(n, nc),
+            2 * ntt_latency_cycles(n, 2 * nc)
+        );
+    }
+
+    #[test]
+    fn op_latency_never_increases_with_intra_parallelism(
+        class in class_strategy(),
+        cfg in config_strategy(),
+        level in 1usize..=7,
+    ) {
+        prop_assume!(cfg.p_intra < 7);
+        let n = 8192;
+        let a = HeOpModule::new(class, cfg).op_latency_cycles(level, n);
+        let deeper = ModuleConfig { p_intra: cfg.p_intra + 1, ..cfg };
+        let b = HeOpModule::new(class, deeper).op_latency_cycles(level, n);
+        prop_assert!(b <= a, "latency grew: {} -> {} for {:?}", a, b, class);
+    }
+
+    #[test]
+    fn op_latency_grows_with_level(
+        class in class_strategy(),
+        cfg in config_strategy(),
+        level in 1usize..7,
+    ) {
+        let n = 8192;
+        let a = HeOpModule::new(class, cfg).op_latency_cycles(level, n);
+        let b = HeOpModule::new(class, cfg).op_latency_cycles(level + 1, n);
+        prop_assert!(b >= a, "latency shrank with level: {} -> {} for {:?}", a, b, class);
+    }
+
+    #[test]
+    fn ntt_bound_ops_speed_up_with_cores(
+        cfg in config_strategy(),
+        level in 1usize..=7,
+    ) {
+        prop_assume!(cfg.nc_ntt < 8);
+        let n = 8192;
+        for class in [OpClass::Rescale, OpClass::KeySwitch] {
+            let a = HeOpModule::new(class, cfg).op_latency_cycles(level, n);
+            let more = ModuleConfig { nc_ntt: cfg.nc_ntt * 2, ..cfg };
+            let b = HeOpModule::new(class, more).op_latency_cycles(level, n);
+            prop_assert!(b < a, "more cores did not help {:?}: {} -> {}", class, a, b);
+        }
+        // Elementwise ops are nc-independent.
+        for class in [OpClass::Add, OpClass::PcMult, OpClass::CcMult] {
+            let a = HeOpModule::new(class, cfg).op_latency_cycles(level, n);
+            let more = ModuleConfig { nc_ntt: cfg.nc_ntt * 2, ..cfg };
+            let b = HeOpModule::new(class, more).op_latency_cycles(level, n);
+            prop_assert_eq!(a, b, "elementwise op {:?} must ignore nc", class);
+        }
+    }
+
+    #[test]
+    fn dsp_is_exactly_multiplicative_in_parallelism(
+        class in class_strategy(),
+        cfg in config_strategy(),
+    ) {
+        let unit = HeOpModule::new(
+            class,
+            ModuleConfig { nc_ntt: cfg.nc_ntt, p_intra: 1, p_inter: 1 },
+        )
+        .dsp_usage();
+        let full = HeOpModule::new(class, cfg).dsp_usage();
+        prop_assert_eq!(full, unit * cfg.p_intra * cfg.p_inter);
+    }
+
+    #[test]
+    fn poly_blocks_scale_with_width_and_degree(
+        log_n in 9u32..15,
+        w in 20u32..=54,
+    ) {
+        let n = 1usize << log_n;
+        let base = poly_base_blocks(n, w);
+        prop_assert!(base >= 1);
+        prop_assert!(poly_base_blocks(2 * n, w) >= 2 * base - 1, "degree doubling");
+        prop_assert!(poly_base_blocks(n, w + 6) >= base, "wider words");
+    }
+
+    #[test]
+    fn bank_factor_and_bn_blocks_consistent(nc in nc_strategy()) {
+        let n = 8192;
+        let w = 30;
+        prop_assert_eq!(
+            bn_poly_blocks(n, w, nc),
+            bank_factor(nc) * poly_base_blocks(n, w)
+        );
+    }
+
+    #[test]
+    fn module_bram_grows_with_level(
+        class in class_strategy(),
+        nc in nc_strategy(),
+        level in 1usize..7,
+    ) {
+        let a = module_bram_blocks(class, level, 8192, 30, nc);
+        let b = module_bram_blocks(class, level + 1, 8192, 30, nc);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn layer_bram_monotone_in_all_axes(
+        cfg in config_strategy(),
+        level in 2usize..=7,
+        is_act in any::<bool>(),
+    ) {
+        let mk = |class, lvl, c: &ModuleConfig| {
+            layer_bram_blocks(
+                &LayerShape {
+                    class,
+                    is_activation: is_act,
+                    level: lvl,
+                    degree: 8192,
+                    w_bits: 30,
+                },
+                c,
+            )
+        };
+        for class in [HeLayerClass::Nks, HeLayerClass::Ks] {
+            let base = mk(class, level, &cfg);
+            prop_assert!(mk(class, level - 1, &cfg) <= base, "level shrink");
+            let wider = ModuleConfig { p_inter: cfg.p_inter + 1, ..cfg };
+            let wider_blocks = mk(class, level, &wider);
+            prop_assert!(wider_blocks >= base, "p_inter growth");
+            if cfg.p_intra < 7 {
+                let deeper = ModuleConfig { p_intra: cfg.p_intra + 1, ..cfg };
+                let deeper_blocks = mk(class, level, &deeper);
+                prop_assert!(deeper_blocks >= base, "p_intra growth");
+            }
+        }
+    }
+
+    #[test]
+    fn stall_factor_is_bounded_and_monotone(
+        demand in 1usize..2000,
+        alloc_pct in 0u32..=100,
+    ) {
+        let alloc = demand * alloc_pct as usize / 100;
+        for class in [HeLayerClass::Nks, HeLayerClass::Ks] {
+            let f = stall_factor(alloc, demand, class);
+            prop_assert!(f >= 1.0);
+            prop_assert!(f <= 140.0);
+            // More allocation can only help.
+            if alloc + 1 <= demand {
+                let f2 = stall_factor(alloc + 1, demand, class);
+                prop_assert!(f2 <= f + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uram_conversion_bounded_by_four(bank_words in 1usize..100_000) {
+        let d = FpgaDevice::acu15eg();
+        let eq = d.uram_as_bram_blocks(bank_words);
+        let lower = d.uram_blocks(); // ratio is at least 1 for any bank depth
+        prop_assert!(eq >= lower);
+        prop_assert!(eq <= 4 * d.uram_blocks());
+    }
+
+    #[test]
+    fn elem_latency_matches_eq5(log_n in 8u32..15) {
+        let n = 1usize << log_n;
+        prop_assert_eq!(elem_latency_cycles(n), (n / 2) as u64);
+    }
+}

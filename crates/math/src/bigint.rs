@@ -1,0 +1,278 @@
+//! Minimal unsigned big-integer support for CRT reconstruction.
+//!
+//! Decoding a CKKS plaintext requires mapping an RNS residue vector back to
+//! a centered integer modulo `Q = ∏ q_i`, where `Q` can be several hundred
+//! bits (the paper uses 210- and 252-bit `Q`). Rather than pull in a bignum
+//! dependency, this module implements the handful of operations the CRT
+//! needs: addition, subtraction, multiplication by a word, division by a
+//! word, comparison and conversion to `f64`.
+
+use std::cmp::Ordering;
+
+/// Arbitrary-precision unsigned integer, little-endian 64-bit limbs.
+///
+/// The representation is normalized: no trailing zero limbs, and zero is
+/// the empty limb vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// Creates a big integer from a single word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Adds `other` into `self`.
+    pub fn add_assign(&mut self, other: &BigUint) {
+        let mut carry = 0u64;
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let o = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(o);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (the result would be negative).
+    pub fn sub_assign(&mut self, other: &BigUint) {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "big integer subtraction would underflow"
+        );
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let o = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(o);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// Multiplies `self` by a word in place.
+    pub fn mul_u64_assign(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u64;
+        for limb in &mut self.limbs {
+            let prod = *limb as u128 * m as u128 + carry as u128;
+            *limb = prod as u64;
+            carry = (prod >> 64) as u64;
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Returns `self * m` without modifying `self`.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        let mut r = self.clone();
+        r.mul_u64_assign(m);
+        r
+    }
+
+    /// Divides `self` by a word, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        (quo, rem as u64)
+    }
+
+    /// Computes `self mod d` for a word divisor.
+    pub fn rem_u64(&self, d: u64) -> u64 {
+        self.div_rem_u64(d).1
+    }
+
+    /// Compares two big integers.
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+
+    /// Converts to `f64`, with rounding appropriate for values whose
+    /// magnitude fits in the `f64` exponent range.
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64; // 2^64
+        }
+        acc
+    }
+
+    /// Product of a list of words, as a big integer.
+    pub fn product_of(words: &[u64]) -> BigUint {
+        let mut acc = BigUint::from_u64(1);
+        for &w in words {
+            acc.mul_u64_assign(w);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_properties() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.bits(), 0);
+        assert_eq!(z.to_f64(), 0.0);
+        assert_eq!(BigUint::from_u64(0), z);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let mut a = BigUint::from_u64(u64::MAX);
+        a.add_assign(&BigUint::from_u64(1));
+        assert_eq!(a.limbs, vec![0, 1]);
+        assert_eq!(a.bits(), 65);
+    }
+
+    #[test]
+    fn sub_restores_after_add() {
+        let mut a = BigUint::from_u64(12345);
+        a.mul_u64_assign(u64::MAX);
+        let b = a.clone();
+        a.add_assign(&BigUint::from_u64(999));
+        a.sub_assign(&BigUint::from_u64(999));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut a = BigUint::from_u64(1);
+        a.sub_assign(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let primes = [1_073_741_789u64, 1_073_741_783, 4_611_686_018_427_387_847];
+        let q = BigUint::product_of(&primes);
+        for &p in &primes {
+            let (quo, rem) = q.div_rem_u64(p);
+            assert_eq!(rem, 0, "product divisible by each factor");
+            assert_eq!(quo.mul_u64(p), q);
+        }
+    }
+
+    #[test]
+    fn rem_matches_crt_residues() {
+        let primes = [97u64, 101, 103];
+        // v = 50 mod 97, 50 mod 101, 50 mod 103 => v = 50
+        let v = BigUint::from_u64(50);
+        for &p in &primes {
+            assert_eq!(v.rem_u64(p), 50 % p);
+        }
+        // A larger assembled value.
+        let big = BigUint::product_of(&[u64::MAX, u64::MAX - 1]);
+        assert_eq!(
+            big.rem_u64(97),
+            {
+                // (a*b) mod 97 via u128 staging
+                let a = (u64::MAX % 97) as u128;
+                let b = ((u64::MAX - 1) % 97) as u128;
+                ((a * b) % 97) as u64
+            },
+            "remainder distributes over product"
+        );
+    }
+
+    #[test]
+    fn comparison_orders_by_magnitude() {
+        let small = BigUint::from_u64(5);
+        let mid = BigUint::from_u64(u64::MAX);
+        let big = mid.mul_u64(2);
+        assert_eq!(small.cmp_big(&mid), Ordering::Less);
+        assert_eq!(big.cmp_big(&mid), Ordering::Greater);
+        assert_eq!(mid.cmp_big(&mid.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_approximates_large_values() {
+        let v = BigUint::product_of(&[1u64 << 40, 1 << 40, 1 << 40]);
+        let f = v.to_f64();
+        let expected = (2f64).powi(120);
+        assert!((f - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn bits_counts_correctly() {
+        assert_eq!(BigUint::from_u64(1).bits(), 1);
+        assert_eq!(BigUint::from_u64(0b1000).bits(), 4);
+        let two_64 = {
+            let mut a = BigUint::from_u64(u64::MAX);
+            a.add_assign(&BigUint::from_u64(1));
+            a
+        };
+        assert_eq!(two_64.bits(), 65);
+    }
+}

@@ -1,0 +1,50 @@
+//! # fxhenn-math
+//!
+//! Number-theoretic substrate for the FxHENN reproduction: word-sized
+//! modular arithmetic (including the Barrett-reduction and Shoup
+//! multiplication primitives an FPGA datapath would instantiate),
+//! NTT-friendly prime generation, the negacyclic number-theoretic
+//! transform, residue-number-system bases with CRT reconstruction, RNS
+//! polynomials and the random samplers used by RNS-CKKS key generation.
+//!
+//! The paper lowers every HE operation onto exactly these basic
+//! operations — "NTT/INTT, Barrett Reduction, Modular Multiplication,
+//! Modular Subtraction, and Modular Addition" (Sec. II-A) — so this crate
+//! is the software mirror of the accelerator's basic operation modules.
+//!
+//! ## Example
+//!
+//! Multiply two polynomials in `Z_q[X]/(X^N + 1)` via the NTT:
+//!
+//! ```
+//! use fxhenn_math::ntt::NttTable;
+//! use fxhenn_math::prime::generate_ntt_primes;
+//! use fxhenn_math::modops::mul_mod;
+//!
+//! let n = 64;
+//! let q = generate_ntt_primes(30, n, 1)[0];
+//! let table = NttTable::new(n, q);
+//!
+//! let mut a = vec![0u64; n];
+//! let mut b = vec![0u64; n];
+//! a[1] = 2; // 2X
+//! b[2] = 3; // 3X^2
+//! table.forward(&mut a);
+//! table.forward(&mut b);
+//! let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+//! table.inverse(&mut c);
+//! assert_eq!(c[3], 6); // 6X^3
+//! ```
+
+pub mod bigint;
+pub mod modops;
+pub mod ntt;
+pub mod poly;
+pub mod prime;
+pub mod rns;
+pub mod sampling;
+
+pub use bigint::BigUint;
+pub use ntt::NttTable;
+pub use poly::{Domain, RnsPoly};
+pub use rns::RnsBasis;

@@ -1,0 +1,381 @@
+//! Scalar modular arithmetic over word-sized prime moduli.
+//!
+//! The FxHENN hardware maps every HE operation onto a handful of *basic
+//! operations*: modular addition, modular subtraction, modular
+//! multiplication and Barrett reduction (Sec. II-A of the paper). This
+//! module provides the software equivalents used by the functional
+//! RNS-CKKS implementation, including the precomputed-constant variants
+//! ([`BarrettReducer`], [`ShoupMul`]) that mirror what an FPGA datapath
+//! would instantiate.
+//!
+//! All moduli are required to be odd primes below 2^62 so that sums of two
+//! residues never overflow a `u64` and 128-bit products never overflow a
+//! `u128`.
+
+/// Maximum supported modulus bit width.
+///
+/// Keeping `q < 2^62` lets `add_mod` use a single conditional subtraction
+/// and keeps Barrett quotients within `u128`.
+pub const MAX_MODULUS_BITS: u32 = 62;
+
+/// Adds two residues modulo `q`.
+///
+/// # Examples
+///
+/// ```
+/// use fxhenn_math::modops::add_mod;
+/// assert_eq!(add_mod(5, 9, 11), 3);
+/// ```
+#[inline]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Subtracts `b` from `a` modulo `q`.
+///
+/// # Examples
+///
+/// ```
+/// use fxhenn_math::modops::sub_mod;
+/// assert_eq!(sub_mod(3, 9, 11), 5);
+/// ```
+#[inline]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Negates a residue modulo `q`.
+#[inline]
+pub fn neg_mod(a: u64, q: u64) -> u64 {
+    debug_assert!(a < q);
+    if a == 0 {
+        0
+    } else {
+        q - a
+    }
+}
+
+/// Multiplies two residues modulo `q` via a 128-bit product.
+///
+/// # Examples
+///
+/// ```
+/// use fxhenn_math::modops::mul_mod;
+/// assert_eq!(mul_mod(123_456_789, 987_654_321, 1_000_000_007), 259_106_859);
+/// ```
+#[inline]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    ((a as u128 * b as u128) % q as u128) as u64
+}
+
+/// Raises `base` to `exp` modulo `q` by square-and-multiply.
+pub fn pow_mod(base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut acc: u64 = 1 % q;
+    let mut b = base % q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, b, q);
+        }
+        b = mul_mod(b, b, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Computes the multiplicative inverse of `a` modulo prime `q` using
+/// Fermat's little theorem.
+///
+/// # Panics
+///
+/// Panics if `a` is zero: zero has no inverse.
+pub fn inv_mod(a: u64, q: u64) -> u64 {
+    assert!(a % q != 0, "zero has no modular inverse");
+    pow_mod(a, q - 2, q)
+}
+
+/// Barrett reduction context for a fixed modulus.
+///
+/// Precomputes `mu = floor(2^128 / q)` (stored as a 128-bit value split
+/// into the high and low 64-bit halves of `floor(2^128/q)`), which is the
+/// constant a synthesized Barrett unit would hold in registers. Reduces
+/// full 128-bit products without a hardware divider, exactly like the
+/// paper's "Barrett Reduction" basic operation module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrettReducer {
+    q: u64,
+    /// floor(2^128 / q), fits in u128 because q >= 2.
+    mu: u128,
+}
+
+impl BarrettReducer {
+    /// Creates a reducer for modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` or `q >= 2^62`.
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 2, "modulus must be at least 2");
+        assert!(
+            q < (1u64 << MAX_MODULUS_BITS),
+            "modulus must be below 2^{MAX_MODULUS_BITS}"
+        );
+        // floor(2^128 / q) computed as ((2^128 - 1) / q) since q does not
+        // divide 2^128 (q is odd in all our uses; for even q the -1 error
+        // is still absorbed by the final correction loop).
+        let mu = u128::MAX / q as u128;
+        Self { q, mu }
+    }
+
+    /// The modulus this reducer reduces by.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Reduces a 128-bit value modulo `q`.
+    ///
+    /// Uses the high 64 bits of `x * mu / 2^128` as the quotient estimate;
+    /// the estimate is at most 2 short, corrected by conditional
+    /// subtractions.
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // q_est = floor(x * mu / 2^128) computed via 128x128 -> high 128 bits.
+        let x_lo = x as u64 as u128;
+        let x_hi = (x >> 64) as u64 as u128;
+        let mu_lo = self.mu as u64 as u128;
+        let mu_hi = (self.mu >> 64) as u64 as u128;
+
+        // (x_hi*2^64 + x_lo) * (mu_hi*2^64 + mu_lo) >> 128
+        let ll = x_lo * mu_lo;
+        let lh = x_lo * mu_hi;
+        let hl = x_hi * mu_lo;
+        let hh = x_hi * mu_hi;
+
+        let mid = (ll >> 64) + (lh & 0xFFFF_FFFF_FFFF_FFFF) + (hl & 0xFFFF_FFFF_FFFF_FFFF);
+        let q_est = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+
+        let mut r = x.wrapping_sub(q_est.wrapping_mul(self.q as u128)) as u64;
+        while r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
+    /// Multiplies two residues modulo `q` using Barrett reduction.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Reduces an arbitrary `u64` modulo `q`.
+    #[inline]
+    pub fn reduce_u64(&self, x: u64) -> u64 {
+        self.reduce_u128(x as u128)
+    }
+}
+
+/// Shoup precomputed multiplication by a fixed operand.
+///
+/// For a constant `w` (e.g. an NTT twiddle factor), precomputes
+/// `w' = floor(w * 2^64 / q)` so that `x * w mod q` needs a single high
+/// multiplication, one low multiplication and one conditional subtraction.
+/// This is the exact trick HEAX-style NTT butterflies use to fit the
+/// modular multiply in a few DSP slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupMul {
+    w: u64,
+    w_shoup: u64,
+    q: u64,
+}
+
+impl ShoupMul {
+    /// Precomputes the Shoup constant for operand `w` and modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= q` or `q >= 2^62`.
+    pub fn new(w: u64, q: u64) -> Self {
+        assert!(w < q, "operand must be reduced");
+        assert!(q < (1u64 << MAX_MODULUS_BITS));
+        let w_shoup = ((w as u128) << 64) / q as u128;
+        Self {
+            w,
+            w_shoup: w_shoup as u64,
+            q,
+        }
+    }
+
+    /// The fixed operand `w`.
+    #[inline]
+    pub fn operand(&self) -> u64 {
+        self.w
+    }
+
+    /// Computes `x * w mod q`.
+    #[inline]
+    pub fn mul(&self, x: u64) -> u64 {
+        debug_assert!(x < self.q);
+        let hi = ((x as u128 * self.w_shoup as u128) >> 64) as u64;
+        let r = x
+            .wrapping_mul(self.w)
+            .wrapping_sub(hi.wrapping_mul(self.q));
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+}
+
+/// Maps a signed integer into `[0, q)`.
+#[inline]
+pub fn signed_to_mod(v: i64, q: u64) -> u64 {
+    if v >= 0 {
+        (v as u64) % q
+    } else {
+        let m = ((-v) as u64) % q;
+        if m == 0 {
+            0
+        } else {
+            q - m
+        }
+    }
+}
+
+/// Maps a residue in `[0, q)` to its centered representative in
+/// `(-q/2, q/2]`.
+#[inline]
+pub fn mod_to_signed(v: u64, q: u64) -> i64 {
+    debug_assert!(v < q);
+    if v > q / 2 {
+        -((q - v) as i64)
+    } else {
+        v as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = (1 << 30) - 35; // 30-bit prime 1073741789
+    const Q62: u64 = 4611686018427387847; // prime just below 2^62
+
+    #[test]
+    fn add_sub_roundtrip() {
+        for (a, b) in [(0, 0), (1, Q - 1), (Q / 2, Q / 2), (Q - 1, Q - 1)] {
+            let s = add_mod(a, b, Q);
+            assert_eq!(sub_mod(s, b, Q), a);
+        }
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        for a in [0, 1, 17, Q - 1, Q / 3] {
+            assert_eq!(add_mod(a, neg_mod(a, Q), Q), 0);
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_repeated_multiplication() {
+        let base = 12345;
+        let mut acc = 1u64;
+        for e in 0..20u64 {
+            assert_eq!(pow_mod(base, e, Q), acc);
+            acc = mul_mod(acc, base, Q);
+        }
+    }
+
+    #[test]
+    fn inverse_multiplies_to_one() {
+        for a in [1u64, 2, 3, 12345, Q - 1] {
+            assert_eq!(mul_mod(a, inv_mod(a, Q), Q), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no modular inverse")]
+    fn inverse_of_zero_panics() {
+        inv_mod(0, Q);
+    }
+
+    #[test]
+    fn barrett_matches_naive_mul() {
+        let red = BarrettReducer::new(Q);
+        let pairs = [
+            (0u64, 0u64),
+            (1, Q - 1),
+            (Q - 1, Q - 1),
+            (123_456, 789_012),
+            (Q / 2, Q / 3),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(red.mul(a, b), mul_mod(a, b, Q));
+        }
+    }
+
+    #[test]
+    fn barrett_reduces_large_u128() {
+        let red = BarrettReducer::new(Q62);
+        let big: u128 = (Q62 as u128 - 1) * (Q62 as u128 - 1);
+        assert_eq!(red.reduce_u128(big), (big % Q62 as u128) as u64);
+        assert_eq!(red.reduce_u128(u128::from(u64::MAX)), u64::MAX % Q62);
+    }
+
+    #[test]
+    fn barrett_reduce_u64() {
+        let red = BarrettReducer::new(Q);
+        assert_eq!(red.reduce_u64(u64::MAX), u64::MAX % Q);
+        assert_eq!(red.reduce_u64(Q), 0);
+        assert_eq!(red.reduce_u64(Q - 1), Q - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be below")]
+    fn barrett_rejects_oversized_modulus() {
+        BarrettReducer::new(1 << 62);
+    }
+
+    #[test]
+    fn shoup_matches_naive_for_many_operands() {
+        for w in [0u64, 1, 2, Q - 1, Q / 2, 999_983] {
+            let sm = ShoupMul::new(w, Q);
+            for x in [0u64, 1, Q - 1, Q / 7, 424_242] {
+                assert_eq!(sm.mul(x), mul_mod(x, w, Q), "w={w} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_near_modulus_boundary() {
+        let sm = ShoupMul::new(Q62 - 1, Q62);
+        assert_eq!(sm.mul(Q62 - 1), mul_mod(Q62 - 1, Q62 - 1, Q62));
+    }
+
+    #[test]
+    fn signed_conversion_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 5, 1 << 20, -(1 << 20)] {
+            let m = signed_to_mod(v, Q);
+            assert_eq!(mod_to_signed(m, Q), v);
+        }
+    }
+
+    #[test]
+    fn signed_to_mod_wraps_large_negative() {
+        assert_eq!(signed_to_mod(-(Q as i64), Q), 0);
+        assert_eq!(signed_to_mod(-(Q as i64) - 3, Q), Q - 3);
+    }
+}

@@ -1,0 +1,327 @@
+//! Negacyclic number-theoretic transform over `Z_q[X]/(X^N + 1)`.
+//!
+//! The NTT is the fundamental building block of the Rescale and KeySwitch
+//! HE operations and the performance bottleneck of the whole accelerator
+//! (paper Sec. III, Table I). This software implementation mirrors the
+//! HEAX-style butterfly datapath: Cooley–Tukey decimation-in-time for the
+//! forward transform, Gentleman–Sande for the inverse, with Shoup
+//! precomputed twiddles so each butterfly costs one high product, one low
+//! product and a correction — the same arithmetic an FPGA NTT core
+//! implements in DSP slices.
+//!
+//! `log2(N)` rounds of `N/2` butterflies each give the latency model of
+//! paper Eq. (4): `LAT_NTT = log2(N) · N / (2 · nc_NTT)` cycles for
+//! `nc_NTT` parallel cores.
+
+use crate::modops::{add_mod, inv_mod, pow_mod, sub_mod, ShoupMul};
+use crate::prime::is_prime;
+
+/// Precomputed tables for the negacyclic NTT of a fixed `(N, q)` pair.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    q: u64,
+    /// psi^brv(i) in bit-reversed order, Shoup form; index 0 unused.
+    fwd: Vec<ShoupMul>,
+    /// psi^-brv(i) in bit-reversed order, Shoup form; index 0 unused.
+    inv: Vec<ShoupMul>,
+    /// N^{-1} mod q in Shoup form, folded into the last inverse stage.
+    n_inv: ShoupMul,
+    /// The primitive 2N-th root of unity used to build the tables.
+    psi: u64,
+}
+
+impl NttTable {
+    /// Builds NTT tables for ring degree `n` and prime modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two of at least 2, if `q` is not
+    /// prime, or if `q ≢ 1 (mod 2n)` (no primitive `2n`-th root exists).
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "ring degree must be a power of two >= 2"
+        );
+        assert!(is_prime(q), "NTT modulus must be prime");
+        assert_eq!(
+            (q - 1) % (2 * n as u64),
+            0,
+            "modulus must be 1 mod 2N for the negacyclic NTT"
+        );
+        let psi = find_primitive_2n_root(n, q);
+        let psi_inv = inv_mod(psi, q);
+        let log_n = n.trailing_zeros();
+
+        let mut fwd = Vec::with_capacity(n);
+        let mut inv = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = bit_reverse(i as u64, log_n);
+            fwd.push(ShoupMul::new(pow_mod(psi, r, q), q));
+            inv.push(ShoupMul::new(pow_mod(psi_inv, r, q), q));
+        }
+        let n_inv = ShoupMul::new(inv_mod(n as u64, q), q);
+        Self {
+            n,
+            q,
+            fwd,
+            inv,
+            n_inv,
+            psi,
+        }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Prime modulus `q`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The primitive `2N`-th root of unity backing the tables.
+    #[inline]
+    pub fn root(&self) -> u64 {
+        self.psi
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let w = &self.fwd[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = w.mul(a[j + t]);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain),
+    /// including the `N^{-1}` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = &self.inv[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = w.mul(sub_mod(u, v, q));
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x);
+        }
+    }
+}
+
+/// Reverses the low `bits` bits of `x`.
+#[inline]
+pub fn bit_reverse(x: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        x.reverse_bits() >> (64 - bits)
+    }
+}
+
+/// Finds a primitive `2n`-th root of unity modulo `q`.
+///
+/// Tries successive bases `x`, computing `x^((q-1)/2n)`; a candidate `psi`
+/// is primitive iff `psi^n ≡ -1 (mod q)` (since `2n` is a power of two,
+/// any order dividing `2n` but not `n` must be exactly `2n`).
+fn find_primitive_2n_root(n: usize, q: u64) -> u64 {
+    let two_n = 2 * n as u64;
+    let exp = (q - 1) / two_n;
+    for x in 2..q {
+        let psi = pow_mod(x, exp, q);
+        if psi != 0 && pow_mod(psi, n as u64, q) == q - 1 {
+            return psi;
+        }
+    }
+    unreachable!("a primitive root always exists for prime q ≡ 1 mod 2N")
+}
+
+/// Schoolbook negacyclic polynomial multiplication, used as a test oracle.
+///
+/// Computes `a * b mod (X^N + 1, q)` in O(N²).
+pub fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let p = ((ai as u128 * bj as u128) % q as u128) as u64;
+            let k = i + j;
+            if k < n {
+                out[k] = add_mod(out[k], p, q);
+            } else {
+                out[k - n] = sub_mod(out[k - n], p, q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_poly(n: usize, q: u64, rng: &mut StdRng) -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..q)).collect()
+    }
+
+    #[test]
+    fn bit_reverse_basics() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(5, 0), 0);
+        assert_eq!(bit_reverse(1, 1), 1);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [4usize, 64, 256, 1024] {
+            let q = generate_ntt_primes(30, n, 1)[0];
+            let table = NttTable::new(n, q);
+            let original = random_poly(n, q, &mut rng);
+            let mut a = original.clone();
+            table.forward(&mut a);
+            assert_ne!(a, original, "transform should change a random poly");
+            table.inverse(&mut a);
+            assert_eq!(a, original);
+        }
+    }
+
+    #[test]
+    fn root_is_primitive() {
+        let n = 128;
+        let q = generate_ntt_primes(30, n, 1)[0];
+        let t = NttTable::new(n, q);
+        assert_eq!(pow_mod(t.root(), n as u64, q), q - 1);
+        assert_eq!(pow_mod(t.root(), 2 * n as u64, q), 1);
+    }
+
+    #[test]
+    fn pointwise_product_matches_naive_negacyclic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [8usize, 32, 128] {
+            let q = generate_ntt_primes(30, n, 1)[0];
+            let table = NttTable::new(n, q);
+            let a = random_poly(n, q, &mut rng);
+            let b = random_poly(n, q, &mut rng);
+            let expected = negacyclic_mul_naive(&a, &b, q);
+
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            table.forward(&mut fa);
+            table.forward(&mut fb);
+            let mut fc: Vec<u64> = fa
+                .iter()
+                .zip(&fb)
+                .map(|(&x, &y)| crate::modops::mul_mod(x, y, q))
+                .collect();
+            table.inverse(&mut fc);
+            assert_eq!(fc, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 64;
+        let q = generate_ntt_primes(30, n, 1)[0];
+        let table = NttTable::new(n, q);
+        let a = random_poly(n, q, &mut rng);
+        let b = random_poly(n, q, &mut rng);
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, q)).collect();
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum.clone();
+        table.forward(&mut fa);
+        table.forward(&mut fb);
+        table.forward(&mut fsum);
+        for i in 0..n {
+            assert_eq!(fsum[i], add_mod(fa[i], fb[i], q));
+        }
+    }
+
+    #[test]
+    fn constant_poly_transforms_to_constant_diagonal() {
+        let n = 16;
+        let q = generate_ntt_primes(30, n, 1)[0];
+        let table = NttTable::new(n, q);
+        let mut a = vec![0u64; n];
+        a[0] = 5;
+        table.forward(&mut a);
+        assert!(a.iter().all(|&x| x == 5), "NTT of constant is constant");
+    }
+
+    #[test]
+    fn multiplication_by_x_rotates_negacyclically() {
+        let n = 8;
+        let q = generate_ntt_primes(30, n, 1)[0];
+        // (X^(n-1)) * X = X^n = -1 mod X^n + 1
+        let mut a = vec![0u64; n];
+        a[n - 1] = 3;
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        let prod = negacyclic_mul_naive(&a, &x, q);
+        assert_eq!(prod[0], q - 3);
+        assert!(prod[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal ring degree")]
+    fn forward_rejects_wrong_length() {
+        let q = generate_ntt_primes(30, 16, 1)[0];
+        let table = NttTable::new(16, q);
+        let mut a = vec![0u64; 8];
+        table.forward(&mut a);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 mod 2N")]
+    fn rejects_incompatible_modulus() {
+        // 97 is prime but 97-1=96 is not divisible by 2*64=128.
+        NttTable::new(64, 97);
+    }
+}

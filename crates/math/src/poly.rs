@@ -1,0 +1,465 @@
+//! RNS polynomials in `Z_Q[X]/(X^N + 1)`.
+//!
+//! An [`RnsPoly`] stores one residue polynomial per prime of its basis and
+//! tracks whether it currently lives in the coefficient or the NTT
+//! (evaluation) domain. The HE operation modules of the paper operate on
+//! exactly these per-prime residue polynomials; the level `L` of a
+//! ciphertext is the number of residue components (`poly_{q_i}` in paper
+//! Sec. V-B).
+
+use crate::modops::{add_mod, mul_mod, neg_mod, sub_mod};
+use crate::ntt::NttTable;
+
+/// Which domain the residue coefficients are expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Power-basis coefficients.
+    Coeff,
+    /// NTT / evaluation domain (slot-wise products are ring products).
+    Ntt,
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Domain::Coeff => f.write_str("coefficient"),
+            Domain::Ntt => f.write_str("NTT"),
+        }
+    }
+}
+
+/// A polynomial over an RNS basis: `len` residue vectors of `N`
+/// coefficients each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    n: usize,
+    residues: Vec<Vec<u64>>,
+    domain: Domain,
+}
+
+impl RnsPoly {
+    /// The zero polynomial over `levels` primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `levels == 0`.
+    pub fn zero(n: usize, levels: usize, domain: Domain) -> Self {
+        assert!(n.is_power_of_two(), "degree must be a power of two");
+        assert!(levels > 0, "a polynomial needs at least one residue");
+        Self {
+            n,
+            residues: vec![vec![0u64; n]; levels],
+            domain,
+        }
+    }
+
+    /// Builds a polynomial from explicit residue vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residue vectors are empty or of unequal length.
+    pub fn from_residues(residues: Vec<Vec<u64>>, domain: Domain) -> Self {
+        assert!(!residues.is_empty(), "need at least one residue vector");
+        let n = residues[0].len();
+        assert!(n.is_power_of_two(), "degree must be a power of two");
+        assert!(
+            residues.iter().all(|r| r.len() == n),
+            "all residue vectors must have the same length"
+        );
+        Self {
+            n,
+            residues,
+            domain,
+        }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Number of residue components (the ciphertext level `L`).
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Current domain.
+    #[inline]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Residue polynomial for prime `i`.
+    #[inline]
+    pub fn component(&self, i: usize) -> &[u64] {
+        &self.residues[i]
+    }
+
+    /// Mutable residue polynomial for prime `i`.
+    #[inline]
+    pub fn component_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.residues[i]
+    }
+
+    /// Drops the last residue component, reducing the level by one (the
+    /// tail of a Rescale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one component remains.
+    pub fn drop_last_component(&mut self) -> Vec<u64> {
+        assert!(
+            self.residues.len() > 1,
+            "cannot drop the only residue component"
+        );
+        self.residues.pop().expect("non-empty by assertion")
+    }
+
+    /// Appends a residue component (used when raising to the keyswitch
+    /// basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component length differs from the degree.
+    pub fn push_component(&mut self, comp: Vec<u64>) {
+        assert_eq!(comp.len(), self.n, "component length must equal degree");
+        self.residues.push(comp);
+    }
+
+    fn assert_compatible(&self, other: &RnsPoly) {
+        assert_eq!(self.n, other.n, "degree mismatch");
+        assert_eq!(
+            self.residues.len(),
+            other.residues.len(),
+            "level mismatch: {} vs {}",
+            self.residues.len(),
+            other.residues.len()
+        );
+        assert_eq!(
+            self.domain, other.domain,
+            "domain mismatch: {} vs {}",
+            self.domain, other.domain
+        );
+    }
+
+    /// `self += other` componentwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degree, level or domain mismatch, or if `moduli` does not
+    /// match the level count.
+    pub fn add_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
+        self.assert_compatible(other);
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        for (i, &q) in moduli.iter().enumerate() {
+            let (a, b) = (&mut self.residues[i], &other.residues[i]);
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = add_mod(*x, y, q);
+            }
+        }
+    }
+
+    /// `self -= other` componentwise.
+    pub fn sub_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
+        self.assert_compatible(other);
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        for (i, &q) in moduli.iter().enumerate() {
+            let (a, b) = (&mut self.residues[i], &other.residues[i]);
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = sub_mod(*x, y, q);
+            }
+        }
+    }
+
+    /// `self = -self` componentwise.
+    pub fn neg_assign(&mut self, moduli: &[u64]) {
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        for (i, &q) in moduli.iter().enumerate() {
+            for x in self.residues[i].iter_mut() {
+                *x = neg_mod(*x, q);
+            }
+        }
+    }
+
+    /// Pointwise (slot-wise) product; both polynomials must be in the NTT
+    /// domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either polynomial is in the coefficient domain, or on
+    /// shape mismatch.
+    pub fn mul_pointwise_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
+        self.assert_compatible(other);
+        assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        for (i, &q) in moduli.iter().enumerate() {
+            let (a, b) = (&mut self.residues[i], &other.residues[i]);
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = mul_mod(*x, y, q);
+            }
+        }
+    }
+
+    /// Multiplies every coefficient of component `i` by the scalar
+    /// `scalars[i]` (one scalar residue per prime).
+    pub fn mul_scalar_assign(&mut self, scalars: &[u64], moduli: &[u64]) {
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        assert_eq!(scalars.len(), self.residues.len(), "one scalar per level");
+        for ((r, &s), &q) in self.residues.iter_mut().zip(scalars).zip(moduli) {
+            for x in r.iter_mut() {
+                *x = mul_mod(*x, s, q);
+            }
+        }
+    }
+
+    /// Converts to the NTT domain in place; a no-op if already there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len()` does not match the level count or a table's
+    /// modulus is inconsistent.
+    pub fn to_ntt(&mut self, tables: &[&NttTable]) {
+        if self.domain == Domain::Ntt {
+            return;
+        }
+        assert_eq!(tables.len(), self.residues.len(), "one table per level");
+        for (r, t) in self.residues.iter_mut().zip(tables) {
+            t.forward(r);
+        }
+        self.domain = Domain::Ntt;
+    }
+
+    /// Converts to the coefficient domain in place; a no-op if already
+    /// there.
+    pub fn to_coeff(&mut self, tables: &[&NttTable]) {
+        if self.domain == Domain::Coeff {
+            return;
+        }
+        assert_eq!(tables.len(), self.residues.len(), "one table per level");
+        for (r, t) in self.residues.iter_mut().zip(tables) {
+            t.inverse(r);
+        }
+        self.domain = Domain::Coeff;
+    }
+
+    /// Returns a new polynomial holding only the selected residue
+    /// components, in the given order (e.g. a level prefix, or a level
+    /// prefix plus the special prime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn select_components(&self, indices: &[usize]) -> RnsPoly {
+        assert!(!indices.is_empty(), "need at least one component");
+        let residues = indices
+            .iter()
+            .map(|&i| {
+                assert!(i < self.residues.len(), "component index {i} out of range");
+                self.residues[i].clone()
+            })
+            .collect();
+        RnsPoly {
+            n: self.n,
+            residues,
+            domain: self.domain,
+        }
+    }
+
+    /// Applies the Galois automorphism `X → X^g` in the coefficient
+    /// domain, the core of the Rotate operation.
+    ///
+    /// Coefficient `j` of the input lands at position `j·g mod 2N`, with a
+    /// sign flip when the exponent wraps past `N` (because `X^N = -1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is in the NTT domain or `g` is even
+    /// (automorphisms of the 2N-th cyclotomic require odd exponents).
+    pub fn automorphism(&self, g: usize, moduli: &[u64]) -> RnsPoly {
+        assert_eq!(
+            self.domain,
+            Domain::Coeff,
+            "automorphism implemented in coefficient domain"
+        );
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        assert!(g % 2 == 1, "Galois exponent must be odd");
+        let n = self.n;
+        let two_n = 2 * n;
+        let mut out = RnsPoly::zero(n, self.residues.len(), Domain::Coeff);
+        for (i, &q) in moduli.iter().enumerate() {
+            let src = &self.residues[i];
+            let dst = out.component_mut(i);
+            for (j, &c) in src.iter().enumerate() {
+                let e = (j * g) % two_n;
+                if e < n {
+                    dst[e] = add_mod(dst[e], c, q);
+                } else {
+                    dst[e - n] = sub_mod(dst[e - n], c, q);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::negacyclic_mul_naive;
+    use crate::prime::generate_ntt_primes;
+    use crate::rns::RnsBasis;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn basis(n: usize, l: usize) -> RnsBasis {
+        RnsBasis::new(n, generate_ntt_primes(30, n, l))
+    }
+
+    fn random_poly(b: &RnsBasis, rng: &mut StdRng) -> RnsPoly {
+        let res = b
+            .moduli()
+            .iter()
+            .map(|&q| (0..b.degree()).map(|_| rng.gen_range(0..q)).collect())
+            .collect();
+        RnsPoly::from_residues(res, Domain::Coeff)
+    }
+
+    fn tables(b: &RnsBasis) -> Vec<&NttTable> {
+        b.tables().iter().collect()
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        let b = basis(32, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = random_poly(&b, &mut rng);
+        let mut sum = p.clone();
+        sum.add_assign(&RnsPoly::zero(32, 2, Domain::Coeff), b.moduli());
+        assert_eq!(sum, p);
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips() {
+        let b = basis(32, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = random_poly(&b, &mut rng);
+        let q = random_poly(&b, &mut rng);
+        let mut r = p.clone();
+        r.add_assign(&q, b.moduli());
+        r.sub_assign(&q, b.moduli());
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    fn negation_cancels() {
+        let b = basis(32, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_poly(&b, &mut rng);
+        let mut neg = p.clone();
+        neg.neg_assign(b.moduli());
+        let mut sum = p;
+        sum.add_assign(&neg, b.moduli());
+        assert_eq!(sum, RnsPoly::zero(32, 2, Domain::Coeff));
+    }
+
+    #[test]
+    fn ntt_product_matches_naive_per_component() {
+        let b = basis(16, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = random_poly(&b, &mut rng);
+        let q = random_poly(&b, &mut rng);
+
+        let expected: Vec<Vec<u64>> = (0..b.len())
+            .map(|i| negacyclic_mul_naive(p.component(i), q.component(i), b.moduli()[i]))
+            .collect();
+
+        let mut fp = p.clone();
+        let mut fq = q.clone();
+        fp.to_ntt(&tables(&b));
+        fq.to_ntt(&tables(&b));
+        fp.mul_pointwise_assign(&fq, b.moduli());
+        fp.to_coeff(&tables(&b));
+        for i in 0..b.len() {
+            assert_eq!(fp.component(i), &expected[i][..], "component {i}");
+        }
+    }
+
+    #[test]
+    fn domain_conversions_are_inverses_and_idempotent() {
+        let b = basis(64, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = random_poly(&b, &mut rng);
+        let mut x = p.clone();
+        x.to_coeff(&tables(&b)); // no-op
+        assert_eq!(x, p);
+        x.to_ntt(&tables(&b));
+        x.to_ntt(&tables(&b)); // no-op
+        x.to_coeff(&tables(&b));
+        assert_eq!(x, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs NTT domain")]
+    fn pointwise_in_coeff_domain_panics() {
+        let b = basis(16, 1);
+        let mut p = RnsPoly::zero(16, 1, Domain::Coeff);
+        let q = RnsPoly::zero(16, 1, Domain::Coeff);
+        p.mul_pointwise_assign(&q, b.moduli());
+    }
+
+    #[test]
+    #[should_panic(expected = "level mismatch")]
+    fn mismatched_levels_panic() {
+        let b = basis(16, 2);
+        let mut p = RnsPoly::zero(16, 2, Domain::Coeff);
+        let q = RnsPoly::zero(16, 1, Domain::Coeff);
+        p.add_assign(&q, b.moduli());
+    }
+
+    #[test]
+    fn automorphism_identity_is_noop() {
+        let b = basis(16, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = random_poly(&b, &mut rng);
+        assert_eq!(p.automorphism(1, b.moduli()), p);
+    }
+
+    #[test]
+    fn automorphism_composes() {
+        // sigma_g1 then sigma_g2 equals sigma_{g1*g2 mod 2N}
+        let b = basis(16, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = random_poly(&b, &mut rng);
+        let two_n = 32;
+        let (g1, g2) = (5usize, 7usize);
+        let once = p.automorphism(g1, b.moduli()).automorphism(g2, b.moduli());
+        let combined = p.automorphism((g1 * g2) % two_n, b.moduli());
+        assert_eq!(once, combined);
+    }
+
+    #[test]
+    fn automorphism_respects_ring_relation() {
+        // On X (coefficient 1 at position 1), sigma_g gives X^g.
+        let b = basis(8, 1);
+        let q = b.moduli()[0];
+        let mut p = RnsPoly::zero(8, 1, Domain::Coeff);
+        p.component_mut(0)[1] = 1;
+        let g = 9; // X -> X^9 = X^{9-8} * X^8 = -X
+        let r = p.automorphism(g, b.moduli());
+        assert_eq!(r.component(0)[1], q - 1, "X^9 = -X in degree-8 ring");
+    }
+
+    #[test]
+    fn drop_and_push_component() {
+        let b = basis(16, 3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = random_poly(&b, &mut rng);
+        let mut q = p.clone();
+        let last = q.drop_last_component();
+        assert_eq!(q.level_count(), 2);
+        q.push_component(last);
+        assert_eq!(q, p);
+    }
+}

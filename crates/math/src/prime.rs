@@ -1,0 +1,208 @@
+//! NTT-friendly prime generation.
+//!
+//! RNS-CKKS needs word-sized primes `q ≡ 1 (mod 2N)` so that the cyclotomic
+//! ring `Z_q[X]/(X^N + 1)` has a primitive `2N`-th root of unity and the
+//! negacyclic NTT exists. [`NttPrimeGenerator`] walks candidates of a given
+//! bit width from the top down, exactly the strategy SEAL and HEAX use to
+//! pick coefficient moduli.
+
+use crate::modops::{mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+///
+/// Uses the fixed witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`
+/// which is known to be exact below 3.3 · 10^24.
+///
+/// # Examples
+///
+/// ```
+/// use fxhenn_math::prime::is_prime;
+/// assert!(is_prime(1_073_741_789));
+/// assert!(!is_prime(1_073_741_790));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generator of NTT-friendly primes `q ≡ 1 (mod 2N)` of a fixed bit width.
+///
+/// Yields primes in decreasing order starting just below `2^bits`, so the
+/// first prime of width `b` is the largest `b`-bit NTT prime for ring
+/// degree `N`.
+///
+/// # Examples
+///
+/// ```
+/// use fxhenn_math::prime::NttPrimeGenerator;
+/// let mut g = NttPrimeGenerator::new(30, 1024);
+/// let q = g.next_prime().unwrap();
+/// assert_eq!(q % 2048, 1);
+/// assert_eq!(64 - q.leading_zeros(), 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttPrimeGenerator {
+    bits: u32,
+    two_n: u64,
+    candidate: u64,
+}
+
+impl NttPrimeGenerator {
+    /// Creates a generator for `bits`-bit primes congruent to 1 mod `2n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `3..=61`, or if `n` is not a power of two,
+    /// or if `2n >= 2^bits` (no candidate could exist).
+    pub fn new(bits: u32, n: usize) -> Self {
+        assert!((3..=61).contains(&bits), "prime width must be in 3..=61");
+        assert!(n.is_power_of_two(), "ring degree must be a power of two");
+        let two_n = 2 * n as u64;
+        assert!(
+            two_n < (1u64 << bits),
+            "2N must be smaller than the prime width allows"
+        );
+        // Largest value < 2^bits congruent to 1 mod 2N.
+        let top = (1u64 << bits) - 1;
+        let candidate = top - ((top - 1) % two_n);
+        Self {
+            bits,
+            two_n,
+            candidate,
+        }
+    }
+
+    /// Returns the next (smaller) NTT prime, or `None` when the width is
+    /// exhausted.
+    pub fn next_prime(&mut self) -> Option<u64> {
+        let lower = 1u64 << (self.bits - 1);
+        while self.candidate > lower {
+            let c = self.candidate;
+            self.candidate = self.candidate.checked_sub(self.two_n)?;
+            if is_prime(c) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Collects the next `count` primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` primes of this width exist.
+    pub fn take_primes(&mut self, count: usize) -> Vec<u64> {
+        (0..count)
+            .map(|i| {
+                self.next_prime()
+                    .unwrap_or_else(|| panic!("prime width exhausted after {i} primes"))
+            })
+            .collect()
+    }
+}
+
+/// Convenience: generates `count` distinct NTT primes of width `bits` for
+/// ring degree `n`, largest first.
+pub fn generate_ntt_primes(bits: u32, n: usize, count: usize) -> Vec<u64> {
+    NttPrimeGenerator::new(bits, n).take_primes(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 65537];
+        let composites = [0u64, 1, 4, 9, 15, 91, 561, 65535];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Carmichael numbers and known base-2 strong pseudoprimes.
+        for c in [2047u64, 3215031751, 3825123056546413051] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes_accepted() {
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime M61
+        assert!(is_prime(4611686018427387847)); // < 2^62
+    }
+
+    #[test]
+    fn generated_primes_have_correct_form() {
+        for (bits, n) in [(30u32, 8192usize), (36, 16384), (54, 2048), (20, 1024)] {
+            let primes = generate_ntt_primes(bits, n, 5);
+            assert_eq!(primes.len(), 5);
+            for &q in &primes {
+                assert!(is_prime(q));
+                assert_eq!(q % (2 * n as u64), 1);
+                assert_eq!(64 - q.leading_zeros(), bits);
+            }
+            // Strictly decreasing, hence distinct.
+            for w in primes.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_resumable() {
+        let mut g = NttPrimeGenerator::new(30, 4096);
+        let first = g.take_primes(3);
+        let more = g.take_primes(2);
+        let all = generate_ntt_primes(30, 4096, 5);
+        assert_eq!(all[..3], first[..]);
+        assert_eq!(all[3..], more[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_degree() {
+        NttPrimeGenerator::new(30, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "2N must be smaller")]
+    fn rejects_too_small_width() {
+        NttPrimeGenerator::new(12, 4096);
+    }
+}

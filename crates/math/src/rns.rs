@@ -1,0 +1,253 @@
+//! Residue number system (RNS) bases.
+//!
+//! RNS-CKKS decomposes the big coefficient modulus `Q = ∏ q_i` into `L`
+//! word-sized NTT primes so that every polynomial operation becomes `L`
+//! independent word-wise operations (paper Sec. II-A). [`RnsBasis`] owns
+//! the prime chain, the per-prime NTT tables and the CRT precomputations
+//! needed to reconstruct centered values at decode time.
+
+use crate::bigint::BigUint;
+use crate::modops::{inv_mod, mul_mod};
+use crate::ntt::NttTable;
+use crate::prime::is_prime;
+use std::cmp::Ordering;
+
+/// An ordered set of distinct NTT primes for ring degree `N`, with
+/// precomputed NTT tables and CRT constants.
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    n: usize,
+    moduli: Vec<u64>,
+    tables: Vec<NttTable>,
+    /// Q = product of all moduli.
+    big_q: BigUint,
+    /// Q / 2, for centering.
+    half_q: BigUint,
+    /// Q̂_i = Q / q_i.
+    q_hat: Vec<BigUint>,
+    /// [Q̂_i^{-1}]_{q_i}.
+    q_hat_inv: Vec<u64>,
+}
+
+impl RnsBasis {
+    /// Builds a basis over `moduli` for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moduli are not distinct NTT primes for degree `n`
+    /// (prime, `≡ 1 mod 2n`), or if the list is empty.
+    pub fn new(n: usize, moduli: Vec<u64>) -> Self {
+        assert!(!moduli.is_empty(), "an RNS basis needs at least one prime");
+        for (i, &q) in moduli.iter().enumerate() {
+            assert!(is_prime(q), "modulus {q} is not prime");
+            assert_eq!(q % (2 * n as u64), 1, "modulus {q} is not an NTT prime");
+            assert!(
+                !moduli[..i].contains(&q),
+                "moduli must be pairwise distinct"
+            );
+        }
+        let tables = moduli.iter().map(|&q| NttTable::new(n, q)).collect();
+        let big_q = BigUint::product_of(&moduli);
+        let (half_q, _) = big_q.div_rem_u64(2);
+        let q_hat: Vec<BigUint> = moduli.iter().map(|&q| big_q.div_rem_u64(q).0).collect();
+        let q_hat_inv = moduli
+            .iter()
+            .zip(&q_hat)
+            .map(|(&q, qh)| inv_mod(qh.rem_u64(q), q))
+            .collect();
+        Self {
+            n,
+            moduli,
+            tables,
+            big_q,
+            half_q,
+            q_hat,
+            q_hat_inv,
+        }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Number of primes in the basis.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// True if the basis is empty (never constructible; kept for
+    /// `len`/`is_empty` pairing).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The prime chain.
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// NTT table for the `i`-th prime.
+    #[inline]
+    pub fn table(&self, i: usize) -> &NttTable {
+        &self.tables[i]
+    }
+
+    /// All NTT tables, in prime order.
+    #[inline]
+    pub fn tables(&self) -> &[NttTable] {
+        &self.tables
+    }
+
+    /// The full modulus `Q` as a big integer.
+    #[inline]
+    pub fn modulus_product(&self) -> &BigUint {
+        &self.big_q
+    }
+
+    /// Total bit width of `Q` (`log2 Q`, rounded up).
+    pub fn total_bits(&self) -> u32 {
+        self.big_q.bits()
+    }
+
+    /// `[Q̂_i^{-1}]_{q_i}` for each prime.
+    #[inline]
+    pub fn q_hat_inv(&self) -> &[u64] {
+        &self.q_hat_inv
+    }
+
+    /// `Q̂_i mod m` for an arbitrary word modulus `m`.
+    pub fn q_hat_mod(&self, i: usize, m: u64) -> u64 {
+        self.q_hat[i].rem_u64(m)
+    }
+
+    /// Reconstructs the centered value of one coefficient from its
+    /// residues, as an `f64`.
+    ///
+    /// Computes `v = Σ_i [x_i · Q̂_i^{-1}]_{q_i} · Q̂_i mod Q`, then maps
+    /// `v > Q/2` to `v - Q`. This is the exact CRT used by the CKKS
+    /// decoder; precision is limited by `f64` which is ample for CKKS'
+    /// approximate plaintexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the basis size.
+    pub fn crt_to_centered_f64(&self, residues: &[u64]) -> f64 {
+        assert_eq!(residues.len(), self.len(), "one residue per prime");
+        let mut acc = BigUint::zero();
+        for (i, (&x, &q)) in residues.iter().zip(&self.moduli).enumerate() {
+            let coef = mul_mod(x % q, self.q_hat_inv[i], q);
+            acc.add_assign(&self.q_hat[i].mul_u64(coef));
+        }
+        // acc < L * Q; reduce mod Q by repeated subtraction (L is tiny).
+        while acc.cmp_big(&self.big_q) != Ordering::Less {
+            acc.sub_assign(&self.big_q);
+        }
+        if acc.cmp_big(&self.half_q) == Ordering::Greater {
+            let mut neg = self.big_q.clone();
+            neg.sub_assign(&acc);
+            -neg.to_f64()
+        } else {
+            acc.to_f64()
+        }
+    }
+
+    /// Returns a new basis over the first `k` primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > len()`.
+    pub fn prefix(&self, k: usize) -> RnsBasis {
+        assert!(k >= 1 && k <= self.len(), "prefix size out of range");
+        RnsBasis::new(self.n, self.moduli[..k].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+
+    fn basis(n: usize, l: usize) -> RnsBasis {
+        RnsBasis::new(n, generate_ntt_primes(30, n, l))
+    }
+
+    #[test]
+    fn construction_precomputes_consistent_crt_constants() {
+        let b = basis(64, 3);
+        for i in 0..b.len() {
+            let q = b.moduli()[i];
+            // Q̂_i * Q̂_i^{-1} ≡ 1 mod q_i
+            let qhat_mod = b.q_hat_mod(i, q);
+            assert_eq!(mul_mod(qhat_mod, b.q_hat_inv()[i], q), 1);
+        }
+    }
+
+    #[test]
+    fn crt_roundtrip_small_positive() {
+        let b = basis(64, 3);
+        for v in [0u64, 1, 42, 1_000_000] {
+            let residues: Vec<u64> = b.moduli().iter().map(|&q| v % q).collect();
+            assert_eq!(b.crt_to_centered_f64(&residues), v as f64);
+        }
+    }
+
+    #[test]
+    fn crt_roundtrip_negative_values() {
+        let b = basis(64, 3);
+        for v in [-1i64, -42, -1_000_000] {
+            let residues: Vec<u64> = b
+                .moduli()
+                .iter()
+                .map(|&q| crate::modops::signed_to_mod(v, q))
+                .collect();
+            assert_eq!(b.crt_to_centered_f64(&residues), v as f64);
+        }
+    }
+
+    #[test]
+    fn crt_handles_values_beyond_single_word() {
+        let b = basis(64, 3);
+        // v = 2^80 fits in Q (~90 bits) and is exactly representable in f64.
+        let v = (2f64).powi(80);
+        // residues of 2^80 mod q: pow_mod(2, 80, q)
+        let residues: Vec<u64> = b
+            .moduli()
+            .iter()
+            .map(|&q| crate::modops::pow_mod(2, 80, q))
+            .collect();
+        let r = b.crt_to_centered_f64(&residues);
+        assert!((r - v).abs() / v < 1e-12);
+    }
+
+    #[test]
+    fn total_bits_sums_prime_widths_roughly() {
+        let b = basis(64, 4);
+        assert!(b.total_bits() >= 4 * 29 && b.total_bits() <= 4 * 30);
+    }
+
+    #[test]
+    fn prefix_keeps_leading_primes() {
+        let b = basis(64, 4);
+        let p = b.prefix(2);
+        assert_eq!(p.moduli(), &b.moduli()[..2]);
+        assert_eq!(p.degree(), b.degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise distinct")]
+    fn rejects_duplicate_primes() {
+        let q = generate_ntt_primes(30, 64, 1)[0];
+        RnsBasis::new(64, vec![q, q]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an NTT prime")]
+    fn rejects_non_ntt_prime() {
+        RnsBasis::new(64, vec![97]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the math substrate.
+
+use fxhenn_math::bigint::BigUint;
+use fxhenn_math::modops::{
+    add_mod, inv_mod, mod_to_signed, mul_mod, pow_mod, signed_to_mod, sub_mod, BarrettReducer,
+    ShoupMul,
+};
+use fxhenn_math::ntt::{negacyclic_mul_naive, NttTable};
+use fxhenn_math::poly::{Domain, RnsPoly};
+use fxhenn_math::prime::generate_ntt_primes;
+use fxhenn_math::rns::RnsBasis;
+use proptest::prelude::*;
+
+const Q30: u64 = 1_073_741_789; // largest 30-bit prime
+const Q62: u64 = 4_611_686_018_427_387_847;
+
+fn residue(q: u64) -> impl Strategy<Value = u64> {
+    0..q
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in residue(Q30), b in residue(Q30)) {
+        prop_assert_eq!(add_mod(a, b, Q30), add_mod(b, a, Q30));
+    }
+
+    #[test]
+    fn addition_associates(a in residue(Q30), b in residue(Q30), c in residue(Q30)) {
+        prop_assert_eq!(
+            add_mod(add_mod(a, b, Q30), c, Q30),
+            add_mod(a, add_mod(b, c, Q30), Q30)
+        );
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in residue(Q30), b in residue(Q30)) {
+        prop_assert_eq!(sub_mod(add_mod(a, b, Q30), b, Q30), a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in residue(Q30), b in residue(Q30), c in residue(Q30)) {
+        prop_assert_eq!(
+            mul_mod(a, add_mod(b, c, Q30), Q30),
+            add_mod(mul_mod(a, b, Q30), mul_mod(a, c, Q30), Q30)
+        );
+    }
+
+    #[test]
+    fn barrett_agrees_with_u128_mod(a in residue(Q62), b in residue(Q62)) {
+        let red = BarrettReducer::new(Q62);
+        prop_assert_eq!(red.mul(a, b), mul_mod(a, b, Q62));
+    }
+
+    #[test]
+    fn barrett_reduces_any_u128(x in any::<u128>()) {
+        let red = BarrettReducer::new(Q62);
+        prop_assert_eq!(red.reduce_u128(x), (x % Q62 as u128) as u64);
+    }
+
+    #[test]
+    fn shoup_agrees_with_naive(w in residue(Q62), x in residue(Q62)) {
+        let sm = ShoupMul::new(w, Q62);
+        prop_assert_eq!(sm.mul(x), mul_mod(x, w, Q62));
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in 1..Q30) {
+        let inv = inv_mod(a, Q30);
+        prop_assert_eq!(mul_mod(a, inv, Q30), 1);
+        prop_assert_eq!(mul_mod(inv, a, Q30), 1);
+    }
+
+    #[test]
+    fn pow_homomorphic_in_exponent(base in residue(Q30), e1 in 0u64..64, e2 in 0u64..64) {
+        prop_assert_eq!(
+            pow_mod(base, e1 + e2, Q30),
+            mul_mod(pow_mod(base, e1, Q30), pow_mod(base, e2, Q30), Q30)
+        );
+    }
+
+    #[test]
+    fn signed_roundtrip(v in -(Q30 as i64 / 2)..(Q30 as i64 / 2)) {
+        prop_assert_eq!(mod_to_signed(signed_to_mod(v, Q30), Q30), v);
+    }
+
+    #[test]
+    fn bigint_mul_div_roundtrip(words in proptest::collection::vec(1u64..u64::MAX, 1..5), d in 1u64..u64::MAX) {
+        let v = BigUint::product_of(&words);
+        let scaled = v.mul_u64(d);
+        let (quo, rem) = scaled.div_rem_u64(d);
+        prop_assert_eq!(rem, 0);
+        prop_assert_eq!(quo, v);
+    }
+
+    #[test]
+    fn bigint_rem_matches_factor_arithmetic(a in 1u64..u64::MAX, b in 1u64..u64::MAX, d in 2u64..1_000_000) {
+        let v = BigUint::from_u64(a).mul_u64(b);
+        let expected = ((a % d) as u128 * (b % d) as u128 % d as u128) as u64;
+        prop_assert_eq!(v.rem_u64(d), expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ntt_roundtrip_random(coeffs in proptest::collection::vec(0u64..Q30, 64)) {
+        let q = generate_ntt_primes(30, 64, 1)[0];
+        let table = NttTable::new(64, q);
+        let original: Vec<u64> = coeffs.iter().map(|&c| c % q).collect();
+        let mut a = original.clone();
+        table.forward(&mut a);
+        table.inverse(&mut a);
+        prop_assert_eq!(a, original);
+    }
+
+    #[test]
+    fn ntt_convolution_theorem(
+        a in proptest::collection::vec(0u64..Q30, 32),
+        b in proptest::collection::vec(0u64..Q30, 32)
+    ) {
+        let q = generate_ntt_primes(30, 32, 1)[0];
+        let table = NttTable::new(32, q);
+        let a: Vec<u64> = a.iter().map(|&c| c % q).collect();
+        let b: Vec<u64> = b.iter().map(|&c| c % q).collect();
+        let expected = negacyclic_mul_naive(&a, &b, q);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        table.forward(&mut fa);
+        table.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        table.inverse(&mut fc);
+        prop_assert_eq!(fc, expected);
+    }
+
+    #[test]
+    fn crt_roundtrips_signed_words(v in -(1i64 << 40)..(1i64 << 40)) {
+        let basis = RnsBasis::new(32, generate_ntt_primes(30, 32, 3));
+        let residues: Vec<u64> = basis.moduli().iter().map(|&q| signed_to_mod(v, q)).collect();
+        prop_assert_eq!(basis.crt_to_centered_f64(&residues), v as f64);
+    }
+
+    #[test]
+    fn rns_poly_ring_axioms(
+        a in proptest::collection::vec(0u64..Q30, 16),
+        b in proptest::collection::vec(0u64..Q30, 16)
+    ) {
+        let basis = RnsBasis::new(16, generate_ntt_primes(30, 16, 2));
+        let make = |v: &[u64]| {
+            let res: Vec<Vec<u64>> = basis
+                .moduli()
+                .iter()
+                .map(|&q| v.iter().map(|&x| x % q).collect())
+                .collect();
+            RnsPoly::from_residues(res, Domain::Coeff)
+        };
+        let pa = make(&a);
+        let pb = make(&b);
+        // a + b == b + a
+        let mut s1 = pa.clone();
+        s1.add_assign(&pb, basis.moduli());
+        let mut s2 = pb.clone();
+        s2.add_assign(&pa, basis.moduli());
+        prop_assert_eq!(&s1, &s2);
+        // (a + b) - b == a
+        s1.sub_assign(&pb, basis.moduli());
+        prop_assert_eq!(s1, pa);
+    }
+
+    #[test]
+    fn automorphism_is_additive(
+        a in proptest::collection::vec(0u64..Q30, 16),
+        b in proptest::collection::vec(0u64..Q30, 16),
+        g_idx in 0usize..8
+    ) {
+        let basis = RnsBasis::new(16, generate_ntt_primes(30, 16, 1));
+        let g = 2 * g_idx + 1; // odd exponents only
+        let make = |v: &[u64]| {
+            let res: Vec<Vec<u64>> = basis
+                .moduli()
+                .iter()
+                .map(|&q| v.iter().map(|&x| x % q).collect())
+                .collect();
+            RnsPoly::from_residues(res, Domain::Coeff)
+        };
+        let pa = make(&a);
+        let pb = make(&b);
+        let mut sum = pa.clone();
+        sum.add_assign(&pb, basis.moduli());
+        let lhs = sum.automorphism(g, basis.moduli());
+        let mut rhs = pa.automorphism(g, basis.moduli());
+        rhs.add_assign(&pb.automorphism(g, basis.moduli()), basis.moduli());
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,340 @@
+//! A fluent builder for HE-friendly networks with shape inference.
+//!
+//! Hand-assembling `Layer` vectors makes dimension mismatches a runtime
+//! surprise deep inside the lowering. The builder tracks the tensor
+//! shape after every layer, sizes dense layers automatically, and
+//! validates the level budget up front.
+
+use crate::layers::{AvgPool2d, ChannelScale, Conv2d, Dense, Layer, Square};
+use crate::model::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Errors detected while assembling a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A spatial layer was added after the tensor was flattened.
+    NeedsSpatialInput {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// A window (kernel or pool) exceeds the current spatial size.
+    WindowTooLarge {
+        /// Name of the offending layer.
+        layer: String,
+        /// Current spatial size.
+        have: (usize, usize),
+        /// Requested window.
+        want: (usize, usize),
+    },
+    /// The network has no layers.
+    Empty,
+    /// The declared level budget cannot cover the multiplication depth.
+    LevelBudget {
+        /// Multiplication depth of the assembled network.
+        depth: usize,
+        /// Levels available.
+        levels: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NeedsSpatialInput { layer } => {
+                write!(f, "layer {layer} needs a CHW input but the tensor is flat")
+            }
+            BuildError::WindowTooLarge { layer, have, want } => write!(
+                f,
+                "layer {layer}: window {want:?} larger than input {have:?}"
+            ),
+            BuildError::Empty => f.write_str("network has no layers"),
+            BuildError::LevelBudget { depth, levels } => write!(
+                f,
+                "multiplication depth {depth} exceeds the {levels}-level budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally assembles a [`Network`], inferring shapes and sizing
+/// weights with a seeded RNG.
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    input_shape: Vec<usize>,
+    shape: Vec<usize>,
+    layers: Vec<(String, Layer)>,
+    rng: StdRng,
+    errors: Vec<BuildError>,
+    conv_count: usize,
+    act_count: usize,
+    fc_count: usize,
+    pool_count: usize,
+    bn_count: usize,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a CHW input shape with a weight seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is not 3-dimensional CHW.
+    pub fn new(name: impl Into<String>, input_shape: [usize; 3], seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            input_shape: input_shape.to_vec(),
+            shape: input_shape.to_vec(),
+            layers: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            errors: Vec::new(),
+            conv_count: 0,
+            act_count: 0,
+            fc_count: 0,
+            pool_count: 0,
+            bn_count: 0,
+        }
+    }
+
+    /// The tensor shape after the layers added so far.
+    pub fn current_shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    fn random(&mut self, count: usize, scale: f64) -> Vec<f64> {
+        (0..count).map(|_| self.rng.gen_range(-scale..scale)).collect()
+    }
+
+    /// Appends a convolution (`maps` output channels, square `kernel`,
+    /// square `stride`); weights are He-style scaled.
+    pub fn conv(mut self, maps: usize, kernel: usize, stride: usize) -> Self {
+        self.conv_count += 1;
+        let name = format!("Cnv{}", self.conv_count);
+        if self.shape.len() != 3 {
+            self.errors.push(BuildError::NeedsSpatialInput { layer: name });
+            return self;
+        }
+        let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        if kernel > h || kernel > w {
+            self.errors.push(BuildError::WindowTooLarge {
+                layer: name,
+                have: (h, w),
+                want: (kernel, kernel),
+            });
+            return self;
+        }
+        let fan_in = (c * kernel * kernel) as f64;
+        let scale = (2.0 / fan_in).sqrt();
+        let weights = self.random(maps * c * kernel * kernel, scale);
+        let bias = self.random(maps, 0.05);
+        let conv = Conv2d::new(maps, c, (kernel, kernel), (stride, stride), weights, bias);
+        let (oh, ow) = conv.output_size(h, w);
+        self.shape = vec![maps, oh, ow];
+        self.layers.push((name, Layer::Conv(conv)));
+        self
+    }
+
+    /// Appends a square activation.
+    pub fn square(mut self) -> Self {
+        self.act_count += 1;
+        self.layers
+            .push((format!("Act{}", self.act_count), Layer::Activation(Square)));
+        self
+    }
+
+    /// Appends average pooling (square window and stride).
+    pub fn avg_pool(mut self, window: usize, stride: usize) -> Self {
+        self.pool_count += 1;
+        let name = format!("Pool{}", self.pool_count);
+        if self.shape.len() != 3 {
+            self.errors.push(BuildError::NeedsSpatialInput { layer: name });
+            return self;
+        }
+        let (h, w) = (self.shape[1], self.shape[2]);
+        if window > h || window > w {
+            self.errors.push(BuildError::WindowTooLarge {
+                layer: name,
+                have: (h, w),
+                want: (window, window),
+            });
+            return self;
+        }
+        let pool = AvgPool2d::new((window, window), (stride, stride));
+        let (oh, ow) = pool.output_size(h, w);
+        self.shape = vec![self.shape[0], oh, ow];
+        self.layers.push((name, Layer::AvgPool(pool)));
+        self
+    }
+
+    /// Appends a folded batch-norm with random statistics.
+    pub fn batch_norm(mut self) -> Self {
+        self.bn_count += 1;
+        let name = format!("Bn{}", self.bn_count);
+        if self.shape.len() != 3 {
+            self.errors.push(BuildError::NeedsSpatialInput { layer: name });
+            return self;
+        }
+        let c = self.shape[0];
+        let gamma: Vec<f64> = (0..c).map(|_| self.rng.gen_range(0.8..1.2)).collect();
+        let beta = self.random(c, 0.1);
+        let mean = self.random(c, 0.2);
+        let var: Vec<f64> = (0..c).map(|_| self.rng.gen_range(0.5..1.5)).collect();
+        let bn = ChannelScale::from_batch_norm(&gamma, &beta, &mean, &var, 1e-5);
+        self.layers.push((name, Layer::Scale(bn)));
+        self
+    }
+
+    /// Appends a dense layer producing `outputs` values; the input width
+    /// is inferred from the current shape (flattening if needed).
+    pub fn dense(mut self, outputs: usize) -> Self {
+        self.fc_count += 1;
+        let name = format!("Fc{}", self.fc_count);
+        let d_in: usize = self.shape.iter().product();
+        let scale = (2.0 / d_in as f64).sqrt();
+        let weights = self.random(outputs * d_in, scale);
+        let bias = self.random(outputs, 0.05);
+        let fc = Dense::new(outputs, d_in, weights, bias);
+        self.shape = vec![outputs];
+        self.layers.push((name, Layer::Dense(fc)));
+        self
+    }
+
+    /// Finishes the network, checking all accumulated constraints and the
+    /// level budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first build error, or [`BuildError::LevelBudget`] when
+    /// the multiplication depth exceeds `levels - 1` (one level must
+    /// remain after the final rescale; wide dense layers may need one
+    /// more for consolidation, which the lowering checks exactly).
+    pub fn build(self, levels: usize) -> Result<Network, BuildError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        if self.layers.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let depth = self.layers.len();
+        if depth + 1 > levels {
+            return Err(BuildError::LevelBudget { depth, levels });
+        }
+        Ok(Network::new(
+            self.name,
+            &self.input_shape,
+            self.layers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::synthetic_input;
+
+    #[test]
+    fn builds_a_valid_cryptonets_shape() {
+        let net = NetworkBuilder::new("built", [1, 9, 9], 7)
+            .conv(2, 3, 1)
+            .square()
+            .avg_pool(2, 2)
+            .batch_norm()
+            .dense(4)
+            .build(7)
+            .expect("valid network");
+        assert_eq!(net.layer_count(), 5);
+        let out = net.forward(&synthetic_input(&net, 1));
+        assert_eq!(out.shape(), &[4]);
+    }
+
+    #[test]
+    fn shape_inference_tracks_layers() {
+        let b = NetworkBuilder::new("shapes", [3, 32, 32], 1)
+            .conv(8, 5, 2) // -> (8, 14, 14)
+            .square()
+            .avg_pool(2, 2); // -> (8, 7, 7)
+        assert_eq!(b.current_shape(), &[8, 7, 7]);
+        let b = b.dense(10);
+        assert_eq!(b.current_shape(), &[10]);
+    }
+
+    #[test]
+    fn oversized_kernel_is_reported() {
+        let err = NetworkBuilder::new("bad", [1, 4, 4], 1)
+            .conv(2, 7, 1)
+            .build(7)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::WindowTooLarge { .. }));
+        assert!(err.to_string().contains("window"));
+    }
+
+    #[test]
+    fn spatial_layer_after_flatten_is_reported() {
+        let err = NetworkBuilder::new("bad", [1, 8, 8], 1)
+            .dense(10)
+            .avg_pool(2, 2)
+            .build(7)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::NeedsSpatialInput { .. }));
+    }
+
+    #[test]
+    fn level_budget_is_enforced() {
+        let err = NetworkBuilder::new("deep", [1, 16, 16], 1)
+            .conv(2, 3, 1)
+            .square()
+            .square()
+            .square()
+            .square()
+            .square()
+            .square()
+            .dense(4)
+            .build(7)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::LevelBudget {
+                depth: 8,
+                levels: 7
+            }
+        );
+    }
+
+    #[test]
+    fn empty_network_is_reported() {
+        let err = NetworkBuilder::new("empty", [1, 4, 4], 1).build(7).unwrap_err();
+        assert_eq!(err, BuildError::Empty);
+    }
+
+    #[test]
+    fn built_networks_are_seed_deterministic() {
+        let mk = |seed| {
+            NetworkBuilder::new("det", [1, 9, 9], seed)
+                .conv(2, 3, 2)
+                .square()
+                .dense(4)
+                .build(7)
+                .expect("valid")
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+
+    #[test]
+    fn built_network_lowers_and_cosimulates() {
+        use crate::lowering::lower_network;
+        let net = NetworkBuilder::new("lowerable", [1, 9, 9], 3)
+            .conv(2, 3, 2)
+            .square()
+            .dense(6)
+            .square()
+            .dense(3)
+            .build(7)
+            .expect("valid");
+        let prog = lower_network(&net, 1024, 7);
+        assert_eq!(prog.layers.len(), 5);
+        assert!(prog.layers.last().unwrap().level_out >= 1);
+    }
+}

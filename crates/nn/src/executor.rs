@@ -1,0 +1,721 @@
+//! Functional HE-CNN execution: runs a network homomorphically through
+//! `fxhenn-ckks`, using exactly the lowering decisions of
+//! [`crate::lowering`] (shared via [`plan_dense`]), so that the measured
+//! operation trace can be compared one-to-one against the analytic plan
+//! and the decrypted result against the plaintext network.
+//!
+//! Intended for functional verification at small ring degrees; paper-
+//! scale workloads are costed analytically and simulated by
+//! `fxhenn-sim`.
+
+use crate::layers::{Conv2d, Layer};
+use crate::lowering::{plan_dense, DensePlan, Layout};
+use crate::model::Network;
+use crate::packing::{conv_bias_vectors, conv_offset_pack, conv_offset_weights, CtLayout};
+use crate::tensor::Tensor;
+use fxhenn_ckks::{Ciphertext, Decryptor, Encryptor, Evaluator, GaloisKeys, RelinKey};
+use rand::Rng;
+
+/// The encrypted, offset-packed input of a network: one ciphertext per
+/// (output-map group, kernel offset).
+#[derive(Debug, Clone)]
+pub struct EncryptedInput {
+    /// `groups[g][i]` is the ciphertext for group `g`, kernel offset `i`.
+    pub groups: Vec<Vec<Ciphertext>>,
+}
+
+/// The encrypted result of a network run plus the slot layout needed to
+/// read the logits back out.
+#[derive(Debug, Clone)]
+pub struct EncryptedOutput {
+    /// Output ciphertexts.
+    pub cts: Vec<Ciphertext>,
+    /// Where each logical output value lives.
+    pub layout: CtLayout,
+}
+
+impl EncryptedOutput {
+    /// Decrypts and gathers the logical output values.
+    pub fn decrypt(&self, dec: &Decryptor<'_>) -> Vec<f64> {
+        let decrypted: Vec<Vec<f64>> = self.cts.iter().map(|ct| dec.decrypt(ct)).collect();
+        self.layout.gather(&decrypted)
+    }
+}
+
+/// Encrypts an input image with the offset packing the network's first
+/// convolution expects.
+///
+/// # Panics
+///
+/// Panics if the first layer is not a convolution or the image shape
+/// mismatches.
+pub fn encrypt_input<R: Rng>(
+    net: &Network,
+    image: &Tensor,
+    enc: &mut Encryptor<'_, R>,
+    slots: usize,
+) -> EncryptedInput {
+    let (_, first) = &net.layers()[0];
+    let Layer::Conv(conv) = first else {
+        panic!("LoLa packing expects a convolution front end");
+    };
+    let packed = conv_offset_pack(image, conv, slots);
+    let groups = packed
+        .iter()
+        .map(|offsets| offsets.iter().map(|v| enc.encrypt(v)).collect())
+        .collect();
+    EncryptedInput { groups }
+}
+
+/// Runs networks homomorphically.
+#[derive(Debug)]
+pub struct HeCnnExecutor<'a> {
+    ev: Evaluator<'a>,
+    rk: &'a RelinKey,
+    gks: &'a GaloisKeys,
+}
+
+struct RunState {
+    cts: Vec<Ciphertext>,
+    abstract_layout: Layout,
+    concrete: CtLayout,
+    shape: Vec<usize>,
+}
+
+impl<'a> HeCnnExecutor<'a> {
+    /// Creates an executor over a context with the given evaluation keys.
+    pub fn new(ctx: &'a fxhenn_ckks::CkksContext, rk: &'a RelinKey, gks: &'a GaloisKeys) -> Self {
+        Self {
+            ev: Evaluator::new(ctx),
+            rk,
+            gks,
+        }
+    }
+
+    /// Starts recording the executed HE operations.
+    pub fn start_trace(&mut self) {
+        self.ev.start_trace();
+    }
+
+    /// Returns the recorded trace, if tracing was started.
+    pub fn take_trace(&mut self) -> Option<fxhenn_ckks::OpTrace> {
+        self.ev.take_trace()
+    }
+
+    /// Runs the full network on an encrypted input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input packing does not match the network, a Galois
+    /// key is missing, or the level budget is exhausted.
+    pub fn run(&mut self, net: &Network, input: &EncryptedInput) -> EncryptedOutput {
+        let slots = self.ev.context().degree() / 2;
+        let mut state: Option<RunState> = None;
+        let mut shape = net.input_shape().to_vec();
+
+        for (idx, (name, layer)) in net.layers().iter().enumerate() {
+            match layer {
+                Layer::Conv(conv) if idx == 0 => {
+                    state = Some(self.run_first_conv(conv, &shape, input, slots));
+                    let s = state.as_ref().expect("just set");
+                    shape = s.shape.clone();
+                }
+                Layer::Conv(conv) => {
+                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
+                    let (oh, ow) = conv.output_size(st.shape[1], st.shape[2]);
+                    let d_out = conv.out_channels * oh * ow;
+                    let in_shape = st.shape.clone();
+                    let conv2 = conv.clone();
+                    let next = self.run_dense_like(
+                        st,
+                        d_out,
+                        slots,
+                        &|k, v| conv_dense_weight(&conv2, &in_shape, k, v),
+                        &|k| conv2.bias[k / (oh * ow)],
+                    );
+                    shape = vec![conv.out_channels, oh, ow];
+                    state = Some(RunState { shape: shape.clone(), ..next });
+                }
+                Layer::Activation(_) => {
+                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
+                    state = Some(self.run_activation(st));
+                }
+                Layer::Dense(d) => {
+                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
+                    assert_eq!(
+                        st.abstract_layout.value_count(),
+                        d.in_features,
+                        "dense input mismatch at {name}"
+                    );
+                    let d2 = d.clone();
+                    let next = self.run_dense_like(
+                        st,
+                        d.out_features,
+                        slots,
+                        &|k, v| d2.weight(k, v),
+                        &|k| d2.bias[k],
+                    );
+                    shape = vec![d.out_features];
+                    state = Some(RunState { shape: shape.clone(), ..next });
+                }
+                Layer::AvgPool(pool) => {
+                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
+                    let in_shape = st.shape.clone();
+                    let (oh, ow) = pool.output_size(in_shape[1], in_shape[2]);
+                    let d_out = in_shape[0] * oh * ow;
+                    let p2 = *pool;
+                    let next = self.run_dense_like(
+                        st,
+                        d_out,
+                        slots,
+                        &|k, v| p2.dense_weight(&in_shape, k, v),
+                        &|_| 0.0,
+                    );
+                    shape = vec![in_shape[0], oh, ow];
+                    state = Some(RunState { shape: shape.clone(), ..next });
+                }
+                Layer::Scale(cs) => {
+                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
+                    state = Some(self.run_channel_scale(st, cs, slots));
+                }
+            }
+        }
+
+        let st = state.expect("network has layers");
+        EncryptedOutput {
+            cts: st.cts,
+            layout: st.concrete,
+        }
+    }
+
+    fn run_first_conv(
+        &mut self,
+        conv: &Conv2d,
+        shape: &[usize],
+        input: &EncryptedInput,
+        slots: usize,
+    ) -> RunState {
+        let (oh, ow) = conv.output_size(shape[1], shape[2]);
+        let positions = oh * ow;
+        let weights = conv_offset_weights(conv, positions, slots);
+        let biases = conv_bias_vectors(conv, positions, slots);
+        assert_eq!(
+            input.groups.len(),
+            weights.len(),
+            "input packing group count mismatch"
+        );
+
+        let mut out = Vec::with_capacity(weights.len());
+        for (g, offsets) in input.groups.iter().enumerate() {
+            assert_eq!(
+                offsets.len(),
+                conv.offset_count(),
+                "input packing offset count mismatch"
+            );
+            let mut acc: Option<Ciphertext> = None;
+            for (i, ct) in offsets.iter().enumerate() {
+                let pw = self.ev.encode_for_mul(&weights[g][i], ct.level());
+                let prod = self.ev.mul_plain(ct, &pw);
+                let rs = self.ev.rescale(&prod);
+                acc = Some(match acc {
+                    None => rs,
+                    Some(a) => self.ev.add(&a, &rs),
+                });
+            }
+            let acc = acc.expect("at least one offset");
+            let bias_pt = self.ev.encode_at(&biases[g], acc.scale(), acc.level());
+            out.push(self.ev.add_plain(&acc, &bias_pt));
+        }
+
+        let n_values = conv.out_channels * positions;
+        let concrete = crate::packing::conv_output_layout(conv, positions, slots);
+        let abstract_layout = if out.len() == 1 {
+            Layout::SingleContig { n: n_values }
+        } else {
+            Layout::MultiContig {
+                n: n_values,
+                cts: out.len(),
+            }
+        };
+        RunState {
+            cts: out,
+            abstract_layout,
+            concrete,
+            shape: vec![conv.out_channels, oh, ow],
+        }
+    }
+
+    fn run_activation(&mut self, st: RunState) -> RunState {
+        let cts = st
+            .cts
+            .iter()
+            .map(|ct| {
+                let sq = self.ev.square(ct);
+                let lin = self.ev.relinearize(&sq, self.rk);
+                self.ev.rescale(&lin)
+            })
+            .collect();
+        RunState { cts, ..st }
+    }
+
+    fn run_channel_scale(
+        &mut self,
+        st: RunState,
+        cs: &crate::layers::ChannelScale,
+        slots: usize,
+    ) -> RunState {
+        assert_eq!(st.shape.len(), 3, "channel scale needs a CHW shape");
+        let per_map = st.shape[1] * st.shape[2];
+        let cts = st
+            .cts
+            .iter()
+            .enumerate()
+            .map(|(m, ct)| {
+                let mut factors = vec![0.0; slots];
+                let mut shifts = vec![0.0; slots];
+                for (v, &(ct_idx, slot)) in st.concrete.placements().iter().enumerate() {
+                    if ct_idx == m {
+                        let c = v / per_map;
+                        factors[slot] = cs.factors[c];
+                        shifts[slot] = cs.shifts[c];
+                    }
+                }
+                let pf = self.ev.encode_for_mul(&factors, ct.level());
+                let prod = self.ev.mul_plain(ct, &pf);
+                let scaled = self.ev.rescale(&prod);
+                let ps = self.ev.encode_at(&shifts, scaled.scale(), scaled.level());
+                self.ev.add_plain(&scaled, &ps)
+            })
+            .collect();
+        RunState { cts, ..st }
+    }
+
+    fn run_dense_like(
+        &mut self,
+        st: RunState,
+        d_out: usize,
+        slots: usize,
+        weight: &dyn Fn(usize, usize) -> f64,
+        bias: &dyn Fn(usize) -> f64,
+    ) -> RunState {
+        let plan = plan_dense(&st.abstract_layout, d_out, slots);
+        let (round_cts, out_abstract, out_concrete) = if plan.stacked {
+            self.dense_stacked(&st, d_out, slots, &plan, weight, bias)
+        } else {
+            self.dense_per_output(&st, d_out, slots, &plan, weight, bias)
+        };
+
+        if plan.consolidate {
+            let (ct, abstract_layout, concrete) = self.consolidate(
+                &round_cts,
+                d_out,
+                slots,
+                &plan,
+                &out_abstract,
+            );
+            RunState {
+                cts: vec![ct],
+                abstract_layout,
+                concrete,
+                shape: st.shape,
+            }
+        } else {
+            RunState {
+                cts: round_cts,
+                abstract_layout: out_abstract,
+                concrete: out_concrete,
+                shape: st.shape,
+            }
+        }
+    }
+
+    fn dense_stacked(
+        &mut self,
+        st: &RunState,
+        d_out: usize,
+        slots: usize,
+        plan: &DensePlan,
+        weight: &dyn Fn(usize, usize) -> f64,
+        bias: &dyn Fn(usize) -> f64,
+    ) -> (Vec<Ciphertext>, Layout, CtLayout) {
+        let d_in = st.abstract_layout.value_count();
+        // Replicate the input into `copies` stacked copies.
+        let mut x = st.cts[0].clone();
+        for &shift in &plan.stack_shifts {
+            let rot = self.ev.rotate(&x, shift, self.gks);
+            x = self.ev.add(&x, &rot);
+        }
+        let mut round_cts = Vec::with_capacity(plan.rounds);
+        for r in 0..plan.rounds {
+            // Weight vector: output r·copies+s in segment s.
+            let mut wv = vec![0.0; slots];
+            for s in 0..plan.copies {
+                let k = r * plan.copies + s;
+                if k >= d_out {
+                    break;
+                }
+                for v in 0..d_in {
+                    wv[s * plan.seg + v] = weight(k, v);
+                }
+            }
+            let pw = self.ev.encode_for_mul(&wv, x.level());
+            let prod = self.ev.mul_plain(&x, &pw);
+            let mut acc = self.ev.rescale(&prod);
+            for &shift in &plan.sum_shifts {
+                let rot = self.ev.rotate(&acc, shift, self.gks);
+                acc = self.ev.add(&acc, &rot);
+            }
+            let mut bv = vec![0.0; slots];
+            for s in 0..plan.copies {
+                let k = r * plan.copies + s;
+                if k < d_out {
+                    bv[s * plan.seg] = bias(k);
+                }
+            }
+            let bias_pt = self.ev.encode_at(&bv, acc.scale(), acc.level());
+            round_cts.push(self.ev.add_plain(&acc, &bias_pt));
+        }
+        let abstract_layout = Layout::Segmented {
+            n: d_out,
+            copies: plan.copies,
+            seg: plan.seg,
+            cts: plan.rounds,
+        };
+        let concrete = CtLayout::segmented(d_out, plan.copies, plan.seg, slots);
+        (round_cts, abstract_layout, concrete)
+    }
+
+    fn dense_per_output(
+        &mut self,
+        st: &RunState,
+        d_out: usize,
+        slots: usize,
+        plan: &DensePlan,
+        weight: &dyn Fn(usize, usize) -> f64,
+        bias: &dyn Fn(usize) -> f64,
+    ) -> (Vec<Ciphertext>, Layout, CtLayout) {
+        let mut round_cts = Vec::with_capacity(d_out);
+        for k in 0..d_out {
+            let mut prod_acc: Option<Ciphertext> = None;
+            for (m, ct) in st.cts.iter().enumerate() {
+                let mut wv = vec![0.0; slots];
+                for (v, &(ct_idx, slot)) in st.concrete.placements().iter().enumerate() {
+                    if ct_idx == m {
+                        wv[slot] = weight(k, v);
+                    }
+                }
+                let pw = self.ev.encode_for_mul(&wv, ct.level());
+                let prod = self.ev.mul_plain(ct, &pw);
+                prod_acc = Some(match prod_acc {
+                    None => prod,
+                    Some(a) => self.ev.add(&a, &prod),
+                });
+            }
+            let mut acc = self.ev.rescale(&prod_acc.expect("at least one input ct"));
+            for &shift in &plan.sum_shifts {
+                let rot = self.ev.rotate(&acc, shift, self.gks);
+                acc = self.ev.add(&acc, &rot);
+            }
+            let mut bv = vec![0.0; slots];
+            bv[0] = bias(k);
+            let bias_pt = self.ev.encode_at(&bv, acc.scale(), acc.level());
+            round_cts.push(self.ev.add_plain(&acc, &bias_pt));
+        }
+        let abstract_layout = Layout::PerOutput { n: d_out };
+        let concrete = CtLayout::new(slots, d_out, (0..d_out).map(|k| (k, 0)).collect());
+        (round_cts, abstract_layout, concrete)
+    }
+
+    fn consolidate(
+        &mut self,
+        round_cts: &[Ciphertext],
+        d_out: usize,
+        slots: usize,
+        plan: &DensePlan,
+        out_abstract: &Layout,
+    ) -> (Ciphertext, Layout, CtLayout) {
+        let mut acc: Option<Ciphertext> = None;
+        for (r, ct) in round_cts.iter().enumerate() {
+            // Mask keeps only this round's valid output slots.
+            let mut mask = vec![0.0; slots];
+            match out_abstract {
+                Layout::Segmented { copies, seg, .. } => {
+                    for s in 0..*copies {
+                        if r * copies + s < d_out {
+                            mask[s * seg] = 1.0;
+                        }
+                    }
+                }
+                Layout::PerOutput { .. } => mask[0] = 1.0,
+                other => panic!("cannot consolidate layout {other:?}"),
+            }
+            let pw = self.ev.encode_for_mul(&mask, ct.level());
+            let prod = self.ev.mul_plain(ct, &pw);
+            let mut masked = self.ev.rescale(&prod);
+            if r > 0 {
+                masked = self
+                    .ev
+                    .rotate(&masked, plan.consolidate_shifts[r - 1], self.gks);
+            }
+            acc = Some(match acc {
+                None => masked,
+                Some(a) => self.ev.add(&a, &masked),
+            });
+        }
+        let (copies, seg) = match out_abstract {
+            Layout::Segmented { copies, seg, .. } => (*copies, *seg),
+            Layout::PerOutput { .. } => (1usize, 1usize),
+            other => panic!("cannot consolidate layout {other:?}"),
+        };
+        let abstract_layout = Layout::ScatteredSingle {
+            n: d_out,
+            copies,
+            seg,
+            rounds: plan.rounds,
+        };
+        let placements = (0..d_out)
+            .map(|k| (0usize, (k % copies) * seg + k / copies))
+            .collect();
+        let concrete = CtLayout::new(slots, 1, placements);
+        (
+            acc.expect("at least one round"),
+            abstract_layout,
+            concrete,
+        )
+    }
+}
+
+/// The weight a mid-network convolution contributes between flattened
+/// input value `v` and flattened output value `k`, treating the conv as
+/// a (sparse) dense matrix.
+pub fn conv_dense_weight(conv: &Conv2d, in_shape: &[usize], k: usize, v: usize) -> f64 {
+    let (h, w) = (in_shape[1], in_shape[2]);
+    let (oh, ow) = conv.output_size(h, w);
+    let map = k / (oh * ow);
+    let rest = k % (oh * ow);
+    let oy = rest / ow;
+    let ox = rest % ow;
+
+    let c = v / (h * w);
+    let rest_v = v % (h * w);
+    let y = rest_v / w;
+    let x = rest_v % w;
+
+    let base_y = oy * conv.stride.0;
+    let base_x = ox * conv.stride.1;
+    if y >= base_y && y < base_y + conv.kernel.0 && x >= base_x && x < base_x + conv.kernel.1 {
+        conv.weight(map, c, y - base_y, x - base_x)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Square};
+    use crate::lowering::lower_network;
+    use crate::model::{synthetic_input, toy_mnist_like, Network};
+    use fxhenn_ckks::{CkksContext, CkksParams, KeyGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Rig {
+        ctx: CkksContext,
+    }
+
+    struct RigKeys {
+        pk: fxhenn_ckks::PublicKey,
+        sk: fxhenn_ckks::SecretKey,
+        rk: RelinKey,
+        gks: GaloisKeys,
+    }
+
+    fn rig_for(net: &Network) -> (Rig, RigKeys) {
+        let ctx = CkksContext::new(CkksParams::insecure_toy(7));
+        let prog = lower_network(net, ctx.degree(), ctx.max_level());
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(31));
+        let keys = RigKeys {
+            pk: kg.public_key(),
+            sk: kg.secret_key(),
+            rk: kg.relin_key(),
+            gks: kg.galois_keys(&prog.required_rotations()),
+        };
+        (Rig { ctx }, keys)
+    }
+
+    fn run_and_compare(net: &Network, tol: f64) {
+        let (rig, keys) = rig_for(net);
+        let image = synthetic_input(net, 7);
+        let expected = net.forward(&image);
+
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(32));
+        let input = encrypt_input(net, &image, &mut enc, rig.ctx.degree() / 2);
+        let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &keys.gks);
+        let out = exec.run(net, &input);
+
+        let dec = Decryptor::new(&rig.ctx, keys.sk.clone());
+        let got = out.decrypt(&dec);
+        assert_eq!(got.len(), expected.len());
+        for (i, (&g, &e)) in got.iter().zip(expected.data()).enumerate() {
+            assert!(
+                (g - e).abs() < tol,
+                "output {i}: HE {g} vs plaintext {e} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_only_network_matches_plaintext() {
+        let mut net_src = toy_mnist_like(11);
+        let layers = vec![net_src.layers()[0].clone()];
+        net_src = Network::new("conv-only", &[1, 9, 9], layers);
+        run_and_compare(&net_src, 1e-2);
+    }
+
+    #[test]
+    fn conv_act_matches_plaintext() {
+        let src = toy_mnist_like(12);
+        let layers = src.layers()[..2].to_vec();
+        let net = Network::new("conv-act", &[1, 9, 9], layers);
+        run_and_compare(&net, 1e-2);
+    }
+
+    #[test]
+    fn conv_act_fc_matches_plaintext() {
+        let src = toy_mnist_like(13);
+        let layers = src.layers()[..3].to_vec();
+        let net = Network::new("conv-act-fc", &[1, 9, 9], layers);
+        run_and_compare(&net, 5e-2);
+    }
+
+    #[test]
+    fn full_toy_network_matches_plaintext() {
+        run_and_compare(&toy_mnist_like(14), 0.1);
+    }
+
+    #[test]
+    fn measured_trace_matches_analytic_plan() {
+        let net = toy_mnist_like(15);
+        let (rig, keys) = rig_for(&net);
+        let prog = lower_network(&net, rig.ctx.degree(), rig.ctx.max_level());
+
+        let image = synthetic_input(&net, 7);
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(33));
+        let input = encrypt_input(&net, &image, &mut enc, rig.ctx.degree() / 2);
+        let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &keys.gks);
+        exec.start_trace();
+        let _ = exec.run(&net, &input);
+        let measured = exec.take_trace().expect("trace started");
+
+        let planned = prog.total_trace();
+        assert_eq!(
+            measured.hop_count(),
+            planned.hop_count(),
+            "HOP count: measured vs planned"
+        );
+        assert_eq!(
+            measured.key_switch_count(),
+            planned.key_switch_count(),
+            "KS count: measured vs planned"
+        );
+        for kind in fxhenn_ckks::HeOpKind::ALL {
+            assert_eq!(
+                measured.count_of(kind),
+                planned.count_of(kind),
+                "count of {kind}"
+            );
+        }
+        // Levels must agree as multisets of (kind, level): the executor
+        // interleaves ops that the plan records in batches.
+        let key = |r: &fxhenn_ckks::HeOpRecord| (r.kind, r.level);
+        let mut m: Vec<_> = measured.records().iter().map(key).collect();
+        let mut p: Vec<_> = planned.records().iter().map(key).collect();
+        m.sort_unstable();
+        p.sort_unstable();
+        assert_eq!(m, p, "per-level operation multisets must agree");
+    }
+
+    #[test]
+    fn mid_network_conv_executes_as_dense() {
+        // Cnv -> Act -> Cnv (the CIFAR10 structure) at toy scale.
+        let mut rng_net = toy_mnist_like(16);
+        let conv1 = rng_net.layers()[0].clone();
+        let conv2 = Conv2d::new(
+            2,
+            2,
+            (2, 2),
+            (1, 1),
+            vec![0.25, -0.5, 0.125, 0.375, -0.25, 0.5, 0.0625, -0.125,
+                 0.3, -0.2, 0.15, 0.05, -0.1, 0.2, 0.25, -0.3],
+            vec![0.1, -0.1],
+        );
+        let net = Network::new(
+            "conv-act-conv",
+            &[1, 9, 9],
+            vec![
+                conv1,
+                ("Act1".to_string(), Layer::Activation(Square)),
+                ("Cnv2".to_string(), Layer::Conv(conv2)),
+            ],
+        );
+        rng_net = net.clone();
+        run_and_compare(&rng_net, 0.1);
+    }
+
+    #[test]
+    fn consolidation_path_matches_plaintext() {
+        // A dense layer with many outputs (> CONSOLIDATE_THRESHOLD) from a
+        // multi-ct... use per-output path by making input non-stackable:
+        // d_in large relative to slots/2 = 256.
+        let mut rng = StdRng::seed_from_u64(44);
+        use rand::Rng as _;
+        let d_in = 8 * 36; // conv out: 8 maps of 6x6 = 288 > 256 -> not stackable
+        let d_out = 40; // > CONSOLIDATE_THRESHOLD
+        let conv = Conv2d::new(
+            8,
+            1,
+            (3, 3),
+            (1, 1),
+            (0..72).map(|_| rng.gen_range(-0.3..0.3)).collect(),
+            (0..8).map(|_| rng.gen_range(-0.1..0.1)).collect(),
+        );
+        let fc = Dense::new(
+            d_out,
+            d_in,
+            (0..d_out * d_in).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+            (0..d_out).map(|_| rng.gen_range(-0.1..0.1)).collect(),
+        );
+        let net = Network::new(
+            "wide-fc",
+            &[1, 8, 8],
+            vec![
+                ("Cnv1".to_string(), Layer::Conv(conv)),
+                ("Fc1".to_string(), Layer::Dense(fc)),
+            ],
+        );
+        run_and_compare(&net, 0.1);
+    }
+
+    #[test]
+    fn logits_argmax_agrees_with_plaintext() {
+        let net = toy_mnist_like(17);
+        let (rig, keys) = rig_for(&net);
+        let image = synthetic_input(&net, 9);
+        let expected = net.forward(&image);
+
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(34));
+        let input = encrypt_input(&net, &image, &mut enc, rig.ctx.degree() / 2);
+        let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &keys.gks);
+        let out = exec.run(&net, &input);
+        let dec = Decryptor::new(&rig.ctx, keys.sk);
+        let got = out.decrypt(&dec);
+        let he_argmax = got
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(he_argmax, expected.argmax(), "classification must agree");
+    }
+}

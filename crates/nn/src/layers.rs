@@ -1,0 +1,500 @@
+//! Plaintext CNN layers: the reference network the HE-CNN must agree
+//! with.
+//!
+//! HE-friendly networks use only polynomial operations: convolution,
+//! square activation (the CryptoNets/LoLa ReLU substitute) and dense
+//! layers. Each layer implements plaintext `forward` for functional
+//! verification; the HE lowering lives in [`crate::lowering`].
+
+use crate::tensor::Tensor;
+
+/// A 2-D convolution over a CHW tensor, valid padding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Output channels (feature maps).
+    pub out_channels: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Stride in both dimensions.
+    pub stride: (usize, usize),
+    /// Weights indexed `[out][in][kh][kw]`, flattened row-major.
+    pub weights: Vec<f64>,
+    /// One bias per output channel.
+    pub bias: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight or bias lengths do not match the declared
+    /// shape, or any dimension is zero.
+    pub fn new(
+        out_channels: usize,
+        in_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        weights: Vec<f64>,
+        bias: Vec<f64>,
+    ) -> Self {
+        assert!(out_channels > 0 && in_channels > 0, "channels must be positive");
+        assert!(kernel.0 > 0 && kernel.1 > 0, "kernel must be positive");
+        assert!(stride.0 > 0 && stride.1 > 0, "stride must be positive");
+        assert_eq!(
+            weights.len(),
+            out_channels * in_channels * kernel.0 * kernel.1,
+            "weight count mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "bias count mismatch");
+        Self {
+            out_channels,
+            in_channels,
+            kernel,
+            stride,
+            weights,
+            bias,
+        }
+    }
+
+    /// Weight value for output map `o`, input channel `c`, kernel row
+    /// `kh`, kernel column `kw`.
+    #[inline]
+    pub fn weight(&self, o: usize, c: usize, kh: usize, kw: usize) -> f64 {
+        let (kh_n, kw_n) = self.kernel;
+        self.weights[((o * self.in_channels + c) * kh_n + kh) * kw_n + kw]
+    }
+
+    /// Output spatial size for an input of `(h, w)` (valid padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the input.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.kernel.0 && w >= self.kernel.1,
+            "input smaller than kernel"
+        );
+        (
+            (h - self.kernel.0) / self.stride.0 + 1,
+            (w - self.kernel.1) / self.stride.1 + 1,
+        )
+    }
+
+    /// Number of kernel offsets (`in_channels · kh · kw`) — the loop trip
+    /// count of the LoLa conv lowering.
+    pub fn offset_count(&self) -> usize {
+        self.in_channels * self.kernel.0 * self.kernel.1
+    }
+
+    /// Plaintext forward pass over a CHW input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 3-D with the declared channel count.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "conv input must be CHW");
+        assert_eq!(input.shape()[0], self.in_channels, "channel mismatch");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.output_size(h, w);
+        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
+        for o in 0..self.out_channels {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = self.bias[o];
+                    for c in 0..self.in_channels {
+                        for kh in 0..self.kernel.0 {
+                            for kw in 0..self.kernel.1 {
+                                acc += self.weight(o, c, kh, kw)
+                                    * input.at3(c, y * self.stride.0 + kh, x * self.stride.1 + kw);
+                            }
+                        }
+                    }
+                    *out.at3_mut(o, y, x) = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Plaintext multiply-accumulate count for an input of `(h, w)` — the
+    /// "MACs" column of the paper's Table IV.
+    pub fn mac_count(&self, h: usize, w: usize) -> usize {
+        let (oh, ow) = self.output_size(h, w);
+        self.out_channels * oh * ow * self.offset_count()
+    }
+}
+
+/// The square activation `x ↦ x²` used in place of ReLU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Square;
+
+impl Square {
+    /// Plaintext forward pass.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let data = input.data().iter().map(|&v| v * v).collect();
+        Tensor::from_data(input.shape(), data)
+    }
+}
+
+/// A fully connected (dense) layer `y = W·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    /// Output dimension.
+    pub out_features: usize,
+    /// Input dimension.
+    pub in_features: usize,
+    /// Row-major weights `[out][in]`.
+    pub weights: Vec<f64>,
+    /// One bias per output.
+    pub bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a dense layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or zero dimensions.
+    pub fn new(out_features: usize, in_features: usize, weights: Vec<f64>, bias: Vec<f64>) -> Self {
+        assert!(out_features > 0 && in_features > 0, "dimensions must be positive");
+        assert_eq!(
+            weights.len(),
+            out_features * in_features,
+            "weight count mismatch"
+        );
+        assert_eq!(bias.len(), out_features, "bias count mismatch");
+        Self {
+            out_features,
+            in_features,
+            weights,
+            bias,
+        }
+    }
+
+    /// Weight of output `o`, input `i`.
+    #[inline]
+    pub fn weight(&self, o: usize, i: usize) -> f64 {
+        self.weights[o * self.in_features + i]
+    }
+
+    /// Plaintext forward pass over a flattened input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from `in_features`.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.in_features, "input length mismatch");
+        let x = input.data();
+        let data = (0..self.out_features)
+            .map(|o| {
+                let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+                row.iter().zip(x).map(|(&w, &v)| w * v).sum::<f64>() + self.bias[o]
+            })
+            .collect();
+        Tensor::from_data(&[self.out_features], data)
+    }
+
+    /// Plaintext multiply-accumulate count.
+    pub fn mac_count(&self) -> usize {
+        self.out_features * self.in_features
+    }
+}
+
+/// Average pooling over a CHW tensor — linear, hence directly
+/// HE-friendly (CryptoNets replaces max-pool with it for exactly this
+/// reason). Lowered as a sparse dense layer (rotate-and-sum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvgPool2d {
+    /// Pooling window height and width.
+    pub kernel: (usize, usize),
+    /// Stride in both dimensions.
+    pub stride: (usize, usize),
+}
+
+impl AvgPool2d {
+    /// Creates an average pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if kernel or stride is zero.
+    pub fn new(kernel: (usize, usize), stride: (usize, usize)) -> Self {
+        assert!(kernel.0 > 0 && kernel.1 > 0, "kernel must be positive");
+        assert!(stride.0 > 0 && stride.1 > 0, "stride must be positive");
+        Self { kernel, stride }
+    }
+
+    /// Output spatial size for an `(h, w)` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.kernel.0 && w >= self.kernel.1, "input smaller than window");
+        (
+            (h - self.kernel.0) / self.stride.0 + 1,
+            (w - self.kernel.1) / self.stride.1 + 1,
+        )
+    }
+
+    /// The dense-matrix weight between flattened input value `v` and
+    /// flattened output value `k` over a `shape` (CHW) input: `1/|window|`
+    /// when `v` lies in `k`'s window of the same channel, else 0.
+    pub fn dense_weight(&self, shape: &[usize], k: usize, v: usize) -> f64 {
+        let (h, w) = (shape[1], shape[2]);
+        let (oh, ow) = self.output_size(h, w);
+        let c_out = k / (oh * ow);
+        let rest = k % (oh * ow);
+        let oy = rest / ow;
+        let ox = rest % ow;
+        let c_in = v / (h * w);
+        if c_in != c_out {
+            return 0.0;
+        }
+        let rest_v = v % (h * w);
+        let y = rest_v / w;
+        let x = rest_v % w;
+        let base_y = oy * self.stride.0;
+        let base_x = ox * self.stride.1;
+        if y >= base_y && y < base_y + self.kernel.0 && x >= base_x && x < base_x + self.kernel.1
+        {
+            1.0 / (self.kernel.0 * self.kernel.1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Plaintext forward pass over a CHW input.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is 3-D and at least as large as the window.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "pooling input must be CHW");
+        let (c_n, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.output_size(h, w);
+        let inv = 1.0 / (self.kernel.0 * self.kernel.1) as f64;
+        let mut out = Tensor::zeros(&[c_n, oh, ow]);
+        for c in 0..c_n {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..self.kernel.0 {
+                        for kx in 0..self.kernel.1 {
+                            acc += input.at3(c, y * self.stride.0 + ky, x * self.stride.1 + kx);
+                        }
+                    }
+                    *out.at3_mut(c, y, x) = acc * inv;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A per-channel affine map `y = a_c · x + b_c` — a folded batch
+/// normalization (or any diagonal linear layer). Lowered as one
+/// PCmult + Rescale + PCadd per ciphertext: an "NKS" layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelScale {
+    /// Multiplier per channel.
+    pub factors: Vec<f64>,
+    /// Offset per channel.
+    pub shifts: Vec<f64>,
+}
+
+impl ChannelScale {
+    /// Creates a per-channel affine layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor and shift counts differ or are empty.
+    pub fn new(factors: Vec<f64>, shifts: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "at least one channel");
+        assert_eq!(factors.len(), shifts.len(), "one shift per factor");
+        Self { factors, shifts }
+    }
+
+    /// Folds batch-normalization statistics into the affine form:
+    /// `a = gamma / sqrt(var + eps)`, `b = beta - a·mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or non-positive variances.
+    pub fn from_batch_norm(
+        gamma: &[f64],
+        beta: &[f64],
+        mean: &[f64],
+        var: &[f64],
+        eps: f64,
+    ) -> Self {
+        assert!(
+            gamma.len() == beta.len() && beta.len() == mean.len() && mean.len() == var.len(),
+            "batch-norm parameter lengths must match"
+        );
+        assert!(var.iter().all(|&v| v + eps > 0.0), "variance must be positive");
+        let factors: Vec<f64> = gamma
+            .iter()
+            .zip(var)
+            .map(|(&g, &v)| g / (v + eps).sqrt())
+            .collect();
+        let shifts = beta
+            .iter()
+            .zip(&factors)
+            .zip(mean)
+            .map(|((&b, &a), &m)| b - a * m)
+            .collect();
+        Self { factors, shifts }
+    }
+
+    /// Plaintext forward pass over a CHW input.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is 3-D with a matching channel count.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "channel scale input must be CHW");
+        assert_eq!(input.shape()[0], self.factors.len(), "channel mismatch");
+        let (c_n, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let mut out = input.clone();
+        for c in 0..c_n {
+            for y in 0..h {
+                for x in 0..w {
+                    *out.at3_mut(c, y, x) = self.factors[c] * input.at3(c, y, x) + self.shifts[c];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Any HE-friendly layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// Convolution (lowered as an "NKS" HE layer via offset packing).
+    Conv(Conv2d),
+    /// Square activation (a "KS" layer: CCmult + Relinearize + Rescale).
+    Activation(Square),
+    /// Dense layer (a "KS" layer: rotate-and-sum).
+    Dense(Dense),
+    /// Average pooling (linear; lowered as a sparse dense layer).
+    AvgPool(AvgPool2d),
+    /// Per-channel affine map (folded batch norm; an "NKS" layer).
+    Scale(ChannelScale),
+}
+
+impl Layer {
+    /// Plaintext forward pass; dense layers flatten their input first.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv(c) => c.forward(input),
+            Layer::Activation(s) => s.forward(input),
+            Layer::Dense(d) => d.forward(&input.clone().flattened()),
+            Layer::AvgPool(p) => p.forward(input),
+            Layer::Scale(cs) => cs.forward(input),
+        }
+    }
+
+    /// A short display name in the paper's style (Cnv/Act/Fc/Pool/Bn).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Conv(_) => "Cnv",
+            Layer::Activation(_) => "Act",
+            Layer::Dense(_) => "Fc",
+            Layer::AvgPool(_) => "Pool",
+            Layer::Scale(_) => "Bn",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1 and zero bias is the identity.
+        let conv = Conv2d::new(1, 1, (1, 1), (1, 1), vec![1.0], vec![0.0]);
+        let input = Tensor::from_data(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(conv.forward(&input), input);
+    }
+
+    #[test]
+    fn conv_computes_known_example() {
+        // 2x2 all-ones kernel, stride 1 over a 3x3 image: sums of 2x2 windows.
+        let conv = Conv2d::new(1, 1, (2, 2), (1, 1), vec![1.0; 4], vec![0.5]);
+        let input = Tensor::from_data(
+            &[1, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let out = conv.forward(&input);
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[12.5, 16.5, 24.5, 28.5]);
+    }
+
+    #[test]
+    fn conv_stride_reduces_output() {
+        let conv = Conv2d::new(1, 1, (2, 2), (2, 2), vec![1.0; 4], vec![0.0]);
+        assert_eq!(conv.output_size(6, 6), (3, 3));
+        assert_eq!(conv.output_size(5, 5), (2, 2));
+    }
+
+    #[test]
+    fn conv_multichannel_sums_channels() {
+        let conv = Conv2d::new(1, 2, (1, 1), (1, 1), vec![2.0, 3.0], vec![0.0]);
+        let input = Tensor::from_data(&[2, 1, 1], vec![5.0, 7.0]);
+        let out = conv.forward(&input);
+        assert_eq!(out.data(), &[2.0 * 5.0 + 3.0 * 7.0]);
+    }
+
+    #[test]
+    fn conv_mac_count_matches_shape() {
+        // LoLa-MNIST Cnv1: 5 maps, 5x5, stride 2, 28x28 input (paper
+        // Table IV: 2.11e4 MACs).
+        let conv = Conv2d::new(5, 1, (5, 5), (2, 2), vec![0.0; 125], vec![0.0; 5]);
+        let macs = conv.mac_count(28, 28);
+        assert_eq!(conv.output_size(28, 28), (12, 12));
+        assert_eq!(macs, 5 * 12 * 12 * 25); // 18_000 = 1.8e4
+    }
+
+    #[test]
+    fn square_squares_elementwise() {
+        let sq = Square;
+        let input = Tensor::from_data(&[3], vec![-2.0, 0.5, 3.0]);
+        assert_eq!(sq.forward(&input).data(), &[4.0, 0.25, 9.0]);
+    }
+
+    #[test]
+    fn dense_computes_matrix_vector_product() {
+        let d = Dense::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![0.5, -0.5]);
+        let x = Tensor::from_data(&[3], vec![1.0, 1.0, 1.0]);
+        let y = d.forward(&x);
+        assert_eq!(y.data(), &[6.5, 14.5]);
+        assert_eq!(d.mac_count(), 6);
+    }
+
+    #[test]
+    fn layer_enum_dispatches_and_flattens() {
+        let d = Dense::new(1, 4, vec![1.0; 4], vec![0.0]);
+        let l = Layer::Dense(d);
+        let input = Tensor::from_data(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(l.forward(&input).data(), &[10.0]);
+        assert_eq!(l.kind_name(), "Fc");
+        assert_eq!(Layer::Activation(Square).kind_name(), "Act");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count mismatch")]
+    fn conv_rejects_bad_weights() {
+        Conv2d::new(1, 1, (2, 2), (1, 1), vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input smaller than kernel")]
+    fn conv_rejects_tiny_input() {
+        let conv = Conv2d::new(1, 1, (5, 5), (1, 1), vec![0.0; 25], vec![0.0]);
+        conv.output_size(3, 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fxhenn-nn
+//!
+//! CNN models, LoLa-style ciphertext packing and the HE-CNN lowering for
+//! the FxHENN reproduction: plaintext reference layers, the
+//! FxHENN-MNIST / FxHENN-CIFAR10 benchmark networks, slot layouts and
+//! packing builders, the analytic lowering that turns a network into a
+//! per-layer HE operation program, and a functional executor that runs
+//! the same program through `fxhenn-ckks` for end-to-end verification.
+
+pub mod builder;
+pub mod executor;
+pub mod layers;
+pub mod lowering;
+pub mod model;
+pub mod packing;
+pub mod stats;
+pub mod tensor;
+pub mod train;
+
+pub use builder::{BuildError, NetworkBuilder};
+pub use layers::{AvgPool2d, ChannelScale, Conv2d, Dense, Layer, Square};
+pub use lowering::{
+    lower_network, plan_dense, DensePlan, HeCnnProgram, HeLayerClass, HeLayerPlan, Layout,
+};
+pub use model::{fxhenn_cifar10, fxhenn_mnist, fxhenn_mnist_pooled, synthetic_input, toy_cryptonets_like, toy_mnist_like, Network};
+pub use packing::CtLayout;
+pub use train::{accuracy, train, SyntheticTask, TrainConfig};
+pub use tensor::Tensor;

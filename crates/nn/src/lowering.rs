@@ -1,0 +1,780 @@
+//! Lowering a CNN into a per-layer HE operation program.
+//!
+//! This is the analytic counterpart of the functional executor: it walks
+//! the network and emits, for every layer, the exact sequence of HE
+//! operations (with levels) that the LoLa-style packing performs —
+//! without touching any ciphertext. The result drives the hardware
+//! model, the DSE and the benchmark tables (HOP/KS counts of Tables IV,
+//! VI, VII).
+//!
+//! ## Lowering rules
+//!
+//! * **First convolution** (offset packing, an "NKS" layer): per output
+//!   group, one `PCmult` + `Rescale` per kernel tap, `CCadd` to
+//!   accumulate, one `PCadd` for the bias (Listing 1 of the paper).
+//! * **Square activation** ("KS"): `CCmult` + `Relinearize` + `Rescale`
+//!   per ciphertext.
+//! * **Dense / mid-network convolution** ("KS"): rotate-and-sum. A
+//!   single-ciphertext input whose span allows it uses the *stacked*
+//!   variant (several outputs per round); otherwise one output per round
+//!   across all input ciphertexts. Very wide layers consolidate their
+//!   round outputs back into one ciphertext with a masked
+//!   rotate-accumulate, spending one extra level.
+
+use crate::layers::{Conv2d, Layer};
+use crate::model::Network;
+use crate::packing::next_pow2;
+use crate::stats::op_he_macs;
+use fxhenn_ckks::{HeOpKind, OpTrace};
+
+/// Round-count threshold above which a dense layer's outputs are
+/// consolidated into a single ciphertext (at the cost of one level).
+pub const CONSOLIDATE_THRESHOLD: usize = 32;
+
+/// The paper's two-way layer classification (Sec. V-A): layers with
+/// KeySwitch operations pipeline differently from layers without.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeLayerClass {
+    /// No KeySwitch operations (first convolution).
+    Nks,
+    /// Contains KeySwitch operations (activations, dense layers).
+    Ks,
+}
+
+impl std::fmt::Display for HeLayerClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeLayerClass::Nks => f.write_str("NKS"),
+            HeLayerClass::Ks => f.write_str("KS"),
+        }
+    }
+}
+
+/// Where a layer boundary's values live, abstractly (enough to decide
+/// the next layer's lowering strategy and to rebuild the concrete slot
+/// layout in the functional executor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// One ciphertext, values at slots `0..n`.
+    SingleContig { n: usize },
+    /// Contiguous across several ciphertexts.
+    MultiContig { n: usize, cts: usize },
+    /// Stacked dense output: round ciphertexts with values at `s·seg`.
+    Segmented {
+        n: usize,
+        copies: usize,
+        seg: usize,
+        cts: usize,
+    },
+    /// One ciphertext per output, value at slot 0.
+    PerOutput { n: usize },
+    /// Consolidated dense output: one ciphertext, values at `s·seg + r`.
+    ScatteredSingle {
+        n: usize,
+        copies: usize,
+        seg: usize,
+        rounds: usize,
+    },
+}
+
+/// The rotate-and-sum and replication shifts a dense lowering uses, all
+/// expressed as left-rotation step counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensePlan {
+    /// True when the stacked (multi-output-per-round) variant applies.
+    pub stacked: bool,
+    /// Segment width (power of two) of the stacked layout.
+    pub seg: usize,
+    /// Stacked copies per ciphertext (power of two), 1 when not stacked.
+    pub copies: usize,
+    /// Number of rounds (= output ciphertexts before consolidation).
+    pub rounds: usize,
+    /// True when round outputs are consolidated into one ciphertext.
+    pub consolidate: bool,
+    /// Left-rotation steps replicating the input into stacked copies.
+    pub stack_shifts: Vec<usize>,
+    /// Left-rotation steps of the per-round rotate-and-sum.
+    pub sum_shifts: Vec<usize>,
+    /// Left-rotation steps of the consolidation pass (round 1..).
+    pub consolidate_shifts: Vec<usize>,
+}
+
+impl DensePlan {
+    /// All distinct rotation steps this plan needs Galois keys for.
+    pub fn rotation_steps(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .stack_shifts
+            .iter()
+            .chain(&self.sum_shifts)
+            .chain(&self.consolidate_shifts)
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Computes the dense lowering decisions for an input layout, output
+/// width and slot count — shared by the analytic lowering and the
+/// functional executor so they can never diverge.
+pub fn plan_dense(input: &Layout, d_out: usize, slots: usize) -> DensePlan {
+    let d_in = input.value_count();
+    let stacked = matches!(input, Layout::SingleContig { .. }) && next_pow2(d_in) * 2 <= slots;
+    if stacked {
+        let seg = next_pow2(d_in);
+        let copies = slots / seg;
+        let rounds = d_out.div_ceil(copies);
+        let stack_shifts = (0..copies.trailing_zeros())
+            .map(|t| slots - seg * (1 << t))
+            .collect();
+        let sum_shifts = (0..seg.trailing_zeros()).map(|t| 1usize << t).collect();
+        let consolidate = rounds > CONSOLIDATE_THRESHOLD;
+        let consolidate_shifts = if consolidate {
+            (1..rounds).map(|r| (slots - r % slots) % slots).collect()
+        } else {
+            Vec::new()
+        };
+        DensePlan {
+            stacked,
+            seg,
+            copies,
+            rounds,
+            consolidate,
+            stack_shifts,
+            sum_shifts,
+            consolidate_shifts,
+        }
+    } else {
+        let rounds = d_out;
+        let sum_shifts = input.rotate_sum_shifts(slots);
+        let consolidate = rounds > CONSOLIDATE_THRESHOLD;
+        let consolidate_shifts = if consolidate {
+            (1..rounds).map(|r| (slots - r % slots) % slots).collect()
+        } else {
+            Vec::new()
+        };
+        DensePlan {
+            stacked,
+            seg: 1,
+            copies: 1,
+            rounds,
+            consolidate,
+            stack_shifts: Vec::new(),
+            sum_shifts,
+            consolidate_shifts,
+        }
+    }
+}
+
+impl Layout {
+    /// Number of logical values at this boundary.
+    pub fn value_count(&self) -> usize {
+        match *self {
+            Layout::SingleContig { n }
+            | Layout::MultiContig { n, .. }
+            | Layout::Segmented { n, .. }
+            | Layout::PerOutput { n }
+            | Layout::ScatteredSingle { n, .. } => n,
+        }
+    }
+
+    /// Number of ciphertexts at this boundary.
+    pub fn ct_count(&self) -> usize {
+        match *self {
+            Layout::SingleContig { .. } | Layout::ScatteredSingle { .. } => 1,
+            Layout::MultiContig { cts, .. } | Layout::Segmented { cts, .. } => cts,
+            Layout::PerOutput { n } => n,
+        }
+    }
+
+    /// Left-rotation steps of a full rotate-and-sum collapsing every
+    /// value of one (possibly ct-accumulated) ciphertext into slot 0.
+    pub fn rotate_sum_shifts(&self, slots: usize) -> Vec<usize> {
+        match *self {
+            Layout::SingleContig { n } => {
+                (0..next_pow2(n).trailing_zeros()).map(|t| 1usize << t).collect()
+            }
+            Layout::MultiContig { .. } => (0..next_pow2(slots).trailing_zeros())
+                .map(|t| 1usize << t)
+                .collect(),
+            Layout::Segmented { copies, seg, .. } => (0..next_pow2(copies).trailing_zeros())
+                .map(|t| seg << t)
+                .collect(),
+            Layout::PerOutput { .. } => Vec::new(),
+            Layout::ScatteredSingle { copies, seg, rounds, .. } => {
+                let within: Vec<usize> = (0..next_pow2(rounds).trailing_zeros())
+                    .map(|t| 1usize << t)
+                    .collect();
+                let across = (0..next_pow2(copies).trailing_zeros()).map(|t| seg << t);
+                within.into_iter().chain(across).collect()
+            }
+        }
+    }
+}
+
+/// The HE plan of one layer: class, operation trace, ciphertext counts
+/// and levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeLayerPlan {
+    /// Layer name (Cnv1, Act1, …).
+    pub name: String,
+    /// NKS/KS classification.
+    pub class: HeLayerClass,
+    /// The exact HE operations this layer performs, with levels.
+    pub trace: OpTrace,
+    /// Number of input ciphertexts (`N_in` of Eqs. 1–2).
+    pub input_cts: usize,
+    /// Number of output ciphertexts.
+    pub output_cts: usize,
+    /// Ciphertext level on entry.
+    pub level_in: usize,
+    /// Ciphertext level on exit.
+    pub level_out: usize,
+    /// Words of encoded plaintext operands this layer streams from
+    /// off-chip memory (weights, biases, masks).
+    pub plaintext_words: usize,
+    /// Distinct left-rotation steps this layer needs Galois keys for.
+    pub rotation_steps: Vec<usize>,
+}
+
+impl HeLayerPlan {
+    /// HOP count of this layer.
+    pub fn hop_count(&self) -> usize {
+        self.trace.hop_count()
+    }
+
+    /// KeySwitch count of this layer.
+    pub fn key_switch_count(&self) -> usize {
+        self.trace.key_switch_count()
+    }
+
+    /// HE word-MACs of this layer (paper Table IV "MACs of HOPs").
+    pub fn he_macs(&self, degree: usize) -> u64 {
+        self.trace
+            .records()
+            .iter()
+            .map(|r| op_he_macs(r.kind, r.level, degree))
+            .sum()
+    }
+}
+
+/// A fully lowered HE-CNN: per-layer plans plus ring parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeCnnProgram {
+    /// Source network name.
+    pub network_name: String,
+    /// Ring degree `N`.
+    pub degree: usize,
+    /// Starting (maximum) level `L`.
+    pub max_level: usize,
+    /// Per-layer plans in execution order.
+    pub layers: Vec<HeLayerPlan>,
+}
+
+impl HeCnnProgram {
+    /// Total HOP count (paper Table VI/VII "HOP").
+    pub fn hop_count(&self) -> usize {
+        self.layers.iter().map(|l| l.hop_count()).sum()
+    }
+
+    /// Total KeySwitch count (paper Table VII "KS").
+    pub fn key_switch_count(&self) -> usize {
+        self.layers.iter().map(|l| l.key_switch_count()).sum()
+    }
+
+    /// Concatenated operation trace.
+    pub fn total_trace(&self) -> OpTrace {
+        let mut t = OpTrace::new();
+        for l in &self.layers {
+            t.extend_from(&l.trace);
+        }
+        t
+    }
+
+    /// Encoded-plaintext model size in bytes (paper Table VI "Mod.Size").
+    pub fn model_size_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.plaintext_words * std::mem::size_of::<u64>())
+            .sum()
+    }
+
+    /// Total HE word-MACs.
+    pub fn total_he_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.he_macs(self.degree)).sum()
+    }
+
+    /// The plan for a layer by name, if present.
+    pub fn layer(&self, name: &str) -> Option<&HeLayerPlan> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// All distinct rotation steps the program needs Galois keys for.
+    pub fn required_rotations(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.rotation_steps.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Lowers a network into an HE program for ring degree `degree` with
+/// `max_level` starting level.
+///
+/// # Panics
+///
+/// Panics if the network exhausts the level budget (`level` would drop
+/// below 1), if a convolution output map does not fit in the slots, or
+/// if the first layer is not a convolution (LoLa packing assumes a conv
+/// front end).
+pub fn lower_network(net: &Network, degree: usize, max_level: usize) -> HeCnnProgram {
+    let slots = degree / 2;
+    let mut level = max_level;
+    let mut shape = net.input_shape().to_vec();
+    let mut layout: Option<Layout> = None;
+    let mut plans = Vec::with_capacity(net.layer_count());
+
+    for (idx, (name, layer)) in net.layers().iter().enumerate() {
+        let plan = match layer {
+            Layer::Conv(conv) => {
+                if idx == 0 {
+                    let (p, l2) = lower_first_conv(name, conv, &shape, slots, level);
+                    let (oh, ow) = conv.output_size(shape[1], shape[2]);
+                    shape = vec![conv.out_channels, oh, ow];
+                    layout = Some(l2);
+                    level = p.level_out;
+                    p
+                } else {
+                    // Mid-network convolution: lowered as a dense layer
+                    // over the flattened input (rotation-based).
+                    let (oh, ow) = conv.output_size(shape[1], shape[2]);
+                    let d_out = conv.out_channels * oh * ow;
+                    let (p, l2) = lower_dense_like(
+                        name,
+                        layout.as_ref().expect("conv after first layer has input"),
+                        d_out,
+                        slots,
+                        level,
+                    );
+                    shape = vec![conv.out_channels, oh, ow];
+                    layout = Some(l2);
+                    level = p.level_out;
+                    p
+                }
+            }
+            Layer::Activation(_) => {
+                let lay = layout.as_ref().expect("activation needs a lowered input");
+                let p = lower_activation(name, lay, level);
+                level = p.level_out;
+                p
+            }
+            Layer::Dense(d) => {
+                let lay = layout.as_ref().expect("dense needs a lowered input");
+                assert_eq!(
+                    lay.value_count(),
+                    d.in_features,
+                    "dense input size mismatch at {name}"
+                );
+                let (p, l2) = lower_dense_like(name, lay, d.out_features, slots, level);
+                shape = vec![d.out_features];
+                layout = Some(l2);
+                level = p.level_out;
+                p
+            }
+            Layer::AvgPool(pool) => {
+                // Average pooling is a sparse linear map: lowered exactly
+                // like a dense layer (rotate-and-sum).
+                let lay = layout.as_ref().expect("pooling needs a lowered input");
+                assert_eq!(shape.len(), 3, "pooling needs a CHW shape at {name}");
+                let (oh, ow) = pool.output_size(shape[1], shape[2]);
+                let d_out = shape[0] * oh * ow;
+                let (p, l2) = lower_dense_like(name, lay, d_out, slots, level);
+                shape = vec![shape[0], oh, ow];
+                layout = Some(l2);
+                level = p.level_out;
+                p
+            }
+            Layer::Scale(cs) => {
+                // Per-channel affine map: one PCmult + Rescale + PCadd per
+                // ciphertext — an NKS layer that preserves the layout.
+                let lay = layout.as_ref().expect("channel scale needs a lowered input");
+                assert_eq!(shape.len(), 3, "channel scale needs a CHW shape at {name}");
+                assert_eq!(shape[0], cs.factors.len(), "channel mismatch at {name}");
+                let p = lower_channel_scale(name, lay, slots, level);
+                level = p.level_out;
+                p
+            }
+        };
+        assert!(
+            plan.level_out >= 1,
+            "level budget exhausted at layer {name}: needs more than {max_level} levels"
+        );
+        plans.push(plan);
+    }
+
+    HeCnnProgram {
+        network_name: net.name().to_string(),
+        degree,
+        max_level,
+        layers: plans,
+    }
+}
+
+fn lower_first_conv(
+    name: &str,
+    conv: &Conv2d,
+    shape: &[usize],
+    slots: usize,
+    level: usize,
+) -> (HeLayerPlan, Layout) {
+    let (oh, ow) = conv.output_size(shape[1], shape[2]);
+    let positions = oh * ow;
+    assert!(
+        positions <= slots,
+        "conv output map ({positions} positions) must fit in {slots} slots"
+    );
+    let maps_per_group = (slots / positions).min(conv.out_channels).max(1);
+    let groups = conv.out_channels.div_ceil(maps_per_group);
+    let k = conv.offset_count();
+
+    let mut trace = OpTrace::new();
+    for _g in 0..groups {
+        trace.record_many(HeOpKind::PcMult, level, k);
+        trace.record_many(HeOpKind::Rescale, level, k);
+        trace.record_many(HeOpKind::CcAdd, level - 1, k - 1);
+        trace.record(HeOpKind::PcAdd, level - 1);
+    }
+    let n_values = conv.out_channels * positions;
+    let layout = if groups == 1 {
+        Layout::SingleContig { n: n_values }
+    } else {
+        Layout::MultiContig {
+            n: n_values,
+            cts: groups,
+        }
+    };
+    let plan = HeLayerPlan {
+        name: name.to_string(),
+        class: HeLayerClass::Nks,
+        trace,
+        input_cts: groups * k,
+        output_cts: groups,
+        level_in: level,
+        level_out: level - 1,
+        plaintext_words: groups * (k + 1) * slots * 2 * level,
+        rotation_steps: Vec::new(),
+    };
+    (plan, layout)
+}
+
+fn lower_activation(name: &str, layout: &Layout, level: usize) -> HeLayerPlan {
+    let cts = layout.ct_count();
+    let mut trace = OpTrace::new();
+    for _ in 0..cts {
+        trace.record(HeOpKind::CcMult, level);
+        trace.record(HeOpKind::Relinearize, level);
+        trace.record(HeOpKind::Rescale, level);
+    }
+    HeLayerPlan {
+        name: name.to_string(),
+        class: HeLayerClass::Ks,
+        trace,
+        input_cts: cts,
+        output_cts: cts,
+        level_in: level,
+        level_out: level - 1,
+        plaintext_words: 0,
+        rotation_steps: Vec::new(),
+    }
+}
+
+fn lower_channel_scale(name: &str, layout: &Layout, slots: usize, level: usize) -> HeLayerPlan {
+    let cts = layout.ct_count();
+    let mut trace = OpTrace::new();
+    for _ in 0..cts {
+        trace.record(HeOpKind::PcMult, level);
+        trace.record(HeOpKind::Rescale, level);
+        trace.record(HeOpKind::PcAdd, level - 1);
+    }
+    HeLayerPlan {
+        name: name.to_string(),
+        class: HeLayerClass::Nks,
+        trace,
+        input_cts: cts,
+        output_cts: cts,
+        level_in: level,
+        level_out: level - 1,
+        plaintext_words: cts * slots * 2 * (2 * level - 1),
+        rotation_steps: Vec::new(),
+    }
+}
+
+fn lower_dense_like(
+    name: &str,
+    input: &Layout,
+    d_out: usize,
+    slots: usize,
+    level: usize,
+) -> (HeLayerPlan, Layout) {
+    let mut trace = OpTrace::new();
+    let plan = plan_dense(input, d_out, slots);
+    let mut plaintext_words = 0usize;
+
+    let (out_layout, level_after_rounds) = if plan.stacked {
+        // replicate input into `copies` stacked copies
+        trace.record_many(HeOpKind::Rotate, level, plan.stack_shifts.len());
+        trace.record_many(HeOpKind::CcAdd, level, plan.stack_shifts.len());
+        // per round: weights multiply + rescale, rotate-and-sum within
+        // segments, bias add
+        let rs = plan.sum_shifts.len();
+        for _ in 0..plan.rounds {
+            trace.record(HeOpKind::PcMult, level);
+            trace.record(HeOpKind::Rescale, level);
+            trace.record_many(HeOpKind::Rotate, level - 1, rs);
+            trace.record_many(HeOpKind::CcAdd, level - 1, rs);
+            trace.record(HeOpKind::PcAdd, level - 1);
+        }
+        plaintext_words += plan.rounds * slots * 2 * level; // weight plaintexts
+        plaintext_words += plan.rounds * slots * 2 * (level - 1); // bias plaintexts
+        (
+            Layout::Segmented {
+                n: d_out,
+                copies: plan.copies,
+                seg: plan.seg,
+                cts: plan.rounds,
+            },
+            level - 1,
+        )
+    } else {
+        // One output per round across all input ciphertexts.
+        let m = input.ct_count();
+        let rs = plan.sum_shifts.len();
+        for _ in 0..d_out {
+            trace.record_many(HeOpKind::PcMult, level, m);
+            trace.record_many(HeOpKind::CcAdd, level, m - 1);
+            trace.record(HeOpKind::Rescale, level);
+            trace.record_many(HeOpKind::Rotate, level - 1, rs);
+            trace.record_many(HeOpKind::CcAdd, level - 1, rs);
+            trace.record(HeOpKind::PcAdd, level - 1);
+        }
+        plaintext_words += d_out * m * slots * 2 * level;
+        plaintext_words += d_out * slots * 2 * (level - 1);
+        (Layout::PerOutput { n: d_out }, level - 1)
+    };
+
+    // Consolidation: wide layers fold their round ciphertexts back into
+    // one via mask + rotate + add, spending one more level.
+    let (final_layout, level_out) = if plan.consolidate {
+        let lv = level_after_rounds;
+        for r in 0..plan.rounds {
+            trace.record(HeOpKind::PcMult, lv); // mask
+            trace.record(HeOpKind::Rescale, lv);
+            if r > 0 {
+                trace.record(HeOpKind::Rotate, lv - 1);
+                trace.record(HeOpKind::CcAdd, lv - 1);
+            }
+        }
+        plaintext_words += plan.rounds * slots * 2 * lv; // mask plaintexts
+        let layout = match out_layout {
+            Layout::Segmented { n, copies, seg, .. } => Layout::ScatteredSingle {
+                n,
+                copies,
+                seg,
+                rounds: plan.rounds,
+            },
+            Layout::PerOutput { n } => Layout::ScatteredSingle {
+                n,
+                copies: 1,
+                seg: 1,
+                rounds: plan.rounds,
+            },
+            other => other,
+        };
+        (layout, lv - 1)
+    } else {
+        (out_layout, level_after_rounds)
+    };
+
+    let he_plan = HeLayerPlan {
+        name: name.to_string(),
+        class: HeLayerClass::Ks,
+        trace,
+        input_cts: input.ct_count(),
+        output_cts: final_layout.ct_count(),
+        level_in: level,
+        level_out,
+        plaintext_words,
+        rotation_steps: plan.rotation_steps(),
+    };
+    (he_plan, final_layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{fxhenn_cifar10, fxhenn_mnist, toy_mnist_like};
+
+    #[test]
+    fn mnist_cnv1_matches_table4_hops() {
+        // Table IV: Cnv1 has 75 HOPs (25 PCmult + 25 Rescale + 24 CCadd +
+        // 1 PCadd in our honest accounting).
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let cnv1 = prog.layer("Cnv1").unwrap();
+        assert_eq!(cnv1.hop_count(), 75);
+        assert_eq!(cnv1.class, HeLayerClass::Nks);
+        assert_eq!(cnv1.key_switch_count(), 0);
+        assert_eq!(cnv1.input_cts, 25);
+        assert_eq!(cnv1.output_cts, 1, "845 values fit one ciphertext");
+    }
+
+    #[test]
+    fn mnist_totals_in_paper_range() {
+        // Paper Table VII: FxHENN-MNIST has 826 HOPs and 280 KS. Our
+        // honest lowering (counting every CCadd) lands within ~1.6x on
+        // HOPs and ~7% on KS; EXPERIMENTS.md records the delta.
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let hops = prog.hop_count();
+        let ks = prog.key_switch_count();
+        assert!((700..=1500).contains(&hops), "MNIST HOPs = {hops}");
+        assert!((230..=420).contains(&ks), "MNIST KS = {ks}");
+    }
+
+    #[test]
+    fn mnist_layer_classes_match_table2() {
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let classes: Vec<HeLayerClass> = prog.layers.iter().map(|l| l.class).collect();
+        assert_eq!(
+            classes,
+            [
+                HeLayerClass::Nks,
+                HeLayerClass::Ks,
+                HeLayerClass::Ks,
+                HeLayerClass::Ks,
+                HeLayerClass::Ks
+            ]
+        );
+    }
+
+    #[test]
+    fn mnist_levels_descend_within_budget() {
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let mut lv = 7;
+        for layer in &prog.layers {
+            assert_eq!(layer.level_in, lv, "{} enters at {lv}", layer.name);
+            assert!(layer.level_out < layer.level_in);
+            assert!(layer.level_out >= 1);
+            lv = layer.level_out;
+        }
+        // depth 5 from level 7 ends at level 2
+        assert_eq!(prog.layers.last().unwrap().level_out, 2);
+    }
+
+    #[test]
+    fn mnist_fc1_dominates_keyswitches() {
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let fc1 = prog.layer("Fc1").unwrap();
+        assert!(
+            fc1.key_switch_count() * 2 > prog.key_switch_count(),
+            "Fc1 carries most KS ops ({}/{})",
+            fc1.key_switch_count(),
+            prog.key_switch_count()
+        );
+        // Fc1 = 25 rounds: 250 rotate-and-sum rotations + 2 stacking
+        assert_eq!(fc1.key_switch_count(), 252);
+    }
+
+    #[test]
+    fn cifar10_totals_two_orders_above_mnist() {
+        let mnist = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let cifar = lower_network(&fxhenn_cifar10(1), 16384, 7);
+        // Paper Table VI: 0.83e3 vs 82.73e3 HOPs (~100x).
+        let ratio = cifar.hop_count() as f64 / mnist.hop_count() as f64;
+        assert!(
+            (40.0..=200.0).contains(&ratio),
+            "CIFAR/MNIST HOP ratio = {ratio}"
+        );
+        assert!(
+            (30_000..=120_000).contains(&cifar.key_switch_count()),
+            "CIFAR KS = {}",
+            cifar.key_switch_count()
+        );
+    }
+
+    #[test]
+    fn cifar10_consolidates_wide_conv2() {
+        let prog = lower_network(&fxhenn_cifar10(1), 16384, 7);
+        let cnv2 = prog.layer("Cnv2").unwrap();
+        assert_eq!(cnv2.output_cts, 1, "2800 outputs consolidated to one ct");
+        assert_eq!(
+            cnv2.level_out,
+            cnv2.level_in - 2,
+            "consolidation costs one extra level"
+        );
+        // Act2 then squares a single ciphertext.
+        let act2 = prog.layer("Act2").unwrap();
+        assert_eq!(act2.hop_count(), 3);
+    }
+
+    #[test]
+    fn model_size_matches_paper_order() {
+        // Table VI: MNIST 15.57 MB, CIFAR10 2471 MB.
+        let mnist = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let mb = mnist.model_size_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((5.0..=80.0).contains(&mb), "MNIST model = {mb} MB");
+        let cifar = lower_network(&fxhenn_cifar10(1), 16384, 7);
+        let gb = cifar.model_size_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!((1.0..=12.0).contains(&gb), "CIFAR model = {gb} GB");
+    }
+
+    #[test]
+    fn he_macs_explode_relative_to_plain_macs() {
+        // Table IV: Cnv1 2.11e4 plain MACs vs 1.198e8 HE MACs (~5700x).
+        let net = fxhenn_mnist(1);
+        let prog = lower_network(&net, 8192, 7);
+        let cnv1 = prog.layer("Cnv1").unwrap();
+        let he = cnv1.he_macs(8192);
+        let plain = 21_125u64;
+        let factor = he / plain;
+        assert!(
+            (1000..=20_000).contains(&factor),
+            "HE/plain MAC factor = {factor}"
+        );
+    }
+
+    #[test]
+    fn toy_network_lowers_and_fits_small_params() {
+        let prog = lower_network(&toy_mnist_like(1), 1024, 7);
+        assert_eq!(prog.layers.len(), 5);
+        assert!(prog.hop_count() > 0);
+        assert!(prog.layers.last().unwrap().level_out >= 1);
+    }
+
+    #[test]
+    fn total_trace_concatenates_layers() {
+        let prog = lower_network(&toy_mnist_like(1), 1024, 7);
+        let total = prog.total_trace();
+        assert_eq!(total.hop_count(), prog.hop_count());
+        assert_eq!(total.key_switch_count(), prog.key_switch_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in")]
+    fn conv_too_large_for_slots_panics() {
+        // 169 output positions cannot fit the 128 slots of N=256.
+        lower_network(&fxhenn_mnist(1), 256, 7);
+    }
+
+    #[test]
+    fn mnist_fits_even_at_reduced_degree() {
+        // At N=1024 (512 slots) the MNIST conv still fits (169 positions),
+        // the maps just split across more ciphertexts.
+        let prog = lower_network(&fxhenn_mnist(1), 1024, 7);
+        let cnv1 = prog.layer("Cnv1").unwrap();
+        assert!(cnv1.output_cts > 1);
+    }
+}

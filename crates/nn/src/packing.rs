@@ -1,0 +1,423 @@
+//! LoLa-style ciphertext packing: slot layouts and packing builders.
+//!
+//! LoLa (and therefore FxHENN) packs many values of one image into the
+//! slots of few ciphertexts, which is what collapses the convolution of
+//! Listing 1 into a single loop of PCmult/CCadd/Rescale. This module
+//! defines [`CtLayout`] — where each logical value lives, as a
+//! `(ciphertext, slot)` pair — plus the builders that produce the packed
+//! input vectors (client side) and the aligned weight vectors (server
+//! side).
+//!
+//! ## The three layouts used by the lowering
+//!
+//! * **Contiguous**: value `v` at `(v / slots, v mod slots)` — fresh conv
+//!   outputs (maps × positions, in channel-major order).
+//! * **Offset packing** (first conv input): one ciphertext per kernel
+//!   offset; slot `j` of ciphertext `i` holds the input pixel the kernel
+//!   tap `i` touches when producing output position `j`.
+//! * **Segmented**: value `v = r·c + s` at ciphertext `r`, slot `s·seg` —
+//!   the natural output layout of the stacked rotate-and-sum dense
+//!   lowering (`c` copies per ciphertext, segment width `seg`).
+
+use crate::layers::Conv2d;
+use crate::tensor::Tensor;
+
+/// Where each logical value of a layer boundary lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtLayout {
+    slots: usize,
+    ct_count: usize,
+    /// `placements[v] = (ciphertext index, slot index)`.
+    placements: Vec<(usize, usize)>,
+}
+
+impl CtLayout {
+    /// Builds a layout from explicit placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is out of range, a `(ct, slot)` pair repeats,
+    /// or the list is empty.
+    pub fn new(slots: usize, ct_count: usize, placements: Vec<(usize, usize)>) -> Self {
+        assert!(!placements.is_empty(), "layout needs at least one value");
+        let mut seen = std::collections::HashSet::new();
+        for &(ct, slot) in &placements {
+            assert!(ct < ct_count, "ciphertext index {ct} out of range");
+            assert!(slot < slots, "slot {slot} out of range");
+            assert!(seen.insert((ct, slot)), "duplicate placement ({ct}, {slot})");
+        }
+        Self {
+            slots,
+            ct_count,
+            placements,
+        }
+    }
+
+    /// Contiguous layout: `n_values` packed densely across as many
+    /// ciphertexts as needed.
+    pub fn contiguous(n_values: usize, slots: usize) -> Self {
+        assert!(n_values > 0 && slots > 0);
+        let ct_count = n_values.div_ceil(slots);
+        let placements = (0..n_values).map(|v| (v / slots, v % slots)).collect();
+        Self {
+            slots,
+            ct_count,
+            placements,
+        }
+    }
+
+    /// Segmented layout: value `r·copies + s` at ciphertext `r`, slot
+    /// `s·seg` (the stacked dense output shape).
+    pub fn segmented(n_values: usize, copies: usize, seg: usize, slots: usize) -> Self {
+        assert!(copies >= 1 && seg >= 1);
+        assert!(copies * seg <= slots, "copies x segment exceeds slot count");
+        let ct_count = n_values.div_ceil(copies);
+        let placements = (0..n_values)
+            .map(|v| (v / copies, (v % copies) * seg))
+            .collect();
+        Self {
+            slots,
+            ct_count,
+            placements,
+        }
+    }
+
+    /// Slot capacity of each ciphertext.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of ciphertexts this layout spans.
+    #[inline]
+    pub fn ct_count(&self) -> usize {
+        self.ct_count
+    }
+
+    /// Number of logical values placed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True if the layout holds no values (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Placement of value `v`.
+    #[inline]
+    pub fn placement(&self, v: usize) -> (usize, usize) {
+        self.placements[v]
+    }
+
+    /// All placements.
+    #[inline]
+    pub fn placements(&self) -> &[(usize, usize)] {
+        &self.placements
+    }
+
+    /// Highest occupied slot index plus one, across all ciphertexts (the
+    /// "span" that decides whether stacking is possible).
+    pub fn span(&self) -> usize {
+        self.placements.iter().map(|&(_, s)| s + 1).max().unwrap_or(0)
+    }
+
+    /// True if the layout is a single ciphertext with values at slots
+    /// `0..len` in order — the precondition for the stacked dense
+    /// lowering.
+    pub fn is_single_ct_contiguous(&self) -> bool {
+        self.ct_count == 1
+            && self
+                .placements
+                .iter()
+                .enumerate()
+                .all(|(v, &(ct, s))| ct == 0 && s == v)
+    }
+
+    /// Scatters logical values into per-ciphertext slot vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the layout length.
+    pub fn scatter(&self, values: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(values.len(), self.len(), "one value per placement");
+        let mut out = vec![vec![0.0; self.slots]; self.ct_count];
+        for (&v, &(ct, slot)) in values.iter().zip(&self.placements) {
+            out[ct][slot] = v;
+        }
+        out
+    }
+
+    /// Gathers logical values back out of per-ciphertext slot vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer ciphertexts than the layout spans are supplied.
+    pub fn gather(&self, cts: &[Vec<f64>]) -> Vec<f64> {
+        assert!(cts.len() >= self.ct_count, "missing ciphertexts");
+        self.placements
+            .iter()
+            .map(|&(ct, slot)| cts[ct][slot])
+            .collect()
+    }
+}
+
+/// Next power of two at or above `x` (minimum 1).
+pub fn next_pow2(x: usize) -> usize {
+    x.max(1).next_power_of_two()
+}
+
+/// Offset packing of a convolution input (the client-side packing of the
+/// first layer).
+///
+/// Returns, for each output-map group `g` and kernel offset `i`
+/// (channel-major: `i = (c·kh + y)·kw + x`), the slot vector holding the
+/// input pixel each output position touches through tap `i`, replicated
+/// once per output map in the group. Indexed `result[g][i]`.
+///
+/// # Panics
+///
+/// Panics if the input shape mismatches the convolution, or a single
+/// map's positions exceed the slot count.
+pub fn conv_offset_pack(
+    input: &Tensor,
+    conv: &Conv2d,
+    slots: usize,
+) -> Vec<Vec<Vec<f64>>> {
+    assert_eq!(input.shape().len(), 3, "conv input must be CHW");
+    assert_eq!(input.shape()[0], conv.in_channels, "channel mismatch");
+    let (h, w) = (input.shape()[1], input.shape()[2]);
+    let (oh, ow) = conv.output_size(h, w);
+    let positions = oh * ow;
+    assert!(positions <= slots, "one map's positions must fit in the slots");
+    let maps_per_group = (slots / positions).min(conv.out_channels).max(1);
+    let groups = conv.out_channels.div_ceil(maps_per_group);
+
+    (0..groups)
+        .map(|g| {
+            let maps_here = maps_per_group.min(conv.out_channels - g * maps_per_group);
+            (0..conv.offset_count())
+                .map(|i| {
+                    let c = i / (conv.kernel.0 * conv.kernel.1);
+                    let rest = i % (conv.kernel.0 * conv.kernel.1);
+                    let kh = rest / conv.kernel.1;
+                    let kw = rest % conv.kernel.1;
+                    let mut v = vec![0.0; slots];
+                    for m in 0..maps_here {
+                        for y in 0..oh {
+                            for x in 0..ow {
+                                let slot = m * positions + y * ow + x;
+                                v[slot] =
+                                    input.at3(c, y * conv.stride.0 + kh, x * conv.stride.1 + kw);
+                            }
+                        }
+                    }
+                    v
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Weight vectors aligned with [`conv_offset_pack`]: `result[g][i]` holds
+/// `weight(map, offset i)` at every slot of map `map`'s block.
+pub fn conv_offset_weights(conv: &Conv2d, positions: usize, slots: usize) -> Vec<Vec<Vec<f64>>> {
+    let maps_per_group = (slots / positions).min(conv.out_channels).max(1);
+    let groups = conv.out_channels.div_ceil(maps_per_group);
+    (0..groups)
+        .map(|g| {
+            let maps_here = maps_per_group.min(conv.out_channels - g * maps_per_group);
+            (0..conv.offset_count())
+                .map(|i| {
+                    let c = i / (conv.kernel.0 * conv.kernel.1);
+                    let rest = i % (conv.kernel.0 * conv.kernel.1);
+                    let kh = rest / conv.kernel.1;
+                    let kw = rest % conv.kernel.1;
+                    let mut v = vec![0.0; slots];
+                    for m in 0..maps_here {
+                        let map = g * maps_per_group + m;
+                        let wv = conv.weight(map, c, kh, kw);
+                        for j in 0..positions {
+                            v[m * positions + j] = wv;
+                        }
+                    }
+                    v
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Bias vectors aligned with the conv output layout: `result[g]` holds
+/// `bias[map]` at every position of that map's block.
+pub fn conv_bias_vectors(conv: &Conv2d, positions: usize, slots: usize) -> Vec<Vec<f64>> {
+    let maps_per_group = (slots / positions).min(conv.out_channels).max(1);
+    let groups = conv.out_channels.div_ceil(maps_per_group);
+    (0..groups)
+        .map(|g| {
+            let maps_here = maps_per_group.min(conv.out_channels - g * maps_per_group);
+            let mut v = vec![0.0; slots];
+            for m in 0..maps_here {
+                let map = g * maps_per_group + m;
+                for j in 0..positions {
+                    v[m * positions + j] = conv.bias[map];
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+/// The contiguous layout of a convolution's output under offset packing:
+/// value `(map, position)` in channel-major order, grouped by
+/// `maps_per_group` maps per ciphertext.
+pub fn conv_output_layout(conv: &Conv2d, positions: usize, slots: usize) -> CtLayout {
+    let maps_per_group = (slots / positions).min(conv.out_channels).max(1);
+    let placements = (0..conv.out_channels * positions)
+        .map(|v| {
+            let map = v / positions;
+            let j = v % positions;
+            let g = map / maps_per_group;
+            let m = map % maps_per_group;
+            (g, m * positions + j)
+        })
+        .collect();
+    let groups = conv.out_channels.div_ceil(maps_per_group);
+    CtLayout::new(slots, groups, placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Conv2d;
+
+    #[test]
+    fn contiguous_layout_splits_across_cts() {
+        let l = CtLayout::contiguous(10, 4);
+        assert_eq!(l.ct_count(), 3);
+        assert_eq!(l.placement(0), (0, 0));
+        assert_eq!(l.placement(5), (1, 1));
+        assert_eq!(l.placement(9), (2, 1));
+        assert_eq!(l.len(), 10);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn single_ct_contiguous_detection() {
+        assert!(CtLayout::contiguous(8, 16).is_single_ct_contiguous());
+        assert!(!CtLayout::contiguous(20, 16).is_single_ct_contiguous());
+        assert!(!CtLayout::segmented(8, 2, 4, 16).is_single_ct_contiguous());
+    }
+
+    #[test]
+    fn segmented_layout_places_on_segment_boundaries() {
+        let l = CtLayout::segmented(10, 4, 8, 32);
+        // value 5 = round 1, copy 1 -> ct 1, slot 8
+        assert_eq!(l.placement(5), (1, 8));
+        assert_eq!(l.placement(0), (0, 0));
+        assert_eq!(l.placement(3), (0, 24));
+        assert_eq!(l.ct_count(), 3);
+        assert_eq!(l.span(), 25);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let l = CtLayout::segmented(6, 2, 4, 8);
+        let values: Vec<f64> = (0..6).map(|v| v as f64 + 0.5).collect();
+        let cts = l.scatter(&values);
+        assert_eq!(cts.len(), 3);
+        assert_eq!(l.gather(&cts), values);
+        // non-placement slots are zero
+        assert_eq!(cts[0][1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate placement")]
+    fn duplicate_placement_rejected() {
+        CtLayout::new(8, 1, vec![(0, 3), (0, 3)]);
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(845), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    fn small_conv() -> Conv2d {
+        // 2 maps, 1 channel, 2x2 kernel, stride 1
+        Conv2d::new(
+            2,
+            1,
+            (2, 2),
+            (1, 1),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            vec![0.5, -0.5],
+        )
+    }
+
+    #[test]
+    fn offset_packing_replicates_per_map_and_aligns_weights() {
+        let conv = small_conv();
+        let input = Tensor::from_data(&[1, 3, 3], (1..=9).map(|v| v as f64).collect());
+        let slots = 16; // positions = 4, 2 maps fit in one group
+        let packed = conv_offset_pack(&input, &conv, slots);
+        let weights = conv_offset_weights(&conv, 4, slots);
+        let biases = conv_bias_vectors(&conv, 4, slots);
+        assert_eq!(packed.len(), 1, "one group");
+        assert_eq!(packed[0].len(), 4, "four kernel offsets");
+
+        // Emulate the HE computation in plaintext: sum_i pack_i * w_i + b.
+        let mut acc = vec![0.0; slots];
+        for i in 0..4 {
+            for s in 0..slots {
+                acc[s] += packed[0][i][s] * weights[0][i][s];
+            }
+        }
+        for s in 0..slots {
+            acc[s] += biases[0][s];
+        }
+        // Compare against the real conv.
+        let expected = conv.forward(&input);
+        let layout = conv_output_layout(&conv, 4, slots);
+        let gathered = layout.gather(&[acc]);
+        for (v, (&g, &e)) in gathered.iter().zip(expected.data()).enumerate() {
+            assert!((g - e).abs() < 1e-12, "value {v}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn offset_packing_splits_groups_when_slots_small() {
+        let conv = small_conv();
+        let input = Tensor::from_data(&[1, 3, 3], (1..=9).map(|v| v as f64).collect());
+        let slots = 4; // only one map per group
+        let packed = conv_offset_pack(&input, &conv, slots);
+        assert_eq!(packed.len(), 2, "two groups");
+        let layout = conv_output_layout(&conv, 4, slots);
+        assert_eq!(layout.ct_count(), 2);
+        assert_eq!(layout.placement(4), (1, 0), "map 1 starts in group 1");
+    }
+
+    #[test]
+    fn multichannel_offsets_are_channel_major() {
+        let conv = Conv2d::new(1, 2, (1, 1), (1, 1), vec![10.0, 20.0], vec![0.0]);
+        let input = Tensor::from_data(&[2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let packed = conv_offset_pack(&input, &conv, 8);
+        assert_eq!(packed[0].len(), 2, "one offset per channel");
+        // offset 0 = channel 0 pixels, offset 1 = channel 1 pixels
+        assert_eq!(&packed[0][0][..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&packed[0][1][..4], &[5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in the slots")]
+    fn oversized_positions_rejected() {
+        let conv = small_conv();
+        let input = Tensor::from_data(&[1, 5, 5], vec![0.0; 25]);
+        conv_offset_pack(&input, &conv, 8); // 16 positions > 8 slots
+    }
+}

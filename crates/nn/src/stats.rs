@@ -1,0 +1,138 @@
+//! Cost statistics for HE operations: word-level multiplication counts
+//! ("MACs of HOPs", paper Table IV).
+//!
+//! Every HE operation decomposes into NTT/INTT passes and pointwise
+//! modular arithmetic. This module counts the word multiplications each
+//! operation performs at a given ciphertext level, hardware-independent.
+//! One modular multiplication is counted as [`MACS_PER_MODMUL`] word MACs
+//! (a Barrett-reduced product costs three word multiplications), which is
+//! how the paper's HE-MAC numbers land 2–3 orders of magnitude above the
+//! plaintext MACs.
+
+use fxhenn_ckks::HeOpKind;
+
+/// Word MACs per modular multiplication (Barrett reduction: one raw
+/// product plus two quotient-estimation products).
+pub const MACS_PER_MODMUL: u64 = 3;
+
+/// Modular multiplications in one NTT or INTT pass over `n` coefficients:
+/// `log2(n) · n/2` butterflies, one twiddle multiply each.
+pub fn ntt_mults(n: usize) -> u64 {
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+/// Modular multiplications performed by one HE operation at ciphertext
+/// level `level` over ring degree `n`.
+///
+/// The formulas mirror the software evaluator in `fxhenn-ckks` (which is
+/// itself the paper's operation set):
+///
+/// * additions cost no multiplications;
+/// * `PCmult` multiplies 2 polynomials of `level` residues pointwise;
+/// * `CCmult` forms `d0, d1 (×2), d2`: 4 pointwise products;
+/// * `Rescale` runs one INTT plus `level-1` NTTs per polynomial (2
+///   polynomials) and two pointwise passes per remaining residue;
+/// * `KeySwitch` (Relinearize/Rotate) lifts `level` digits to the
+///   extended basis (`level+1` NTTs each), does the inner products, and
+///   mods back down (INTT + NTT per remaining residue).
+pub fn op_modmuls(kind: HeOpKind, level: usize, n: usize) -> u64 {
+    let l = level as u64;
+    let n_u = n as u64;
+    let ntt = ntt_mults(n);
+    match kind {
+        HeOpKind::CcAdd | HeOpKind::PcAdd => 0,
+        HeOpKind::PcMult => 2 * l * n_u,
+        HeOpKind::CcMult => 4 * l * n_u,
+        HeOpKind::Rescale => 2 * (l * ntt + 2 * n_u * l.saturating_sub(1)),
+        HeOpKind::Relinearize | HeOpKind::Rotate => {
+            // digit lifts: level digits × (level + 1) NTTs
+            let lift = l * (l + 1) * ntt;
+            // inner products: 2 accumulators × level digits × (level+1) residues
+            let inner = 2 * l * (l + 1) * n_u;
+            // input INTT (one polynomial of `level` residues)
+            let input = l * ntt;
+            // mod-down: 2 polys × (level+1) INTT + 2 polys × level NTT back
+            // + 2 polys × level pointwise corrections
+            let down = 2 * (l + 1) * ntt + 2 * l * ntt + 2 * l * n_u;
+            lift + inner + input + down
+        }
+    }
+}
+
+/// Word MACs (`MACS_PER_MODMUL ×` modular multiplications) for one HE
+/// operation — the unit of the paper's "MACs of HOPs" column.
+pub fn op_he_macs(kind: HeOpKind, level: usize, n: usize) -> u64 {
+    MACS_PER_MODMUL * op_modmuls(kind, level, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntt_mult_count_matches_formula() {
+        assert_eq!(ntt_mults(8192), 8192 / 2 * 13);
+        assert_eq!(ntt_mults(1024), 512 * 10);
+    }
+
+    #[test]
+    fn additions_are_free() {
+        assert_eq!(op_modmuls(HeOpKind::CcAdd, 7, 8192), 0);
+        assert_eq!(op_modmuls(HeOpKind::PcAdd, 7, 8192), 0);
+    }
+
+    #[test]
+    fn keyswitch_dominates_all_other_ops() {
+        let n = 8192;
+        for l in 1..=7 {
+            let ks = op_modmuls(HeOpKind::Rotate, l, n);
+            for k in [HeOpKind::PcMult, HeOpKind::CcMult, HeOpKind::Rescale] {
+                assert!(
+                    ks > op_modmuls(k, l, n),
+                    "KS must dominate {k} at level {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn costs_grow_with_level() {
+        let n = 8192;
+        for k in [HeOpKind::PcMult, HeOpKind::Rescale, HeOpKind::Rotate] {
+            for l in 2..=7 {
+                assert!(
+                    op_modmuls(k, l, n) > op_modmuls(k, l - 1, n),
+                    "{k} cost must grow with level"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relinearize_and_rotate_cost_the_same() {
+        assert_eq!(
+            op_modmuls(HeOpKind::Relinearize, 5, 8192),
+            op_modmuls(HeOpKind::Rotate, 5, 8192)
+        );
+    }
+
+    #[test]
+    fn he_macs_apply_barrett_factor() {
+        let m = op_modmuls(HeOpKind::PcMult, 7, 8192);
+        assert_eq!(op_he_macs(HeOpKind::PcMult, 7, 8192), 3 * m);
+    }
+
+    #[test]
+    fn keyswitch_scales_superlinearly_with_level() {
+        // Doubling the level should more than double the KS cost (the
+        // digit decomposition is quadratic, the mod-down linear).
+        let n = 8192;
+        let low = op_modmuls(HeOpKind::Rotate, 3, n);
+        let high = op_modmuls(HeOpKind::Rotate, 6, n);
+        assert!(high > 2 * low, "KS cost is superlinear in level");
+        // And the quadratic digit-lift term shows at higher levels.
+        let l7 = op_modmuls(HeOpKind::Rotate, 7, n);
+        let l1 = op_modmuls(HeOpKind::Rotate, 1, n);
+        assert!(l7 > 7 * l1, "KS cost grows faster than linear overall");
+    }
+}

@@ -1,0 +1,128 @@
+//! Functional co-simulation: run a network homomorphically through the
+//! real RNS-CKKS evaluator and check the decrypted logits against the
+//! plaintext reference — the end-to-end correctness proof behind every
+//! simulated latency number.
+
+use fxhenn_ckks::{CkksContext, CkksParams, Decryptor, Encryptor, KeyGenerator};
+use fxhenn_nn::executor::{encrypt_input, HeCnnExecutor};
+use fxhenn_nn::{lower_network, Network, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The outcome of a functional co-simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimReport {
+    /// Plaintext reference logits.
+    pub expected: Vec<f64>,
+    /// Decrypted homomorphic logits.
+    pub actual: Vec<f64>,
+    /// Largest absolute slot error.
+    pub max_error: f64,
+    /// True when plaintext and HE argmax agree (same classification).
+    pub argmax_agrees: bool,
+    /// Measured HOP count of the homomorphic run.
+    pub measured_hops: usize,
+    /// HOP count predicted by the analytic lowering.
+    pub planned_hops: usize,
+}
+
+impl CosimReport {
+    /// True when the measured trace matched the plan exactly.
+    pub fn trace_matches(&self) -> bool {
+        self.measured_hops == self.planned_hops
+    }
+}
+
+/// Runs `net` homomorphically on `image` at the given CKKS parameters
+/// and compares against the plaintext forward pass.
+///
+/// Intended for toy ring degrees (`N ≤ 4096`); paper-scale networks take
+/// hours in software, which is the very gap the accelerator closes.
+///
+/// # Panics
+///
+/// Panics if the network does not fit the parameter set (slots or level
+/// budget).
+pub fn cosimulate(net: &Network, image: &Tensor, params: CkksParams, seed: u64) -> CosimReport {
+    let ctx = CkksContext::new(params);
+    let prog = lower_network(net, ctx.degree(), ctx.max_level());
+
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(seed));
+    let pk = kg.public_key();
+    let sk = kg.secret_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&prog.required_rotations());
+
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(seed ^ 1));
+    let input = encrypt_input(net, image, &mut enc, ctx.degree() / 2);
+
+    let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
+    exec.start_trace();
+    let out = exec.run(net, &input);
+    let measured = exec.take_trace().expect("trace started");
+
+    let dec = Decryptor::new(&ctx, sk);
+    let actual = out.decrypt(&dec);
+    let expected = net.forward(image).into_data();
+
+    let max_error = expected
+        .iter()
+        .zip(&actual)
+        .map(|(&e, &a)| (e - a).abs())
+        .fold(0.0f64, f64::max);
+    let argmax = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    };
+    CosimReport {
+        argmax_agrees: argmax(&expected) == argmax(&actual),
+        expected,
+        actual,
+        max_error,
+        measured_hops: measured.hop_count(),
+        planned_hops: prog.hop_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxhenn_nn::{synthetic_input, toy_mnist_like};
+
+    #[test]
+    fn toy_network_cosimulates_correctly() {
+        let net = toy_mnist_like(5);
+        let image = synthetic_input(&net, 5);
+        let report = cosimulate(&net, &image, CkksParams::insecure_toy(7), 99);
+        assert!(
+            report.max_error < 0.1,
+            "max logit error = {}",
+            report.max_error
+        );
+        assert!(report.argmax_agrees, "classification must agree");
+        assert!(report.trace_matches(), "executed trace matches the plan");
+        assert_eq!(report.expected.len(), 4);
+        assert_eq!(report.actual.len(), 4);
+    }
+
+    #[test]
+    fn different_images_give_different_logits() {
+        let net = toy_mnist_like(6);
+        let a = cosimulate(
+            &net,
+            &synthetic_input(&net, 1),
+            CkksParams::insecure_toy(7),
+            7,
+        );
+        let b = cosimulate(
+            &net,
+            &synthetic_input(&net, 2),
+            CkksParams::insecure_toy(7),
+            7,
+        );
+        assert_ne!(a.expected, b.expected);
+    }
+}

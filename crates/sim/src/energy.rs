@@ -1,0 +1,72 @@
+//! Energy and efficiency comparisons against published baselines.
+
+use crate::reference::ReferenceResult;
+
+/// A measured (simulated) FxHENN result to compare against references.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredResult {
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Accelerator TDP in watts.
+    pub tdp_watts: f64,
+}
+
+impl MeasuredResult {
+    /// Energy per inference at TDP, in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.latency_s * self.tdp_watts
+    }
+
+    /// Latency speedup over a reference (`> 1` means we are faster).
+    pub fn speedup_over(&self, reference: &ReferenceResult) -> f64 {
+        reference.latency_s / self.latency_s
+    }
+
+    /// Energy-efficiency ratio over a reference (`> 1` means we use less
+    /// energy per inference).
+    pub fn energy_efficiency_over(&self, reference: &ReferenceResult) -> f64 {
+        reference.energy_joules() / self.energy_joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{lola_reference, Dataset};
+
+    #[test]
+    fn speedup_and_efficiency_match_paper_formulas() {
+        // The paper's MNIST/ACU15EG headline: 11.58x speedup, 1019x
+        // energy efficiency vs LoLa.
+        let fx = MeasuredResult {
+            latency_s: 0.19,
+            tdp_watts: 10.0,
+        };
+        let lola = lola_reference(Dataset::Mnist);
+        assert!((fx.speedup_over(&lola) - 11.58).abs() < 0.03);
+        assert!((fx.energy_efficiency_over(&lola) - 1019.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn slower_system_reports_sub_unity_speedup() {
+        let slow = MeasuredResult {
+            latency_s: 10.0,
+            tdp_watts: 10.0,
+        };
+        let lola = lola_reference(Dataset::Mnist);
+        assert!(slow.speedup_over(&lola) < 1.0);
+    }
+
+    #[test]
+    fn energy_scales_with_tdp() {
+        let a = MeasuredResult {
+            latency_s: 1.0,
+            tdp_watts: 10.0,
+        };
+        let b = MeasuredResult {
+            latency_s: 1.0,
+            tdp_watts: 20.0,
+        };
+        assert_eq!(b.energy_joules(), 2.0 * a.energy_joules());
+    }
+}

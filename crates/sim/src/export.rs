@@ -1,0 +1,150 @@
+//! Machine-readable exports of simulation and DSE results (CSV and
+//! Markdown), for plotting the figures outside Rust.
+
+use crate::simulator::SimReport;
+use fxhenn_dse::explore::ExploredPoint;
+use fxhenn_hw::OpClass;
+
+/// Escapes a CSV field (quotes fields containing separators).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders one CSV line.
+pub fn csv_line(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| csv_field(f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// A per-layer CSV of a simulation report:
+/// `layer,cycles,stall,seconds,bram_demand,bram_granted`.
+pub fn sim_report_csv(report: &SimReport) -> String {
+    let mut out = String::from("layer,cycles,stall,seconds,bram_demand,bram_granted\n");
+    for l in &report.layers {
+        out.push_str(&csv_line(&[
+            l.name.clone(),
+            l.cycles.to_string(),
+            format!("{:.4}", l.stall),
+            format!("{:.6}", l.seconds),
+            l.bram_demand.to_string(),
+            l.bram_granted.to_string(),
+        ]));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "TOTAL,,,{:.6},,\n",
+        report.total_seconds
+    ));
+    out
+}
+
+/// A CSV of explored design points (the Fig. 9 scatter):
+/// `latency_s,bram_peak,dsp,ks_nc,ks_intra,ks_inter,fully_buffered`.
+pub fn dse_points_csv(points: &[ExploredPoint]) -> String {
+    let mut out =
+        String::from("latency_s,bram_peak,dsp,ks_nc,ks_intra,ks_inter,fully_buffered\n");
+    for p in points {
+        let ks = p.point.modules.get(OpClass::KeySwitch);
+        out.push_str(&csv_line(&[
+            format!("{:.6}", p.eval.latency_s),
+            p.eval.bram_peak.to_string(),
+            p.eval.dsp_used.to_string(),
+            ks.nc_ntt.to_string(),
+            ks.p_intra.to_string(),
+            ks.p_inter.to_string(),
+            p.eval.fully_buffered.to_string(),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Markdown table from headers and string rows.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header width.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::simulate;
+    use fxhenn_dse::design::DesignPoint;
+    use fxhenn_dse::explore_default;
+    use fxhenn_hw::FpgaDevice;
+    use fxhenn_nn::{fxhenn_mnist, lower_network};
+
+    #[test]
+    fn sim_csv_has_one_row_per_layer_plus_total() {
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let sim = simulate(&prog, &DesignPoint::minimal(), &FpgaDevice::acu9eg(), 30);
+        let csv = sim_report_csv(&sim);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 5 + 1, "header + 5 layers + total");
+        assert!(lines[0].starts_with("layer,"));
+        assert!(lines[1].starts_with("Cnv1,"));
+        assert!(lines.last().unwrap().starts_with("TOTAL,"));
+        // Each data row parses back to the right column count.
+        for line in &lines[1..6] {
+            assert_eq!(line.split(',').count(), 6, "{line}");
+        }
+    }
+
+    #[test]
+    fn dse_csv_covers_all_points() {
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        let res = explore_default(&prog, &FpgaDevice::acu9eg(), 30);
+        let csv = dse_points_csv(&res.feasible[..20.min(res.feasible.len())]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 20.min(res.feasible.len()));
+        for line in &lines[1..] {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 7);
+            assert!(cols[0].parse::<f64>().is_ok());
+            assert!(cols[6] == "true" || cols[6] == "false");
+        }
+    }
+
+    #[test]
+    fn csv_escaping_handles_commas_and_quotes() {
+        assert_eq!(csv_line(&["a,b".into(), "c".into()]), "\"a,b\",c");
+        assert_eq!(csv_line(&["say \"hi\"".into()]), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn markdown_table_shapes() {
+        let md = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn markdown_rejects_ragged_rows() {
+        markdown_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fxhenn-sim
+//!
+//! Trace-driven cycle simulation, energy modeling and functional
+//! co-simulation for FxHENN accelerator designs: executes a lowered
+//! HE-CNN's operation trace on a design point's module stations
+//! (explicit pipeline fill/drain, earliest-free instance assignment,
+//! BRAM-starvation stalls calibrated on the paper's Table III), converts
+//! latency to energy at the device TDP, compares against the published
+//! baselines of Table VII, and — at toy ring degrees — replays the same
+//! network through the real RNS-CKKS evaluator to prove functional
+//! correctness.
+
+pub mod cosim;
+pub mod energy;
+pub mod export;
+pub mod reference;
+pub mod simulator;
+pub mod throughput;
+
+pub use cosim::{cosimulate, CosimReport};
+pub use export::{dse_points_csv, markdown_table, sim_report_csv};
+pub use energy::MeasuredResult;
+pub use reference::{
+    cifar10_references, lola_reference, mnist_references, Dataset, ReferenceResult,
+    PAPER_FXHENN_ROWS,
+};
+pub use simulator::{simulate, simulate_with_grants, LayerSim, SimReport};
+pub use throughput::{batch_throughput, simulate_batch_pipeline, ThroughputReport};

@@ -1,0 +1,136 @@
+//! Batch throughput simulation.
+//!
+//! The paper optimizes single-image latency (LoLa's metric). A deployed
+//! service also cares about throughput: with inter-layer buffer reuse,
+//! consecutive images can flow through the layer pipeline so that image
+//! `k+1` occupies a layer as soon as image `k` leaves it. Steady-state
+//! throughput is then bounded by the slowest layer, while single-image
+//! latency stays the sum of all layers.
+
+use crate::simulator::SimReport;
+
+/// Throughput summary of a batch run over one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Batch size simulated.
+    pub batch: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub batch_seconds: f64,
+    /// Achieved images per second.
+    pub images_per_sec: f64,
+    /// Single-image latency (unchanged by batching).
+    pub latency_s: f64,
+    /// The pipeline-bound upper limit on throughput.
+    pub steady_state_images_per_sec: f64,
+}
+
+/// Derives batch throughput from a single-image simulation, assuming
+/// layer-level pipelining across consecutive images.
+///
+/// Batch time = fill (one full latency) + `(batch - 1) ×` bottleneck
+/// layer time.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn batch_throughput(sim: &SimReport, batch: usize) -> ThroughputReport {
+    assert!(batch > 0, "batch must be at least 1");
+    let bottleneck = sim.bottleneck().seconds;
+    let batch_seconds = sim.total_seconds + (batch as f64 - 1.0) * bottleneck;
+    ThroughputReport {
+        batch,
+        batch_seconds,
+        images_per_sec: batch as f64 / batch_seconds,
+        latency_s: sim.total_seconds,
+        steady_state_images_per_sec: 1.0 / bottleneck,
+    }
+}
+
+/// Event-driven verification of the pipeline formula: schedules every
+/// (image, layer) pair with the dependency `start = max(prev layer of
+/// this image, this layer of the previous image)` and returns the batch
+/// makespan in seconds.
+pub fn simulate_batch_pipeline(sim: &SimReport, batch: usize) -> f64 {
+    assert!(batch > 0, "batch must be at least 1");
+    let times: Vec<f64> = sim.layers.iter().map(|l| l.seconds).collect();
+    let mut prev_image_finish = vec![0.0f64; times.len()];
+    let mut makespan = 0.0f64;
+    for _ in 0..batch {
+        let mut t = 0.0f64;
+        for (i, &dt) in times.iter().enumerate() {
+            t = t.max(prev_image_finish[i]) + dt;
+            prev_image_finish[i] = t;
+        }
+        makespan = t;
+    }
+    makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::simulate;
+    use fxhenn_dse::design::DesignPoint;
+    use fxhenn_hw::FpgaDevice;
+    use fxhenn_nn::{fxhenn_mnist, lower_network};
+
+    fn sim() -> SimReport {
+        let prog = lower_network(&fxhenn_mnist(1), 8192, 7);
+        simulate(&prog, &DesignPoint::minimal(), &FpgaDevice::acu9eg(), 30)
+    }
+
+    #[test]
+    fn batch_one_equals_latency() {
+        let s = sim();
+        let t = batch_throughput(&s, 1);
+        assert!((t.batch_seconds - s.total_seconds).abs() < 1e-12);
+        assert!((t.images_per_sec - 1.0 / s.total_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_approaches_steady_state_with_batch() {
+        let s = sim();
+        let t1 = batch_throughput(&s, 1);
+        let t16 = batch_throughput(&s, 16);
+        let t256 = batch_throughput(&s, 256);
+        assert!(t16.images_per_sec > t1.images_per_sec);
+        assert!(t256.images_per_sec > t16.images_per_sec);
+        assert!(t256.images_per_sec <= t256.steady_state_images_per_sec);
+        // Within 20% of the asymptote at batch 256.
+        assert!(
+            t256.images_per_sec > 0.8 * t256.steady_state_images_per_sec,
+            "{} vs {}",
+            t256.images_per_sec,
+            t256.steady_state_images_per_sec
+        );
+    }
+
+    #[test]
+    fn latency_is_batch_invariant() {
+        let s = sim();
+        for b in [1usize, 4, 64] {
+            assert_eq!(batch_throughput(&s, b).latency_s, s.total_seconds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_rejected() {
+        batch_throughput(&sim(), 0);
+    }
+
+    #[test]
+    fn event_simulation_matches_pipeline_formula_exactly() {
+        // For a linear pipeline, makespan = fill + (B-1) x bottleneck —
+        // the event schedule must reproduce the closed form.
+        let s = sim();
+        for batch in [1usize, 2, 7, 32, 100] {
+            let event = simulate_batch_pipeline(&s, batch);
+            let formula = batch_throughput(&s, batch).batch_seconds;
+            assert!(
+                (event - formula).abs() < 1e-9,
+                "batch {batch}: event {event} vs formula {formula}"
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Design generation for the heavyweight FxHENN-CIFAR10 network
+//! (80 000+ HE operations, gigabytes of encoded weights) on both ALINX
+//! boards — the workload where the ACU15EG's URAM pool pays off
+//! (paper Sec. VII-B: 2.87x vs 13.49x speedup over LoLa).
+//!
+//! Run with: `cargo run --release --example cifar10_design`
+
+use fxhenn::ckks::CkksParams;
+use fxhenn::nn::{fxhenn_cifar10, lower_network};
+use fxhenn::report::module_table;
+use fxhenn::sim::{lola_reference, Dataset};
+use fxhenn::{generate_accelerator, FpgaDevice};
+
+fn main() {
+    let network = fxhenn_cifar10(42);
+    let params = CkksParams::fxhenn_cifar10();
+
+    println!("== FxHENN-CIFAR10 workload ==");
+    let program = lower_network(&network, params.degree(), params.levels());
+    println!(
+        "HOPs: {} ({:.2}e3, paper 82.73e3) | KS: {} | model size: {:.2} GB (paper 2.41 GB)",
+        program.hop_count(),
+        program.hop_count() as f64 / 1e3,
+        program.key_switch_count(),
+        program.model_size_bytes() as f64 / (1024.0 * 1024.0 * 1024.0),
+    );
+    for plan in &program.layers {
+        println!(
+            "  {:<5} [{}] {:>6} HOPs, {:>6} KS, level {} -> {}",
+            plan.name,
+            plan.class,
+            plan.hop_count(),
+            plan.key_switch_count(),
+            plan.level_in,
+            plan.level_out
+        );
+    }
+
+    println!();
+    let lola = lola_reference(Dataset::Cifar10);
+    for device in [FpgaDevice::acu9eg(), FpgaDevice::acu15eg()] {
+        let r = generate_accelerator(&network, &params, &device).expect("feasible design");
+        let m = r.measured(&device);
+        println!(
+            "== {} == {:.1} s/inference | {:.2}x speedup vs LoLa ({} s) | {:.0}x energy",
+            device.name(),
+            r.latency_s(),
+            m.speedup_over(&lola),
+            lola.latency_s,
+            m.energy_efficiency_over(&lola),
+        );
+        print!("{}", module_table(&r));
+    }
+    println!();
+    println!("paper reference: ACU9EG 254 s (2.87x), ACU15EG 54.1 s (13.49x)");
+}

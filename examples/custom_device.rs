@@ -1,0 +1,55 @@
+//! Targeting a custom FPGA: define your own device, sweep its BRAM
+//! budget, and watch the DSE trade latency for memory (the Fig. 9
+//! experiment in miniature).
+//!
+//! Run with: `cargo run --release --example custom_device`
+
+use fxhenn::ckks::CkksParams;
+use fxhenn::dse::{explore_with_bram_cap, pareto_frontier, DsePoint};
+use fxhenn::nn::{fxhenn_mnist, lower_network};
+use fxhenn::FpgaDevice;
+
+fn main() {
+    let network = fxhenn_mnist(42);
+    let params = CkksParams::fxhenn_mnist();
+    let program = lower_network(&network, params.degree(), params.levels());
+
+    // A hypothetical mid-range edge FPGA.
+    let device = FpgaDevice::new("EdgeCustom", 1800, 1600, 0, 250.0, 8.0);
+    println!(
+        "custom device: {} ({} DSP, {} BRAM36K, {} W TDP)",
+        device.name(),
+        device.dsp_slices(),
+        device.bram_blocks(),
+        device.tdp_watts()
+    );
+    println!();
+    println!(
+        "{:>10} {:>10} {:>12} {:>16}",
+        "BRAM cap", "designs", "best lat(s)", "best BRAM used"
+    );
+
+    let mut all_points: Vec<DsePoint> = Vec::new();
+    for cap in (500..=1600).step_by(100) {
+        let res = explore_with_bram_cap(&program, &device, params.prime_bits(), cap);
+        match res.best {
+            Some(best) => {
+                println!(
+                    "{:>10} {:>10} {:>12.3} {:>16}",
+                    cap,
+                    res.feasible.len(),
+                    best.eval.latency_s,
+                    best.eval.bram_peak
+                );
+                all_points.extend(res.feasible.iter().map(DsePoint::from));
+            }
+            None => println!("{:>10} {:>10} {:>12} {:>16}", cap, 0, "-", "-"),
+        }
+    }
+
+    println!();
+    println!("Pareto frontier over all explored designs:");
+    for p in pareto_frontier(&all_points) {
+        println!("  {:>5} blocks -> {:.3} s", p.bram_blocks, p.latency_s);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: generate an FxHENN accelerator design for the MNIST
+//! HE-CNN on the ACU9EG board and print the report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fxhenn::report::{layer_table, module_table, summary};
+use fxhenn::{generate_accelerator, CkksParams, FlowError, FpgaDevice};
+
+fn main() -> Result<(), FlowError> {
+    let network = fxhenn::nn::fxhenn_mnist(42);
+    let params = CkksParams::fxhenn_mnist();
+    let device = FpgaDevice::acu9eg();
+
+    println!("== FxHENN design flow ==");
+    println!(
+        "network: {} ({} layers, multiplication depth {})",
+        network.name(),
+        network.layer_count(),
+        network.multiplication_depth()
+    );
+    println!(
+        "FHE parameters: N = {}, L = {}, log2 Q = {}, security = {}",
+        params.degree(),
+        params.levels(),
+        params.total_modulus_bits(),
+        params.security()
+    );
+    println!(
+        "device: {} ({} DSP slices, {} BRAM36K blocks, {:.1} Mbit)",
+        device.name(),
+        device.dsp_slices(),
+        device.bram_blocks(),
+        device.bram_mbit()
+    );
+    println!();
+
+    let report = generate_accelerator(&network, &params, &device)?;
+
+    println!("{}", summary(&report, &device));
+    println!();
+    println!("-- chosen module configurations --");
+    print!("{}", module_table(&report));
+    println!();
+    println!("-- per-layer breakdown --");
+    print!("{}", layer_table(&report));
+    println!();
+    println!(
+        "paper reference (Table VII): FxHENN-MNIST on ACU9EG = 0.24 s; ours = {:.3} s",
+        report.latency_s()
+    );
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the design space exploration: optimality,
+//! monotonicity and feasibility invariants that must hold for any
+//! network shape.
+
+use fxhenn::dse::design::{evaluate, DesignPoint, ProgramCost};
+use fxhenn::dse::{explore, explore_default, pareto_frontier, DsePoint, SearchSpace};
+use fxhenn::hw::{ModuleConfig, OpClass};
+use fxhenn::nn::{fxhenn_mnist, lower_network, HeCnnProgram};
+use fxhenn::FpgaDevice;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn mnist_program() -> &'static HeCnnProgram {
+    static PROG: OnceLock<HeCnnProgram> = OnceLock::new();
+    PROG.get_or_init(|| lower_network(&fxhenn_mnist(1), 8192, 7))
+}
+
+fn arbitrary_config() -> impl Strategy<Value = ModuleConfig> {
+    (
+        prop::sample::select(vec![2usize, 4, 8]),
+        1usize..=7,
+        1usize..=4,
+    )
+        .prop_map(|(nc_ntt, p_intra, p_inter)| ModuleConfig {
+            nc_ntt,
+            p_intra,
+            p_inter,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn best_point_dominates_every_random_feasible_point(
+        ks in arbitrary_config(),
+        rs in arbitrary_config(),
+    ) {
+        let prog = mnist_program();
+        let device = FpgaDevice::acu9eg();
+        let mut point = DesignPoint::minimal();
+        point.modules.set(OpClass::KeySwitch, ks);
+        point.modules.set(OpClass::Rescale, rs);
+        let eval = evaluate(prog, &point, &device, 30);
+        let best = explore_default(prog, &device, 30).best.unwrap();
+        if eval.feasible {
+            prop_assert!(
+                best.eval.latency_s <= eval.latency_s + 1e-12,
+                "exhaustive optimum {:.4}s beaten by random point {:.4}s",
+                best.eval.latency_s,
+                eval.latency_s
+            );
+        }
+    }
+
+    #[test]
+    fn latency_never_increases_with_intra_parallelism(
+        base in arbitrary_config(),
+    ) {
+        prop_assume!(base.p_intra < 7);
+        let prog = mnist_program();
+        // Unlimited-memory device: with finite BRAM, deeper parallelism
+        // can legitimately lose by outgrowing the buffers and stalling —
+        // the paper's central trade-off. Monotonicity only holds when
+        // memory never stalls.
+        let device = FpgaDevice::new("unconstrained", 100_000, 1_000_000, 0, 250.0, 10.0);
+        let cost = ProgramCost::new(prog, 30);
+
+        let mut lo = DesignPoint::minimal();
+        lo.modules.set(OpClass::KeySwitch, base);
+        let mut hi = lo.clone();
+        hi.modules.set(
+            OpClass::KeySwitch,
+            ModuleConfig { p_intra: base.p_intra + 1, ..base },
+        );
+        let e_lo = cost.evaluate(&lo, &device);
+        let e_hi = cost.evaluate(&hi, &device);
+        prop_assert!(
+            e_hi.latency_s <= e_lo.latency_s + 1e-12,
+            "more intra-parallelism slowed the design: {} -> {}",
+            e_lo.latency_s,
+            e_hi.latency_s
+        );
+    }
+
+    #[test]
+    fn dsp_usage_is_monotone_in_every_axis(cfg in arbitrary_config()) {
+        let mk = |c: ModuleConfig| {
+            let mut p = DesignPoint::minimal();
+            p.modules.set(OpClass::KeySwitch, c);
+            p.modules.total_dsp()
+        };
+        let base = mk(cfg);
+        if cfg.p_intra < 7 {
+            let deeper = mk(ModuleConfig { p_intra: cfg.p_intra + 1, ..cfg });
+            prop_assert!(deeper >= base);
+        }
+        let wider = mk(ModuleConfig { p_inter: cfg.p_inter + 1, ..cfg });
+        prop_assert!(wider >= base);
+        if cfg.nc_ntt < 8 {
+            let more_cores = mk(ModuleConfig { nc_ntt: cfg.nc_ntt * 2, ..cfg });
+            prop_assert!(more_cores >= base);
+        }
+    }
+
+    #[test]
+    fn bram_grows_with_inter_parallelism(cfg in arbitrary_config()) {
+        let prog = mnist_program();
+        let device = FpgaDevice::acu9eg();
+        let cost = ProgramCost::new(prog, 30);
+        let mut a = DesignPoint::minimal();
+        a.modules.set(OpClass::KeySwitch, cfg);
+        let mut b = a.clone();
+        b.modules.set(
+            OpClass::KeySwitch,
+            ModuleConfig { p_inter: cfg.p_inter + 1, ..cfg },
+        );
+        let ea = cost.evaluate(&a, &device);
+        let eb = cost.evaluate(&b, &device);
+        prop_assert!(eb.bram_peak >= ea.bram_peak);
+    }
+
+    #[test]
+    fn pareto_frontier_points_are_non_dominated(
+        brams in proptest::collection::vec(100usize..2000, 2..30),
+        lats in proptest::collection::vec(0.01f64..10.0, 2..30),
+    ) {
+        let n = brams.len().min(lats.len());
+        let points: Vec<DsePoint> = brams
+            .iter()
+            .zip(&lats)
+            .take(n)
+            .map(|(&b, &l)| DsePoint { bram_blocks: b, latency_s: l })
+            .collect();
+        let frontier = pareto_frontier(&points);
+        prop_assert!(!frontier.is_empty());
+        // Frontier members are not dominated by any input point.
+        for f in &frontier {
+            prop_assert!(
+                !fxhenn::dse::is_dominated(*f, &points),
+                "frontier point {f:?} is dominated"
+            );
+        }
+        // Frontier is sorted and strictly improving.
+        for w in frontier.windows(2) {
+            prop_assert!(w[0].bram_blocks < w[1].bram_blocks);
+            prop_assert!(w[0].latency_s > w[1].latency_s);
+        }
+    }
+}
+
+#[test]
+fn restricted_space_never_beats_full_space() {
+    let prog = mnist_program();
+    let device = FpgaDevice::acu9eg();
+    let full = explore_default(prog, &device, 30).best.unwrap();
+    let restricted = explore(
+        prog,
+        &device,
+        30,
+        &SearchSpace {
+            nc_options: vec![2],
+            intra_options: vec![1, 2],
+            inter_options: vec![1],
+            pcmult_options: vec![(1, 1)],
+        },
+    )
+    .best
+    .unwrap();
+    assert!(full.eval.latency_s <= restricted.eval.latency_s);
+}
