@@ -8,6 +8,7 @@
 //! Rescale operation drops `q_{l-1}` (paper Sec. II-A).
 
 use crate::encoding::CkksEncoder;
+use crate::error::EvalError;
 use crate::params::CkksParams;
 use fxhenn_math::bigint::BigUint;
 use fxhenn_math::modops::{inv_mod, mul_mod, BarrettReducer};
@@ -374,6 +375,45 @@ impl CkksContext {
             out.push(crt.centered_f64(&residues, moduli));
         }
         out
+    }
+
+    /// Checks that a (possibly deserialized) ciphertext is semantically
+    /// valid for this context.
+    ///
+    /// The wire-format decoder is context-free: it validates structure
+    /// (magic, tag, degree sanity, trailing bytes) but cannot know this
+    /// context's modulus chain. A bit flip inside a residue word can
+    /// therefore survive decoding and only blow up deep inside
+    /// decryption. This check closes that gap: degree and level must
+    /// match the context, and every residue word must be reduced modulo
+    /// its prime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptCiphertext`] naming the failed check.
+    pub fn validate_ciphertext(&self, ct: &crate::cipher::Ciphertext) -> Result<(), EvalError> {
+        let level = ct.level();
+        if level < 1 || level > self.max_level() {
+            return Err(EvalError::CorruptCiphertext {
+                what: "level outside the context's modulus chain",
+            });
+        }
+        let moduli = self.moduli_at(level);
+        for poly in ct.polys() {
+            if poly.degree() != self.degree() {
+                return Err(EvalError::CorruptCiphertext {
+                    what: "polynomial degree differs from the context",
+                });
+            }
+            for (i, &q) in moduli.iter().enumerate() {
+                if poly.component(i).iter().any(|&w| w >= q) {
+                    return Err(EvalError::CorruptCiphertext {
+                        what: "residue word not reduced modulo its prime",
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Galois exponent of complex conjugation: `2N - 1` (i.e. `X ↦ X^{-1}`).

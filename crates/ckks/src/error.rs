@@ -1,0 +1,158 @@
+//! Typed errors for homomorphic evaluation.
+//!
+//! Every precondition the [`crate::eval::Evaluator`] enforces has a
+//! matching [`EvalError`] variant, raised by the `try_` twins of the
+//! evaluation methods. The panicking methods delegate to the `try_`
+//! versions, so the two surfaces can never disagree on what is checked.
+//!
+//! `Debug` delegates to `Display` so an `expect` on a `try_` result
+//! panics with the same human-readable message the assert-based methods
+//! historically produced (e.g. `"scale mismatch: ..."`), keeping error
+//! text stable for users and tests.
+
+use std::fmt;
+
+/// A violated precondition of a homomorphic evaluation operation.
+#[derive(Clone, PartialEq)]
+pub enum EvalError {
+    /// Two operands are at different levels.
+    LevelMismatch {
+        /// Operation name (CCadd, PCmult, …).
+        op: &'static str,
+        /// Level of the left operand.
+        left: usize,
+        /// Level of the right operand.
+        right: usize,
+    },
+    /// Two ciphertext operands have different polynomial counts.
+    SizeMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Size of the left operand.
+        left: usize,
+        /// Size of the right operand.
+        right: usize,
+    },
+    /// Additive operands carry incompatible scales.
+    ScaleMismatch {
+        /// Scale of the left operand.
+        left: f64,
+        /// Scale of the right operand.
+        right: f64,
+    },
+    /// A 3-polynomial ciphertext reached an operation that needs a
+    /// linear (2-polynomial) input.
+    NotLinear {
+        /// The operation in gerund form ("rescaling", "rotating", …).
+        op: &'static str,
+    },
+    /// CCmult received a non-linear operand.
+    NonLinearProduct {
+        /// Size of the offending operand.
+        size: usize,
+    },
+    /// Relinearization received a ciphertext that is not 3 polynomials.
+    NotThreePoly {
+        /// Size of the offending ciphertext.
+        size: usize,
+    },
+    /// Rescale was attempted at level 1 (no prime left to drop).
+    RescaleAtFloor,
+    /// A level argument fell outside the context's chain.
+    LevelOutOfRange {
+        /// The requested level.
+        level: usize,
+        /// Maximum level of the context.
+        max: usize,
+    },
+    /// Modulus switching targeted level 0 or a level above the input's.
+    TargetLevelOutOfRange {
+        /// The requested target level.
+        target: usize,
+        /// The ciphertext's current level.
+        current: usize,
+    },
+    /// The Galois key for a rotation step was not generated.
+    MissingGaloisKey {
+        /// The requested left-rotation step count.
+        steps: usize,
+    },
+    /// A value to encode is NaN or infinite.
+    NonFiniteValue {
+        /// Slot index of the offending value.
+        index: usize,
+    },
+    /// More values than slots were passed to an encoder.
+    TooManyValues {
+        /// Number of values passed.
+        count: usize,
+        /// Available slots.
+        slots: usize,
+    },
+    /// The analytic noise estimate predicts the remaining budget cannot
+    /// decrypt meaningfully.
+    NoiseBudgetExhausted {
+        /// Remaining budget in bits (non-positive).
+        budget_bits: f64,
+    },
+    /// A ciphertext is structurally well-formed but semantically invalid
+    /// for this context (wrong degree, impossible level, or a residue
+    /// word outside its modulus — the signature of transport corruption).
+    CorruptCiphertext {
+        /// Which semantic check failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::LevelMismatch { op, left, right } => {
+                write!(f, "{op} needs matching levels ({left} vs {right})")
+            }
+            EvalError::SizeMismatch { op, left, right } => {
+                write!(f, "{op} needs matching sizes ({left} vs {right})")
+            }
+            EvalError::ScaleMismatch { left, right } => {
+                write!(f, "scale mismatch: {left} vs {right}")
+            }
+            EvalError::NotLinear { op } => write!(f, "relinearize before {op}"),
+            EvalError::NonLinearProduct { size } => {
+                write!(f, "CCmult needs linear inputs (got a {size}-poly ciphertext)")
+            }
+            EvalError::NotThreePoly { size } => {
+                write!(f, "relinearization needs a 3-poly ciphertext (got {size})")
+            }
+            EvalError::RescaleAtFloor => f.write_str("cannot rescale below level 1"),
+            EvalError::LevelOutOfRange { level, max } => {
+                write!(f, "level {level} out of range (chain has {max} levels)")
+            }
+            EvalError::TargetLevelOutOfRange { target, current } => {
+                write!(f, "target level {target} out of range (current level {current})")
+            }
+            EvalError::MissingGaloisKey { steps } => {
+                write!(f, "missing Galois key for rotation by {steps}")
+            }
+            EvalError::NonFiniteValue { index } => {
+                write!(f, "non-finite value at slot {index} cannot be encoded")
+            }
+            EvalError::TooManyValues { count, slots } => {
+                write!(f, "{count} values exceed the {slots} available slots")
+            }
+            EvalError::NoiseBudgetExhausted { budget_bits } => {
+                write!(f, "noise budget exhausted ({budget_bits:.1} bits remaining)")
+            }
+            EvalError::CorruptCiphertext { what } => {
+                write!(f, "corrupt ciphertext: {what}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for EvalError {}

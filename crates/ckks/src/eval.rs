@@ -16,6 +16,7 @@
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
+use crate::error::EvalError;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
 use crate::trace::{HeOpKind, OpTrace};
 use fxhenn_math::modops::{mul_mod, sub_mod};
@@ -60,6 +61,37 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Fallible form of [`encode_at`](Evaluator::encode_at): checks the
+    /// level range, the slot count and that every value is finite.
+    pub fn try_encode_at(
+        &self,
+        values: &[f64],
+        scale: f64,
+        level: usize,
+    ) -> Result<Plaintext, EvalError> {
+        if level < 1 || level > self.ctx.max_level() {
+            return Err(EvalError::LevelOutOfRange {
+                level,
+                max: self.ctx.max_level(),
+            });
+        }
+        let slots = self.ctx.degree() / 2;
+        if values.len() > slots {
+            return Err(EvalError::TooManyValues {
+                count: values.len(),
+                slots,
+            });
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(EvalError::NonFiniteValue { index });
+        }
+        let moduli = self.ctx.moduli_at(level);
+        let tables = self.ctx.tables_at(level);
+        let mut p = self.ctx.encoder().encode_rns(values, scale, moduli);
+        p.to_ntt(&tables);
+        Ok(Plaintext::new(p, scale))
+    }
+
     /// Encodes a real vector into a plaintext at the given level and
     /// scale.
     ///
@@ -67,11 +99,23 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the level is out of range or too many values are given.
     pub fn encode_at(&self, values: &[f64], scale: f64, level: usize) -> Plaintext {
-        let moduli = self.ctx.moduli_at(level);
-        let tables = self.ctx.tables_at(level);
-        let mut p = self.ctx.encoder().encode_rns(values, scale, moduli);
-        p.to_ntt(&tables);
-        Plaintext::new(p, scale)
+        self.try_encode_at(values, scale, level).expect("encode")
+    }
+
+    /// Fallible form of [`encode_for_mul`](Evaluator::encode_for_mul).
+    pub fn try_encode_for_mul(
+        &self,
+        values: &[f64],
+        level: usize,
+    ) -> Result<Plaintext, EvalError> {
+        if level < 1 || level > self.ctx.max_level() {
+            return Err(EvalError::LevelOutOfRange {
+                level,
+                max: self.ctx.max_level(),
+            });
+        }
+        let scale = self.ctx.dropped_prime_at(level) as f64;
+        self.try_encode_at(values, scale, level)
     }
 
     /// Encodes at the scale that makes a following `mul_plain` +
@@ -82,11 +126,46 @@ impl<'a> Evaluator<'a> {
         self.encode_at(values, scale, level)
     }
 
-    fn assert_same_scale(a: f64, b: f64) {
-        assert!(
-            (a - b).abs() <= SCALE_TOLERANCE * a.abs().max(b.abs()),
-            "scale mismatch: {a} vs {b}"
-        );
+    fn check_same_scale(a: f64, b: f64) -> Result<(), EvalError> {
+        if (a - b).abs() <= SCALE_TOLERANCE * a.abs().max(b.abs()) {
+            Ok(())
+        } else {
+            Err(EvalError::ScaleMismatch { left: a, right: b })
+        }
+    }
+
+    fn check_matching(
+        op: &'static str,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<(), EvalError> {
+        if a.level() != b.level() {
+            return Err(EvalError::LevelMismatch {
+                op,
+                left: a.level(),
+                right: b.level(),
+            });
+        }
+        if a.size() != b.size() {
+            return Err(EvalError::SizeMismatch {
+                op,
+                left: a.size(),
+                right: b.size(),
+            });
+        }
+        Self::check_same_scale(a.scale(), b.scale())
+    }
+
+    /// Fallible form of [`add`](Evaluator::add).
+    pub fn try_add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Self::check_matching("CCadd", a, b)?;
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut out = a.clone();
+        for i in 0..out.size() {
+            out.poly_mut(i).add_assign(b.poly(i), moduli);
+        }
+        self.record(HeOpKind::CcAdd, a.level());
+        Ok(out)
     }
 
     /// Ciphertext + ciphertext addition (CCadd, OP1).
@@ -95,52 +174,99 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics on level or scale mismatch.
     pub fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        assert_eq!(a.level(), b.level(), "CCadd needs matching levels");
-        assert_eq!(a.size(), b.size(), "CCadd needs matching sizes");
-        Self::assert_same_scale(a.scale(), b.scale());
-        let moduli = self.ctx.moduli_at(a.level());
-        let mut out = a.clone();
-        for i in 0..out.size() {
-            out.poly_mut(i).add_assign(b.poly(i), moduli);
-        }
-        self.record(HeOpKind::CcAdd, a.level());
-        out
+        self.try_add(a, b).expect("CCadd")
     }
 
-    /// Ciphertext - ciphertext subtraction (costed as CCadd).
-    pub fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        assert_eq!(a.level(), b.level(), "subtraction needs matching levels");
-        assert_eq!(a.size(), b.size(), "subtraction needs matching sizes");
-        Self::assert_same_scale(a.scale(), b.scale());
+    /// Fallible form of [`sub`](Evaluator::sub).
+    pub fn try_sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Self::check_matching("subtraction", a, b)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         for i in 0..out.size() {
             out.poly_mut(i).sub_assign(b.poly(i), moduli);
         }
         self.record(HeOpKind::CcAdd, a.level());
-        out
+        Ok(out)
     }
 
-    /// Plaintext + ciphertext addition (PCadd, OP1).
-    pub fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level(), pt.level(), "PCadd needs matching levels");
-        Self::assert_same_scale(a.scale(), pt.scale());
+    /// Ciphertext - ciphertext subtraction (costed as CCadd).
+    pub fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.try_sub(a, b).expect("CCsub")
+    }
+
+    /// Fallible form of [`add_plain`](Evaluator::add_plain).
+    pub fn try_add_plain(
+        &mut self,
+        a: &Ciphertext,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext, EvalError> {
+        if a.level() != pt.level() {
+            return Err(EvalError::LevelMismatch {
+                op: "PCadd",
+                left: a.level(),
+                right: pt.level(),
+            });
+        }
+        Self::check_same_scale(a.scale(), pt.scale())?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         out.poly_mut(0).add_assign(pt.poly(), moduli);
         self.record(HeOpKind::PcAdd, a.level());
-        out
+        Ok(out)
     }
 
-    /// Plaintext - ciphertext subtraction: `ct - pt` (costed as PCadd).
-    pub fn sub_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level(), pt.level(), "PCsub needs matching levels");
-        Self::assert_same_scale(a.scale(), pt.scale());
+    /// Plaintext + ciphertext addition (PCadd, OP1).
+    pub fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.try_add_plain(a, pt).expect("PCadd")
+    }
+
+    /// Fallible form of [`sub_plain`](Evaluator::sub_plain).
+    pub fn try_sub_plain(
+        &mut self,
+        a: &Ciphertext,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext, EvalError> {
+        if a.level() != pt.level() {
+            return Err(EvalError::LevelMismatch {
+                op: "PCsub",
+                left: a.level(),
+                right: pt.level(),
+            });
+        }
+        Self::check_same_scale(a.scale(), pt.scale())?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         out.poly_mut(0).sub_assign(pt.poly(), moduli);
         self.record(HeOpKind::PcAdd, a.level());
-        out
+        Ok(out)
+    }
+
+    /// Plaintext - ciphertext subtraction: `ct - pt` (costed as PCadd).
+    pub fn sub_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.try_sub_plain(a, pt).expect("PCsub")
+    }
+
+    /// Fallible form of [`mul_plain`](Evaluator::mul_plain).
+    pub fn try_mul_plain(
+        &mut self,
+        a: &Ciphertext,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext, EvalError> {
+        if a.level() != pt.level() {
+            return Err(EvalError::LevelMismatch {
+                op: "PCmult",
+                left: a.level(),
+                right: pt.level(),
+            });
+        }
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut out = a.clone();
+        for i in 0..out.size() {
+            out.poly_mut(i).mul_pointwise_assign(pt.poly(), moduli);
+        }
+        out.set_scale(a.scale() * pt.scale());
+        self.record(HeOpKind::PcMult, a.level());
+        Ok(out)
     }
 
     /// Plaintext × ciphertext multiplication (PCmult, OP2). The output
@@ -149,27 +275,23 @@ impl<'a> Evaluator<'a> {
     ///
     /// [`rescale`]: Evaluator::rescale
     pub fn mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level(), pt.level(), "PCmult needs matching levels");
-        let moduli = self.ctx.moduli_at(a.level());
-        let mut out = a.clone();
-        for i in 0..out.size() {
-            out.poly_mut(i).mul_pointwise_assign(pt.poly(), moduli);
-        }
-        out.set_scale(a.scale() * pt.scale());
-        self.record(HeOpKind::PcMult, a.level());
-        out
+        self.try_mul_plain(a, pt).expect("PCmult")
     }
 
-    /// Ciphertext × ciphertext multiplication (CCmult, OP3), producing a
-    /// 3-polynomial ciphertext; relinearize before rescaling or rotating.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless both inputs are 2-polynomial ciphertexts at the same
-    /// level.
-    pub fn mul(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        assert!(a.is_linear() && b.is_linear(), "CCmult needs linear inputs");
-        assert_eq!(a.level(), b.level(), "CCmult needs matching levels");
+    /// Fallible form of [`mul`](Evaluator::mul).
+    pub fn try_mul(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if !a.is_linear() || !b.is_linear() {
+            return Err(EvalError::NonLinearProduct {
+                size: if a.is_linear() { b.size() } else { a.size() },
+            });
+        }
+        if a.level() != b.level() {
+            return Err(EvalError::LevelMismatch {
+                op: "CCmult",
+                left: a.level(),
+                right: b.level(),
+            });
+        }
         let moduli = self.ctx.moduli_at(a.level());
 
         let mut d0 = a.poly(0).clone();
@@ -185,7 +307,23 @@ impl<'a> Evaluator<'a> {
         d2.mul_pointwise_assign(b.poly(1), moduli);
 
         self.record(HeOpKind::CcMult, a.level());
-        Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale())
+        Ok(Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale()))
+    }
+
+    /// Ciphertext × ciphertext multiplication (CCmult, OP3), producing a
+    /// 3-polynomial ciphertext; relinearize before rescaling or rotating.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both inputs are 2-polynomial ciphertexts at the same
+    /// level.
+    pub fn mul(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.try_mul(a, b).expect("CCmult")
+    }
+
+    /// Fallible form of [`square`](Evaluator::square).
+    pub fn try_square(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.try_mul(a, a)
     }
 
     /// Homomorphic squaring: CCmult of a ciphertext with itself (the form
@@ -194,14 +332,15 @@ impl<'a> Evaluator<'a> {
         self.mul(a, a)
     }
 
-    /// Relinearization (OP5 KeySwitch): reduces a 3-polynomial ciphertext
-    /// back to 2 polynomials using the relinearization key.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ciphertext is already linear.
-    pub fn relinearize(&mut self, ct: &Ciphertext, rk: &RelinKey) -> Ciphertext {
-        assert_eq!(ct.size(), 3, "relinearization needs a 3-poly ciphertext");
+    /// Fallible form of [`relinearize`](Evaluator::relinearize).
+    pub fn try_relinearize(
+        &mut self,
+        ct: &Ciphertext,
+        rk: &RelinKey,
+    ) -> Result<Ciphertext, EvalError> {
+        if ct.size() != 3 {
+            return Err(EvalError::NotThreePoly { size: ct.size() });
+        }
         let l = ct.level();
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
@@ -216,20 +355,28 @@ impl<'a> Evaluator<'a> {
         c1.add_assign(&ks1, moduli);
 
         self.record(HeOpKind::Relinearize, l);
-        Ciphertext::new(vec![c0, c1], ct.scale())
+        Ok(Ciphertext::new(vec![c0, c1], ct.scale()))
     }
 
-    /// Rescale (OP4): divides the ciphertext by the last prime of its
-    /// level, dropping one RNS component and dividing the scale by that
-    /// prime.
+    /// Relinearization (OP5 KeySwitch): reduces a 3-polynomial ciphertext
+    /// back to 2 polynomials using the relinearization key.
     ///
     /// # Panics
     ///
-    /// Panics if the ciphertext is not linear or already at level 1.
-    pub fn rescale(&mut self, ct: &Ciphertext) -> Ciphertext {
-        assert!(ct.is_linear(), "relinearize before rescaling");
+    /// Panics if the ciphertext is already linear.
+    pub fn relinearize(&mut self, ct: &Ciphertext, rk: &RelinKey) -> Ciphertext {
+        self.try_relinearize(ct, rk).expect("relinearize")
+    }
+
+    /// Fallible form of [`rescale`](Evaluator::rescale).
+    pub fn try_rescale(&mut self, ct: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if !ct.is_linear() {
+            return Err(EvalError::NotLinear { op: "rescaling" });
+        }
         let l = ct.level();
-        assert!(l >= 2, "cannot rescale below level 1");
+        if l < 2 {
+            return Err(EvalError::RescaleAtFloor);
+        }
         let tables = self.ctx.tables_at(l);
         let new_tables = self.ctx.tables_at(l - 1);
 
@@ -247,7 +394,43 @@ impl<'a> Evaluator<'a> {
         let mut out = Ciphertext::new(polys, ct.scale());
         out.set_scale(ct.scale() / self.ctx.dropped_prime_at(l) as f64);
         self.record(HeOpKind::Rescale, l);
-        out
+        Ok(out)
+    }
+
+    /// Rescale (OP4): divides the ciphertext by the last prime of its
+    /// level, dropping one RNS component and dividing the scale by that
+    /// prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not linear or already at level 1.
+    pub fn rescale(&mut self, ct: &Ciphertext) -> Ciphertext {
+        self.try_rescale(ct).expect("rescale")
+    }
+
+    /// Fallible form of [`mod_switch_to`](Evaluator::mod_switch_to).
+    pub fn try_mod_switch_to(
+        &mut self,
+        ct: &Ciphertext,
+        target_level: usize,
+    ) -> Result<Ciphertext, EvalError> {
+        let l = ct.level();
+        if target_level < 1 || target_level > l {
+            return Err(EvalError::TargetLevelOutOfRange {
+                target: target_level,
+                current: l,
+            });
+        }
+        if target_level == l {
+            return Ok(ct.clone());
+        }
+        let indices: Vec<usize> = (0..target_level).collect();
+        let polys = ct
+            .polys()
+            .iter()
+            .map(|p| p.select_components(&indices))
+            .collect();
+        Ok(Ciphertext::new(polys, ct.scale()))
     }
 
     /// Modulus switch without scaling: drops RNS components down to
@@ -258,39 +441,28 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if `target_level` is zero or above the current level.
     pub fn mod_switch_to(&mut self, ct: &Ciphertext, target_level: usize) -> Ciphertext {
-        let l = ct.level();
-        assert!(
-            target_level >= 1 && target_level <= l,
-            "target level {target_level} out of range"
-        );
-        if target_level == l {
-            return ct.clone();
-        }
-        let indices: Vec<usize> = (0..target_level).collect();
-        let polys = ct
-            .polys()
-            .iter()
-            .map(|p| p.select_components(&indices))
-            .collect();
-        Ciphertext::new(polys, ct.scale())
+        self.try_mod_switch_to(ct, target_level)
+            .expect("mod switch")
     }
 
-    /// Rotate (OP5 KeySwitch): left-rotates the slot vector by `steps`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ciphertext is not linear or the required Galois key
-    /// is missing.
-    pub fn rotate(&mut self, ct: &Ciphertext, steps: usize, gks: &GaloisKeys) -> Ciphertext {
-        assert!(ct.is_linear(), "relinearize before rotating");
+    /// Fallible form of [`rotate`](Evaluator::rotate).
+    pub fn try_rotate(
+        &mut self,
+        ct: &Ciphertext,
+        steps: usize,
+        gks: &GaloisKeys,
+    ) -> Result<Ciphertext, EvalError> {
+        if !ct.is_linear() {
+            return Err(EvalError::NotLinear { op: "rotating" });
+        }
         let l = ct.level();
         let g = self.ctx.galois_exponent(steps);
         if g == 1 {
-            return ct.clone();
+            return Ok(ct.clone());
         }
         let key = gks
             .key(g)
-            .unwrap_or_else(|| panic!("missing Galois key for rotation by {steps}"));
+            .ok_or(EvalError::MissingGaloisKey { steps })?;
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
 
@@ -308,20 +480,28 @@ impl<'a> Evaluator<'a> {
         out0.add_assign(&ks0, moduli);
 
         self.record(HeOpKind::Rotate, l);
-        Ciphertext::new(vec![out0, ks1], ct.scale())
+        Ok(Ciphertext::new(vec![out0, ks1], ct.scale()))
     }
 
-    /// Complex conjugation of the slot vector (Galois element `2N - 1`).
-    ///
-    /// For real-valued slot data this is (up to noise) the identity; it
-    /// exists to support complex-slot pipelines and to cancel imaginary
-    /// noise components.
+    /// Rotate (OP5 KeySwitch): left-rotates the slot vector by `steps`.
     ///
     /// # Panics
     ///
-    /// Panics if the ciphertext is not linear.
-    pub fn conjugate(&mut self, ct: &Ciphertext, key: &KeySwitchKey) -> Ciphertext {
-        assert!(ct.is_linear(), "relinearize before conjugating");
+    /// Panics if the ciphertext is not linear or the required Galois key
+    /// is missing.
+    pub fn rotate(&mut self, ct: &Ciphertext, steps: usize, gks: &GaloisKeys) -> Ciphertext {
+        self.try_rotate(ct, steps, gks).expect("rotate")
+    }
+
+    /// Fallible form of [`conjugate`](Evaluator::conjugate).
+    pub fn try_conjugate(
+        &mut self,
+        ct: &Ciphertext,
+        key: &KeySwitchKey,
+    ) -> Result<Ciphertext, EvalError> {
+        if !ct.is_linear() {
+            return Err(EvalError::NotLinear { op: "conjugating" });
+        }
         let l = ct.level();
         let g = self.ctx.conjugation_exponent();
         let moduli = self.ctx.moduli_at(l);
@@ -340,7 +520,20 @@ impl<'a> Evaluator<'a> {
         out0.add_assign(&ks0, moduli);
 
         self.record(HeOpKind::Rotate, l);
-        Ciphertext::new(vec![out0, ks1], ct.scale())
+        Ok(Ciphertext::new(vec![out0, ks1], ct.scale()))
+    }
+
+    /// Complex conjugation of the slot vector (Galois element `2N - 1`).
+    ///
+    /// For real-valued slot data this is (up to noise) the identity; it
+    /// exists to support complex-slot pipelines and to cancel imaginary
+    /// noise components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not linear.
+    pub fn conjugate(&mut self, ct: &Ciphertext, key: &KeySwitchKey) -> Ciphertext {
+        self.try_conjugate(ct, key).expect("conjugate")
     }
 
     /// Core hybrid key switch. `d` must be a coefficient-domain polynomial

@@ -183,9 +183,14 @@ impl<'a, R: Rng> KeyGenerator<'a, R> {
 
                 // Gadget term on every prime of this digit's group:
                 // g_j ≡ P (mod q_i), 0 elsewhere.
-                for i in j * group..((j + 1) * group).min(big_l) {
+                let digit_primes = j * group..((j + 1) * group).min(big_l);
+                for (i, &q_i) in ext_moduli
+                    .iter()
+                    .enumerate()
+                    .take(digit_primes.end)
+                    .skip(digit_primes.start)
+                {
                     let p_mod_qi = ctx.special_mod_q()[i];
-                    let q_i = ext_moduli[i];
                     let t_i = t.component(i);
                     let b_comp = b_j.component_mut(i);
                     for (bj, &tj) in b_comp.iter_mut().zip(t_i) {

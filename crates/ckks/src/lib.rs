@@ -33,7 +33,10 @@
 //! assert!((out[1] - 4.0).abs() < 1e-2);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod cipher;
+pub mod error;
 pub mod context;
 pub mod encoding;
 pub mod encrypt;
@@ -50,6 +53,7 @@ pub use cipher::{Ciphertext, Plaintext};
 pub use context::CkksContext;
 pub use encoding::CkksEncoder;
 pub use encrypt::{Decryptor, Encryptor};
+pub use error::EvalError;
 pub use eval::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, RelinKey, SecretKey};
 pub use noise::NoiseEstimate;

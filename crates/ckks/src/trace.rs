@@ -102,7 +102,7 @@ impl OpTrace {
     /// Appends `count` identical operations.
     pub fn record_many(&mut self, kind: HeOpKind, level: usize, count: usize) {
         self.records
-            .extend(std::iter::repeat(HeOpRecord { kind, level }).take(count));
+            .extend(std::iter::repeat_n(HeOpRecord { kind, level }, count));
     }
 
     /// All records in execution order.

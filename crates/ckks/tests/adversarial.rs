@@ -169,3 +169,68 @@ fn decode_never_panics_on_fuzzable_inputs() {
         let _ = decode_ciphertext(&bad); // must not panic
     }
 }
+
+#[test]
+fn every_truncated_prefix_of_every_blob_type_is_rejected() {
+    // Exhaustive prefix fuzz: for each wire format, every strict prefix
+    // of a valid encoding must return a DecodeError — never panic,
+    // never allocate unbounded memory, never decode successfully.
+    // Exhaustive scanning is O(bytes^2), so use the smallest legal ring
+    // (N = 64, L = 2) to keep every blob in the low kilobytes.
+    use fxhenn_ckks::serialize::{
+        decode_galois_keys, decode_plaintext, decode_public_key, decode_relin_key,
+        encode_galois_keys, encode_plaintext, encode_public_key, encode_relin_key,
+    };
+
+    let ctx = CkksContext::new(CkksParams::new(64, 2, 30, 45).expect("tiny params"));
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(20));
+    let pk = kg.public_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&[1, 2]);
+    let mut enc = Encryptor::new(&ctx, pk.clone(), StdRng::seed_from_u64(21));
+    let ct = enc.encrypt(&[1.0, -2.0]);
+    let ev = Evaluator::new(&ctx);
+    let pt = ev.encode_at(&[0.5, 0.25], 1024.0, 2);
+
+    fn check<T>(name: &str, blob: &[u8], decode: impl Fn(&[u8]) -> Result<T, fxhenn_ckks::DecodeError>) {
+        for keep in 0..blob.len() {
+            assert!(
+                decode(&blob[..keep]).is_err(),
+                "{name}: {keep}-byte prefix of a {}-byte blob must not decode",
+                blob.len()
+            );
+        }
+        assert!(decode(blob).is_ok(), "{name}: the full blob must decode");
+    }
+
+    check("ciphertext", &encode_ciphertext(&ct), decode_ciphertext);
+    check("plaintext", &encode_plaintext(&pt), decode_plaintext);
+    check("public key", &encode_public_key(&pk), decode_public_key);
+    check("relin key", &encode_relin_key(&rk), decode_relin_key);
+    check("galois keys", &encode_galois_keys(&gks), decode_galois_keys);
+}
+
+#[test]
+fn out_of_range_residues_are_caught_by_semantic_validation() {
+    // The wire decoder is context-free, so a bit-flipped residue word
+    // >= q survives decoding; validate_ciphertext must reject it before
+    // it can reach modular arithmetic.
+    let ctx = ctx();
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(22));
+    let pk = kg.public_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(23));
+    let ct = enc.encrypt(&[4.0, 2.0]);
+    assert!(ctx.validate_ciphertext(&ct).is_ok(), "honest ciphertexts validate");
+
+    let mut bytes = encode_ciphertext(&ct);
+    // Force the top byte of the first residue word to 0xFF: every prime
+    // in the toy chain is < 2^62, so the word lands far above q_0.
+    let first_word = 6 + 8 + 8 + 24; // header, scale, count, poly header
+    bytes[first_word + 7] = 0xFF;
+    let tampered = decode_ciphertext(&bytes).expect("shape-valid");
+    let err = ctx.validate_ciphertext(&tampered).unwrap_err();
+    assert!(
+        err.to_string().contains("corrupt ciphertext"),
+        "expected a corrupt-ciphertext error, got: {err}"
+    );
+}

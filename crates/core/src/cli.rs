@@ -125,19 +125,23 @@ fn validate_device(device: &str) -> Result<(), CliError> {
     }
 }
 
-fn model_of(name: &str) -> (Network, CkksParams) {
+fn model_of(name: &str) -> Result<(Network, CkksParams), CliError> {
     match name {
-        "mnist" => (fxhenn_mnist(42), CkksParams::fxhenn_mnist()),
-        "cifar10" => (fxhenn_cifar10(42), CkksParams::fxhenn_cifar10()),
-        _ => unreachable!("validated"),
+        "mnist" => Ok((fxhenn_mnist(42), CkksParams::fxhenn_mnist())),
+        "cifar10" => Ok((fxhenn_cifar10(42), CkksParams::fxhenn_cifar10())),
+        other => Err(CliError(format!(
+            "unknown model {other:?}: expected mnist or cifar10"
+        ))),
     }
 }
 
-fn device_of(name: &str) -> FpgaDevice {
+fn device_of(name: &str) -> Result<FpgaDevice, CliError> {
     match name {
-        "acu9eg" => FpgaDevice::acu9eg(),
-        "acu15eg" => FpgaDevice::acu15eg(),
-        _ => unreachable!("validated"),
+        "acu9eg" => Ok(FpgaDevice::acu9eg()),
+        "acu15eg" => Ok(FpgaDevice::acu15eg()),
+        other => Err(CliError(format!(
+            "unknown device {other:?}: expected acu9eg or acu15eg"
+        ))),
     }
 }
 
@@ -150,8 +154,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Design { model, device } => {
-            let (net, params) = model_of(model);
-            let dev = device_of(device);
+            let (net, params) = model_of(model)?;
+            let dev = device_of(device)?;
             let report = generate_accelerator(&net, &params, &dev)
                 .map_err(|e| CliError(e.to_string()))?;
             Ok(format!(
@@ -162,9 +166,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             ))
         }
         Command::Info { model } => {
-            let (net, params) = model_of(model);
-            let prog =
-                fxhenn_nn::lower_network(&net, params.degree(), params.levels());
+            let (net, params) = model_of(model)?;
+            let prog = fxhenn_nn::try_lower_network(&net, params.degree(), params.levels())
+                .map_err(|e| CliError(e.to_string()))?;
             let mut out = format!(
                 "{}: N={}, L={}, log2Q={}, {}\n{} HOPs, {} KeySwitches, {:.1} MB encoded model\n",
                 net.name(),
@@ -192,12 +196,13 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         Command::Cosim { seed } => {
             let net = fxhenn_nn::toy_mnist_like(*seed);
             let image = fxhenn_nn::synthetic_input(&net, *seed);
-            let report = fxhenn_sim::cosimulate(
+            let report = fxhenn_sim::try_cosimulate(
                 &net,
                 &image,
                 CkksParams::insecure_toy(7),
                 *seed,
-            );
+            )
+            .map_err(|e| CliError(e.to_string()))?;
             Ok(format!(
                 "toy network, seed {seed}\nplaintext logits: {:?}\ndecrypted logits: {:?}\n\
                  max error {:.5}, argmax agrees: {}, trace matches: {}\n",
@@ -275,6 +280,28 @@ mod tests {
         let out = run(&Command::Cosim { seed: 3 }).unwrap();
         assert!(out.contains("argmax agrees: true"), "{out}");
         assert!(out.contains("trace matches: true"));
+    }
+
+    #[test]
+    fn unvalidated_command_is_an_error_not_a_panic() {
+        // Commands constructed directly (bypassing parse) must still
+        // fail with a typed error instead of hitting unreachable code.
+        let err = run(&Command::Design {
+            model: "resnet".into(),
+            device: "acu9eg".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown model"), "{err}");
+        let err = run(&Command::Design {
+            model: "mnist".into(),
+            device: "vu9p".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown device"), "{err}");
+        assert!(run(&Command::Info {
+            model: "vgg".into()
+        })
+        .is_err());
     }
 
     #[test]

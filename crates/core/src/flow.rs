@@ -3,32 +3,64 @@
 //! out.
 
 use fxhenn_ckks::{CkksParams, SecurityLevel};
-use fxhenn_dse::explore::{explore_default, ExploredPoint};
+use fxhenn_dse::explore::{try_explore_default, ExploredPoint};
+use fxhenn_dse::InfeasibleDiagnosis;
 use fxhenn_hw::FpgaDevice;
-use fxhenn_nn::{lower_network, HeCnnProgram, Network};
-use fxhenn_sim::{simulate, MeasuredResult, SimReport};
+use fxhenn_nn::{try_lower_network, HeCnnProgram, LowerError, Network};
+use fxhenn_sim::{try_simulate, MeasuredResult, SimError, SimReport};
 
 /// Errors produced by the design flow.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub enum FlowError {
+    /// Lowering the network onto the parameter set failed (slots or
+    /// level budget).
+    Lower(LowerError),
     /// No design point satisfies the device's resource constraints.
     NoFeasibleDesign {
         /// Device that rejected every point.
         device: String,
+        /// The explorer's structured explanation, when available.
+        diagnosis: Option<InfeasibleDiagnosis>,
     },
+    /// Simulating the chosen design failed.
+    Sim(SimError),
 }
 
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FlowError::NoFeasibleDesign { device } => {
+            FlowError::Lower(e) => write!(f, "lowering failed: {e}"),
+            // The diagnosis text already leads with
+            // "no feasible accelerator design fits device …".
+            FlowError::NoFeasibleDesign {
+                diagnosis: Some(d), ..
+            } => std::fmt::Display::fmt(d, f),
+            FlowError::NoFeasibleDesign {
+                device,
+                diagnosis: None,
+            } => {
                 write!(f, "no feasible accelerator design fits device {device}")
             }
+            FlowError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for FlowError {}
+impl std::fmt::Debug for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Lower(e) => Some(e),
+            FlowError::Sim(e) => Some(e),
+            FlowError::NoFeasibleDesign { .. } => None,
+        }
+    }
+}
 
 /// The complete output of one FxHENN flow run: the lowered program, the
 /// DSE-selected design and its simulated performance.
@@ -70,25 +102,28 @@ impl DesignReport {
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::NoFeasibleDesign`] when the device cannot host
-/// any configuration.
-///
-/// # Panics
-///
-/// Panics if the network does not fit the parameter set (insufficient
-/// slots or levels) — these are model/parameter mismatches, not device
-/// limitations.
+/// Returns [`FlowError::Lower`] when the network does not fit the
+/// parameter set (insufficient slots or levels), and
+/// [`FlowError::NoFeasibleDesign`] — carrying the explorer's
+/// [`InfeasibleDiagnosis`] — when the device cannot host any
+/// configuration.
 pub fn generate_accelerator(
     net: &Network,
     params: &CkksParams,
     device: &FpgaDevice,
 ) -> Result<DesignReport, FlowError> {
-    let program = lower_network(net, params.degree(), params.levels());
-    let dse = explore_default(&program, device, params.prime_bits());
-    let design = dse.best.ok_or_else(|| FlowError::NoFeasibleDesign {
+    let program =
+        try_lower_network(net, params.degree(), params.levels()).map_err(FlowError::Lower)?;
+    let no_design = |diagnosis| FlowError::NoFeasibleDesign {
         device: device.name().to_string(),
-    })?;
-    let sim = simulate(&program, &design.point, device, params.prime_bits());
+        diagnosis,
+    };
+    let dse = try_explore_default(&program, device, params.prime_bits())
+        .map_err(|e| no_design(e.diagnosis().cloned()))?;
+    let points_explored = dse.points_enumerated;
+    let design = dse.best.ok_or_else(|| no_design(None))?;
+    let sim = try_simulate(&program, &design.point, device, params.prime_bits())
+        .map_err(FlowError::Sim)?;
     Ok(DesignReport {
         network_name: net.name().to_string(),
         device_name: device.name().to_string(),
@@ -96,7 +131,7 @@ pub fn generate_accelerator(
         design,
         sim,
         security: params.security(),
-        points_explored: dse.points_enumerated,
+        points_explored,
     })
 }
 
@@ -144,5 +179,32 @@ mod tests {
         let err = generate_accelerator(&net, &params, &tiny).unwrap_err();
         assert!(matches!(err, FlowError::NoFeasibleDesign { .. }));
         assert!(err.to_string().contains("tiny"));
+        // The flow carries the explorer's structured diagnosis through:
+        // 128 slices starve DSP, so the message names the binding
+        // resource and the fix.
+        match &err {
+            FlowError::NoFeasibleDesign {
+                diagnosis: Some(d), ..
+            } => {
+                assert!(
+                    matches!(d.binding, fxhenn_dse::BindingConstraint::Dsp { .. }),
+                    "{d}"
+                );
+                assert!(d.relaxation.is_some(), "{d}");
+            }
+            other => panic!("expected a diagnosed infeasibility, got {other}"),
+        }
+        assert!(err.to_string().contains("DSP"), "{err}");
+    }
+
+    #[test]
+    fn model_that_does_not_fit_params_is_a_lower_error() {
+        // Paper-scale MNIST cannot lower onto a 2-level toy parameter
+        // set: the flow reports it as a typed lowering error instead of
+        // panicking.
+        let net = fxhenn_mnist(1);
+        let err = generate_accelerator(&net, &CkksParams::insecure_toy(2), &FpgaDevice::acu9eg())
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Lower(_)), "{err}");
     }
 }

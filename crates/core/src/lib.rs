@@ -43,7 +43,10 @@
 //! * [`sim`] — cycle simulation, energy model, published baselines and
 //!   functional co-simulation.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod cli;
+pub mod error;
 pub mod flow;
 pub mod report;
 
@@ -65,6 +68,7 @@ pub use fxhenn_dse as dse;
 /// Re-export of the simulator.
 pub use fxhenn_sim as sim;
 
+pub use error::Error;
 pub use flow::{generate_accelerator, DesignReport, FlowError};
 pub use fxhenn_ckks::{CkksContext, CkksParams, SecurityLevel};
 pub use fxhenn_hw::FpgaDevice;

@@ -40,6 +40,14 @@ impl ProgramCost {
         }
     }
 
+    /// The URAM-converted BRAM block budget a design point is measured
+    /// against: the bank depth (and thus the URAM conversion ratio)
+    /// follows the KeySwitch NTT core count (Sec. VI-A).
+    pub fn bram_budget(&self, point: &DesignPoint, device: &FpgaDevice) -> usize {
+        let ks_nc = point.modules.get(OpClass::KeySwitch).nc_ntt;
+        device.total_bram_equivalent(bn_bank_words(self.degree, ks_nc))
+    }
+
     /// Evaluates one design point (fast path used by the explorer).
     ///
     /// Inter-layer buffer reuse gives each layer the *whole* BRAM/URAM
@@ -47,8 +55,7 @@ impl ProgramCost {
     /// budget spills to off-chip memory and stalls (Table III
     /// calibration). DSP is the hard constraint of Eq. 10.
     pub fn evaluate(&self, point: &DesignPoint, device: &FpgaDevice) -> DesignEval {
-        let ks_nc = point.modules.get(OpClass::KeySwitch).nc_ntt;
-        let budget = device.total_bram_equivalent(bn_bank_words(self.degree, ks_nc));
+        let budget = self.bram_budget(point, device);
 
         let mut per_layer_latency_s = Vec::with_capacity(self.layers.len());
         let mut per_layer_bram = Vec::with_capacity(self.layers.len());

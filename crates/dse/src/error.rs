@@ -1,0 +1,177 @@
+//! Typed errors and infeasibility diagnosis for the design space
+//! explorer.
+//!
+//! When no design fits, the explorer does not merely say "no": it names
+//! the *binding constraint* — whether the DSP budget (Eq. 7/10) or the
+//! Bn/Bb BRAM budget (Eqs. 8–9) is what excludes every candidate — and
+//! proposes the *nearest feasible relaxation*: the smallest resource
+//! increase or `nc_NTT` downgrade that admits a design.
+//!
+//! `Debug` delegates to `Display` so an `expect` on a `try_` result
+//! panics with the same human-readable text.
+
+use std::fmt;
+
+/// The resource constraint that excludes every candidate design.
+#[derive(Clone, PartialEq, Eq)]
+pub enum BindingConstraint {
+    /// Even the cheapest point in the space needs more DSP slices than
+    /// the device provides (Eq. 7 vs the device capacity in Eq. 10).
+    Dsp {
+        /// DSP slices of the cheapest enumerated point.
+        required_min: usize,
+        /// DSP slices the device provides.
+        available: usize,
+    },
+    /// Every DSP-feasible point overflows the on-chip buffer budget
+    /// (Bn/Bb blocks of Eqs. 8–9 vs the URAM-converted BRAM budget).
+    Bram {
+        /// Peak block demand of the least-demanding DSP-feasible point.
+        required_min_blocks: usize,
+        /// The budget that point was measured against.
+        budget_blocks: usize,
+    },
+}
+
+impl fmt::Display for BindingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingConstraint::Dsp {
+                required_min,
+                available,
+            } => write!(
+                f,
+                "DSP (cheapest point needs {required_min} slices, device has {available})"
+            ),
+            BindingConstraint::Bram {
+                required_min_blocks,
+                budget_blocks,
+            } => write!(
+                f,
+                "BRAM (least-demanding point needs {required_min_blocks} blocks, \
+                 budget is {budget_blocks})"
+            ),
+        }
+    }
+}
+
+impl fmt::Debug for BindingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The smallest change that admits at least one design.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Relaxation {
+    /// Provision this many additional DSP slices.
+    RaiseDsp {
+        /// Additional slices beyond the device capacity.
+        additional: usize,
+    },
+    /// Provision this many additional BRAM36K blocks.
+    RaiseBramBudget {
+        /// Additional blocks beyond the current budget.
+        additional_blocks: usize,
+    },
+    /// Shrink the NTT core count below the search space's floor; fewer
+    /// banked cores need fewer partitioned Bn blocks (Sec. VI-A).
+    DowngradeNtt {
+        /// The `nc_NTT` value that admits a design.
+        to: usize,
+    },
+}
+
+impl fmt::Display for Relaxation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relaxation::RaiseDsp { additional } => {
+                write!(f, "add at least {additional} DSP slices")
+            }
+            Relaxation::RaiseBramBudget { additional_blocks } => {
+                write!(f, "raise the BRAM budget by {additional_blocks} blocks")
+            }
+            Relaxation::DowngradeNtt { to } => {
+                write!(f, "downgrade nc_NTT to {to}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Relaxation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A structured explanation of why the explorer found no design.
+#[derive(Clone, PartialEq, Eq)]
+pub struct InfeasibleDiagnosis {
+    /// The device the search ran against.
+    pub device: String,
+    /// The constraint that excluded every candidate.
+    pub binding: BindingConstraint,
+    /// The nearest change that admits a design, when one exists.
+    pub relaxation: Option<Relaxation>,
+}
+
+impl fmt::Display for InfeasibleDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no feasible accelerator design fits device {}: binding constraint is {}",
+            self.device, self.binding
+        )?;
+        match &self.relaxation {
+            Some(r) => write!(f, "; nearest relaxation: {r}"),
+            None => write!(f, "; no single-resource relaxation admits a design"),
+        }
+    }
+}
+
+impl fmt::Debug for InfeasibleDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A failed design space exploration.
+#[derive(Clone, PartialEq)]
+pub enum DseError {
+    /// A search axis has no options, so the space enumerates nothing.
+    EmptySearchSpace,
+    /// A derived device description (e.g. a BRAM cap of zero) is invalid.
+    Device(fxhenn_hw::ModelError),
+    /// No candidate satisfies the device constraints (Eq. 10).
+    Infeasible(InfeasibleDiagnosis),
+}
+
+impl DseError {
+    /// The structured diagnosis, when the error is [`DseError::Infeasible`].
+    pub fn diagnosis(&self) -> Option<&InfeasibleDiagnosis> {
+        match self {
+            DseError::Infeasible(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::EmptySearchSpace => {
+                f.write_str("design space is empty: every search axis needs at least one option")
+            }
+            DseError::Device(e) => fmt::Display::fmt(e, f),
+            DseError::Infeasible(d) => fmt::Display::fmt(d, f),
+        }
+    }
+}
+
+impl fmt::Debug for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for DseError {}

@@ -15,6 +15,7 @@
 //! takes up to a few hours".
 
 use crate::design::{DesignEval, DesignPoint, ProgramCost};
+use crate::error::{BindingConstraint, DseError, InfeasibleDiagnosis, Relaxation};
 use fxhenn_hw::{FpgaDevice, ModuleConfig, ModuleSet, OpClass};
 use fxhenn_nn::HeCnnProgram;
 
@@ -69,18 +70,8 @@ pub struct DseResult {
     pub points_enumerated: usize,
 }
 
-/// Exhaustively explores the space for a program on a device.
-pub fn explore(
-    prog: &HeCnnProgram,
-    device: &FpgaDevice,
-    w_bits: u32,
-    space: &SearchSpace,
-) -> DseResult {
-    let mut best: Option<ExploredPoint> = None;
-    let mut feasible = Vec::new();
-    let mut enumerated = 0usize;
-    let cost = ProgramCost::new(prog, w_bits);
-
+/// Calls `f` with every design point the space enumerates.
+fn for_each_point(space: &SearchSpace, mut f: impl FnMut(DesignPoint)) {
     for &ks_nc in &space.nc_options {
         for &ks_intra in &space.intra_options {
             for &ks_inter in &space.inter_options {
@@ -88,7 +79,6 @@ pub fn explore(
                     for &rs_intra in &space.intra_options {
                         for &rs_inter in &space.inter_options {
                             for &(pm_intra, pm_inter) in &space.pcmult_options {
-                                enumerated += 1;
                                 let mut modules = ModuleSet::minimal();
                                 modules.set(
                                     OpClass::KeySwitch,
@@ -114,25 +104,7 @@ pub fn explore(
                                         p_inter: pm_inter,
                                     },
                                 );
-                                let point = DesignPoint { modules };
-                                let eval = cost.evaluate(&point, device);
-                                // Eq. 10: both DSP and BRAM are hard
-                                // constraints for DSE candidates.
-                                if !eval.feasible || !eval.fully_buffered {
-                                    continue;
-                                }
-                                let explored = ExploredPoint {
-                                    point,
-                                    eval,
-                                };
-                                if best
-                                    .as_ref()
-                                    .map(|b| explored.eval.latency_s < b.eval.latency_s)
-                                    .unwrap_or(true)
-                                {
-                                    best = Some(explored.clone());
-                                }
-                                feasible.push(explored);
+                                f(DesignPoint { modules });
                             }
                         }
                     }
@@ -140,6 +112,38 @@ pub fn explore(
             }
         }
     }
+}
+
+/// Exhaustively explores the space for a program on a device.
+pub fn explore(
+    prog: &HeCnnProgram,
+    device: &FpgaDevice,
+    w_bits: u32,
+    space: &SearchSpace,
+) -> DseResult {
+    let mut best: Option<ExploredPoint> = None;
+    let mut feasible = Vec::new();
+    let mut enumerated = 0usize;
+    let cost = ProgramCost::new(prog, w_bits);
+
+    for_each_point(space, |point| {
+        enumerated += 1;
+        let eval = cost.evaluate(&point, device);
+        // Eq. 10: both DSP and BRAM are hard constraints for DSE
+        // candidates.
+        if !eval.feasible || !eval.fully_buffered {
+            return;
+        }
+        let explored = ExploredPoint { point, eval };
+        if best
+            .as_ref()
+            .map(|b| explored.eval.latency_s < b.eval.latency_s)
+            .unwrap_or(true)
+        {
+            best = Some(explored.clone());
+        }
+        feasible.push(explored);
+    });
 
     // Fallback: when no configuration fits fully on-chip (the paper's
     // FxHENN-CIFAR10-on-ACU9EG case, Fig. 10c), build the minimal
@@ -160,6 +164,191 @@ pub fn explore(
     }
 }
 
+/// Rejects spaces that enumerate nothing.
+fn validate_space(space: &SearchSpace) -> Result<(), DseError> {
+    if space.nc_options.is_empty()
+        || space.intra_options.is_empty()
+        || space.inter_options.is_empty()
+        || space.pcmult_options.is_empty()
+    {
+        return Err(DseError::EmptySearchSpace);
+    }
+    Ok(())
+}
+
+/// Like [`explore`], but reports "no design at all" as a structured
+/// [`DseError::Infeasible`] instead of `best: None`. The DRAM-stall
+/// fallback of [`explore`] still applies, so the binding constraint
+/// here is always DSP: BRAM shortfalls degrade into stalls.
+pub fn try_explore(
+    prog: &HeCnnProgram,
+    device: &FpgaDevice,
+    w_bits: u32,
+    space: &SearchSpace,
+) -> Result<DseResult, DseError> {
+    validate_space(space)?;
+    let res = explore(prog, device, w_bits, space);
+    if res.best.is_some() {
+        return Ok(res);
+    }
+    // Even DesignPoint::minimal() exceeded the DSP budget, so every
+    // point did. Name the cheapest point's demand as the floor.
+    let cost = ProgramCost::new(prog, w_bits);
+    let mut min_dsp = cost.evaluate(&DesignPoint::minimal(), device).dsp_used;
+    for_each_point(space, |point| {
+        min_dsp = min_dsp.min(cost.evaluate(&point, device).dsp_used);
+    });
+    let available = device.dsp_slices();
+    let additional = min_dsp.saturating_sub(available);
+    Err(DseError::Infeasible(InfeasibleDiagnosis {
+        device: device.name().to_string(),
+        binding: BindingConstraint::Dsp {
+            required_min: min_dsp,
+            available,
+        },
+        relaxation: (additional > 0).then_some(Relaxation::RaiseDsp { additional }),
+    }))
+}
+
+/// Convenience: [`try_explore`] with the paper's default space.
+pub fn try_explore_default(
+    prog: &HeCnnProgram,
+    device: &FpgaDevice,
+    w_bits: u32,
+) -> Result<DseResult, DseError> {
+    try_explore(prog, device, w_bits, &SearchSpace::paper_default(prog.max_level))
+}
+
+/// Strict exploration: every admitted design must hold its working set
+/// fully on-chip — the DRAM-stall fallback of [`explore`] is disabled,
+/// so the BRAM budget (Eqs. 8–9) becomes a hard constraint alongside
+/// DSP. When nothing fits, the returned [`InfeasibleDiagnosis`] names
+/// which of the two bound the search and the nearest feasible
+/// relaxation: the smallest resource increase (or `nc_NTT` downgrade
+/// below the space's floor) that admits a design.
+pub fn try_explore_fully_buffered(
+    prog: &HeCnnProgram,
+    device: &FpgaDevice,
+    w_bits: u32,
+    space: &SearchSpace,
+) -> Result<DseResult, DseError> {
+    validate_space(space)?;
+    let cost = ProgramCost::new(prog, w_bits);
+    let mut best: Option<ExploredPoint> = None;
+    let mut feasible = Vec::new();
+    let mut enumerated = 0usize;
+    let mut min_dsp: Option<usize> = None;
+    // Least BRAM shortfall among DSP-feasible points:
+    // (deficit, peak demand, budget at that point).
+    let mut shortfall: Option<(usize, usize, usize)> = None;
+
+    for_each_point(space, |point| {
+        enumerated += 1;
+        let eval = cost.evaluate(&point, device);
+        min_dsp = Some(min_dsp.map_or(eval.dsp_used, |m| m.min(eval.dsp_used)));
+        if eval.feasible && !eval.fully_buffered {
+            let budget = cost.bram_budget(&point, device);
+            let deficit = eval.bram_peak.saturating_sub(budget);
+            if shortfall.is_none_or(|(d, _, _)| deficit < d) {
+                shortfall = Some((deficit, eval.bram_peak, budget));
+            }
+        }
+        if !eval.feasible || !eval.fully_buffered {
+            return;
+        }
+        let explored = ExploredPoint { point, eval };
+        if best
+            .as_ref()
+            .map(|b| explored.eval.latency_s < b.eval.latency_s)
+            .unwrap_or(true)
+        {
+            best = Some(explored.clone());
+        }
+        feasible.push(explored);
+    });
+
+    if best.is_some() {
+        return Ok(DseResult {
+            best,
+            feasible,
+            points_enumerated: enumerated,
+        });
+    }
+    Err(DseError::Infeasible(diagnose(
+        &cost, device, space, min_dsp, shortfall,
+    )))
+}
+
+/// Builds the structured diagnosis for a strict search that admitted
+/// nothing.
+fn diagnose(
+    cost: &ProgramCost,
+    device: &FpgaDevice,
+    space: &SearchSpace,
+    min_dsp: Option<usize>,
+    shortfall: Option<(usize, usize, usize)>,
+) -> InfeasibleDiagnosis {
+    match shortfall {
+        // No point even passed the DSP constraint.
+        None => {
+            let required_min = min_dsp.unwrap_or(0);
+            let available = device.dsp_slices();
+            let additional = required_min.saturating_sub(available);
+            InfeasibleDiagnosis {
+                device: device.name().to_string(),
+                binding: BindingConstraint::Dsp {
+                    required_min,
+                    available,
+                },
+                relaxation: (additional > 0).then_some(Relaxation::RaiseDsp { additional }),
+            }
+        }
+        // DSP-feasible points exist, but all of them overflow BRAM.
+        Some((deficit, peak, budget)) => InfeasibleDiagnosis {
+            device: device.name().to_string(),
+            binding: BindingConstraint::Bram {
+                required_min_blocks: peak,
+                budget_blocks: budget,
+            },
+            relaxation: Some(ntt_downgrade(cost, device, space).unwrap_or(
+                Relaxation::RaiseBramBudget {
+                    additional_blocks: deficit,
+                },
+            )),
+        },
+    }
+}
+
+/// Checks whether dropping `nc_NTT` below the space's floor shrinks the
+/// banked Bn buffers enough to fit on-chip (banking doubles the block
+/// count at `nc_NTT = 8`, Sec. VI-A). Returns the largest such
+/// downgrade, preferring the smallest change to the space.
+fn ntt_downgrade(
+    cost: &ProgramCost,
+    device: &FpgaDevice,
+    space: &SearchSpace,
+) -> Option<Relaxation> {
+    let floor = space.nc_options.iter().copied().min()?;
+    for to in [4usize, 2] {
+        if to >= floor {
+            continue;
+        }
+        let cfg = ModuleConfig {
+            nc_ntt: to,
+            p_intra: 1,
+            p_inter: 1,
+        };
+        let mut modules = ModuleSet::minimal();
+        modules.set(OpClass::KeySwitch, cfg);
+        modules.set(OpClass::Rescale, cfg);
+        let eval = cost.evaluate(&DesignPoint { modules }, device);
+        if eval.feasible && eval.fully_buffered {
+            return Some(Relaxation::DowngradeNtt { to });
+        }
+    }
+    None
+}
+
 /// Convenience: explores with the paper's default space.
 pub fn explore_default(prog: &HeCnnProgram, device: &FpgaDevice, w_bits: u32) -> DseResult {
     explore(prog, device, w_bits, &SearchSpace::paper_default(prog.max_level))
@@ -174,15 +363,42 @@ pub fn explore_with_bram_cap(
     w_bits: u32,
     bram_cap: usize,
 ) -> DseResult {
-    let capped = FpgaDevice::new(
+    let capped = capped_device(device, bram_cap).expect("BRAM cap");
+    explore_default(prog, &capped, w_bits)
+}
+
+/// Strict (fully-buffered) exploration under an artificial BRAM block
+/// cap: the sweep of Fig. 9 continued below the feasibility floor,
+/// where the explorer reports *why* the budget no longer admits a
+/// design instead of silently degrading to DRAM stalls.
+pub fn try_explore_fully_buffered_with_bram_cap(
+    prog: &HeCnnProgram,
+    device: &FpgaDevice,
+    w_bits: u32,
+    bram_cap: usize,
+) -> Result<DseResult, DseError> {
+    let capped = capped_device(device, bram_cap).map_err(DseError::Device)?;
+    try_explore_fully_buffered(
+        prog,
+        &capped,
+        w_bits,
+        &SearchSpace::paper_default(prog.max_level),
+    )
+}
+
+/// Replaces the device's BRAM with `bram_cap` blocks and strips URAM.
+fn capped_device(
+    device: &FpgaDevice,
+    bram_cap: usize,
+) -> Result<FpgaDevice, fxhenn_hw::ModelError> {
+    FpgaDevice::try_new(
         format!("{}-cap{}", device.name(), bram_cap),
         device.dsp_slices(),
         bram_cap,
         0,
         device.clock_mhz(),
         device.tdp_watts(),
-    );
-    explore_default(prog, &capped, w_bits)
+    )
 }
 
 #[cfg(test)]
@@ -275,6 +491,125 @@ mod tests {
         let res = explore(&prog, &FpgaDevice::acu9eg(), 30, &space);
         assert_eq!(res.points_enumerated, space.point_count());
         assert_eq!(res.points_enumerated, 16);
+    }
+
+    #[test]
+    fn empty_space_is_reported() {
+        let prog = mnist();
+        let space = SearchSpace {
+            nc_options: vec![],
+            intra_options: vec![1],
+            inter_options: vec![1],
+            pcmult_options: vec![(1, 1)],
+        };
+        let err = try_explore(&prog, &FpgaDevice::acu9eg(), 30, &space).unwrap_err();
+        assert_eq!(err, DseError::EmptySearchSpace);
+    }
+
+    #[test]
+    fn strict_explorer_matches_default_when_everything_fits() {
+        let prog = mnist();
+        let device = FpgaDevice::acu9eg();
+        let space = SearchSpace::paper_default(prog.max_level);
+        let strict = try_explore_fully_buffered(&prog, &device, 30, &space)
+            .expect("ACU9EG fits fully on-chip");
+        let lax = explore(&prog, &device, 30, &space);
+        assert_eq!(
+            strict.best.unwrap().eval.latency_s,
+            lax.best.unwrap().eval.latency_s,
+            "with no overflow the stall fallback never engages"
+        );
+    }
+
+    #[test]
+    fn dsp_infeasibility_names_binding_constraint_and_minimal_fix() {
+        let prog = mnist();
+        // 128 DSP slices cannot host even the minimal module set.
+        let tiny = FpgaDevice::new("tiny", 128, 912, 0, 250.0, 5.0);
+        let err = try_explore_default(&prog, &tiny, 30).unwrap_err();
+        let diag = err.diagnosis().expect("infeasible, not empty");
+        assert_eq!(diag.device, "tiny");
+        let (required_min, additional) = match (&diag.binding, &diag.relaxation) {
+            (
+                BindingConstraint::Dsp {
+                    required_min,
+                    available: 128,
+                },
+                Some(Relaxation::RaiseDsp { additional }),
+            ) => (*required_min, *additional),
+            other => panic!("expected a DSP diagnosis, got {other:?}"),
+        };
+        assert_eq!(required_min, 128 + additional);
+        // The relaxation is exact: that many extra slices admit a
+        // design, one fewer does not.
+        let fixed = FpgaDevice::new("tiny+", 128 + additional, 912, 0, 250.0, 5.0);
+        assert!(try_explore_default(&prog, &fixed, 30).is_ok());
+        let short = FpgaDevice::new("tiny-", 128 + additional - 1, 912, 0, 250.0, 5.0);
+        assert!(try_explore_default(&prog, &short, 30).is_err());
+    }
+
+    #[test]
+    fn bram_caps_below_feasibility_floor_yield_exact_diagnosis() {
+        // Fig. 9 sweep continued below the ~500-block floor: every cap
+        // under the smallest fully-buffered design must produce a BRAM
+        // diagnosis whose relaxation is the exact distance back to
+        // feasibility.
+        let prog = mnist();
+        let device = FpgaDevice::acu9eg();
+        for cap in [350usize, 400, 450] {
+            let err = try_explore_fully_buffered_with_bram_cap(&prog, &device, 30, cap)
+                .expect_err("cap below the feasibility floor");
+            let diag = err.diagnosis().expect("infeasible, not empty");
+            let (need, budget, add) = match (&diag.binding, &diag.relaxation) {
+                (
+                    BindingConstraint::Bram {
+                        required_min_blocks,
+                        budget_blocks,
+                    },
+                    Some(Relaxation::RaiseBramBudget { additional_blocks }),
+                ) => (*required_min_blocks, *budget_blocks, *additional_blocks),
+                other => panic!("cap {cap}: expected a BRAM diagnosis, got {other:?}"),
+            };
+            assert_eq!(budget, cap, "no URAM, so the budget is the cap itself");
+            assert_eq!(need, cap + add, "relaxation closes exactly the deficit");
+            assert!(
+                try_explore_fully_buffered_with_bram_cap(&prog, &device, 30, cap + add).is_ok(),
+                "cap {cap}: raising the budget by {add} blocks must admit a design"
+            );
+        }
+    }
+
+    #[test]
+    fn banking_bound_space_suggests_ntt_downgrade() {
+        // With nc_NTT pinned to 8 the Bn banks double (Sec. VI-A), so a
+        // budget that comfortably fits nc = 2 designs admits nothing;
+        // the nearest relaxation is the core-count downgrade, not more
+        // memory.
+        let prog = mnist();
+        let space = SearchSpace {
+            nc_options: vec![8],
+            intra_options: vec![1],
+            inter_options: vec![1],
+            pcmult_options: vec![(1, 1)],
+        };
+        let capped = FpgaDevice::new("ACU9EG-cap520", 2520, 520, 0, 250.0, 10.0);
+        let err = try_explore_fully_buffered(&prog, &capped, 30, &space)
+            .expect_err("520 blocks cannot hold doubled banks");
+        let diag = err.diagnosis().expect("infeasible, not empty");
+        assert!(matches!(diag.binding, BindingConstraint::Bram { .. }));
+        assert!(
+            matches!(diag.relaxation, Some(Relaxation::DowngradeNtt { to }) if to < 8),
+            "expected an nc_NTT downgrade, got {:?}",
+            diag.relaxation
+        );
+    }
+
+    #[test]
+    fn zero_bram_cap_is_a_device_error_not_a_panic() {
+        let prog = mnist();
+        let err = try_explore_fully_buffered_with_bram_cap(&prog, &FpgaDevice::acu9eg(), 30, 0)
+            .unwrap_err();
+        assert!(matches!(err, DseError::Device(_)), "{err}");
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! "baseline" allocator of Sec. VII-C and Pareto-frontier tooling for
 //! the budget sweep of Fig. 9.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod ablation;
 pub mod baseline;
 pub mod design;
+pub mod error;
 pub mod explore;
 pub mod greedy;
 pub mod pareto;
@@ -17,6 +20,10 @@ pub mod pareto;
 pub use ablation::{ablate, AblationRow, Variant};
 pub use baseline::{allocate_baseline, evaluate_baseline, BaselineDesign, BaselineEval};
 pub use design::{evaluate, DesignEval, DesignPoint};
-pub use explore::{explore, explore_default, explore_with_bram_cap, DseResult, SearchSpace};
+pub use error::{BindingConstraint, DseError, InfeasibleDiagnosis, Relaxation};
+pub use explore::{
+    explore, explore_default, explore_with_bram_cap, try_explore, try_explore_default,
+    try_explore_fully_buffered, try_explore_fully_buffered_with_bram_cap, DseResult, SearchSpace,
+};
 pub use greedy::{explore_greedy, GreedyResult};
 pub use pareto::{is_dominated, pareto_frontier, DsePoint};

@@ -25,12 +25,51 @@ pub struct FpgaDevice {
 }
 
 impl FpgaDevice {
+    /// Creates a custom device description, returning a
+    /// [`crate::error::ModelError`] for impossible capacities.
+    pub fn try_new(
+        name: impl Into<String>,
+        dsp_slices: usize,
+        bram_blocks: usize,
+        uram_blocks: usize,
+        clock_mhz: f64,
+        tdp_watts: f64,
+    ) -> Result<Self, crate::error::ModelError> {
+        use crate::error::ModelError;
+        if dsp_slices == 0 {
+            return Err(ModelError::NoDspSlices);
+        }
+        if bram_blocks == 0 {
+            return Err(ModelError::NoBramBlocks);
+        }
+        if clock_mhz.is_nan() || clock_mhz <= 0.0 {
+            return Err(ModelError::NonPositiveRate {
+                what: "clock",
+                value: clock_mhz,
+            });
+        }
+        if tdp_watts.is_nan() || tdp_watts <= 0.0 {
+            return Err(ModelError::NonPositiveRate {
+                what: "TDP",
+                value: tdp_watts,
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            dsp_slices,
+            bram_blocks,
+            uram_blocks,
+            clock_mhz,
+            tdp_watts,
+        })
+    }
+
     /// Creates a custom device description.
     ///
     /// # Panics
     ///
     /// Panics if DSP or BRAM capacity is zero, or clock/TDP are not
-    /// positive.
+    /// positive. [`Self::try_new`] returns these as errors instead.
     pub fn new(
         name: impl Into<String>,
         dsp_slices: usize,
@@ -39,17 +78,8 @@ impl FpgaDevice {
         clock_mhz: f64,
         tdp_watts: f64,
     ) -> Self {
-        assert!(dsp_slices > 0, "device needs DSP slices");
-        assert!(bram_blocks > 0, "device needs BRAM blocks");
-        assert!(clock_mhz > 0.0 && tdp_watts > 0.0, "clock and TDP positive");
-        Self {
-            name: name.into(),
-            dsp_slices,
-            bram_blocks,
-            uram_blocks,
-            clock_mhz,
-            tdp_watts,
-        }
+        Self::try_new(name, dsp_slices, bram_blocks, uram_blocks, clock_mhz, tdp_watts)
+            .expect("device description")
     }
 
     /// ALINX ACU9EG: Zynq UltraScale+ XCZU9EG — 2 520 DSP slices,

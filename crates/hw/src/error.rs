@@ -1,0 +1,59 @@
+//! Typed errors for the hardware resource model.
+//!
+//! `Debug` delegates to `Display` so an `expect` on a `try_` result
+//! panics with the same human-readable text the assert-based
+//! constructors historically produced.
+
+use std::fmt;
+
+/// An invalid device description or module configuration.
+#[derive(Clone, PartialEq)]
+pub enum ModelError {
+    /// A device was declared with no DSP slices.
+    NoDspSlices,
+    /// A device was declared with no BRAM blocks.
+    NoBramBlocks,
+    /// A device clock or TDP was not positive.
+    NonPositiveRate {
+        /// The offending quantity ("clock", "TDP").
+        what: &'static str,
+        /// The value given.
+        value: f64,
+    },
+    /// `nc_NTT` is not one of the supported core counts.
+    BadNttCores {
+        /// The value given.
+        nc_ntt: usize,
+    },
+    /// A parallelism degree (`P_intra`, `P_inter`) was zero.
+    ZeroParallelism {
+        /// The offending parameter name.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoDspSlices => f.write_str("device needs DSP slices"),
+            ModelError::NoBramBlocks => f.write_str("device needs BRAM blocks"),
+            ModelError::NonPositiveRate { what, value } => {
+                write!(f, "device {what} must be positive (got {value})")
+            }
+            ModelError::BadNttCores { nc_ntt } => {
+                write!(f, "nc_NTT must be 1, 2, 4 or 8 (got {nc_ntt})")
+            }
+            ModelError::ZeroParallelism { what } => {
+                write!(f, "{what} must be at least 1")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -7,13 +7,17 @@
 //! latency model (Eqs. 1–2). All constants are calibrated against the
 //! paper's own measurements; see [`calibration`] for the derivations.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod bandwidth;
 pub mod buffers;
 pub mod calibration;
 pub mod device;
+pub mod error;
 pub mod layer;
 pub mod modules;
 
 pub use device::FpgaDevice;
+pub use error::ModelError;
 pub use layer::{layer_latency_cycles, layer_latency_seconds, LayerShape, ModuleSet};
 pub use modules::{HeOpModule, ModuleConfig, OpClass};

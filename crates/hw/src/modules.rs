@@ -104,20 +104,30 @@ impl ModuleConfig {
         }
     }
 
+    /// Validates the configuration, returning a
+    /// [`crate::error::ModelError`] on unsupported parameters.
+    pub fn try_validate(&self) -> Result<(), crate::error::ModelError> {
+        use crate::error::ModelError;
+        if !matches!(self.nc_ntt, 1 | 2 | 4 | 8) {
+            return Err(ModelError::BadNttCores { nc_ntt: self.nc_ntt });
+        }
+        if self.p_intra < 1 {
+            return Err(ModelError::ZeroParallelism { what: "P_intra" });
+        }
+        if self.p_inter < 1 {
+            return Err(ModelError::ZeroParallelism { what: "P_inter" });
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics unless `nc_ntt ∈ {1, 2, 4, 8}` and the parallelism degrees
-    /// are at least 1.
+    /// are at least 1. [`Self::try_validate`] returns these as errors.
     pub fn validate(&self) {
-        assert!(
-            matches!(self.nc_ntt, 1 | 2 | 4 | 8),
-            "nc_NTT must be 1, 2, 4 or 8 (got {})",
-            self.nc_ntt
-        );
-        assert!(self.p_intra >= 1, "P_intra must be at least 1");
-        assert!(self.p_inter >= 1, "P_inter must be at least 1");
+        self.try_validate().expect("module configuration")
     }
 }
 

@@ -1,0 +1,74 @@
+//! Typed errors for the number-theoretic substrate.
+//!
+//! Every fallible construction in this crate — prime generation and NTT
+//! table setup — has a `try_` variant returning [`MathError`], so callers
+//! on the inference path can surface precise diagnostics instead of
+//! panicking. `Debug` delegates to `Display`, keeping `expect`-style
+//! messages readable when the panicking convenience wrappers are used.
+
+use std::fmt;
+
+/// Errors from prime generation and NTT table construction.
+#[derive(Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// The requested prime width ran out of candidates.
+    PrimeWidthExhausted {
+        /// Prime width in bits.
+        bits: u32,
+        /// Primes found before the width was exhausted.
+        found: usize,
+        /// Primes requested.
+        requested: usize,
+    },
+    /// Ring degree is not a power of two of at least 2.
+    DegreeNotPowerOfTwo {
+        /// The offending degree.
+        n: usize,
+    },
+    /// Modulus is composite, so no NTT exists over it.
+    ModulusNotPrime {
+        /// The offending modulus.
+        q: u64,
+    },
+    /// Modulus is not congruent to 1 mod 2N, so no primitive 2N-th root
+    /// of unity exists for the negacyclic NTT.
+    ModulusNotNttFriendly {
+        /// The offending modulus.
+        q: u64,
+        /// Ring degree.
+        n: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::PrimeWidthExhausted {
+                bits,
+                found,
+                requested,
+            } => write!(
+                f,
+                "prime width exhausted: only {found} of {requested} \
+                 {bits}-bit NTT primes exist"
+            ),
+            MathError::DegreeNotPowerOfTwo { n } => {
+                write!(f, "ring degree {n} must be a power of two >= 2")
+            }
+            MathError::ModulusNotPrime { q } => {
+                write!(f, "NTT modulus {q} must be prime")
+            }
+            MathError::ModulusNotNttFriendly { q, n } => {
+                write!(f, "modulus {q} must be 1 mod 2N for the negacyclic NTT (N = {n})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for MathError {}

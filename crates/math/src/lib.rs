@@ -36,7 +36,10 @@
 //! assert_eq!(c[3], 6); // 6X^3
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod bigint;
+pub mod error;
 pub mod modops;
 pub mod ntt;
 pub mod poly;
@@ -45,6 +48,7 @@ pub mod rns;
 pub mod sampling;
 
 pub use bigint::BigUint;
+pub use error::MathError;
 pub use ntt::NttTable;
 pub use poly::{Domain, RnsPoly};
 pub use rns::RnsBasis;

@@ -101,7 +101,7 @@ pub fn pow_mod(base: u64, mut exp: u64, q: u64) -> u64 {
 ///
 /// Panics if `a` is zero: zero has no inverse.
 pub fn inv_mod(a: u64, q: u64) -> u64 {
-    assert!(a % q != 0, "zero has no modular inverse");
+    assert!(!a.is_multiple_of(q), "zero has no modular inverse");
     pow_mod(a, q - 2, q)
 }
 
@@ -246,7 +246,9 @@ pub fn signed_to_mod(v: i64, q: u64) -> u64 {
     if v >= 0 {
         (v as u64) % q
     } else {
-        let m = ((-v) as u64) % q;
+        // unsigned_abs: `-v` would overflow for i64::MIN, which saturating
+        // float-to-int casts of huge encoded values do produce.
+        let m = v.unsigned_abs() % q;
         if m == 0 {
             0
         } else {

@@ -13,6 +13,7 @@
 //! paper Eq. (4): `LAT_NTT = log2(N) · N / (2 · nc_NTT)` cycles for
 //! `nc_NTT` parallel cores.
 
+use crate::error::MathError;
 use crate::modops::{add_mod, inv_mod, pow_mod, sub_mod, ShoupMul};
 use crate::prime::is_prime;
 
@@ -32,6 +33,21 @@ pub struct NttTable {
 }
 
 impl NttTable {
+    /// Builds NTT tables for ring degree `n` and prime modulus `q`,
+    /// returning a [`MathError`] when the pair admits no negacyclic NTT.
+    pub fn try_new(n: usize, q: u64) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(MathError::DegreeNotPowerOfTwo { n });
+        }
+        if !is_prime(q) {
+            return Err(MathError::ModulusNotPrime { q });
+        }
+        if !(q - 1).is_multiple_of(2 * n as u64) {
+            return Err(MathError::ModulusNotNttFriendly { q, n });
+        }
+        Ok(Self::build(n, q))
+    }
+
     /// Builds NTT tables for ring degree `n` and prime modulus `q`.
     ///
     /// # Panics
@@ -49,6 +65,10 @@ impl NttTable {
             0,
             "modulus must be 1 mod 2N for the negacyclic NTT"
         );
+        Self::build(n, q)
+    }
+
+    fn build(n: usize, q: u64) -> Self {
         let psi = find_primitive_2n_root(n, q);
         let psi_inv = inv_mod(psi, q);
         let log_n = n.trailing_zeros();

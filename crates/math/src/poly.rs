@@ -381,8 +381,8 @@ mod tests {
         fq.to_ntt(&tables(&b));
         fp.mul_pointwise_assign(&fq, b.moduli());
         fp.to_coeff(&tables(&b));
-        for i in 0..b.len() {
-            assert_eq!(fp.component(i), &expected[i][..], "component {i}");
+        for (i, e) in expected.iter().enumerate() {
+            assert_eq!(fp.component(i), &e[..], "component {i}");
         }
     }
 

@@ -6,6 +6,7 @@
 //! bit width from the top down, exactly the strategy SEAL and HEAX use to
 //! pick coefficient moduli.
 
+use crate::error::MathError;
 use crate::modops::{mul_mod, pow_mod};
 
 /// Deterministic Miller–Rabin primality test, valid for all `u64`.
@@ -28,7 +29,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -116,18 +117,32 @@ impl NttPrimeGenerator {
         None
     }
 
+    /// Collects the next `count` primes, or a [`MathError`] when fewer
+    /// primes of this width exist.
+    pub fn try_take_primes(&mut self, count: usize) -> Result<Vec<u64>, MathError> {
+        let mut primes = Vec::with_capacity(count);
+        for found in 0..count {
+            match self.next_prime() {
+                Some(p) => primes.push(p),
+                None => {
+                    return Err(MathError::PrimeWidthExhausted {
+                        bits: self.bits,
+                        found,
+                        requested: count,
+                    })
+                }
+            }
+        }
+        Ok(primes)
+    }
+
     /// Collects the next `count` primes.
     ///
     /// # Panics
     ///
     /// Panics if fewer than `count` primes of this width exist.
     pub fn take_primes(&mut self, count: usize) -> Vec<u64> {
-        (0..count)
-            .map(|i| {
-                self.next_prime()
-                    .unwrap_or_else(|| panic!("prime width exhausted after {i} primes"))
-            })
-            .collect()
+        self.try_take_primes(count).expect("NTT prime generation")
     }
 }
 

@@ -8,12 +8,16 @@
 //! scale workloads are costed analytically and simulated by
 //! `fxhenn-sim`.
 
+use crate::error::ExecError;
 use crate::layers::{Conv2d, Layer};
 use crate::lowering::{plan_dense, DensePlan, Layout};
 use crate::model::Network;
 use crate::packing::{conv_bias_vectors, conv_offset_pack, conv_offset_weights, CtLayout};
 use crate::tensor::Tensor;
-use fxhenn_ckks::{Ciphertext, Decryptor, Encryptor, Evaluator, GaloisKeys, RelinKey};
+use fxhenn_ckks::noise::square_step;
+use fxhenn_ckks::{
+    Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, NoiseEstimate, RelinKey,
+};
 use rand::Rng;
 
 /// The encrypted, offset-packed input of a network: one ciphertext per
@@ -43,28 +47,48 @@ impl EncryptedOutput {
 }
 
 /// Encrypts an input image with the offset packing the network's first
+/// convolution expects, returning an [`ExecError`] when the network has
+/// no convolution front end or the image carries non-finite values.
+pub fn try_encrypt_input<R: Rng>(
+    net: &Network,
+    image: &Tensor,
+    enc: &mut Encryptor<'_, R>,
+    slots: usize,
+) -> Result<EncryptedInput, ExecError> {
+    let Some((name, first)) = net.layers().first() else {
+        return Err(ExecError::EmptyNetwork);
+    };
+    let Layer::Conv(conv) = first else {
+        return Err(ExecError::FirstLayerNotConv);
+    };
+    if let Some(index) = image.data().iter().position(|v| !v.is_finite()) {
+        return Err(ExecError::Eval {
+            layer: name.clone(),
+            source: EvalError::NonFiniteValue { index },
+        });
+    }
+    let packed = conv_offset_pack(image, conv, slots);
+    let groups = packed
+        .iter()
+        .map(|offsets| offsets.iter().map(|v| enc.encrypt(v)).collect())
+        .collect();
+    Ok(EncryptedInput { groups })
+}
+
+/// Encrypts an input image with the offset packing the network's first
 /// convolution expects.
 ///
 /// # Panics
 ///
 /// Panics if the first layer is not a convolution or the image shape
-/// mismatches.
+/// mismatches. [`try_encrypt_input`] returns these as [`ExecError`]s.
 pub fn encrypt_input<R: Rng>(
     net: &Network,
     image: &Tensor,
     enc: &mut Encryptor<'_, R>,
     slots: usize,
 ) -> EncryptedInput {
-    let (_, first) = &net.layers()[0];
-    let Layer::Conv(conv) = first else {
-        panic!("LoLa packing expects a convolution front end");
-    };
-    let packed = conv_offset_pack(image, conv, slots);
-    let groups = packed
-        .iter()
-        .map(|offsets| offsets.iter().map(|v| enc.encrypt(v)).collect())
-        .collect();
-    EncryptedInput { groups }
+    try_encrypt_input(net, image, enc, slots).expect("input packing")
 }
 
 /// Runs networks homomorphically.
@@ -80,6 +104,24 @@ struct RunState {
     abstract_layout: Layout,
     concrete: CtLayout,
     shape: Vec<usize>,
+    /// Conservative analytic noise estimate of the worst ciphertext,
+    /// advanced in lockstep with the executed HE operations so that a
+    /// run predicted to decrypt to garbage fails typed instead.
+    noise: NoiseEstimate,
+}
+
+/// Wraps an [`EvalError`] with the layer it occurred in.
+fn at_layer(layer: &str) -> impl Fn(EvalError) -> ExecError + '_ {
+    move |source| ExecError::Eval {
+        layer: layer.to_string(),
+        source,
+    }
+}
+
+/// Largest absolute value of a plaintext operand vector, for noise
+/// amplification bookkeeping.
+fn value_bound(values: &[f64]) -> f64 {
+    values.iter().fold(0.0f64, |b, &v| b.max(v.abs()))
 }
 
 impl<'a> HeCnnExecutor<'a> {
@@ -102,130 +144,207 @@ impl<'a> HeCnnExecutor<'a> {
         self.ev.take_trace()
     }
 
-    /// Runs the full network on an encrypted input.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the input packing does not match the network, a Galois
-    /// key is missing, or the level budget is exhausted.
-    pub fn run(&mut self, net: &Network, input: &EncryptedInput) -> EncryptedOutput {
+    /// Runs the full network on an encrypted input, returning an
+    /// [`ExecError`] instead of panicking when the input packing does
+    /// not match the network, an evaluator precondition fails (missing
+    /// Galois key, level floor), or the analytic noise estimate predicts
+    /// the result would decrypt to garbage.
+    pub fn try_run(
+        &mut self,
+        net: &Network,
+        input: &EncryptedInput,
+    ) -> Result<EncryptedOutput, ExecError> {
         let slots = self.ev.context().degree() / 2;
         let mut state: Option<RunState> = None;
         let mut shape = net.input_shape().to_vec();
 
         for (idx, (name, layer)) in net.layers().iter().enumerate() {
+            if idx == 0 && !matches!(layer, Layer::Conv(_)) {
+                return Err(ExecError::FirstLayerNotConv);
+            }
+            let need_input = |state: &mut Option<RunState>| {
+                state.take().ok_or_else(|| ExecError::MissingInput {
+                    layer: name.clone(),
+                })
+            };
             match layer {
                 Layer::Conv(conv) if idx == 0 => {
-                    state = Some(self.run_first_conv(conv, &shape, input, slots));
-                    let s = state.as_ref().expect("just set");
+                    let s = self.run_first_conv(name, conv, &shape, input, slots)?;
                     shape = s.shape.clone();
+                    state = Some(s);
                 }
                 Layer::Conv(conv) => {
-                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
+                    let st = need_input(&mut state)?;
                     let (oh, ow) = conv.output_size(st.shape[1], st.shape[2]);
                     let d_out = conv.out_channels * oh * ow;
                     let in_shape = st.shape.clone();
                     let conv2 = conv.clone();
                     let next = self.run_dense_like(
+                        name,
                         st,
                         d_out,
                         slots,
                         &|k, v| conv_dense_weight(&conv2, &in_shape, k, v),
                         &|k| conv2.bias[k / (oh * ow)],
-                    );
+                    )?;
                     shape = vec![conv.out_channels, oh, ow];
                     state = Some(RunState { shape: shape.clone(), ..next });
                 }
                 Layer::Activation(_) => {
-                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
-                    state = Some(self.run_activation(st));
+                    let st = need_input(&mut state)?;
+                    state = Some(self.run_activation(name, st)?);
                 }
                 Layer::Dense(d) => {
-                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
-                    assert_eq!(
-                        st.abstract_layout.value_count(),
-                        d.in_features,
-                        "dense input mismatch at {name}"
-                    );
+                    let st = need_input(&mut state)?;
+                    if st.abstract_layout.value_count() != d.in_features {
+                        return Err(ExecError::DenseSizeMismatch {
+                            layer: name.clone(),
+                            expected: d.in_features,
+                            got: st.abstract_layout.value_count(),
+                        });
+                    }
                     let d2 = d.clone();
                     let next = self.run_dense_like(
+                        name,
                         st,
                         d.out_features,
                         slots,
                         &|k, v| d2.weight(k, v),
                         &|k| d2.bias[k],
-                    );
+                    )?;
                     shape = vec![d.out_features];
                     state = Some(RunState { shape: shape.clone(), ..next });
                 }
                 Layer::AvgPool(pool) => {
-                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
+                    let st = need_input(&mut state)?;
                     let in_shape = st.shape.clone();
                     let (oh, ow) = pool.output_size(in_shape[1], in_shape[2]);
                     let d_out = in_shape[0] * oh * ow;
                     let p2 = *pool;
                     let next = self.run_dense_like(
+                        name,
                         st,
                         d_out,
                         slots,
                         &|k, v| p2.dense_weight(&in_shape, k, v),
                         &|_| 0.0,
-                    );
+                    )?;
                     shape = vec![in_shape[0], oh, ow];
                     state = Some(RunState { shape: shape.clone(), ..next });
                 }
                 Layer::Scale(cs) => {
-                    let st = state.take().unwrap_or_else(|| panic!("{name} has no input"));
-                    state = Some(self.run_channel_scale(st, cs, slots));
+                    let st = need_input(&mut state)?;
+                    state = Some(self.run_channel_scale(name, st, cs, slots)?);
                 }
             }
         }
 
-        let st = state.expect("network has layers");
-        EncryptedOutput {
+        let st = state.ok_or(ExecError::EmptyNetwork)?;
+        Ok(EncryptedOutput {
             cts: st.cts,
             layout: st.concrete,
+        })
+    }
+
+    /// Runs the full network on an encrypted input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input packing does not match the network, a Galois
+    /// key is missing, or the level budget is exhausted. [`Self::try_run`]
+    /// returns these as [`ExecError`]s.
+    pub fn run(&mut self, net: &Network, input: &EncryptedInput) -> EncryptedOutput {
+        self.try_run(net, input).expect("HE execution")
+    }
+
+    /// Checks the tracked noise estimate after an operation; fails the
+    /// run once the predicted budget is gone.
+    fn check_budget(
+        layer: &str,
+        op: &'static str,
+        noise: &NoiseEstimate,
+    ) -> Result<(), ExecError> {
+        let budget_bits = noise.budget_bits();
+        if budget_bits <= 0.0 {
+            return Err(ExecError::NoiseBudgetExhausted {
+                layer: layer.to_string(),
+                op,
+                budget_bits,
+            });
         }
+        Ok(())
     }
 
     fn run_first_conv(
         &mut self,
+        name: &str,
         conv: &Conv2d,
         shape: &[usize],
         input: &EncryptedInput,
         slots: usize,
-    ) -> RunState {
+    ) -> Result<RunState, ExecError> {
+        let err = at_layer(name);
         let (oh, ow) = conv.output_size(shape[1], shape[2]);
         let positions = oh * ow;
         let weights = conv_offset_weights(conv, positions, slots);
         let biases = conv_bias_vectors(conv, positions, slots);
-        assert_eq!(
-            input.groups.len(),
-            weights.len(),
-            "input packing group count mismatch"
-        );
+        if input.groups.len() != weights.len() {
+            return Err(ExecError::PackingMismatch {
+                layer: name.to_string(),
+                what: "group count",
+                expected: weights.len(),
+                got: input.groups.len(),
+            });
+        }
 
+        let mut noise = NoiseEstimate::fresh(self.ev.context());
         let mut out = Vec::with_capacity(weights.len());
         for (g, offsets) in input.groups.iter().enumerate() {
-            assert_eq!(
-                offsets.len(),
-                conv.offset_count(),
-                "input packing offset count mismatch"
-            );
+            if offsets.len() != conv.offset_count() {
+                return Err(ExecError::PackingMismatch {
+                    layer: name.to_string(),
+                    what: "offset count",
+                    expected: conv.offset_count(),
+                    got: offsets.len(),
+                });
+            }
             let mut acc: Option<Ciphertext> = None;
+            let mut acc_noise = NoiseEstimate::fresh(self.ev.context());
             for (i, ct) in offsets.iter().enumerate() {
-                let pw = self.ev.encode_for_mul(&weights[g][i], ct.level());
-                let prod = self.ev.mul_plain(ct, &pw);
-                let rs = self.ev.rescale(&prod);
+                let pw = self
+                    .ev
+                    .try_encode_for_mul(&weights[g][i], ct.level())
+                    .map_err(&err)?;
+                let prod = self.ev.try_mul_plain(ct, &pw).map_err(&err)?;
+                let rs = self.ev.try_rescale(&prod).map_err(&err)?;
+                let step = {
+                    let ctx = self.ev.context();
+                    NoiseEstimate::fresh(ctx)
+                        .after_mul_plain(pw.scale(), value_bound(&weights[g][i]))
+                        .after_rescale(ctx)
+                };
                 acc = Some(match acc {
-                    None => rs,
-                    Some(a) => self.ev.add(&a, &rs),
+                    None => {
+                        acc_noise = step;
+                        rs
+                    }
+                    Some(a) => {
+                        acc_noise = acc_noise.after_add(&step);
+                        self.ev.try_add(&a, &rs).map_err(&err)?
+                    }
                 });
             }
             let acc = acc.expect("at least one offset");
-            let bias_pt = self.ev.encode_at(&biases[g], acc.scale(), acc.level());
-            out.push(self.ev.add_plain(&acc, &bias_pt));
+            let bias_pt = self
+                .ev
+                .try_encode_at(&biases[g], acc.scale(), acc.level())
+                .map_err(&err)?;
+            out.push(self.ev.try_add_plain(&acc, &bias_pt).map_err(&err)?);
+            if acc_noise.noise_std > noise.noise_std {
+                noise = acc_noise;
+            }
         }
+        Self::check_budget(name, "PCmult", &noise)?;
 
         let n_values = conv.out_channels * positions;
         let concrete = crate::packing::conv_output_layout(conv, positions, slots);
@@ -237,114 +356,149 @@ impl<'a> HeCnnExecutor<'a> {
                 cts: out.len(),
             }
         };
-        RunState {
+        Ok(RunState {
             cts: out,
             abstract_layout,
             concrete,
             shape: vec![conv.out_channels, oh, ow],
-        }
+            noise,
+        })
     }
 
-    fn run_activation(&mut self, st: RunState) -> RunState {
-        let cts = st
-            .cts
-            .iter()
-            .map(|ct| {
-                let sq = self.ev.square(ct);
-                let lin = self.ev.relinearize(&sq, self.rk);
-                self.ev.rescale(&lin)
-            })
-            .collect();
-        RunState { cts, ..st }
+    fn run_activation(&mut self, name: &str, st: RunState) -> Result<RunState, ExecError> {
+        let err = at_layer(name);
+        let mut cts = Vec::with_capacity(st.cts.len());
+        for ct in &st.cts {
+            let sq = self.ev.try_square(ct).map_err(&err)?;
+            let lin = self.ev.try_relinearize(&sq, self.rk).map_err(&err)?;
+            cts.push(self.ev.try_rescale(&lin).map_err(&err)?);
+        }
+        let noise = square_step(&st.noise, 1.0, self.ev.context());
+        Self::check_budget(name, "CCmult", &noise)?;
+        Ok(RunState { cts, noise, ..st })
     }
 
     fn run_channel_scale(
         &mut self,
+        name: &str,
         st: RunState,
         cs: &crate::layers::ChannelScale,
         slots: usize,
-    ) -> RunState {
-        assert_eq!(st.shape.len(), 3, "channel scale needs a CHW shape");
+    ) -> Result<RunState, ExecError> {
+        let err = at_layer(name);
+        if st.shape.len() != 3 {
+            return Err(ExecError::NotChw {
+                layer: name.to_string(),
+                rank: st.shape.len(),
+            });
+        }
         let per_map = st.shape[1] * st.shape[2];
-        let cts = st
-            .cts
-            .iter()
-            .enumerate()
-            .map(|(m, ct)| {
-                let mut factors = vec![0.0; slots];
-                let mut shifts = vec![0.0; slots];
-                for (v, &(ct_idx, slot)) in st.concrete.placements().iter().enumerate() {
-                    if ct_idx == m {
-                        let c = v / per_map;
-                        factors[slot] = cs.factors[c];
-                        shifts[slot] = cs.shifts[c];
-                    }
+        let mut noise = st.noise;
+        let mut cts = Vec::with_capacity(st.cts.len());
+        for (m, ct) in st.cts.iter().enumerate() {
+            let mut factors = vec![0.0; slots];
+            let mut shifts = vec![0.0; slots];
+            for (v, &(ct_idx, slot)) in st.concrete.placements().iter().enumerate() {
+                if ct_idx == m {
+                    let c = v / per_map;
+                    factors[slot] = cs.factors[c];
+                    shifts[slot] = cs.shifts[c];
                 }
-                let pf = self.ev.encode_for_mul(&factors, ct.level());
-                let prod = self.ev.mul_plain(ct, &pf);
-                let scaled = self.ev.rescale(&prod);
-                let ps = self.ev.encode_at(&shifts, scaled.scale(), scaled.level());
-                self.ev.add_plain(&scaled, &ps)
-            })
-            .collect();
-        RunState { cts, ..st }
+            }
+            let pf = self
+                .ev
+                .try_encode_for_mul(&factors, ct.level())
+                .map_err(&err)?;
+            let prod = self.ev.try_mul_plain(ct, &pf).map_err(&err)?;
+            let scaled = self.ev.try_rescale(&prod).map_err(&err)?;
+            let ps = self
+                .ev
+                .try_encode_at(&shifts, scaled.scale(), scaled.level())
+                .map_err(&err)?;
+            cts.push(self.ev.try_add_plain(&scaled, &ps).map_err(&err)?);
+            let stepped = {
+                let ctx = self.ev.context();
+                st.noise
+                    .after_mul_plain(pf.scale(), value_bound(&factors))
+                    .after_rescale(ctx)
+            };
+            if stepped.noise_std > noise.noise_std || noise.level != stepped.level {
+                noise = stepped;
+            }
+        }
+        Self::check_budget(name, "PCmult", &noise)?;
+        Ok(RunState { cts, noise, ..st })
     }
 
     fn run_dense_like(
         &mut self,
+        name: &str,
         st: RunState,
         d_out: usize,
         slots: usize,
         weight: &dyn Fn(usize, usize) -> f64,
         bias: &dyn Fn(usize) -> f64,
-    ) -> RunState {
+    ) -> Result<RunState, ExecError> {
         let plan = plan_dense(&st.abstract_layout, d_out, slots);
-        let (round_cts, out_abstract, out_concrete) = if plan.stacked {
-            self.dense_stacked(&st, d_out, slots, &plan, weight, bias)
+        let (round_cts, out_abstract, out_concrete, noise) = if plan.stacked {
+            self.dense_stacked(name, &st, d_out, slots, &plan, weight, bias)?
         } else {
-            self.dense_per_output(&st, d_out, slots, &plan, weight, bias)
+            self.dense_per_output(name, &st, d_out, slots, &plan, weight, bias)?
         };
+        Self::check_budget(name, "PCmult", &noise)?;
 
         if plan.consolidate {
-            let (ct, abstract_layout, concrete) = self.consolidate(
+            let (ct, abstract_layout, concrete, noise) = self.consolidate(
+                name,
                 &round_cts,
                 d_out,
                 slots,
                 &plan,
                 &out_abstract,
-            );
-            RunState {
+                &noise,
+            )?;
+            Self::check_budget(name, "consolidate", &noise)?;
+            Ok(RunState {
                 cts: vec![ct],
                 abstract_layout,
                 concrete,
                 shape: st.shape,
-            }
+                noise,
+            })
         } else {
-            RunState {
+            Ok(RunState {
                 cts: round_cts,
                 abstract_layout: out_abstract,
                 concrete: out_concrete,
                 shape: st.shape,
-            }
+                noise,
+            })
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dense_stacked(
         &mut self,
+        name: &str,
         st: &RunState,
         d_out: usize,
         slots: usize,
         plan: &DensePlan,
         weight: &dyn Fn(usize, usize) -> f64,
         bias: &dyn Fn(usize) -> f64,
-    ) -> (Vec<Ciphertext>, Layout, CtLayout) {
+    ) -> Result<(Vec<Ciphertext>, Layout, CtLayout, NoiseEstimate), ExecError> {
+        let err = at_layer(name);
         let d_in = st.abstract_layout.value_count();
         // Replicate the input into `copies` stacked copies.
         let mut x = st.cts[0].clone();
+        let mut x_noise = st.noise;
         for &shift in &plan.stack_shifts {
-            let rot = self.ev.rotate(&x, shift, self.gks);
-            x = self.ev.add(&x, &rot);
+            let rot = self.ev.try_rotate(&x, shift, self.gks).map_err(&err)?;
+            x = self.ev.try_add(&x, &rot).map_err(&err)?;
+            let rotated = x_noise.after_rotate(self.ev.context());
+            x_noise = x_noise.after_add(&rotated);
         }
+        let mut noise = x_noise;
         let mut round_cts = Vec::with_capacity(plan.rounds);
         for r in 0..plan.rounds {
             // Weight vector: output r·copies+s in segment s.
@@ -358,12 +512,20 @@ impl<'a> HeCnnExecutor<'a> {
                     wv[s * plan.seg + v] = weight(k, v);
                 }
             }
-            let pw = self.ev.encode_for_mul(&wv, x.level());
-            let prod = self.ev.mul_plain(&x, &pw);
-            let mut acc = self.ev.rescale(&prod);
+            let pw = self.ev.try_encode_for_mul(&wv, x.level()).map_err(&err)?;
+            let prod = self.ev.try_mul_plain(&x, &pw).map_err(&err)?;
+            let mut acc = self.ev.try_rescale(&prod).map_err(&err)?;
+            let mut acc_noise = {
+                let ctx = self.ev.context();
+                x_noise
+                    .after_mul_plain(pw.scale(), value_bound(&wv))
+                    .after_rescale(ctx)
+            };
             for &shift in &plan.sum_shifts {
-                let rot = self.ev.rotate(&acc, shift, self.gks);
-                acc = self.ev.add(&acc, &rot);
+                let rot = self.ev.try_rotate(&acc, shift, self.gks).map_err(&err)?;
+                acc = self.ev.try_add(&acc, &rot).map_err(&err)?;
+                let rotated = acc_noise.after_rotate(self.ev.context());
+                acc_noise = acc_noise.after_add(&rotated);
             }
             let mut bv = vec![0.0; slots];
             for s in 0..plan.copies {
@@ -372,8 +534,14 @@ impl<'a> HeCnnExecutor<'a> {
                     bv[s * plan.seg] = bias(k);
                 }
             }
-            let bias_pt = self.ev.encode_at(&bv, acc.scale(), acc.level());
-            round_cts.push(self.ev.add_plain(&acc, &bias_pt));
+            let bias_pt = self
+                .ev
+                .try_encode_at(&bv, acc.scale(), acc.level())
+                .map_err(&err)?;
+            round_cts.push(self.ev.try_add_plain(&acc, &bias_pt).map_err(&err)?);
+            if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
+                noise = acc_noise;
+            }
         }
         let abstract_layout = Layout::Segmented {
             n: d_out,
@@ -382,21 +550,27 @@ impl<'a> HeCnnExecutor<'a> {
             cts: plan.rounds,
         };
         let concrete = CtLayout::segmented(d_out, plan.copies, plan.seg, slots);
-        (round_cts, abstract_layout, concrete)
+        Ok((round_cts, abstract_layout, concrete, noise))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dense_per_output(
         &mut self,
+        name: &str,
         st: &RunState,
         d_out: usize,
         slots: usize,
         plan: &DensePlan,
         weight: &dyn Fn(usize, usize) -> f64,
         bias: &dyn Fn(usize) -> f64,
-    ) -> (Vec<Ciphertext>, Layout, CtLayout) {
+    ) -> Result<(Vec<Ciphertext>, Layout, CtLayout, NoiseEstimate), ExecError> {
+        let err = at_layer(name);
+        let mut noise = st.noise;
         let mut round_cts = Vec::with_capacity(d_out);
         for k in 0..d_out {
             let mut prod_acc: Option<Ciphertext> = None;
+            let mut acc_noise = st.noise;
+            let mut acc_bound = 0.0f64;
             for (m, ct) in st.cts.iter().enumerate() {
                 let mut wv = vec![0.0; slots];
                 for (v, &(ct_idx, slot)) in st.concrete.placements().iter().enumerate() {
@@ -404,37 +578,54 @@ impl<'a> HeCnnExecutor<'a> {
                         wv[slot] = weight(k, v);
                     }
                 }
-                let pw = self.ev.encode_for_mul(&wv, ct.level());
-                let prod = self.ev.mul_plain(ct, &pw);
+                acc_bound = acc_bound.max(value_bound(&wv));
+                let pw = self.ev.try_encode_for_mul(&wv, ct.level()).map_err(&err)?;
+                let prod = self.ev.try_mul_plain(ct, &pw).map_err(&err)?;
+                acc_noise = st.noise.after_mul_plain(pw.scale(), acc_bound);
                 prod_acc = Some(match prod_acc {
                     None => prod,
-                    Some(a) => self.ev.add(&a, &prod),
+                    Some(a) => self.ev.try_add(&a, &prod).map_err(&err)?,
                 });
             }
-            let mut acc = self.ev.rescale(&prod_acc.expect("at least one input ct"));
+            let prod_acc = prod_acc.expect("at least one input ct");
+            let mut acc = self.ev.try_rescale(&prod_acc).map_err(&err)?;
+            acc_noise = acc_noise.after_rescale(self.ev.context());
             for &shift in &plan.sum_shifts {
-                let rot = self.ev.rotate(&acc, shift, self.gks);
-                acc = self.ev.add(&acc, &rot);
+                let rot = self.ev.try_rotate(&acc, shift, self.gks).map_err(&err)?;
+                acc = self.ev.try_add(&acc, &rot).map_err(&err)?;
+                let rotated = acc_noise.after_rotate(self.ev.context());
+                acc_noise = acc_noise.after_add(&rotated);
             }
             let mut bv = vec![0.0; slots];
             bv[0] = bias(k);
-            let bias_pt = self.ev.encode_at(&bv, acc.scale(), acc.level());
-            round_cts.push(self.ev.add_plain(&acc, &bias_pt));
+            let bias_pt = self
+                .ev
+                .try_encode_at(&bv, acc.scale(), acc.level())
+                .map_err(&err)?;
+            round_cts.push(self.ev.try_add_plain(&acc, &bias_pt).map_err(&err)?);
+            if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
+                noise = acc_noise;
+            }
         }
         let abstract_layout = Layout::PerOutput { n: d_out };
         let concrete = CtLayout::new(slots, d_out, (0..d_out).map(|k| (k, 0)).collect());
-        (round_cts, abstract_layout, concrete)
+        Ok((round_cts, abstract_layout, concrete, noise))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn consolidate(
         &mut self,
+        name: &str,
         round_cts: &[Ciphertext],
         d_out: usize,
         slots: usize,
         plan: &DensePlan,
         out_abstract: &Layout,
-    ) -> (Ciphertext, Layout, CtLayout) {
+        in_noise: &NoiseEstimate,
+    ) -> Result<(Ciphertext, Layout, CtLayout, NoiseEstimate), ExecError> {
+        let err = at_layer(name);
         let mut acc: Option<Ciphertext> = None;
+        let mut noise = *in_noise;
         for (r, ct) in round_cts.iter().enumerate() {
             // Mask keeps only this round's valid output slots.
             let mut mask = vec![0.0; slots];
@@ -447,25 +638,47 @@ impl<'a> HeCnnExecutor<'a> {
                     }
                 }
                 Layout::PerOutput { .. } => mask[0] = 1.0,
-                other => panic!("cannot consolidate layout {other:?}"),
+                other => {
+                    return Err(ExecError::Unconsolidatable {
+                        layer: name.to_string(),
+                        layout: format!("{other:?}"),
+                    })
+                }
             }
-            let pw = self.ev.encode_for_mul(&mask, ct.level());
-            let prod = self.ev.mul_plain(ct, &pw);
-            let mut masked = self.ev.rescale(&prod);
+            let pw = self.ev.try_encode_for_mul(&mask, ct.level()).map_err(&err)?;
+            let prod = self.ev.try_mul_plain(ct, &pw).map_err(&err)?;
+            let mut masked = self.ev.try_rescale(&prod).map_err(&err)?;
+            let mut masked_noise = {
+                let ctx = self.ev.context();
+                in_noise.after_mul_plain(pw.scale(), 1.0).after_rescale(ctx)
+            };
             if r > 0 {
                 masked = self
                     .ev
-                    .rotate(&masked, plan.consolidate_shifts[r - 1], self.gks);
+                    .try_rotate(&masked, plan.consolidate_shifts[r - 1], self.gks)
+                    .map_err(&err)?;
+                masked_noise = masked_noise.after_rotate(self.ev.context());
             }
             acc = Some(match acc {
-                None => masked,
-                Some(a) => self.ev.add(&a, &masked),
+                None => {
+                    noise = masked_noise;
+                    masked
+                }
+                Some(a) => {
+                    noise = noise.after_add(&masked_noise);
+                    self.ev.try_add(&a, &masked).map_err(&err)?
+                }
             });
         }
         let (copies, seg) = match out_abstract {
             Layout::Segmented { copies, seg, .. } => (*copies, *seg),
             Layout::PerOutput { .. } => (1usize, 1usize),
-            other => panic!("cannot consolidate layout {other:?}"),
+            other => {
+                return Err(ExecError::Unconsolidatable {
+                    layer: name.to_string(),
+                    layout: format!("{other:?}"),
+                })
+            }
         };
         let abstract_layout = Layout::ScatteredSingle {
             n: d_out,
@@ -477,11 +690,8 @@ impl<'a> HeCnnExecutor<'a> {
             .map(|k| (0usize, (k % copies) * seg + k / copies))
             .collect();
         let concrete = CtLayout::new(slots, 1, placements);
-        (
-            acc.expect("at least one round"),
-            abstract_layout,
-            concrete,
-        )
+        let out = acc.expect("at least one round");
+        Ok((out, abstract_layout, concrete, noise))
     }
 }
 
@@ -713,9 +923,122 @@ mod tests {
         let he_argmax = got
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .unwrap();
+            .expect("non-empty logits");
         assert_eq!(he_argmax, expected.argmax(), "classification must agree");
+    }
+
+    #[test]
+    fn missing_galois_key_yields_typed_error() {
+        let net = toy_mnist_like(18);
+        let (rig, keys) = rig_for(&net);
+        let image = synthetic_input(&net, 7);
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(35));
+        let input = encrypt_input(&net, &image, &mut enc, rig.ctx.degree() / 2);
+        // Keys for no rotations at all: the first dense layer must fail.
+        let mut kg = KeyGenerator::new(&rig.ctx, StdRng::seed_from_u64(31));
+        let empty_gks = kg.galois_keys(&[]);
+        let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &empty_gks);
+        let err = exec.try_run(&net, &input).expect_err("must fail");
+        match err.eval_source() {
+            Some(fxhenn_ckks::EvalError::MissingGaloisKey { .. }) => {}
+            other => panic!("expected MissingGaloisKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_conv_front_end_yields_typed_error() {
+        let src = toy_mnist_like(19);
+        let dense = src
+            .layers()
+            .iter()
+            .find(|(_, l)| matches!(l, Layer::Dense(_)))
+            .cloned()
+            .expect("toy net has a dense layer");
+        let net = Network::new("dense-first", &[1, 9, 9], vec![dense]);
+        let (rig, keys) = rig_for(&toy_mnist_like(19));
+        let image = synthetic_input(&toy_mnist_like(19), 7);
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(36));
+        let err = try_encrypt_input(&net, &image, &mut enc, rig.ctx.degree() / 2)
+            .expect_err("must fail");
+        assert!(matches!(err, ExecError::FirstLayerNotConv));
+    }
+
+    #[test]
+    fn nan_weights_yield_typed_error_not_garbage() {
+        let mut src = toy_mnist_like(20);
+        let mut layers = src.layers().to_vec();
+        if let Layer::Conv(ref mut conv) = layers[0].1 {
+            conv.weights[0] = f64::NAN;
+        } else {
+            panic!("toy net starts with a conv");
+        }
+        let poisoned = Network::new("nan-weights", &[1, 9, 9], layers);
+        src = toy_mnist_like(20);
+        let (rig, keys) = rig_for(&src);
+        let image = synthetic_input(&src, 7);
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(37));
+        let input = encrypt_input(&src, &image, &mut enc, rig.ctx.degree() / 2);
+        let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &keys.gks);
+        let err = exec.try_run(&poisoned, &input).expect_err("must fail");
+        match err.eval_source() {
+            Some(fxhenn_ckks::EvalError::NonFiniteValue { .. }) => {}
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_weights_exhaust_noise_budget_typed() {
+        let mut src = toy_mnist_like(21);
+        let mut layers = src.layers().to_vec();
+        if let Layer::Conv(ref mut conv) = layers[0].1 {
+            for w in conv.weights.iter_mut() {
+                *w = 1e60;
+            }
+        } else {
+            panic!("toy net starts with a conv");
+        }
+        let poisoned = Network::new("huge-weights", &[1, 9, 9], layers);
+        src = toy_mnist_like(21);
+        let (rig, keys) = rig_for(&src);
+        let image = synthetic_input(&src, 7);
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(38));
+        let input = encrypt_input(&src, &image, &mut enc, rig.ctx.degree() / 2);
+        let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &keys.gks);
+        let err = exec.try_run(&poisoned, &input).expect_err("must fail");
+        assert!(
+            matches!(err, ExecError::NoiseBudgetExhausted { .. }),
+            "expected NoiseBudgetExhausted, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn nan_image_rejected_at_encryption() {
+        let net = toy_mnist_like(22);
+        let (rig, keys) = rig_for(&net);
+        let mut image = synthetic_input(&net, 7);
+        image.data_mut()[0] = f64::NAN;
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(39));
+        let err = try_encrypt_input(&net, &image, &mut enc, rig.ctx.degree() / 2)
+            .expect_err("must fail");
+        match err.eval_source() {
+            Some(fxhenn_ckks::EvalError::NonFiniteValue { .. }) => {}
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn argmax_with_nan_logit_is_stable() {
+        // total_cmp orders NaN above every finite value, so a NaN logit
+        // is selected deterministically instead of panicking.
+        let logits = [0.3, f64::NAN, 0.9];
+        let idx = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(idx, 1, "NaN sorts greatest under total_cmp");
     }
 }

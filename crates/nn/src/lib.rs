@@ -7,7 +7,10 @@
 //! per-layer HE operation program, and a functional executor that runs
 //! the same program through `fxhenn-ckks` for end-to-end verification.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod builder;
+pub mod error;
 pub mod executor;
 pub mod layers;
 pub mod lowering;
@@ -18,9 +21,11 @@ pub mod tensor;
 pub mod train;
 
 pub use builder::{BuildError, NetworkBuilder};
+pub use error::{ExecError, LowerError};
 pub use layers::{AvgPool2d, ChannelScale, Conv2d, Dense, Layer, Square};
 pub use lowering::{
-    lower_network, plan_dense, DensePlan, HeCnnProgram, HeLayerClass, HeLayerPlan, Layout,
+    lower_network, plan_dense, try_lower_network, DensePlan, HeCnnProgram, HeLayerClass,
+    HeLayerPlan, Layout,
 };
 pub use model::{fxhenn_cifar10, fxhenn_mnist, fxhenn_mnist_pooled, synthetic_input, toy_cryptonets_like, toy_mnist_like, Network};
 pub use packing::CtLayout;

@@ -21,6 +21,7 @@
 //!   round outputs back into one ciphertext with a masked
 //!   rotate-accumulate, spending one extra level.
 
+use crate::error::LowerError;
 use crate::layers::{Conv2d, Layer};
 use crate::model::Network;
 use crate::packing::next_pow2;
@@ -324,26 +325,35 @@ impl HeCnnProgram {
 }
 
 /// Lowers a network into an HE program for ring degree `degree` with
-/// `max_level` starting level.
-///
-/// # Panics
-///
-/// Panics if the network exhausts the level budget (`level` would drop
-/// below 1), if a convolution output map does not fit in the slots, or
-/// if the first layer is not a convolution (LoLa packing assumes a conv
-/// front end).
-pub fn lower_network(net: &Network, degree: usize, max_level: usize) -> HeCnnProgram {
+/// `max_level` starting level, returning a [`LowerError`] when the
+/// network's structure or budget makes lowering impossible.
+pub fn try_lower_network(
+    net: &Network,
+    degree: usize,
+    max_level: usize,
+) -> Result<HeCnnProgram, LowerError> {
     let slots = degree / 2;
     let mut level = max_level;
     let mut shape = net.input_shape().to_vec();
     let mut layout: Option<Layout> = None;
     let mut plans = Vec::with_capacity(net.layer_count());
+    if net.layer_count() == 0 {
+        return Err(LowerError::EmptyNetwork);
+    }
 
     for (idx, (name, layer)) in net.layers().iter().enumerate() {
+        if idx == 0 && !matches!(layer, Layer::Conv(_)) {
+            return Err(LowerError::FirstLayerNotConv);
+        }
+        let need_input = |layout: &Option<Layout>| {
+            layout.clone().ok_or_else(|| LowerError::MissingInput {
+                layer: name.clone(),
+            })
+        };
         let plan = match layer {
             Layer::Conv(conv) => {
                 if idx == 0 {
-                    let (p, l2) = lower_first_conv(name, conv, &shape, slots, level);
+                    let (p, l2) = lower_first_conv(name, conv, &shape, slots, level)?;
                     let (oh, ow) = conv.output_size(shape[1], shape[2]);
                     shape = vec![conv.out_channels, oh, ow];
                     layout = Some(l2);
@@ -354,13 +364,8 @@ pub fn lower_network(net: &Network, degree: usize, max_level: usize) -> HeCnnPro
                     // over the flattened input (rotation-based).
                     let (oh, ow) = conv.output_size(shape[1], shape[2]);
                     let d_out = conv.out_channels * oh * ow;
-                    let (p, l2) = lower_dense_like(
-                        name,
-                        layout.as_ref().expect("conv after first layer has input"),
-                        d_out,
-                        slots,
-                        level,
-                    );
+                    let (p, l2) =
+                        lower_dense_like(name, &need_input(&layout)?, d_out, slots, level);
                     shape = vec![conv.out_channels, oh, ow];
                     layout = Some(l2);
                     level = p.level_out;
@@ -368,19 +373,20 @@ pub fn lower_network(net: &Network, degree: usize, max_level: usize) -> HeCnnPro
                 }
             }
             Layer::Activation(_) => {
-                let lay = layout.as_ref().expect("activation needs a lowered input");
-                let p = lower_activation(name, lay, level);
+                let p = lower_activation(name, &need_input(&layout)?, level);
                 level = p.level_out;
                 p
             }
             Layer::Dense(d) => {
-                let lay = layout.as_ref().expect("dense needs a lowered input");
-                assert_eq!(
-                    lay.value_count(),
-                    d.in_features,
-                    "dense input size mismatch at {name}"
-                );
-                let (p, l2) = lower_dense_like(name, lay, d.out_features, slots, level);
+                let lay = need_input(&layout)?;
+                if lay.value_count() != d.in_features {
+                    return Err(LowerError::DenseSizeMismatch {
+                        layer: name.clone(),
+                        expected: d.in_features,
+                        got: lay.value_count(),
+                    });
+                }
+                let (p, l2) = lower_dense_like(name, &lay, d.out_features, slots, level);
                 shape = vec![d.out_features];
                 layout = Some(l2);
                 level = p.level_out;
@@ -389,11 +395,16 @@ pub fn lower_network(net: &Network, degree: usize, max_level: usize) -> HeCnnPro
             Layer::AvgPool(pool) => {
                 // Average pooling is a sparse linear map: lowered exactly
                 // like a dense layer (rotate-and-sum).
-                let lay = layout.as_ref().expect("pooling needs a lowered input");
-                assert_eq!(shape.len(), 3, "pooling needs a CHW shape at {name}");
+                let lay = need_input(&layout)?;
+                if shape.len() != 3 {
+                    return Err(LowerError::NotChw {
+                        layer: name.clone(),
+                        rank: shape.len(),
+                    });
+                }
                 let (oh, ow) = pool.output_size(shape[1], shape[2]);
                 let d_out = shape[0] * oh * ow;
-                let (p, l2) = lower_dense_like(name, lay, d_out, slots, level);
+                let (p, l2) = lower_dense_like(name, &lay, d_out, slots, level);
                 shape = vec![shape[0], oh, ow];
                 layout = Some(l2);
                 level = p.level_out;
@@ -402,27 +413,53 @@ pub fn lower_network(net: &Network, degree: usize, max_level: usize) -> HeCnnPro
             Layer::Scale(cs) => {
                 // Per-channel affine map: one PCmult + Rescale + PCadd per
                 // ciphertext — an NKS layer that preserves the layout.
-                let lay = layout.as_ref().expect("channel scale needs a lowered input");
-                assert_eq!(shape.len(), 3, "channel scale needs a CHW shape at {name}");
-                assert_eq!(shape[0], cs.factors.len(), "channel mismatch at {name}");
-                let p = lower_channel_scale(name, lay, slots, level);
+                let lay = need_input(&layout)?;
+                if shape.len() != 3 {
+                    return Err(LowerError::NotChw {
+                        layer: name.clone(),
+                        rank: shape.len(),
+                    });
+                }
+                if shape[0] != cs.factors.len() {
+                    return Err(LowerError::ChannelMismatch {
+                        layer: name.clone(),
+                        scales: cs.factors.len(),
+                        channels: shape[0],
+                    });
+                }
+                let p = lower_channel_scale(name, &lay, slots, level);
                 level = p.level_out;
                 p
             }
         };
-        assert!(
-            plan.level_out >= 1,
-            "level budget exhausted at layer {name}: needs more than {max_level} levels"
-        );
+        if plan.level_out < 1 {
+            return Err(LowerError::LevelBudgetExhausted {
+                layer: name.clone(),
+                max_level,
+            });
+        }
         plans.push(plan);
     }
 
-    HeCnnProgram {
+    Ok(HeCnnProgram {
         network_name: net.name().to_string(),
         degree,
         max_level,
         layers: plans,
-    }
+    })
+}
+
+/// Lowers a network into an HE program for ring degree `degree` with
+/// `max_level` starting level.
+///
+/// # Panics
+///
+/// Panics if the network exhausts the level budget (`level` would drop
+/// below 1), if a convolution output map does not fit in the slots, or
+/// if the first layer is not a convolution (LoLa packing assumes a conv
+/// front end). [`try_lower_network`] returns these as [`LowerError`]s.
+pub fn lower_network(net: &Network, degree: usize, max_level: usize) -> HeCnnProgram {
+    try_lower_network(net, degree, max_level).expect("lowering")
 }
 
 fn lower_first_conv(
@@ -431,13 +468,16 @@ fn lower_first_conv(
     shape: &[usize],
     slots: usize,
     level: usize,
-) -> (HeLayerPlan, Layout) {
+) -> Result<(HeLayerPlan, Layout), LowerError> {
     let (oh, ow) = conv.output_size(shape[1], shape[2]);
     let positions = oh * ow;
-    assert!(
-        positions <= slots,
-        "conv output map ({positions} positions) must fit in {slots} slots"
-    );
+    if positions > slots {
+        return Err(LowerError::ConvDoesNotFitSlots {
+            layer: name.to_string(),
+            positions,
+            slots,
+        });
+    }
     let maps_per_group = (slots / positions).min(conv.out_channels).max(1);
     let groups = conv.out_channels.div_ceil(maps_per_group);
     let k = conv.offset_count();
@@ -469,7 +509,7 @@ fn lower_first_conv(
         plaintext_words: groups * (k + 1) * slots * 2 * level,
         rotation_steps: Vec::new(),
     };
-    (plan, layout)
+    Ok((plan, layout))
 }
 
 fn lower_activation(name: &str, layout: &Layout, level: usize) -> HeLayerPlan {

@@ -154,7 +154,7 @@ mod tests {
         let mut t = Tensor::zeros(&[2, 3, 4]);
         *t.at3_mut(1, 2, 3) = 7.5;
         assert_eq!(t.at3(1, 2, 3), 7.5);
-        assert_eq!(t.data()[(1 * 3 + 2) * 4 + 3], 7.5);
+        assert_eq!(t.data()[(3 + 2) * 4 + 3], 7.5);
     }
 
     #[test]

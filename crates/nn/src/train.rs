@@ -394,6 +394,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index drives both a mutation and a check
     fn gradients_match_finite_differences_for_dense() {
         use crate::layers::Dense;
         let d = Dense::new(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6], vec![0.0, 0.1]);
@@ -418,11 +419,12 @@ mod tests {
             assert!((num - grad_in[i]).abs() < 1e-4, "dx[{i}]: {num} vs {}", grad_in[i]);
         }
         // Weight grad spot check: dw[0][1] = grad_out[0] * x[1]
-        assert!((grads.weights[1] - 1.0 * -1.0).abs() < 1e-12);
+        assert!((grads.weights[1] - -1.0).abs() < 1e-12);
         assert!((grads.bias[1] - -0.5).abs() < 1e-12);
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index drives both a mutation and a check
     fn gradients_match_finite_differences_for_conv_and_square() {
         use crate::layers::{Conv2d, Square};
         let conv = Conv2d::new(

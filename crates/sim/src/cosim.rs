@@ -3,9 +3,10 @@
 //! plaintext reference — the end-to-end correctness proof behind every
 //! simulated latency number.
 
+use crate::error::SimError;
 use fxhenn_ckks::{CkksContext, CkksParams, Decryptor, Encryptor, KeyGenerator};
-use fxhenn_nn::executor::{encrypt_input, HeCnnExecutor};
-use fxhenn_nn::{lower_network, Network, Tensor};
+use fxhenn_nn::executor::{try_encrypt_input, HeCnnExecutor};
+use fxhenn_nn::{try_lower_network, Network, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,19 +34,31 @@ impl CosimReport {
     }
 }
 
+/// NaN-safe argmax: `total_cmp` gives a total order, so a NaN logit can
+/// never panic the comparison (it sorts greatest and wins the argmax —
+/// which then disagrees with the reference, flagging the fault).
+fn argmax(v: &[f64]) -> Option<usize> {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
 /// Runs `net` homomorphically on `image` at the given CKKS parameters
-/// and compares against the plaintext forward pass.
+/// and compares against the plaintext forward pass. Lowering and
+/// execution failures (level budget, slot overflow, non-finite weights,
+/// noise exhaustion, missing keys) surface as typed [`SimError`]s.
 ///
 /// Intended for toy ring degrees (`N ≤ 4096`); paper-scale networks take
 /// hours in software, which is the very gap the accelerator closes.
-///
-/// # Panics
-///
-/// Panics if the network does not fit the parameter set (slots or level
-/// budget).
-pub fn cosimulate(net: &Network, image: &Tensor, params: CkksParams, seed: u64) -> CosimReport {
+pub fn try_cosimulate(
+    net: &Network,
+    image: &Tensor,
+    params: CkksParams,
+    seed: u64,
+) -> Result<CosimReport, SimError> {
     let ctx = CkksContext::new(params);
-    let prog = lower_network(net, ctx.degree(), ctx.max_level());
+    let prog = try_lower_network(net, ctx.degree(), ctx.max_level())?;
 
     let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(seed));
     let pk = kg.public_key();
@@ -54,11 +67,12 @@ pub fn cosimulate(net: &Network, image: &Tensor, params: CkksParams, seed: u64) 
     let gks = kg.galois_keys(&prog.required_rotations());
 
     let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(seed ^ 1));
-    let input = encrypt_input(net, image, &mut enc, ctx.degree() / 2);
+    let input = try_encrypt_input(net, image, &mut enc, ctx.degree() / 2)?;
 
     let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
     exec.start_trace();
-    let out = exec.run(net, &input);
+    let out = exec.try_run(net, &input)?;
+    // invariant: the trace was started three lines up.
     let measured = exec.take_trace().expect("trace started");
 
     let dec = Decryptor::new(&ctx, sk);
@@ -70,21 +84,24 @@ pub fn cosimulate(net: &Network, image: &Tensor, params: CkksParams, seed: u64) 
         .zip(&actual)
         .map(|(&e, &a)| (e - a).abs())
         .fold(0.0f64, f64::max);
-    let argmax = |v: &[f64]| {
-        v.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .expect("non-empty")
-    };
-    CosimReport {
+    Ok(CosimReport {
         argmax_agrees: argmax(&expected) == argmax(&actual),
         expected,
         actual,
         max_error,
         measured_hops: measured.hop_count(),
         planned_hops: prog.hop_count(),
-    }
+    })
+}
+
+/// Runs a functional co-simulation.
+///
+/// # Panics
+///
+/// Panics if the network does not fit the parameter set (slots or level
+/// budget); [`try_cosimulate`] returns these as typed errors instead.
+pub fn cosimulate(net: &Network, image: &Tensor, params: CkksParams, seed: u64) -> CosimReport {
+    try_cosimulate(net, image, params, seed).expect("co-simulation")
 }
 
 #[cfg(test)]

@@ -1,0 +1,68 @@
+//! Typed errors for the cycle simulator and functional co-simulation.
+//!
+//! `Debug` delegates to `Display` so an `expect` on a `try_` result
+//! panics with the same human-readable text the assert-based paths
+//! historically produced.
+
+use fxhenn_nn::{ExecError, LowerError};
+use std::fmt;
+
+/// A failed simulation or co-simulation run.
+#[derive(Clone, PartialEq)]
+pub enum SimError {
+    /// The BRAM grant vector does not line up with the program.
+    GrantCountMismatch {
+        /// Layers in the program.
+        expected: usize,
+        /// Grants supplied.
+        got: usize,
+    },
+    /// The program has no layers to simulate.
+    EmptyProgram,
+    /// Lowering the network to an HE program failed.
+    Lower(LowerError),
+    /// The homomorphic execution failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::GrantCountMismatch { expected, got } => write!(
+                f,
+                "one BRAM grant per layer: program has {expected} layers, got {got} grants"
+            ),
+            SimError::EmptyProgram => f.write_str("program has no layers to simulate"),
+            SimError::Lower(e) => write!(f, "lowering failed: {e}"),
+            SimError::Exec(e) => write!(f, "homomorphic execution failed: {e}"),
+        }
+    }
+}
+
+impl fmt::Debug for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Lower(e) => Some(e),
+            SimError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LowerError> for SimError {
+    fn from(e: LowerError) -> Self {
+        SimError::Lower(e)
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}

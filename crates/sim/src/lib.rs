@@ -10,19 +10,26 @@
 //! network through the real RNS-CKKS evaluator to prove functional
 //! correctness.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod cosim;
 pub mod energy;
+pub mod error;
 pub mod export;
+pub mod faults;
 pub mod reference;
 pub mod simulator;
 pub mod throughput;
 
-pub use cosim::{cosimulate, CosimReport};
+pub use cosim::{cosimulate, try_cosimulate, CosimReport};
+pub use error::SimError;
 pub use export::{dse_points_csv, markdown_table, sim_report_csv};
 pub use energy::MeasuredResult;
 pub use reference::{
     cifar10_references, lola_reference, mnist_references, Dataset, ReferenceResult,
     PAPER_FXHENN_ROWS,
 };
-pub use simulator::{simulate, simulate_with_grants, LayerSim, SimReport};
+pub use simulator::{
+    simulate, simulate_with_grants, try_simulate, try_simulate_with_grants, LayerSim, SimReport,
+};
 pub use throughput::{batch_throughput, simulate_batch_pipeline, ThroughputReport};

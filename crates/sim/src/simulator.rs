@@ -47,12 +47,22 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// The slowest layer.
-    pub fn bottleneck(&self) -> &LayerSim {
+    /// The slowest layer, or `None` for an empty report. `total_cmp`
+    /// makes the choice total even if a latency were NaN.
+    pub fn try_bottleneck(&self) -> Option<&LayerSim> {
         self.layers
             .iter()
-            .max_by(|a, b| a.seconds.partial_cmp(&b.seconds).expect("finite"))
-            .expect("at least one layer")
+            .max_by(|a, b| a.seconds.total_cmp(&b.seconds))
+    }
+
+    /// The slowest layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report; [`Self::try_bottleneck`] returns
+    /// `None` instead.
+    pub fn bottleneck(&self) -> &LayerSim {
+        self.try_bottleneck().expect("at least one layer")
     }
 }
 
@@ -75,13 +85,14 @@ fn layer_makespan_cycles(plan: &HeLayerPlan, point: &DesignPoint, degree: usize)
         };
         let insts = stations
             .entry(class)
-            .or_insert_with(|| vec![0u64; cfg.p_inter]);
+            .or_insert_with(|| vec![0u64; cfg.p_inter.max(1)]);
         // earliest-free instance
+        // invariant: the station vector above is never empty.
         let (idx, &free_at) = insts
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| t)
-            .expect("p_inter >= 1");
+            .expect("at least one module instance");
         let end = free_at + occupancy;
         insts[idx] = end;
         finish = finish.max(end);
@@ -105,19 +116,24 @@ fn layer_makespan_cycles(plan: &HeLayerPlan, point: &DesignPoint, degree: usize)
 
 /// Simulates a full inference of `prog` on the design, with each layer
 /// granted `bram_grants[i]` blocks (pass the layer demands to simulate a
-/// fully buffered FxHENN design).
-pub fn simulate_with_grants(
+/// fully buffered FxHENN design). Returns a typed error when the grant
+/// vector does not line up with the program or the program is empty.
+pub fn try_simulate_with_grants(
     prog: &HeCnnProgram,
     point: &DesignPoint,
     device: &FpgaDevice,
     w_bits: u32,
     bram_grants: &[usize],
-) -> SimReport {
-    assert_eq!(
-        bram_grants.len(),
-        prog.layers.len(),
-        "one BRAM grant per layer"
-    );
+) -> Result<SimReport, crate::error::SimError> {
+    if prog.layers.is_empty() {
+        return Err(crate::error::SimError::EmptyProgram);
+    }
+    if bram_grants.len() != prog.layers.len() {
+        return Err(crate::error::SimError::GrantCountMismatch {
+            expected: prog.layers.len(),
+            got: bram_grants.len(),
+        });
+    }
     let mut layers = Vec::with_capacity(prog.layers.len());
     for (plan, &granted) in prog.layers.iter().zip(bram_grants) {
         let shape = LayerShape::from_plan(plan, prog.degree, w_bits);
@@ -138,22 +154,39 @@ pub fn simulate_with_grants(
         });
     }
     let total_seconds: f64 = layers.iter().map(|l| l.seconds).sum();
-    SimReport {
+    Ok(SimReport {
         layers,
         total_seconds,
         energy_joules: total_seconds * device.tdp_watts(),
-    }
+    })
 }
 
-/// Simulates a fully buffered FxHENN design (every layer granted its
-/// demand — valid whenever the DSE marked the point feasible, since the
-/// peak demand fits the device).
-pub fn simulate(
+/// Simulates with explicit BRAM grants.
+///
+/// # Panics
+///
+/// Panics when the grant vector does not line up with the program;
+/// [`try_simulate_with_grants`] returns a typed error instead.
+pub fn simulate_with_grants(
     prog: &HeCnnProgram,
     point: &DesignPoint,
     device: &FpgaDevice,
     w_bits: u32,
+    bram_grants: &[usize],
 ) -> SimReport {
+    try_simulate_with_grants(prog, point, device, w_bits, bram_grants).expect("simulation")
+}
+
+/// Simulates a fully buffered FxHENN design (every layer granted its
+/// demand — valid whenever the DSE marked the point feasible, since the
+/// peak demand fits the device). Returns a typed error for an empty
+/// program.
+pub fn try_simulate(
+    prog: &HeCnnProgram,
+    point: &DesignPoint,
+    device: &FpgaDevice,
+    w_bits: u32,
+) -> Result<SimReport, crate::error::SimError> {
     let grants: Vec<usize> = prog
         .layers
         .iter()
@@ -163,7 +196,22 @@ pub fn simulate(
             layer_bram_blocks(&shape, &cfg)
         })
         .collect();
-    simulate_with_grants(prog, point, device, w_bits, &grants)
+    try_simulate_with_grants(prog, point, device, w_bits, &grants)
+}
+
+/// Simulates a fully buffered FxHENN design.
+///
+/// # Panics
+///
+/// Panics for an empty program; [`try_simulate`] returns a typed error
+/// instead.
+pub fn simulate(
+    prog: &HeCnnProgram,
+    point: &DesignPoint,
+    device: &FpgaDevice,
+    w_bits: u32,
+) -> SimReport {
+    try_simulate(prog, point, device, w_bits).expect("simulation")
 }
 
 #[cfg(test)]
@@ -259,5 +307,35 @@ mod tests {
             30,
             &[1, 2],
         );
+    }
+
+    #[test]
+    fn wrong_grant_count_is_a_typed_error() {
+        let prog = mnist();
+        let err = try_simulate_with_grants(
+            &prog,
+            &DesignPoint::minimal(),
+            &FpgaDevice::acu9eg(),
+            30,
+            &[1, 2],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::SimError::GrantCountMismatch {
+                expected: prog.layers.len(),
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_report_has_no_bottleneck() {
+        let report = SimReport {
+            layers: vec![],
+            total_seconds: 0.0,
+            energy_joules: 0.0,
+        };
+        assert!(report.try_bottleneck().is_none());
     }
 }

@@ -5,8 +5,19 @@
 
 use fxhenn::report::{layer_table, module_table, summary};
 use fxhenn::{generate_accelerator, CkksParams, FlowError, FpgaDevice};
+use std::process::ExitCode;
 
-fn main() -> Result<(), FlowError> {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), FlowError> {
     let network = fxhenn::nn::fxhenn_mnist(42);
     let params = CkksParams::fxhenn_mnist();
     let device = FpgaDevice::acu9eg();
