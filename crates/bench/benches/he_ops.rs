@@ -99,5 +99,25 @@ fn bench_keyswitch_vs_level(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_he_ops, bench_keyswitch_vs_level);
+fn bench_chain(c: &mut Criterion) {
+    // The hot path of one HE-CNN activation step — CCmult → Relinearize →
+    // Rescale → Rotate — at the paper's MNIST ring degree. This is the
+    // chain that the in-place kernels and evaluator scratch reuse target;
+    // BENCH_kernels.json records its baseline via `bench_baseline`.
+    let (rig, m) = setup(13, 4);
+    let mut group = c.benchmark_group("chain_n8192_l4");
+    group.sample_size(10);
+    group.bench_function("mul_relin_rescale_rotate", |b| {
+        let mut ev = Evaluator::new(&rig.ctx);
+        b.iter(|| {
+            let tri = ev.mul(&m.ct_a, &m.ct_b);
+            let lin = ev.relinearize(&tri, &m.rk);
+            let rs = ev.rescale(&lin);
+            black_box(ev.rotate(&rs, 1, &m.gks))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_he_ops, bench_keyswitch_vs_level, bench_chain);
 criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! Kernel/operation baseline timings, written to `BENCH_kernels.json` at
+//! the repository root so performance regressions are visible in review.
+//!
+//! Times the layers of the software stack the FPGA model accelerates:
+//! raw NTT passes, the five HE operations (paper OP1–OP5), the
+//! mul→relinearize→rescale→rotate hot chain at the MNIST ring degree,
+//! and one end-to-end toy HE-CNN inference.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin bench_baseline`
+//!
+//! Flags:
+//! * `--tiny` — shrink every parameter set (CI smoke; do not commit).
+//! * `--out <path>` — write the JSON somewhere else.
+//!
+//! Output schema `fxhenn-bench-baseline/v1`:
+//! `{ "schema", "threads", "tiny", "entries": [{ "name", "ns_per_iter",
+//! "n", "l" }] }` — `n` is the ring degree, `l` the level count (0 where
+//! a level count does not apply).
+
+use fxhenn_ckks::{CkksContext, CkksParams, Encryptor, Evaluator, KeyGenerator};
+use fxhenn_math::ntt::NttTable;
+use fxhenn_math::par;
+use fxhenn_math::prime::generate_ntt_primes;
+use fxhenn_nn::executor::{encrypt_input, HeCnnExecutor};
+use fxhenn_nn::lowering::lower_network;
+use fxhenn_nn::{synthetic_input, toy_mnist_like};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed entry of the report.
+struct Entry {
+    name: String,
+    ns_per_iter: f64,
+    n: usize,
+    l: usize,
+}
+
+/// Times `f` over `iters` iterations after `warmup` untimed ones.
+fn time_ns(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn ntt_entries(tiny: bool, entries: &mut Vec<Entry>) {
+    let degrees: &[usize] = if tiny { &[256, 1024] } else { &[1024, 4096, 8192] };
+    for &n in degrees {
+        let q = generate_ntt_primes(30, n, 1)[0];
+        let table = NttTable::new(n, q);
+        let mut data: Vec<u64> = (0..n as u64).map(|i| i * i % q).collect();
+        let iters = (1 << 20) / n; // same total work per degree
+        let ns = time_ns(2, iters, || {
+            table.forward(&mut data);
+            black_box(&data);
+        });
+        entries.push(Entry {
+            name: format!("ntt_forward_n{n}"),
+            ns_per_iter: ns,
+            n,
+            l: 0,
+        });
+    }
+}
+
+struct Rig {
+    ctx: CkksContext,
+}
+
+struct Material {
+    ct_a: fxhenn_ckks::Ciphertext,
+    ct_b: fxhenn_ckks::Ciphertext,
+    pt: fxhenn_ckks::Plaintext,
+    rk: fxhenn_ckks::RelinKey,
+    gks: fxhenn_ckks::GaloisKeys,
+}
+
+fn setup(n: usize, levels: usize) -> (Rig, Material) {
+    let params = CkksParams::new(n, levels, 30, 45).expect("valid bench params");
+    let ctx = CkksContext::new(params);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(5));
+    let pk = kg.public_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&[1]);
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(6));
+    let values: Vec<f64> = (0..64).map(|i| (i as f64) / 17.0).collect();
+    let ct_a = enc.encrypt(&values);
+    let ct_b = enc.encrypt(&values);
+    let ev = Evaluator::new(&ctx);
+    let pt = ev.encode_for_mul(&values, ct_a.level());
+    (Rig { ctx }, Material { ct_a, ct_b, pt, rk, gks })
+}
+
+fn he_op_entries(tiny: bool, entries: &mut Vec<Entry>) {
+    let (n, l) = if tiny { (512, 3) } else { (4096, 7) };
+    let (rig, m) = setup(n, l);
+    let mut ev = Evaluator::new(&rig.ctx);
+    let iters = if tiny { 20 } else { 10 };
+
+    let ns = time_ns(2, iters * 5, || {
+        black_box(ev.add(&m.ct_a, &m.ct_b));
+    });
+    entries.push(Entry { name: format!("ccadd_op1_n{n}_l{l}"), ns_per_iter: ns, n, l });
+
+    let ns = time_ns(2, iters * 5, || {
+        black_box(ev.mul_plain(&m.ct_a, &m.pt));
+    });
+    entries.push(Entry { name: format!("pcmult_op2_n{n}_l{l}"), ns_per_iter: ns, n, l });
+
+    let ns = time_ns(2, iters * 2, || {
+        black_box(ev.mul(&m.ct_a, &m.ct_b));
+    });
+    entries.push(Entry { name: format!("ccmult_op3_n{n}_l{l}"), ns_per_iter: ns, n, l });
+
+    let prod = ev.mul_plain(&m.ct_a, &m.pt);
+    let ns = time_ns(2, iters, || {
+        black_box(ev.rescale(&prod));
+    });
+    entries.push(Entry { name: format!("rescale_op4_n{n}_l{l}"), ns_per_iter: ns, n, l });
+
+    let tri = ev.mul(&m.ct_a, &m.ct_b);
+    let ns = time_ns(1, iters, || {
+        black_box(ev.relinearize(&tri, &m.rk));
+    });
+    entries.push(Entry { name: format!("relinearize_op5_n{n}_l{l}"), ns_per_iter: ns, n, l });
+
+    let ns = time_ns(1, iters, || {
+        black_box(ev.rotate(&m.ct_a, 1, &m.gks));
+    });
+    entries.push(Entry { name: format!("rotate_op5_n{n}_l{l}"), ns_per_iter: ns, n, l });
+}
+
+fn chain_entry(tiny: bool, entries: &mut Vec<Entry>) {
+    // The headline chain the in-place kernels target: one activation
+    // step's worth of work at the paper's MNIST ring degree.
+    let (n, l) = if tiny { (1024, 3) } else { (8192, 4) };
+    let (rig, m) = setup(n, l);
+    let mut ev = Evaluator::new(&rig.ctx);
+    let iters = 10;
+    let ns = time_ns(2, iters, || {
+        let tri = ev.mul(&m.ct_a, &m.ct_b);
+        let lin = ev.relinearize(&tri, &m.rk);
+        let rs = ev.rescale(&lin);
+        black_box(ev.rotate(&rs, 1, &m.gks));
+    });
+    entries.push(Entry {
+        name: format!("chain_mul_relin_rescale_rotate_n{n}_l{l}"),
+        ns_per_iter: ns,
+        n,
+        l,
+    });
+}
+
+fn toy_layer_entry(entries: &mut Vec<Entry>) {
+    // End-to-end toy HE-CNN inference through the nn executor (conv,
+    // square activation, dense — the structure of the paper's MNIST net
+    // at functional-verification scale).
+    let net = toy_mnist_like(15);
+    let ctx = CkksContext::new(CkksParams::insecure_toy(7));
+    let prog = lower_network(&net, ctx.degree(), ctx.max_level());
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(31));
+    let pk = kg.public_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&prog.required_rotations());
+    let image = synthetic_input(&net, 7);
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(32));
+    let input = encrypt_input(&net, &image, &mut enc, ctx.degree() / 2);
+    let n = ctx.degree();
+    let l = ctx.max_level();
+    let ns = time_ns(1, 2, || {
+        let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
+        black_box(exec.run(&net, &input));
+    });
+    entries.push(Entry {
+        name: format!("toy_mnist_like_infer_n{n}_l{l}"),
+        ns_per_iter: ns,
+        n,
+        l,
+    });
+}
+
+fn render_json(entries: &[Entry], tiny: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"fxhenn-bench-baseline/v1\",\n");
+    s.push_str(&format!("  \"threads\": {},\n", par::effective_threads()));
+    s.push_str(&format!("  \"tiny\": {tiny},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"n\": {}, \"l\": {} }}{comma}\n",
+            e.name, e.ns_per_iter, e.n, e.l
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut tiny = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; known: --tiny, --out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+    });
+
+    let mut entries = Vec::new();
+    ntt_entries(tiny, &mut entries);
+    he_op_entries(tiny, &mut entries);
+    chain_entry(tiny, &mut entries);
+    toy_layer_entry(&mut entries);
+
+    for e in &entries {
+        println!("{:<44} {:>12.1} ns/iter", e.name, e.ns_per_iter);
+    }
+    let json = render_json(&entries, tiny);
+    std::fs::write(&out, json).expect("write baseline JSON");
+    println!("wrote {out}");
+}

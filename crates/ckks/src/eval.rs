@@ -19,29 +19,48 @@ use crate::context::CkksContext;
 use crate::error::EvalError;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
 use crate::trace::{HeOpKind, OpTrace};
-use fxhenn_math::modops::{mul_mod, sub_mod};
+use fxhenn_math::modops::{sub_mod, ShoupMul};
+use fxhenn_math::par;
 use fxhenn_math::poly::{Domain, RnsPoly};
 
 /// Relative scale mismatch tolerated by additive operations.
 const SCALE_TOLERANCE: f64 = 1e-9;
 
+/// Most polynomials the scratch pool keeps alive between operations.
+/// A key switch holds three in flight (two accumulators and the digit);
+/// a few extra cover the rescale/rotate temporaries without letting the
+/// pool grow without bound.
+const SCRATCH_POOL_CAP: usize = 8;
+
 /// Executes HE operations over a CKKS context, optionally recording an
 /// operation trace.
+///
+/// The evaluator keeps a small pool of scratch polynomials so that the
+/// hot operations (CCmult, KeySwitch, Rescale, Rotate) reuse buffers
+/// across calls instead of cloning their inputs and allocating fresh
+/// temporaries on every invocation.
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     ctx: &'a CkksContext,
     trace: Option<OpTrace>,
+    scratch: Vec<RnsPoly>,
 }
 
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator with tracing disabled.
     pub fn new(ctx: &'a CkksContext) -> Self {
-        Self { ctx, trace: None }
+        Self {
+            ctx,
+            trace: None,
+            scratch: Vec::new(),
+        }
     }
 
-    /// The underlying context.
+    /// The underlying context. Returns the full `'a` borrow (not one tied
+    /// to `&self`), so callers can keep the context while mutating the
+    /// evaluator — e.g. to spawn sibling evaluators for parallel fan-out.
     #[inline]
-    pub fn context(&self) -> &CkksContext {
+    pub fn context(&self) -> &'a CkksContext {
         self.ctx
     }
 
@@ -55,9 +74,39 @@ impl<'a> Evaluator<'a> {
         self.trace.take()
     }
 
+    /// True while an operation trace is being recorded.
+    pub fn is_tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Appends another trace's records to the active trace (a no-op when
+    /// not tracing). Lets callers that fan work out to child evaluators
+    /// stitch the children's records back in execution order.
+    pub fn merge_trace(&mut self, other: &OpTrace) {
+        if let Some(t) = &mut self.trace {
+            t.extend_from(other);
+        }
+    }
+
     fn record(&mut self, kind: HeOpKind, level: usize) {
         if let Some(t) = &mut self.trace {
             t.record(kind, level);
+        }
+    }
+
+    /// Pops a scratch polynomial (arbitrary shape and contents — callers
+    /// `reshape`/`copy_from` it) or mints one if the pool is empty.
+    fn take_scratch(&mut self) -> RnsPoly {
+        self.scratch
+            .pop()
+            .unwrap_or_else(|| RnsPoly::zero(self.ctx.degree(), 1, Domain::Coeff))
+    }
+
+    /// Returns a polynomial to the pool, keeping its allocation warm for
+    /// the next operation.
+    fn put_scratch(&mut self, p: RnsPoly) {
+        if self.scratch.len() < SCRATCH_POOL_CAP {
+            self.scratch.push(p);
         }
     }
 
@@ -294,17 +343,16 @@ impl<'a> Evaluator<'a> {
         }
         let moduli = self.ctx.moduli_at(a.level());
 
-        let mut d0 = a.poly(0).clone();
-        d0.mul_pointwise_assign(b.poly(0), moduli);
+        let mut d0 = self.take_scratch();
+        a.poly(0).mul_pointwise_into(b.poly(0), moduli, &mut d0);
 
-        let mut d1 = a.poly(0).clone();
-        d1.mul_pointwise_assign(b.poly(1), moduli);
-        let mut d1b = a.poly(1).clone();
-        d1b.mul_pointwise_assign(b.poly(0), moduli);
-        d1.add_assign(&d1b, moduli);
+        // d1 = a0·b1 + a1·b0, fused so no cross-term temporary exists.
+        let mut d1 = self.take_scratch();
+        a.poly(0).mul_pointwise_into(b.poly(1), moduli, &mut d1);
+        d1.add_mul_pointwise(a.poly(1), b.poly(0), moduli);
 
-        let mut d2 = a.poly(1).clone();
-        d2.mul_pointwise_assign(b.poly(1), moduli);
+        let mut d2 = self.take_scratch();
+        a.poly(1).mul_pointwise_into(b.poly(1), moduli, &mut d2);
 
         self.record(HeOpKind::CcMult, a.level());
         Ok(Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale()))
@@ -345,17 +393,17 @@ impl<'a> Evaluator<'a> {
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
 
-        let mut d2 = ct.poly(2).clone();
+        let mut d2 = self.take_scratch();
+        d2.copy_from(ct.poly(2));
         d2.to_coeff(&tables);
-        let (ks0, ks1) = self.apply_key_switch(&d2, &rk.0, l);
+        let (mut ks0, mut ks1) = self.apply_key_switch(&d2, &rk.0, l);
+        self.put_scratch(d2);
 
-        let mut c0 = ct.poly(0).clone();
-        c0.add_assign(&ks0, moduli);
-        let mut c1 = ct.poly(1).clone();
-        c1.add_assign(&ks1, moduli);
+        ks0.add_assign(ct.poly(0), moduli);
+        ks1.add_assign(ct.poly(1), moduli);
 
         self.record(HeOpKind::Relinearize, l);
-        Ok(Ciphertext::new(vec![c0, c1], ct.scale()))
+        Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
     }
 
     /// Relinearization (OP5 KeySwitch): reduces a 3-polynomial ciphertext
@@ -380,17 +428,15 @@ impl<'a> Evaluator<'a> {
         let tables = self.ctx.tables_at(l);
         let new_tables = self.ctx.tables_at(l - 1);
 
-        let polys = ct
-            .polys()
-            .iter()
-            .map(|p| {
-                let mut p = p.clone();
-                p.to_coeff(&tables);
-                let mut out = self.exact_divide_drop_last(p, l);
-                out.to_ntt(&new_tables);
-                out
-            })
-            .collect();
+        let mut polys = Vec::with_capacity(ct.size());
+        for p in ct.polys() {
+            let mut x = self.take_scratch();
+            x.copy_from(p);
+            x.to_coeff(&tables);
+            self.exact_divide_drop_last(&mut x, l);
+            x.to_ntt(&new_tables);
+            polys.push(x);
+        }
         let mut out = Ciphertext::new(polys, ct.scale());
         out.set_scale(ct.scale() / self.ctx.dropped_prime_at(l) as f64);
         self.record(HeOpKind::Rescale, l);
@@ -430,6 +476,10 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|p| p.select_components(&indices))
             .collect();
+        // Recorded at the *input* level: that is the width of the RNS
+        // components the switch reads (a no-op switch above returns
+        // without recording — no work, no HOP).
+        self.record(HeOpKind::ModSwitch, l);
         Ok(Ciphertext::new(polys, ct.scale()))
     }
 
@@ -466,21 +516,44 @@ impl<'a> Evaluator<'a> {
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
 
-        let mut c0 = ct.poly(0).clone();
-        c0.to_coeff(&tables);
-        let c0g = c0.automorphism(g, moduli);
+        let (mut ks0, ks1) = self.galois_key_switch(ct, g, key, l);
 
-        let mut c1 = ct.poly(1).clone();
-        c1.to_coeff(&tables);
-        let c1g = c1.automorphism(g, moduli);
-
-        let (ks0, ks1) = self.apply_key_switch(&c1g, key, l);
-        let mut out0 = c0g;
-        out0.to_ntt(&tables);
-        out0.add_assign(&ks0, moduli);
+        // First output polynomial: σ_g(c0) + ks0, built in scratch.
+        let mut tmp = self.take_scratch();
+        tmp.copy_from(ct.poly(0));
+        tmp.to_coeff(&tables);
+        let mut tg = self.take_scratch();
+        tmp.automorphism_into(g, moduli, &mut tg);
+        tg.to_ntt(&tables);
+        ks0.add_assign(&tg, moduli);
+        self.put_scratch(tmp);
+        self.put_scratch(tg);
 
         self.record(HeOpKind::Rotate, l);
-        Ok(Ciphertext::new(vec![out0, ks1], ct.scale()))
+        Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
+    }
+
+    /// Shared Galois tail of Rotate and Conjugate: key-switches
+    /// `σ_g(c1)` under `key`, returning the `(ks0, ks1)` pair at level
+    /// `l` (both NTT-domain).
+    fn galois_key_switch(
+        &mut self,
+        ct: &Ciphertext,
+        g: usize,
+        key: &KeySwitchKey,
+        l: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        let moduli = self.ctx.moduli_at(l);
+        let tables = self.ctx.tables_at(l);
+        let mut c1 = self.take_scratch();
+        c1.copy_from(ct.poly(1));
+        c1.to_coeff(&tables);
+        let mut c1g = self.take_scratch();
+        c1.automorphism_into(g, moduli, &mut c1g);
+        self.put_scratch(c1);
+        let out = self.apply_key_switch(&c1g, key, l);
+        self.put_scratch(c1g);
+        out
     }
 
     /// Rotate (OP5 KeySwitch): left-rotates the slot vector by `steps`.
@@ -507,20 +580,20 @@ impl<'a> Evaluator<'a> {
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
 
-        let mut c0 = ct.poly(0).clone();
-        c0.to_coeff(&tables);
-        let c0g = c0.automorphism(g, moduli);
-        let mut c1 = ct.poly(1).clone();
-        c1.to_coeff(&tables);
-        let c1g = c1.automorphism(g, moduli);
+        let (mut ks0, ks1) = self.galois_key_switch(ct, g, key, l);
 
-        let (ks0, ks1) = self.apply_key_switch(&c1g, key, l);
-        let mut out0 = c0g;
-        out0.to_ntt(&tables);
-        out0.add_assign(&ks0, moduli);
+        let mut tmp = self.take_scratch();
+        tmp.copy_from(ct.poly(0));
+        tmp.to_coeff(&tables);
+        let mut tg = self.take_scratch();
+        tmp.automorphism_into(g, moduli, &mut tg);
+        tg.to_ntt(&tables);
+        ks0.add_assign(&tg, moduli);
+        self.put_scratch(tmp);
+        self.put_scratch(tg);
 
-        self.record(HeOpKind::Rotate, l);
-        Ok(Ciphertext::new(vec![out0, ks1], ct.scale()))
+        self.record(HeOpKind::Conjugate, l);
+        Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
     }
 
     /// Complex conjugation of the slot vector (Galois element `2N - 1`).
@@ -547,7 +620,7 @@ impl<'a> Evaluator<'a> {
     /// gadget divisible by `Q_l·P` and vanishes, contributing only to
     /// the noise term that the special-prime mod-down suppresses.
     fn apply_key_switch(
-        &self,
+        &mut self,
         d: &RnsPoly,
         ksk: &KeySwitchKey,
         l: usize,
@@ -566,95 +639,81 @@ impl<'a> Evaluator<'a> {
         // full chain, at indices max_l..).
         let ext_idx: Vec<usize> = (0..l).chain(max_l..max_l + s_count).collect();
 
-        let mut acc0 = RnsPoly::zero(n, l + s_count, Domain::Ntt);
-        let mut acc1 = RnsPoly::zero(n, l + s_count, Domain::Ntt);
+        let mut acc0 = self.take_scratch();
+        acc0.reshape_zeroed(n, l + s_count, Domain::Ntt);
+        let mut acc1 = self.take_scratch();
+        acc1.reshape_zeroed(n, l + s_count, Domain::Ntt);
+        // One digit buffer reused across all dnum digits.
+        let mut digit = self.take_scratch();
 
         for (j, key_digit) in ksk.digits.iter().enumerate() {
             let lift = ctx.digit_lift(l, j);
-            let residues: Vec<Vec<u64>> = match lift.indices.len() {
+            match lift.indices.len() {
                 0 => continue, // digit entirely above the current level
                 1 => {
                     // Exact lift: one residue polynomial with coefficients
                     // in [0, q_i) reduces directly into every modulus.
                     let src = d.component(lift.indices[0]);
-                    ext_idx
-                        .iter()
-                        .map(|&r| {
-                            let red = ctx.reducer(r);
-                            src.iter().map(|&c| red.reduce_u64(c)).collect()
-                        })
-                        .collect()
+                    digit.reshape(n, l + s_count, Domain::Coeff);
+                    par::for_each_indexed(digit.components_mut(), |t, out| {
+                        let red = ctx.reducer(ext_idx[t]);
+                        for (o, &c) in out.iter_mut().zip(src) {
+                            *o = red.reduce_u64(c);
+                        }
+                    });
                 }
                 _ => {
                     // Fast base conversion of the multi-prime digit:
                     // y_m = Σ_i [x_i · (D/q_i)^{-1}]_{q_i} · (D/q_i mod m).
-                    let group_moduli: Vec<u64> =
-                        lift.indices.iter().map(|&i| ctx.coeff_moduli()[i]).collect();
                     // Per-coefficient inner factors [x_i · ĝ_i]_{q_i}.
-                    let factors: Vec<Vec<u64>> = lift
-                        .indices
-                        .iter()
-                        .enumerate()
-                        .map(|(t, &i)| {
-                            let q_i = group_moduli[t];
-                            let ghat_inv = lift.ghat_inv[t];
-                            d.component(i)
+                    let factors: Vec<Vec<u64>> =
+                        par::map_indexed(lift.indices.len(), |t| {
+                            let q_i = ctx.coeff_moduli()[lift.indices[t]];
+                            let ghat = ShoupMul::new(lift.ghat_inv[t] % q_i, q_i);
+                            d.component(lift.indices[t])
                                 .iter()
-                                .map(|&c| mul_mod(c, ghat_inv, q_i))
+                                .map(|&c| ghat.mul(c))
                                 .collect()
-                        })
-                        .collect();
-                    ext_idx
-                        .iter()
-                        .enumerate()
-                        .map(|(target, &r)| {
-                            let red = ctx.reducer(r);
-                            (0..n)
-                                .map(|k| {
-                                    let mut acc: u128 = 0;
-                                    for (t, f) in factors.iter().enumerate() {
-                                        acc += f[k] as u128
-                                            * lift.ghat_mod[t][target] as u128;
-                                    }
-                                    red.reduce_u128(acc)
-                                })
-                                .collect()
-                        })
-                        .collect()
+                        });
+                    digit.reshape(n, l + s_count, Domain::Coeff);
+                    par::for_each_indexed(digit.components_mut(), |target, out| {
+                        let red = ctx.reducer(ext_idx[target]);
+                        for (k, o) in out.iter_mut().enumerate() {
+                            let mut acc: u128 = 0;
+                            for (t, f) in factors.iter().enumerate() {
+                                acc += f[k] as u128 * lift.ghat_mod[t][target] as u128;
+                            }
+                            *o = red.reduce_u128(acc);
+                        }
+                    });
                 }
-            };
-            let mut digit = RnsPoly::from_residues(residues, Domain::Coeff);
+            }
             digit.to_ntt(&ext_tables);
 
-            let b = key_digit.0.select_components(&ext_idx);
-            let a = key_digit.1.select_components(&ext_idx);
-
-            let mut t0 = digit.clone();
-            t0.mul_pointwise_assign(&b, &ext_moduli);
-            acc0.add_assign(&t0, &ext_moduli);
-
-            let mut t1 = digit;
-            t1.mul_pointwise_assign(&a, &ext_moduli);
-            acc1.add_assign(&t1, &ext_moduli);
+            // Inner products against the key digit, addressed through
+            // ext_idx — no select_components clones, no t0/t1 temporaries.
+            acc0.add_mul_pointwise_select(&digit, &key_digit.0, &ext_idx, &ext_moduli);
+            acc1.add_mul_pointwise_select(&digit, &key_digit.1, &ext_idx, &ext_moduli);
         }
+        self.put_scratch(digit);
 
-        (
-            self.mod_down_special(acc0, l),
-            self.mod_down_special(acc1, l),
-        )
+        self.mod_down_special(&mut acc0, l);
+        self.mod_down_special(&mut acc1, l);
+        (acc0, acc1)
     }
 
     /// Divides an extended-basis polynomial by the full special modulus
     /// `P = ∏ specials`, removing one special prime at a time (each step
-    /// an exact centered RNS division), returning a level-`l` polynomial
-    /// in NTT form.
-    fn mod_down_special(&self, mut acc: RnsPoly, l: usize) -> RnsPoly {
+    /// an exact centered RNS division), leaving a level-`l` polynomial
+    /// in NTT form. Works in place: each remaining component is rewritten
+    /// where it sits, so the only per-call allocation is the popped
+    /// special component.
+    fn mod_down_special(&self, acc: &mut RnsPoly, l: usize) {
         let ctx = self.ctx;
         let ext_tables = ctx.extended_tables_at(l);
         let tables = ctx.tables_at(l);
         acc.to_coeff(&ext_tables);
 
-        let n = ctx.degree();
         let moduli = ctx.moduli_at(l);
         let specials = ctx.special_moduli();
         let max_l = ctx.max_level();
@@ -665,8 +724,7 @@ impl<'a> Evaluator<'a> {
             let invs = ctx.moddown_inv(k);
             // Remaining basis: l coefficient primes + specials[..k].
             let special_comp = acc.drop_last_component();
-            let mut next = RnsPoly::zero(n, l + k, Domain::Coeff);
-            for pos in 0..l + k {
+            par::for_each_indexed(acc.components_mut(), |pos, comp| {
                 // Target modulus: coefficient prime pos, or special t.
                 // moddown_inv(k) lists inverses for [q_0..q_{L-1}] then
                 // specials[0..k].
@@ -676,10 +734,8 @@ impl<'a> Evaluator<'a> {
                     let t = pos - l;
                     (specials[t], ctx.reducer(max_l + t), invs[max_l + t])
                 };
-                let src = acc.component(pos);
-                let dst = next.component_mut(pos);
-                for c_idx in 0..n {
-                    let c = special_comp[c_idx];
+                let inv = ShoupMul::new(inv % m, m);
+                for (x, &c) in comp.iter_mut().zip(&special_comp) {
                     let centered = if c > half {
                         let r = red.reduce_u64(sp - c);
                         if r == 0 {
@@ -690,38 +746,33 @@ impl<'a> Evaluator<'a> {
                     } else {
                         red.reduce_u64(c)
                     };
-                    let diff = sub_mod(src[c_idx], centered, m);
-                    dst[c_idx] = mul_mod(diff, inv, m);
+                    let diff = sub_mod(*x, centered, m);
+                    *x = inv.mul(diff);
                 }
-            }
-            acc = next;
+            });
         }
         acc.to_ntt(&tables);
-        acc
     }
 
     /// Exact RNS division by the last prime of level `l` (the Rescale
     /// core): `(x - [x]_{q_{l-1}}) / q_{l-1}` per remaining component,
     /// with a centered representative so rounding error stays at ±1/2.
-    fn exact_divide_drop_last(&self, p: RnsPoly, l: usize) -> RnsPoly {
+    /// Works in place, dropping the last component of `p`.
+    fn exact_divide_drop_last(&self, p: &mut RnsPoly, l: usize) {
         assert_eq!(p.domain(), Domain::Coeff);
+        assert_eq!(p.level_count(), l, "rescale input level mismatch");
         let ctx = self.ctx;
-        let n = ctx.degree();
         let dropped = ctx.dropped_prime_at(l);
         let half = dropped / 2;
         let invs = ctx.rescale_inv_at(l);
         let moduli = ctx.moduli_at(l);
 
-        let last = p.component(l - 1).to_vec();
-        let mut out = RnsPoly::zero(n, l - 1, Domain::Coeff);
-        for j in 0..l - 1 {
+        let last = p.drop_last_component();
+        par::for_each_indexed(p.components_mut(), |j, comp| {
             let qj = moduli[j];
             let red = ctx.reducer(j);
-            let inv = invs[j];
-            let src = p.component(j);
-            let dst = out.component_mut(j);
-            for k in 0..n {
-                let c = last[k];
+            let inv = ShoupMul::new(invs[j] % qj, qj);
+            for (x, &c) in comp.iter_mut().zip(&last) {
                 let centered = if c > half {
                     let m = red.reduce_u64(dropped - c);
                     if m == 0 {
@@ -732,11 +783,10 @@ impl<'a> Evaluator<'a> {
                 } else {
                     red.reduce_u64(c)
                 };
-                let diff = sub_mod(src[k], centered, qj);
-                dst[k] = mul_mod(diff, inv, qj);
+                let diff = sub_mod(*x, centered, qj);
+                *x = inv.mul(diff);
             }
-        }
-        out
+        });
     }
 
     /// Adds a constant (same value in every slot) without consuming a
@@ -970,6 +1020,43 @@ mod tests {
         // all at top level
         assert!(t.records().iter().all(|r| r.level == 3));
         assert!(ev.take_trace().is_none(), "trace is consumed");
+    }
+
+    #[test]
+    fn trace_records_mod_switch_at_input_level() {
+        let (f, k) = Fixture::new(3);
+        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(31));
+        let mut ev = Evaluator::new(&f.ctx);
+        ev.start_trace();
+        let ct = enc.encrypt(&[1.0, 2.0]);
+        let same = ev.mod_switch_to(&ct, ct.level()); // no-op: no record
+        assert_eq!(same.level(), ct.level());
+        let dropped = ev.mod_switch_to(&ct, 1);
+        assert_eq!(dropped.level(), 1);
+        let t = ev.take_trace().unwrap();
+        assert_eq!(t.hop_count(), 1);
+        assert_eq!(t.count_of(HeOpKind::ModSwitch), 1);
+        assert_eq!(t.records()[0].level, 3, "recorded at the input level");
+        assert_eq!(t.key_switch_count(), 0, "mod switch is not a key switch");
+    }
+
+    #[test]
+    fn trace_distinguishes_conjugate_from_rotate() {
+        let ctx = CkksContext::new(CkksParams::insecure_toy(2));
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(32));
+        let pk = kg.public_key();
+        let conj = kg.conjugation_key();
+        let gks = kg.galois_keys(&[1]);
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(33));
+        let mut ev = Evaluator::new(&ctx);
+        ev.start_trace();
+        let ct = enc.encrypt(&[1.0, -2.0]);
+        let _ = ev.rotate(&ct, 1, &gks);
+        let _ = ev.conjugate(&ct, &conj);
+        let t = ev.take_trace().unwrap();
+        assert_eq!(t.count_of(HeOpKind::Rotate), 1);
+        assert_eq!(t.count_of(HeOpKind::Conjugate), 1);
+        assert_eq!(t.key_switch_count(), 2, "both are OP5 key switches");
     }
 
     #[test]

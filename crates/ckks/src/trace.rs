@@ -21,28 +21,41 @@ pub enum HeOpKind {
     CcMult,
     /// Rescale after a multiplication (paper "OP4").
     Rescale,
+    /// Modulus switch: dropping RNS components to reach a lower level
+    /// without dividing the scale. Costs like a truncated Rescale, so it
+    /// shares the paper's "OP4" module.
+    ModSwitch,
     /// Relinearization key switch (paper "OP5" KeySwitch).
     Relinearize,
     /// Rotation key switch (paper "OP5" KeySwitch).
     Rotate,
+    /// Conjugation key switch (paper "OP5" KeySwitch). Same datapath as a
+    /// rotation but under the Galois element `2N − 1`, so it is tracked
+    /// separately for accounting.
+    Conjugate,
 }
 
 impl HeOpKind {
     /// All operation kinds, in a stable order.
-    pub const ALL: [HeOpKind; 7] = [
+    pub const ALL: [HeOpKind; 9] = [
         HeOpKind::CcAdd,
         HeOpKind::PcAdd,
         HeOpKind::PcMult,
         HeOpKind::CcMult,
         HeOpKind::Rescale,
+        HeOpKind::ModSwitch,
         HeOpKind::Relinearize,
         HeOpKind::Rotate,
+        HeOpKind::Conjugate,
     ];
 
-    /// True for the KeySwitch family (Relinearize and Rotate), the
-    /// operations the paper groups as "OP5".
+    /// True for the KeySwitch family (Relinearize, Rotate and Conjugate),
+    /// the operations the paper groups as "OP5".
     pub fn is_key_switch(self) -> bool {
-        matches!(self, HeOpKind::Relinearize | HeOpKind::Rotate)
+        matches!(
+            self,
+            HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate
+        )
     }
 
     /// The paper's module label for this operation ("OP1" … "OP5").
@@ -51,8 +64,8 @@ impl HeOpKind {
             HeOpKind::CcAdd | HeOpKind::PcAdd => "OP1",
             HeOpKind::PcMult => "OP2",
             HeOpKind::CcMult => "OP3",
-            HeOpKind::Rescale => "OP4",
-            HeOpKind::Relinearize | HeOpKind::Rotate => "OP5",
+            HeOpKind::Rescale | HeOpKind::ModSwitch => "OP4",
+            HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate => "OP5",
         }
     }
 }
@@ -65,8 +78,10 @@ impl std::fmt::Display for HeOpKind {
             HeOpKind::PcMult => "PCmult",
             HeOpKind::CcMult => "CCmult",
             HeOpKind::Rescale => "Rescale",
+            HeOpKind::ModSwitch => "ModSwitch",
             HeOpKind::Relinearize => "Relinearize",
             HeOpKind::Rotate => "Rotate",
+            HeOpKind::Conjugate => "Conjugate",
         };
         f.write_str(s)
     }
@@ -171,12 +186,14 @@ mod tests {
     fn keyswitch_classification_matches_paper() {
         assert!(HeOpKind::Relinearize.is_key_switch());
         assert!(HeOpKind::Rotate.is_key_switch());
+        assert!(HeOpKind::Conjugate.is_key_switch());
         for k in [
             HeOpKind::CcAdd,
             HeOpKind::PcAdd,
             HeOpKind::PcMult,
             HeOpKind::CcMult,
             HeOpKind::Rescale,
+            HeOpKind::ModSwitch,
         ] {
             assert!(!k.is_key_switch(), "{k} is not a key switch");
         }
@@ -188,8 +205,22 @@ mod tests {
         assert_eq!(HeOpKind::PcMult.module_label(), "OP2");
         assert_eq!(HeOpKind::CcMult.module_label(), "OP3");
         assert_eq!(HeOpKind::Rescale.module_label(), "OP4");
+        assert_eq!(HeOpKind::ModSwitch.module_label(), "OP4");
         assert_eq!(HeOpKind::Relinearize.module_label(), "OP5");
         assert_eq!(HeOpKind::Rotate.module_label(), "OP5");
+        assert_eq!(HeOpKind::Conjugate.module_label(), "OP5");
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_ordered() {
+        // ALL must list every kind exactly once, in declaration order
+        // (the derived Ord), so kinds_used() stays deterministic.
+        let mut sorted = HeOpKind::ALL;
+        sorted.sort();
+        assert_eq!(sorted, HeOpKind::ALL);
+        for k in HeOpKind::ALL {
+            assert_eq!(HeOpKind::ALL.iter().filter(|&&x| x == k).count(), 1, "{k}");
+        }
     }
 
     #[test]

@@ -64,8 +64,12 @@ impl From<HeOpKind> for OpClass {
             HeOpKind::CcAdd | HeOpKind::PcAdd => OpClass::Add,
             HeOpKind::PcMult => OpClass::PcMult,
             HeOpKind::CcMult => OpClass::CcMult,
-            HeOpKind::Rescale => OpClass::Rescale,
-            HeOpKind::Relinearize | HeOpKind::Rotate => OpClass::KeySwitch,
+            // A modulus switch runs on the Rescale datapath (residue drop
+            // without the division's NTT passes).
+            HeOpKind::Rescale | HeOpKind::ModSwitch => OpClass::Rescale,
+            HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate => {
+                OpClass::KeySwitch
+            }
         }
     }
 }

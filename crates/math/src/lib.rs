@@ -42,6 +42,7 @@ pub mod bigint;
 pub mod error;
 pub mod modops;
 pub mod ntt;
+pub mod par;
 pub mod poly;
 pub mod prime;
 pub mod rns;

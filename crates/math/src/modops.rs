@@ -238,6 +238,21 @@ impl ShoupMul {
             r
         }
     }
+
+    /// Computes `x * w mod q` lazily: the result is only guaranteed to
+    /// lie in `[0, 2q)`.
+    ///
+    /// Unlike [`Self::mul`], `x` may be *any* `u64`, not necessarily a
+    /// reduced residue — the Shoup quotient error stays below 2 for every
+    /// `x < 2^64`, so the lazy product is below `2q` regardless. The NTT
+    /// butterflies use this to skip the per-multiplication correction and
+    /// normalize once at the end of the transform.
+    #[inline]
+    pub fn mul_lazy(&self, x: u64) -> u64 {
+        let hi = ((x as u128 * self.w_shoup as u128) >> 64) as u64;
+        x.wrapping_mul(self.w)
+            .wrapping_sub(hi.wrapping_mul(self.q))
+    }
 }
 
 /// Maps a signed integer into `[0, q)`.
@@ -365,6 +380,21 @@ mod tests {
     fn shoup_near_modulus_boundary() {
         let sm = ShoupMul::new(Q62 - 1, Q62);
         assert_eq!(sm.mul(Q62 - 1), mul_mod(Q62 - 1, Q62 - 1, Q62));
+    }
+
+    #[test]
+    fn shoup_lazy_stays_below_2q_and_agrees_mod_q() {
+        // mul_lazy accepts *unreduced* inputs (anything in u64) and must
+        // return the right residue class in [0, 2q) — the contract the
+        // lazy NTT butterflies rely on.
+        for (w, q) in [(999_983u64, Q), (Q - 1, Q), (Q62 - 1, Q62)] {
+            let sm = ShoupMul::new(w, q);
+            for x in [0u64, 1, q - 1, 2 * q - 1, 3 * q + 7, u64::MAX] {
+                let r = sm.mul_lazy(x);
+                assert!(r < 2 * q, "w={w} x={x}: lazy result {r} >= 2q");
+                assert_eq!(r % q, mul_mod(x % q, w, q), "w={w} x={x}");
+            }
+        }
     }
 
     #[test]

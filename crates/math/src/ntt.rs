@@ -7,7 +7,10 @@
 //! forward transform, Gentleman–Sande for the inverse, with Shoup
 //! precomputed twiddles so each butterfly costs one high product, one low
 //! product and a correction — the same arithmetic an FPGA NTT core
-//! implements in DSP slices.
+//! implements in DSP slices. Butterflies use Harvey-style lazy reduction
+//! (intermediates in `[0, 4q)` forward / `[0, 2q)` inverse, normalized
+//! once at the end), which removes the data-dependent correction branch
+//! from the hot loop without changing the canonical output.
 //!
 //! `log2(N)` rounds of `N/2` butterflies each give the latency model of
 //! paper Eq. (4): `LAT_NTT = log2(N) · N / (2 · nc_NTT)` cycles for
@@ -117,21 +120,40 @@ impl NttTable {
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         let q = self.q;
+        let two_q = 2 * q;
         let mut t = self.n;
         let mut m = 1usize;
         while m < self.n {
             t >>= 1;
             for i in 0..m {
                 let w = &self.fwd[m + i];
-                let j1 = 2 * i * t;
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = w.mul(a[j + t]);
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = sub_mod(u, v, q);
+                let block = &mut a[2 * i * t..2 * (i + 1) * t];
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Harvey lazy butterfly: inputs < 4q in, outputs < 4q
+                    // out; the only correction is one conditional
+                    // subtraction of 2q on `u` (q < 2^62 keeps 4q in u64).
+                    let mut u = *x;
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = w.mul_lazy(*y); // < 2q
+                    *x = u + v; // < 4q
+                    *y = u + two_q - v; // < 4q
                 }
             }
             m <<= 1;
+        }
+        // Normalize from the lazy range [0, 4q) back to canonical [0, q).
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
         }
     }
 
@@ -144,6 +166,7 @@ impl NttTable {
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         let q = self.q;
+        let two_q = 2 * q;
         let mut t = 1usize;
         let mut m = self.n;
         while m > 1 {
@@ -151,19 +174,30 @@ impl NttTable {
             let mut j1 = 0usize;
             for i in 0..h {
                 let w = &self.inv[h + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = w.mul(sub_mod(u, v, q));
+                let block = &mut a[j1..j1 + 2 * t];
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Lazy Gentleman–Sande butterfly: inputs < 2q in,
+                    // outputs < 2q out (`u + 2q - v < 4q` is fine as a
+                    // lazy multiplier input).
+                    let u = *x;
+                    let v = *y;
+                    let mut s = u + v; // < 4q
+                    if s >= two_q {
+                        s -= two_q;
+                    }
+                    *x = s; // < 2q
+                    *y = w.mul_lazy(u + two_q - v); // < 2q
                 }
                 j1 += 2 * t;
             }
             t <<= 1;
             m = h;
         }
+        // Fold in N^{-1} and normalize from [0, 2q) to canonical [0, q).
         for x in a.iter_mut() {
-            *x = self.n_inv.mul(*x);
+            let v = self.n_inv.mul_lazy(*x);
+            *x = if v >= q { v - q } else { v };
         }
     }
 }

@@ -1,0 +1,239 @@
+//! Limb-level parallel execution helpers.
+//!
+//! The paper provisions `nc_NTT` parallel NTT cores and `P_intra`
+//! intra-operation parallelism in DSP slices (Sec. III, Table I); the
+//! software mirror of that is running the independent per-RNS-limb loops
+//! of every polynomial kernel on worker threads. This module is the
+//! single scheduling point for that: [`for_each_indexed`] splits a
+//! mutable slice of limbs into at most [`effective_threads`] contiguous
+//! chunks, and [`map_indexed`] does the same for indexed map-style work
+//! (e.g. one ciphertext per output neuron in the HE-CNN executor).
+//!
+//! # Determinism
+//!
+//! Every closure writes only its own element and computes values that do
+//! not depend on scheduling, so the result is bit-identical whatever the
+//! thread count — including the fully serial path. Tests can pin the
+//! behaviour per thread with [`with_parallelism`]: the override is
+//! thread-local, so concurrently running tests do not disturb each other.
+//!
+//! Without the `parallel` cargo feature (or with
+//! [`Parallelism::Serial`]), everything runs inline on the caller's
+//! thread and this module adds zero overhead.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How the helpers schedule their work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Use up to the machine's available hardware threads (the default).
+    /// Falls back to inline execution on single-core hosts.
+    Auto,
+    /// Run everything inline on the calling thread.
+    Serial,
+    /// Force exactly this many worker threads (>= 2), even on a
+    /// single-core host. Used by the serial-vs-parallel equivalence
+    /// tests to genuinely exercise the threaded path.
+    Threads(usize),
+}
+
+// Encoding: 0 = Auto, 1 = Serial, k >= 2 = Threads(k).
+static GLOBAL_MODE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL_MODE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn encode(p: Parallelism) -> usize {
+    match p {
+        Parallelism::Auto => 0,
+        Parallelism::Serial => 1,
+        Parallelism::Threads(k) => k.max(2),
+    }
+}
+
+fn decode(v: usize) -> Parallelism {
+    match v {
+        0 => Parallelism::Auto,
+        1 => Parallelism::Serial,
+        k => Parallelism::Threads(k),
+    }
+}
+
+/// Sets the process-wide default scheduling mode.
+pub fn set_parallelism(p: Parallelism) {
+    GLOBAL_MODE.store(encode(p), Ordering::SeqCst);
+}
+
+/// The scheduling mode in effect for the calling thread (the
+/// [`with_parallelism`] override if one is active, otherwise the global
+/// default).
+pub fn parallelism() -> Parallelism {
+    let local = LOCAL_MODE.with(|m| m.get());
+    decode(local.unwrap_or_else(|| GLOBAL_MODE.load(Ordering::SeqCst)))
+}
+
+/// Runs `f` with a thread-local scheduling override, restoring the
+/// previous override afterwards (also on panic-free early return).
+pub fn with_parallelism<R>(p: Parallelism, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_MODE.with(|m| m.set(self.0));
+        }
+    }
+    let prev = LOCAL_MODE.with(|m| m.replace(Some(encode(p))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Number of worker threads the helpers will actually use right now for
+/// the calling thread; 1 means "run inline".
+pub fn effective_threads() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        match parallelism() {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(k) => k,
+            Parallelism::Auto => rayon::current_num_threads(),
+        }
+    }
+}
+
+/// Applies `f(index, &mut item)` to every element, splitting the slice
+/// into at most [`effective_threads`] contiguous chunks of parallel work.
+///
+/// `f` must be a pure function of its index and element for the result
+/// to be schedule-independent; every caller in this workspace satisfies
+/// that (per-limb modular arithmetic with disjoint outputs).
+pub fn for_each_indexed<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let threads = effective_threads().min(items.len());
+        if threads > 1 {
+            let chunk = items.len().div_ceil(threads);
+            rayon::scope(|s| {
+                for (ci, slab) in items.chunks_mut(chunk).enumerate() {
+                    let f = &f;
+                    s.spawn(move |_| {
+                        for (off, item) in slab.iter_mut().enumerate() {
+                            f(ci * chunk + off, item);
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+    for (i, item) in items.iter_mut().enumerate() {
+        f(i, item);
+    }
+}
+
+/// Computes `[f(0), f(1), .., f(count - 1)]`, splitting the index range
+/// into at most [`effective_threads`] contiguous chunks of parallel work.
+pub fn map_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let threads = effective_threads().min(count);
+        if threads > 1 {
+            let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+            let chunk = count.div_ceil(threads);
+            rayon::scope(|s| {
+                for (ci, slab) in out.chunks_mut(chunk).enumerate() {
+                    let f = &f;
+                    s.spawn(move |_| {
+                        for (off, slot) in slab.iter_mut().enumerate() {
+                            *slot = Some(f(ci * chunk + off));
+                        }
+                    });
+                }
+            });
+            return out
+                .into_iter()
+                .map(|slot| slot.expect("every chunk fills its slots"))
+                .collect();
+        }
+    }
+    (0..count).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_override_runs_inline() {
+        with_parallelism(Parallelism::Serial, || {
+            assert_eq!(effective_threads(), 1);
+            let mut v = vec![0u64; 17];
+            for_each_indexed(&mut v, |i, x| *x = i as u64 * 3);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+        });
+    }
+
+    #[test]
+    fn forced_threads_match_serial_results() {
+        let serial = with_parallelism(Parallelism::Serial, || {
+            map_indexed(103, |i| (i as u64).wrapping_mul(0x9E37_79B9))
+        });
+        let threaded = with_parallelism(Parallelism::Threads(3), || {
+            map_indexed(103, |i| (i as u64).wrapping_mul(0x9E37_79B9))
+        });
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn forced_threads_for_each_matches_serial() {
+        let run = |p| {
+            with_parallelism(p, || {
+                let mut v = vec![0u64; 41];
+                for_each_indexed(&mut v, |i, x| *x = (i as u64 + 7).pow(2));
+                v
+            })
+        };
+        assert_eq!(run(Parallelism::Serial), run(Parallelism::Threads(4)));
+    }
+
+    #[test]
+    fn override_is_scoped_and_restored() {
+        let before = parallelism();
+        with_parallelism(Parallelism::Threads(5), || {
+            assert_eq!(parallelism(), Parallelism::Threads(5));
+            with_parallelism(Parallelism::Serial, || {
+                assert_eq!(parallelism(), Parallelism::Serial);
+            });
+            assert_eq!(parallelism(), Parallelism::Threads(5));
+        });
+        assert_eq!(parallelism(), before);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_are_fine() {
+        let mut empty: Vec<u64> = Vec::new();
+        for_each_indexed(&mut empty, |_, _| unreachable!());
+        assert!(map_indexed(0, |i| i).is_empty());
+        assert_eq!(map_indexed(1, |i| i + 1), vec![1]);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threads_mode_reports_requested_width() {
+        with_parallelism(Parallelism::Threads(3), || {
+            assert_eq!(effective_threads(), 3);
+        });
+    }
+}

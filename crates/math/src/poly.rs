@@ -6,9 +6,18 @@
 //! exactly these per-prime residue polynomials; the level `L` of a
 //! ciphertext is the number of residue components (`poly_{q_i}` in paper
 //! Sec. V-B).
+//!
+//! The per-prime loops are the hot path of every HE operation, so they are
+//! scheduled through [`crate::par`] (one unit of work per RNS limb,
+//! mirroring the paper's `nc_NTT` parallel NTT cores) and use the Barrett
+//! and Shoup reduction primitives from [`crate::modops`] instead of a
+//! `u128` division per coefficient. Both choices are bit-identical to the
+//! naive serial path. The `*_into` / fused variants exist so the
+//! evaluator can reuse scratch buffers instead of cloning on every op.
 
-use crate::modops::{add_mod, mul_mod, neg_mod, sub_mod};
+use crate::modops::{add_mod, neg_mod, sub_mod, BarrettReducer, ShoupMul};
 use crate::ntt::NttTable;
+use crate::par;
 
 /// Which domain the residue coefficients are expressed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +112,62 @@ impl RnsPoly {
         &mut self.residues[i]
     }
 
+    /// All residue polynomials, mutably — for callers that fill the limbs
+    /// in parallel via [`crate::par::for_each_indexed`]. Callers must keep
+    /// every value reduced below its prime and must not change the vector
+    /// lengths.
+    #[inline]
+    pub fn components_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.residues
+    }
+
+    /// Reconfigures this polynomial in place to `levels` components of
+    /// degree `n` in `domain`, reusing the existing buffers where
+    /// possible. The coefficient contents are unspecified afterwards; use
+    /// [`RnsPoly::reshape_zeroed`] when the caller accumulates into the
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `levels == 0`.
+    pub fn reshape(&mut self, n: usize, levels: usize, domain: Domain) {
+        assert!(n.is_power_of_two(), "degree must be a power of two");
+        assert!(levels > 0, "a polynomial needs at least one residue");
+        self.n = n;
+        self.domain = domain;
+        self.residues.truncate(levels);
+        for r in &mut self.residues {
+            r.resize(n, 0);
+        }
+        while self.residues.len() < levels {
+            self.residues.push(vec![0u64; n]);
+        }
+    }
+
+    /// Like [`RnsPoly::reshape`], but additionally zero-fills every
+    /// component, yielding the zero polynomial without fresh allocations.
+    pub fn reshape_zeroed(&mut self, n: usize, levels: usize, domain: Domain) {
+        self.reshape(n, levels, domain);
+        for r in &mut self.residues {
+            r.fill(0);
+        }
+    }
+
+    /// Makes `self` a copy of `other`, reusing `self`'s buffers instead of
+    /// allocating like `clone()` does.
+    pub fn copy_from(&mut self, other: &RnsPoly) {
+        self.n = other.n;
+        self.domain = other.domain;
+        self.residues.truncate(other.residues.len());
+        for (r, src) in self.residues.iter_mut().zip(&other.residues) {
+            r.clear();
+            r.extend_from_slice(src);
+        }
+        for src in other.residues.iter().skip(self.residues.len()) {
+            self.residues.push(src.clone());
+        }
+    }
+
     /// Drops the last residue component, reducing the level by one (the
     /// tail of a Rescale).
     ///
@@ -153,34 +218,35 @@ impl RnsPoly {
     pub fn add_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
         self.assert_compatible(other);
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        for (i, &q) in moduli.iter().enumerate() {
-            let (a, b) = (&mut self.residues[i], &other.residues[i]);
-            for (x, &y) in a.iter_mut().zip(b) {
+        par::for_each_indexed(&mut self.residues, |i, a| {
+            let q = moduli[i];
+            for (x, &y) in a.iter_mut().zip(&other.residues[i]) {
                 *x = add_mod(*x, y, q);
             }
-        }
+        });
     }
 
     /// `self -= other` componentwise.
     pub fn sub_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
         self.assert_compatible(other);
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        for (i, &q) in moduli.iter().enumerate() {
-            let (a, b) = (&mut self.residues[i], &other.residues[i]);
-            for (x, &y) in a.iter_mut().zip(b) {
+        par::for_each_indexed(&mut self.residues, |i, a| {
+            let q = moduli[i];
+            for (x, &y) in a.iter_mut().zip(&other.residues[i]) {
                 *x = sub_mod(*x, y, q);
             }
-        }
+        });
     }
 
     /// `self = -self` componentwise.
     pub fn neg_assign(&mut self, moduli: &[u64]) {
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        for (i, &q) in moduli.iter().enumerate() {
-            for x in self.residues[i].iter_mut() {
+        par::for_each_indexed(&mut self.residues, |i, r| {
+            let q = moduli[i];
+            for x in r.iter_mut() {
                 *x = neg_mod(*x, q);
             }
-        }
+        });
     }
 
     /// Pointwise (slot-wise) product; both polynomials must be in the NTT
@@ -194,12 +260,91 @@ impl RnsPoly {
         self.assert_compatible(other);
         assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        for (i, &q) in moduli.iter().enumerate() {
-            let (a, b) = (&mut self.residues[i], &other.residues[i]);
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = mul_mod(*x, y, q);
+        par::for_each_indexed(&mut self.residues, |i, a| {
+            let red = BarrettReducer::new(moduli[i]);
+            for (x, &y) in a.iter_mut().zip(&other.residues[i]) {
+                *x = red.mul(*x, y);
             }
-        }
+        });
+    }
+
+    /// `out = self * other` pointwise, reusing `out`'s buffers. Equivalent
+    /// to `out = self.clone()` followed by
+    /// [`RnsPoly::mul_pointwise_assign`], without the allocation.
+    pub fn mul_pointwise_into(&self, other: &RnsPoly, moduli: &[u64], out: &mut RnsPoly) {
+        self.assert_compatible(other);
+        assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        out.reshape(self.n, self.residues.len(), Domain::Ntt);
+        par::for_each_indexed(&mut out.residues, |i, o| {
+            let red = BarrettReducer::new(moduli[i]);
+            for ((z, &x), &y) in o.iter_mut().zip(&self.residues[i]).zip(&other.residues[i]) {
+                *z = red.mul(x, y);
+            }
+        });
+    }
+
+    /// Fused multiply-accumulate: `self += a * b` pointwise. Replaces the
+    /// `clone`-multiply-add sequence of the evaluator's hot path with a
+    /// single pass and zero allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three polynomials share degree, level count and
+    /// the NTT domain.
+    pub fn add_mul_pointwise(&mut self, a: &RnsPoly, b: &RnsPoly, moduli: &[u64]) {
+        self.assert_compatible(a);
+        a.assert_compatible(b);
+        assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        par::for_each_indexed(&mut self.residues, |i, acc| {
+            let q = moduli[i];
+            let red = BarrettReducer::new(q);
+            for ((z, &x), &y) in acc.iter_mut().zip(&a.residues[i]).zip(&b.residues[i]) {
+                *z = add_mod(*z, red.mul(x, y), q);
+            }
+        });
+    }
+
+    /// Fused multiply-accumulate against a component *selection* of `b`:
+    /// `self[i] += a[i] * b[b_indices[i]]` pointwise. This is what the
+    /// keyswitch inner product needs (the key polynomial lives in the full
+    /// `max_level + special` basis and is addressed through the extended
+    /// index list), and it avoids materialising `b.select_components()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` and `a` are shape-compatible, all three are in
+    /// the NTT domain with equal degree, and every index is in range.
+    pub fn add_mul_pointwise_select(
+        &mut self,
+        a: &RnsPoly,
+        b: &RnsPoly,
+        b_indices: &[usize],
+        moduli: &[u64],
+    ) {
+        self.assert_compatible(a);
+        assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
+        assert_eq!(b.domain, Domain::Ntt, "pointwise product needs NTT domain");
+        assert_eq!(b.n, self.n, "degree mismatch");
+        assert_eq!(
+            b_indices.len(),
+            self.residues.len(),
+            "one b-component index per level"
+        );
+        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
+        assert!(
+            b_indices.iter().all(|&j| j < b.residues.len()),
+            "b-component index out of range"
+        );
+        par::for_each_indexed(&mut self.residues, |i, acc| {
+            let q = moduli[i];
+            let red = BarrettReducer::new(q);
+            let bs = &b.residues[b_indices[i]];
+            for ((z, &x), &y) in acc.iter_mut().zip(&a.residues[i]).zip(bs) {
+                *z = add_mod(*z, red.mul(x, y), q);
+            }
+        });
     }
 
     /// Multiplies every coefficient of component `i` by the scalar
@@ -207,11 +352,13 @@ impl RnsPoly {
     pub fn mul_scalar_assign(&mut self, scalars: &[u64], moduli: &[u64]) {
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
         assert_eq!(scalars.len(), self.residues.len(), "one scalar per level");
-        for ((r, &s), &q) in self.residues.iter_mut().zip(scalars).zip(moduli) {
+        par::for_each_indexed(&mut self.residues, |i, r| {
+            let q = moduli[i];
+            let s = ShoupMul::new(scalars[i] % q, q);
             for x in r.iter_mut() {
-                *x = mul_mod(*x, s, q);
+                *x = s.mul(*x);
             }
-        }
+        });
     }
 
     /// Converts to the NTT domain in place; a no-op if already there.
@@ -225,9 +372,7 @@ impl RnsPoly {
             return;
         }
         assert_eq!(tables.len(), self.residues.len(), "one table per level");
-        for (r, t) in self.residues.iter_mut().zip(tables) {
-            t.forward(r);
-        }
+        par::for_each_indexed(&mut self.residues, |i, r| tables[i].forward(r));
         self.domain = Domain::Ntt;
     }
 
@@ -238,9 +383,7 @@ impl RnsPoly {
             return;
         }
         assert_eq!(tables.len(), self.residues.len(), "one table per level");
-        for (r, t) in self.residues.iter_mut().zip(tables) {
-            t.inverse(r);
-        }
+        par::for_each_indexed(&mut self.residues, |i, r| tables[i].inverse(r));
         self.domain = Domain::Coeff;
     }
 
@@ -268,16 +411,21 @@ impl RnsPoly {
     }
 
     /// Applies the Galois automorphism `X → X^g` in the coefficient
-    /// domain, the core of the Rotate operation.
+    /// domain, writing the permuted polynomial into `out` (buffers
+    /// reused).
     ///
     /// Coefficient `j` of the input lands at position `j·g mod 2N`, with a
     /// sign flip when the exponent wraps past `N` (because `X^N = -1`).
+    /// For odd `g` the map `j ↦ j·g mod 2N` sends the `N` input indices to
+    /// `N` distinct output slots (two inputs can never collide `mod N`:
+    /// that would need `g·Δj ≡ N (mod 2N)`, impossible for odd `g` and
+    /// `0 < Δj < N`), so each output coefficient is written exactly once.
     ///
     /// # Panics
     ///
     /// Panics if the polynomial is in the NTT domain or `g` is even
     /// (automorphisms of the 2N-th cyclotomic require odd exponents).
-    pub fn automorphism(&self, g: usize, moduli: &[u64]) -> RnsPoly {
+    pub fn automorphism_into(&self, g: usize, moduli: &[u64], out: &mut RnsPoly) {
         assert_eq!(
             self.domain,
             Domain::Coeff,
@@ -287,19 +435,24 @@ impl RnsPoly {
         assert!(g % 2 == 1, "Galois exponent must be odd");
         let n = self.n;
         let two_n = 2 * n;
-        let mut out = RnsPoly::zero(n, self.residues.len(), Domain::Coeff);
-        for (i, &q) in moduli.iter().enumerate() {
-            let src = &self.residues[i];
-            let dst = out.component_mut(i);
-            for (j, &c) in src.iter().enumerate() {
+        out.reshape(n, self.residues.len(), Domain::Coeff);
+        par::for_each_indexed(&mut out.residues, |i, dst| {
+            let q = moduli[i];
+            for (j, &c) in self.residues[i].iter().enumerate() {
                 let e = (j * g) % two_n;
                 if e < n {
-                    dst[e] = add_mod(dst[e], c, q);
+                    dst[e] = c;
                 } else {
-                    dst[e - n] = sub_mod(dst[e - n], c, q);
+                    dst[e - n] = neg_mod(c, q);
                 }
             }
-        }
+        });
+    }
+
+    /// Allocating wrapper around [`RnsPoly::automorphism_into`].
+    pub fn automorphism(&self, g: usize, moduli: &[u64]) -> RnsPoly {
+        let mut out = RnsPoly::zero(self.n, self.residues.len(), Domain::Coeff);
+        self.automorphism_into(g, moduli, &mut out);
         out
     }
 }
@@ -308,6 +461,7 @@ impl RnsPoly {
 mod tests {
     use super::*;
     use crate::ntt::negacyclic_mul_naive;
+    use crate::par::{with_parallelism, Parallelism};
     use crate::prime::generate_ntt_primes;
     use crate::rns::RnsBasis;
     use rand::rngs::StdRng;
@@ -461,5 +615,129 @@ mod tests {
         assert_eq!(q.level_count(), 2);
         q.push_component(last);
         assert_eq!(q, p);
+    }
+
+    #[test]
+    fn mul_pointwise_into_matches_assign() {
+        let b = basis(32, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut p = random_poly(&b, &mut rng);
+        let mut q = random_poly(&b, &mut rng);
+        p.to_ntt(&tables(&b));
+        q.to_ntt(&tables(&b));
+
+        let mut expected = p.clone();
+        expected.mul_pointwise_assign(&q, b.moduli());
+
+        // Scratch deliberately starts with the wrong shape and stale data.
+        let mut out = RnsPoly::zero(8, 1, Domain::Coeff);
+        out.component_mut(0)[0] = 12345;
+        p.mul_pointwise_into(&q, b.moduli(), &mut out);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn add_mul_pointwise_matches_clone_based_path() {
+        let b = basis(32, 2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut acc = random_poly(&b, &mut rng);
+        let mut a = random_poly(&b, &mut rng);
+        let mut bb = random_poly(&b, &mut rng);
+        acc.to_ntt(&tables(&b));
+        a.to_ntt(&tables(&b));
+        bb.to_ntt(&tables(&b));
+
+        let mut expected = acc.clone();
+        let mut t = a.clone();
+        t.mul_pointwise_assign(&bb, b.moduli());
+        expected.add_assign(&t, b.moduli());
+
+        acc.add_mul_pointwise(&a, &bb, b.moduli());
+        assert_eq!(acc, expected);
+    }
+
+    #[test]
+    fn add_mul_pointwise_select_matches_select_components() {
+        let b = basis(16, 2);
+        let big = basis(16, 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut acc = random_poly(&b, &mut rng);
+        let mut a = random_poly(&b, &mut rng);
+        let mut key = random_poly(&big, &mut rng);
+        acc.to_ntt(&tables(&b));
+        a.to_ntt(&tables(&b));
+        key.to_ntt(&tables(&big));
+        let indices = [1usize, 3usize];
+
+        let mut expected = acc.clone();
+        let mut t = a.clone();
+        t.mul_pointwise_assign(&key.select_components(&indices), b.moduli());
+        expected.add_assign(&t, b.moduli());
+
+        acc.add_mul_pointwise_select(&a, &key, &indices, b.moduli());
+        assert_eq!(acc, expected);
+    }
+
+    #[test]
+    fn automorphism_into_reuses_dirty_scratch() {
+        let b = basis(16, 2);
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = random_poly(&b, &mut rng);
+        let mut out = random_poly(&b, &mut rng); // stale contents
+        p.automorphism_into(5, b.moduli(), &mut out);
+        assert_eq!(out, p.automorphism(5, b.moduli()));
+    }
+
+    #[test]
+    fn copy_from_and_reshape_reuse_buffers() {
+        let b = basis(16, 3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = random_poly(&b, &mut rng);
+        let mut dst = RnsPoly::zero(64, 1, Domain::Ntt);
+        dst.copy_from(&p);
+        assert_eq!(dst, p);
+        dst.reshape_zeroed(16, 2, Domain::Coeff);
+        assert_eq!(dst, RnsPoly::zero(16, 2, Domain::Coeff));
+    }
+
+    #[test]
+    fn mul_scalar_reduces_unnormalised_scalars() {
+        let b = basis(16, 2);
+        let mut rng = StdRng::seed_from_u64(14);
+        let p = random_poly(&b, &mut rng);
+        let qs = b.moduli();
+        // Scalars at or above the modulus must behave as their residue.
+        let raw: Vec<u64> = qs.iter().map(|&q| q + 3).collect();
+        let reduced: Vec<u64> = qs.iter().map(|_| 3u64).collect();
+        let mut x = p.clone();
+        let mut y = p.clone();
+        x.mul_scalar_assign(&raw, qs);
+        y.mul_scalar_assign(&reduced, qs);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn threaded_kernels_match_serial_bit_for_bit() {
+        let b = basis(64, 3);
+        let mut rng = StdRng::seed_from_u64(15);
+        let p = random_poly(&b, &mut rng);
+        let q = random_poly(&b, &mut rng);
+        let run = |mode| {
+            with_parallelism(mode, || {
+                let mut x = p.clone();
+                let mut y = q.clone();
+                x.to_ntt(&tables(&b));
+                y.to_ntt(&tables(&b));
+                let mut z = x.clone();
+                z.mul_pointwise_assign(&y, b.moduli());
+                z.add_mul_pointwise(&x, &y, b.moduli());
+                z.to_coeff(&tables(&b));
+                let rot = z.automorphism(5, b.moduli());
+                z.add_assign(&rot, b.moduli());
+                z.neg_assign(b.moduli());
+                z
+            })
+        };
+        assert_eq!(run(Parallelism::Serial), run(Parallelism::Threads(3)));
     }
 }

@@ -158,12 +158,37 @@ impl RnsBasis {
 
     /// Returns a new basis over the first `k` primes.
     ///
+    /// The per-prime NTT tables are reused from `self` by truncation —
+    /// primality checks and the (expensive) primitive-root search for
+    /// each prime already happened when `self` was built and do not
+    /// depend on which primes follow. Only the CRT constants are
+    /// recomputed, because `Q`, `Q/2`, `Q̂_i` and `[Q̂_i^{-1}]_{q_i}` all
+    /// change with the truncated prime product.
+    ///
     /// # Panics
     ///
     /// Panics if `k == 0` or `k > len()`.
     pub fn prefix(&self, k: usize) -> RnsBasis {
         assert!(k >= 1 && k <= self.len(), "prefix size out of range");
-        RnsBasis::new(self.n, self.moduli[..k].to_vec())
+        let moduli = self.moduli[..k].to_vec();
+        let tables = self.tables[..k].to_vec();
+        let big_q = BigUint::product_of(&moduli);
+        let (half_q, _) = big_q.div_rem_u64(2);
+        let q_hat: Vec<BigUint> = moduli.iter().map(|&q| big_q.div_rem_u64(q).0).collect();
+        let q_hat_inv = moduli
+            .iter()
+            .zip(&q_hat)
+            .map(|(&q, qh)| inv_mod(qh.rem_u64(q), q))
+            .collect();
+        RnsBasis {
+            n: self.n,
+            moduli,
+            tables,
+            big_q,
+            half_q,
+            q_hat,
+            q_hat_inv,
+        }
     }
 }
 
@@ -236,6 +261,44 @@ mod tests {
         let p = b.prefix(2);
         assert_eq!(p.moduli(), &b.moduli()[..2]);
         assert_eq!(p.degree(), b.degree());
+    }
+
+    #[test]
+    fn prefix_matches_fresh_construction() {
+        // Regression: prefix() used to rebuild the whole basis via
+        // RnsBasis::new (redoing primality tests and root searches); the
+        // truncating fast path must still agree with a from-scratch build
+        // in every observable field.
+        let b = basis(64, 4);
+        for k in 1..=b.len() {
+            let fast = b.prefix(k);
+            let fresh = RnsBasis::new(b.degree(), b.moduli()[..k].to_vec());
+            assert_eq!(fast.degree(), fresh.degree());
+            assert_eq!(fast.moduli(), fresh.moduli());
+            assert_eq!(fast.q_hat_inv(), fresh.q_hat_inv());
+            assert_eq!(
+                fast.modulus_product().cmp_big(fresh.modulus_product()),
+                Ordering::Equal
+            );
+            assert_eq!(fast.total_bits(), fresh.total_bits());
+            for i in 0..k {
+                let q = fast.moduli()[i];
+                assert_eq!(fast.q_hat_mod(i, q), fresh.q_hat_mod(i, q));
+                assert_eq!(fast.table(i).root(), fresh.table(i).root());
+                // Same table contents ⇒ identical transforms.
+                let mut x: Vec<u64> = (0..64u64).map(|j| j * j % q).collect();
+                let mut y = x.clone();
+                fast.table(i).forward(&mut x);
+                fresh.table(i).forward(&mut y);
+                assert_eq!(x, y);
+            }
+            // Centered CRT agrees, including the sign fold at Q/2.
+            let residues: Vec<u64> = fast.moduli().iter().map(|&q| q - 5).collect();
+            assert_eq!(
+                fast.crt_to_centered_f64(&residues),
+                fresh.crt_to_centered_f64(&residues)
+            );
+        }
     }
 
     #[test]

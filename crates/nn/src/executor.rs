@@ -16,9 +16,17 @@ use crate::packing::{conv_bias_vectors, conv_offset_pack, conv_offset_weights, C
 use crate::tensor::Tensor;
 use fxhenn_ckks::noise::square_step;
 use fxhenn_ckks::{
-    Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, NoiseEstimate, RelinKey,
+    Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, NoiseEstimate, OpTrace,
+    RelinKey,
 };
+use fxhenn_math::par;
 use rand::Rng;
+
+/// What one parallel work item (an output ciphertext) produces: the
+/// ciphertext, its analytic noise, and the child evaluator's trace (when
+/// tracing). Merged back into the executor in index order, so the trace
+/// is identical to a serial run's.
+type ItemResult = Result<(Ciphertext, NoiseEstimate, Option<OpTrace>), ExecError>;
 
 /// The encrypted, offset-packed input of a network: one ciphertext per
 /// (output-map group, kernel offset).
@@ -283,7 +291,6 @@ impl<'a> HeCnnExecutor<'a> {
         input: &EncryptedInput,
         slots: usize,
     ) -> Result<RunState, ExecError> {
-        let err = at_layer(name);
         let (oh, ow) = conv.output_size(shape[1], shape[2]);
         let positions = oh * ow;
         let weights = conv_offset_weights(conv, positions, slots);
@@ -297,9 +304,7 @@ impl<'a> HeCnnExecutor<'a> {
             });
         }
 
-        let mut noise = NoiseEstimate::fresh(self.ev.context());
-        let mut out = Vec::with_capacity(weights.len());
-        for (g, offsets) in input.groups.iter().enumerate() {
+        for offsets in &input.groups {
             if offsets.len() != conv.offset_count() {
                 return Err(ExecError::PackingMismatch {
                     layer: name.to_string(),
@@ -308,21 +313,32 @@ impl<'a> HeCnnExecutor<'a> {
                     got: offsets.len(),
                 });
             }
+        }
+
+        // Each group produces one independent output ciphertext: fan the
+        // groups out over a child evaluator per work item and merge the
+        // traces back in index order (identical to a serial run, since a
+        // serial run records each group's ops contiguously).
+        let ctx = self.ev.context();
+        let tracing = self.ev.is_tracing();
+        let results: Vec<ItemResult> = par::map_indexed(input.groups.len(), |g| {
+            let err = at_layer(name);
+            let mut ev = Evaluator::new(ctx);
+            if tracing {
+                ev.start_trace();
+            }
+            let offsets = &input.groups[g];
             let mut acc: Option<Ciphertext> = None;
-            let mut acc_noise = NoiseEstimate::fresh(self.ev.context());
+            let mut acc_noise = NoiseEstimate::fresh(ctx);
             for (i, ct) in offsets.iter().enumerate() {
-                let pw = self
-                    .ev
+                let pw = ev
                     .try_encode_for_mul(&weights[g][i], ct.level())
                     .map_err(&err)?;
-                let prod = self.ev.try_mul_plain(ct, &pw).map_err(&err)?;
-                let rs = self.ev.try_rescale(&prod).map_err(&err)?;
-                let step = {
-                    let ctx = self.ev.context();
-                    NoiseEstimate::fresh(ctx)
-                        .after_mul_plain(pw.scale(), value_bound(&weights[g][i]))
-                        .after_rescale(ctx)
-                };
+                let prod = ev.try_mul_plain(ct, &pw).map_err(&err)?;
+                let rs = ev.try_rescale(&prod).map_err(&err)?;
+                let step = NoiseEstimate::fresh(ctx)
+                    .after_mul_plain(pw.scale(), value_bound(&weights[g][i]))
+                    .after_rescale(ctx);
                 acc = Some(match acc {
                     None => {
                         acc_noise = step;
@@ -330,16 +346,26 @@ impl<'a> HeCnnExecutor<'a> {
                     }
                     Some(a) => {
                         acc_noise = acc_noise.after_add(&step);
-                        self.ev.try_add(&a, &rs).map_err(&err)?
+                        ev.try_add(&a, &rs).map_err(&err)?
                     }
                 });
             }
             let acc = acc.expect("at least one offset");
-            let bias_pt = self
-                .ev
+            let bias_pt = ev
                 .try_encode_at(&biases[g], acc.scale(), acc.level())
                 .map_err(&err)?;
-            out.push(self.ev.try_add_plain(&acc, &bias_pt).map_err(&err)?);
+            let out_ct = ev.try_add_plain(&acc, &bias_pt).map_err(&err)?;
+            Ok((out_ct, acc_noise, ev.take_trace()))
+        });
+
+        let mut noise = NoiseEstimate::fresh(ctx);
+        let mut out = Vec::with_capacity(weights.len());
+        for res in results {
+            let (ct, acc_noise, trace) = res?;
+            if let Some(t) = &trace {
+                self.ev.merge_trace(t);
+            }
+            out.push(ct);
             if acc_noise.noise_std > noise.noise_std {
                 noise = acc_noise;
             }
@@ -436,8 +462,8 @@ impl<'a> HeCnnExecutor<'a> {
         st: RunState,
         d_out: usize,
         slots: usize,
-        weight: &dyn Fn(usize, usize) -> f64,
-        bias: &dyn Fn(usize) -> f64,
+        weight: &(dyn Fn(usize, usize) -> f64 + Sync),
+        bias: &(dyn Fn(usize) -> f64 + Sync),
     ) -> Result<RunState, ExecError> {
         let plan = plan_dense(&st.abstract_layout, d_out, slots);
         let (round_cts, out_abstract, out_concrete, noise) = if plan.stacked {
@@ -484,12 +510,14 @@ impl<'a> HeCnnExecutor<'a> {
         d_out: usize,
         slots: usize,
         plan: &DensePlan,
-        weight: &dyn Fn(usize, usize) -> f64,
-        bias: &dyn Fn(usize) -> f64,
+        weight: &(dyn Fn(usize, usize) -> f64 + Sync),
+        bias: &(dyn Fn(usize) -> f64 + Sync),
     ) -> Result<(Vec<Ciphertext>, Layout, CtLayout, NoiseEstimate), ExecError> {
         let err = at_layer(name);
         let d_in = st.abstract_layout.value_count();
-        // Replicate the input into `copies` stacked copies.
+        // Replicate the input into `copies` stacked copies. The stacking
+        // prologue is a sequential dependency chain, so it runs on the
+        // executor's own evaluator; only the rounds fan out.
         let mut x = st.cts[0].clone();
         let mut x_noise = st.noise;
         for &shift in &plan.stack_shifts {
@@ -498,9 +526,19 @@ impl<'a> HeCnnExecutor<'a> {
             let rotated = x_noise.after_rotate(self.ev.context());
             x_noise = x_noise.after_add(&rotated);
         }
-        let mut noise = x_noise;
-        let mut round_cts = Vec::with_capacity(plan.rounds);
-        for r in 0..plan.rounds {
+
+        // Each round produces one independent output ciphertext from the
+        // shared stacked input.
+        let ctx = self.ev.context();
+        let tracing = self.ev.is_tracing();
+        let gks = self.gks;
+        let x_ref = &x;
+        let results: Vec<ItemResult> = par::map_indexed(plan.rounds, |r| {
+            let err = at_layer(name);
+            let mut ev = Evaluator::new(ctx);
+            if tracing {
+                ev.start_trace();
+            }
             // Weight vector: output r·copies+s in segment s.
             let mut wv = vec![0.0; slots];
             for s in 0..plan.copies {
@@ -512,19 +550,16 @@ impl<'a> HeCnnExecutor<'a> {
                     wv[s * plan.seg + v] = weight(k, v);
                 }
             }
-            let pw = self.ev.try_encode_for_mul(&wv, x.level()).map_err(&err)?;
-            let prod = self.ev.try_mul_plain(&x, &pw).map_err(&err)?;
-            let mut acc = self.ev.try_rescale(&prod).map_err(&err)?;
-            let mut acc_noise = {
-                let ctx = self.ev.context();
-                x_noise
-                    .after_mul_plain(pw.scale(), value_bound(&wv))
-                    .after_rescale(ctx)
-            };
+            let pw = ev.try_encode_for_mul(&wv, x_ref.level()).map_err(&err)?;
+            let prod = ev.try_mul_plain(x_ref, &pw).map_err(&err)?;
+            let mut acc = ev.try_rescale(&prod).map_err(&err)?;
+            let mut acc_noise = x_noise
+                .after_mul_plain(pw.scale(), value_bound(&wv))
+                .after_rescale(ctx);
             for &shift in &plan.sum_shifts {
-                let rot = self.ev.try_rotate(&acc, shift, self.gks).map_err(&err)?;
-                acc = self.ev.try_add(&acc, &rot).map_err(&err)?;
-                let rotated = acc_noise.after_rotate(self.ev.context());
+                let rot = ev.try_rotate(&acc, shift, gks).map_err(&err)?;
+                acc = ev.try_add(&acc, &rot).map_err(&err)?;
+                let rotated = acc_noise.after_rotate(ctx);
                 acc_noise = acc_noise.after_add(&rotated);
             }
             let mut bv = vec![0.0; slots];
@@ -534,11 +569,21 @@ impl<'a> HeCnnExecutor<'a> {
                     bv[s * plan.seg] = bias(k);
                 }
             }
-            let bias_pt = self
-                .ev
+            let bias_pt = ev
                 .try_encode_at(&bv, acc.scale(), acc.level())
                 .map_err(&err)?;
-            round_cts.push(self.ev.try_add_plain(&acc, &bias_pt).map_err(&err)?);
+            let out_ct = ev.try_add_plain(&acc, &bias_pt).map_err(&err)?;
+            Ok((out_ct, acc_noise, ev.take_trace()))
+        });
+
+        let mut noise = x_noise;
+        let mut round_cts = Vec::with_capacity(plan.rounds);
+        for res in results {
+            let (ct, acc_noise, trace) = res?;
+            if let Some(t) = &trace {
+                self.ev.merge_trace(t);
+            }
+            round_cts.push(ct);
             if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
                 noise = acc_noise;
             }
@@ -561,13 +606,20 @@ impl<'a> HeCnnExecutor<'a> {
         d_out: usize,
         slots: usize,
         plan: &DensePlan,
-        weight: &dyn Fn(usize, usize) -> f64,
-        bias: &dyn Fn(usize) -> f64,
+        weight: &(dyn Fn(usize, usize) -> f64 + Sync),
+        bias: &(dyn Fn(usize) -> f64 + Sync),
     ) -> Result<(Vec<Ciphertext>, Layout, CtLayout, NoiseEstimate), ExecError> {
-        let err = at_layer(name);
-        let mut noise = st.noise;
-        let mut round_cts = Vec::with_capacity(d_out);
-        for k in 0..d_out {
+        // Each output k is computed independently from the shared input
+        // ciphertexts: fan out with one child evaluator per output.
+        let ctx = self.ev.context();
+        let tracing = self.ev.is_tracing();
+        let gks = self.gks;
+        let results: Vec<ItemResult> = par::map_indexed(d_out, |k| {
+            let err = at_layer(name);
+            let mut ev = Evaluator::new(ctx);
+            if tracing {
+                ev.start_trace();
+            }
             let mut prod_acc: Option<Ciphertext> = None;
             let mut acc_noise = st.noise;
             let mut acc_bound = 0.0f64;
@@ -579,30 +631,40 @@ impl<'a> HeCnnExecutor<'a> {
                     }
                 }
                 acc_bound = acc_bound.max(value_bound(&wv));
-                let pw = self.ev.try_encode_for_mul(&wv, ct.level()).map_err(&err)?;
-                let prod = self.ev.try_mul_plain(ct, &pw).map_err(&err)?;
+                let pw = ev.try_encode_for_mul(&wv, ct.level()).map_err(&err)?;
+                let prod = ev.try_mul_plain(ct, &pw).map_err(&err)?;
                 acc_noise = st.noise.after_mul_plain(pw.scale(), acc_bound);
                 prod_acc = Some(match prod_acc {
                     None => prod,
-                    Some(a) => self.ev.try_add(&a, &prod).map_err(&err)?,
+                    Some(a) => ev.try_add(&a, &prod).map_err(&err)?,
                 });
             }
             let prod_acc = prod_acc.expect("at least one input ct");
-            let mut acc = self.ev.try_rescale(&prod_acc).map_err(&err)?;
-            acc_noise = acc_noise.after_rescale(self.ev.context());
+            let mut acc = ev.try_rescale(&prod_acc).map_err(&err)?;
+            acc_noise = acc_noise.after_rescale(ctx);
             for &shift in &plan.sum_shifts {
-                let rot = self.ev.try_rotate(&acc, shift, self.gks).map_err(&err)?;
-                acc = self.ev.try_add(&acc, &rot).map_err(&err)?;
-                let rotated = acc_noise.after_rotate(self.ev.context());
+                let rot = ev.try_rotate(&acc, shift, gks).map_err(&err)?;
+                acc = ev.try_add(&acc, &rot).map_err(&err)?;
+                let rotated = acc_noise.after_rotate(ctx);
                 acc_noise = acc_noise.after_add(&rotated);
             }
             let mut bv = vec![0.0; slots];
             bv[0] = bias(k);
-            let bias_pt = self
-                .ev
+            let bias_pt = ev
                 .try_encode_at(&bv, acc.scale(), acc.level())
                 .map_err(&err)?;
-            round_cts.push(self.ev.try_add_plain(&acc, &bias_pt).map_err(&err)?);
+            let out_ct = ev.try_add_plain(&acc, &bias_pt).map_err(&err)?;
+            Ok((out_ct, acc_noise, ev.take_trace()))
+        });
+
+        let mut noise = st.noise;
+        let mut round_cts = Vec::with_capacity(d_out);
+        for res in results {
+            let (ct, acc_noise, trace) = res?;
+            if let Some(t) = &trace {
+                self.ev.merge_trace(t);
+            }
+            round_cts.push(ct);
             if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
                 noise = acc_noise;
             }

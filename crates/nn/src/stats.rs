@@ -41,10 +41,13 @@ pub fn op_modmuls(kind: HeOpKind, level: usize, n: usize) -> u64 {
     let ntt = ntt_mults(n);
     match kind {
         HeOpKind::CcAdd | HeOpKind::PcAdd => 0,
+        // A modulus switch only drops residue components — no modular
+        // multiplications at all, like the additions.
+        HeOpKind::ModSwitch => 0,
         HeOpKind::PcMult => 2 * l * n_u,
         HeOpKind::CcMult => 4 * l * n_u,
         HeOpKind::Rescale => 2 * (l * ntt + 2 * n_u * l.saturating_sub(1)),
-        HeOpKind::Relinearize | HeOpKind::Rotate => {
+        HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate => {
             // digit lifts: level digits × (level + 1) NTTs
             let lift = l * (l + 1) * ntt;
             // inner products: 2 accumulators × level digits × (level+1) residues
@@ -79,6 +82,7 @@ mod tests {
     fn additions_are_free() {
         assert_eq!(op_modmuls(HeOpKind::CcAdd, 7, 8192), 0);
         assert_eq!(op_modmuls(HeOpKind::PcAdd, 7, 8192), 0);
+        assert_eq!(op_modmuls(HeOpKind::ModSwitch, 7, 8192), 0);
     }
 
     #[test]
@@ -109,9 +113,13 @@ mod tests {
     }
 
     #[test]
-    fn relinearize_and_rotate_cost_the_same() {
+    fn relinearize_rotate_and_conjugate_cost_the_same() {
         assert_eq!(
             op_modmuls(HeOpKind::Relinearize, 5, 8192),
+            op_modmuls(HeOpKind::Rotate, 5, 8192)
+        );
+        assert_eq!(
+            op_modmuls(HeOpKind::Conjugate, 5, 8192),
             op_modmuls(HeOpKind::Rotate, 5, 8192)
         );
     }

@@ -1,0 +1,129 @@
+//! Offline stand-in for the slice of the `rayon` API this workspace uses.
+//!
+//! The build environment has no route to a crates.io mirror, so — like the
+//! `rand`/`proptest`/`criterion` stubs next to it — this crate re-implements
+//! only the surface `fxhenn-math::par` calls: [`join`], [`scope`] /
+//! [`Scope::spawn`] and [`current_num_threads`].
+//!
+//! Unlike real rayon there is no work-stealing pool: every `spawn` is a
+//! `std::thread::scope` scoped OS thread. The callers in `fxhenn-math::par`
+//! already chunk their work into at most `current_num_threads()` spawns, so
+//! thread creation stays bounded and amortized over large limb loops. The
+//! semantics that matter for correctness are preserved: `scope` blocks until
+//! every spawned task finishes, and panics in tasks propagate to the caller.
+
+use std::sync::OnceLock;
+use std::thread;
+
+/// Number of threads rayon would use: the machine's available parallelism.
+///
+/// Cached after the first query: `std::thread::available_parallelism`
+/// re-reads cgroup quota files on Linux every call (~10µs), which would
+/// dominate small per-operation kernels that consult this on every
+/// dispatch.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let handle_b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A scope in which tasks borrowing the enclosing stack frame can be
+/// spawned; mirrors `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope; the scope blocks until it finishes.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a scope for structured parallelism; returns once every task
+/// spawned within it has completed. A panic in any task propagates.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_runs_all_spawns_before_returning() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scoped_tasks_can_mutate_disjoint_borrows() {
+        let mut data = vec![0u64; 4];
+        scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn reports_at_least_one_thread() {
+        assert!(current_num_threads() >= 1);
+    }
+}
