@@ -11,6 +11,12 @@
 //! Flags:
 //! * `--tiny` — shrink every parameter set (CI smoke; do not commit).
 //! * `--out <path>` — write the JSON somewhere else.
+//! * `--threads <k>` — force the limb-parallel schedule to `k` worker
+//!   threads (the committed `BENCH_kernels_threads.json` uses this).
+//! * `--check <path>` — instead of writing, compare this run's *shape*
+//!   (schema + canonical entry names, sizes stripped) against a
+//!   committed baseline and exit non-zero on drift; a `--tiny` run can
+//!   check the full-size committed file.
 //!
 //! Output schema `fxhenn-bench-baseline/v1`:
 //! `{ "schema", "threads", "tiny", "entries": [{ "name", "ns_per_iter",
@@ -18,6 +24,7 @@
 //! a level count does not apply).
 
 use fxhenn_ckks::{CkksContext, CkksParams, Encryptor, Evaluator, KeyGenerator};
+use fxhenn_math::budget::{self, Budget, Progress};
 use fxhenn_math::ntt::NttTable;
 use fxhenn_math::par;
 use fxhenn_math::prime::generate_ntt_primes;
@@ -185,6 +192,35 @@ fn toy_layer_entry(entries: &mut Vec<Entry>) {
     });
 }
 
+fn budget_entries(entries: &mut Vec<Entry>) {
+    // Overhead of the cooperative budget gate every HE op pays: one
+    // thread-local read when no budget is installed (the common case),
+    // one Instant comparison when one is. DESIGN.md section 9 quotes
+    // these numbers.
+    let iters = 1 << 20;
+    let ns = time_ns(1 << 10, iters, || {
+        black_box(budget::check("bench", Progress::done(0)).is_ok());
+    });
+    entries.push(Entry {
+        name: "budget_check_uninstalled".into(),
+        ns_per_iter: ns,
+        n: 0,
+        l: 0,
+    });
+    let b = Budget::with_deadline(std::time::Duration::from_secs(3600));
+    budget::with_budget(&b, || {
+        let ns = time_ns(1 << 10, iters, || {
+            black_box(budget::check("bench", Progress::done(0)).is_ok());
+        });
+        entries.push(Entry {
+            name: "budget_check_installed".into(),
+            ns_per_iter: ns,
+            n: 0,
+            l: 0,
+        });
+    });
+}
+
 fn render_json(entries: &[Entry], tiny: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -203,33 +239,123 @@ fn render_json(entries: &[Entry], tiny: bool) -> String {
     s
 }
 
+/// An entry name with its size suffixes (`_n<degree>`, `_l<levels>`)
+/// stripped, so a `--tiny` run compares against a full-size baseline.
+fn canonical(name: &str) -> String {
+    name.split('_')
+        .filter(|seg| {
+            let sized = (seg.starts_with('n') || seg.starts_with('l'))
+                && seg.len() > 1
+                && seg[1..].chars().all(|c| c.is_ascii_digit());
+            !sized
+        })
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+/// Every string value keyed by `key` in a flat JSON document (the
+/// baseline format is simple enough that a scanner beats a parser
+/// dependency).
+fn extract_strings(json: &str, key: &str) -> Vec<String> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        rest = &rest[i + pat.len()..];
+        let Some(q1) = rest.find('"') else { break };
+        let after = &rest[q1 + 1..];
+        let Some(q2) = after.find('"') else { break };
+        out.push(after[..q2].to_string());
+        rest = &after[q2 + 1..];
+    }
+    out
+}
+
+/// Compares this run's shape against a committed baseline: same
+/// schema, same canonical entry names in the same order.
+fn check_against(baseline_path: &str, entries: &[Entry]) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let schema = extract_strings(&text, "schema");
+    if schema.first().map(String::as_str) != Some("fxhenn-bench-baseline/v1") {
+        return Err(format!(
+            "baseline {baseline_path} schema mismatch: found {:?}, expected \
+             \"fxhenn-bench-baseline/v1\"",
+            schema.first()
+        ));
+    }
+    // Canonical names collapse the per-size repeats (one `ntt_forward`
+    // per degree), so a `--tiny` run with fewer degrees still matches.
+    let mut committed: Vec<String> = extract_strings(&text, "name")
+        .iter()
+        .map(|n| canonical(n))
+        .collect();
+    committed.dedup();
+    let mut measured: Vec<String> = entries.iter().map(|e| canonical(&e.name)).collect();
+    measured.dedup();
+    if committed != measured {
+        return Err(format!(
+            "bench entry shape drifted from {baseline_path}:\n  committed: {committed:?}\n  \
+             measured:  {measured:?}\nregenerate the baseline with `cargo run --release -p \
+             fxhenn-bench --bin bench_baseline` if the change is intentional"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let mut tiny = false;
     let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
             "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--check" => check = Some(args.next().expect("--check needs a path")),
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .expect("--threads needs a count")
+                        .parse()
+                        .expect("--threads must be a positive integer"),
+                );
+            }
             other => {
-                eprintln!("unknown flag {other}; known: --tiny, --out <path>");
+                eprintln!(
+                    "unknown flag {other}; known: --tiny, --out <path>, --check <path>, \
+                     --threads <k>"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let out = out.unwrap_or_else(|| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
-    });
+    if let Some(k) = threads {
+        par::set_parallelism(par::Parallelism::Threads(k));
+    }
 
     let mut entries = Vec::new();
     ntt_entries(tiny, &mut entries);
     he_op_entries(tiny, &mut entries);
     chain_entry(tiny, &mut entries);
     toy_layer_entry(&mut entries);
+    budget_entries(&mut entries);
 
     for e in &entries {
         println!("{:<44} {:>12.1} ns/iter", e.name, e.ns_per_iter);
     }
+    if let Some(baseline) = check {
+        if let Err(msg) = check_against(&baseline, &entries) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        println!("baseline shape OK: {baseline}");
+        return;
+    }
+    let out = out.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+    });
     let json = render_json(&entries, tiny);
     std::fs::write(&out, json).expect("write baseline JSON");
     println!("wrote {out}");

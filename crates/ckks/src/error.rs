@@ -10,6 +10,7 @@
 //! historically produced (e.g. `"scale mismatch: ..."`), keeping error
 //! text stable for users and tests.
 
+use fxhenn_math::budget::BudgetStop;
 use std::fmt;
 
 /// A violated precondition of a homomorphic evaluation operation.
@@ -102,6 +103,10 @@ pub enum EvalError {
         /// Which semantic check failed.
         what: &'static str,
     },
+    /// The ambient execution budget expired or was cancelled at an
+    /// operation boundary. The evaluator performed no work for this
+    /// call and remains fully reusable.
+    Cancelled(BudgetStop),
 }
 
 impl fmt::Display for EvalError {
@@ -145,7 +150,14 @@ impl fmt::Display for EvalError {
             EvalError::CorruptCiphertext { what } => {
                 write!(f, "corrupt ciphertext: {what}")
             }
+            EvalError::Cancelled(stop) => write!(f, "evaluation stopped: {stop}"),
         }
+    }
+}
+
+impl From<BudgetStop> for EvalError {
+    fn from(stop: BudgetStop) -> Self {
+        EvalError::Cancelled(stop)
     }
 }
 
@@ -155,4 +167,11 @@ impl fmt::Debug for EvalError {
     }
 }
 
-impl std::error::Error for EvalError {}
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Cancelled(stop) => Some(stop),
+            _ => None,
+        }
+    }
+}

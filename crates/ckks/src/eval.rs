@@ -19,6 +19,7 @@ use crate::context::CkksContext;
 use crate::error::EvalError;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
 use crate::trace::{HeOpKind, OpTrace};
+use fxhenn_math::budget::{self, Progress};
 use fxhenn_math::modops::{sub_mod, ShoupMul};
 use fxhenn_math::par;
 use fxhenn_math::poly::{Domain, RnsPoly};
@@ -39,11 +40,22 @@ const SCRATCH_POOL_CAP: usize = 8;
 /// hot operations (CCmult, KeySwitch, Rescale, Rotate) reuse buffers
 /// across calls instead of cloning their inputs and allocating fresh
 /// temporaries on every invocation.
+///
+/// # Cancellation
+///
+/// Every fallible operation checks the ambient
+/// [`fxhenn_math::budget`] at entry — *before* taking any scratch
+/// polynomial — and returns [`EvalError::Cancelled`] once the caller's
+/// deadline passes or its token fires. Because the check precedes all
+/// pool manipulation, a cancelled call leaves the scratch pool exactly
+/// as the last successful operation left it: the evaluator stays fully
+/// reusable after a cancel (covered by the `cancel_safety` tests).
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     ctx: &'a CkksContext,
     trace: Option<OpTrace>,
     scratch: Vec<RnsPoly>,
+    ops_done: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -53,7 +65,20 @@ impl<'a> Evaluator<'a> {
             ctx,
             trace: None,
             scratch: Vec::new(),
+            ops_done: 0,
         }
+    }
+
+    /// Operations completed over this evaluator's lifetime (the progress
+    /// figure a [`EvalError::Cancelled`] stop reports).
+    pub fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    /// The per-operation budget check. Runs before any scratch-pool
+    /// manipulation so a stop here cannot poison evaluator state.
+    fn budget_gate(&self) -> Result<(), EvalError> {
+        budget::check("he-op", Progress::done(self.ops_done)).map_err(EvalError::Cancelled)
     }
 
     /// The underlying context. Returns the full `'a` borrow (not one tied
@@ -89,6 +114,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn record(&mut self, kind: HeOpKind, level: usize) {
+        self.ops_done += 1;
         if let Some(t) = &mut self.trace {
             t.record(kind, level);
         }
@@ -207,6 +233,7 @@ impl<'a> Evaluator<'a> {
 
     /// Fallible form of [`add`](Evaluator::add).
     pub fn try_add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         Self::check_matching("CCadd", a, b)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
@@ -228,6 +255,7 @@ impl<'a> Evaluator<'a> {
 
     /// Fallible form of [`sub`](Evaluator::sub).
     pub fn try_sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         Self::check_matching("subtraction", a, b)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
@@ -249,6 +277,7 @@ impl<'a> Evaluator<'a> {
         a: &Ciphertext,
         pt: &Plaintext,
     ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if a.level() != pt.level() {
             return Err(EvalError::LevelMismatch {
                 op: "PCadd",
@@ -275,6 +304,7 @@ impl<'a> Evaluator<'a> {
         a: &Ciphertext,
         pt: &Plaintext,
     ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if a.level() != pt.level() {
             return Err(EvalError::LevelMismatch {
                 op: "PCsub",
@@ -301,6 +331,7 @@ impl<'a> Evaluator<'a> {
         a: &Ciphertext,
         pt: &Plaintext,
     ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if a.level() != pt.level() {
             return Err(EvalError::LevelMismatch {
                 op: "PCmult",
@@ -329,6 +360,7 @@ impl<'a> Evaluator<'a> {
 
     /// Fallible form of [`mul`](Evaluator::mul).
     pub fn try_mul(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if !a.is_linear() || !b.is_linear() {
             return Err(EvalError::NonLinearProduct {
                 size: if a.is_linear() { b.size() } else { a.size() },
@@ -386,6 +418,7 @@ impl<'a> Evaluator<'a> {
         ct: &Ciphertext,
         rk: &RelinKey,
     ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if ct.size() != 3 {
             return Err(EvalError::NotThreePoly { size: ct.size() });
         }
@@ -418,6 +451,7 @@ impl<'a> Evaluator<'a> {
 
     /// Fallible form of [`rescale`](Evaluator::rescale).
     pub fn try_rescale(&mut self, ct: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if !ct.is_linear() {
             return Err(EvalError::NotLinear { op: "rescaling" });
         }
@@ -460,6 +494,7 @@ impl<'a> Evaluator<'a> {
         ct: &Ciphertext,
         target_level: usize,
     ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         let l = ct.level();
         if target_level < 1 || target_level > l {
             return Err(EvalError::TargetLevelOutOfRange {
@@ -502,6 +537,7 @@ impl<'a> Evaluator<'a> {
         steps: usize,
         gks: &GaloisKeys,
     ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if !ct.is_linear() {
             return Err(EvalError::NotLinear { op: "rotating" });
         }
@@ -572,6 +608,7 @@ impl<'a> Evaluator<'a> {
         ct: &Ciphertext,
         key: &KeySwitchKey,
     ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
         if !ct.is_linear() {
             return Err(EvalError::NotLinear { op: "conjugating" });
         }

@@ -7,9 +7,11 @@
 
 use crate::flow::generate_accelerator;
 use crate::report::{layer_table, module_table, summary};
+use crate::serve::{BatchDriver, DesignFlowService, InferenceRequest, ServeConfig};
 use fxhenn_ckks::CkksParams;
 use fxhenn_hw::FpgaDevice;
 use fxhenn_nn::{fxhenn_cifar10, fxhenn_mnist, Network};
+use std::time::Duration;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +32,21 @@ pub enum Command {
     Info {
         /// "mnist" or "cifar10".
         model: String,
+    },
+    /// Run the deadline-aware batch driver over a stream of design
+    /// requests (demonstrates load shedding and per-request deadlines).
+    Serve {
+        /// "mnist" or "cifar10".
+        model: String,
+        /// Requests to submit.
+        requests: u64,
+        /// Deadline per request, in milliseconds.
+        deadline_ms: u64,
+        /// Admission queue capacity.
+        queue: usize,
+        /// Every n-th request gets a deliberately tight (1 ms)
+        /// deadline; 0 disables the mix.
+        tight_every: u64,
     },
     /// Print usage.
     Help,
@@ -55,6 +72,8 @@ USAGE:
     fxhenn design --model <mnist|cifar10> --device <acu9eg|acu15eg>
     fxhenn cosim  [--seed <u64>]
     fxhenn info   --model <mnist|cifar10>
+    fxhenn serve  [--model <mnist|cifar10>] [--requests <n>] [--deadline-ms <ms>]
+                  [--queue <n>] [--tight-every <n>]
     fxhenn help
 ";
 
@@ -103,7 +122,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 model: model.to_string(),
             })
         }
+        Some("serve") => {
+            let model = flag_value(args, "--model").unwrap_or("mnist");
+            validate_model(model)?;
+            Ok(Command::Serve {
+                model: model.to_string(),
+                requests: parse_flag(args, "--requests", 6)?,
+                deadline_ms: parse_flag(args, "--deadline-ms", 30_000)?,
+                queue: parse_flag(args, "--queue", 4)?,
+                tight_every: parse_flag(args, "--tight-every", 3)?,
+            })
+        }
         Some(other) => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError(format!("{flag} must be an integer, got {s:?}"))),
     }
 }
 
@@ -191,6 +234,48 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     plan.level_out
                 ));
             }
+            Ok(out)
+        }
+        Command::Serve {
+            model,
+            requests,
+            deadline_ms,
+            queue,
+            tight_every,
+        } => {
+            validate_model(model)?;
+            let cfg = ServeConfig {
+                queue_capacity: (*queue).max(1),
+                ..ServeConfig::default()
+            };
+            let mut driver = BatchDriver::new(DesignFlowService::new(FpgaDevice::acu9eg()), cfg);
+            let mut out = String::new();
+            for id in 0..*requests {
+                let tight = *tight_every != 0 && (id + 1) % *tight_every == 0;
+                let deadline = if tight {
+                    Duration::from_millis(1)
+                } else {
+                    Duration::from_millis(*deadline_ms)
+                };
+                let req = InferenceRequest {
+                    id,
+                    model: model.clone(),
+                    deadline,
+                };
+                if let Err(e) = driver.submit(req) {
+                    out.push_str(&format!("request {id}: rejected: {e}\n"));
+                }
+            }
+            for (id, outcome) in driver.run_queue() {
+                match outcome {
+                    Ok(report) => out.push_str(&format!(
+                        "request {id}: ok, {:.3} s simulated inference latency\n",
+                        report.latency_s()
+                    )),
+                    Err(e) => out.push_str(&format!("request {id}: {e}\n")),
+                }
+            }
+            out.push_str(&format!("serve: {}\n", driver.report()));
             Ok(out)
         }
         Command::Cosim { seed } => {
@@ -302,6 +387,80 @@ mod tests {
             model: "vgg".into()
         })
         .is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        assert_eq!(
+            parse(&args(&["serve"])).unwrap(),
+            Command::Serve {
+                model: "mnist".into(),
+                requests: 6,
+                deadline_ms: 30_000,
+                queue: 4,
+                tight_every: 3,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "serve",
+                "--model",
+                "mnist",
+                "--requests",
+                "10",
+                "--deadline-ms",
+                "500",
+                "--queue",
+                "2",
+                "--tight-every",
+                "0",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                model: "mnist".into(),
+                requests: 10,
+                deadline_ms: 500,
+                queue: 2,
+                tight_every: 0,
+            }
+        );
+        assert!(parse(&args(&["serve", "--model", "resnet"])).is_err());
+        assert!(parse(&args(&["serve", "--requests", "many"])).is_err());
+    }
+
+    #[test]
+    fn serve_sheds_load_beyond_the_queue() {
+        // 3 requests into a 1-slot queue: one completes, two are shed
+        // with a typed overload rejection — and the driver reports it.
+        let out = run(&Command::Serve {
+            model: "mnist".into(),
+            requests: 3,
+            deadline_ms: 60_000,
+            queue: 1,
+            tight_every: 0,
+        })
+        .unwrap();
+        assert!(out.contains("request 0: ok"), "{out}");
+        assert!(out.contains("request 1: rejected: overloaded"), "{out}");
+        assert!(out.contains("request 2: rejected: overloaded"), "{out}");
+        assert!(out.contains("completed=1 shed=2"), "{out}");
+    }
+
+    #[test]
+    fn serve_cancels_a_tight_deadline_request() {
+        // Every request tight (1 ms): the flow is stopped by its
+        // budget and reported as cancelled, not as infeasible.
+        let out = run(&Command::Serve {
+            model: "mnist".into(),
+            requests: 1,
+            deadline_ms: 60_000,
+            queue: 1,
+            tight_every: 1,
+        })
+        .unwrap();
+        assert!(out.contains("request 0: request stopped:"), "{out}");
+        assert!(out.contains("expired during"), "{out}");
+        assert!(out.contains("cancelled=1"), "{out}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! * [`fxhenn_dse::DseError`] — design space exploration;
 //! * [`fxhenn_sim::SimError`] — simulation and co-simulation;
 //! * [`crate::flow::FlowError`] — the end-to-end flow;
+//! * [`crate::serve::ServeError`] — the deadline-aware batch driver;
 //! * [`crate::cli::CliError`] — command-line parsing.
 //!
 //! `Debug` delegates to `Display`, like every error in the workspace,
@@ -49,6 +50,8 @@ pub enum Error {
     Sim(fxhenn_sim::SimError),
     /// End-to-end flow failure.
     Flow(crate::flow::FlowError),
+    /// Batch serving failure (overload, breaker, deadline).
+    Serve(crate::serve::ServeError),
     /// Command-line parsing or execution failure.
     Cli(crate::cli::CliError),
 }
@@ -67,6 +70,7 @@ impl fmt::Display for Error {
             Error::Dse(e) => write!(f, "dse: {e}"),
             Error::Sim(e) => write!(f, "sim: {e}"),
             Error::Flow(e) => write!(f, "flow: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
             Error::Cli(e) => write!(f, "cli: {e}"),
         }
     }
@@ -101,6 +105,7 @@ wrap!(Model, fxhenn_hw::ModelError);
 wrap!(Dse, fxhenn_dse::DseError);
 wrap!(Sim, fxhenn_sim::SimError);
 wrap!(Flow, crate::flow::FlowError);
+wrap!(Serve, crate::serve::ServeError);
 wrap!(Cli, crate::cli::CliError);
 
 #[cfg(test)]
@@ -125,6 +130,14 @@ mod tests {
             (fxhenn_hw::ModelError::NoDspSlices.into(), "model:"),
             (fxhenn_dse::DseError::EmptySearchSpace.into(), "dse:"),
             (fxhenn_sim::SimError::EmptyProgram.into(), "sim:"),
+            (
+                crate::serve::ServeError::Failed {
+                    attempts: 2,
+                    message: "boom".into(),
+                }
+                .into(),
+                "serve:",
+            ),
             (crate::cli::CliError("bad flag".into()).into(), "cli:"),
         ];
         for (err, prefix) in cases {

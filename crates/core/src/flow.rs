@@ -4,8 +4,9 @@
 
 use fxhenn_ckks::{CkksParams, SecurityLevel};
 use fxhenn_dse::explore::{try_explore_default, ExploredPoint};
-use fxhenn_dse::InfeasibleDiagnosis;
+use fxhenn_dse::{DseError, InfeasibleDiagnosis};
 use fxhenn_hw::FpgaDevice;
+use fxhenn_math::budget::BudgetStop;
 use fxhenn_nn::{try_lower_network, HeCnnProgram, LowerError, Network};
 use fxhenn_sim::{try_simulate, MeasuredResult, SimError, SimReport};
 
@@ -24,6 +25,11 @@ pub enum FlowError {
     },
     /// Simulating the chosen design failed.
     Sim(SimError),
+    /// The ambient execution budget stopped the flow (deadline or
+    /// cancellation), whichever stage it was in. Distinct from
+    /// [`FlowError::NoFeasibleDesign`]: a cancelled sweep says nothing
+    /// about feasibility.
+    Cancelled(BudgetStop),
 }
 
 impl std::fmt::Display for FlowError {
@@ -42,6 +48,7 @@ impl std::fmt::Display for FlowError {
                 write!(f, "no feasible accelerator design fits device {device}")
             }
             FlowError::Sim(e) => write!(f, "simulation failed: {e}"),
+            FlowError::Cancelled(stop) => write!(f, "flow stopped: {stop}"),
         }
     }
 }
@@ -57,6 +64,7 @@ impl std::error::Error for FlowError {
         match self {
             FlowError::Lower(e) => Some(e),
             FlowError::Sim(e) => Some(e),
+            FlowError::Cancelled(stop) => Some(stop),
             FlowError::NoFeasibleDesign { .. } => None,
         }
     }
@@ -118,12 +126,18 @@ pub fn generate_accelerator(
         device: device.name().to_string(),
         diagnosis,
     };
-    let dse = try_explore_default(&program, device, params.prime_bits())
-        .map_err(|e| no_design(e.diagnosis().cloned()))?;
+    let dse =
+        try_explore_default(&program, device, params.prime_bits()).map_err(|e| match e {
+            DseError::Cancelled(stop) => FlowError::Cancelled(stop),
+            e => no_design(e.diagnosis().cloned()),
+        })?;
     let points_explored = dse.points_enumerated;
     let design = dse.best.ok_or_else(|| no_design(None))?;
-    let sim = try_simulate(&program, &design.point, device, params.prime_bits())
-        .map_err(FlowError::Sim)?;
+    let sim =
+        try_simulate(&program, &design.point, device, params.prime_bits()).map_err(|e| match e {
+            SimError::Cancelled(stop) => FlowError::Cancelled(stop),
+            e => FlowError::Sim(e),
+        })?;
     Ok(DesignReport {
         network_name: net.name().to_string(),
         device_name: device.name().to_string(),

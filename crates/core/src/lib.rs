@@ -49,6 +49,7 @@ pub mod cli;
 pub mod error;
 pub mod flow;
 pub mod report;
+pub mod serve;
 
 /// Re-export of the math substrate.
 pub use fxhenn_math as math;
@@ -70,5 +71,8 @@ pub use fxhenn_sim as sim;
 
 pub use error::Error;
 pub use flow::{generate_accelerator, DesignReport, FlowError};
+pub use serve::{
+    BatchDriver, InferenceRequest, InferenceService, ServeConfig, ServeError, ServeReport,
+};
 pub use fxhenn_ckks::{CkksContext, CkksParams, SecurityLevel};
 pub use fxhenn_hw::FpgaDevice;

@@ -1,0 +1,848 @@
+//! Deadline-aware batch serving: a bounded-queue driver over the FxHENN
+//! design flow.
+//!
+//! A deployed accelerator serves many inference requests, each with its
+//! own latency budget. This module provides the software-side driver
+//! for that regime:
+//!
+//! * **Admission control** — requests enter a bounded queue; when the
+//!   queue is full the driver *sheds load* with a typed
+//!   [`ServeError::Overloaded`] carrying a retry-after hint derived
+//!   from the measured (EWMA) service time, instead of letting latency
+//!   grow without bound.
+//! * **Per-request deadlines** — every dispatched request runs under an
+//!   ambient [`Budget`], so the whole pipeline (evaluator ops, layers,
+//!   DSE points, simulated trace records) stops cooperatively at the
+//!   next check point once the deadline passes.
+//! * **Retry with backoff** — transiently-failed attempts are retried
+//!   with capped exponential backoff plus deterministic jitter, never
+//!   past the request's own deadline.
+//! * **Circuit breaker** — consecutive failures against one model trip
+//!   a per-model breaker (closed → open → half-open), so a poisoned
+//!   model stops consuming queue slots until a cooldown elapses.
+//! * **Graceful degradation** — consecutive deadline slips switch the
+//!   driver to [`Parallelism::Serial`], trading throughput for the
+//!   predictable latency of the unthreaded path.
+//!
+//! The driver is synchronous and single-threaded by design: requests
+//! are admitted with [`BatchDriver::submit`] and drained with
+//! [`BatchDriver::run_queue`]. Cancellation from outside (shutdown,
+//! operator abort) rides the driver's [`CancelToken`], which is
+//! attached to every dispatched budget.
+
+use crate::flow::{generate_accelerator, DesignReport, FlowError};
+use fxhenn_ckks::CkksParams;
+use fxhenn_hw::FpgaDevice;
+use fxhenn_math::budget::{self, Budget, BudgetStop, CancelToken, Progress, StopCause};
+use fxhenn_math::par::{self, Parallelism};
+use fxhenn_nn::{fxhenn_cifar10, fxhenn_mnist, Network};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the [`BatchDriver`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Requests the admission queue holds before shedding load.
+    pub queue_capacity: usize,
+    /// Retries granted to a transiently-failed request (attempts are
+    /// `max_retries + 1` in total).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Consecutive failures on one model that trip its breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before one probe request
+    /// is admitted (half-open).
+    pub breaker_cooldown: Duration,
+    /// Consecutive deadline slips before the driver degrades to
+    /// [`Parallelism::Serial`].
+    pub slip_threshold: u32,
+    /// Seed for the EWMA service-time estimate (used in retry-after
+    /// hints before any request has completed).
+    pub service_time_hint: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 16,
+            max_retries: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            slip_threshold: 2,
+            service_time_hint: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One inference request: an identifier, the model it targets and the
+/// wall-clock budget it must finish within.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Caller-chosen identifier (also seeds the backoff jitter).
+    pub id: u64,
+    /// Model name the request targets (breakers are per-model).
+    pub model: String,
+    /// Wall-clock deadline measured from dispatch.
+    pub deadline: Duration,
+}
+
+/// Why a request was rejected or failed to complete.
+#[derive(Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is full; retry after the hinted delay.
+    Overloaded {
+        /// Requests currently queued.
+        queue_depth: usize,
+        /// The queue's capacity.
+        capacity: usize,
+        /// Estimated wait until a slot frees (queue depth × EWMA
+        /// service time).
+        retry_after: Duration,
+    },
+    /// The model's circuit breaker is open; retry after the cooldown.
+    CircuitOpen {
+        /// The model whose breaker tripped.
+        model: String,
+        /// Consecutive failures that tripped it.
+        consecutive_failures: u32,
+        /// Remaining cooldown before a probe is admitted.
+        retry_after: Duration,
+    },
+    /// The request's deadline expired (or the driver was cancelled)
+    /// while the pipeline was running; the stop carries phase and
+    /// progress.
+    Cancelled(BudgetStop),
+    /// The request failed permanently after `attempts` tries.
+    Failed {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The final attempt's error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+                retry_after,
+            } => write!(
+                f,
+                "overloaded: queue holds {queue_depth}/{capacity} requests, \
+                 retry after {retry_after:?}"
+            ),
+            ServeError::CircuitOpen {
+                model,
+                consecutive_failures,
+                retry_after,
+            } => write!(
+                f,
+                "circuit open for model {model} after {consecutive_failures} \
+                 consecutive failures, retry after {retry_after:?}"
+            ),
+            ServeError::Cancelled(stop) => write!(f, "request stopped: {stop}"),
+            ServeError::Failed { attempts, message } => {
+                write!(f, "failed after {attempts} attempts: {message}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Cancelled(stop) => Some(stop),
+            _ => None,
+        }
+    }
+}
+
+impl From<BudgetStop> for ServeError {
+    fn from(stop: BudgetStop) -> Self {
+        ServeError::Cancelled(stop)
+    }
+}
+
+/// How one backend attempt failed — the classification drives the
+/// driver's retry/breaker policy.
+#[derive(Clone, PartialEq)]
+pub enum AttemptError {
+    /// The budget stopped the attempt: counted as a deadline slip,
+    /// never retried (the deadline is already gone).
+    Cancelled(BudgetStop),
+    /// A transient fault (contention, resource blip): retried with
+    /// backoff while deadline remains.
+    Transient(String),
+    /// A deterministic failure (infeasible model, bad parameters):
+    /// never retried, counts toward the model's breaker.
+    Permanent(String),
+}
+
+impl fmt::Display for AttemptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttemptError::Cancelled(stop) => write!(f, "cancelled: {stop}"),
+            AttemptError::Transient(m) => write!(f, "transient: {m}"),
+            AttemptError::Permanent(m) => write!(f, "permanent: {m}"),
+        }
+    }
+}
+
+impl fmt::Debug for AttemptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An inference backend the [`BatchDriver`] dispatches to.
+///
+/// The driver installs `budget` as the calling thread's ambient budget
+/// before invoking [`infer`](Self::infer), so a backend built on the
+/// FxHENN pipeline is deadline-aware with no extra plumbing; the
+/// parameter is also passed explicitly for backends that schedule work
+/// themselves.
+pub trait InferenceService {
+    /// What a completed inference produces.
+    type Output;
+
+    /// Runs one attempt of `req` under `budget`.
+    fn infer(
+        &mut self,
+        req: &InferenceRequest,
+        budget: &Budget,
+    ) -> Result<Self::Output, AttemptError>;
+}
+
+/// Counters the driver accumulates across its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests rejected because the model's breaker was open.
+    pub rejected_open: u64,
+    /// Retry attempts made (not counting first tries).
+    pub retries: u64,
+    /// Times a breaker transitioned closed/half-open → open.
+    pub breaker_trips: u64,
+    /// Requests stopped by their deadline or a cancellation.
+    pub cancelled: u64,
+    /// Requests that failed permanently.
+    pub failed: u64,
+    /// True once the driver degraded to serial execution.
+    pub degraded: bool,
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submitted={} completed={} shed={} rejected_open={} retries={} \
+             breaker_trips={} cancelled={} failed={} degraded={}",
+            self.submitted,
+            self.completed,
+            self.shed,
+            self.rejected_open,
+            self.retries,
+            self.breaker_trips,
+            self.cancelled,
+            self.failed,
+            self.degraded
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BreakerState {
+    Closed,
+    Open { since: Instant },
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+}
+
+/// SplitMix64: a tiny deterministic mixer seeding the backoff jitter
+/// from `(request id, attempt)` so retry schedules reproduce exactly.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The bounded-queue, deadline-aware batch driver.
+pub struct BatchDriver<S: InferenceService> {
+    service: S,
+    cfg: ServeConfig,
+    queue: VecDeque<InferenceRequest>,
+    breakers: HashMap<String, Breaker>,
+    /// EWMA of successful-attempt service time, in nanoseconds.
+    ewma_nanos: f64,
+    consecutive_slips: u32,
+    mode: Parallelism,
+    shutdown: CancelToken,
+    report: ServeReport,
+}
+
+impl<S: InferenceService> BatchDriver<S> {
+    /// A driver over `service` with the given configuration.
+    pub fn new(service: S, cfg: ServeConfig) -> Self {
+        let ewma_nanos = cfg.service_time_hint.as_nanos() as f64;
+        Self {
+            service,
+            cfg,
+            queue: VecDeque::new(),
+            breakers: HashMap::new(),
+            ewma_nanos,
+            consecutive_slips: 0,
+            mode: Parallelism::Auto,
+            shutdown: CancelToken::new(),
+            report: ServeReport::default(),
+        }
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The lifetime counters so far.
+    pub fn report(&self) -> &ServeReport {
+        &self.report
+    }
+
+    /// The parallelism mode requests currently dispatch under
+    /// ([`Parallelism::Serial`] once the driver has degraded).
+    pub fn mode(&self) -> Parallelism {
+        self.mode
+    }
+
+    /// A handle that cancels every in-flight and future request when
+    /// triggered (shutdown / operator abort).
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// The current EWMA service-time estimate.
+    pub fn service_time_estimate(&self) -> Duration {
+        Duration::from_nanos(self.ewma_nanos as u64)
+    }
+
+    /// Admits `req` into the queue, shedding load when the queue is
+    /// full or the model's breaker is open.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::CircuitOpen`] while the model's breaker cools
+    /// down, [`ServeError::Overloaded`] when the queue is at capacity —
+    /// both carry a retry-after hint.
+    pub fn submit(&mut self, req: InferenceRequest) -> Result<(), ServeError> {
+        if let Some(rejection) = self.breaker_rejection(&req.model) {
+            self.report.rejected_open += 1;
+            return Err(rejection);
+        }
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.report.shed += 1;
+            let queue_depth = self.queue.len();
+            return Err(ServeError::Overloaded {
+                queue_depth,
+                capacity: self.cfg.queue_capacity,
+                retry_after: self
+                    .service_time_estimate()
+                    .saturating_mul(queue_depth.min(u32::MAX as usize) as u32),
+            });
+        }
+        self.queue.push_back(req);
+        self.report.submitted += 1;
+        Ok(())
+    }
+
+    /// If the model's breaker is open and still cooling down, the
+    /// rejection to return; transitions open → half-open once the
+    /// cooldown has elapsed.
+    fn breaker_rejection(&mut self, model: &str) -> Option<ServeError> {
+        let cooldown = self.cfg.breaker_cooldown;
+        let breaker = self.breakers.get_mut(model)?;
+        if let BreakerState::Open { since } = breaker.state {
+            let elapsed = since.elapsed();
+            if elapsed < cooldown {
+                return Some(ServeError::CircuitOpen {
+                    model: model.to_string(),
+                    consecutive_failures: breaker.consecutive_failures,
+                    retry_after: cooldown - elapsed,
+                });
+            }
+            breaker.state = BreakerState::HalfOpen;
+        }
+        None
+    }
+
+    /// Drains the queue, serving each request in admission order.
+    /// Returns `(id, outcome)` per request.
+    pub fn run_queue(&mut self) -> Vec<(u64, Result<S::Output, ServeError>)> {
+        let mut outcomes = Vec::with_capacity(self.queue.len());
+        while let Some(req) = self.queue.pop_front() {
+            let outcome = self.serve_one(&req);
+            outcomes.push((req.id, outcome));
+        }
+        outcomes
+    }
+
+    /// Serves one request: dispatch under its deadline, retry
+    /// transient failures with capped backoff, account the outcome.
+    fn serve_one(&mut self, req: &InferenceRequest) -> Result<S::Output, ServeError> {
+        let accepted = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            let remaining = req.deadline.saturating_sub(accepted.elapsed());
+            if remaining.is_zero() {
+                // Backoff (or earlier attempts) consumed the whole
+                // deadline before this attempt could start.
+                return Err(self.account_slip(BudgetStop {
+                    phase: "serve-dispatch",
+                    cause: StopCause::DeadlineExpired {
+                        deadline: req.deadline,
+                    },
+                    elapsed: accepted.elapsed(),
+                    progress: Progress::done(u64::from(attempt)),
+                }));
+            }
+            let dispatched = Instant::now();
+            let outcome = self.dispatch(req, remaining);
+            match outcome {
+                Ok(out) => {
+                    self.account_success(&req.model, dispatched.elapsed());
+                    return Ok(out);
+                }
+                Err(AttemptError::Cancelled(stop)) => {
+                    return Err(self.account_slip(stop));
+                }
+                Err(AttemptError::Transient(message)) => {
+                    attempt += 1;
+                    let backoff = self.backoff_delay(req.id, attempt);
+                    let left = req.deadline.saturating_sub(accepted.elapsed());
+                    if attempt > self.cfg.max_retries || backoff >= left {
+                        self.account_failure(&req.model);
+                        return Err(ServeError::Failed {
+                            attempts: attempt,
+                            message,
+                        });
+                    }
+                    self.report.retries += 1;
+                    std::thread::sleep(backoff);
+                }
+                Err(AttemptError::Permanent(message)) => {
+                    self.account_failure(&req.model);
+                    return Err(ServeError::Failed {
+                        attempts: attempt + 1,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    /// One attempt: budget = remaining deadline + the shutdown token,
+    /// installed ambiently, under the driver's parallelism mode.
+    fn dispatch(
+        &mut self,
+        req: &InferenceRequest,
+        remaining: Duration,
+    ) -> Result<S::Output, AttemptError> {
+        let b = Budget::with_deadline(remaining)
+            .cancelled_by(self.shutdown.clone())
+            .start();
+        let mode = self.mode;
+        let service = &mut self.service;
+        par::with_parallelism(mode, || {
+            budget::with_budget(&b, || service.infer(req, &b))
+        })
+    }
+
+    /// Capped exponential backoff with deterministic jitter: the base
+    /// delay doubles per attempt up to the cap; the jitter (seeded by
+    /// request id and attempt) spreads retries across
+    /// `[delay/2, delay]`.
+    fn backoff_delay(&self, id: u64, attempt: u32) -> Duration {
+        let doubled = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16));
+        let capped = doubled.min(self.cfg.max_backoff);
+        let half = capped / 2;
+        let span = half.as_nanos() as u64;
+        if span == 0 {
+            return capped;
+        }
+        let jitter = splitmix64(id ^ (u64::from(attempt) << 32)) % span;
+        half + Duration::from_nanos(jitter)
+    }
+
+    fn account_success(&mut self, model: &str, service_time: Duration) {
+        self.report.completed += 1;
+        self.consecutive_slips = 0;
+        // EWMA with alpha = 0.3: recent requests dominate, one outlier
+        // does not.
+        self.ewma_nanos = 0.7 * self.ewma_nanos + 0.3 * service_time.as_nanos() as f64;
+        if let Some(b) = self.breakers.get_mut(model) {
+            b.state = BreakerState::Closed;
+            b.consecutive_failures = 0;
+        }
+    }
+
+    /// A deadline slip: count it, and degrade to serial dispatch once
+    /// `slip_threshold` slips arrive in a row.
+    fn account_slip(&mut self, stop: BudgetStop) -> ServeError {
+        self.report.cancelled += 1;
+        self.consecutive_slips += 1;
+        if self.consecutive_slips >= self.cfg.slip_threshold
+            && !matches!(self.mode, Parallelism::Serial)
+        {
+            self.mode = Parallelism::Serial;
+            self.report.degraded = true;
+        }
+        ServeError::Cancelled(stop)
+    }
+
+    fn account_failure(&mut self, model: &str) {
+        self.report.failed += 1;
+        let breaker = self
+            .breakers
+            .entry(model.to_string())
+            .or_insert_with(Breaker::new);
+        breaker.consecutive_failures += 1;
+        let trip = match breaker.state {
+            // A half-open probe that fails re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => breaker.consecutive_failures >= self.cfg.breaker_threshold,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            breaker.state = BreakerState::Open {
+                since: Instant::now(),
+            };
+            self.report.breaker_trips += 1;
+        }
+    }
+}
+
+/// The real backend: runs the full FxHENN design flow
+/// ([`generate_accelerator`]) for the requested model on the configured
+/// device. Deadline checks ride the ambient budget the driver installs.
+pub struct DesignFlowService {
+    device: FpgaDevice,
+}
+
+impl DesignFlowService {
+    /// A service targeting `device`.
+    pub fn new(device: FpgaDevice) -> Self {
+        Self { device }
+    }
+
+    fn model_of(name: &str) -> Result<(Network, CkksParams), AttemptError> {
+        match name {
+            "mnist" => Ok((fxhenn_mnist(42), CkksParams::fxhenn_mnist())),
+            "cifar10" => Ok((fxhenn_cifar10(42), CkksParams::fxhenn_cifar10())),
+            other => Err(AttemptError::Permanent(format!(
+                "unknown model {other:?} (expected mnist or cifar10)"
+            ))),
+        }
+    }
+}
+
+impl InferenceService for DesignFlowService {
+    type Output = DesignReport;
+
+    fn infer(
+        &mut self,
+        req: &InferenceRequest,
+        _budget: &Budget,
+    ) -> Result<DesignReport, AttemptError> {
+        let (net, params) = Self::model_of(&req.model)?;
+        generate_accelerator(&net, &params, &self.device).map_err(|e| match e {
+            FlowError::Cancelled(stop) => AttemptError::Cancelled(stop),
+            other => AttemptError::Permanent(other.to_string()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted backend: each call pops the next outcome; `Ok` yields
+    /// the request id.
+    struct Scripted {
+        outcomes: VecDeque<Result<u64, AttemptError>>,
+        calls: u64,
+    }
+
+    impl Scripted {
+        fn new(outcomes: Vec<Result<u64, AttemptError>>) -> Self {
+            Self {
+                outcomes: outcomes.into(),
+                calls: 0,
+            }
+        }
+    }
+
+    impl InferenceService for Scripted {
+        type Output = u64;
+        fn infer(
+            &mut self,
+            req: &InferenceRequest,
+            budget: &Budget,
+        ) -> Result<u64, AttemptError> {
+            self.calls += 1;
+            budget
+                .check("scripted", Progress::done(0))
+                .map_err(AttemptError::Cancelled)?;
+            match self.outcomes.pop_front() {
+                Some(Ok(_)) => Ok(req.id),
+                Some(Err(e)) => Err(e),
+                None => Ok(req.id),
+            }
+        }
+    }
+
+    fn req(id: u64, model: &str, deadline: Duration) -> InferenceRequest {
+        InferenceRequest {
+            id,
+            model: model.to_string(),
+            deadline,
+        }
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 2,
+            max_retries: 3,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(20),
+            slip_threshold: 2,
+            service_time_hint: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_after_hint() {
+        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg());
+        let sec = Duration::from_secs(1);
+        assert!(d.submit(req(0, "m", sec)).is_ok());
+        assert!(d.submit(req(1, "m", sec)).is_ok());
+        let err = d.submit(req(2, "m", sec)).unwrap_err();
+        match err {
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+                retry_after,
+            } => {
+                assert_eq!((queue_depth, capacity), (2, 2));
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        assert_eq!(d.report().shed, 1);
+        assert_eq!(d.report().submitted, 2);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let svc = Scripted::new(vec![
+            Err(AttemptError::Transient("blip".into())),
+            Err(AttemptError::Transient("blip".into())),
+            Ok(7),
+        ]);
+        let mut d = BatchDriver::new(svc, cfg());
+        d.submit(req(7, "m", Duration::from_secs(2))).unwrap();
+        let outcomes = d.run_queue();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].1.as_ref().ok(), Some(&7));
+        assert_eq!(d.report().retries, 2);
+        assert_eq!(d.report().completed, 1);
+        assert_eq!(d.report().failed, 0);
+    }
+
+    #[test]
+    fn retries_exhaust_into_a_typed_failure() {
+        let svc = Scripted::new(vec![
+            Err(AttemptError::Transient("blip".into()));
+            8
+        ]);
+        let mut d = BatchDriver::new(svc, cfg());
+        d.submit(req(1, "m", Duration::from_secs(2))).unwrap();
+        let outcomes = d.run_queue();
+        match &outcomes[0].1 {
+            Err(ServeError::Failed { attempts, message }) => {
+                assert_eq!(*attempts, 4, "initial try + max_retries");
+                assert!(message.contains("blip"));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_trip_and_cool_the_breaker() {
+        let svc = Scripted::new(vec![
+            Err(AttemptError::Permanent("bad".into())),
+            Err(AttemptError::Permanent("bad".into())),
+            Ok(0),
+        ]);
+        let mut d = BatchDriver::new(svc, cfg());
+        let sec = Duration::from_secs(1);
+        d.submit(req(0, "m", sec)).unwrap();
+        let _ = d.run_queue();
+        d.submit(req(1, "m", sec)).unwrap();
+        let _ = d.run_queue();
+        assert_eq!(d.report().breaker_trips, 1);
+
+        // Open: admission is rejected with a cooldown hint.
+        let err = d.submit(req(2, "m", sec)).unwrap_err();
+        match err {
+            ServeError::CircuitOpen {
+                model,
+                consecutive_failures,
+                retry_after,
+            } => {
+                assert_eq!(model, "m");
+                assert_eq!(consecutive_failures, 2);
+                assert!(retry_after <= cfg().breaker_cooldown);
+            }
+            other => panic!("expected CircuitOpen, got {other}"),
+        }
+        assert_eq!(d.report().rejected_open, 1);
+
+        // Another model is unaffected.
+        assert!(d.submit(req(3, "other", sec)).is_ok());
+        let _ = d.run_queue();
+
+        // After the cooldown a probe is admitted; its success closes
+        // the breaker.
+        std::thread::sleep(cfg().breaker_cooldown + Duration::from_millis(5));
+        d.submit(req(4, "m", sec)).unwrap();
+        let outcomes = d.run_queue();
+        assert!(outcomes[0].1.is_ok());
+        assert!(d.submit(req(5, "m", sec)).is_ok());
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let svc = Scripted::new(vec![
+            Err(AttemptError::Permanent("bad".into())),
+            Err(AttemptError::Permanent("bad".into())),
+            Err(AttemptError::Permanent("still bad".into())),
+        ]);
+        let mut d = BatchDriver::new(svc, cfg());
+        let sec = Duration::from_secs(1);
+        for id in 0..2 {
+            d.submit(req(id, "m", sec)).unwrap();
+            let _ = d.run_queue();
+        }
+        assert_eq!(d.report().breaker_trips, 1);
+        std::thread::sleep(cfg().breaker_cooldown + Duration::from_millis(5));
+        // Half-open probe fails: breaker re-opens (second trip).
+        d.submit(req(2, "m", sec)).unwrap();
+        let _ = d.run_queue();
+        assert_eq!(d.report().breaker_trips, 2);
+        assert!(matches!(
+            d.submit(req(3, "m", sec)),
+            Err(ServeError::CircuitOpen { .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_slips_degrade_to_serial() {
+        // Every attempt sees an already-expired budget.
+        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg());
+        for id in 0..2 {
+            d.submit(req(id, "m", Duration::ZERO)).unwrap();
+        }
+        let outcomes = d.run_queue();
+        assert!(outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, Err(ServeError::Cancelled(_)))));
+        assert_eq!(d.report().cancelled, 2);
+        assert!(d.report().degraded);
+        assert!(matches!(d.mode(), Parallelism::Serial));
+        // A later success resets the slip streak (mode stays serial —
+        // degradation is sticky by design).
+        d.submit(req(9, "m", Duration::from_secs(1))).unwrap();
+        assert!(d.run_queue()[0].1.is_ok());
+        assert_eq!(d.report().completed, 1);
+    }
+
+    #[test]
+    fn shutdown_token_cancels_queued_requests() {
+        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg());
+        d.submit(req(0, "m", Duration::from_secs(30))).unwrap();
+        d.shutdown_token().cancel();
+        let outcomes = d.run_queue();
+        match &outcomes[0].1 {
+            Err(ServeError::Cancelled(stop)) => {
+                assert_eq!(stop.cause, StopCause::CancelRequested);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let d = BatchDriver::new(Scripted::new(vec![]), cfg());
+        let b1 = d.backoff_delay(42, 1);
+        assert_eq!(b1, d.backoff_delay(42, 1), "same seed, same delay");
+        assert_ne!(
+            d.backoff_delay(42, 1),
+            d.backoff_delay(43, 1),
+            "ids decorrelate"
+        );
+        for attempt in 1..12 {
+            let b = d.backoff_delay(42, attempt);
+            assert!(b <= cfg().max_backoff, "attempt {attempt}: {b:?} over cap");
+            assert!(b >= cfg().base_backoff / 2);
+        }
+    }
+
+    #[test]
+    fn ewma_tracks_service_time() {
+        let svc = Scripted::new(vec![]);
+        let mut d = BatchDriver::new(svc, cfg());
+        let before = d.service_time_estimate();
+        d.submit(req(0, "m", Duration::from_secs(1))).unwrap();
+        let _ = d.run_queue();
+        // The scripted service is near-instant, so the estimate decays
+        // toward zero from the 1 ms hint.
+        assert!(d.service_time_estimate() < before);
+    }
+}

@@ -10,6 +10,7 @@
 //! `Debug` delegates to `Display` so an `expect` on a `try_` result
 //! panics with the same human-readable text.
 
+use fxhenn_math::budget::BudgetStop;
 use std::fmt;
 
 /// The resource constraint that excludes every candidate design.
@@ -144,6 +145,10 @@ pub enum DseError {
     Device(fxhenn_hw::ModelError),
     /// No candidate satisfies the device constraints (Eq. 10).
     Infeasible(InfeasibleDiagnosis),
+    /// The execution budget expired or was cancelled mid-enumeration;
+    /// the partial sweep is discarded rather than reported as if it
+    /// covered the space.
+    Cancelled(BudgetStop),
 }
 
 impl DseError {
@@ -164,7 +169,14 @@ impl fmt::Display for DseError {
             }
             DseError::Device(e) => fmt::Display::fmt(e, f),
             DseError::Infeasible(d) => fmt::Display::fmt(d, f),
+            DseError::Cancelled(stop) => write!(f, "exploration stopped: {stop}"),
         }
+    }
+}
+
+impl From<BudgetStop> for DseError {
+    fn from(stop: BudgetStop) -> Self {
+        DseError::Cancelled(stop)
     }
 }
 
@@ -174,4 +186,11 @@ impl fmt::Debug for DseError {
     }
 }
 
-impl std::error::Error for DseError {}
+impl std::error::Error for DseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DseError::Cancelled(stop) => Some(stop),
+            _ => None,
+        }
+    }
+}

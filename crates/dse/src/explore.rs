@@ -17,7 +17,14 @@
 use crate::design::{DesignEval, DesignPoint, ProgramCost};
 use crate::error::{BindingConstraint, DseError, InfeasibleDiagnosis, Relaxation};
 use fxhenn_hw::{FpgaDevice, ModuleConfig, ModuleSet, OpClass};
+use fxhenn_math::budget::{self, BudgetStop, Progress};
 use fxhenn_nn::HeCnnProgram;
+use std::ops::ControlFlow;
+
+/// Points enumerated between ambient-budget checks. A point evaluation
+/// is sub-microsecond, so this keeps check overhead invisible while
+/// bounding the post-deadline overrun to well under a millisecond.
+const BUDGET_CHECK_INTERVAL: u64 = 512;
 
 /// The searchable configuration axes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +77,12 @@ pub struct DseResult {
     pub points_enumerated: usize,
 }
 
-/// Calls `f` with every design point the space enumerates.
-fn for_each_point(space: &SearchSpace, mut f: impl FnMut(DesignPoint)) {
+/// Calls `f` with every design point the space enumerates, stopping
+/// early when `f` breaks.
+fn visit_points(
+    space: &SearchSpace,
+    mut f: impl FnMut(DesignPoint) -> ControlFlow<BudgetStop>,
+) -> Result<(), BudgetStop> {
     for &ks_nc in &space.nc_options {
         for &ks_intra in &space.intra_options {
             for &ks_inter in &space.inter_options {
@@ -104,7 +115,9 @@ fn for_each_point(space: &SearchSpace, mut f: impl FnMut(DesignPoint)) {
                                         p_inter: pm_inter,
                                     },
                                 );
-                                f(DesignPoint { modules });
+                                if let ControlFlow::Break(stop) = f(DesignPoint { modules }) {
+                                    return Err(stop);
+                                }
                             }
                         }
                     }
@@ -112,6 +125,39 @@ fn for_each_point(space: &SearchSpace, mut f: impl FnMut(DesignPoint)) {
             }
         }
     }
+    Ok(())
+}
+
+/// Budget-aware enumeration: calls `f` with every point, checking the
+/// ambient execution budget every [`BUDGET_CHECK_INTERVAL`] points and
+/// stopping with the typed [`BudgetStop`] once it is exhausted.
+fn try_for_each_point(
+    space: &SearchSpace,
+    mut f: impl FnMut(DesignPoint),
+) -> Result<(), BudgetStop> {
+    let total = space.point_count() as u64;
+    let mut done = 0u64;
+    visit_points(space, |point| {
+        if done.is_multiple_of(BUDGET_CHECK_INTERVAL) {
+            if let Err(stop) = budget::check("dse-explore", Progress::of(done, total)) {
+                return ControlFlow::Break(stop);
+            }
+        }
+        done += 1;
+        f(point);
+        ControlFlow::Continue(())
+    })
+}
+
+/// Calls `f` with every design point the space enumerates. Open-loop:
+/// runs to completion regardless of any ambient budget (the `try_`
+/// entry points use [`try_for_each_point`] instead).
+fn for_each_point(space: &SearchSpace, mut f: impl FnMut(DesignPoint)) {
+    // A Continue-only visitor never breaks, so the Result is always Ok.
+    let _ = visit_points(space, |point| {
+        f(point);
+        ControlFlow::Continue(())
+    });
 }
 
 /// Exhaustively explores the space for a program on a device.
@@ -177,9 +223,12 @@ fn validate_space(space: &SearchSpace) -> Result<(), DseError> {
 }
 
 /// Like [`explore`], but reports "no design at all" as a structured
-/// [`DseError::Infeasible`] instead of `best: None`. The DRAM-stall
-/// fallback of [`explore`] still applies, so the binding constraint
-/// here is always DSP: BRAM shortfalls degrade into stalls.
+/// [`DseError::Infeasible`] instead of `best: None`, and honours the
+/// ambient execution budget: a deadline or cancellation mid-sweep
+/// returns [`DseError::Cancelled`] instead of reporting a partial sweep
+/// as exhaustive. The DRAM-stall fallback of [`explore`] still applies,
+/// so the binding constraint here is always DSP: BRAM shortfalls
+/// degrade into stalls.
 pub fn try_explore(
     prog: &HeCnnProgram,
     device: &FpgaDevice,
@@ -187,17 +236,49 @@ pub fn try_explore(
     space: &SearchSpace,
 ) -> Result<DseResult, DseError> {
     validate_space(space)?;
-    let res = explore(prog, device, w_bits, space);
-    if res.best.is_some() {
-        return Ok(res);
+    let cost = ProgramCost::new(prog, w_bits);
+    let mut best: Option<ExploredPoint> = None;
+    let mut feasible = Vec::new();
+    let mut enumerated = 0usize;
+
+    try_for_each_point(space, |point| {
+        enumerated += 1;
+        let eval = cost.evaluate(&point, device);
+        if !eval.feasible || !eval.fully_buffered {
+            return;
+        }
+        let explored = ExploredPoint { point, eval };
+        if best
+            .as_ref()
+            .map(|b| explored.eval.latency_s < b.eval.latency_s)
+            .unwrap_or(true)
+        {
+            best = Some(explored.clone());
+        }
+        feasible.push(explored);
+    })?;
+
+    // DRAM-stall fallback, as in `explore`.
+    if best.is_none() {
+        let point = DesignPoint::minimal();
+        let eval = cost.evaluate(&point, device);
+        if eval.feasible {
+            best = Some(ExploredPoint { point, eval });
+        }
+    }
+    if best.is_some() {
+        return Ok(DseResult {
+            best,
+            feasible,
+            points_enumerated: enumerated,
+        });
     }
     // Even DesignPoint::minimal() exceeded the DSP budget, so every
     // point did. Name the cheapest point's demand as the floor.
-    let cost = ProgramCost::new(prog, w_bits);
     let mut min_dsp = cost.evaluate(&DesignPoint::minimal(), device).dsp_used;
-    for_each_point(space, |point| {
+    try_for_each_point(space, |point| {
         min_dsp = min_dsp.min(cost.evaluate(&point, device).dsp_used);
-    });
+    })?;
     let available = device.dsp_slices();
     let additional = min_dsp.saturating_sub(available);
     Err(DseError::Infeasible(InfeasibleDiagnosis {
@@ -242,7 +323,7 @@ pub fn try_explore_fully_buffered(
     // (deficit, peak demand, budget at that point).
     let mut shortfall: Option<(usize, usize, usize)> = None;
 
-    for_each_point(space, |point| {
+    try_for_each_point(space, |point| {
         enumerated += 1;
         let eval = cost.evaluate(&point, device);
         min_dsp = Some(min_dsp.map_or(eval.dsp_used, |m| m.min(eval.dsp_used)));
@@ -265,7 +346,7 @@ pub fn try_explore_fully_buffered(
             best = Some(explored.clone());
         }
         feasible.push(explored);
-    });
+    })?;
 
     if best.is_some() {
         return Ok(DseResult {
@@ -610,6 +691,26 @@ mod tests {
         let err = try_explore_fully_buffered_with_bram_cap(&prog, &FpgaDevice::acu9eg(), 30, 0)
             .unwrap_err();
         assert!(matches!(err, DseError::Device(_)), "{err}");
+    }
+
+    #[test]
+    fn expired_budget_cancels_exploration_with_progress() {
+        use fxhenn_math::budget::Budget;
+        let prog = mnist();
+        let b = Budget::with_deadline(std::time::Duration::ZERO);
+        let err = budget::with_budget(&b, || {
+            try_explore_default(&prog, &FpgaDevice::acu9eg(), 30)
+        })
+        .unwrap_err();
+        match err {
+            DseError::Cancelled(stop) => {
+                assert_eq!(stop.phase, "dse-explore");
+                assert!(stop.progress.total.is_some(), "space size is known up front");
+            }
+            other => panic!("expected cancellation, got {other}"),
+        }
+        // Without an ambient budget the same search completes.
+        assert!(try_explore_default(&prog, &FpgaDevice::acu9eg(), 30).is_ok());
     }
 
     #[test]

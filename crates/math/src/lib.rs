@@ -39,6 +39,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod bigint;
+pub mod budget;
 pub mod error;
 pub mod modops;
 pub mod ntt;
@@ -49,6 +50,7 @@ pub mod rns;
 pub mod sampling;
 
 pub use bigint::BigUint;
+pub use budget::{Budget, BudgetStop, CancelToken, Progress, StopCause};
 pub use error::MathError;
 pub use ntt::NttTable;
 pub use poly::{Domain, RnsPoly};

@@ -21,8 +21,10 @@
 //! [`Parallelism::Serial`]), everything runs inline on the caller's
 //! thread and this module adds zero overhead.
 
+use crate::budget;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// How the helpers schedule their work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +90,33 @@ pub fn with_parallelism<R>(p: Parallelism, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+thread_local! {
+    static LIMB_DELAY: Cell<Option<Duration>> = const { Cell::new(None) };
+}
+
+/// Fault-injection hook: runs `f` with every limb-scheduling call
+/// ([`for_each_indexed`] / [`map_indexed`]) on this thread artificially
+/// delayed by `delay` before dispatching its work. Models a slow or
+/// contended kernel so deadline tests can hang the hot path on purpose;
+/// the override is thread-local and restored afterwards.
+pub fn with_limb_delay<R>(delay: Duration, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Duration>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LIMB_DELAY.with(|d| d.set(self.0));
+        }
+    }
+    let prev = LIMB_DELAY.with(|d| d.replace(Some(delay)));
+    let _restore = Restore(prev);
+    f()
+}
+
+fn injected_limb_delay() {
+    if let Some(d) = LIMB_DELAY.with(|d| d.get()) {
+        std::thread::sleep(d);
+    }
+}
+
 /// Number of worker threads the helpers will actually use right now for
 /// the calling thread; 1 means "run inline".
 pub fn effective_threads() -> usize {
@@ -116,17 +145,31 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    injected_limb_delay();
     #[cfg(feature = "parallel")]
     {
         let threads = effective_threads().min(items.len());
         if threads > 1 {
+            // Worker threads start with empty thread-locals, so the
+            // caller's ambient budget must be captured here and
+            // re-installed inside each spawned closure for deep callees
+            // (e.g. per-item evaluators in the nn executor) to see the
+            // caller's deadline.
+            let ambient = budget::current();
             let chunk = items.len().div_ceil(threads);
             rayon::scope(|s| {
                 for (ci, slab) in items.chunks_mut(chunk).enumerate() {
                     let f = &f;
+                    let ambient = &ambient;
                     s.spawn(move |_| {
-                        for (off, item) in slab.iter_mut().enumerate() {
-                            f(ci * chunk + off, item);
+                        let mut work = || {
+                            for (off, item) in slab.iter_mut().enumerate() {
+                                f(ci * chunk + off, item);
+                            }
+                        };
+                        match ambient {
+                            Some(b) => budget::with_budget(b, work),
+                            None => work(),
                         }
                     });
                 }
@@ -146,18 +189,27 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    injected_limb_delay();
     #[cfg(feature = "parallel")]
     {
         let threads = effective_threads().min(count);
         if threads > 1 {
+            let ambient = budget::current();
             let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
             let chunk = count.div_ceil(threads);
             rayon::scope(|s| {
                 for (ci, slab) in out.chunks_mut(chunk).enumerate() {
                     let f = &f;
+                    let ambient = &ambient;
                     s.spawn(move |_| {
-                        for (off, slot) in slab.iter_mut().enumerate() {
-                            *slot = Some(f(ci * chunk + off));
+                        let mut work = || {
+                            for (off, slot) in slab.iter_mut().enumerate() {
+                                *slot = Some(f(ci * chunk + off));
+                            }
+                        };
+                        match ambient {
+                            Some(b) => budget::with_budget(b, work),
+                            None => work(),
                         }
                     });
                 }
@@ -235,5 +287,32 @@ mod tests {
         with_parallelism(Parallelism::Threads(3), || {
             assert_eq!(effective_threads(), 3);
         });
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn ambient_budget_reaches_worker_threads() {
+        use crate::budget::{Budget, Progress};
+        let b = Budget::with_deadline(Duration::ZERO);
+        budget::with_budget(&b, || {
+            with_parallelism(Parallelism::Threads(2), || {
+                let seen = map_indexed(4, |_| budget::check("worker", Progress::done(0)).is_err());
+                assert!(
+                    seen.iter().all(|&stopped| stopped),
+                    "every worker must observe the caller's expired budget"
+                );
+            });
+        });
+    }
+
+    #[test]
+    fn limb_delay_is_applied_and_restored() {
+        let t0 = std::time::Instant::now();
+        with_limb_delay(Duration::from_millis(5), || {
+            let mut v = vec![0u64; 3];
+            for_each_indexed(&mut v, |i, x| *x = i as u64);
+        });
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert!(LIMB_DELAY.with(|d| d.get()).is_none(), "delay must not leak");
     }
 }

@@ -11,6 +11,7 @@
 //! benches print the same message a caller would log.
 
 use fxhenn_ckks::EvalError;
+use fxhenn_math::budget::BudgetStop;
 use std::fmt;
 
 /// A structural or budget problem found while lowering a network.
@@ -191,6 +192,21 @@ pub enum ExecError {
         /// The underlying evaluator error.
         source: EvalError,
     },
+    /// The pre-flight level check found too few remaining levels for the
+    /// layer's rescale/multiply depth: the run fails at the layer
+    /// boundary, naming the layer, instead of hitting the rescale floor
+    /// deep inside the evaluator.
+    InsufficientLevels {
+        /// The layer that could not be admitted.
+        layer: String,
+        /// Levels remaining on the carried ciphertexts.
+        have: usize,
+        /// Levels the layer needs at entry to complete.
+        need: usize,
+    },
+    /// The execution budget expired or was cancelled at a layer
+    /// boundary.
+    Cancelled(BudgetStop),
 }
 
 impl ExecError {
@@ -248,7 +264,19 @@ impl fmt::Display for ExecError {
             ExecError::Eval { layer, source } => {
                 write!(f, "HE evaluation failed at {layer}: {source}")
             }
+            ExecError::InsufficientLevels { layer, have, need } => write!(
+                f,
+                "insufficient levels at layer {layer}: {have} remaining, \
+                 needs {need} to multiply and rescale"
+            ),
+            ExecError::Cancelled(stop) => write!(f, "execution stopped: {stop}"),
         }
+    }
+}
+
+impl From<BudgetStop> for ExecError {
+    fn from(stop: BudgetStop) -> Self {
+        ExecError::Cancelled(stop)
     }
 }
 
@@ -262,6 +290,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Eval { source, .. } => Some(source),
+            ExecError::Cancelled(stop) => Some(stop),
             _ => None,
         }
     }

@@ -19,8 +19,13 @@ use fxhenn_ckks::{
     Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, NoiseEstimate, OpTrace,
     RelinKey,
 };
+use fxhenn_math::budget::{self, Budget, Progress};
 use fxhenn_math::par;
 use rand::Rng;
+
+/// Levels a layer needs at entry: every layer type multiplies once and
+/// rescales once, and a rescale needs a prime to drop (level >= 2).
+const LAYER_LEVEL_NEED: usize = 2;
 
 /// What one parallel work item (an output ciphertext) produces: the
 /// ciphertext, its analytic noise, and the child evaluator's trace (when
@@ -165,11 +170,15 @@ impl<'a> HeCnnExecutor<'a> {
         let slots = self.ev.context().degree() / 2;
         let mut state: Option<RunState> = None;
         let mut shape = net.input_shape().to_vec();
+        let total_layers = net.layers().len() as u64;
 
         for (idx, (name, layer)) in net.layers().iter().enumerate() {
             if idx == 0 && !matches!(layer, Layer::Conv(_)) {
                 return Err(ExecError::FirstLayerNotConv);
             }
+            budget::check("layer", Progress::of(idx as u64, total_layers))
+                .map_err(ExecError::Cancelled)?;
+            self.preflight_levels(name, state.as_ref(), input)?;
             let need_input = |state: &mut Option<RunState>| {
                 state.take().ok_or_else(|| ExecError::MissingInput {
                     layer: name.clone(),
@@ -263,6 +272,50 @@ impl<'a> HeCnnExecutor<'a> {
     /// returns these as [`ExecError`]s.
     pub fn run(&mut self, net: &Network, input: &EncryptedInput) -> EncryptedOutput {
         self.try_run(net, input).expect("HE execution")
+    }
+
+    /// Runs the network under an explicit execution [`Budget`]: the
+    /// budget is installed as the thread's ambient for the duration of
+    /// the run, so the layer loop, every evaluator operation, and work
+    /// items running on `par` worker threads all observe the deadline
+    /// and cancellation token. Returns [`ExecError::Cancelled`] (or an
+    /// [`EvalError::Cancelled`] wrapped in [`ExecError::Eval`]) once the
+    /// budget is exhausted.
+    pub fn try_run_with_budget(
+        &mut self,
+        net: &Network,
+        input: &EncryptedInput,
+        budget: &Budget,
+    ) -> Result<EncryptedOutput, ExecError> {
+        budget::with_budget(budget, || self.try_run(net, input))
+    }
+
+    /// Pre-flight level check at a layer boundary: verifies the carried
+    /// ciphertexts still have the levels the layer's multiply + rescale
+    /// needs, so the run fails *here*, naming the layer, instead of
+    /// hitting [`EvalError::RescaleAtFloor`] deep inside the evaluator.
+    fn preflight_levels(
+        &self,
+        name: &str,
+        state: Option<&RunState>,
+        input: &EncryptedInput,
+    ) -> Result<(), ExecError> {
+        let have = match state {
+            Some(st) => st.cts.first().map(Ciphertext::level),
+            None => input
+                .groups
+                .first()
+                .and_then(|g| g.first())
+                .map(Ciphertext::level),
+        };
+        match have {
+            Some(have) if have < LAYER_LEVEL_NEED => Err(ExecError::InsufficientLevels {
+                layer: name.to_string(),
+                have,
+                need: LAYER_LEVEL_NEED,
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// Checks the tracked noise estimate after an operation; fails the

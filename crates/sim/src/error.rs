@@ -4,6 +4,7 @@
 //! panics with the same human-readable text the assert-based paths
 //! historically produced.
 
+use fxhenn_math::budget::BudgetStop;
 use fxhenn_nn::{ExecError, LowerError};
 use std::fmt;
 
@@ -23,6 +24,8 @@ pub enum SimError {
     Lower(LowerError),
     /// The homomorphic execution failed.
     Exec(ExecError),
+    /// The execution budget expired or was cancelled mid-simulation.
+    Cancelled(BudgetStop),
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +38,7 @@ impl fmt::Display for SimError {
             SimError::EmptyProgram => f.write_str("program has no layers to simulate"),
             SimError::Lower(e) => write!(f, "lowering failed: {e}"),
             SimError::Exec(e) => write!(f, "homomorphic execution failed: {e}"),
+            SimError::Cancelled(stop) => write!(f, "simulation stopped: {stop}"),
         }
     }
 }
@@ -50,8 +54,15 @@ impl std::error::Error for SimError {
         match self {
             SimError::Lower(e) => Some(e),
             SimError::Exec(e) => Some(e),
+            SimError::Cancelled(stop) => Some(stop),
             _ => None,
         }
+    }
+}
+
+impl From<BudgetStop> for SimError {
+    fn from(stop: BudgetStop) -> Self {
+        SimError::Cancelled(stop)
     }
 }
 

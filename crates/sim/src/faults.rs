@@ -8,6 +8,38 @@
 //! corrupted artifact, so failures reproduce byte-for-byte.
 
 use fxhenn_nn::{Layer, Network};
+use std::cell::Cell;
+use std::time::Duration;
+
+thread_local! {
+    static STATION_STALL: Cell<Option<Duration>> = const { Cell::new(None) };
+}
+
+/// Hang-class fault: runs `f` with every simulated station claim on
+/// this thread stalled by `delay` of real wall-clock time, modeling a
+/// module station that never (or pathologically slowly) completes. With
+/// a large `delay` and a trace of thousands of records the simulation
+/// would effectively never finish — which is exactly what the deadline
+/// tests need: the budgeted simulator must surface a typed `Cancelled`
+/// instead of wedging. The override is thread-local and restored when
+/// `f` returns.
+pub fn with_station_stall<R>(delay: Duration, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Duration>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STATION_STALL.with(|d| d.set(self.0));
+        }
+    }
+    let prev = STATION_STALL.with(|d| d.replace(Some(delay)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The stall the simulator applies per station claim on this thread
+/// (`None` outside [`with_station_stall`]).
+pub fn station_stall() -> Option<Duration> {
+    STATION_STALL.with(|d| d.get())
+}
 
 /// Keeps only the first `keep` bytes of a serialized blob, simulating a
 /// truncated file or interrupted transfer.

@@ -16,7 +16,16 @@ use fxhenn_hw::calibration::LAYER_PIPELINE_OVERHEAD;
 use fxhenn_hw::layer::LayerShape;
 use fxhenn_hw::modules::{HeOpModule, OpClass};
 use fxhenn_hw::FpgaDevice;
+use fxhenn_math::budget::{self, BudgetStop, Progress};
 use fxhenn_nn::{HeCnnProgram, HeLayerPlan};
+
+/// Trace records processed between ambient-budget checks inside one
+/// layer's station simulation. Station claims are nanosecond-scale, so
+/// this bounds the post-deadline overrun without measurable overhead —
+/// except under an injected station stall, where the per-record sleep
+/// dominates and the check still fires within [`STALL_CHECK_INTERVAL`]
+/// stalled records.
+const STALL_CHECK_INTERVAL: u64 = 64;
 
 /// Simulation result for one layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,12 +77,29 @@ impl SimReport {
 
 /// Event-driven makespan of one layer's trace on the design's module
 /// stations, in cycles (before the calibrated overhead factor).
-fn layer_makespan_cycles(plan: &HeLayerPlan, point: &DesignPoint, degree: usize) -> u64 {
+///
+/// Checks the ambient execution budget every [`STALL_CHECK_INTERVAL`]
+/// records and applies any injected [`crate::faults::with_station_stall`]
+/// delay per station claim, so a never-completing station surfaces as a
+/// typed [`BudgetStop`] instead of a wedged simulation.
+fn layer_makespan_cycles(
+    plan: &HeLayerPlan,
+    point: &DesignPoint,
+    degree: usize,
+) -> Result<u64, BudgetStop> {
     // Earliest-free time per (class, instance).
     let mut stations: std::collections::BTreeMap<OpClass, Vec<u64>> =
         std::collections::BTreeMap::new();
     let mut finish = 0u64;
-    for rec in plan.trace.records() {
+    let total_records = plan.trace.records().len() as u64;
+    let stall = crate::faults::station_stall();
+    for (ri, rec) in plan.trace.records().iter().enumerate() {
+        if (ri as u64).is_multiple_of(STALL_CHECK_INTERVAL) || stall.is_some() {
+            budget::check("sim-station", Progress::of(ri as u64, total_records))?;
+        }
+        if let Some(delay) = stall {
+            std::thread::sleep(delay);
+        }
         let class = OpClass::from(rec.kind);
         let cfg = point.modules.get(class);
         let module = HeOpModule::new(class, cfg);
@@ -111,7 +137,7 @@ fn layer_makespan_cycles(plan: &HeLayerPlan, point: &DesignPoint, degree: usize)
         })
         .max()
         .unwrap_or(0);
-    finish + drain
+    Ok(finish + drain)
 }
 
 /// Simulates a full inference of `prog` on the design, with each layer
@@ -134,13 +160,15 @@ pub fn try_simulate_with_grants(
             got: bram_grants.len(),
         });
     }
+    let total_layers = prog.layers.len() as u64;
     let mut layers = Vec::with_capacity(prog.layers.len());
-    for (plan, &granted) in prog.layers.iter().zip(bram_grants) {
+    for (li, (plan, &granted)) in prog.layers.iter().zip(bram_grants).enumerate() {
+        budget::check("sim-layer", Progress::of(li as u64, total_layers))?;
         let shape = LayerShape::from_plan(plan, prog.degree, w_bits);
         let cfg = layer_governing_config(plan.class, &point.modules);
         let demand = layer_bram_blocks(&shape, &cfg);
         let cycles =
-            (layer_makespan_cycles(plan, point, prog.degree) as f64 * LAYER_PIPELINE_OVERHEAD)
+            (layer_makespan_cycles(plan, point, prog.degree)? as f64 * LAYER_PIPELINE_OVERHEAD)
                 as u64;
         let stall = stall_factor(granted, demand, plan.class);
         let seconds = cycles as f64 * device.cycle_seconds() * stall;
@@ -326,6 +354,34 @@ mod tests {
                 expected: prog.layers.len(),
                 got: 2
             }
+        );
+    }
+
+    #[test]
+    fn stalled_station_surfaces_as_cancelled_within_twice_the_deadline() {
+        use fxhenn_math::budget::Budget;
+        use std::time::{Duration, Instant};
+        let prog = mnist();
+        let deadline = Duration::from_millis(50);
+        let t0 = Instant::now();
+        // 5 ms per station claim over thousands of trace records would
+        // run for minutes; the budget must cut it off at the deadline.
+        let err = crate::faults::with_station_stall(Duration::from_millis(5), || {
+            budget::with_budget(&Budget::with_deadline(deadline), || {
+                try_simulate(&prog, &DesignPoint::minimal(), &FpgaDevice::acu9eg(), 30)
+            })
+        })
+        .unwrap_err();
+        let elapsed = t0.elapsed();
+        match err {
+            crate::error::SimError::Cancelled(stop) => {
+                assert_eq!(stop.phase, "sim-station");
+            }
+            other => panic!("expected cancellation, got {other}"),
+        }
+        assert!(
+            elapsed < deadline * 2,
+            "stopped after {elapsed:?}, more than 2x the {deadline:?} deadline"
         );
     }
 

@@ -14,7 +14,15 @@
 //!  7. NaN weights and NaN input pixels;
 //!  8. noise-budget exhaustion from mis-scaled weights;
 //!  9. infeasible DSE budgets (DSP- and BRAM-bound);
-//! 10. impossible device/module descriptions.
+//! 10. impossible device/module descriptions;
+//! 11. hang-class: an artificially delayed limb kernel slows every HE
+//!     op — a deadline budget must surface a typed `Cancelled` within
+//!     2x the deadline;
+//! 12. hang-class: a simulated module station that never completes —
+//!     the budgeted simulator must stop instead of wedging.
+//!
+//! The hang-class tests run under a watchdog thread so a regression
+//! fails the suite instead of hanging it.
 
 use fxhenn::ckks::serialize::{
     decode_ciphertext, decode_relin_key, encode_ciphertext, encode_relin_key,
@@ -37,6 +45,10 @@ use rand::SeedableRng;
 
 fn toy_ctx() -> CkksContext {
     CkksContext::new(CkksParams::insecure_toy(3))
+}
+
+fn toy_ctx7() -> CkksContext {
+    CkksContext::new(CkksParams::insecure_toy(7))
 }
 
 /// Control: with no fault injected, the toy network co-simulates
@@ -320,5 +332,125 @@ fn impossible_devices_and_modules_are_typed_errors() {
     assert_eq!(
         bad_nc.try_validate().unwrap_err(),
         ModelError::BadNttCores { nc_ntt: 3 }
+    );
+}
+
+// ---- fault classes 11/12: hang-class (slow kernel, stalled station) ----
+
+/// Runs `f` on a worker thread; a result that does not arrive within
+/// `limit` fails the test instead of wedging the suite.
+fn under_watchdog<R: Send + 'static>(
+    limit: std::time::Duration,
+    f: impl FnOnce() -> R + Send + 'static,
+) -> R {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    let out = rx
+        .recv_timeout(limit)
+        .unwrap_or_else(|_| panic!("hang-class fault wedged the test past {limit:?}"));
+    handle.join().expect("worker panicked");
+    out
+}
+
+/// The `BudgetStop` carried by a cancelled (co-)simulation, wherever
+/// the gate fired: a layer boundary, an HE op inside a layer, or the
+/// simulator itself.
+fn stop_of(err: &SimError) -> &fxhenn::math::budget::BudgetStop {
+    match err {
+        SimError::Cancelled(stop) => stop,
+        SimError::Exec(ExecError::Cancelled(stop)) => stop,
+        SimError::Exec(ExecError::Eval {
+            source: EvalError::Cancelled(stop),
+            ..
+        }) => stop,
+        other => panic!("expected a budget cancellation, got {other}"),
+    }
+}
+
+#[test]
+fn delayed_limb_kernel_is_cancelled_within_twice_the_deadline() {
+    use fxhenn::math::budget::{with_budget, Budget};
+    use fxhenn::math::par::with_limb_delay;
+    use fxhenn::nn::executor::HeCnnExecutor;
+    use std::time::Duration;
+
+    let deadline = Duration::from_millis(100);
+    let err = under_watchdog(Duration::from_secs(60), move || {
+        // Setup (keygen, input encryption) runs at full speed; only
+        // the inference itself is slowed and budgeted.
+        let net = toy_mnist_like(13);
+        let image = synthetic_input(&net, 13);
+        let ctx = toy_ctx7();
+        let prog = try_lower_network(&net, ctx.degree(), ctx.max_level()).expect("lowers");
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(13));
+        let pk = kg.public_key();
+        let rk = kg.relin_key();
+        let gks = kg.galois_keys(&prog.required_rotations());
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(14));
+        let input =
+            try_encrypt_input(&net, &image, &mut enc, ctx.degree() / 2).expect("packs");
+        let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
+        // Every limb-parallel scheduling point pays 2 ms: the HE
+        // execution that normally finishes well under the deadline now
+        // crawls, and the per-op budget gate must stop it.
+        with_limb_delay(Duration::from_millis(2), || {
+            with_budget(&Budget::with_deadline(deadline), || {
+                exec.try_run(&net, &input)
+                    .expect_err("a crawling inference must not complete in time")
+            })
+        })
+    });
+    let stop = match &err {
+        ExecError::Cancelled(stop) => stop,
+        ExecError::Eval {
+            source: EvalError::Cancelled(stop),
+            ..
+        } => stop,
+        other => panic!("expected a budget cancellation, got {other}"),
+    };
+    assert!(
+        stop.elapsed >= deadline,
+        "stop fired before the deadline: {:?}",
+        stop.elapsed
+    );
+    assert!(
+        stop.elapsed < deadline * 2,
+        "typed Cancelled must arrive within 2x the deadline, took {:?}",
+        stop.elapsed
+    );
+}
+
+#[test]
+fn stalled_station_is_cancelled_not_wedged() {
+    use fxhenn::math::budget::{with_budget, Budget};
+    use fxhenn::sim::faults::with_station_stall;
+    use std::time::Duration;
+
+    let deadline = Duration::from_millis(50);
+    let err = under_watchdog(Duration::from_secs(60), move || {
+        let net = toy_mnist_like(17);
+        let prog = try_lower_network(&net, 8192, 7).expect("toy net lowers");
+        // Every simulated station claim stalls 5 ms: with thousands of
+        // trace records the simulation would effectively never finish.
+        with_station_stall(Duration::from_millis(5), || {
+            with_budget(&Budget::with_deadline(deadline), || {
+                fxhenn::sim::try_simulate(
+                    &prog,
+                    &fxhenn::dse::DesignPoint::minimal(),
+                    &FpgaDevice::acu9eg(),
+                    30,
+                )
+                .expect_err("a stalled station must not complete")
+            })
+        })
+    });
+    let stop = stop_of(&err);
+    assert!(stop.phase.starts_with("sim-"), "phase = {}", stop.phase);
+    assert!(
+        stop.elapsed < deadline * 2,
+        "typed Cancelled must arrive within 2x the deadline, took {:?}",
+        stop.elapsed
     );
 }

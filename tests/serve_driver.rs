@@ -1,0 +1,194 @@
+//! Smoke test for the deadline-aware batch driver: a mixed stream of
+//! requests must demonstrate load shedding, backoff-retry success, a
+//! circuit-breaker trip and deadline cancellation — without a single
+//! panic, and without the harness ever hanging (the whole scenario is
+//! driven under a watchdog thread).
+
+use fxhenn::math::budget::{Budget, Progress};
+use fxhenn::serve::{
+    AttemptError, BatchDriver, DesignFlowService, InferenceRequest, InferenceService,
+    ServeConfig, ServeError,
+};
+use fxhenn::FpgaDevice;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Runs `f` on a worker thread and fails the test if it has not
+/// finished within `limit` — a wedged driver is a test failure, not a
+/// stuck CI job.
+fn under_watchdog<R: Send + 'static>(limit: Duration, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    let out = rx
+        .recv_timeout(limit)
+        .unwrap_or_else(|_| panic!("driver did not finish within {limit:?}"));
+    handle.join().expect("driver thread panicked");
+    out
+}
+
+/// A scripted backend: pops the next outcome per call; an empty script
+/// means success. Checks its budget like a real service would.
+struct Scripted {
+    outcomes: VecDeque<Result<(), AttemptError>>,
+}
+
+impl InferenceService for Scripted {
+    type Output = u64;
+    fn infer(&mut self, req: &InferenceRequest, budget: &Budget) -> Result<u64, AttemptError> {
+        budget
+            .check("scripted", Progress::done(0))
+            .map_err(AttemptError::Cancelled)?;
+        match self.outcomes.pop_front() {
+            Some(Ok(())) | None => Ok(req.id),
+            Some(Err(e)) => Err(e),
+        }
+    }
+}
+
+fn req(id: u64, model: &str, deadline: Duration) -> InferenceRequest {
+    InferenceRequest {
+        id,
+        model: model.to_string(),
+        deadline,
+    }
+}
+
+#[test]
+fn mixed_request_stream_exercises_every_policy() {
+    let report = under_watchdog(Duration::from_secs(60), || {
+        let script = vec![
+            // id 0: two transient blips, then success (retry path).
+            Err(AttemptError::Transient("link blip".into())),
+            Err(AttemptError::Transient("link blip".into())),
+            Ok(()),
+            // id 1: clean success.
+            Ok(()),
+            // ids 2 and 3: permanent failures — trip the breaker.
+            Err(AttemptError::Permanent("model corrupt".into())),
+            Err(AttemptError::Permanent("model corrupt".into())),
+        ];
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            max_retries: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(30),
+            slip_threshold: 2,
+            service_time_hint: Duration::from_millis(1),
+        };
+        let mut driver = BatchDriver::new(
+            Scripted {
+                outcomes: script.into(),
+            },
+            cfg,
+        );
+
+        let generous = Duration::from_secs(5);
+        // Admit 4 healthy-model requests into a 4-slot queue...
+        for id in 0..4 {
+            let model = if id < 2 { "good" } else { "flaky" };
+            driver.submit(req(id, model, generous)).expect("queue has room");
+        }
+        // ...and shed the 5th.
+        let shed = driver.submit(req(4, "good", generous)).unwrap_err();
+        assert!(
+            matches!(shed, ServeError::Overloaded { retry_after, .. } if retry_after > Duration::ZERO),
+            "expected a retry-after hint, got {shed}"
+        );
+
+        let outcomes = driver.run_queue();
+        assert_eq!(outcomes.len(), 4);
+        // Retry path: id 0 succeeded after two transient failures.
+        assert_eq!(outcomes[0].1.as_ref().ok(), Some(&0));
+        assert_eq!(outcomes[1].1.as_ref().ok(), Some(&1));
+        // Breaker path: both "flaky" requests failed permanently...
+        assert!(matches!(outcomes[2].1, Err(ServeError::Failed { .. })));
+        assert!(matches!(outcomes[3].1, Err(ServeError::Failed { .. })));
+        // ...and the breaker is now open for that model only.
+        let rejected = driver.submit(req(5, "flaky", generous)).unwrap_err();
+        assert!(
+            matches!(&rejected, ServeError::CircuitOpen { model, .. } if model == "flaky"),
+            "expected CircuitOpen for flaky, got {rejected}"
+        );
+        assert!(driver.submit(req(6, "good", generous)).is_ok());
+
+        // Deadline path: two zero-deadline requests slip and degrade
+        // the driver to serial dispatch.
+        driver.submit(req(7, "good", Duration::ZERO)).expect("room");
+        driver.submit(req(8, "good", Duration::ZERO)).expect("room");
+        let outcomes = driver.run_queue();
+        let cancelled = outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, Err(ServeError::Cancelled(_))))
+            .count();
+        assert_eq!(cancelled, 2, "both zero-deadline requests must slip");
+
+        driver.report().clone()
+    });
+
+    assert_eq!(report.completed, 3, "ids 0, 1 and 6");
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.retries, 2);
+    assert_eq!(report.failed, 2);
+    assert_eq!(report.breaker_trips, 1);
+    assert_eq!(report.rejected_open, 1);
+    assert_eq!(report.cancelled, 2);
+    assert!(report.degraded, "consecutive slips must degrade to serial");
+}
+
+#[test]
+fn real_flow_backend_sheds_and_completes() {
+    // The real DesignFlowService end to end: a 2-slot queue fed 3
+    // requests completes 2 designs and sheds 1, deterministically.
+    let report = under_watchdog(Duration::from_secs(300), || {
+        let mut driver = BatchDriver::new(
+            DesignFlowService::new(FpgaDevice::acu9eg()),
+            ServeConfig {
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let generous = Duration::from_secs(120);
+        for id in 0..3 {
+            let _ = driver.submit(req(id, "mnist", generous));
+        }
+        let outcomes = driver.run_queue();
+        assert!(outcomes.iter().all(|(_, o)| o.is_ok()), "{outcomes:?}");
+        driver.report().clone()
+    });
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.failed, 0);
+    assert!(!report.degraded);
+}
+
+#[test]
+fn real_flow_backend_is_cancelled_by_a_tight_deadline() {
+    // A 2 ms deadline cannot fit a full MNIST design flow: the request
+    // must come back Cancelled (typed), never wedge the driver.
+    let outcome = under_watchdog(Duration::from_secs(60), || {
+        let mut driver = BatchDriver::new(
+            DesignFlowService::new(FpgaDevice::acu9eg()),
+            ServeConfig::default(),
+        );
+        driver
+            .submit(req(0, "mnist", Duration::from_millis(2)))
+            .expect("queue has room");
+        let mut outcomes = driver.run_queue();
+        outcomes.pop().expect("one outcome").1
+    });
+    match outcome {
+        Err(ServeError::Cancelled(stop)) => {
+            assert!(
+                stop.elapsed < Duration::from_secs(30),
+                "cancel must be prompt, took {:?}",
+                stop.elapsed
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
