@@ -35,7 +35,9 @@ fn setup(n_log2: u32, levels: usize) -> (Rig, Material) {
     let ct_a = enc.encrypt(&values);
     let ct_b = enc.encrypt(&values);
     let ev = Evaluator::new(&ctx);
-    let pt = ev.encode_for_mul(&values, ct_a.level());
+    let pt = ev
+        .encode_for_mul(&values, ct_a.level())
+        .expect("bench operands encode");
     (
         Rig { ctx },
         Material {
@@ -69,12 +71,12 @@ fn bench_he_ops(c: &mut Criterion) {
     });
     group.bench_function("rescale_op4", |b| {
         let mut ev = Evaluator::new(&rig.ctx);
-        let prod = ev.mul_plain(&m.ct_a, &m.pt);
+        let prod = ev.mul_plain(&m.ct_a, &m.pt).expect("bench mul_plain");
         b.iter(|| black_box(ev.rescale(&prod)))
     });
     group.bench_function("relinearize_op5", |b| {
         let mut ev = Evaluator::new(&rig.ctx);
-        let tri = ev.mul(&m.ct_a, &m.ct_b);
+        let tri = ev.mul(&m.ct_a, &m.ct_b).expect("bench mul");
         b.iter(|| black_box(ev.relinearize(&tri, &m.rk)))
     });
     group.bench_function("rotate_op5", |b| {
@@ -110,9 +112,9 @@ fn bench_chain(c: &mut Criterion) {
     group.bench_function("mul_relin_rescale_rotate", |b| {
         let mut ev = Evaluator::new(&rig.ctx);
         b.iter(|| {
-            let tri = ev.mul(&m.ct_a, &m.ct_b);
-            let lin = ev.relinearize(&tri, &m.rk);
-            let rs = ev.rescale(&lin);
+            let tri = ev.mul(&m.ct_a, &m.ct_b).expect("bench mul");
+            let lin = ev.relinearize(&tri, &m.rk).expect("bench relinearize");
+            let rs = ev.rescale(&lin).expect("bench rescale");
             black_box(ev.rotate(&rs, 1, &m.gks))
         })
     });

@@ -100,7 +100,9 @@ fn setup(n: usize, levels: usize) -> (Rig, Material) {
     let ct_a = enc.encrypt(&values);
     let ct_b = enc.encrypt(&values);
     let ev = Evaluator::new(&ctx);
-    let pt = ev.encode_for_mul(&values, ct_a.level());
+    let pt = ev
+        .encode_for_mul(&values, ct_a.level())
+        .expect("bench operands encode");
     (Rig { ctx }, Material { ct_a, ct_b, pt, rk, gks })
 }
 
@@ -111,34 +113,34 @@ fn he_op_entries(tiny: bool, entries: &mut Vec<Entry>) {
     let iters = if tiny { 20 } else { 10 };
 
     let ns = time_ns(2, iters * 5, || {
-        black_box(ev.add(&m.ct_a, &m.ct_b));
+        black_box(ev.add(&m.ct_a, &m.ct_b).expect("bench add"));
     });
     entries.push(Entry { name: format!("ccadd_op1_n{n}_l{l}"), ns_per_iter: ns, n, l });
 
     let ns = time_ns(2, iters * 5, || {
-        black_box(ev.mul_plain(&m.ct_a, &m.pt));
+        black_box(ev.mul_plain(&m.ct_a, &m.pt).expect("bench mul_plain"));
     });
     entries.push(Entry { name: format!("pcmult_op2_n{n}_l{l}"), ns_per_iter: ns, n, l });
 
     let ns = time_ns(2, iters * 2, || {
-        black_box(ev.mul(&m.ct_a, &m.ct_b));
+        black_box(ev.mul(&m.ct_a, &m.ct_b).expect("bench mul"));
     });
     entries.push(Entry { name: format!("ccmult_op3_n{n}_l{l}"), ns_per_iter: ns, n, l });
 
-    let prod = ev.mul_plain(&m.ct_a, &m.pt);
+    let prod = ev.mul_plain(&m.ct_a, &m.pt).expect("bench mul_plain");
     let ns = time_ns(2, iters, || {
-        black_box(ev.rescale(&prod));
+        black_box(ev.rescale(&prod).expect("bench rescale"));
     });
     entries.push(Entry { name: format!("rescale_op4_n{n}_l{l}"), ns_per_iter: ns, n, l });
 
-    let tri = ev.mul(&m.ct_a, &m.ct_b);
+    let tri = ev.mul(&m.ct_a, &m.ct_b).expect("bench mul");
     let ns = time_ns(1, iters, || {
-        black_box(ev.relinearize(&tri, &m.rk));
+        black_box(ev.relinearize(&tri, &m.rk).expect("bench relinearize"));
     });
     entries.push(Entry { name: format!("relinearize_op5_n{n}_l{l}"), ns_per_iter: ns, n, l });
 
     let ns = time_ns(1, iters, || {
-        black_box(ev.rotate(&m.ct_a, 1, &m.gks));
+        black_box(ev.rotate(&m.ct_a, 1, &m.gks).expect("bench rotate"));
     });
     entries.push(Entry { name: format!("rotate_op5_n{n}_l{l}"), ns_per_iter: ns, n, l });
 }
@@ -151,10 +153,7 @@ fn chain_entry(tiny: bool, entries: &mut Vec<Entry>) {
     let mut ev = Evaluator::new(&rig.ctx);
     let iters = 10;
     let ns = time_ns(2, iters, || {
-        let tri = ev.mul(&m.ct_a, &m.ct_b);
-        let lin = ev.relinearize(&tri, &m.rk);
-        let rs = ev.rescale(&lin);
-        black_box(ev.rotate(&rs, 1, &m.gks));
+        hot_chain(&mut ev, &m);
     });
     entries.push(Entry {
         name: format!("chain_mul_relin_rescale_rotate_n{n}_l{l}"),
@@ -162,6 +161,47 @@ fn chain_entry(tiny: bool, entries: &mut Vec<Entry>) {
         n,
         l,
     });
+}
+
+/// One mul→relinearize→rescale→rotate pass — the hot chain both the
+/// chain entry and the telemetry-overhead guard time.
+fn hot_chain(ev: &mut Evaluator, m: &Material) {
+    let tri = ev.mul(&m.ct_a, &m.ct_b).expect("bench mul");
+    let lin = ev.relinearize(&tri, &m.rk).expect("bench relinearize");
+    let rs = ev.rescale(&lin).expect("bench rescale");
+    black_box(ev.rotate(&rs, 1, &m.gks).expect("bench rotate"));
+}
+
+/// Times the hot chain with span timing + tracing off versus on and
+/// fails when the instrumented run is more than 3% slower (min of 3
+/// timed blocks on each side, interleaved to share thermal conditions).
+fn guard_overhead(tiny: bool) -> Result<(), String> {
+    let (n, l) = if tiny { (1024, 3) } else { (8192, 4) };
+    let (rig, m) = setup(n, l);
+    let iters = if tiny { 40 } else { 10 };
+    let mut plain = f64::INFINITY;
+    let mut instrumented = f64::INFINITY;
+    for _ in 0..3 {
+        let mut ev = Evaluator::new(&rig.ctx);
+        plain = plain.min(time_ns(2, iters, || hot_chain(&mut ev, &m)));
+        let mut ev = Evaluator::new(&rig.ctx);
+        ev.start_trace();
+        ev.start_spans();
+        instrumented = instrumented.min(time_ns(2, iters, || hot_chain(&mut ev, &m)));
+    }
+    let ratio = instrumented / plain;
+    println!(
+        "telemetry overhead on chain (n={n}, l={l}): plain {plain:.0} ns, \
+         instrumented {instrumented:.0} ns, ratio {ratio:.4}"
+    );
+    if ratio > 1.03 {
+        Err(format!(
+            "telemetry overhead {:.2}% exceeds the 3% guard",
+            (ratio - 1.0) * 100.0
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn toy_layer_entry(entries: &mut Vec<Entry>) {
@@ -308,12 +348,14 @@ fn main() {
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut guard = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
             "--out" => out = Some(args.next().expect("--out needs a path")),
             "--check" => check = Some(args.next().expect("--check needs a path")),
+            "--guard-overhead" => guard = true,
             "--threads" => {
                 threads = Some(
                     args.next()
@@ -325,7 +367,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; known: --tiny, --out <path>, --check <path>, \
-                     --threads <k>"
+                     --guard-overhead, --threads <k>"
                 );
                 std::process::exit(2);
             }
@@ -333,6 +375,14 @@ fn main() {
     }
     if let Some(k) = threads {
         par::set_parallelism(par::Parallelism::Threads(k));
+    }
+    if guard {
+        if let Err(msg) = guard_overhead(tiny) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        println!("telemetry overhead guard OK");
+        return;
     }
 
     let mut entries = Vec::new();

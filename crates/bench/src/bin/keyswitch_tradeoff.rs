@@ -45,19 +45,19 @@ fn main() {
         let t0 = Instant::now();
         let mut rot = ct.clone();
         for _ in 0..10 {
-            rot = ev.rotate(&ct, 1, &gks);
+            rot = ev.rotate(&ct, 1, &gks).expect("bench rotate");
         }
         let rotate_ms = t0.elapsed().as_secs_f64() * 100.0; // per op
 
-        let tri = ev.mul(&ct, &ct);
+        let tri = ev.mul(&ct, &ct).expect("bench mul");
         let t1 = Instant::now();
-        let mut lin = ev.relinearize(&tri, &rk);
+        let mut lin = ev.relinearize(&tri, &rk).expect("bench relinearize");
         for _ in 0..9 {
-            lin = ev.relinearize(&tri, &rk);
+            lin = ev.relinearize(&tri, &rk).expect("bench relinearize");
         }
         let relin_ms = t1.elapsed().as_secs_f64() * 100.0;
 
-        let out = ev.rescale(&lin);
+        let out = ev.rescale(&lin).expect("bench rescale");
         let got = dec.decrypt(&out);
         let err = values
             .iter()

@@ -1,14 +1,14 @@
 //! Typed errors for homomorphic evaluation.
 //!
 //! Every precondition the [`crate::eval::Evaluator`] enforces has a
-//! matching [`EvalError`] variant, raised by the `try_` twins of the
-//! evaluation methods. The panicking methods delegate to the `try_`
-//! versions, so the two surfaces can never disagree on what is checked.
+//! matching [`EvalError`] variant, raised by the fallible evaluation
+//! methods (the primary API; the deprecated `try_` spellings delegate
+//! to them, so the two surfaces can never disagree on what is checked).
 //!
-//! `Debug` delegates to `Display` so an `expect` on a `try_` result
-//! panics with the same human-readable message the assert-based methods
-//! historically produced (e.g. `"scale mismatch: ..."`), keeping error
-//! text stable for users and tests.
+//! `Debug` delegates to `Display` so an `expect` on an evaluation
+//! result panics with the same human-readable message the assert-based
+//! methods historically produced (e.g. `"scale mismatch: ..."`),
+//! keeping error text stable for users and tests.
 
 use fxhenn_math::budget::BudgetStop;
 use std::fmt;

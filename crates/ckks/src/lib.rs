@@ -28,7 +28,7 @@
 //! let mut ev = Evaluator::new(&ctx);
 //!
 //! let ct = enc.encrypt(&[1.0, 2.0, 3.0]);
-//! let doubled = ev.add(&ct, &ct);
+//! let doubled = ev.add(&ct, &ct).expect("matching scales");
 //! let out = dec.decrypt(&doubled);
 //! assert!((out[1] - 4.0).abs() < 1e-2);
 //! ```
@@ -47,6 +47,7 @@ pub mod noise;
 pub mod params;
 pub mod security;
 pub mod serialize;
+pub mod telemetry;
 pub mod trace;
 
 pub use cipher::{Ciphertext, Plaintext};
@@ -60,4 +61,5 @@ pub use noise::NoiseEstimate;
 pub use params::{CkksParams, ParamsError};
 pub use serialize::DecodeError;
 pub use security::{estimate_security, SecurityLevel};
+pub use telemetry::{register_he_metrics, OpSpanLog};
 pub use trace::{HeOpKind, HeOpRecord, OpTrace};

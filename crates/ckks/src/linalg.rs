@@ -38,8 +38,10 @@ pub fn sum_slots(
     let mut acc = ct.clone();
     let mut shift = 1usize;
     while shift < padded {
-        let rot = ev.rotate(&acc, shift, gks);
-        acc = ev.add(&acc, &rot);
+        let rot = ev
+            .rotate(&acc, shift, gks)
+            .expect("slot-sum rotation key");
+        acc = ev.add(&acc, &rot).expect("rotation preserves level/scale");
         shift <<= 1;
     }
     acc
@@ -60,9 +62,11 @@ pub fn inner_product_plain(
     gks: &GaloisKeys,
 ) -> Ciphertext {
     assert!(!weights.is_empty(), "weights must be non-empty");
-    let pw = ev.encode_for_mul(weights, ct.level());
-    let prod = ev.mul_plain(ct, &pw);
-    let scaled = ev.rescale(&prod);
+    let pw = ev
+        .encode_for_mul(weights, ct.level())
+        .expect("weights fit the slot count");
+    let prod = ev.mul_plain(ct, &pw).expect("encoded at the operand level");
+    let scaled = ev.rescale(&prod).expect("PCmult output is linear");
     sum_slots(ev, &scaled, weights.len(), gks)
 }
 
@@ -103,8 +107,12 @@ pub fn matvec_diagonal(
     // Replicate x into slots dim..2·dim so the wrap-around of the cyclic
     // diagonal indexing is covered by a plain (non-cyclic) left shift:
     // slot j+k of (x || x) is x_{(j+k) mod dim} for j+k < 2·dim.
-    let shifted_copy = ev.rotate(ct, slots - dim, gks); // right-rotate by dim
-    let doubled = ev.add(ct, &shifted_copy);
+    let shifted_copy = ev
+        .rotate(ct, slots - dim, gks) // right-rotate by dim
+        .expect("replication rotation key");
+    let doubled = ev
+        .add(ct, &shifted_copy)
+        .expect("rotation preserves level/scale");
 
     let mut acc: Option<Ciphertext> = None;
     for k in 0..dim {
@@ -116,16 +124,21 @@ pub fn matvec_diagonal(
         let rotated = if k == 0 {
             doubled.clone()
         } else {
-            ev.rotate(&doubled, k, gks)
+            ev.rotate(&doubled, k, gks).expect("diagonal rotation key")
         };
-        let pw = ev.encode_for_mul(&diag, rotated.level());
-        let prod = ev.mul_plain(&rotated, &pw);
+        let pw = ev
+            .encode_for_mul(&diag, rotated.level())
+            .expect("diagonal fits the slot count");
+        let prod = ev
+            .mul_plain(&rotated, &pw)
+            .expect("encoded at the operand level");
         acc = Some(match acc {
             None => prod,
-            Some(a) => ev.add(&a, &prod),
+            Some(a) => ev.add(&a, &prod).expect("uniform diagonal levels"),
         });
     }
     ev.rescale(&acc.expect("dim >= 1"))
+        .expect("PCmult output is linear")
 }
 
 #[cfg(test)]

@@ -276,9 +276,9 @@ mod tests {
         let values: Vec<f64> = (0..slots).map(|i| ((i % 5) as f64) / 2.0 - 1.0).collect();
         let expected: Vec<f64> = values.iter().map(|&v| v * v).collect();
         let ct = enc.encrypt(&values);
-        let sq = ev.square(&ct);
-        let lin = ev.relinearize(&sq, &rk);
-        let out = ev.rescale(&lin);
+        let sq = ev.square(&ct).unwrap();
+        let lin = ev.relinearize(&sq, &rk).unwrap();
+        let out = ev.rescale(&lin).unwrap();
 
         let est = square_step(&NoiseEstimate::fresh(&ctx), 1.0, &ctx);
         let measured = measured_noise(&ctx, &dec, &out, &expected);

@@ -358,7 +358,7 @@ mod tests {
     fn plaintext_roundtrips() {
         let ctx = ctx();
         let ev = Evaluator::new(&ctx);
-        let pt = ev.encode_at(&[2.5, -1.0], 1024.0, 2);
+        let pt = ev.encode_at(&[2.5, -1.0], 1024.0, 2).unwrap();
         let bytes = encode_plaintext(&pt);
         assert_eq!(decode_plaintext(&bytes).expect("valid"), pt);
     }
@@ -382,12 +382,12 @@ mod tests {
         let dec = Decryptor::new(&ctx, sk);
         let mut ev = Evaluator::new(&ctx);
         let ct = enc.encrypt(&[1.5, 2.0, 3.0]);
-        let sq = ev.square(&ct);
-        let lin = ev.relinearize(&sq, &rk2);
-        let out = ev.rescale(&lin);
+        let sq = ev.square(&ct).unwrap();
+        let lin = ev.relinearize(&sq, &rk2).unwrap();
+        let out = ev.rescale(&lin).unwrap();
         let got = dec.decrypt(&out);
         assert!((got[0] - 2.25).abs() < 0.1, "{}", got[0]);
-        let rot = ev.rotate(&ct, 1, &gks2);
+        let rot = ev.rotate(&ct, 1, &gks2).unwrap();
         let got_rot = dec.decrypt(&rot);
         assert!((got_rot[0] - 2.0).abs() < 0.1);
     }
@@ -396,7 +396,7 @@ mod tests {
     fn wrong_tag_is_rejected() {
         let ctx = ctx();
         let ev = Evaluator::new(&ctx);
-        let pt = ev.encode_at(&[1.0], 1024.0, 2);
+        let pt = ev.encode_at(&[1.0], 1024.0, 2).unwrap();
         let bytes = encode_plaintext(&pt);
         assert_eq!(
             decode_ciphertext(&bytes).unwrap_err(),

@@ -1,0 +1,65 @@
+//! Always-on evaluator telemetry: per-`HeOpKind` counters and latency
+//! histograms in the process-global [`fxhenn_obs`] collector, plus the
+//! span-log type the evaluator fills when per-op attribution is wanted.
+//!
+//! Two tiers, matching DESIGN.md §10:
+//!
+//! * **Global metrics** (always on): every executed op bumps
+//!   `fxhenn_he_ops_total{op=...}` and observes its wall time into
+//!   `fxhenn_he_op_latency_ns{op=...}`. Order-independent atomic sums —
+//!   identical totals whether the run was serial or threaded.
+//! * **Span logs** (opt-in, like tracing): `Evaluator::start_spans`
+//!   records `(kind, level, nanos)` per op into an [`OpSpanLog`], which
+//!   parents merge from child evaluators in index order — the same
+//!   deterministic merge discipline as `OpTrace`, kept in a separate
+//!   structure so traces stay timing-free and byte-comparable.
+
+use crate::trace::HeOpKind;
+use fxhenn_obs::{global, Counter, Histogram, SpanLog};
+use std::sync::{Arc, OnceLock};
+
+/// Wall-time spans of executed HE operations: label = `(kind, level)`.
+pub type OpSpanLog = SpanLog<(HeOpKind, usize)>;
+
+/// Handles into the global collector, resolved once per process and
+/// indexed by [`HeOpKind::index`] so the hot path is two relaxed
+/// atomic adds.
+pub(crate) struct HeMetrics {
+    pub ops: [Arc<Counter>; 9],
+    pub latency: [Arc<Histogram>; 9],
+}
+
+pub(crate) fn he_metrics() -> &'static HeMetrics {
+    static METRICS: OnceLock<HeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| HeMetrics {
+        ops: HeOpKind::ALL
+            .map(|k| global().counter(&format!("fxhenn_he_ops_total{{op=\"{k}\"}}"))),
+        latency: HeOpKind::ALL
+            .map(|k| global().histogram(&format!("fxhenn_he_op_latency_ns{{op=\"{k}\"}}"))),
+    })
+}
+
+/// Registers the per-op metric families in the global collector without
+/// executing any operation — exposition endpoints call this so the
+/// families render (at zero) even before the first HE op runs.
+pub fn register_he_metrics() {
+    let _ = he_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_exposes_all_nine_kinds() {
+        register_he_metrics();
+        let counters = global().counters();
+        for kind in HeOpKind::ALL {
+            let name = format!("fxhenn_he_ops_total{{op=\"{kind}\"}}");
+            assert!(
+                counters.iter().any(|(n, _)| *n == name),
+                "missing {name}"
+            );
+        }
+    }
+}

@@ -49,6 +49,13 @@ impl HeOpKind {
         HeOpKind::Conjugate,
     ];
 
+    /// This kind's position in [`ALL`](HeOpKind::ALL) — a stable dense
+    /// index used to address per-kind metric arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// True for the KeySwitch family (Relinearize, Rotate and Conjugate),
     /// the operations the paper groups as "OP5".
     pub fn is_key_switch(self) -> bool {

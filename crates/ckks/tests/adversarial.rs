@@ -83,10 +83,10 @@ fn ciphertexts_from_different_contexts_are_incompatible_shapes() {
     let ct_small = enc_s.encrypt(&[1.0]);
 
     let ev_large = Evaluator::new(&large);
-    let pt = ev_large.encode_for_mul(&[1.0], 2);
+    let pt = ev_large.encode_for_mul(&[1.0], 2).expect("encodable");
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut ev = Evaluator::new(&large);
-        ev.mul_plain(&ct_small, &pt)
+        let _ = ev.mul_plain(&ct_small, &pt);
     }));
     assert!(result.is_err(), "cross-context operation must panic");
     drop(ev_large);
@@ -133,8 +133,8 @@ fn noise_overflow_destroys_the_message_rather_than_rounding_it() {
     let mut ct = enc.encrypt(&[x]);
     // Three squarings without any rescale: scale = Δ^8 = 2^240 >> Q (~90 bits).
     for _ in 0..3 {
-        let sq = ev.square(&ct);
-        ct = ev.relinearize(&sq, &rk);
+        let sq = ev.square(&ct).unwrap();
+        ct = ev.relinearize(&sq, &rk).unwrap();
     }
     let got = dec.decrypt(&ct);
     let expected = x.powi(8);
@@ -190,7 +190,7 @@ fn every_truncated_prefix_of_every_blob_type_is_rejected() {
     let mut enc = Encryptor::new(&ctx, pk.clone(), StdRng::seed_from_u64(21));
     let ct = enc.encrypt(&[1.0, -2.0]);
     let ev = Evaluator::new(&ctx);
-    let pt = ev.encode_at(&[0.5, 0.25], 1024.0, 2);
+    let pt = ev.encode_at(&[0.5, 0.25], 1024.0, 2).expect("encodable");
 
     fn check<T>(name: &str, blob: &[u8], decode: impl Fn(&[u8]) -> Result<T, fxhenn_ckks::DecodeError>) {
         for keep in 0..blob.len() {

@@ -63,11 +63,11 @@ fn run_step(
     i: usize,
 ) -> Result<(), EvalError> {
     let next = match i {
-        0 => ev.try_mul(&r.ct_a, &r.ct_b)?,
-        1 => ev.try_relinearize(&outs[0], &r.rk)?,
-        2 => ev.try_rescale(&outs[1])?,
-        3 => ev.try_rotate(&outs[2], 1, &r.gks)?,
-        4 => ev.try_conjugate(&outs[3], &r.cjk)?,
+        0 => ev.mul(&r.ct_a, &r.ct_b)?,
+        1 => ev.relinearize(&outs[0], &r.rk)?,
+        2 => ev.rescale(&outs[1])?,
+        3 => ev.rotate(&outs[2], 1, &r.gks)?,
+        4 => ev.conjugate(&outs[3], &r.cjk)?,
         _ => unreachable!("chain has {CHAIN_LEN} ops"),
     };
     outs.push(next);
@@ -87,7 +87,7 @@ fn full_chain(ev: &mut Evaluator, r: &Rig) -> Vec<Ciphertext> {
 fn cancel_then_reuse(r: &Rig, expected: &[Ciphertext], cancel_at: usize) {
     let mut ev = Evaluator::new(&r.ctx);
     let token = CancelToken::new();
-    let budget = Budget::unlimited().cancelled_by(token.clone());
+    let budget = Budget::unlimited().with_cancel(token.clone());
     let mut outs = Vec::new();
     let err = with_budget(&budget, || {
         for i in 0..cancel_at {
@@ -163,7 +163,7 @@ fn deadline_mid_chain_also_leaves_the_evaluator_reusable() {
     let mut ev = Evaluator::new(&r.ctx);
     let expired = Budget::with_deadline(std::time::Duration::ZERO);
     let err = with_budget(&expired, || {
-        ev.try_mul(&r.ct_a, &r.ct_b)
+        ev.mul(&r.ct_a, &r.ct_b)
             .expect_err("expired deadline stops the op")
     });
     assert!(matches!(err, EvalError::Cancelled(_)), "{err}");

@@ -59,9 +59,9 @@ fn relinearization_works_at_every_dnum() {
 
         let ca = enc.encrypt(&a);
         let cb = enc.encrypt(&b);
-        let tri = ev.mul(&ca, &cb);
-        let lin = ev.relinearize(&tri, &rk);
-        let out = ev.rescale(&lin);
+        let tri = ev.mul(&ca, &cb).unwrap();
+        let lin = ev.relinearize(&tri, &rk).unwrap();
+        let out = ev.rescale(&lin).unwrap();
         close(
             &dec.decrypt(&out)[..4],
             &expected,
@@ -87,7 +87,7 @@ fn rotation_works_at_every_dnum() {
         let values: Vec<f64> = (0..slots).map(|i| (i % 30) as f64 / 3.0).collect();
         let ct = enc.encrypt(&values);
         for steps in [1usize, 3] {
-            let rot = ev.rotate(&ct, steps, &gks);
+            let rot = ev.rotate(&ct, steps, &gks).unwrap();
             let out = dec.decrypt(&rot);
             let expected: Vec<f64> = (0..8).map(|i| values[(i + steps) % slots]).collect();
             close(&out[..8], &expected, 0.05, &format!("dnum={dnum} steps={steps}"));
@@ -113,9 +113,9 @@ fn keyswitch_stays_correct_down_the_level_chain() {
     let mut ct = enc.encrypt(&[x]);
     let mut expected = x;
     for depth in 1..=5 {
-        let sq = ev.square(&ct);
-        let lin = ev.relinearize(&sq, &rk);
-        ct = ev.rescale(&lin);
+        let sq = ev.square(&ct).unwrap();
+        let lin = ev.relinearize(&sq, &rk).unwrap();
+        ct = ev.rescale(&lin).unwrap();
         expected = expected * expected;
         let got = dec.decrypt(&ct)[0];
         assert!(
@@ -142,10 +142,10 @@ fn grouped_and_per_prime_digits_agree() {
         let dec = Decryptor::new(&ctx, sk);
         let mut ev = Evaluator::new(&ctx);
         let ct = enc.encrypt(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let sq = ev.square(&ct);
-        let lin = ev.relinearize(&sq, &rk);
-        let down = ev.rescale(&lin);
-        let rot = ev.rotate(&down, 2, &gks);
+        let sq = ev.square(&ct).unwrap();
+        let lin = ev.relinearize(&sq, &rk).unwrap();
+        let down = ev.rescale(&lin).unwrap();
+        let rot = ev.rotate(&down, 2, &gks).unwrap();
         dec.decrypt(&rot)[..6].to_vec()
     };
     let per_prime = run(4);
@@ -169,9 +169,9 @@ fn single_digit_dnum_one_works() {
     let dec = Decryptor::new(&ctx, sk);
     let mut ev = Evaluator::new(&ctx);
     let ct = enc.encrypt(&[2.0, -3.0]);
-    let sq = ev.square(&ct);
-    let lin = ev.relinearize(&sq, &rk);
-    let out = ev.rescale(&lin);
+    let sq = ev.square(&ct).unwrap();
+    let lin = ev.relinearize(&sq, &rk).unwrap();
+    let out = ev.rescale(&lin).unwrap();
     let got = dec.decrypt(&out);
     assert!((got[0] - 4.0).abs() < 0.2, "{}", got[0]);
     assert!((got[1] - 9.0).abs() < 0.2, "{}", got[1]);

@@ -52,11 +52,11 @@ fn rig(n: usize, levels: usize, seed: u64) -> Rig {
 /// Runs the hot chain once and returns every intermediate ciphertext.
 fn run_chain(r: &Rig) -> Vec<Ciphertext> {
     let mut ev = Evaluator::new(&r.ctx);
-    let tri = ev.mul(&r.ct_a, &r.ct_b);
-    let lin = ev.relinearize(&tri, &r.rk);
-    let rs = ev.rescale(&lin);
-    let rot = ev.rotate(&rs, 1, &r.gks);
-    let conj = ev.conjugate(&rs, &r.cjk);
+    let tri = ev.mul(&r.ct_a, &r.ct_b).unwrap();
+    let lin = ev.relinearize(&tri, &r.rk).unwrap();
+    let rs = ev.rescale(&lin).unwrap();
+    let rot = ev.rotate(&rs, 1, &r.gks).unwrap();
+    let conj = ev.conjugate(&rs, &r.cjk).unwrap();
     vec![tri, lin, rs, rot, conj]
 }
 
@@ -90,19 +90,19 @@ fn scratch_reuse_is_deterministic() {
     let mut ev = Evaluator::new(&r.ctx);
     let first: Vec<Ciphertext> = (0..2)
         .map(|_| {
-            let tri = ev.mul(&r.ct_a, &r.ct_b);
-            let lin = ev.relinearize(&tri, &r.rk);
-            let rs = ev.rescale(&lin);
-            ev.rotate(&rs, 1, &r.gks)
+            let tri = ev.mul(&r.ct_a, &r.ct_b).unwrap();
+            let lin = ev.relinearize(&tri, &r.rk).unwrap();
+            let rs = ev.rescale(&lin).unwrap();
+            ev.rotate(&rs, 1, &r.gks).unwrap()
         })
         .collect();
     assert_eq!(first[0], first[1], "pooled scratch must not leak state");
     let fresh = {
         let mut ev2 = Evaluator::new(&r.ctx);
-        let tri = ev2.mul(&r.ct_a, &r.ct_b);
-        let lin = ev2.relinearize(&tri, &r.rk);
-        let rs = ev2.rescale(&lin);
-        ev2.rotate(&rs, 1, &r.gks)
+        let tri = ev2.mul(&r.ct_a, &r.ct_b).unwrap();
+        let lin = ev2.relinearize(&tri, &r.rk).unwrap();
+        let rs = ev2.rescale(&lin).unwrap();
+        ev2.rotate(&rs, 1, &r.gks).unwrap()
     };
     assert_eq!(first[0], fresh, "fresh and pooled evaluators must agree");
 }

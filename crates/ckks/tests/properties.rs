@@ -71,7 +71,7 @@ proptest! {
         let mut ev = Evaluator::new(&f.ctx);
         let ca = enc.encrypt(&a);
         let cb = enc.encrypt(&b);
-        let sum = ev.add(&ca, &cb);
+        let sum = ev.add(&ca, &cb).unwrap();
         let expected: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         assert_close(&dec.decrypt(&sum)[..16], &expected, 1e-2)?;
     }
@@ -83,9 +83,9 @@ proptest! {
         let dec = Decryptor::new(&f.ctx, f.sk.clone());
         let mut ev = Evaluator::new(&f.ctx);
         let ca = enc.encrypt(&a);
-        let pw = ev.encode_for_mul(&w, ca.level());
-        let raw = ev.mul_plain(&ca, &pw);
-        let prod = ev.rescale(&raw);
+        let pw = ev.encode_for_mul(&w, ca.level()).unwrap();
+        let raw = ev.mul_plain(&ca, &pw).unwrap();
+        let prod = ev.rescale(&raw).unwrap();
         let expected: Vec<f64> = a.iter().zip(&w).map(|(&x, &y)| x * y).collect();
         assert_close(&dec.decrypt(&prod)[..16], &expected, 0.05)?;
     }
@@ -98,9 +98,9 @@ proptest! {
         let mut ev = Evaluator::new(&f.ctx);
         let ca = enc.encrypt(&a);
         let cb = enc.encrypt(&b);
-        let tri = ev.mul(&ca, &cb);
-        let lin = ev.relinearize(&tri, &f.rk);
-        let prod = ev.rescale(&lin);
+        let tri = ev.mul(&ca, &cb).unwrap();
+        let lin = ev.relinearize(&tri, &f.rk).unwrap();
+        let prod = ev.rescale(&lin).unwrap();
         let expected: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
         assert_close(&dec.decrypt(&prod)[..8], &expected, 0.2)?;
     }
@@ -115,7 +115,7 @@ proptest! {
         let mut full = values.clone();
         full.resize(slots, 0.0);
         let ct = enc.encrypt(&full);
-        let rot = ev.rotate(&ct, steps, &f.gks);
+        let rot = ev.rotate(&ct, steps, &f.gks).unwrap();
         let out = dec.decrypt(&rot);
         let expected: Vec<f64> = (0..16).map(|i| full[(i + steps) % slots]).collect();
         assert_close(&out[..16], &expected, 1e-2)?;
@@ -129,12 +129,12 @@ proptest! {
         let mut ev = Evaluator::new(&f.ctx);
         let ca = enc.encrypt(&a);
         let cb = enc.encrypt(&b);
-        let tri_ab = ev.mul(&ca, &cb);
-        let lin_ab = ev.relinearize(&tri_ab, &f.rk);
-        let ab = ev.rescale(&lin_ab);
-        let tri_ba = ev.mul(&cb, &ca);
-        let lin_ba = ev.relinearize(&tri_ba, &f.rk);
-        let ba = ev.rescale(&lin_ba);
+        let tri_ab = ev.mul(&ca, &cb).unwrap();
+        let lin_ab = ev.relinearize(&tri_ab, &f.rk).unwrap();
+        let ab = ev.rescale(&lin_ab).unwrap();
+        let tri_ba = ev.mul(&cb, &ca).unwrap();
+        let lin_ba = ev.relinearize(&tri_ba, &f.rk).unwrap();
+        let ba = ev.rescale(&lin_ba).unwrap();
         let da = dec.decrypt(&ab);
         let db = dec.decrypt(&ba);
         assert_close(&da[..8], &db[..8], 0.2)?;
@@ -149,14 +149,14 @@ proptest! {
         let mut ev = Evaluator::new(&f.ctx);
         let ca = enc.encrypt(&a);
         let cb = enc.encrypt(&b);
-        let sum = ev.add(&ca, &cb);
-        let pw = ev.encode_for_mul(&w, sum.level());
-        let lhs_raw = ev.mul_plain(&sum, &pw);
-        let lhs = ev.rescale(&lhs_raw);
-        let wa = ev.mul_plain(&ca, &pw);
-        let wb = ev.mul_plain(&cb, &pw);
-        let rhs_raw = ev.add(&wa, &wb);
-        let rhs = ev.rescale(&rhs_raw);
+        let sum = ev.add(&ca, &cb).unwrap();
+        let pw = ev.encode_for_mul(&w, sum.level()).unwrap();
+        let lhs_raw = ev.mul_plain(&sum, &pw).unwrap();
+        let lhs = ev.rescale(&lhs_raw).unwrap();
+        let wa = ev.mul_plain(&ca, &pw).unwrap();
+        let wb = ev.mul_plain(&cb, &pw).unwrap();
+        let rhs_raw = ev.add(&wa, &wb).unwrap();
+        let rhs = ev.rescale(&rhs_raw).unwrap();
         assert_close(&dec.decrypt(&lhs)[..8], &dec.decrypt(&rhs)[..8], 0.05)?;
     }
 
@@ -182,10 +182,10 @@ proptest! {
         let dec = Decryptor::new(&f.ctx, f.sk.clone());
         let mut ev = Evaluator::new(&f.ctx);
         let ca = enc.encrypt(&a);
-        let low = ev.mod_switch_to(&ca, 2);
-        let pw = ev.encode_for_mul(&w, low.level());
-        let prod_raw = ev.mul_plain(&low, &pw);
-        let prod = ev.rescale(&prod_raw);
+        let low = ev.mod_switch_to(&ca, 2).unwrap();
+        let pw = ev.encode_for_mul(&w, low.level()).unwrap();
+        let prod_raw = ev.mul_plain(&low, &pw).unwrap();
+        let prod = ev.rescale(&prod_raw).unwrap();
         let expected: Vec<f64> = a.iter().zip(&w).map(|(&x, &y)| x * y).collect();
         assert_close(&dec.decrypt(&prod)[..8], &expected, 0.05)?;
     }

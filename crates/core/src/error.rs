@@ -138,7 +138,10 @@ mod tests {
                 .into(),
                 "serve:",
             ),
-            (crate::cli::CliError("bad flag".into()).into(), "cli:"),
+            (
+                crate::cli::CliError::new("parse", "bad flag").into(),
+                "cli:",
+            ),
         ];
         for (err, prefix) in cases {
             let msg = err.to_string();

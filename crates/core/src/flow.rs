@@ -32,6 +32,21 @@ pub enum FlowError {
     Cancelled(BudgetStop),
 }
 
+impl FlowError {
+    /// The flow stage the error came from — a stable label suitable
+    /// for span and metric names: `"lower"`, `"dse"`, `"sim"`, or the
+    /// budget gate's own phase for a cancellation.
+    #[must_use]
+    pub fn phase(&self) -> &'static str {
+        match self {
+            FlowError::Lower(_) => "lower",
+            FlowError::NoFeasibleDesign { .. } => "dse",
+            FlowError::Sim(_) => "sim",
+            FlowError::Cancelled(stop) => stop.phase,
+        }
+    }
+}
+
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -220,5 +235,15 @@ mod tests {
         let err = generate_accelerator(&net, &CkksParams::insecure_toy(2), &FpgaDevice::acu9eg())
             .unwrap_err();
         assert!(matches!(err, FlowError::Lower(_)), "{err}");
+        assert_eq!(err.phase(), "lower");
+    }
+
+    #[test]
+    fn phase_labels_name_the_failing_stage() {
+        let net = fxhenn_mnist(1);
+        let params = CkksParams::fxhenn_mnist();
+        let tiny = FpgaDevice::new("tiny", 128, 64, 0, 250.0, 5.0);
+        let err = generate_accelerator(&net, &params, &tiny).unwrap_err();
+        assert_eq!(err.phase(), "dse");
     }
 }

@@ -50,6 +50,7 @@ pub mod error;
 pub mod flow;
 pub mod report;
 pub mod serve;
+pub mod telemetry;
 
 /// Re-export of the math substrate.
 pub use fxhenn_math as math;
@@ -72,7 +73,13 @@ pub use fxhenn_sim as sim;
 pub use error::Error;
 pub use flow::{generate_accelerator, DesignReport, FlowError};
 pub use serve::{
-    BatchDriver, InferenceRequest, InferenceService, ServeConfig, ServeError, ServeReport,
+    BatchDriver, InferenceRequest, InferenceService, ServeConfig, ServeConfigBuilder, ServeError,
+    ServeReport,
 };
+pub use telemetry::register_serve_metrics;
+
+/// Re-export of the observability substrate (collector, spans,
+/// exposition, attribution).
+pub use fxhenn_obs as obs;
 pub use fxhenn_ckks::{CkksContext, CkksParams, SecurityLevel};
 pub use fxhenn_hw::FpgaDevice;

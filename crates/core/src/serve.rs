@@ -31,6 +31,7 @@
 //! attached to every dispatched budget.
 
 use crate::flow::{generate_accelerator, DesignReport, FlowError};
+use crate::telemetry::serve_metrics;
 use fxhenn_ckks::CkksParams;
 use fxhenn_hw::FpgaDevice;
 use fxhenn_math::budget::{self, Budget, BudgetStop, CancelToken, Progress, StopCause};
@@ -80,6 +81,113 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// A builder seeded with the default configuration; [`build`]
+    /// validates the combination before handing out a config.
+    ///
+    /// [`build`]: ServeConfigBuilder::build
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+}
+
+/// Builds a validated [`ServeConfig`]. Every setter overrides one field
+/// of the default configuration; [`build`](Self::build) rejects
+/// combinations the driver cannot run (a zero-capacity queue, a breaker
+/// that trips on zero failures, backoff floors above their ceiling).
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the admission-queue capacity (must be at least 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.queue_capacity = n;
+        self
+    }
+
+    /// Sets the retry allowance for transient failures.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.cfg.max_retries = n;
+        self
+    }
+
+    /// Sets the backoff before the first retry.
+    pub fn base_backoff(mut self, d: Duration) -> Self {
+        self.cfg.base_backoff = d;
+        self
+    }
+
+    /// Sets the ceiling on any single backoff sleep.
+    pub fn max_backoff(mut self, d: Duration) -> Self {
+        self.cfg.max_backoff = d;
+        self
+    }
+
+    /// Sets the consecutive-failure count that trips a model's breaker
+    /// (must be at least 1).
+    pub fn breaker_threshold(mut self, n: u32) -> Self {
+        self.cfg.breaker_threshold = n;
+        self
+    }
+
+    /// Sets how long a tripped breaker stays open.
+    pub fn breaker_cooldown(mut self, d: Duration) -> Self {
+        self.cfg.breaker_cooldown = d;
+        self
+    }
+
+    /// Sets the consecutive deadline slips before serial degradation
+    /// (must be at least 1).
+    pub fn slip_threshold(mut self, n: u32) -> Self {
+        self.cfg.slip_threshold = n;
+        self
+    }
+
+    /// Sets the seed for the EWMA service-time estimate (must be
+    /// non-zero — a zero estimate would emit useless retry-after
+    /// hints).
+    pub fn service_time_hint(mut self, d: Duration) -> Self {
+        self.cfg.service_time_hint = d;
+        self
+    }
+
+    /// Validates the combination and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending field when
+    /// `queue_capacity`, `breaker_threshold` or `slip_threshold` is
+    /// zero, when `base_backoff` exceeds `max_backoff`, or when
+    /// `service_time_hint` is zero.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        let invalid = |message: String| Err(ServeError::InvalidConfig { message });
+        let c = &self.cfg;
+        if c.queue_capacity == 0 {
+            return invalid("queue_capacity must be at least 1".into());
+        }
+        if c.breaker_threshold == 0 {
+            return invalid("breaker_threshold must be at least 1".into());
+        }
+        if c.slip_threshold == 0 {
+            return invalid("slip_threshold must be at least 1".into());
+        }
+        if c.base_backoff > c.max_backoff {
+            return invalid(format!(
+                "base_backoff {:?} exceeds max_backoff {:?}",
+                c.base_backoff, c.max_backoff
+            ));
+        }
+        if c.service_time_hint.is_zero() {
+            return invalid("service_time_hint must be non-zero".into());
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// One inference request: an identifier, the model it targets and the
 /// wall-clock budget it must finish within.
 #[derive(Debug, Clone)]
@@ -125,6 +233,12 @@ pub enum ServeError {
         /// The final attempt's error text.
         message: String,
     },
+    /// A [`ServeConfigBuilder`] was asked to build an unusable
+    /// configuration.
+    InvalidConfig {
+        /// Which field (combination) was rejected and why.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -151,6 +265,9 @@ impl fmt::Display for ServeError {
             ServeError::Cancelled(stop) => write!(f, "request stopped: {stop}"),
             ServeError::Failed { attempts, message } => {
                 write!(f, "failed after {attempts} attempts: {message}")
+            }
+            ServeError::InvalidConfig { message } => {
+                write!(f, "invalid serve config: {message}")
             }
         }
     }
@@ -369,10 +486,12 @@ impl<S: InferenceService> BatchDriver<S> {
     pub fn submit(&mut self, req: InferenceRequest) -> Result<(), ServeError> {
         if let Some(rejection) = self.breaker_rejection(&req.model) {
             self.report.rejected_open += 1;
+            serve_metrics().rejected_open.inc();
             return Err(rejection);
         }
         if self.queue.len() >= self.cfg.queue_capacity {
             self.report.shed += 1;
+            serve_metrics().shed.inc();
             let queue_depth = self.queue.len();
             return Err(ServeError::Overloaded {
                 queue_depth,
@@ -384,6 +503,10 @@ impl<S: InferenceService> BatchDriver<S> {
         }
         self.queue.push_back(req);
         self.report.submitted += 1;
+        serve_metrics().submitted.inc();
+        serve_metrics()
+            .queue_depth
+            .set(self.queue.len().min(i64::MAX as usize) as i64);
         Ok(())
     }
 
@@ -403,6 +526,7 @@ impl<S: InferenceService> BatchDriver<S> {
                 });
             }
             breaker.state = BreakerState::HalfOpen;
+            serve_metrics().breaker_to_half_open.inc();
         }
         None
     }
@@ -412,6 +536,9 @@ impl<S: InferenceService> BatchDriver<S> {
     pub fn run_queue(&mut self) -> Vec<(u64, Result<S::Output, ServeError>)> {
         let mut outcomes = Vec::with_capacity(self.queue.len());
         while let Some(req) = self.queue.pop_front() {
+            serve_metrics()
+                .queue_depth
+                .set(self.queue.len().min(i64::MAX as usize) as i64);
             let outcome = self.serve_one(&req);
             outcomes.push((req.id, outcome));
         }
@@ -459,6 +586,7 @@ impl<S: InferenceService> BatchDriver<S> {
                         });
                     }
                     self.report.retries += 1;
+                    serve_metrics().retries.inc();
                     std::thread::sleep(backoff);
                 }
                 Err(AttemptError::Permanent(message)) => {
@@ -480,7 +608,7 @@ impl<S: InferenceService> BatchDriver<S> {
         remaining: Duration,
     ) -> Result<S::Output, AttemptError> {
         let b = Budget::with_deadline(remaining)
-            .cancelled_by(self.shutdown.clone())
+            .with_cancel(self.shutdown.clone())
             .start();
         let mode = self.mode;
         let service = &mut self.service;
@@ -510,11 +638,18 @@ impl<S: InferenceService> BatchDriver<S> {
 
     fn account_success(&mut self, model: &str, service_time: Duration) {
         self.report.completed += 1;
+        serve_metrics().completed.inc();
+        serve_metrics()
+            .service_time
+            .observe(service_time.as_nanos().min(u128::from(u64::MAX)) as u64);
         self.consecutive_slips = 0;
         // EWMA with alpha = 0.3: recent requests dominate, one outlier
         // does not.
         self.ewma_nanos = 0.7 * self.ewma_nanos + 0.3 * service_time.as_nanos() as f64;
         if let Some(b) = self.breakers.get_mut(model) {
+            if !matches!(b.state, BreakerState::Closed) {
+                serve_metrics().breaker_to_closed.inc();
+            }
             b.state = BreakerState::Closed;
             b.consecutive_failures = 0;
         }
@@ -525,17 +660,20 @@ impl<S: InferenceService> BatchDriver<S> {
     fn account_slip(&mut self, stop: BudgetStop) -> ServeError {
         self.report.cancelled += 1;
         self.consecutive_slips += 1;
+        serve_metrics().deadline_slips.inc();
         if self.consecutive_slips >= self.cfg.slip_threshold
             && !matches!(self.mode, Parallelism::Serial)
         {
             self.mode = Parallelism::Serial;
             self.report.degraded = true;
+            serve_metrics().degraded.set(1);
         }
         ServeError::Cancelled(stop)
     }
 
     fn account_failure(&mut self, model: &str) {
         self.report.failed += 1;
+        serve_metrics().failed.inc();
         let breaker = self
             .breakers
             .entry(model.to_string())
@@ -552,6 +690,7 @@ impl<S: InferenceService> BatchDriver<S> {
                 since: Instant::now(),
             };
             self.report.breaker_trips += 1;
+            serve_metrics().breaker_to_open.inc();
         }
     }
 }
@@ -653,6 +792,81 @@ mod tests {
             breaker_cooldown: Duration::from_millis(20),
             slip_threshold: 2,
             service_time_hint: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = ServeConfig::builder().build().expect("defaults are valid");
+        let def = ServeConfig::default();
+        assert_eq!(built.queue_capacity, def.queue_capacity);
+        assert_eq!(built.max_retries, def.max_retries);
+        assert_eq!(built.base_backoff, def.base_backoff);
+        assert_eq!(built.max_backoff, def.max_backoff);
+        assert_eq!(built.breaker_threshold, def.breaker_threshold);
+        assert_eq!(built.breaker_cooldown, def.breaker_cooldown);
+        assert_eq!(built.slip_threshold, def.slip_threshold);
+        assert_eq!(built.service_time_hint, def.service_time_hint);
+    }
+
+    #[test]
+    fn builder_setters_reach_every_field() {
+        let built = ServeConfig::builder()
+            .queue_capacity(4)
+            .max_retries(7)
+            .base_backoff(Duration::from_micros(10))
+            .max_backoff(Duration::from_millis(2))
+            .breaker_threshold(5)
+            .breaker_cooldown(Duration::from_millis(33))
+            .slip_threshold(9)
+            .service_time_hint(Duration::from_millis(3))
+            .build()
+            .expect("a consistent config builds");
+        assert_eq!(built.queue_capacity, 4);
+        assert_eq!(built.max_retries, 7);
+        assert_eq!(built.base_backoff, Duration::from_micros(10));
+        assert_eq!(built.max_backoff, Duration::from_millis(2));
+        assert_eq!(built.breaker_threshold, 5);
+        assert_eq!(built.breaker_cooldown, Duration::from_millis(33));
+        assert_eq!(built.slip_threshold, 9);
+        assert_eq!(built.service_time_hint, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn builder_rejects_unusable_configs_with_typed_errors() {
+        let cases: Vec<(ServeConfigBuilder, &str)> = vec![
+            (ServeConfig::builder().queue_capacity(0), "queue_capacity"),
+            (
+                ServeConfig::builder().breaker_threshold(0),
+                "breaker_threshold",
+            ),
+            (ServeConfig::builder().slip_threshold(0), "slip_threshold"),
+            (
+                ServeConfig::builder()
+                    .base_backoff(Duration::from_secs(1))
+                    .max_backoff(Duration::from_millis(1)),
+                "base_backoff",
+            ),
+            (
+                ServeConfig::builder().service_time_hint(Duration::ZERO),
+                "service_time_hint",
+            ),
+        ];
+        for (builder, field) in cases {
+            match builder.build() {
+                Err(ServeError::InvalidConfig { message }) => {
+                    assert!(
+                        message.contains(field),
+                        "error for {field} should name it: {message}"
+                    );
+                    let text = ServeError::InvalidConfig {
+                        message: message.clone(),
+                    }
+                    .to_string();
+                    assert!(text.starts_with("invalid serve config: "), "{text}");
+                }
+                other => panic!("{field}: expected InvalidConfig, got {other:?}"),
+            }
         }
     }
 

@@ -1,0 +1,94 @@
+//! Serve-driver telemetry: the counters, gauges and service-time
+//! histogram the [`BatchDriver`](crate::serve::BatchDriver) reports
+//! into the process-global [`fxhenn_obs`] collector.
+//!
+//! The driver's own [`ServeReport`](crate::serve::ServeReport) stays
+//! the per-driver, deterministic record tests assert on; these metrics
+//! are the process-wide, exposition-facing aggregate (`fxhenn serve
+//! --metrics`). Every event bumps both: the report for the caller, the
+//! collector for the scrape.
+
+use fxhenn_obs::{global, Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Handles into the global collector, resolved once per process so the
+/// driver's hot path is a relaxed atomic add per event.
+pub(crate) struct ServeMetrics {
+    pub submitted: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub shed: Arc<Counter>,
+    pub rejected_open: Arc<Counter>,
+    pub retries: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub deadline_slips: Arc<Counter>,
+    pub breaker_to_open: Arc<Counter>,
+    pub breaker_to_half_open: Arc<Counter>,
+    pub breaker_to_closed: Arc<Counter>,
+    pub queue_depth: Arc<Gauge>,
+    pub degraded: Arc<Gauge>,
+    pub service_time: Arc<Histogram>,
+}
+
+pub(crate) fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let c = global();
+        ServeMetrics {
+            submitted: c.counter("fxhenn_serve_submitted_total"),
+            completed: c.counter("fxhenn_serve_completed_total"),
+            shed: c.counter("fxhenn_serve_shed_total"),
+            rejected_open: c.counter("fxhenn_serve_rejected_open_total"),
+            retries: c.counter("fxhenn_serve_retries_total"),
+            failed: c.counter("fxhenn_serve_failed_total"),
+            deadline_slips: c.counter("fxhenn_serve_deadline_slips_total"),
+            breaker_to_open: c.counter("fxhenn_serve_breaker_transitions_total{to=\"open\"}"),
+            breaker_to_half_open: c
+                .counter("fxhenn_serve_breaker_transitions_total{to=\"half_open\"}"),
+            breaker_to_closed: c.counter("fxhenn_serve_breaker_transitions_total{to=\"closed\"}"),
+            queue_depth: c.gauge("fxhenn_serve_queue_depth"),
+            degraded: c.gauge("fxhenn_serve_degraded"),
+            service_time: c.histogram("fxhenn_serve_service_time_ns"),
+        }
+    })
+}
+
+/// Registers the serve metric families in the global collector without
+/// serving a request — exposition endpoints call this so the families
+/// render (at zero) even before the first request arrives.
+pub fn register_serve_metrics() {
+    let _ = serve_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_exposes_the_serve_families() {
+        register_serve_metrics();
+        let counters = global().counters();
+        for name in [
+            "fxhenn_serve_submitted_total",
+            "fxhenn_serve_completed_total",
+            "fxhenn_serve_shed_total",
+            "fxhenn_serve_rejected_open_total",
+            "fxhenn_serve_retries_total",
+            "fxhenn_serve_failed_total",
+            "fxhenn_serve_deadline_slips_total",
+            "fxhenn_serve_breaker_transitions_total{to=\"open\"}",
+        ] {
+            assert!(
+                counters.iter().any(|(n, _)| n == name),
+                "missing {name}"
+            );
+        }
+        let gauges = global().gauges();
+        for name in ["fxhenn_serve_queue_depth", "fxhenn_serve_degraded"] {
+            assert!(gauges.iter().any(|(n, _)| n == name), "missing {name}");
+        }
+        assert!(global()
+            .histograms()
+            .iter()
+            .any(|(n, _)| n == "fxhenn_serve_service_time_ns"));
+    }
+}

@@ -209,6 +209,13 @@ impl HeOpModule {
         }
     }
 
+    /// Standalone latency of one operation in wall-clock seconds at
+    /// the given device clock — the unit the attribution report and
+    /// the Table I comparisons quote.
+    pub fn op_latency_seconds(&self, level: usize, n: usize, clock_mhz: f64) -> f64 {
+        self.op_latency_cycles(level, n) as f64 / (clock_mhz * 1e6)
+    }
+
     /// DSP slice usage (Eq. 7): `P_inter · P_intra · Const_op(nc)`.
     pub fn dsp_usage(&self) -> usize {
         self.config.p_inter * self.config.p_intra * dsp_const(self.class, self.config.nc_ntt)
@@ -228,6 +235,23 @@ mod tests {
         assert_eq!(OpClass::from(HeOpKind::Rescale), OpClass::Rescale);
         assert_eq!(OpClass::from(HeOpKind::Relinearize), OpClass::KeySwitch);
         assert_eq!(OpClass::from(HeOpKind::Rotate), OpClass::KeySwitch);
+    }
+
+    #[test]
+    fn op_latency_seconds_is_cycles_over_clock() {
+        let m = HeOpModule::new(
+            OpClass::KeySwitch,
+            ModuleConfig {
+                nc_ntt: 2,
+                p_intra: 1,
+                p_inter: 1,
+            },
+        );
+        let cycles = m.op_latency_cycles(7, 8192);
+        let secs = m.op_latency_seconds(7, 8192, 250.0);
+        assert!((secs - cycles as f64 / 250e6).abs() < 1e-12);
+        // Table I: KeySwitch at nc=2 is ~3.17 ms on the 250 MHz ACU9EG.
+        assert!((2.0e-3..5.0e-3).contains(&secs), "{secs}");
     }
 
     #[test]

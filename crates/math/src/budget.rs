@@ -169,9 +169,18 @@ impl Budget {
     }
 
     /// Attaches a cancellation token (builder style).
-    pub fn cancelled_by(mut self, token: CancelToken) -> Self {
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.token = Some(token);
         self
+    }
+
+    /// Deprecated spelling of [`with_cancel`](Budget::with_cancel).
+    #[deprecated(
+        since = "0.5.0",
+        note = "builder setters follow the `with_` convention: call `with_cancel`"
+    )]
+    pub fn cancelled_by(self, token: CancelToken) -> Self {
+        self.with_cancel(token)
     }
 
     /// Restarts the clock: elapsed time and the deadline are measured
@@ -294,11 +303,20 @@ mod tests {
     #[test]
     fn cancel_token_stops_every_clone() {
         let token = CancelToken::new();
-        let b = Budget::unlimited().cancelled_by(token.clone());
+        let b = Budget::unlimited().with_cancel(token.clone());
         assert!(b.check("p", Progress::done(0)).is_ok());
         token.clone().cancel();
         let stop = b.check("p", Progress::done(7)).unwrap_err();
         assert_eq!(stop.cause, StopCause::CancelRequested);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_cancelled_by_delegates_to_with_cancel() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().cancelled_by(token.clone());
+        token.cancel();
+        assert!(b.is_exhausted(), "old spelling must still attach the token");
     }
 
     #[test]

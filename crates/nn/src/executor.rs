@@ -13,25 +13,29 @@ use crate::layers::{Conv2d, Layer};
 use crate::lowering::{plan_dense, DensePlan, Layout};
 use crate::model::Network;
 use crate::packing::{conv_bias_vectors, conv_offset_pack, conv_offset_weights, CtLayout};
+use crate::telemetry::{nn_metrics, LayerSpanLog};
 use crate::tensor::Tensor;
 use fxhenn_ckks::noise::square_step;
 use fxhenn_ckks::{
-    Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, NoiseEstimate, OpTrace,
-    RelinKey,
+    Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, NoiseEstimate, OpSpanLog,
+    OpTrace, RelinKey,
 };
 use fxhenn_math::budget::{self, Budget, Progress};
 use fxhenn_math::par;
 use rand::Rng;
+use std::time::Instant;
 
 /// Levels a layer needs at entry: every layer type multiplies once and
 /// rescales once, and a rescale needs a prime to drop (level >= 2).
 const LAYER_LEVEL_NEED: usize = 2;
 
 /// What one parallel work item (an output ciphertext) produces: the
-/// ciphertext, its analytic noise, and the child evaluator's trace (when
-/// tracing). Merged back into the executor in index order, so the trace
-/// is identical to a serial run's.
-type ItemResult = Result<(Ciphertext, NoiseEstimate, Option<OpTrace>), ExecError>;
+/// ciphertext, its analytic noise, and the child evaluator's trace and
+/// span log (when tracing/timing). Merged back into the executor in
+/// index order, so trace and spans are structured identically to a
+/// serial run's.
+type ItemResult =
+    Result<(Ciphertext, NoiseEstimate, Option<OpTrace>, Option<OpSpanLog>), ExecError>;
 
 /// The encrypted, offset-packed input of a network: one ciphertext per
 /// (output-map group, kernel offset).
@@ -110,6 +114,7 @@ pub struct HeCnnExecutor<'a> {
     ev: Evaluator<'a>,
     rk: &'a RelinKey,
     gks: &'a GaloisKeys,
+    layer_spans: Option<LayerSpanLog>,
 }
 
 struct RunState {
@@ -144,6 +149,7 @@ impl<'a> HeCnnExecutor<'a> {
             ev: Evaluator::new(ctx),
             rk,
             gks,
+            layer_spans: None,
         }
     }
 
@@ -155,6 +161,39 @@ impl<'a> HeCnnExecutor<'a> {
     /// Returns the recorded trace, if tracing was started.
     pub fn take_trace(&mut self) -> Option<fxhenn_ckks::OpTrace> {
         self.ev.take_trace()
+    }
+
+    /// Starts recording per-op wall-time spans (fan-out work items
+    /// merge their spans back in index order, like the trace).
+    pub fn start_spans(&mut self) {
+        self.ev.start_spans();
+    }
+
+    /// Returns the recorded op spans, if span timing was started.
+    pub fn take_spans(&mut self) -> Option<OpSpanLog> {
+        self.ev.take_spans()
+    }
+
+    /// Starts recording one wall-time span per executed network layer.
+    pub fn start_layer_spans(&mut self) {
+        self.layer_spans = Some(LayerSpanLog::new());
+    }
+
+    /// Returns the recorded layer spans, if layer timing was started.
+    pub fn take_layer_spans(&mut self) -> Option<LayerSpanLog> {
+        self.layer_spans.take()
+    }
+
+    /// Accounts one completed layer: the always-on global metrics, and
+    /// the opt-in layer span log.
+    fn note_layer(&mut self, name: &str, started: Instant) {
+        let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let m = nn_metrics();
+        m.layers.inc();
+        m.latency.observe(nanos);
+        if let Some(spans) = &mut self.layer_spans {
+            spans.record(name.to_string(), nanos);
+        }
     }
 
     /// Runs the full network on an encrypted input, returning an
@@ -179,6 +218,7 @@ impl<'a> HeCnnExecutor<'a> {
             budget::check("layer", Progress::of(idx as u64, total_layers))
                 .map_err(ExecError::Cancelled)?;
             self.preflight_levels(name, state.as_ref(), input)?;
+            let layer_started = Instant::now();
             let need_input = |state: &mut Option<RunState>| {
                 state.take().ok_or_else(|| ExecError::MissingInput {
                     layer: name.clone(),
@@ -254,6 +294,7 @@ impl<'a> HeCnnExecutor<'a> {
                     state = Some(self.run_channel_scale(name, st, cs, slots)?);
                 }
             }
+            self.note_layer(name, layer_started);
         }
 
         let st = state.ok_or(ExecError::EmptyNetwork)?;
@@ -374,21 +415,25 @@ impl<'a> HeCnnExecutor<'a> {
         // serial run records each group's ops contiguously).
         let ctx = self.ev.context();
         let tracing = self.ev.is_tracing();
+        let timing = self.ev.is_timing();
         let results: Vec<ItemResult> = par::map_indexed(input.groups.len(), |g| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
             if tracing {
                 ev.start_trace();
             }
+            if timing {
+                ev.start_spans();
+            }
             let offsets = &input.groups[g];
             let mut acc: Option<Ciphertext> = None;
             let mut acc_noise = NoiseEstimate::fresh(ctx);
             for (i, ct) in offsets.iter().enumerate() {
                 let pw = ev
-                    .try_encode_for_mul(&weights[g][i], ct.level())
+                    .encode_for_mul(&weights[g][i], ct.level())
                     .map_err(&err)?;
-                let prod = ev.try_mul_plain(ct, &pw).map_err(&err)?;
-                let rs = ev.try_rescale(&prod).map_err(&err)?;
+                let prod = ev.mul_plain(ct, &pw).map_err(&err)?;
+                let rs = ev.rescale(&prod).map_err(&err)?;
                 let step = NoiseEstimate::fresh(ctx)
                     .after_mul_plain(pw.scale(), value_bound(&weights[g][i]))
                     .after_rescale(ctx);
@@ -399,24 +444,27 @@ impl<'a> HeCnnExecutor<'a> {
                     }
                     Some(a) => {
                         acc_noise = acc_noise.after_add(&step);
-                        ev.try_add(&a, &rs).map_err(&err)?
+                        ev.add(&a, &rs).map_err(&err)?
                     }
                 });
             }
             let acc = acc.expect("at least one offset");
             let bias_pt = ev
-                .try_encode_at(&biases[g], acc.scale(), acc.level())
+                .encode_at(&biases[g], acc.scale(), acc.level())
                 .map_err(&err)?;
-            let out_ct = ev.try_add_plain(&acc, &bias_pt).map_err(&err)?;
-            Ok((out_ct, acc_noise, ev.take_trace()))
+            let out_ct = ev.add_plain(&acc, &bias_pt).map_err(&err)?;
+            Ok((out_ct, acc_noise, ev.take_trace(), ev.take_spans()))
         });
 
         let mut noise = NoiseEstimate::fresh(ctx);
         let mut out = Vec::with_capacity(weights.len());
         for res in results {
-            let (ct, acc_noise, trace) = res?;
+            let (ct, acc_noise, trace, spans) = res?;
             if let Some(t) = &trace {
                 self.ev.merge_trace(t);
+            }
+            if let Some(s) = &spans {
+                self.ev.merge_spans(s);
             }
             out.push(ct);
             if acc_noise.noise_std > noise.noise_std {
@@ -448,9 +496,9 @@ impl<'a> HeCnnExecutor<'a> {
         let err = at_layer(name);
         let mut cts = Vec::with_capacity(st.cts.len());
         for ct in &st.cts {
-            let sq = self.ev.try_square(ct).map_err(&err)?;
-            let lin = self.ev.try_relinearize(&sq, self.rk).map_err(&err)?;
-            cts.push(self.ev.try_rescale(&lin).map_err(&err)?);
+            let sq = self.ev.square(ct).map_err(&err)?;
+            let lin = self.ev.relinearize(&sq, self.rk).map_err(&err)?;
+            cts.push(self.ev.rescale(&lin).map_err(&err)?);
         }
         let noise = square_step(&st.noise, 1.0, self.ev.context());
         Self::check_budget(name, "CCmult", &noise)?;
@@ -486,15 +534,15 @@ impl<'a> HeCnnExecutor<'a> {
             }
             let pf = self
                 .ev
-                .try_encode_for_mul(&factors, ct.level())
+                .encode_for_mul(&factors, ct.level())
                 .map_err(&err)?;
-            let prod = self.ev.try_mul_plain(ct, &pf).map_err(&err)?;
-            let scaled = self.ev.try_rescale(&prod).map_err(&err)?;
+            let prod = self.ev.mul_plain(ct, &pf).map_err(&err)?;
+            let scaled = self.ev.rescale(&prod).map_err(&err)?;
             let ps = self
                 .ev
-                .try_encode_at(&shifts, scaled.scale(), scaled.level())
+                .encode_at(&shifts, scaled.scale(), scaled.level())
                 .map_err(&err)?;
-            cts.push(self.ev.try_add_plain(&scaled, &ps).map_err(&err)?);
+            cts.push(self.ev.add_plain(&scaled, &ps).map_err(&err)?);
             let stepped = {
                 let ctx = self.ev.context();
                 st.noise
@@ -574,8 +622,8 @@ impl<'a> HeCnnExecutor<'a> {
         let mut x = st.cts[0].clone();
         let mut x_noise = st.noise;
         for &shift in &plan.stack_shifts {
-            let rot = self.ev.try_rotate(&x, shift, self.gks).map_err(&err)?;
-            x = self.ev.try_add(&x, &rot).map_err(&err)?;
+            let rot = self.ev.rotate(&x, shift, self.gks).map_err(&err)?;
+            x = self.ev.add(&x, &rot).map_err(&err)?;
             let rotated = x_noise.after_rotate(self.ev.context());
             x_noise = x_noise.after_add(&rotated);
         }
@@ -584,6 +632,7 @@ impl<'a> HeCnnExecutor<'a> {
         // shared stacked input.
         let ctx = self.ev.context();
         let tracing = self.ev.is_tracing();
+        let timing = self.ev.is_timing();
         let gks = self.gks;
         let x_ref = &x;
         let results: Vec<ItemResult> = par::map_indexed(plan.rounds, |r| {
@@ -591,6 +640,9 @@ impl<'a> HeCnnExecutor<'a> {
             let mut ev = Evaluator::new(ctx);
             if tracing {
                 ev.start_trace();
+            }
+            if timing {
+                ev.start_spans();
             }
             // Weight vector: output r·copies+s in segment s.
             let mut wv = vec![0.0; slots];
@@ -603,15 +655,15 @@ impl<'a> HeCnnExecutor<'a> {
                     wv[s * plan.seg + v] = weight(k, v);
                 }
             }
-            let pw = ev.try_encode_for_mul(&wv, x_ref.level()).map_err(&err)?;
-            let prod = ev.try_mul_plain(x_ref, &pw).map_err(&err)?;
-            let mut acc = ev.try_rescale(&prod).map_err(&err)?;
+            let pw = ev.encode_for_mul(&wv, x_ref.level()).map_err(&err)?;
+            let prod = ev.mul_plain(x_ref, &pw).map_err(&err)?;
+            let mut acc = ev.rescale(&prod).map_err(&err)?;
             let mut acc_noise = x_noise
                 .after_mul_plain(pw.scale(), value_bound(&wv))
                 .after_rescale(ctx);
             for &shift in &plan.sum_shifts {
-                let rot = ev.try_rotate(&acc, shift, gks).map_err(&err)?;
-                acc = ev.try_add(&acc, &rot).map_err(&err)?;
+                let rot = ev.rotate(&acc, shift, gks).map_err(&err)?;
+                acc = ev.add(&acc, &rot).map_err(&err)?;
                 let rotated = acc_noise.after_rotate(ctx);
                 acc_noise = acc_noise.after_add(&rotated);
             }
@@ -623,18 +675,21 @@ impl<'a> HeCnnExecutor<'a> {
                 }
             }
             let bias_pt = ev
-                .try_encode_at(&bv, acc.scale(), acc.level())
+                .encode_at(&bv, acc.scale(), acc.level())
                 .map_err(&err)?;
-            let out_ct = ev.try_add_plain(&acc, &bias_pt).map_err(&err)?;
-            Ok((out_ct, acc_noise, ev.take_trace()))
+            let out_ct = ev.add_plain(&acc, &bias_pt).map_err(&err)?;
+            Ok((out_ct, acc_noise, ev.take_trace(), ev.take_spans()))
         });
 
         let mut noise = x_noise;
         let mut round_cts = Vec::with_capacity(plan.rounds);
         for res in results {
-            let (ct, acc_noise, trace) = res?;
+            let (ct, acc_noise, trace, spans) = res?;
             if let Some(t) = &trace {
                 self.ev.merge_trace(t);
+            }
+            if let Some(s) = &spans {
+                self.ev.merge_spans(s);
             }
             round_cts.push(ct);
             if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
@@ -666,12 +721,16 @@ impl<'a> HeCnnExecutor<'a> {
         // ciphertexts: fan out with one child evaluator per output.
         let ctx = self.ev.context();
         let tracing = self.ev.is_tracing();
+        let timing = self.ev.is_timing();
         let gks = self.gks;
         let results: Vec<ItemResult> = par::map_indexed(d_out, |k| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
             if tracing {
                 ev.start_trace();
+            }
+            if timing {
+                ev.start_spans();
             }
             let mut prod_acc: Option<Ciphertext> = None;
             let mut acc_noise = st.noise;
@@ -684,38 +743,41 @@ impl<'a> HeCnnExecutor<'a> {
                     }
                 }
                 acc_bound = acc_bound.max(value_bound(&wv));
-                let pw = ev.try_encode_for_mul(&wv, ct.level()).map_err(&err)?;
-                let prod = ev.try_mul_plain(ct, &pw).map_err(&err)?;
+                let pw = ev.encode_for_mul(&wv, ct.level()).map_err(&err)?;
+                let prod = ev.mul_plain(ct, &pw).map_err(&err)?;
                 acc_noise = st.noise.after_mul_plain(pw.scale(), acc_bound);
                 prod_acc = Some(match prod_acc {
                     None => prod,
-                    Some(a) => ev.try_add(&a, &prod).map_err(&err)?,
+                    Some(a) => ev.add(&a, &prod).map_err(&err)?,
                 });
             }
             let prod_acc = prod_acc.expect("at least one input ct");
-            let mut acc = ev.try_rescale(&prod_acc).map_err(&err)?;
+            let mut acc = ev.rescale(&prod_acc).map_err(&err)?;
             acc_noise = acc_noise.after_rescale(ctx);
             for &shift in &plan.sum_shifts {
-                let rot = ev.try_rotate(&acc, shift, gks).map_err(&err)?;
-                acc = ev.try_add(&acc, &rot).map_err(&err)?;
+                let rot = ev.rotate(&acc, shift, gks).map_err(&err)?;
+                acc = ev.add(&acc, &rot).map_err(&err)?;
                 let rotated = acc_noise.after_rotate(ctx);
                 acc_noise = acc_noise.after_add(&rotated);
             }
             let mut bv = vec![0.0; slots];
             bv[0] = bias(k);
             let bias_pt = ev
-                .try_encode_at(&bv, acc.scale(), acc.level())
+                .encode_at(&bv, acc.scale(), acc.level())
                 .map_err(&err)?;
-            let out_ct = ev.try_add_plain(&acc, &bias_pt).map_err(&err)?;
-            Ok((out_ct, acc_noise, ev.take_trace()))
+            let out_ct = ev.add_plain(&acc, &bias_pt).map_err(&err)?;
+            Ok((out_ct, acc_noise, ev.take_trace(), ev.take_spans()))
         });
 
         let mut noise = st.noise;
         let mut round_cts = Vec::with_capacity(d_out);
         for res in results {
-            let (ct, acc_noise, trace) = res?;
+            let (ct, acc_noise, trace, spans) = res?;
             if let Some(t) = &trace {
                 self.ev.merge_trace(t);
+            }
+            if let Some(s) = &spans {
+                self.ev.merge_spans(s);
             }
             round_cts.push(ct);
             if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
@@ -760,9 +822,9 @@ impl<'a> HeCnnExecutor<'a> {
                     })
                 }
             }
-            let pw = self.ev.try_encode_for_mul(&mask, ct.level()).map_err(&err)?;
-            let prod = self.ev.try_mul_plain(ct, &pw).map_err(&err)?;
-            let mut masked = self.ev.try_rescale(&prod).map_err(&err)?;
+            let pw = self.ev.encode_for_mul(&mask, ct.level()).map_err(&err)?;
+            let prod = self.ev.mul_plain(ct, &pw).map_err(&err)?;
+            let mut masked = self.ev.rescale(&prod).map_err(&err)?;
             let mut masked_noise = {
                 let ctx = self.ev.context();
                 in_noise.after_mul_plain(pw.scale(), 1.0).after_rescale(ctx)
@@ -770,7 +832,7 @@ impl<'a> HeCnnExecutor<'a> {
             if r > 0 {
                 masked = self
                     .ev
-                    .try_rotate(&masked, plan.consolidate_shifts[r - 1], self.gks)
+                    .rotate(&masked, plan.consolidate_shifts[r - 1], self.gks)
                     .map_err(&err)?;
                 masked_noise = masked_noise.after_rotate(self.ev.context());
             }
@@ -781,7 +843,7 @@ impl<'a> HeCnnExecutor<'a> {
                 }
                 Some(a) => {
                     noise = noise.after_add(&masked_noise);
-                    self.ev.try_add(&a, &masked).map_err(&err)?
+                    self.ev.add(&a, &masked).map_err(&err)?
                 }
             });
         }
@@ -959,6 +1021,35 @@ mod tests {
         m.sort_unstable();
         p.sort_unstable();
         assert_eq!(m, p, "per-level operation multisets must agree");
+    }
+
+    #[test]
+    fn spans_and_layer_spans_cover_the_whole_run() {
+        let net = toy_mnist_like(23);
+        let (rig, keys) = rig_for(&net);
+        let image = synthetic_input(&net, 7);
+        let mut enc = Encryptor::new(&rig.ctx, keys.pk.clone(), StdRng::seed_from_u64(40));
+        let input = encrypt_input(&net, &image, &mut enc, rig.ctx.degree() / 2);
+        let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &keys.gks);
+        exec.start_trace();
+        exec.start_spans();
+        exec.start_layer_spans();
+        let _ = exec.run(&net, &input);
+        let trace = exec.take_trace().expect("trace started");
+        let spans = exec.take_spans().expect("spans started");
+        let layers = exec.take_layer_spans().expect("layer spans started");
+        assert_eq!(
+            spans.len(),
+            trace.records().len(),
+            "one span per recorded op"
+        );
+        for (span, record) in spans.spans().iter().zip(trace.records()) {
+            assert_eq!(span.label, (record.kind, record.level));
+        }
+        let names: Vec<_> = layers.spans().iter().map(|s| s.label.as_str()).collect();
+        let expected: Vec<_> = net.layers().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, expected, "one span per layer, in execution order");
+        assert!(layers.total_nanos() > 0, "layers take nonzero wall time");
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod lowering;
 pub mod model;
 pub mod packing;
 pub mod stats;
+pub mod telemetry;
 pub mod tensor;
 pub mod train;
 
@@ -29,5 +30,6 @@ pub use lowering::{
 };
 pub use model::{fxhenn_cifar10, fxhenn_mnist, fxhenn_mnist_pooled, synthetic_input, toy_cryptonets_like, toy_mnist_like, Network};
 pub use packing::CtLayout;
+pub use telemetry::{register_nn_metrics, LayerSpanLog};
 pub use train::{accuracy, train, SyntheticTask, TrainConfig};
 pub use tensor::Tensor;

@@ -1,0 +1,53 @@
+//! Executor telemetry: per-layer counters and latency in the
+//! process-global [`fxhenn_obs`] collector, plus the layer span log.
+//!
+//! Mirrors `fxhenn_ckks::telemetry` one level up the stack: every
+//! executed network layer bumps `fxhenn_nn_layers_total` and observes
+//! its wall time into `fxhenn_nn_layer_latency_ns` (always on), while
+//! [`LayerSpanLog`] carries the opt-in per-layer spans
+//! (`HeCnnExecutor::start_layer_spans`) the attribution report joins
+//! against the analytic layer model.
+
+use fxhenn_obs::{global, Counter, Histogram, SpanLog};
+use std::sync::{Arc, OnceLock};
+
+/// Wall-time spans of executed network layers, labelled by layer name.
+pub type LayerSpanLog = SpanLog<String>;
+
+pub(crate) struct NnMetrics {
+    pub layers: Arc<Counter>,
+    pub latency: Arc<Histogram>,
+}
+
+pub(crate) fn nn_metrics() -> &'static NnMetrics {
+    static METRICS: OnceLock<NnMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| NnMetrics {
+        layers: global().counter("fxhenn_nn_layers_total"),
+        latency: global().histogram("fxhenn_nn_layer_latency_ns"),
+    })
+}
+
+/// Registers the layer metric families in the global collector without
+/// running a network — exposition endpoints call this so the families
+/// render (at zero) even before the first layer executes.
+pub fn register_nn_metrics() {
+    let _ = nn_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_exposes_the_layer_families() {
+        register_nn_metrics();
+        assert!(global()
+            .counters()
+            .iter()
+            .any(|(n, _)| n == "fxhenn_nn_layers_total"));
+        assert!(global()
+            .histograms()
+            .iter()
+            .any(|(n, _)| n == "fxhenn_nn_layer_latency_ns"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Measured-vs-analytic attribution: the Table I validation loop, live.
+//!
+//! The paper validates its analytic per-module latency model against
+//! measured runtimes. We reproduce that comparison continuously: every
+//! instrumented run yields measured wall time per key (an `HeOpKind`
+//! or a layer name) which is joined against the modeled cycle count
+//! from `fxhenn_hw::modules` for the same design point.
+//!
+//! Measured time is CPU nanoseconds; modeled time is FPGA cycles — the
+//! absolute scales are incomparable, so the join is in **share space**:
+//! each key's fraction of total measured time versus its fraction of
+//! total modeled cycles. The per-row model error is the difference in
+//! percentage points; a kind the model says is 40 % of the workload
+//! but measures at 55 % shows up as +15.
+
+/// One row of the attribution join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// The join key (an op kind label or a layer name).
+    pub key: String,
+    /// Operations measured under this key.
+    pub count: u64,
+    /// Measured wall time, nanoseconds.
+    pub measured_ns: u64,
+    /// Modeled latency, accelerator cycles.
+    pub modeled_cycles: u64,
+    /// This key's share of total measured time, percent.
+    pub measured_share_pct: f64,
+    /// This key's share of total modeled cycles, percent.
+    pub modeled_share_pct: f64,
+    /// `measured_share_pct - modeled_share_pct` (percentage points):
+    /// positive means the analytic model underweights this key.
+    pub model_error_pct: f64,
+}
+
+/// Joins `(key, count, measured_ns, modeled_cycles)` entries into
+/// share-space attribution rows. Input order is preserved.
+#[must_use]
+pub fn attribution_rows(entries: &[(String, u64, u64, u64)]) -> Vec<AttributionRow> {
+    let total_ns: u64 = entries.iter().map(|e| e.2).sum();
+    let total_cycles: u64 = entries.iter().map(|e| e.3).sum();
+    let pct = |part: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / total as f64
+        }
+    };
+    entries
+        .iter()
+        .map(|(key, count, ns, cycles)| {
+            let measured_share_pct = pct(*ns, total_ns);
+            let modeled_share_pct = pct(*cycles, total_cycles);
+            AttributionRow {
+                key: key.clone(),
+                count: *count,
+                measured_ns: *ns,
+                modeled_cycles: *cycles,
+                measured_share_pct,
+                modeled_share_pct,
+                model_error_pct: measured_share_pct - modeled_share_pct,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_and_errors_add_up() {
+        let rows = attribution_rows(&[
+            ("CCmult".into(), 2, 600, 50),
+            ("Rescale".into(), 2, 400, 50),
+        ]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].measured_share_pct - 60.0).abs() < 1e-9);
+        assert!((rows[0].modeled_share_pct - 50.0).abs() < 1e-9);
+        assert!((rows[0].model_error_pct - 10.0).abs() < 1e-9);
+        assert!((rows[1].model_error_pct + 10.0).abs() < 1e-9);
+        let share_sum: f64 = rows.iter().map(|r| r.measured_share_pct).sum();
+        assert!((share_sum - 100.0).abs() < 1e-9);
+        let err_sum: f64 = rows.iter().map(|r| r.model_error_pct).sum();
+        assert!(err_sum.abs() < 1e-9, "share-space errors sum to zero");
+    }
+
+    #[test]
+    fn empty_totals_do_not_divide_by_zero() {
+        let rows = attribution_rows(&[("x".into(), 0, 0, 0)]);
+        assert_eq!(rows[0].measured_share_pct, 0.0);
+        assert_eq!(rows[0].model_error_pct, 0.0);
+    }
+}

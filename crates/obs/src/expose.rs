@@ -1,0 +1,141 @@
+//! Prometheus text-format exposition (version 0.0.4) of a collector.
+//!
+//! Metric names registered in the collector may carry an inline label
+//! set (`fxhenn_he_ops_total{op="CCmult"}`); all series of one family
+//! (the name before `{`) are grouped under a single `# TYPE` header.
+//! Output is sorted by name (the collector stores a `BTreeMap`), so
+//! the rendering is deterministic and golden-testable.
+
+use crate::metrics::{Collector, HistogramSnapshot};
+use std::fmt::Write as _;
+
+/// Splits `fam{a="b"}` into `("fam", Some("a=\"b\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((fam, rest)) => (fam, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Joins a family with an optional inline label set and one extra
+/// label (used for histogram `le`).
+fn series(fam: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let mut inner = String::new();
+    if let Some(l) = labels {
+        inner.push_str(l);
+    }
+    if let Some(e) = extra {
+        if !inner.is_empty() {
+            inner.push(',');
+        }
+        inner.push_str(e);
+    }
+    if inner.is_empty() {
+        format!("{fam}{suffix}")
+    } else {
+        format!("{fam}{suffix}{{{inner}}}")
+    }
+}
+
+fn type_header(out: &mut String, fam: &str, kind: &str, last_fam: &mut String) {
+    if fam != last_fam {
+        let _ = writeln!(out, "# TYPE {fam} {kind}");
+        last_fam.clear();
+        last_fam.push_str(fam);
+    }
+}
+
+fn render_histogram(out: &mut String, fam: &str, labels: Option<&str>, snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (bound, count) in snap.bounds.iter().zip(&snap.counts) {
+        cumulative += count;
+        let le = format!("le=\"{bound}\"");
+        let _ = writeln!(
+            out,
+            "{} {cumulative}",
+            series(fam, "_bucket", labels, Some(&le))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} {}",
+        series(fam, "_bucket", labels, Some("le=\"+Inf\"")),
+        snap.count
+    );
+    let _ = writeln!(out, "{} {}", series(fam, "_sum", labels, None), snap.sum);
+    let _ = writeln!(out, "{} {}", series(fam, "_count", labels, None), snap.count);
+}
+
+/// Renders every metric in `collector` in Prometheus text format.
+#[must_use]
+pub fn render_prometheus(collector: &Collector) -> String {
+    let mut out = String::new();
+    let mut last_fam = String::new();
+    for (name, value) in collector.counters() {
+        let (fam, labels) = split_labels(&name);
+        type_header(&mut out, fam, "counter", &mut last_fam);
+        let _ = writeln!(out, "{} {value}", series(fam, "", labels, None));
+    }
+    last_fam.clear();
+    for (name, value) in collector.gauges() {
+        let (fam, labels) = split_labels(&name);
+        type_header(&mut out, fam, "gauge", &mut last_fam);
+        let _ = writeln!(out, "{} {value}", series(fam, "", labels, None));
+    }
+    last_fam.clear();
+    for (name, snap) in collector.histograms() {
+        let (fam, labels) = split_labels(&name);
+        type_header(&mut out, fam, "histogram", &mut last_fam);
+        render_histogram(&mut out, fam, labels, &snap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden test: the full exposition of a small collector, verbatim.
+    /// Keep in sync with DESIGN.md §10's metric-naming scheme.
+    #[test]
+    fn golden_exposition_format() {
+        static BOUNDS: [u64; 2] = [10, 100];
+        let c = Collector::new();
+        c.counter("demo_ops_total{op=\"CCmult\"}").add(3);
+        c.counter("demo_ops_total{op=\"Rescale\"}").add(2);
+        c.counter("demo_shed_total").inc();
+        c.gauge("demo_queue_depth").set(4);
+        let h = c.histogram_with("demo_latency_ns{op=\"CCmult\"}", &BOUNDS);
+        h.observe(5);
+        h.observe(10);
+        h.observe(11);
+        h.observe(1_000);
+        let got = render_prometheus(&c);
+        let want = "\
+# TYPE demo_ops_total counter
+demo_ops_total{op=\"CCmult\"} 3
+demo_ops_total{op=\"Rescale\"} 2
+# TYPE demo_shed_total counter
+demo_shed_total 1
+# TYPE demo_queue_depth gauge
+demo_queue_depth 4
+# TYPE demo_latency_ns histogram
+demo_latency_ns_bucket{op=\"CCmult\",le=\"10\"} 2
+demo_latency_ns_bucket{op=\"CCmult\",le=\"100\"} 3
+demo_latency_ns_bucket{op=\"CCmult\",le=\"+Inf\"} 4
+demo_latency_ns_sum{op=\"CCmult\"} 1026
+demo_latency_ns_count{op=\"CCmult\"} 4
+";
+        assert_eq!(got, want, "got:\n{got}");
+    }
+
+    #[test]
+    fn unlabeled_histogram_renders_bare_le() {
+        static BOUNDS: [u64; 1] = [7];
+        let c = Collector::new();
+        c.histogram_with("h", &BOUNDS).observe(3);
+        let got = render_prometheus(&c);
+        assert!(got.contains("h_bucket{le=\"7\"} 1"), "{got}");
+        assert!(got.contains("h_count 1"), "{got}");
+    }
+}

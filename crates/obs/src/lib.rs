@@ -1,0 +1,37 @@
+//! `fxhenn-obs` — always-on telemetry for the FxHENN stack.
+//!
+//! The paper's whole argument is an analytic latency/resource model
+//! (Eqs. 1–9) validated against measured runtimes (Table I). This crate
+//! is the measured side's plumbing, kept cheap enough to never turn
+//! off:
+//!
+//! * [`metrics`] — a process-global [`Collector`](metrics::Collector)
+//!   of named counters, gauges and fixed-bucket latency histograms.
+//!   Hot-path updates are single relaxed atomic increments against a
+//!   thread-local shard (the same chunk-per-worker philosophy as
+//!   `fxhenn_math::par`), so instrumenting every HE op costs
+//!   nanoseconds against ops that cost milliseconds.
+//! * [`span`] — per-operation wall-time records
+//!   ([`SpanLog`](span::SpanLog)), an owned log per evaluator that
+//!   child evaluators merge back in index order — deterministic
+//!   ordering exactly like the existing `OpTrace`.
+//! * [`expose`] — Prometheus text-format rendering of a collector
+//!   snapshot (the `fxhenn serve --metrics` endpoint).
+//! * [`attribution`] — joins measured wall time against modeled cycle
+//!   counts and emits per-key shares plus a model-error percentage per
+//!   row: the Table I validation loop, live.
+//!
+//! The crate is deliberately free of dependencies (std only) so every
+//! other crate in the workspace can layer on top of it without cycles.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod attribution;
+pub mod expose;
+pub mod metrics;
+pub mod span;
+
+pub use attribution::{attribution_rows, AttributionRow};
+pub use expose::render_prometheus;
+pub use metrics::{global, Collector, Counter, Gauge, Histogram, DEFAULT_NS_BUCKETS};
+pub use span::{Span, SpanLog};

@@ -1,0 +1,422 @@
+//! The collector: named counters, gauges and fixed-bucket histograms,
+//! cheap enough to stay on in the HE hot path.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost** — one relaxed `fetch_add` on a thread-local
+//!    shard. No locks, no allocation, no branches beyond a bucket
+//!    search. The shard-per-thread layout mirrors the chunk-per-worker
+//!    scheduling of `fxhenn_math::par`: writers never contend, readers
+//!    sum the shards.
+//! 2. **Registration is rare** — metric handles are `Arc`s resolved
+//!    once (typically into a `OnceLock`-cached struct) and then used
+//!    lock-free; the name→handle map behind a `Mutex` is only touched
+//!    at registration and exposition time.
+//! 3. **Deterministic exposition** — names live in a `BTreeMap`, so
+//!    rendered output is sorted and goldens are stable.
+//!
+//! Metric names follow the Prometheus convention and may carry a label
+//! set inline: `fxhenn_he_ops_total{op="CCmult"}`. The exposition layer
+//! groups series of one family (same name before `{`) under a single
+//! `# TYPE` header.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Writer shards per metric. Threads are assigned round-robin; 16 is
+/// comfortably past the thread counts `fxhenn_math::par` spawns.
+pub const SHARDS: usize = 16;
+
+/// The shard this thread writes to (assigned once, round-robin).
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+        }
+        v
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Metric maps hold plain atomics: a panic mid-update cannot leave
+    // them inconsistent, so a poisoned lock is safe to re-enter.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonically-increasing counter, sharded per thread.
+#[derive(Debug)]
+pub struct Counter {
+    shards: [AtomicU64; SHARDS],
+}
+
+impl Counter {
+    fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The summed value across shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A gauge: a settable signed value (queue depths, mode flags).
+/// Set-dominated, so a single atomic (no sharding) keeps reads exact.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency buckets, in nanoseconds: powers of four from 1 µs
+/// to 1 s. HE ops span ~µs (toy degrees) to ~100 ms (N=8192 chains),
+/// so a coarse geometric grid covers the range in 11 buckets.
+pub const DEFAULT_NS_BUCKETS: [u64; 11] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+];
+
+struct HistogramShard {
+    /// One slot per finite bound plus a final +Inf overflow slot.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations (latencies in ns).
+pub struct Histogram {
+    bounds: &'static [u64],
+    shards: Vec<HistogramShard>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.bounds)
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        let shards = (0..SHARDS)
+            .map(|_| HistogramShard {
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+            })
+            .collect();
+        Self { bounds, shards }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        // First bucket whose upper bound is >= value; bounds.len() is
+        // the +Inf overflow slot.
+        let idx = self.bounds.partition_point(|&b| value > b);
+        let shard = &self.shards[shard_index()];
+        shard.counts[idx].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The bucket upper bounds (finite part; the +Inf slot is implied).
+    pub fn bounds(&self) -> &[u64] {
+        self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is +Inf.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.bounds.len() + 1];
+        for shard in &self.shards {
+            for (o, c) in out.iter_mut().zip(&shard.counts) {
+                *o += c.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.sum.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A point-in-time copy of one histogram, for rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (last entry is the +Inf overflow).
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A registry of named metrics. Handles are `Arc`s: resolve once, then
+/// update lock-free.
+pub struct Collector {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock(&self.counters);
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::new());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name` with the default latency buckets.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &DEFAULT_NS_BUCKETS)
+    }
+
+    /// The histogram named `name` with explicit bucket bounds (must be
+    /// sorted ascending). Bounds are fixed at first registration; later
+    /// calls return the existing histogram unchanged.
+    pub fn histogram_with(&self, name: &str, bounds: &'static [u64]) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new(bounds));
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        lock(&self.counters)
+            .iter()
+            .map(|(n, c)| (n.clone(), c.value()))
+            .collect()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        lock(&self.gauges)
+            .iter()
+            .map(|(n, g)| (n.clone(), g.value()))
+            .collect()
+    }
+
+    /// All histograms, sorted by name, as snapshots.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        lock(&self.histograms)
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static GLOBAL: Collector = Collector::new();
+
+/// The process-global collector every subsystem reports into.
+#[must_use]
+pub fn global() -> &'static Collector {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_shards_and_threads() {
+        let c = Collector::new();
+        let counter = c.counter("t");
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), threads * per_thread);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let c = Collector::new();
+        let a = c.counter("x");
+        a.add(3);
+        let b = c.counter("x");
+        assert_eq!(b.value(), 3, "same name resolves to the same counter");
+        assert_eq!(c.counters(), vec![("x".to_string(), 3)]);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let c = Collector::new();
+        let g = c.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.value(), 3);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let c = Collector::new();
+        let h = c.histogram_with("lat", &DEFAULT_NS_BUCKETS);
+        // Exactly on a bound lands in that bucket (Prometheus `le`).
+        h.observe(1_000);
+        // One past the bound spills into the next bucket.
+        h.observe(1_001);
+        // Beyond the last bound lands in +Inf.
+        h.observe(2_000_000_000);
+        // Zero lands in the first bucket.
+        h.observe(0);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2, "0 and 1000 are <= 1000");
+        assert_eq!(counts[1], 1, "1001 is in (1000, 4000]");
+        assert_eq!(*counts.last().expect("has +Inf"), 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 2_000_002_001);
+    }
+
+    #[test]
+    fn histogram_counts_survive_concurrent_observers() {
+        let c = Collector::new();
+        let h = c.histogram("lat");
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.observe(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 30_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 30_000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Span logs: ordered per-operation wall-time records.
+//!
+//! A [`SpanLog`] is the timing sibling of `fxhenn_ckks`'s `OpTrace`:
+//! an owned, append-only list a worker fills locally and a parent
+//! merges back **in index order**, so the record sequence of a
+//! threaded run is identical to the serial run (the durations differ,
+//! the structure does not). Durations deliberately live here and never
+//! inside `OpTrace` itself — traces are compared byte-for-byte in the
+//! parallel-consistency tests and must stay timing-free.
+//!
+//! The label type is generic: the evaluator uses `(HeOpKind, level)`,
+//! the nn executor uses layer names, and tests use plain strings.
+
+/// One timed operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span<L> {
+    /// What ran (e.g. `(HeOpKind::CcMult, level)` or a layer name).
+    pub label: L,
+    /// Wall time, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// An append-only log of [`Span`]s in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanLog<L> {
+    spans: Vec<Span<L>>,
+}
+
+impl<L> SpanLog<L> {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { spans: Vec::new() }
+    }
+
+    /// Appends one span.
+    pub fn record(&mut self, label: L, nanos: u64) {
+        self.spans.push(Span { label, nanos });
+    }
+
+    /// The recorded spans, in execution order.
+    pub fn spans(&self) -> &[Span<L>] {
+        &self.spans
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total wall time across all spans, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.spans.iter().map(|s| s.nanos).sum()
+    }
+
+    /// Appends every span of `other`, preserving its order — the
+    /// deterministic merge parents use to fold child logs back in
+    /// index order.
+    pub fn extend_from(&mut self, other: &SpanLog<L>)
+    where
+        L: Clone,
+    {
+        self.spans.extend(other.spans.iter().cloned());
+    }
+}
+
+impl<L> Default for SpanLog<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L> IntoIterator for SpanLog<L> {
+    type Item = Span<L>;
+    type IntoIter = std::vec::IntoIter<Span<L>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.spans.into_iter()
+    }
+}
+
+impl<L> Extend<Span<L>> for SpanLog<L> {
+    fn extend<T: IntoIterator<Item = Span<L>>>(&mut self, iter: T) {
+        self.spans.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_totals() {
+        let mut log = SpanLog::new();
+        log.record("a", 10);
+        log.record("b", 32);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_nanos(), 42);
+        assert_eq!(log.spans()[0].label, "a");
+    }
+
+    #[test]
+    fn extend_from_preserves_child_order() {
+        let mut parent = SpanLog::new();
+        parent.record("p", 1);
+        let mut child = SpanLog::new();
+        child.record("c1", 2);
+        child.record("c2", 3);
+        parent.extend_from(&child);
+        let labels: Vec<_> = parent.spans().iter().map(|s| s.label).collect();
+        assert_eq!(labels, ["p", "c1", "c2"]);
+    }
+}

@@ -25,6 +25,9 @@ pub struct CosimReport {
     pub measured_hops: usize,
     /// HOP count predicted by the analytic lowering.
     pub planned_hops: usize,
+    /// Wall time of the homomorphic execution (keygen and encryption
+    /// excluded), in nanoseconds.
+    pub he_wall_nanos: u64,
 }
 
 impl CosimReport {
@@ -71,9 +74,14 @@ pub fn try_cosimulate(
 
     let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
     exec.start_trace();
+    let he_started = std::time::Instant::now();
     let out = exec.try_run(net, &input)?;
-    // invariant: the trace was started three lines up.
+    let he_wall_nanos = he_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    // invariant: the trace was started a few lines up.
     let measured = exec.take_trace().expect("trace started");
+    let g = fxhenn_obs::global();
+    g.counter("fxhenn_cosim_runs_total").inc();
+    g.histogram("fxhenn_cosim_latency_ns").observe(he_wall_nanos);
 
     let dec = Decryptor::new(&ctx, sk);
     let actual = out.decrypt(&dec);
@@ -91,6 +99,7 @@ pub fn try_cosimulate(
         max_error,
         measured_hops: measured.hop_count(),
         planned_hops: prog.hop_count(),
+        he_wall_nanos,
     })
 }
 
@@ -123,6 +132,20 @@ mod tests {
         assert!(report.trace_matches(), "executed trace matches the plan");
         assert_eq!(report.expected.len(), 4);
         assert_eq!(report.actual.len(), 4);
+        assert!(report.he_wall_nanos > 0, "HE wall time was measured");
+        // The run bumped the global cosim telemetry.
+        assert!(
+            fxhenn_obs::global()
+                .counters()
+                .iter()
+                .any(|(n, v)| n == "fxhenn_cosim_runs_total" && *v > 0)
+        );
+        assert!(
+            fxhenn_obs::global()
+                .histograms()
+                .iter()
+                .any(|(n, s)| n == "fxhenn_cosim_latency_ns" && s.count > 0)
+        );
     }
 
     #[test]
