@@ -1,0 +1,255 @@
+//! Serving-path benchmark: sustained throughput and per-request latency
+//! of the supervised batch driver at mixed deadlines, for a single
+//! worker versus a worker pool, written to `BENCH_serve.json` at the
+//! repository root.
+//!
+//! The claim the committed numbers back: the worker pool (supervision,
+//! health scoring, round-robin selection) does not regress
+//! single-tenant p99 relative to the single-worker driver — the driver
+//! is synchronous, so the pool buys fault isolation, not parallelism,
+//! and must cost nothing on the happy path.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin bench_serve`
+//!
+//! Flags:
+//! * `--tiny` — shrink the request counts (CI smoke; do not commit).
+//! * `--out <path>` — write the JSON somewhere else.
+//! * `--check <path>` — compare this run's shape (schema + entry
+//!   names) against a committed baseline and exit non-zero on drift.
+//!
+//! Output schema `fxhenn-bench-serve/v1`:
+//! `{ "schema", "tiny", "entries": [{ "name", "workers", "requests",
+//! "completed", "cancelled", "req_per_s", "p50_us", "p99_us" }] }`.
+
+use fxhenn::math::budget::{Budget, Progress};
+use fxhenn::serve::{
+    AttemptError, BatchDriver, InferenceRequest, InferenceService, ServeConfig,
+};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A deterministic busy-work backend: a fixed number of wrapping
+/// multiplications per call (≈ tens of microseconds), with the same
+/// cooperative budget check a real service performs.
+struct BusyService {
+    work_units: u64,
+}
+
+impl InferenceService for BusyService {
+    type Output = u64;
+
+    fn infer(&mut self, req: &InferenceRequest, budget: &Budget) -> Result<u64, AttemptError> {
+        budget
+            .check("busy-service", Progress::done(0))
+            .map_err(AttemptError::Cancelled)?;
+        let mut acc = req.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in 0..self.work_units {
+            acc = acc.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(i);
+        }
+        black_box(acc);
+        Ok(req.id)
+    }
+}
+
+/// One measured configuration.
+struct Entry {
+    name: String,
+    workers: usize,
+    requests: u64,
+    completed: u64,
+    cancelled: u64,
+    req_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn driver(workers: usize) -> BatchDriver<BusyService> {
+    let cfg = ServeConfig {
+        queue_capacity: 64,
+        tenant_quota: 64,
+        worker_count: workers,
+        slip_threshold: u32::MAX, // latency probe, not degradation study
+        service_time_hint: Duration::from_micros(100),
+        ..ServeConfig::default()
+    };
+    BatchDriver::with_factory(cfg, Box::new(|| Ok(BusyService { work_units: 20_000 })))
+        .expect("busy service always builds")
+}
+
+/// Mixed deadlines: every 8th request carries a zero deadline (storm
+/// victim, must cancel), the rest are generous.
+fn deadline_for(id: u64) -> Duration {
+    if id % 8 == 7 {
+        Duration::ZERO
+    } else {
+        Duration::from_secs(5)
+    }
+}
+
+fn measure(workers: usize, throughput_requests: u64, latency_probes: u64) -> Entry {
+    // Throughput: waves of up-to-capacity submissions, drained per wave.
+    let mut d = driver(workers);
+    let wave = 64u64;
+    let start = Instant::now();
+    let mut id = 0u64;
+    while id < throughput_requests {
+        for _ in 0..wave.min(throughput_requests - id) {
+            d.submit(InferenceRequest::new(id, "busy", deadline_for(id)))
+                .expect("queue has room within one wave");
+            id += 1;
+        }
+        d.run_queue();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let report = d.report().clone();
+
+    // Latency: one request per run_queue call so each sample is a true
+    // end-to-end admission→outcome time; p-quantiles over completed
+    // requests only (storm victims cancel by design).
+    let mut lat = driver(workers);
+    let mut samples_us: Vec<f64> = Vec::with_capacity(latency_probes as usize);
+    for pid in 0..latency_probes {
+        let t = Instant::now();
+        lat.submit(InferenceRequest::new(pid, "busy", deadline_for(pid)))
+            .expect("empty queue admits");
+        let outcomes = lat.run_queue();
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        if outcomes.iter().all(|(_, o)| o.is_ok()) {
+            samples_us.push(us);
+        }
+    }
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let quantile = |q: f64| -> f64 {
+        if samples_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((samples_us.len() as f64 - 1.0) * q).round() as usize;
+        samples_us[idx]
+    };
+
+    Entry {
+        name: format!("serve_mixed_deadlines_w{workers}"),
+        workers,
+        requests: throughput_requests,
+        completed: report.completed,
+        cancelled: report.cancelled,
+        req_per_s: throughput_requests as f64 / elapsed,
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+    }
+}
+
+fn render_json(entries: &[Entry], tiny: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"fxhenn-bench-serve/v1\",\n");
+    s.push_str(&format!("  \"tiny\": {tiny},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"workers\": {}, \"requests\": {}, \
+             \"completed\": {}, \"cancelled\": {}, \"req_per_s\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{comma}\n",
+            e.name, e.workers, e.requests, e.completed, e.cancelled, e.req_per_s, e.p50_us,
+            e.p99_us
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Every string value keyed by `key` in a flat JSON document.
+fn extract_strings(json: &str, key: &str) -> Vec<String> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        rest = &rest[i + pat.len()..];
+        let Some(q1) = rest.find('"') else { break };
+        let after = &rest[q1 + 1..];
+        let Some(q2) = after.find('"') else { break };
+        out.push(after[..q2].to_string());
+        rest = &after[q2 + 1..];
+    }
+    out
+}
+
+/// Compares this run's shape against a committed baseline: same
+/// schema, same entry names in the same order.
+fn check_against(baseline_path: &str, entries: &[Entry]) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let schema = extract_strings(&text, "schema");
+    if schema.first().map(String::as_str) != Some("fxhenn-bench-serve/v1") {
+        return Err(format!(
+            "baseline {baseline_path} schema mismatch: found {:?}, expected \
+             \"fxhenn-bench-serve/v1\"",
+            schema.first()
+        ));
+    }
+    let committed = extract_strings(&text, "name");
+    let measured: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+    if committed != measured {
+        return Err(format!(
+            "serve bench shape drifted from {baseline_path}:\n  committed: {committed:?}\n  \
+             measured:  {measured:?}\nregenerate the baseline with `cargo run --release -p \
+             fxhenn-bench --bin bench_serve` if the change is intentional"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut tiny = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--check" => check = Some(args.next().expect("--check needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; known: --tiny, --out <path>, --check <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (throughput_requests, latency_probes) = if tiny { (256, 128) } else { (4_096, 1_024) };
+    let entries: Vec<Entry> = [1usize, 4]
+        .iter()
+        .map(|&w| measure(w, throughput_requests, latency_probes))
+        .collect();
+
+    for e in &entries {
+        println!(
+            "{:<28} {:>9.1} req/s   p50 {:>8.1} µs   p99 {:>8.1} µs   \
+             ({} completed, {} cancelled)",
+            e.name, e.req_per_s, e.p50_us, e.p99_us, e.completed, e.cancelled
+        );
+    }
+    let single_p99 = entries[0].p99_us;
+    let pool_p99 = entries[1].p99_us;
+    println!(
+        "pool p99 / single p99 = {:.3} (pool must not regress the single-worker path)",
+        pool_p99 / single_p99
+    );
+
+    if let Some(baseline) = check {
+        if let Err(msg) = check_against(&baseline, &entries) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        println!("serve bench shape matches {baseline}");
+        return;
+    }
+
+    let path = out.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    let json = render_json(&entries, tiny);
+    std::fs::write(&path, &json).expect("write serve bench report");
+    println!("wrote {path}");
+}

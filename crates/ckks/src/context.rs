@@ -416,6 +416,76 @@ impl CkksContext {
         Ok(())
     }
 
+    /// Checks that a (possibly deserialized) key-switching key is
+    /// semantically valid for this context: the expected digit count,
+    /// every digit over the full extended basis (all coefficient primes
+    /// plus the special prime) at the context's degree, and every
+    /// residue word reduced modulo its prime. The same transport-
+    /// corruption gap [`validate_ciphertext`](Self::validate_ciphertext)
+    /// closes for ciphertexts, closed for key material.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptKeyMaterial`] naming the failed check.
+    pub fn validate_key_switch_key(
+        &self,
+        ksk: &crate::keys::KeySwitchKey,
+    ) -> Result<(), EvalError> {
+        if ksk.digit_count() != self.key_switch_digits() {
+            return Err(EvalError::CorruptKeyMaterial {
+                what: "digit count differs from the context",
+            });
+        }
+        let ext = self.extended_moduli_at(self.max_level());
+        for (b, a) in &ksk.digits {
+            for poly in [b, a] {
+                if poly.degree() != self.degree() {
+                    return Err(EvalError::CorruptKeyMaterial {
+                        what: "polynomial degree differs from the context",
+                    });
+                }
+                if poly.level_count() != ext.len() {
+                    return Err(EvalError::CorruptKeyMaterial {
+                        what: "digit not over the full extended basis",
+                    });
+                }
+                for (i, &q) in ext.iter().enumerate() {
+                    if poly.component(i).iter().any(|&w| w >= q) {
+                        return Err(EvalError::CorruptKeyMaterial {
+                            what: "residue word not reduced modulo its prime",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a relinearization key (see
+    /// [`validate_key_switch_key`](Self::validate_key_switch_key)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptKeyMaterial`] naming the failed check.
+    pub fn validate_relin_key(&self, rk: &crate::keys::RelinKey) -> Result<(), EvalError> {
+        self.validate_key_switch_key(&rk.0)
+    }
+
+    /// Validates every key in a Galois key set (see
+    /// [`validate_key_switch_key`](Self::validate_key_switch_key)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptKeyMaterial`] naming the failed check.
+    pub fn validate_galois_keys(&self, gks: &crate::keys::GaloisKeys) -> Result<(), EvalError> {
+        for g in gks.exponents() {
+            if let Some(ksk) = gks.key(g) {
+                self.validate_key_switch_key(ksk)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Galois exponent of complex conjugation: `2N - 1` (i.e. `X ↦ X^{-1}`).
     pub fn conjugation_exponent(&self) -> usize {
         2 * self.degree() - 1

@@ -2,8 +2,7 @@
 //!
 //! Every precondition the [`crate::eval::Evaluator`] enforces has a
 //! matching [`EvalError`] variant, raised by the fallible evaluation
-//! methods (the primary API; the deprecated `try_` spellings delegate
-//! to them, so the two surfaces can never disagree on what is checked).
+//! methods.
 //!
 //! `Debug` delegates to `Display` so an `expect` on an evaluation
 //! result panics with the same human-readable message the assert-based
@@ -103,6 +102,13 @@ pub enum EvalError {
         /// Which semantic check failed.
         what: &'static str,
     },
+    /// Key material (key-switch, relinearization or Galois keys) failed
+    /// a semantic range check against this context — wrong digit count,
+    /// wrong basis width, or a residue word outside its modulus.
+    CorruptKeyMaterial {
+        /// Which semantic check failed.
+        what: &'static str,
+    },
     /// The ambient execution budget expired or was cancelled at an
     /// operation boundary. The evaluator performed no work for this
     /// call and remains fully reusable.
@@ -149,6 +155,9 @@ impl fmt::Display for EvalError {
             }
             EvalError::CorruptCiphertext { what } => {
                 write!(f, "corrupt ciphertext: {what}")
+            }
+            EvalError::CorruptKeyMaterial { what } => {
+                write!(f, "corrupt key material: {what}")
             }
             EvalError::Cancelled(stop) => write!(f, "evaluation stopped: {stop}"),
         }

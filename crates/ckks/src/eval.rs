@@ -41,10 +41,8 @@ const SCRATCH_POOL_CAP: usize = 8;
 /// # Fallible by default
 ///
 /// Every operation returns `Result<_, EvalError>`: `add`, `mul`,
-/// `rescale`, ... are the primary names. The old `try_*` spellings
-/// remain as `#[deprecated]` shims that delegate to the primaries;
-/// callers that want the previous panicking ergonomics write
-/// `ev.add(&a, &b).expect("CCadd")` at the call site.
+/// `rescale`, ... are the primary names. Callers that want panicking
+/// ergonomics write `ev.add(&a, &b).expect("CCadd")` at the call site.
 ///
 /// The evaluator keeps a small pool of scratch polynomials so that the
 /// hot operations (CCmult, KeySwitch, Rescale, Rotate) reuse buffers
@@ -222,17 +220,6 @@ impl<'a> Evaluator<'a> {
         Ok(Plaintext::new(p, scale))
     }
 
-    /// Deprecated spelling of [`encode_at`](Evaluator::encode_at).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `encode_at`")]
-    pub fn try_encode_at(
-        &self,
-        values: &[f64],
-        scale: f64,
-        level: usize,
-    ) -> Result<Plaintext, EvalError> {
-        self.encode_at(values, scale, level)
-    }
-
     /// Encodes at the scale that makes a following `mul_plain` +
     /// `rescale` land back on the input ciphertext's scale: the prime
     /// that the rescale will drop.
@@ -253,16 +240,6 @@ impl<'a> Evaluator<'a> {
         }
         let scale = self.ctx.dropped_prime_at(level) as f64;
         self.encode_at(values, scale, level)
-    }
-
-    /// Deprecated spelling of [`encode_for_mul`](Evaluator::encode_for_mul).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `encode_for_mul`")]
-    pub fn try_encode_for_mul(
-        &self,
-        values: &[f64],
-        level: usize,
-    ) -> Result<Plaintext, EvalError> {
-        self.encode_for_mul(values, level)
     }
 
     fn check_same_scale(a: f64, b: f64) -> Result<(), EvalError> {
@@ -314,12 +291,6 @@ impl<'a> Evaluator<'a> {
         Ok(out)
     }
 
-    /// Deprecated spelling of [`add`](Evaluator::add).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `add`")]
-    pub fn try_add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        self.add(a, b)
-    }
-
     /// Ciphertext - ciphertext subtraction (costed as CCadd).
     ///
     /// # Errors
@@ -336,12 +307,6 @@ impl<'a> Evaluator<'a> {
         }
         self.record(HeOpKind::CcAdd, a.level(), started);
         Ok(out)
-    }
-
-    /// Deprecated spelling of [`sub`](Evaluator::sub).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `sub`")]
-    pub fn try_sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        self.sub(a, b)
     }
 
     /// Plaintext + ciphertext addition (PCadd, OP1).
@@ -372,16 +337,6 @@ impl<'a> Evaluator<'a> {
         Ok(out)
     }
 
-    /// Deprecated spelling of [`add_plain`](Evaluator::add_plain).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `add_plain`")]
-    pub fn try_add_plain(
-        &mut self,
-        a: &Ciphertext,
-        pt: &Plaintext,
-    ) -> Result<Ciphertext, EvalError> {
-        self.add_plain(a, pt)
-    }
-
     /// Plaintext - ciphertext subtraction: `ct - pt` (costed as PCadd).
     ///
     /// # Errors
@@ -407,16 +362,6 @@ impl<'a> Evaluator<'a> {
         out.poly_mut(0).sub_assign(pt.poly(), moduli);
         self.record(HeOpKind::PcAdd, a.level(), started);
         Ok(out)
-    }
-
-    /// Deprecated spelling of [`sub_plain`](Evaluator::sub_plain).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `sub_plain`")]
-    pub fn try_sub_plain(
-        &mut self,
-        a: &Ciphertext,
-        pt: &Plaintext,
-    ) -> Result<Ciphertext, EvalError> {
-        self.sub_plain(a, pt)
     }
 
     /// Plaintext × ciphertext multiplication (PCmult, OP2). The output
@@ -448,16 +393,6 @@ impl<'a> Evaluator<'a> {
         out.set_scale(a.scale() * pt.scale());
         self.record(HeOpKind::PcMult, a.level(), started);
         Ok(out)
-    }
-
-    /// Deprecated spelling of [`mul_plain`](Evaluator::mul_plain).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `mul_plain`")]
-    pub fn try_mul_plain(
-        &mut self,
-        a: &Ciphertext,
-        pt: &Plaintext,
-    ) -> Result<Ciphertext, EvalError> {
-        self.mul_plain(a, pt)
     }
 
     /// Ciphertext × ciphertext multiplication (CCmult, OP3), producing a
@@ -499,12 +434,6 @@ impl<'a> Evaluator<'a> {
         Ok(Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale()))
     }
 
-    /// Deprecated spelling of [`mul`](Evaluator::mul).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `mul`")]
-    pub fn try_mul(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        self.mul(a, b)
-    }
-
     /// Homomorphic squaring: CCmult of a ciphertext with itself (the form
     /// used by the square activation layers of HE-CNNs).
     ///
@@ -513,12 +442,6 @@ impl<'a> Evaluator<'a> {
     /// Fails as [`mul`](Evaluator::mul) does.
     pub fn square(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
         self.mul(a, a)
-    }
-
-    /// Deprecated spelling of [`square`](Evaluator::square).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `square`")]
-    pub fn try_square(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        self.square(a)
     }
 
     /// Relinearization (OP5 KeySwitch): reduces a 3-polynomial ciphertext
@@ -553,16 +476,6 @@ impl<'a> Evaluator<'a> {
 
         self.record(HeOpKind::Relinearize, l, started);
         Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
-    }
-
-    /// Deprecated spelling of [`relinearize`](Evaluator::relinearize).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `relinearize`")]
-    pub fn try_relinearize(
-        &mut self,
-        ct: &Ciphertext,
-        rk: &RelinKey,
-    ) -> Result<Ciphertext, EvalError> {
-        self.relinearize(ct, rk)
     }
 
     /// Rescale (OP4): divides the ciphertext by the last prime of its
@@ -601,12 +514,6 @@ impl<'a> Evaluator<'a> {
         Ok(out)
     }
 
-    /// Deprecated spelling of [`rescale`](Evaluator::rescale).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `rescale`")]
-    pub fn try_rescale(&mut self, ct: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        self.rescale(ct)
-    }
-
     /// Modulus switch without scaling: drops RNS components down to
     /// `target_level`, leaving message and scale unchanged. Used to align
     /// ciphertext levels before additions.
@@ -643,16 +550,6 @@ impl<'a> Evaluator<'a> {
         // without recording — no work, no HOP).
         self.record(HeOpKind::ModSwitch, l, started);
         Ok(Ciphertext::new(polys, ct.scale()))
-    }
-
-    /// Deprecated spelling of [`mod_switch_to`](Evaluator::mod_switch_to).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `mod_switch_to`")]
-    pub fn try_mod_switch_to(
-        &mut self,
-        ct: &Ciphertext,
-        target_level: usize,
-    ) -> Result<Ciphertext, EvalError> {
-        self.mod_switch_to(ct, target_level)
     }
 
     /// Rotate (OP5 KeySwitch): left-rotates the slot vector by `steps`.
@@ -698,17 +595,6 @@ impl<'a> Evaluator<'a> {
 
         self.record(HeOpKind::Rotate, l, started);
         Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
-    }
-
-    /// Deprecated spelling of [`rotate`](Evaluator::rotate).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `rotate`")]
-    pub fn try_rotate(
-        &mut self,
-        ct: &Ciphertext,
-        steps: usize,
-        gks: &GaloisKeys,
-    ) -> Result<Ciphertext, EvalError> {
-        self.rotate(ct, steps, gks)
     }
 
     /// Shared Galois tail of Rotate and Conjugate: key-switches
@@ -773,16 +659,6 @@ impl<'a> Evaluator<'a> {
 
         self.record(HeOpKind::Conjugate, l, started);
         Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
-    }
-
-    /// Deprecated spelling of [`conjugate`](Evaluator::conjugate).
-    #[deprecated(since = "0.5.0", note = "fallible methods are the primary names: call `conjugate`")]
-    pub fn try_conjugate(
-        &mut self,
-        ct: &Ciphertext,
-        key: &KeySwitchKey,
-    ) -> Result<Ciphertext, EvalError> {
-        self.conjugate(ct, key)
     }
 
     /// Core hybrid key switch. `d` must be a coefficient-domain polynomial
@@ -1381,30 +1257,6 @@ mod tests {
         let out2 = dec.decrypt(&scaled);
         assert!((out2[0] - 12.5).abs() < 0.05, "{}", out2[0]);
         assert!((out2[1] + 2.5).abs() < 0.05, "{}", out2[1]);
-    }
-
-    /// The one allowlisted user of the deprecated `try_*` spellings:
-    /// they must stay exact delegates of the primary names. Everything
-    /// else in the workspace builds under `-D deprecated` (see CI).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_try_spellings_delegate_to_primaries() {
-        let (f, k) = Fixture::new(3);
-        let mut enc = Encryptor::new(&f.ctx, k.pk, StdRng::seed_from_u64(17));
-        let mut ev = Evaluator::new(&f.ctx);
-        let ca = enc.encrypt(&[1.0, 2.0]);
-        let cb = enc.encrypt(&[3.0, -1.0]);
-        assert_eq!(
-            ev.try_add(&ca, &cb).unwrap(),
-            ev.add(&ca, &cb).unwrap(),
-            "try_add must be a pure delegate"
-        );
-        let tri = ev.try_mul(&ca, &cb).unwrap();
-        assert_eq!(tri, ev.mul(&ca, &cb).unwrap());
-        let lin = ev.try_relinearize(&tri, &k.rk).unwrap();
-        assert_eq!(ev.try_rescale(&lin).unwrap(), ev.rescale(&lin).unwrap());
-        let err = ev.try_rotate(&ca, 3, &k.gks).unwrap_err();
-        assert!(err.to_string().contains("missing Galois key"), "{err}");
     }
 
     #[test]

@@ -59,7 +59,12 @@ pub use eval::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, RelinKey, SecretKey};
 pub use noise::NoiseEstimate;
 pub use params::{CkksParams, ParamsError};
-pub use serialize::DecodeError;
+pub use serialize::{
+    content_checksum, decode_galois_keys_checksummed, decode_public_key_checksummed,
+    decode_relin_key_checksummed, encode_galois_keys_checksummed,
+    encode_public_key_checksummed, encode_relin_key_checksummed, open_checksummed,
+    seal_checksummed, DecodeError,
+};
 pub use security::{estimate_security, SecurityLevel};
 pub use telemetry::{register_he_metrics, OpSpanLog};
 pub use trace::{HeOpKind, HeOpRecord, OpTrace};

@@ -42,6 +42,13 @@ pub enum DecodeError {
     Truncated,
     /// A decoded field had an invalid value (e.g. zero degree).
     InvalidField(&'static str),
+    /// A checksummed frame's content checksum did not match its payload.
+    ChecksumMismatch {
+        /// Checksum recorded in the frame.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -54,6 +61,10 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::Truncated => f.write_str("buffer truncated"),
             DecodeError::InvalidField(what) => write!(f, "invalid field: {what}"),
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "content checksum mismatch: frame says {stored:#018x}, payload hashes to {computed:#018x}"
+            ),
         }
     }
 }
@@ -320,6 +331,93 @@ pub fn decode_galois_keys(buf: &[u8]) -> Result<GaloisKeys, DecodeError> {
     Ok(GaloisKeys::from_map(keys))
 }
 
+/// FNV-1a 64-bit content checksum over a byte buffer.
+///
+/// Not cryptographic — the threat model is transport corruption and
+/// stale-cache bugs, not an adversary forging key material. A client
+/// that needs authenticity must sign the frame separately.
+pub fn content_checksum(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Wraps an encoded buffer in a checksummed frame: the payload followed
+/// by its 8-byte little-endian FNV-1a checksum. The inner v1 encoding is
+/// unchanged, so existing decoders keep reading unframed buffers.
+pub fn seal_checksummed(payload: Vec<u8>) -> Vec<u8> {
+    let sum = content_checksum(&payload);
+    let mut framed = payload;
+    framed.extend_from_slice(&sum.to_le_bytes());
+    framed
+}
+
+/// Opens a checksummed frame: verifies the trailing checksum and
+/// returns the payload slice.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] when the frame is too short to carry a
+/// checksum, [`DecodeError::ChecksumMismatch`] when the payload does not
+/// hash to the stored value.
+pub fn open_checksummed(buf: &[u8]) -> Result<&[u8], DecodeError> {
+    let split = buf.len().checked_sub(8).ok_or(DecodeError::Truncated)?;
+    let (payload, tail) = buf.split_at(split);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let computed = content_checksum(payload);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Serializes a relinearization key inside a checksummed frame.
+pub fn encode_relin_key_checksummed(rk: &RelinKey) -> Vec<u8> {
+    seal_checksummed(encode_relin_key(rk))
+}
+
+/// Deserializes a checksummed relinearization key frame.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on a checksum mismatch or malformed input.
+pub fn decode_relin_key_checksummed(buf: &[u8]) -> Result<RelinKey, DecodeError> {
+    decode_relin_key(open_checksummed(buf)?)
+}
+
+/// Serializes a set of Galois keys inside a checksummed frame.
+pub fn encode_galois_keys_checksummed(gks: &GaloisKeys) -> Vec<u8> {
+    seal_checksummed(encode_galois_keys(gks))
+}
+
+/// Deserializes a checksummed Galois key frame.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on a checksum mismatch or malformed input.
+pub fn decode_galois_keys_checksummed(buf: &[u8]) -> Result<GaloisKeys, DecodeError> {
+    decode_galois_keys(open_checksummed(buf)?)
+}
+
+/// Serializes a public key inside a checksummed frame.
+pub fn encode_public_key_checksummed(pk: &PublicKey) -> Vec<u8> {
+    seal_checksummed(encode_public_key(pk))
+}
+
+/// Deserializes a checksummed public key frame.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on a checksum mismatch or malformed input.
+pub fn decode_public_key_checksummed(buf: &[u8]) -> Result<PublicKey, DecodeError> {
+    decode_public_key(open_checksummed(buf)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +532,64 @@ mod tests {
         let mut bad = bytes.clone();
         bad.push(0);
         assert!(decode_ciphertext(&bad).is_err());
+    }
+
+    #[test]
+    fn checksummed_key_frames_roundtrip_and_catch_bit_flips() {
+        let ctx = ctx();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(9));
+        let rk = kg.relin_key();
+        let gks = kg.galois_keys(&[1]);
+        let pk = kg.public_key();
+
+        let frame = encode_relin_key_checksummed(&rk);
+        let back = decode_relin_key_checksummed(&frame).expect("intact frame");
+        ctx.validate_relin_key(&back).expect("valid key material");
+        assert!(decode_galois_keys_checksummed(&encode_galois_keys_checksummed(&gks)).is_ok());
+        assert!(decode_public_key_checksummed(&encode_public_key_checksummed(&pk)).is_ok());
+
+        // A single bit flip anywhere in the payload must be caught by
+        // the checksum, before structural decoding even runs.
+        for pos in [6usize, frame.len() / 2, frame.len() - 9] {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                matches!(
+                    decode_relin_key_checksummed(&bad).unwrap_err(),
+                    DecodeError::ChecksumMismatch { .. }
+                ),
+                "flip at {pos} must be a checksum mismatch"
+            );
+        }
+        // A flipped checksum byte is also a mismatch, and a frame too
+        // short to carry a checksum is Truncated.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(matches!(
+            decode_relin_key_checksummed(&bad).unwrap_err(),
+            DecodeError::ChecksumMismatch { .. }
+        ));
+        assert_eq!(open_checksummed(&frame[..4]).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn key_material_range_checks_catch_out_of_range_residues() {
+        let ctx = ctx();
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(10));
+        let rk = kg.relin_key();
+        ctx.validate_relin_key(&rk).expect("fresh keys are valid");
+        ctx.validate_galois_keys(&kg.galois_keys(&[1, 2]))
+            .expect("fresh keys are valid");
+
+        // Corrupt one residue word past its modulus: the checksummed
+        // frame catches it, and so does the range check if the frame
+        // layer is bypassed (decode the raw payload directly).
+        let mut corrupt = rk.clone();
+        let (b, _) = &mut corrupt.0.digits[0];
+        b.component_mut(0)[0] = u64::MAX;
+        let err = ctx.validate_relin_key(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("not reduced"), "{err}");
     }
 
     #[test]

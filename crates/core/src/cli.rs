@@ -7,7 +7,10 @@
 
 use crate::flow::generate_accelerator;
 use crate::report::{layer_table, module_table, summary};
-use crate::serve::{BatchDriver, DesignFlowService, InferenceRequest, ServeConfig};
+use crate::serve::{
+    BatchDriver, ChaosService, DesignFlowService, InferenceRequest, InferenceService, ModelCache,
+    ServeConfig,
+};
 use fxhenn_ckks::CkksParams;
 use fxhenn_hw::FpgaDevice;
 use fxhenn_nn::{fxhenn_cifar10, fxhenn_mnist, Network};
@@ -48,6 +51,16 @@ pub enum Command {
         /// Every n-th request gets a deliberately tight (1 ms)
         /// deadline; 0 disables the mix.
         tight_every: u64,
+        /// Spread requests round-robin across this many tenants
+        /// (tenant-0, tenant-1, …); 1 keeps the default tenant.
+        tenants: usize,
+        /// Worker evaluators in the pool.
+        workers: usize,
+        /// Serve against the deterministic chaos fault injector (over
+        /// real CKKS key material) instead of the design flow.
+        chaos: bool,
+        /// Seed for the chaos schedule and key generation.
+        seed: u64,
         /// Append a Prometheus text exposition of the global collector
         /// to the output.
         metrics: bool,
@@ -117,8 +130,8 @@ USAGE:
     fxhenn infer  [--seed <u64>] [--report <text|json>]
     fxhenn info   --model <mnist|cifar10>
     fxhenn serve  [--model <mnist|cifar10>] [--requests <n>] [--deadline-ms <ms>]
-                  [--queue <n>] [--tight-every <n>] [--metrics]
-                  [--metrics-port <port>]
+                  [--queue <n>] [--tight-every <n>] [--tenants <n>] [--workers <n>]
+                  [--chaos] [--seed <u64>] [--metrics] [--metrics-port <port>]
     fxhenn help
 ";
 
@@ -192,6 +205,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 deadline_ms: parse_flag(args, "--deadline-ms", 30_000)?,
                 queue: parse_flag(args, "--queue", 4)?,
                 tight_every: parse_flag(args, "--tight-every", 3)?,
+                tenants: parse_flag(args, "--tenants", 1)?,
+                workers: parse_flag(args, "--workers", 1)?,
+                chaos: args.iter().any(|a| a == "--chaos"),
+                seed: parse_flag(args, "--seed", 7)?,
                 metrics: args.iter().any(|a| a == "--metrics"),
                 metrics_port,
             })
@@ -309,6 +326,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             deadline_ms,
             queue,
             tight_every,
+            tenants,
+            workers,
+            chaos,
+            seed,
             metrics,
             metrics_port,
         } => {
@@ -323,36 +344,67 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
             let cfg = ServeConfig {
                 queue_capacity: (*queue).max(1),
+                worker_count: (*workers).max(1),
                 ..ServeConfig::default()
             };
-            let mut driver = BatchDriver::new(DesignFlowService::new(FpgaDevice::acu9eg()), cfg);
             let mut out = String::new();
-            for id in 0..*requests {
-                let tight = *tight_every != 0 && (id + 1) % *tight_every == 0;
-                let deadline = if tight {
-                    Duration::from_millis(1)
-                } else {
-                    Duration::from_millis(*deadline_ms)
-                };
-                let req = InferenceRequest {
-                    id,
-                    model: model.clone(),
-                    deadline,
-                };
-                if let Err(e) = driver.submit(req) {
-                    out.push_str(&format!("request {id}: rejected: {e}\n"));
-                }
+            if *chaos {
+                // Chaos mode: a shared, integrity-checked key cache
+                // feeds every worker; the injector rolls deterministic
+                // faults from --seed.
+                let mut cache = ModelCache::new();
+                cache.generate("chaos", CkksParams::insecure_toy(3), &[1, 2], *seed);
+                let cache = std::sync::Arc::new(cache);
+                let worker_seed = *seed;
+                let mut driver = BatchDriver::with_factory(
+                    cfg,
+                    Box::new(move || ChaosService::from_cache(&cache, "chaos", worker_seed)),
+                )
+                .map_err(|e| CliError::new("serve", e.to_string()))?;
+                run_serve_stream(
+                    &mut driver,
+                    *requests,
+                    *deadline_ms,
+                    *tight_every,
+                    *tenants,
+                    "chaos",
+                    &mut out,
+                    |_| "ok".to_string(),
+                );
+            } else if *workers > 1 {
+                let mut driver = BatchDriver::with_factory(
+                    cfg,
+                    Box::new(|| Ok(DesignFlowService::new(FpgaDevice::acu9eg()))),
+                )
+                .map_err(|e| CliError::new("serve", e.to_string()))?;
+                run_serve_stream(
+                    &mut driver,
+                    *requests,
+                    *deadline_ms,
+                    *tight_every,
+                    *tenants,
+                    model,
+                    &mut out,
+                    |report| {
+                        format!("ok, {:.3} s simulated inference latency", report.latency_s())
+                    },
+                );
+            } else {
+                let mut driver =
+                    BatchDriver::new(DesignFlowService::new(FpgaDevice::acu9eg()), cfg);
+                run_serve_stream(
+                    &mut driver,
+                    *requests,
+                    *deadline_ms,
+                    *tight_every,
+                    *tenants,
+                    model,
+                    &mut out,
+                    |report| {
+                        format!("ok, {:.3} s simulated inference latency", report.latency_s())
+                    },
+                );
             }
-            for (id, outcome) in driver.run_queue() {
-                match outcome {
-                    Ok(report) => out.push_str(&format!(
-                        "request {id}: ok, {:.3} s simulated inference latency\n",
-                        report.latency_s()
-                    )),
-                    Err(e) => out.push_str(&format!("request {id}: {e}\n")),
-                }
-            }
-            out.push_str(&format!("serve: {}\n", driver.report()));
             if *metrics || metrics_port.is_some() {
                 let exposition = fxhenn_obs::render_prometheus(fxhenn_obs::global());
                 if let Some(port) = metrics_port {
@@ -394,6 +446,44 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             ))
         }
     }
+}
+
+/// Submits `requests` requests (round-robin across `tenants` tenants,
+/// every `tight_every`-th with a deliberately tight 1 ms deadline),
+/// drains the queue and appends one line per outcome plus the report.
+#[allow(clippy::too_many_arguments)]
+fn run_serve_stream<S: InferenceService>(
+    driver: &mut BatchDriver<S>,
+    requests: u64,
+    deadline_ms: u64,
+    tight_every: u64,
+    tenants: usize,
+    model: &str,
+    out: &mut String,
+    render: impl Fn(&S::Output) -> String,
+) {
+    for id in 0..requests {
+        let tight = tight_every != 0 && (id + 1) % tight_every == 0;
+        let deadline = if tight {
+            Duration::from_millis(1)
+        } else {
+            Duration::from_millis(deadline_ms)
+        };
+        let mut req = InferenceRequest::new(id, model, deadline);
+        if tenants > 1 {
+            req = req.with_tenant(format!("tenant-{}", id % tenants as u64));
+        }
+        if let Err(e) = driver.submit(req) {
+            out.push_str(&format!("request {id}: rejected: {e}\n"));
+        }
+    }
+    for (id, outcome) in driver.run_queue() {
+        match outcome {
+            Ok(o) => out.push_str(&format!("request {id}: {}\n", render(&o))),
+            Err(e) => out.push_str(&format!("request {id}: {e}\n")),
+        }
+    }
+    out.push_str(&format!("serve: {}\n", driver.report()));
 }
 
 /// Serves exactly one HTTP scrape of `body` on `listener`, then
@@ -741,6 +831,10 @@ mod tests {
                 deadline_ms: 30_000,
                 queue: 4,
                 tight_every: 3,
+                tenants: 1,
+                workers: 1,
+                chaos: false,
+                seed: 7,
                 metrics: false,
                 metrics_port: None,
             }
@@ -758,6 +852,13 @@ mod tests {
                 "2",
                 "--tight-every",
                 "0",
+                "--tenants",
+                "3",
+                "--workers",
+                "2",
+                "--chaos",
+                "--seed",
+                "11",
                 "--metrics",
                 "--metrics-port",
                 "9464",
@@ -769,6 +870,10 @@ mod tests {
                 deadline_ms: 500,
                 queue: 2,
                 tight_every: 0,
+                tenants: 3,
+                workers: 2,
+                chaos: true,
+                seed: 11,
                 metrics: true,
                 metrics_port: Some(9464),
             }
@@ -817,6 +922,10 @@ mod tests {
             deadline_ms: 60_000,
             queue: 1,
             tight_every: 0,
+            tenants: 1,
+            workers: 1,
+            chaos: false,
+            seed: 7,
             metrics: false,
             metrics_port: None,
         })
@@ -837,6 +946,10 @@ mod tests {
             deadline_ms: 60_000,
             queue: 1,
             tight_every: 1,
+            tenants: 1,
+            workers: 1,
+            chaos: false,
+            seed: 7,
             metrics: false,
             metrics_port: None,
         })
@@ -854,6 +967,10 @@ mod tests {
             deadline_ms: 60_000,
             queue: 1,
             tight_every: 0,
+            tenants: 1,
+            workers: 1,
+            chaos: false,
+            seed: 7,
             metrics: true,
             metrics_port: None,
         })
@@ -861,11 +978,43 @@ mod tests {
         assert!(out.contains("# TYPE fxhenn_serve_shed_total counter"), "{out}");
         assert!(out.contains("# TYPE fxhenn_serve_queue_depth gauge"), "{out}");
         assert!(
+            out.contains("# TYPE fxhenn_serve_workers_healthy gauge"),
+            "{out}"
+        );
+        assert!(
+            out.contains("# TYPE fxhenn_serve_worker_quarantines_total counter"),
+            "{out}"
+        );
+        assert!(
             out.contains("# TYPE fxhenn_serve_service_time_ns histogram"),
             "{out}"
         );
         // Registration makes families this run never touched render too.
         assert!(out.contains("fxhenn_nn_layers_total"), "{out}");
+    }
+
+    #[test]
+    fn serve_chaos_mode_terminates_every_request_with_a_typed_outcome() {
+        let out = run(&Command::Serve {
+            model: "mnist".into(),
+            requests: 12,
+            deadline_ms: 10_000,
+            queue: 16,
+            tight_every: 0,
+            tenants: 3,
+            workers: 2,
+            chaos: true,
+            seed: 7,
+            metrics: false,
+            metrics_port: None,
+        })
+        .unwrap();
+        // Every request appears exactly once in the output with a
+        // typed line, and the report accounts for all twelve.
+        for id in 0..12 {
+            assert!(out.contains(&format!("request {id}: ")), "{out}");
+        }
+        assert!(out.contains("submitted=12"), "{out}");
     }
 
     #[test]

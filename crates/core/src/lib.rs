@@ -73,8 +73,10 @@ pub use fxhenn_sim as sim;
 pub use error::Error;
 pub use flow::{generate_accelerator, DesignReport, FlowError};
 pub use serve::{
-    BatchDriver, InferenceRequest, InferenceService, ServeConfig, ServeConfigBuilder, ServeError,
-    ServeReport,
+    analytic_service_estimate, AttemptError, BatchDriver, BreakerPhase, ChaosService,
+    CircuitBreaker, DesignFlowService, InferenceRequest, InferenceService, ModelCache,
+    ServeConfig, ServeConfigBuilder, ServeError, ServeReport, ServiceFactory, TenantId,
+    VerifiedModel, WeightedFairQueue,
 };
 pub use telemetry::register_serve_metrics;
 

@@ -1,15 +1,23 @@
-//! Deadline-aware batch serving: a bounded-queue driver over the FxHENN
-//! design flow.
+//! Supervised multi-tenant serving: a bounded-queue, deadline-aware
+//! driver over the FxHENN design flow with a worker pool, per-tenant
+//! admission control and fault isolation.
 //!
-//! A deployed accelerator serves many inference requests, each with its
-//! own latency budget. This module provides the software-side driver
-//! for that regime:
+//! A deployed accelerator serves many inference requests from many
+//! tenants, each with its own latency budget. This module provides the
+//! software-side driver for that regime:
 //!
 //! * **Admission control** — requests enter a bounded queue; when the
 //!   queue is full the driver *sheds load* with a typed
 //!   [`ServeError::Overloaded`] carrying a retry-after hint derived
-//!   from the measured (EWMA) service time, instead of letting latency
-//!   grow without bound.
+//!   from the measured (EWMA) service time — seeded, before any sample
+//!   exists, from the analytic cycle model's latency for the requested
+//!   model ([`analytic_service_estimate`]).
+//! * **Tenant quotas and fairness** — every request carries a
+//!   [`TenantId`]; a tenant may hold at most `tenant_quota` queued
+//!   requests ([`ServeError::QuotaExceeded`] past that), and dequeue is
+//!   weighted-fair (deficit round-robin over per-tenant lanes,
+//!   [`WeightedFairQueue`]) so one flooding tenant cannot starve the
+//!   others.
 //! * **Per-request deadlines** — every dispatched request runs under an
 //!   ambient [`Budget`], so the whole pipeline (evaluator ops, layers,
 //!   DSE points, simulated trace records) stops cooperatively at the
@@ -17,35 +25,110 @@
 //! * **Retry with backoff** — transiently-failed attempts are retried
 //!   with capped exponential backoff plus deterministic jitter, never
 //!   past the request's own deadline.
-//! * **Circuit breaker** — consecutive failures against one model trip
-//!   a per-model breaker (closed → open → half-open), so a poisoned
-//!   model stops consuming queue slots until a cooldown elapses.
-//! * **Graceful degradation** — consecutive deadline slips switch the
-//!   driver to [`Parallelism::Serial`], trading throughput for the
-//!   predictable latency of the unthreaded path.
+//! * **Per-tenant circuit breakers** — consecutive failures against one
+//!   `(tenant, model)` pair trip that pair's [`CircuitBreaker`]
+//!   (closed → open → half-open), so a poisoned model stops consuming
+//!   queue slots until a cooldown elapses — without bleeding into other
+//!   tenants running the same model.
+//! * **Worker supervision** — the driver owns a pool of worker
+//!   evaluators. Failures add penalty points to the worker that served
+//!   them (permanent faults weigh double; deadline slips are the
+//!   request's fault, not the worker's). A worker whose penalty crosses
+//!   `quarantine_threshold` is quarantined and rebuilt from the service
+//!   factory — which typically re-verifies key material against a
+//!   shared [`ModelCache`] — and re-enters rotation only when the
+//!   rebuild succeeds.
+//! * **Graceful degradation and drain** — consecutive deadline slips
+//!   switch the driver to [`Parallelism::Serial`], trading throughput
+//!   for the predictable latency of the unthreaded path; and
+//!   [`BatchDriver::drain`] closes admission ([`ServeError::Draining`])
+//!   while already-queued requests run to completion.
 //!
 //! The driver is synchronous and single-threaded by design: requests
 //! are admitted with [`BatchDriver::submit`] and drained with
-//! [`BatchDriver::run_queue`]. Cancellation from outside (shutdown,
-//! operator abort) rides the driver's [`CancelToken`], which is
-//! attached to every dispatched budget.
+//! [`BatchDriver::run_queue`]. Hard cancellation from outside
+//! (operator abort) rides the driver's [`CancelToken`], which is
+//! attached to every dispatched budget; [`ChaosService`] provides the
+//! deterministic fault injector behind `fxhenn serve --chaos` and the
+//! chaos-soak harness.
 
 use crate::flow::{generate_accelerator, DesignReport, FlowError};
-use crate::telemetry::serve_metrics;
-use fxhenn_ckks::CkksParams;
+use crate::telemetry::{serve_metrics, tenant_metrics, TenantMetrics};
+use fxhenn_ckks::serialize::{decode_ciphertext, encode_ciphertext};
+use fxhenn_ckks::{
+    decode_galois_keys_checksummed, decode_public_key_checksummed, decode_relin_key_checksummed,
+    encode_galois_keys_checksummed, encode_public_key_checksummed, encode_relin_key_checksummed,
+    Ciphertext, CkksContext, CkksParams, Encryptor, GaloisKeys, KeyGenerator, PublicKey, RelinKey,
+};
+use fxhenn_hw::modules::{HeOpModule, ModuleConfig, OpClass};
 use fxhenn_hw::FpgaDevice;
 use fxhenn_math::budget::{self, Budget, BudgetStop, CancelToken, Progress, StopCause};
 use fxhenn_math::par::{self, Parallelism};
-use fxhenn_nn::{fxhenn_cifar10, fxhenn_mnist, Network};
+use fxhenn_nn::{fxhenn_cifar10, fxhenn_mnist, try_lower_network, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The tenant a request is billed to. Quotas, fairness lanes and
+/// circuit breakers are all scoped by tenant; the default tenant is
+/// `"default"` for single-tenant deployments that never mention one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// A tenant identifier from any string-like name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The tenant name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        Self("default".to_string())
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(name: &str) -> Self {
+        Self::new(name)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
 
 /// Tuning knobs for the [`BatchDriver`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Requests the admission queue holds before shedding load.
     pub queue_capacity: usize,
+    /// Queued requests one tenant may hold before further submissions
+    /// are rejected with [`ServeError::QuotaExceeded`].
+    pub tenant_quota: usize,
+    /// Worker evaluators in the pool (used by
+    /// [`BatchDriver::with_factory`]; [`BatchDriver::new`] always runs
+    /// one worker).
+    pub worker_count: usize,
+    /// Penalty points (transient failure = 1, permanent = 2; a success
+    /// repays 1) at which a worker is quarantined and rebuilt.
+    pub quarantine_threshold: u32,
     /// Retries granted to a transiently-failed request (attempts are
     /// `max_retries + 1` in total).
     pub max_retries: u32,
@@ -53,7 +136,8 @@ pub struct ServeConfig {
     pub base_backoff: Duration,
     /// Ceiling on any single backoff sleep.
     pub max_backoff: Duration,
-    /// Consecutive failures on one model that trip its breaker.
+    /// Consecutive failures on one `(tenant, model)` pair that trip its
+    /// breaker.
     pub breaker_threshold: u32,
     /// How long a tripped breaker stays open before one probe request
     /// is admitted (half-open).
@@ -62,7 +146,8 @@ pub struct ServeConfig {
     /// [`Parallelism::Serial`].
     pub slip_threshold: u32,
     /// Seed for the EWMA service-time estimate (used in retry-after
-    /// hints before any request has completed).
+    /// hints before any request has completed, when the analytic model
+    /// has no entry for the requested network).
     pub service_time_hint: Duration,
 }
 
@@ -70,6 +155,9 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             queue_capacity: 16,
+            tenant_quota: 8,
+            worker_count: 1,
+            quarantine_threshold: 3,
             max_retries: 3,
             base_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(100),
@@ -109,6 +197,25 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the per-tenant queued-request quota (must be at least 1).
+    pub fn tenant_quota(mut self, n: usize) -> Self {
+        self.cfg.tenant_quota = n;
+        self
+    }
+
+    /// Sets the worker-pool size (must be at least 1).
+    pub fn worker_count(mut self, n: usize) -> Self {
+        self.cfg.worker_count = n;
+        self
+    }
+
+    /// Sets the penalty-point threshold that quarantines a worker
+    /// (must be at least 1).
+    pub fn quarantine_threshold(mut self, n: u32) -> Self {
+        self.cfg.quarantine_threshold = n;
+        self
+    }
+
     /// Sets the retry allowance for transient failures.
     pub fn max_retries(mut self, n: u32) -> Self {
         self.cfg.max_retries = n;
@@ -127,8 +234,8 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Sets the consecutive-failure count that trips a model's breaker
-    /// (must be at least 1).
+    /// Sets the consecutive-failure count that trips a breaker (must be
+    /// at least 1).
     pub fn breaker_threshold(mut self, n: u32) -> Self {
         self.cfg.breaker_threshold = n;
         self
@@ -160,14 +267,24 @@ impl ServeConfigBuilder {
     /// # Errors
     ///
     /// [`ServeError::InvalidConfig`] naming the offending field when
-    /// `queue_capacity`, `breaker_threshold` or `slip_threshold` is
-    /// zero, when `base_backoff` exceeds `max_backoff`, or when
+    /// `queue_capacity`, `tenant_quota`, `worker_count`,
+    /// `quarantine_threshold`, `breaker_threshold` or `slip_threshold`
+    /// is zero, when `base_backoff` exceeds `max_backoff`, or when
     /// `service_time_hint` is zero.
     pub fn build(self) -> Result<ServeConfig, ServeError> {
         let invalid = |message: String| Err(ServeError::InvalidConfig { message });
         let c = &self.cfg;
         if c.queue_capacity == 0 {
             return invalid("queue_capacity must be at least 1".into());
+        }
+        if c.tenant_quota == 0 {
+            return invalid("tenant_quota must be at least 1".into());
+        }
+        if c.worker_count == 0 {
+            return invalid("worker_count must be at least 1".into());
+        }
+        if c.quarantine_threshold == 0 {
+            return invalid("quarantine_threshold must be at least 1".into());
         }
         if c.breaker_threshold == 0 {
             return invalid("breaker_threshold must be at least 1".into());
@@ -188,16 +305,37 @@ impl ServeConfigBuilder {
     }
 }
 
-/// One inference request: an identifier, the model it targets and the
-/// wall-clock budget it must finish within.
+/// One inference request: an identifier, the tenant it bills to, the
+/// model it targets and the wall-clock budget it must finish within.
 #[derive(Debug, Clone)]
 pub struct InferenceRequest {
     /// Caller-chosen identifier (also seeds the backoff jitter).
     pub id: u64,
-    /// Model name the request targets (breakers are per-model).
+    /// The tenant this request bills to (quotas, fairness lanes and
+    /// breakers are tenant-scoped).
+    pub tenant: TenantId,
+    /// Model name the request targets.
     pub model: String,
     /// Wall-clock deadline measured from dispatch.
     pub deadline: Duration,
+}
+
+impl InferenceRequest {
+    /// A request under the default tenant.
+    pub fn new(id: u64, model: impl Into<String>, deadline: Duration) -> Self {
+        Self {
+            id,
+            tenant: TenantId::default(),
+            model: model.into(),
+            deadline,
+        }
+    }
+
+    /// Rebills the request to `tenant`.
+    pub fn with_tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
 }
 
 /// Why a request was rejected or failed to complete.
@@ -210,11 +348,24 @@ pub enum ServeError {
         /// The queue's capacity.
         capacity: usize,
         /// Estimated wait until a slot frees (queue depth × EWMA
-        /// service time).
+        /// service time, analytically seeded before the first sample).
         retry_after: Duration,
     },
-    /// The model's circuit breaker is open; retry after the cooldown.
+    /// The tenant already holds its quota of queued requests.
+    QuotaExceeded {
+        /// The tenant at quota.
+        tenant: TenantId,
+        /// Requests the tenant holds in the queue.
+        in_queue: usize,
+        /// The per-tenant quota.
+        quota: usize,
+        /// Estimated wait until the tenant's backlog drains.
+        retry_after: Duration,
+    },
+    /// The `(tenant, model)` breaker is open; retry after the cooldown.
     CircuitOpen {
+        /// The tenant whose breaker tripped.
+        tenant: TenantId,
         /// The model whose breaker tripped.
         model: String,
         /// Consecutive failures that tripped it.
@@ -222,6 +373,9 @@ pub enum ServeError {
         /// Remaining cooldown before a probe is admitted.
         retry_after: Duration,
     },
+    /// The driver is draining toward shutdown and admits no new
+    /// requests (already-queued requests still run).
+    Draining,
     /// The request's deadline expired (or the driver was cancelled)
     /// while the pipeline was running; the stop carries phase and
     /// progress.
@@ -253,15 +407,29 @@ impl fmt::Display for ServeError {
                 "overloaded: queue holds {queue_depth}/{capacity} requests, \
                  retry after {retry_after:?}"
             ),
+            ServeError::QuotaExceeded {
+                tenant,
+                in_queue,
+                quota,
+                retry_after,
+            } => write!(
+                f,
+                "tenant quota exceeded: {tenant} holds {in_queue}/{quota} queued \
+                 requests, retry after {retry_after:?}"
+            ),
             ServeError::CircuitOpen {
+                tenant,
                 model,
                 consecutive_failures,
                 retry_after,
             } => write!(
                 f,
-                "circuit open for model {model} after {consecutive_failures} \
-                 consecutive failures, retry after {retry_after:?}"
+                "circuit open for tenant {tenant} model {model} after \
+                 {consecutive_failures} consecutive failures, retry after {retry_after:?}"
             ),
+            ServeError::Draining => {
+                f.write_str("draining: the server is shutting down and admits no new requests")
+            }
             ServeError::Cancelled(stop) => write!(f, "request stopped: {stop}"),
             ServeError::Failed { attempts, message } => {
                 write!(f, "failed after {attempts} attempts: {message}")
@@ -295,17 +463,20 @@ impl From<BudgetStop> for ServeError {
 }
 
 /// How one backend attempt failed — the classification drives the
-/// driver's retry/breaker policy.
+/// driver's retry/breaker/supervision policy.
 #[derive(Clone, PartialEq)]
 pub enum AttemptError {
     /// The budget stopped the attempt: counted as a deadline slip,
-    /// never retried (the deadline is already gone).
+    /// never retried (the deadline is already gone) and never held
+    /// against the worker.
     Cancelled(BudgetStop),
     /// A transient fault (contention, resource blip): retried with
-    /// backoff while deadline remains.
+    /// backoff while deadline remains; one penalty point for the
+    /// worker.
     Transient(String),
-    /// A deterministic failure (infeasible model, bad parameters):
-    /// never retried, counts toward the model's breaker.
+    /// A deterministic failure (infeasible model, bad parameters,
+    /// corrupt input): never retried, counts toward the tenant's
+    /// breaker and adds two penalty points to the worker.
     Permanent(String),
 }
 
@@ -353,7 +524,7 @@ pub struct ServeReport {
     pub completed: u64,
     /// Requests shed at admission (queue full).
     pub shed: u64,
-    /// Requests rejected because the model's breaker was open.
+    /// Requests rejected because a `(tenant, model)` breaker was open.
     pub rejected_open: u64,
     /// Retry attempts made (not counting first tries).
     pub retries: u64,
@@ -365,6 +536,14 @@ pub struct ServeReport {
     pub failed: u64,
     /// True once the driver degraded to serial execution.
     pub degraded: bool,
+    /// Requests rejected because their tenant was at quota.
+    pub quota_rejected: u64,
+    /// Requests rejected because the driver was draining.
+    pub rejected_draining: u64,
+    /// Times a worker was quarantined by the supervisor.
+    pub quarantines: u64,
+    /// Times a quarantined worker was rebuilt and returned to rotation.
+    pub worker_recoveries: u64,
 }
 
 impl fmt::Display for ServeReport {
@@ -372,7 +551,8 @@ impl fmt::Display for ServeReport {
         write!(
             f,
             "submitted={} completed={} shed={} rejected_open={} retries={} \
-             breaker_trips={} cancelled={} failed={} degraded={}",
+             breaker_trips={} cancelled={} failed={} degraded={} quota_rejected={} \
+             rejected_draining={} quarantines={} worker_recoveries={}",
             self.submitted,
             self.completed,
             self.shed,
@@ -381,35 +561,266 @@ impl fmt::Display for ServeReport {
             self.breaker_trips,
             self.cancelled,
             self.failed,
-            self.degraded
+            self.degraded,
+            self.quota_rejected,
+            self.rejected_draining,
+            self.quarantines,
+            self.worker_recoveries
         )
     }
 }
 
-#[derive(Debug, Clone)]
-enum BreakerState {
+/// Where a [`CircuitBreaker`] is in its closed → open → half-open
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Admitting normally.
     Closed,
-    Open { since: Instant },
+    /// Rejecting until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; one probe at a time is admitted.
     HalfOpen,
 }
 
+/// A clock-injected circuit breaker over one `(tenant, model)` pair.
+///
+/// All transitions take the current time as a parameter
+/// ([`admit_at`](Self::admit_at), [`record_failure_at`](Self::record_failure_at)),
+/// so tests — including the property tests over the state machine —
+/// drive it with a fabricated clock and never sleep.
 #[derive(Debug, Clone)]
-struct Breaker {
-    state: BreakerState,
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    phase: BreakerPhase,
+    opened_at: Option<Instant>,
     consecutive_failures: u32,
+    probe_outstanding: bool,
+    probes: u64,
+    trips: u64,
 }
 
-impl Breaker {
-    fn new() -> Self {
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (clamped to at least 1) and cooling down for `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
         Self {
-            state: BreakerState::Closed,
+            threshold: threshold.max(1),
+            cooldown,
+            phase: BreakerPhase::Closed,
+            opened_at: None,
             consecutive_failures: 0,
+            probe_outstanding: false,
+            probes: 0,
+            trips: 0,
         }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> BreakerPhase {
+        self.phase
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Half-open probes admitted across the breaker's lifetime.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Times the breaker tripped open across its lifetime.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Decides admission at time `now`.
+    ///
+    /// Closed admits; open rejects until the cooldown elapses, then
+    /// transitions to half-open and admits one probe; half-open rejects
+    /// while that probe is outstanding.
+    ///
+    /// # Errors
+    ///
+    /// The remaining cooldown to wait before retrying.
+    pub fn admit_at(&mut self, now: Instant) -> Result<(), Duration> {
+        match self.phase {
+            BreakerPhase::Closed => Ok(()),
+            BreakerPhase::Open => {
+                let since = self.opened_at.unwrap_or(now);
+                let elapsed = now.saturating_duration_since(since);
+                if elapsed < self.cooldown {
+                    Err(self.cooldown - elapsed)
+                } else {
+                    self.phase = BreakerPhase::HalfOpen;
+                    self.probe_outstanding = true;
+                    self.probes += 1;
+                    Ok(())
+                }
+            }
+            BreakerPhase::HalfOpen => {
+                if self.probe_outstanding {
+                    Err(self.cooldown)
+                } else {
+                    self.probe_outstanding = true;
+                    self.probes += 1;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Records a successful attempt; any phase returns to closed.
+    /// Returns `true` when this was a phase change (a closing probe).
+    pub fn record_success(&mut self) -> bool {
+        let was_open = self.phase != BreakerPhase::Closed;
+        self.phase = BreakerPhase::Closed;
+        self.opened_at = None;
+        self.consecutive_failures = 0;
+        self.probe_outstanding = false;
+        was_open
+    }
+
+    /// Records a failed attempt at time `now`. A closed breaker trips
+    /// at `threshold` consecutive failures; a half-open probe failure
+    /// re-opens immediately. Returns `true` when the breaker tripped.
+    pub fn record_failure_at(&mut self, now: Instant) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.probe_outstanding = false;
+        let trip = match self.phase {
+            BreakerPhase::HalfOpen => true,
+            BreakerPhase::Closed => self.consecutive_failures >= self.threshold,
+            BreakerPhase::Open => false,
+        };
+        if trip {
+            self.phase = BreakerPhase::Open;
+            self.opened_at = Some(now);
+            self.trips += 1;
+        }
+        trip
+    }
+}
+
+/// A deficit round-robin queue over per-tenant lanes: each backlogged
+/// tenant receives `weight` dequeues per rotation, so no tenant starves
+/// no matter how another floods its lane. FIFO order holds within a
+/// lane.
+pub struct WeightedFairQueue<T> {
+    lanes: Vec<Lane<T>>,
+    index: HashMap<TenantId, usize>,
+    cursor: usize,
+    len: usize,
+}
+
+struct Lane<T> {
+    tenant: TenantId,
+    weight: u32,
+    deficit: u32,
+    items: VecDeque<T>,
+}
+
+impl<T> WeightedFairQueue<T> {
+    /// An empty queue; lanes appear on first push (weight 1 unless
+    /// [`set_weight`](Self::set_weight) said otherwise).
+    pub fn new() -> Self {
+        Self {
+            lanes: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Total queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Items the given tenant holds in its lane.
+    pub fn depth_of(&self, tenant: &TenantId) -> usize {
+        self.index
+            .get(tenant)
+            .map_or(0, |&i| self.lanes[i].items.len())
+    }
+
+    /// Sets the tenant's fairness weight — dequeues per rotation while
+    /// backlogged — clamped to at least 1. Creates the lane if absent.
+    pub fn set_weight(&mut self, tenant: &TenantId, weight: u32) {
+        let i = self.lane_of(tenant);
+        self.lanes[i].weight = weight.max(1);
+    }
+
+    /// Enqueues `item` onto the tenant's lane.
+    pub fn push(&mut self, tenant: TenantId, item: T) {
+        let i = self.lane_of(&tenant);
+        self.lanes[i].items.push_back(item);
+        self.len += 1;
+    }
+
+    /// Dequeues the next item under deficit round-robin.
+    pub fn pop(&mut self) -> Option<(TenantId, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.lanes.len();
+        loop {
+            let lane = &mut self.lanes[self.cursor];
+            if lane.items.is_empty() {
+                // An idle lane banks no credit: its deficit resets so a
+                // returning tenant cannot burst past its weight.
+                lane.deficit = 0;
+                self.cursor = (self.cursor + 1) % n;
+                continue;
+            }
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight;
+            }
+            let item = lane.items.pop_front()?;
+            lane.deficit -= 1;
+            self.len -= 1;
+            let tenant = lane.tenant.clone();
+            if lane.deficit == 0 || lane.items.is_empty() {
+                if lane.items.is_empty() {
+                    lane.deficit = 0;
+                }
+                self.cursor = (self.cursor + 1) % n;
+            }
+            return Some((tenant, item));
+        }
+    }
+
+    fn lane_of(&mut self, tenant: &TenantId) -> usize {
+        if let Some(&i) = self.index.get(tenant) {
+            return i;
+        }
+        let i = self.lanes.len();
+        self.lanes.push(Lane {
+            tenant: tenant.clone(),
+            weight: 1,
+            deficit: 0,
+            items: VecDeque::new(),
+        });
+        self.index.insert(tenant.clone(), i);
+        i
+    }
+}
+
+impl<T> Default for WeightedFairQueue<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 /// SplitMix64: a tiny deterministic mixer seeding the backoff jitter
-/// from `(request id, attempt)` so retry schedules reproduce exactly.
+/// from `(request id, attempt)` — and the [`ChaosService`] fault
+/// schedule — so runs reproduce exactly.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -417,14 +828,44 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The bounded-queue, deadline-aware batch driver.
-pub struct BatchDriver<S: InferenceService> {
+/// One worker evaluator in the pool, with the supervisor's health
+/// bookkeeping.
+struct Worker<S> {
     service: S,
+    penalty: u32,
+    quarantined: bool,
+    served: u64,
+}
+
+impl<S> Worker<S> {
+    fn new(service: S) -> Self {
+        Self {
+            service,
+            penalty: 0,
+            quarantined: false,
+            served: 0,
+        }
+    }
+}
+
+/// Builds a fresh worker service — the supervisor calls this to rebuild
+/// a quarantined worker. Returning `Err` keeps the worker quarantined
+/// (the next selection pass retries).
+pub type ServiceFactory<S> = Box<dyn FnMut() -> Result<S, String>>;
+
+/// The bounded-queue, deadline-aware, multi-tenant batch driver.
+pub struct BatchDriver<S: InferenceService> {
+    workers: Vec<Worker<S>>,
+    factory: Option<ServiceFactory<S>>,
+    next_worker: usize,
     cfg: ServeConfig,
-    queue: VecDeque<InferenceRequest>,
-    breakers: HashMap<String, Breaker>,
+    queue: WeightedFairQueue<InferenceRequest>,
+    breakers: HashMap<TenantId, HashMap<String, CircuitBreaker>>,
+    tenant_stats: HashMap<TenantId, TenantMetrics>,
     /// EWMA of successful-attempt service time, in nanoseconds.
     ewma_nanos: f64,
+    /// Completed requests feeding the EWMA (0 = still on the hint).
+    ewma_samples: u64,
     consecutive_slips: u32,
     mode: Parallelism,
     shutdown: CancelToken,
@@ -432,20 +873,61 @@ pub struct BatchDriver<S: InferenceService> {
 }
 
 impl<S: InferenceService> BatchDriver<S> {
-    /// A driver over `service` with the given configuration.
+    /// A single-worker driver over `service` with the given
+    /// configuration (no factory: a quarantined worker is reset in
+    /// place rather than rebuilt).
     pub fn new(service: S, cfg: ServeConfig) -> Self {
+        Self::assemble(vec![Worker::new(service)], None, cfg)
+    }
+
+    /// A pool of `cfg.worker_count` workers, each built by `factory` —
+    /// typically from a shared, integrity-checked [`ModelCache`]. The
+    /// factory is retained to rebuild quarantined workers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Failed`] when the factory cannot build the initial
+    /// pool.
+    pub fn with_factory(cfg: ServeConfig, mut factory: ServiceFactory<S>) -> Result<Self, ServeError> {
+        let count = cfg.worker_count.max(1);
+        let mut workers = Vec::with_capacity(count);
+        for i in 0..count {
+            match factory() {
+                Ok(service) => workers.push(Worker::new(service)),
+                Err(message) => {
+                    return Err(ServeError::Failed {
+                        attempts: 1,
+                        message: format!("worker {i} construction failed: {message}"),
+                    })
+                }
+            }
+        }
+        Ok(Self::assemble(workers, Some(factory), cfg))
+    }
+
+    fn assemble(
+        workers: Vec<Worker<S>>,
+        factory: Option<ServiceFactory<S>>,
+        cfg: ServeConfig,
+    ) -> Self {
         let ewma_nanos = cfg.service_time_hint.as_nanos() as f64;
-        Self {
-            service,
+        let driver = Self {
+            workers,
+            factory,
+            next_worker: 0,
             cfg,
-            queue: VecDeque::new(),
+            queue: WeightedFairQueue::new(),
             breakers: HashMap::new(),
+            tenant_stats: HashMap::new(),
             ewma_nanos,
+            ewma_samples: 0,
             consecutive_slips: 0,
             mode: Parallelism::Auto,
             shutdown: CancelToken::new(),
             report: ServeReport::default(),
-        }
+        };
+        driver.publish_worker_gauges();
+        driver
     }
 
     /// Requests currently waiting in the queue.
@@ -458,6 +940,21 @@ impl<S: InferenceService> BatchDriver<S> {
         &self.report
     }
 
+    /// Workers in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Workers currently in rotation.
+    pub fn healthy_workers(&self) -> usize {
+        self.workers.len() - self.quarantined_workers()
+    }
+
+    /// Workers currently quarantined.
+    pub fn quarantined_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.quarantined).count()
+    }
+
     /// The parallelism mode requests currently dispatch under
     /// ([`Parallelism::Serial`] once the driver has degraded).
     pub fn mode(&self) -> Parallelism {
@@ -465,9 +962,27 @@ impl<S: InferenceService> BatchDriver<S> {
     }
 
     /// A handle that cancels every in-flight and future request when
-    /// triggered (shutdown / operator abort).
+    /// triggered (operator abort).
     pub fn shutdown_token(&self) -> CancelToken {
         self.shutdown.clone()
+    }
+
+    /// Starts a graceful drain: admission closes
+    /// ([`ServeError::Draining`]) while already-queued requests run to
+    /// completion under their own deadlines.
+    pub fn drain(&mut self) {
+        self.shutdown.request_drain();
+    }
+
+    /// Whether the driver is draining (or hard-cancelled).
+    pub fn is_draining(&self) -> bool {
+        self.shutdown.is_draining()
+    }
+
+    /// Sets a tenant's fairness weight: dequeues per round-robin
+    /// rotation while backlogged (default 1, clamped to at least 1).
+    pub fn set_tenant_weight(&mut self, tenant: &TenantId, weight: u32) {
+        self.queue.set_weight(tenant, weight);
     }
 
     /// The current EWMA service-time estimate.
@@ -475,67 +990,112 @@ impl<S: InferenceService> BatchDriver<S> {
         Duration::from_nanos(self.ewma_nanos as u64)
     }
 
-    /// Admits `req` into the queue, shedding load when the queue is
-    /// full or the model's breaker is open.
+    /// The estimate used in retry-after hints for `model`: the EWMA
+    /// once a sample exists, else the analytic cycle-model latency,
+    /// else the configured hint.
+    fn service_time_estimate_for(&self, model: &str) -> Duration {
+        if self.ewma_samples == 0 {
+            if let Some(analytic) = analytic_service_estimate(model) {
+                return analytic;
+            }
+        }
+        self.service_time_estimate()
+    }
+
+    /// Admits `req` into its tenant's lane, shedding load when the
+    /// driver is draining, the `(tenant, model)` breaker is open, the
+    /// tenant is at quota, or the queue is full.
     ///
     /// # Errors
     ///
-    /// [`ServeError::CircuitOpen`] while the model's breaker cools
-    /// down, [`ServeError::Overloaded`] when the queue is at capacity —
-    /// both carry a retry-after hint.
+    /// [`ServeError::Draining`] after [`drain`](Self::drain);
+    /// [`ServeError::CircuitOpen`] while the pair's breaker cools down;
+    /// [`ServeError::QuotaExceeded`] when the tenant holds
+    /// `tenant_quota` queued requests; [`ServeError::Overloaded`] when
+    /// the queue is at capacity — the latter three carry a retry-after
+    /// hint.
     pub fn submit(&mut self, req: InferenceRequest) -> Result<(), ServeError> {
-        if let Some(rejection) = self.breaker_rejection(&req.model) {
+        if self.shutdown.is_draining() {
+            self.report.rejected_draining += 1;
+            serve_metrics().rejected_draining.inc();
+            return Err(ServeError::Draining);
+        }
+        if let Some(rejection) = self.breaker_rejection(&req.tenant, &req.model) {
             self.report.rejected_open += 1;
             serve_metrics().rejected_open.inc();
+            self.tenant_stats(&req.tenant).rejected.inc();
             return Err(rejection);
+        }
+        let held = self.queue.depth_of(&req.tenant);
+        if held >= self.cfg.tenant_quota {
+            self.report.quota_rejected += 1;
+            serve_metrics().quota_rejected.inc();
+            self.tenant_stats(&req.tenant).rejected.inc();
+            return Err(ServeError::QuotaExceeded {
+                tenant: req.tenant.clone(),
+                in_queue: held,
+                quota: self.cfg.tenant_quota,
+                retry_after: self
+                    .service_time_estimate_for(&req.model)
+                    .saturating_mul(held.min(u32::MAX as usize) as u32),
+            });
         }
         if self.queue.len() >= self.cfg.queue_capacity {
             self.report.shed += 1;
             serve_metrics().shed.inc();
+            self.tenant_stats(&req.tenant).rejected.inc();
             let queue_depth = self.queue.len();
             return Err(ServeError::Overloaded {
                 queue_depth,
                 capacity: self.cfg.queue_capacity,
                 retry_after: self
-                    .service_time_estimate()
+                    .service_time_estimate_for(&req.model)
                     .saturating_mul(queue_depth.min(u32::MAX as usize) as u32),
             });
         }
-        self.queue.push_back(req);
         self.report.submitted += 1;
         serve_metrics().submitted.inc();
+        self.tenant_stats(&req.tenant).submitted.inc();
+        self.queue.push(req.tenant.clone(), req);
         serve_metrics()
             .queue_depth
             .set(self.queue.len().min(i64::MAX as usize) as i64);
         Ok(())
     }
 
-    /// If the model's breaker is open and still cooling down, the
-    /// rejection to return; transitions open → half-open once the
-    /// cooldown has elapsed.
-    fn breaker_rejection(&mut self, model: &str) -> Option<ServeError> {
-        let cooldown = self.cfg.breaker_cooldown;
-        let breaker = self.breakers.get_mut(model)?;
-        if let BreakerState::Open { since } = breaker.state {
-            let elapsed = since.elapsed();
-            if elapsed < cooldown {
-                return Some(ServeError::CircuitOpen {
-                    model: model.to_string(),
-                    consecutive_failures: breaker.consecutive_failures,
-                    retry_after: cooldown - elapsed,
-                });
-            }
-            breaker.state = BreakerState::HalfOpen;
-            serve_metrics().breaker_to_half_open.inc();
-        }
-        None
+    fn tenant_stats(&mut self, tenant: &TenantId) -> &TenantMetrics {
+        self.tenant_stats
+            .entry(tenant.clone())
+            .or_insert_with(|| tenant_metrics(tenant.as_str()))
     }
 
-    /// Drains the queue, serving each request in admission order.
+    /// If the pair's breaker rejects admission at this instant, the
+    /// rejection to return; transitions open → half-open (admitting one
+    /// probe) once the cooldown has elapsed.
+    fn breaker_rejection(&mut self, tenant: &TenantId, model: &str) -> Option<ServeError> {
+        let breaker = self.breakers.get_mut(tenant)?.get_mut(model)?;
+        let before = breaker.phase();
+        match breaker.admit_at(Instant::now()) {
+            Ok(()) => {
+                if before == BreakerPhase::Open && breaker.phase() == BreakerPhase::HalfOpen {
+                    serve_metrics().breaker_to_half_open.inc();
+                }
+                None
+            }
+            Err(retry_after) => Some(ServeError::CircuitOpen {
+                tenant: tenant.clone(),
+                model: model.to_string(),
+                consecutive_failures: breaker.consecutive_failures(),
+                retry_after,
+            }),
+        }
+    }
+
+    /// Drains the queue, serving requests in weighted-fair order.
     /// Returns `(id, outcome)` per request.
     pub fn run_queue(&mut self) -> Vec<(u64, Result<S::Output, ServeError>)> {
         let mut outcomes = Vec::with_capacity(self.queue.len());
-        while let Some(req) = self.queue.pop_front() {
+        while let Some((_tenant, req)) = self.queue.pop() {
             serve_metrics()
                 .queue_depth
                 .set(self.queue.len().min(i64::MAX as usize) as i64);
@@ -545,8 +1105,10 @@ impl<S: InferenceService> BatchDriver<S> {
         outcomes
     }
 
-    /// Serves one request: dispatch under its deadline, retry
-    /// transient failures with capped backoff, account the outcome.
+    /// Serves one request: pick a healthy worker, dispatch under the
+    /// deadline, retry transient failures with capped backoff, account
+    /// the outcome against the tenant's breaker and the worker's
+    /// health.
     fn serve_one(&mut self, req: &InferenceRequest) -> Result<S::Output, ServeError> {
         let accepted = Instant::now();
         let mut attempt: u32 = 0;
@@ -564,22 +1126,35 @@ impl<S: InferenceService> BatchDriver<S> {
                     progress: Progress::done(u64::from(attempt)),
                 }));
             }
+            let Some(widx) = self.select_worker() else {
+                self.report.failed += 1;
+                serve_metrics().failed.inc();
+                return Err(ServeError::Failed {
+                    attempts: attempt + 1,
+                    message: "no healthy worker available (pool quarantined, rebuilds failing)"
+                        .to_string(),
+                });
+            };
             let dispatched = Instant::now();
-            let outcome = self.dispatch(req, remaining);
+            let outcome = self.dispatch(widx, req, remaining);
             match outcome {
                 Ok(out) => {
-                    self.account_success(&req.model, dispatched.elapsed());
+                    self.worker_success(widx);
+                    self.account_success(req, dispatched.elapsed());
                     return Ok(out);
                 }
                 Err(AttemptError::Cancelled(stop)) => {
+                    // The deadline (or a shutdown) stopped the attempt;
+                    // the worker is blameless.
                     return Err(self.account_slip(stop));
                 }
                 Err(AttemptError::Transient(message)) => {
+                    self.penalize_worker(widx, 1);
                     attempt += 1;
                     let backoff = self.backoff_delay(req.id, attempt);
                     let left = req.deadline.saturating_sub(accepted.elapsed());
                     if attempt > self.cfg.max_retries || backoff >= left {
-                        self.account_failure(&req.model);
+                        self.account_failure(&req.tenant, &req.model);
                         return Err(ServeError::Failed {
                             attempts: attempt,
                             message,
@@ -590,7 +1165,8 @@ impl<S: InferenceService> BatchDriver<S> {
                     std::thread::sleep(backoff);
                 }
                 Err(AttemptError::Permanent(message)) => {
-                    self.account_failure(&req.model);
+                    self.penalize_worker(widx, 2);
+                    self.account_failure(&req.tenant, &req.model);
                     return Err(ServeError::Failed {
                         attempts: attempt + 1,
                         message,
@@ -600,10 +1176,12 @@ impl<S: InferenceService> BatchDriver<S> {
         }
     }
 
-    /// One attempt: budget = remaining deadline + the shutdown token,
-    /// installed ambiently, under the driver's parallelism mode.
+    /// One attempt on worker `widx`: budget = remaining deadline + the
+    /// shutdown token, installed ambiently, under the driver's
+    /// parallelism mode.
     fn dispatch(
         &mut self,
+        widx: usize,
         req: &InferenceRequest,
         remaining: Duration,
     ) -> Result<S::Output, AttemptError> {
@@ -611,10 +1189,101 @@ impl<S: InferenceService> BatchDriver<S> {
             .with_cancel(self.shutdown.clone())
             .start();
         let mode = self.mode;
-        let service = &mut self.service;
+        let service = &mut self.workers[widx].service;
         par::with_parallelism(mode, || {
             budget::with_budget(&b, || service.infer(req, &b))
         })
+    }
+
+    /// Round-robin over healthy workers; when every worker is
+    /// quarantined, attempt recovery in place so the pool self-heals
+    /// once its factory (e.g. a repaired [`ModelCache`]) works again.
+    fn select_worker(&mut self) -> Option<usize> {
+        let n = self.workers.len();
+        for step in 0..n {
+            let idx = (self.next_worker + step) % n;
+            if !self.workers[idx].quarantined {
+                self.next_worker = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        for idx in 0..n {
+            if self.try_recover(idx) {
+                self.next_worker = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn worker_success(&mut self, idx: usize) {
+        let w = &mut self.workers[idx];
+        w.served += 1;
+        // Good service repays past penalties, so a worker with an old
+        // blip does not hover one fault from quarantine forever.
+        w.penalty = w.penalty.saturating_sub(1);
+    }
+
+    /// Adds penalty points to a worker and quarantines it past the
+    /// threshold, immediately attempting a rebuild.
+    fn penalize_worker(&mut self, idx: usize, points: u32) {
+        let threshold = self.cfg.quarantine_threshold;
+        let w = &mut self.workers[idx];
+        w.penalty = w.penalty.saturating_add(points);
+        if w.penalty >= threshold && !w.quarantined {
+            w.quarantined = true;
+            self.report.quarantines += 1;
+            serve_metrics().worker_quarantines.inc();
+            self.try_recover(idx);
+        }
+        self.publish_worker_gauges();
+    }
+
+    /// Rebuilds a quarantined worker from the factory (or resets it in
+    /// place when the driver has none). Returns `true` when the worker
+    /// re-entered rotation.
+    fn try_recover(&mut self, idx: usize) -> bool {
+        if !self.workers[idx].quarantined {
+            return true;
+        }
+        let rebuilt = match &mut self.factory {
+            Some(factory) => factory().ok(),
+            None => {
+                // No factory: the best supervision available is a
+                // penalty reset (the service state is all there is).
+                let w = &mut self.workers[idx];
+                w.penalty = 0;
+                w.quarantined = false;
+                self.report.worker_recoveries += 1;
+                serve_metrics().worker_recoveries.inc();
+                self.publish_worker_gauges();
+                return true;
+            }
+        };
+        match rebuilt {
+            Some(service) => {
+                let w = &mut self.workers[idx];
+                w.service = service;
+                w.penalty = 0;
+                w.quarantined = false;
+                self.report.worker_recoveries += 1;
+                serve_metrics().worker_recoveries.inc();
+                self.publish_worker_gauges();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn publish_worker_gauges(&self) {
+        let quarantined = self.workers.iter().filter(|w| w.quarantined).count();
+        let healthy = self.workers.len() - quarantined;
+        serve_metrics()
+            .workers_healthy
+            .set(healthy.min(i64::MAX as usize) as i64);
+        serve_metrics()
+            .workers_quarantined
+            .set(quarantined.min(i64::MAX as usize) as i64);
     }
 
     /// Capped exponential backoff with deterministic jitter: the base
@@ -636,9 +1305,10 @@ impl<S: InferenceService> BatchDriver<S> {
         half + Duration::from_nanos(jitter)
     }
 
-    fn account_success(&mut self, model: &str, service_time: Duration) {
+    fn account_success(&mut self, req: &InferenceRequest, service_time: Duration) {
         self.report.completed += 1;
         serve_metrics().completed.inc();
+        self.tenant_stats(&req.tenant).completed.inc();
         serve_metrics()
             .service_time
             .observe(service_time.as_nanos().min(u128::from(u64::MAX)) as u64);
@@ -646,12 +1316,15 @@ impl<S: InferenceService> BatchDriver<S> {
         // EWMA with alpha = 0.3: recent requests dominate, one outlier
         // does not.
         self.ewma_nanos = 0.7 * self.ewma_nanos + 0.3 * service_time.as_nanos() as f64;
-        if let Some(b) = self.breakers.get_mut(model) {
-            if !matches!(b.state, BreakerState::Closed) {
+        self.ewma_samples += 1;
+        if let Some(breaker) = self
+            .breakers
+            .get_mut(&req.tenant)
+            .and_then(|models| models.get_mut(&req.model))
+        {
+            if breaker.record_success() {
                 serve_metrics().breaker_to_closed.inc();
             }
-            b.state = BreakerState::Closed;
-            b.consecutive_failures = 0;
         }
     }
 
@@ -671,27 +1344,208 @@ impl<S: InferenceService> BatchDriver<S> {
         ServeError::Cancelled(stop)
     }
 
-    fn account_failure(&mut self, model: &str) {
+    fn account_failure(&mut self, tenant: &TenantId, model: &str) {
         self.report.failed += 1;
         serve_metrics().failed.inc();
+        let threshold = self.cfg.breaker_threshold;
+        let cooldown = self.cfg.breaker_cooldown;
         let breaker = self
             .breakers
+            .entry(tenant.clone())
+            .or_default()
             .entry(model.to_string())
-            .or_insert_with(Breaker::new);
-        breaker.consecutive_failures += 1;
-        let trip = match breaker.state {
-            // A half-open probe that fails re-opens immediately.
-            BreakerState::HalfOpen => true,
-            BreakerState::Closed => breaker.consecutive_failures >= self.cfg.breaker_threshold,
-            BreakerState::Open { .. } => false,
-        };
-        if trip {
-            breaker.state = BreakerState::Open {
-                since: Instant::now(),
-            };
+            .or_insert_with(|| CircuitBreaker::new(threshold, cooldown));
+        if breaker.record_failure_at(Instant::now()) {
             self.report.breaker_trips += 1;
             serve_metrics().breaker_to_open.inc();
         }
+    }
+}
+
+/// The analytic cycle model's end-to-end latency for `model`'s HE
+/// program on the reference device (ACU9EG, minimal module parallelism):
+/// the cold-start seed for retry-after hints before the EWMA has a
+/// sample. `None` for models the lowering does not know.
+///
+/// Computed once per model name and memoized for the process lifetime.
+pub fn analytic_service_estimate(model: &str) -> Option<Duration> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Option<Duration>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Ok(guard) = cache.lock() {
+        if let Some(&hit) = guard.get(model) {
+            return hit;
+        }
+    }
+    let computed = compute_analytic_estimate(model);
+    if let Ok(mut guard) = cache.lock() {
+        guard.insert(model.to_string(), computed);
+    }
+    computed
+}
+
+fn compute_analytic_estimate(model: &str) -> Option<Duration> {
+    let (net, params): (Network, CkksParams) = match model {
+        "mnist" => (fxhenn_mnist(42), CkksParams::fxhenn_mnist()),
+        "cifar10" => (fxhenn_cifar10(42), CkksParams::fxhenn_cifar10()),
+        _ => return None,
+    };
+    let program = try_lower_network(&net, params.degree(), params.levels()).ok()?;
+    let device = FpgaDevice::acu9eg();
+    let clock_mhz = device.clock_mhz();
+    let n = params.degree();
+    let mut modules: HashMap<OpClass, HeOpModule> = HashMap::new();
+    let mut seconds = 0.0f64;
+    for record in program.total_trace().records() {
+        let class = OpClass::from(record.kind);
+        let module = modules
+            .entry(class)
+            .or_insert_with(|| HeOpModule::new(class, ModuleConfig::minimal()));
+        seconds += module.op_latency_seconds(record.level, n, clock_mhz);
+    }
+    (seconds.is_finite() && seconds > 0.0).then(|| Duration::from_secs_f64(seconds))
+}
+
+/// The read-only shared context/key cache behind a worker pool: per
+/// model, the CKKS parameters plus serialized, checksummed key frames.
+/// Workers rebuild from the cache through [`verify`](Self::verify),
+/// which re-opens every frame (checksum) and range-checks the decoded
+/// key material against a fresh context — so corrupted-at-rest keys
+/// fail loudly at rebuild time instead of corrupting ciphertexts
+/// silently at run time.
+pub struct ModelCache {
+    entries: HashMap<String, ModelEntry>,
+}
+
+struct ModelEntry {
+    params: CkksParams,
+    public_frame: Vec<u8>,
+    relin_frame: Vec<u8>,
+    galois_frame: Vec<u8>,
+}
+
+/// Key material that passed the cache's integrity checks.
+pub struct VerifiedModel {
+    /// The model's CKKS parameters.
+    pub params: CkksParams,
+    /// The verified public key.
+    pub public_key: PublicKey,
+    /// The verified relinearization key.
+    pub relin_key: RelinKey,
+    /// The verified Galois (rotation) keys.
+    pub galois_keys: GaloisKeys,
+    /// Combined content checksum over the model's key frames.
+    pub checksum: u64,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Generates and seals key material for `model` under `params`,
+    /// with Galois keys for the given rotation steps. Deterministic in
+    /// `seed`.
+    pub fn generate(&mut self, model: &str, params: CkksParams, rotations: &[usize], seed: u64) {
+        let ctx = CkksContext::new(params.clone());
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(seed));
+        let pk = kg.public_key();
+        let rk = kg.relin_key();
+        let gks = kg.galois_keys(rotations);
+        self.entries.insert(
+            model.to_string(),
+            ModelEntry {
+                params,
+                public_frame: encode_public_key_checksummed(&pk),
+                relin_frame: encode_relin_key_checksummed(&rk),
+                galois_frame: encode_galois_keys_checksummed(&gks),
+            },
+        );
+    }
+
+    /// Whether the cache holds `model`.
+    pub fn contains(&self, model: &str) -> bool {
+        self.entries.contains_key(model)
+    }
+
+    /// The cached model names, in arbitrary order.
+    pub fn models(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// The combined content checksum of the model's key frames, or
+    /// `None` when absent.
+    pub fn checksum_of(&self, model: &str) -> Option<u64> {
+        let e = self.entries.get(model)?;
+        Some(
+            fxhenn_ckks::content_checksum(&e.public_frame)
+                ^ fxhenn_ckks::content_checksum(&e.relin_frame).rotate_left(1)
+                ^ fxhenn_ckks::content_checksum(&e.galois_frame).rotate_left(2),
+        )
+    }
+
+    /// Opens, decodes and range-checks the model's key material.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first failed integrity
+    /// check: a missing model, a checksum mismatch on any frame, a
+    /// malformed frame, or decoded key material outside its moduli.
+    pub fn verify(&self, model: &str) -> Result<VerifiedModel, String> {
+        let e = self
+            .entries
+            .get(model)
+            .ok_or_else(|| format!("model {model:?} is not in the cache"))?;
+        let public_key = decode_public_key_checksummed(&e.public_frame)
+            .map_err(|err| format!("public key frame: {err}"))?;
+        let relin_key = decode_relin_key_checksummed(&e.relin_frame)
+            .map_err(|err| format!("relin key frame: {err}"))?;
+        let galois_keys = decode_galois_keys_checksummed(&e.galois_frame)
+            .map_err(|err| format!("galois key frame: {err}"))?;
+        let ctx = CkksContext::new(e.params.clone());
+        ctx.validate_relin_key(&relin_key)
+            .map_err(|err| format!("relin key range check: {err}"))?;
+        ctx.validate_galois_keys(&galois_keys)
+            .map_err(|err| format!("galois key range check: {err}"))?;
+        Ok(VerifiedModel {
+            params: e.params.clone(),
+            public_key,
+            relin_key,
+            galois_keys,
+            checksum: self.checksum_of(model).unwrap_or(0),
+        })
+    }
+
+    /// Corrupts one payload byte of the model's relinearization frame —
+    /// the chaos harness's stand-in for at-rest bit rot. Returns `true`
+    /// when the model existed.
+    pub fn poison(&mut self, model: &str) -> bool {
+        match self.entries.get_mut(model) {
+            Some(e) if e.relin_frame.len() > 16 => {
+                let mid = e.relin_frame.len() / 2;
+                e.relin_frame[mid] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Regenerates the model's key material in place (same parameters),
+    /// undoing any poisoning. Returns `false` when the model is absent.
+    pub fn repair(&mut self, model: &str, rotations: &[usize], seed: u64) -> bool {
+        let Some(params) = self.entries.get(model).map(|e| e.params.clone()) else {
+            return false;
+        };
+        self.generate(model, params, rotations, seed);
+        true
+    }
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -735,6 +1589,118 @@ impl InferenceService for DesignFlowService {
     }
 }
 
+/// A deterministic fault injector over real CKKS material: the backend
+/// behind `fxhenn serve --chaos` and the chaos-soak harness.
+///
+/// Construction verifies the shared [`ModelCache`]'s key frames and
+/// pre-encrypts a template ciphertext — so a poisoned cache makes
+/// worker rebuilds fail, exactly like a real evaluator refusing corrupt
+/// key material. Per request the service rolls a seeded schedule:
+///
+/// * models named `poisoned*` always fail permanently (lowering
+///   rejects them) — the breaker-isolation fault class;
+/// * ~8% of calls simulate transport corruption: the template
+///   ciphertext's bytes are flipped, and the context's
+///   `validate_ciphertext` range check rejects the decoded result
+///   (a permanent failure);
+/// * ~12% of calls are transient blips (retried by the driver);
+/// * everything else succeeds, returning the request id.
+///
+/// Deadline storms and cancellations are induced from outside (tight
+/// deadlines, the shutdown token); the entry budget check makes the
+/// service stop cooperatively for both.
+pub struct ChaosService {
+    seed: u64,
+    calls: u64,
+    ctx: CkksContext,
+    template: Ciphertext,
+    key_checksum: u64,
+}
+
+impl ChaosService {
+    /// Builds the service from the cache's verified key material.
+    ///
+    /// # Errors
+    ///
+    /// The cache's integrity-check failure text when `model`'s frames
+    /// are missing, corrupt or out of range.
+    pub fn from_cache(cache: &ModelCache, model: &str, seed: u64) -> Result<Self, String> {
+        let verified = cache.verify(model)?;
+        let ctx = CkksContext::new(verified.params.clone());
+        let template = {
+            let mut enc = Encryptor::new(&ctx, verified.public_key, StdRng::seed_from_u64(seed));
+            enc.encrypt(&[1.0, -0.5, 0.25, 0.125])
+        };
+        Ok(Self {
+            seed,
+            calls: 0,
+            ctx,
+            template,
+            key_checksum: verified.checksum,
+        })
+    }
+
+    /// The checksum of the key material this worker was built from.
+    pub fn key_checksum(&self) -> u64 {
+        self.key_checksum
+    }
+
+    /// Calls served (including faulted ones) by this worker instance.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl InferenceService for ChaosService {
+    type Output = u64;
+
+    fn infer(&mut self, req: &InferenceRequest, budget: &Budget) -> Result<u64, AttemptError> {
+        self.calls += 1;
+        budget
+            .check("chaos-service", Progress::done(self.calls))
+            .map_err(AttemptError::Cancelled)?;
+        if req.model.starts_with("poisoned") {
+            return Err(AttemptError::Permanent(format!(
+                "model {:?} failed lowering (poisoned)",
+                req.model
+            )));
+        }
+        let roll = splitmix64(
+            self.seed
+                ^ req.id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (self.calls << 17),
+        ) % 100;
+        if roll < 8 {
+            // Transport corruption: re-encode the healthy template,
+            // smash the tail residues, and run the received bytes
+            // through the same decode + range-check path a real
+            // ingress uses.
+            let mut bytes = encode_ciphertext(&self.template);
+            let n = bytes.len();
+            if n >= 16 {
+                for b in &mut bytes[n - 16..] {
+                    *b = 0xFF;
+                }
+            }
+            return match decode_ciphertext(&bytes) {
+                Ok(ct) => match self.ctx.validate_ciphertext(&ct) {
+                    Ok(()) => Ok(req.id),
+                    Err(e) => Err(AttemptError::Permanent(format!(
+                        "rejected corrupt ciphertext: {e}"
+                    ))),
+                },
+                Err(e) => Err(AttemptError::Permanent(format!(
+                    "rejected corrupt frame: {e}"
+                ))),
+            };
+        }
+        if roll < 20 {
+            return Err(AttemptError::Transient("injected transport blip".into()));
+        }
+        Ok(req.id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,16 +1741,19 @@ mod tests {
     }
 
     fn req(id: u64, model: &str, deadline: Duration) -> InferenceRequest {
-        InferenceRequest {
-            id,
-            model: model.to_string(),
-            deadline,
-        }
+        InferenceRequest::new(id, model, deadline)
+    }
+
+    fn treq(id: u64, tenant: &str, model: &str, deadline: Duration) -> InferenceRequest {
+        InferenceRequest::new(id, model, deadline).with_tenant(tenant)
     }
 
     fn cfg() -> ServeConfig {
         ServeConfig {
             queue_capacity: 2,
+            tenant_quota: 2,
+            worker_count: 1,
+            quarantine_threshold: 100,
             max_retries: 3,
             base_backoff: Duration::from_micros(100),
             max_backoff: Duration::from_millis(1),
@@ -800,6 +1769,9 @@ mod tests {
         let built = ServeConfig::builder().build().expect("defaults are valid");
         let def = ServeConfig::default();
         assert_eq!(built.queue_capacity, def.queue_capacity);
+        assert_eq!(built.tenant_quota, def.tenant_quota);
+        assert_eq!(built.worker_count, def.worker_count);
+        assert_eq!(built.quarantine_threshold, def.quarantine_threshold);
         assert_eq!(built.max_retries, def.max_retries);
         assert_eq!(built.base_backoff, def.base_backoff);
         assert_eq!(built.max_backoff, def.max_backoff);
@@ -813,6 +1785,9 @@ mod tests {
     fn builder_setters_reach_every_field() {
         let built = ServeConfig::builder()
             .queue_capacity(4)
+            .tenant_quota(3)
+            .worker_count(2)
+            .quarantine_threshold(6)
             .max_retries(7)
             .base_backoff(Duration::from_micros(10))
             .max_backoff(Duration::from_millis(2))
@@ -823,6 +1798,9 @@ mod tests {
             .build()
             .expect("a consistent config builds");
         assert_eq!(built.queue_capacity, 4);
+        assert_eq!(built.tenant_quota, 3);
+        assert_eq!(built.worker_count, 2);
+        assert_eq!(built.quarantine_threshold, 6);
         assert_eq!(built.max_retries, 7);
         assert_eq!(built.base_backoff, Duration::from_micros(10));
         assert_eq!(built.max_backoff, Duration::from_millis(2));
@@ -836,6 +1814,12 @@ mod tests {
     fn builder_rejects_unusable_configs_with_typed_errors() {
         let cases: Vec<(ServeConfigBuilder, &str)> = vec![
             (ServeConfig::builder().queue_capacity(0), "queue_capacity"),
+            (ServeConfig::builder().tenant_quota(0), "tenant_quota"),
+            (ServeConfig::builder().worker_count(0), "worker_count"),
+            (
+                ServeConfig::builder().quarantine_threshold(0),
+                "quarantine_threshold",
+            ),
             (
                 ServeConfig::builder().breaker_threshold(0),
                 "breaker_threshold",
@@ -859,11 +1843,6 @@ mod tests {
                         message.contains(field),
                         "error for {field} should name it: {message}"
                     );
-                    let text = ServeError::InvalidConfig {
-                        message: message.clone(),
-                    }
-                    .to_string();
-                    assert!(text.starts_with("invalid serve config: "), "{text}");
                 }
                 other => panic!("{field}: expected InvalidConfig, got {other:?}"),
             }
@@ -872,7 +1851,9 @@ mod tests {
 
     #[test]
     fn full_queue_sheds_with_retry_after_hint() {
-        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg());
+        let mut cfg = cfg();
+        cfg.tenant_quota = 8; // capacity binds before the quota here
+        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg);
         let sec = Duration::from_secs(1);
         assert!(d.submit(req(0, "m", sec)).is_ok());
         assert!(d.submit(req(1, "m", sec)).is_ok());
@@ -890,6 +1871,69 @@ mod tests {
         }
         assert_eq!(d.report().shed, 1);
         assert_eq!(d.report().submitted, 2);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_flooder_but_admits_others() {
+        let mut cfg = cfg();
+        cfg.queue_capacity = 16;
+        cfg.tenant_quota = 2;
+        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg);
+        let sec = Duration::from_secs(1);
+        assert!(d.submit(treq(0, "noisy", "m", sec)).is_ok());
+        assert!(d.submit(treq(1, "noisy", "m", sec)).is_ok());
+        let err = d.submit(treq(2, "noisy", "m", sec)).unwrap_err();
+        match err {
+            ServeError::QuotaExceeded {
+                tenant,
+                in_queue,
+                quota,
+                ..
+            } => {
+                assert_eq!(tenant.as_str(), "noisy");
+                assert_eq!((in_queue, quota), (2, 2));
+            }
+            other => panic!("expected QuotaExceeded, got {other}"),
+        }
+        // The quiet tenant is unaffected by the noisy one's quota.
+        assert!(d.submit(treq(3, "quiet", "m", sec)).is_ok());
+        assert_eq!(d.report().quota_rejected, 1);
+        assert_eq!(d.report().submitted, 3);
+    }
+
+    #[test]
+    fn weighted_fair_dequeue_interleaves_backlogged_tenants() {
+        let mut q: WeightedFairQueue<u64> = WeightedFairQueue::new();
+        let (a, b) = (TenantId::new("a"), TenantId::new("b"));
+        for i in 0..4 {
+            q.push(a.clone(), i);
+        }
+        q.push(b.clone(), 100);
+        q.push(b.clone(), 101);
+        let order: Vec<TenantId> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        // Equal weights: strict alternation while both lanes hold work.
+        let names: Vec<&str> = order.iter().map(TenantId::as_str).collect();
+        assert_eq!(names, ["a", "b", "a", "b", "a", "a"]);
+    }
+
+    #[test]
+    fn weighted_fair_dequeue_honors_weights() {
+        let mut q: WeightedFairQueue<u64> = WeightedFairQueue::new();
+        let (heavy, light) = (TenantId::new("heavy"), TenantId::new("light"));
+        q.set_weight(&heavy, 2);
+        for i in 0..6 {
+            q.push(heavy.clone(), i);
+            q.push(light.clone(), 100 + i);
+        }
+        let mut first_six = Vec::new();
+        for _ in 0..6 {
+            let (t, _) = q.pop().expect("queued");
+            first_six.push(t.as_str().to_string());
+        }
+        let heavy_share = first_six.iter().filter(|t| t.as_str() == "heavy").count();
+        assert_eq!(heavy_share, 4, "weight 2 vs 1 gives a 2:1 split: {first_six:?}");
+        // FIFO within a lane.
+        assert!(q.depth_of(&heavy) + q.depth_of(&light) == 6);
     }
 
     #[test]
@@ -949,6 +1993,7 @@ mod tests {
                 model,
                 consecutive_failures,
                 retry_after,
+                ..
             } => {
                 assert_eq!(model, "m");
                 assert_eq!(consecutive_failures, 2);
@@ -997,6 +2042,34 @@ mod tests {
     }
 
     #[test]
+    fn breakers_do_not_bleed_across_tenants() {
+        // Same model, two tenants: tenant a's failures trip only a's
+        // breaker.
+        let svc = Scripted::new(vec![
+            Err(AttemptError::Permanent("bad".into())),
+            Err(AttemptError::Permanent("bad".into())),
+            Ok(0),
+        ]);
+        let mut cfg = cfg();
+        cfg.queue_capacity = 8;
+        let mut d = BatchDriver::new(svc, cfg);
+        let sec = Duration::from_secs(1);
+        for id in 0..2 {
+            d.submit(treq(id, "a", "m", sec)).unwrap();
+            let _ = d.run_queue();
+        }
+        assert_eq!(d.report().breaker_trips, 1);
+        assert!(matches!(
+            d.submit(treq(2, "a", "m", sec)),
+            Err(ServeError::CircuitOpen { .. })
+        ));
+        // Tenant b still runs model m.
+        d.submit(treq(3, "b", "m", sec)).unwrap();
+        let outcomes = d.run_queue();
+        assert!(outcomes[0].1.is_ok());
+    }
+
+    #[test]
     fn deadline_slips_degrade_to_serial() {
         // Every attempt sees an already-expired budget.
         let mut d = BatchDriver::new(Scripted::new(vec![]), cfg());
@@ -1032,6 +2105,21 @@ mod tests {
     }
 
     #[test]
+    fn drain_closes_admission_but_serves_queued_requests() {
+        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg());
+        d.submit(req(0, "m", Duration::from_secs(1))).unwrap();
+        d.drain();
+        assert!(d.is_draining());
+        assert!(matches!(d.submit(req(1, "m", Duration::from_secs(1))), Err(ServeError::Draining)));
+        // The queued request still completes: drain is advisory for
+        // in-flight work, unlike a hard cancel.
+        let outcomes = d.run_queue();
+        assert!(outcomes[0].1.is_ok());
+        assert_eq!(d.report().completed, 1);
+        assert_eq!(d.report().rejected_draining, 1);
+    }
+
+    #[test]
     fn backoff_is_deterministic_capped_and_jittered() {
         let d = BatchDriver::new(Scripted::new(vec![]), cfg());
         let b1 = d.backoff_delay(42, 1);
@@ -1058,5 +2146,189 @@ mod tests {
         // The scripted service is near-instant, so the estimate decays
         // toward zero from the 1 ms hint.
         assert!(d.service_time_estimate() < before);
+    }
+
+    #[test]
+    fn cold_start_hint_uses_the_analytic_cycle_model() {
+        let analytic = analytic_service_estimate("mnist")
+            .expect("the lowering knows mnist");
+        assert!(analytic > Duration::ZERO);
+        assert_eq!(
+            analytic_service_estimate("mnist"),
+            Some(analytic),
+            "memoized"
+        );
+        assert_eq!(analytic_service_estimate("no-such-model"), None);
+
+        let mut cfg = cfg();
+        cfg.queue_capacity = 1;
+        cfg.tenant_quota = 8;
+        let mut d = BatchDriver::new(Scripted::new(vec![]), cfg);
+        d.submit(req(0, "mnist", Duration::from_secs(1))).unwrap();
+        // No sample yet: the overload hint comes from the cycle model,
+        // not the configured 1 ms hint.
+        match d.submit(req(1, "mnist", Duration::from_secs(1))).unwrap_err() {
+            ServeError::Overloaded { retry_after, .. } => {
+                assert_eq!(retry_after, analytic, "depth 1 × analytic estimate");
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        // After a sample the EWMA takes over.
+        let _ = d.run_queue();
+        assert!(d.report().completed == 1);
+        d.submit(req(2, "mnist", Duration::from_secs(1))).unwrap();
+        match d.submit(req(3, "mnist", Duration::from_secs(1))).unwrap_err() {
+            ServeError::Overloaded { retry_after, .. } => {
+                assert!(retry_after < analytic, "EWMA of a near-instant service");
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_rebuilds_the_worker_from_the_factory() {
+        let mut cfg = cfg();
+        cfg.worker_count = 2;
+        cfg.quarantine_threshold = 2;
+        cfg.queue_capacity = 8;
+        cfg.tenant_quota = 8;
+        // The initial pool (builds 0 and 1) is defective — every call
+        // fails permanently. Rebuilt workers (build 2 onward) are
+        // healthy.
+        let builds = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let b = std::sync::Arc::clone(&builds);
+        let factory: ServiceFactory<Scripted> = Box::new(move || {
+            let n = b.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < 2 {
+                Ok(Scripted::new(vec![
+                    Err(AttemptError::Permanent("defective worker".into()));
+                    8
+                ]))
+            } else {
+                Ok(Scripted::new(vec![]))
+            }
+        });
+        let mut d = BatchDriver::with_factory(cfg, factory).expect("pool builds");
+        assert_eq!(d.worker_count(), 2);
+        let sec = Duration::from_secs(1);
+        // One permanent failure per worker (+2 penalty, threshold 2):
+        // both quarantine and are immediately rebuilt healthy.
+        for id in 0..2 {
+            d.submit(treq(id, format!("t{id}").as_str(), "m", sec)).unwrap();
+        }
+        let _ = d.run_queue();
+        assert_eq!(d.report().quarantines, 2, "{}", d.report());
+        assert_eq!(
+            d.report().quarantines,
+            d.report().worker_recoveries,
+            "every quarantine rebuilt immediately: {}",
+            d.report()
+        );
+        assert_eq!(d.healthy_workers(), 2);
+        // The rebuilt pool serves cleanly.
+        d.submit(treq(9, "t9", "m", sec)).unwrap();
+        d.submit(treq(10, "t10", "m", sec)).unwrap();
+        let outcomes = d.run_queue();
+        assert!(outcomes.iter().all(|(_, o)| o.is_ok()), "{}", d.report());
+    }
+
+    #[test]
+    fn failing_factory_leaves_pool_quarantined_with_typed_failures() {
+        let mut cfg = cfg();
+        cfg.worker_count = 1;
+        cfg.quarantine_threshold = 1;
+        cfg.queue_capacity = 8;
+        cfg.tenant_quota = 8;
+        let healthy = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let h = std::sync::Arc::clone(&healthy);
+        let factory: ServiceFactory<Scripted> = Box::new(move || {
+            if h.load(std::sync::atomic::Ordering::SeqCst) {
+                Ok(Scripted::new(vec![Err(AttemptError::Permanent(
+                    "bad".into(),
+                ))]))
+            } else {
+                Err("key cache poisoned".into())
+            }
+        });
+        let mut d = BatchDriver::with_factory(cfg, factory).expect("pool builds");
+        // Poison the factory, then fail the only worker: quarantine
+        // with no rebuild possible.
+        healthy.store(false, std::sync::atomic::Ordering::SeqCst);
+        let sec = Duration::from_secs(1);
+        d.submit(treq(0, "a", "m", sec)).unwrap();
+        let _ = d.run_queue();
+        assert_eq!(d.quarantined_workers(), 1);
+        // Subsequent requests fail typed, not by panic.
+        d.submit(treq(1, "b", "m", sec)).unwrap();
+        let outcomes = d.run_queue();
+        match &outcomes[0].1 {
+            Err(ServeError::Failed { message, .. }) => {
+                assert!(message.contains("no healthy worker"), "{message}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // Repair the factory: the next selection recovers the pool.
+        healthy.store(true, std::sync::atomic::Ordering::SeqCst);
+        d.submit(treq(2, "c", "m", sec)).unwrap();
+        let _ = d.run_queue();
+        assert_eq!(d.quarantined_workers(), 0);
+        assert!(d.report().worker_recoveries >= 1);
+    }
+
+    #[test]
+    fn model_cache_verifies_poison_and_repair() {
+        let mut cache = ModelCache::new();
+        cache.generate("toy", CkksParams::insecure_toy(3), &[1, 2], 7);
+        assert!(cache.contains("toy"));
+        let healthy_checksum = cache.checksum_of("toy").expect("cached");
+        let verified = cache.verify("toy").expect("fresh material verifies");
+        assert_eq!(verified.checksum, healthy_checksum);
+        assert!(cache.poison("toy"));
+        let err = match cache.verify("toy") {
+            Err(e) => e,
+            Ok(_) => panic!("poisoned material must not verify"),
+        };
+        assert!(err.contains("relin key frame"), "{err}");
+        assert!(cache.repair("toy", &[1, 2], 7));
+        assert_eq!(cache.checksum_of("toy"), Some(healthy_checksum));
+        assert!(cache.verify("toy").is_ok());
+        assert!(cache.verify("missing").is_err());
+    }
+
+    #[test]
+    fn chaos_service_is_deterministic_and_rejects_corruption() {
+        let mut cache = ModelCache::new();
+        cache.generate("toy", CkksParams::insecure_toy(3), &[1], 11);
+        let mut a = ChaosService::from_cache(&cache, "toy", 99).expect("verifies");
+        let mut b = ChaosService::from_cache(&cache, "toy", 99).expect("verifies");
+        let budget = Budget::unlimited().start();
+        let mut saw_corrupt = false;
+        let mut saw_transient = false;
+        let mut saw_ok = false;
+        for id in 0..200 {
+            let r = req(id, "toy", Duration::from_secs(1));
+            let ra = a.infer(&r, &budget);
+            let rb = b.infer(&r, &budget);
+            assert_eq!(ra.is_ok(), rb.is_ok(), "same seed, same schedule");
+            match ra {
+                Ok(_) => saw_ok = true,
+                Err(AttemptError::Permanent(m)) => {
+                    assert!(m.contains("corrupt"), "{m}");
+                    saw_corrupt = true;
+                }
+                Err(AttemptError::Transient(_)) => saw_transient = true,
+                Err(AttemptError::Cancelled(_)) => panic!("unlimited budget"),
+            }
+        }
+        assert!(saw_ok && saw_corrupt && saw_transient);
+        // Poisoned models always fail permanently.
+        let r = req(0, "poisoned-v2", Duration::from_secs(1));
+        assert!(matches!(
+            a.infer(&r, &budget),
+            Err(AttemptError::Permanent(_))
+        ));
+        // A poisoned cache refuses to build a worker at all.
+        cache.poison("toy");
+        assert!(ChaosService::from_cache(&cache, "toy", 99).is_err());
     }
 }

@@ -24,8 +24,14 @@ pub(crate) struct ServeMetrics {
     pub breaker_to_open: Arc<Counter>,
     pub breaker_to_half_open: Arc<Counter>,
     pub breaker_to_closed: Arc<Counter>,
+    pub quota_rejected: Arc<Counter>,
+    pub rejected_draining: Arc<Counter>,
+    pub worker_quarantines: Arc<Counter>,
+    pub worker_recoveries: Arc<Counter>,
     pub queue_depth: Arc<Gauge>,
     pub degraded: Arc<Gauge>,
+    pub workers_healthy: Arc<Gauge>,
+    pub workers_quarantined: Arc<Gauge>,
     pub service_time: Arc<Histogram>,
 }
 
@@ -45,11 +51,41 @@ pub(crate) fn serve_metrics() -> &'static ServeMetrics {
             breaker_to_half_open: c
                 .counter("fxhenn_serve_breaker_transitions_total{to=\"half_open\"}"),
             breaker_to_closed: c.counter("fxhenn_serve_breaker_transitions_total{to=\"closed\"}"),
+            quota_rejected: c.counter("fxhenn_serve_tenant_quota_rejections_total"),
+            rejected_draining: c.counter("fxhenn_serve_rejected_draining_total"),
+            worker_quarantines: c.counter("fxhenn_serve_worker_quarantines_total"),
+            worker_recoveries: c.counter("fxhenn_serve_worker_recoveries_total"),
             queue_depth: c.gauge("fxhenn_serve_queue_depth"),
             degraded: c.gauge("fxhenn_serve_degraded"),
+            workers_healthy: c.gauge("fxhenn_serve_workers_healthy"),
+            workers_quarantined: c.gauge("fxhenn_serve_workers_quarantined"),
             service_time: c.histogram("fxhenn_serve_service_time_ns"),
         }
     })
+}
+
+/// Per-tenant counter handles, labelled by tenant name. The driver
+/// resolves these once per tenant and caches them, so the steady state
+/// stays one relaxed atomic add per event.
+pub(crate) struct TenantMetrics {
+    pub submitted: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub rejected: Arc<Counter>,
+}
+
+pub(crate) fn tenant_metrics(tenant: &str) -> TenantMetrics {
+    let c = global();
+    TenantMetrics {
+        submitted: c.counter(&format!(
+            "fxhenn_serve_tenant_submitted_total{{tenant=\"{tenant}\"}}"
+        )),
+        completed: c.counter(&format!(
+            "fxhenn_serve_tenant_completed_total{{tenant=\"{tenant}\"}}"
+        )),
+        rejected: c.counter(&format!(
+            "fxhenn_serve_tenant_rejected_total{{tenant=\"{tenant}\"}}"
+        )),
+    }
 }
 
 /// Registers the serve metric families in the global collector without
@@ -76,6 +112,10 @@ mod tests {
             "fxhenn_serve_failed_total",
             "fxhenn_serve_deadline_slips_total",
             "fxhenn_serve_breaker_transitions_total{to=\"open\"}",
+            "fxhenn_serve_tenant_quota_rejections_total",
+            "fxhenn_serve_rejected_draining_total",
+            "fxhenn_serve_worker_quarantines_total",
+            "fxhenn_serve_worker_recoveries_total",
         ] {
             assert!(
                 counters.iter().any(|(n, _)| n == name),
@@ -83,7 +123,12 @@ mod tests {
             );
         }
         let gauges = global().gauges();
-        for name in ["fxhenn_serve_queue_depth", "fxhenn_serve_degraded"] {
+        for name in [
+            "fxhenn_serve_queue_depth",
+            "fxhenn_serve_degraded",
+            "fxhenn_serve_workers_healthy",
+            "fxhenn_serve_workers_quarantined",
+        ] {
             assert!(gauges.iter().any(|(n, _)| n == name), "missing {name}");
         }
         assert!(global()

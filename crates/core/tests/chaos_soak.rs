@@ -1,0 +1,468 @@
+//! Deterministic chaos-soak harness for the supervised multi-tenant
+//! batch driver.
+//!
+//! Thousands of requests across several tenants are pushed through a
+//! worker pool while five fault classes are injected on a fixed seed:
+//!
+//! * **corrupt ciphertexts** — `ChaosService` re-encodes its template
+//!   ciphertext with smashed tail residues and runs it through the real
+//!   decode + range-check ingress path;
+//! * **deadline storms** — every 7th request carries a zero deadline;
+//! * **poisoned models** — requests naming a `poisoned-*` model fail
+//!   permanently, and phase B poisons the shared key cache itself so
+//!   worker rebuilds fail;
+//! * **cancelled mid-flight** — phase C cancels the shutdown token with
+//!   requests still queued;
+//! * **starved tenants** — a hog tenant floods past its quota while the
+//!   others keep submitting.
+//!
+//! The soak asserts the driver's safety envelope, not exact counts:
+//! no panics, queue depth bounded by capacity, every accepted request
+//! terminates in a typed outcome (submitted = completed + cancelled +
+//! failed), per-tenant breaker isolation, and at least one full
+//! quarantine-and-recovery cycle.
+//!
+//! `chaos_soak_two_thousand_requests` is `#[ignore]`d (CI runs it
+//! explicitly); `chaos_smoke` runs the same harness at reduced scale in
+//! the normal test pass.
+
+use fxhenn::{
+    BatchDriver, ChaosService, CkksParams, InferenceRequest, ModelCache, ServeConfig, ServeError,
+    TenantId,
+};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Runs `f` on a worker thread and fails the test if it has not
+/// finished within `limit` — a wedged driver is a test failure, not a
+/// stuck CI job.
+fn under_watchdog<R: Send + 'static>(limit: Duration, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    let out = rx
+        .recv_timeout(limit)
+        .unwrap_or_else(|_| panic!("soak did not finish within {limit:?}"));
+    handle.join().expect("soak thread panicked");
+    out
+}
+
+/// Same splitmix64 mixer the driver uses — keeps the fault schedule a
+/// pure function of the seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Every submission attempt, classified by its typed outcome.
+#[derive(Debug, Default, Clone)]
+struct Totals {
+    submissions: u64,
+    accepted: u64,
+    shed: u64,
+    quota_rejected: u64,
+    rejected_open: u64,
+    rejected_draining: u64,
+    outcomes: u64,
+}
+
+impl Totals {
+    fn classify(&mut self, res: &Result<(), ServeError>) {
+        self.submissions += 1;
+        match res {
+            Ok(()) => self.accepted += 1,
+            Err(ServeError::Overloaded { .. }) => self.shed += 1,
+            Err(ServeError::QuotaExceeded { .. }) => self.quota_rejected += 1,
+            Err(ServeError::CircuitOpen { .. }) => self.rejected_open += 1,
+            Err(ServeError::Draining) => self.rejected_draining += 1,
+            Err(other) => panic!("admission returned a non-admission error: {other}"),
+        }
+    }
+}
+
+fn soak_config(queue: usize, quota: usize, workers: usize) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: queue,
+        tenant_quota: quota,
+        worker_count: workers,
+        quarantine_threshold: 5,
+        max_retries: 2,
+        base_backoff: Duration::from_micros(50),
+        max_backoff: Duration::from_micros(200),
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(5),
+        slip_threshold: 4,
+        service_time_hint: Duration::from_micros(500),
+    }
+}
+
+fn chaos_cache(seed: u64) -> Arc<Mutex<ModelCache>> {
+    let mut cache = ModelCache::new();
+    cache.generate("chaos", CkksParams::insecure_toy(3), &[1, 2], seed);
+    Arc::new(Mutex::new(cache))
+}
+
+fn chaos_factory(cache: &Arc<Mutex<ModelCache>>, seed: u64) -> Box<dyn FnMut() -> Result<ChaosService, String>> {
+    let cache = Arc::clone(cache);
+    let mut builds = 0u64;
+    Box::new(move || {
+        builds += 1;
+        let guard = cache.lock().expect("cache lock");
+        ChaosService::from_cache(&guard, "chaos", seed ^ builds)
+    })
+}
+
+/// Phase A: the mixed storm. `waves` waves of up-to-capacity
+/// submissions across four well-behaved tenants plus a quota-flooding
+/// hog and a tenant pinned to a poisoned model, then a dedicated
+/// breaker-isolation probe. Returns the totals and the driver's report.
+fn mixed_storm(waves: u64, seed: u64) -> (Totals, fxhenn::ServeReport) {
+    let cache = chaos_cache(seed);
+    let cfg = soak_config(32, 6, 3);
+    let quota = cfg.tenant_quota as u64;
+    let capacity = cfg.queue_capacity;
+    let mut driver =
+        BatchDriver::with_factory(cfg, chaos_factory(&cache, seed)).expect("healthy cache builds");
+    driver.set_tenant_weight(&TenantId::new("alpha"), 2);
+
+    let tenants = ["alpha", "beta", "gamma", "delta"];
+    let mut totals = Totals::default();
+    let mut id = 0u64;
+    let generous = Duration::from_secs(5);
+
+    for wave in 0..waves {
+        // 24 interleaved submissions from the well-behaved tenants;
+        // every 7th request is a zero-deadline storm victim and the
+        // poison tenant rides along every 6th slot.
+        for slot in 0u64..24 {
+            id += 1;
+            let roll = splitmix64(seed ^ (wave << 32) ^ slot);
+            let (tenant, model) = if slot % 6 == 5 {
+                ("poison", "poisoned-v1")
+            } else {
+                (tenants[(roll % 4) as usize], "chaos")
+            };
+            let deadline = if id.is_multiple_of(7) {
+                Duration::ZERO
+            } else {
+                generous
+            };
+            let res = driver
+                .submit(InferenceRequest::new(id, model, deadline).with_tenant(tenant));
+            totals.classify(&res);
+            assert!(
+                driver.queue_depth() <= capacity,
+                "queue depth {} exceeded capacity {capacity}",
+                driver.queue_depth()
+            );
+        }
+        // Every 5th wave the hog floods past its quota...
+        if wave % 5 == 0 {
+            let mut hog_quota_hits = 0u64;
+            for _ in 0..quota + 3 {
+                id += 1;
+                let res = driver.submit(
+                    InferenceRequest::new(id, "chaos", generous).with_tenant("hog"),
+                );
+                if matches!(res, Err(ServeError::QuotaExceeded { ref tenant, .. }) if tenant.as_str() == "hog")
+                {
+                    hog_quota_hits += 1;
+                }
+                totals.classify(&res);
+            }
+            assert!(
+                hog_quota_hits >= 3,
+                "hog submitted quota+3 into an emptied queue; at least 3 must hit the quota"
+            );
+            // ...without blocking admission for anyone else: a probe
+            // tenant with zero queued requests cannot be at quota, so
+            // any QuotaExceeded here would be bleed from the hog.
+            id += 1;
+            let res = driver
+                .submit(InferenceRequest::new(id, "chaos", generous).with_tenant("probe"));
+            assert!(
+                !matches!(res, Err(ServeError::QuotaExceeded { .. })),
+                "hog's quota must not bleed onto an idle probe tenant: {res:?}"
+            );
+            totals.classify(&res);
+        }
+        let outcomes = driver.run_queue();
+        totals.outcomes += outcomes.len() as u64;
+        assert_eq!(driver.queue_depth(), 0, "run_queue must drain the queue");
+    }
+
+    // Breaker isolation probe: drive poison's breaker open, then show
+    // the same model stays admissible for alpha and the healthy model
+    // stays admissible for poison's neighbours.
+    let mut saw_open = false;
+    for _ in 0..8 {
+        id += 1;
+        let res = driver
+            .submit(InferenceRequest::new(id, "poisoned-v1", generous).with_tenant("poison"));
+        if let Err(ServeError::CircuitOpen {
+            ref tenant,
+            ref model,
+            ..
+        }) = res
+        {
+            assert_eq!(tenant.as_str(), "poison");
+            assert_eq!(model, "poisoned-v1");
+            saw_open = true;
+            totals.classify(&res);
+            break;
+        }
+        totals.classify(&res);
+        totals.outcomes += driver.run_queue().len() as u64;
+    }
+    assert!(saw_open, "poison's (tenant, model) breaker must open");
+    id += 1;
+    let res = driver
+        .submit(InferenceRequest::new(id, "poisoned-v1", generous).with_tenant("alpha"));
+    assert!(
+        !matches!(res, Err(ServeError::CircuitOpen { .. })),
+        "poison's open breaker must not reject alpha's request for the same model: {res:?}"
+    );
+    totals.classify(&res);
+    id += 1;
+    let res = driver
+        .submit(InferenceRequest::new(id, "chaos", generous).with_tenant("poison"));
+    assert!(
+        !matches!(res, Err(ServeError::CircuitOpen { .. })),
+        "poison's poisoned-model breaker must not reject its healthy model: {res:?}"
+    );
+    totals.classify(&res);
+    totals.outcomes += driver.run_queue().len() as u64;
+
+    (totals, driver.report().clone())
+}
+
+/// Phase B: poisoned cache ⇒ quarantine with failing rebuilds ⇒ cache
+/// repair ⇒ recovery. Returns totals and the report.
+fn quarantine_cycle(seed: u64) -> (Totals, fxhenn::ServeReport) {
+    let cache = chaos_cache(seed);
+    let cfg = ServeConfig {
+        quarantine_threshold: 3,
+        breaker_threshold: 99, // keep admission open while workers fail
+        ..soak_config(32, 32, 2)
+    };
+    let mut driver =
+        BatchDriver::with_factory(cfg, chaos_factory(&cache, seed)).expect("healthy cache builds");
+    let mut totals = Totals::default();
+    let generous = Duration::from_secs(5);
+
+    // Poison the shared cache: rebuilds now fail their integrity check.
+    assert!(cache.lock().expect("cache lock").poison("chaos"));
+    {
+        let guard = cache.lock().expect("cache lock");
+        let err = match guard.verify("chaos") {
+            Err(e) => e,
+            Ok(_) => panic!("poisoned cache must not verify"),
+        };
+        assert!(
+            err.contains("relin key frame"),
+            "verify must name the corrupt frame: {err}"
+        );
+    }
+
+    // Poisoned-model requests fail permanently (+2 penalty each); the
+    // round-robin spreads them across both workers until the whole pool
+    // is quarantined and rebuilds keep failing.
+    for pid in 0..8u64 {
+        let res = driver.submit(
+            InferenceRequest::new(1_000 + pid, "poisoned-vB", generous).with_tenant("victim"),
+        );
+        totals.classify(&res);
+    }
+    totals.outcomes += driver.run_queue().len() as u64;
+    assert!(
+        driver.report().quarantines >= 2,
+        "both workers must quarantine, got {}",
+        driver.report().quarantines
+    );
+    assert_eq!(
+        driver.healthy_workers(),
+        0,
+        "failing rebuilds must leave the pool quarantined"
+    );
+
+    // With no healthy worker even a healthy request fails — typed.
+    let res = driver
+        .submit(InferenceRequest::new(2_000, "chaos", generous).with_tenant("victim"));
+    totals.classify(&res);
+    let outcomes = driver.run_queue();
+    totals.outcomes += outcomes.len() as u64;
+    match &outcomes[0].1 {
+        Err(ServeError::Failed { message, .. }) => {
+            assert!(
+                message.contains("no healthy worker"),
+                "failure must name the quarantined pool: {message}"
+            );
+        }
+        other => panic!("expected a typed pool failure, got {other:?}"),
+    }
+
+    // Repair the cache; the next dispatch rebuilds from it and the pool
+    // recovers.
+    assert!(cache
+        .lock()
+        .expect("cache lock")
+        .repair("chaos", &[1, 2], seed));
+    let mut served_after_repair = 0u64;
+    for rid in 0..40u64 {
+        let res = driver.submit(
+            InferenceRequest::new(3_000 + rid, "chaos", generous).with_tenant("victim"),
+        );
+        totals.classify(&res);
+        let outcomes = driver.run_queue();
+        totals.outcomes += outcomes.len() as u64;
+        served_after_repair += outcomes.iter().filter(|(_, o)| o.is_ok()).count() as u64;
+    }
+    assert!(
+        driver.report().worker_recoveries >= 1,
+        "at least one quarantined worker must recover from the repaired cache"
+    );
+    assert!(
+        driver.healthy_workers() >= 1,
+        "recovery must return a worker to rotation"
+    );
+    assert!(
+        served_after_repair >= 30,
+        "the recovered pool must serve again, served {served_after_repair}"
+    );
+
+    (totals, driver.report().clone())
+}
+
+/// Phase C: graceful drain (typed rejections, queued work completes)
+/// and hard cancellation mid-flight (queued work terminates Cancelled).
+fn drain_and_cancel(seed: u64) -> (Totals, fxhenn::ServeReport, fxhenn::ServeReport) {
+    let cache = chaos_cache(seed);
+    let generous = Duration::from_secs(5);
+    let mut totals = Totals::default();
+
+    // Graceful drain.
+    let mut draining =
+        BatchDriver::with_factory(soak_config(64, 64, 2), chaos_factory(&cache, seed))
+            .expect("healthy cache builds");
+    for id in 0..30u64 {
+        let res =
+            draining.submit(InferenceRequest::new(id, "chaos", generous).with_tenant("alpha"));
+        totals.classify(&res);
+    }
+    draining.drain();
+    for id in 30..60u64 {
+        let res =
+            draining.submit(InferenceRequest::new(id, "chaos", generous).with_tenant("alpha"));
+        assert!(
+            matches!(res, Err(ServeError::Draining)),
+            "a draining driver must reject with the typed Draining error: {res:?}"
+        );
+        totals.classify(&res);
+    }
+    let outcomes = draining.run_queue();
+    totals.outcomes += outcomes.len() as u64;
+    assert_eq!(
+        outcomes.len(),
+        30,
+        "drain must still serve every queued request"
+    );
+
+    // Hard cancel with requests still queued.
+    let mut cancelled =
+        BatchDriver::with_factory(soak_config(64, 64, 2), chaos_factory(&cache, seed ^ 1))
+            .expect("healthy cache builds");
+    for id in 0..30u64 {
+        let res =
+            cancelled.submit(InferenceRequest::new(id, "chaos", generous).with_tenant("alpha"));
+        totals.classify(&res);
+    }
+    cancelled.shutdown_token().cancel();
+    let outcomes = cancelled.run_queue();
+    totals.outcomes += outcomes.len() as u64;
+    assert_eq!(outcomes.len(), 30);
+    for (id, outcome) in &outcomes {
+        assert!(
+            matches!(outcome, Err(ServeError::Cancelled(_))),
+            "request {id} must terminate Cancelled after a hard cancel, got {outcome:?}"
+        );
+    }
+
+    (totals, draining.report().clone(), cancelled.report().clone())
+}
+
+/// Every accepted request must have terminated in exactly one typed
+/// outcome: the report's terminal counters partition `submitted`.
+fn assert_terminal_partition(report: &fxhenn::ServeReport) {
+    assert_eq!(
+        report.submitted,
+        report.completed + report.cancelled + report.failed,
+        "accepted requests must partition into typed terminal outcomes: {report}"
+    );
+}
+
+fn run_soak(waves: u64, seed: u64) -> Totals {
+    let (storm_totals, storm_report) = mixed_storm(waves, seed);
+    assert_terminal_partition(&storm_report);
+    assert_eq!(storm_totals.accepted, storm_report.submitted);
+    assert_eq!(
+        storm_totals.outcomes, storm_report.submitted,
+        "every accepted request must surface exactly one outcome"
+    );
+    assert!(storm_report.cancelled > 0, "deadline storms must cancel");
+    assert!(storm_report.breaker_trips > 0, "poisoned model must trip");
+    assert!(storm_totals.quota_rejected > 0, "hog must hit its quota");
+
+    let (q_totals, q_report) = quarantine_cycle(seed);
+    assert_terminal_partition(&q_report);
+    assert_eq!(q_totals.outcomes, q_report.submitted);
+    assert!(q_report.quarantines >= 2 && q_report.worker_recoveries >= 1);
+
+    let (dc_totals, drain_report, cancel_report) = drain_and_cancel(seed);
+    assert_terminal_partition(&drain_report);
+    assert_terminal_partition(&cancel_report);
+    assert_eq!(drain_report.rejected_draining, 30);
+    assert_eq!(cancel_report.cancelled, 30);
+
+    let mut all = Totals::default();
+    for t in [&storm_totals, &q_totals, &dc_totals] {
+        all.submissions += t.submissions;
+        all.accepted += t.accepted;
+        all.shed += t.shed;
+        all.quota_rejected += t.quota_rejected;
+        all.rejected_open += t.rejected_open;
+        all.rejected_draining += t.rejected_draining;
+        all.outcomes += t.outcomes;
+    }
+    assert_eq!(
+        all.submissions,
+        all.accepted + all.shed + all.quota_rejected + all.rejected_open + all.rejected_draining,
+        "every submission must be accepted or rejected with a typed admission error"
+    );
+    all
+}
+
+/// The full soak: ≥ 2,000 submissions across ≥ 3 tenants under all
+/// five fault classes. `#[ignore]`d — CI runs it as a dedicated job
+/// (`cargo test -q chaos_soak -- --ignored`).
+#[test]
+#[ignore = "multi-thousand-request soak; run explicitly via CI's chaos job"]
+fn chaos_soak_two_thousand_requests() {
+    let totals = under_watchdog(Duration::from_secs(300), || run_soak(80, 7));
+    assert!(
+        totals.submissions >= 2_000,
+        "the soak must inject at least 2,000 requests, got {}",
+        totals.submissions
+    );
+}
+
+/// The same harness at reduced scale, in the default test pass.
+#[test]
+fn chaos_smoke() {
+    let totals = under_watchdog(Duration::from_secs(120), || run_soak(6, 7));
+    assert!(totals.submissions >= 200, "got {}", totals.submissions);
+}

@@ -1,0 +1,259 @@
+//! Property tests for the serving substrate: the circuit-breaker state
+//! machine (driven by a fabricated clock, so no test ever sleeps) and
+//! the weighted-fair dequeue (no tenant starves under adversarial
+//! arrival orders).
+
+use fxhenn::serve::{BreakerPhase, CircuitBreaker, TenantId, WeightedFairQueue};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One scripted breaker event at a millisecond offset from the base
+/// instant.
+#[derive(Debug, Clone)]
+enum Event {
+    Admit(u64),
+    Failure(u64),
+    Success,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0usize..3, 0u64..5_000).prop_map(|(kind, t)| match kind {
+        0 => Event::Admit(t),
+        1 => Event::Failure(t),
+        _ => Event::Success,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the event order, the breaker's invariants hold:
+    /// closed ↔ zero-or-subthreshold failure streak, open only after a
+    /// trip, half-open only after a cooldown-elapsed admit, and the
+    /// phase after every event is one of the three — never a panic or
+    /// a stuck state.
+    #[test]
+    fn breaker_state_machine_invariants(
+        threshold in 1u32..6,
+        cooldown_ms in 1u64..200,
+        raw_events in proptest::collection::vec(event_strategy(), 1..120),
+    ) {
+        let base = Instant::now();
+        let cooldown = Duration::from_millis(cooldown_ms);
+        let mut b = CircuitBreaker::new(threshold, cooldown);
+        // Events are applied at non-decreasing times: sort offsets so
+        // the fabricated clock never runs backward.
+        let mut events = raw_events;
+        events.sort_by_key(|e| match e {
+            Event::Admit(t) | Event::Failure(t) => *t,
+            Event::Success => 0,
+        });
+        let mut last_trip_at: Option<u64> = None;
+        for event in &events {
+            match event {
+                Event::Admit(t) => {
+                    let now = base + Duration::from_millis(*t);
+                    let before = b.phase();
+                    match b.admit_at(now) {
+                        Ok(()) => {
+                            // Closed always admits; an open breaker only
+                            // admits once its cooldown fully elapsed
+                            // (becoming the half-open probe).
+                            if before == BreakerPhase::Open {
+                                let since = last_trip_at.expect("open implies a trip");
+                                prop_assert!(
+                                    *t >= since + cooldown_ms,
+                                    "admitted at {t} but tripped at {since} with cooldown {cooldown_ms}"
+                                );
+                                prop_assert_eq!(b.phase(), BreakerPhase::HalfOpen);
+                            }
+                        }
+                        Err(retry_after) => {
+                            // Rejections carry a bounded cooldown hint
+                            // and never come from a closed breaker.
+                            prop_assert!(before != BreakerPhase::Closed);
+                            prop_assert!(retry_after <= cooldown);
+                        }
+                    }
+                }
+                Event::Failure(t) => {
+                    let now = base + Duration::from_millis(*t);
+                    let before = b.phase();
+                    let failures_before = b.consecutive_failures();
+                    let tripped = b.record_failure_at(now);
+                    if tripped {
+                        prop_assert_eq!(b.phase(), BreakerPhase::Open);
+                        last_trip_at = Some(*t);
+                        // A closed breaker trips exactly at threshold; a
+                        // half-open probe failure re-opens immediately.
+                        if before == BreakerPhase::Closed {
+                            prop_assert!(failures_before + 1 >= threshold);
+                        }
+                    } else {
+                        // Closed stays closed below threshold; open stays
+                        // open (failures while open don't re-trip).
+                        prop_assert!(
+                            b.phase() == before || before == BreakerPhase::HalfOpen,
+                            "untripped failure changed phase"
+                        );
+                    }
+                }
+                Event::Success => {
+                    b.record_success();
+                    prop_assert_eq!(b.phase(), BreakerPhase::Closed);
+                    prop_assert_eq!(b.consecutive_failures(), 0);
+                }
+            }
+        }
+    }
+
+    /// Cooldown arithmetic: an open breaker's retry-after hint plus the
+    /// elapsed time never exceeds the configured cooldown, and admission
+    /// at exactly `trip + cooldown` succeeds as the half-open probe.
+    #[test]
+    fn breaker_cooldown_arithmetic(
+        threshold in 1u32..4,
+        cooldown_ms in 1u64..500,
+        probe_offset in 0u64..1_000,
+    ) {
+        let base = Instant::now();
+        let cooldown = Duration::from_millis(cooldown_ms);
+        let mut b = CircuitBreaker::new(threshold, cooldown);
+        for _ in 0..threshold {
+            b.record_failure_at(base);
+        }
+        prop_assert_eq!(b.phase(), BreakerPhase::Open);
+        prop_assert_eq!(b.trips(), 1);
+        let now = base + Duration::from_millis(probe_offset);
+        match b.admit_at(now) {
+            Ok(()) => {
+                prop_assert!(probe_offset >= cooldown_ms);
+                prop_assert_eq!(b.phase(), BreakerPhase::HalfOpen);
+                prop_assert_eq!(b.probes(), 1);
+                // Only one probe is outstanding at a time.
+                prop_assert!(b.admit_at(now).is_err());
+                prop_assert_eq!(b.probes(), 1);
+            }
+            Err(retry_after) => {
+                prop_assert!(probe_offset < cooldown_ms);
+                prop_assert_eq!(
+                    retry_after,
+                    cooldown - Duration::from_millis(probe_offset)
+                );
+            }
+        }
+    }
+
+    /// Probe accounting: each cooldown-elapsed admit grants exactly one
+    /// probe; a failed probe re-opens (trip count grows), a successful
+    /// probe closes and resets the failure streak.
+    #[test]
+    fn breaker_probe_accounting(probe_succeeds in any::<bool>(), rounds in 1u64..6) {
+        let base = Instant::now();
+        let cooldown = Duration::from_millis(10);
+        let mut b = CircuitBreaker::new(1, cooldown);
+        let mut t_ms = 0u64;
+        let mut expected_probes = 0u64;
+        for _ in 1..=rounds {
+            b.record_failure_at(base + Duration::from_millis(t_ms));
+            prop_assert_eq!(b.phase(), BreakerPhase::Open);
+            t_ms += 10;
+            prop_assert!(b.admit_at(base + Duration::from_millis(t_ms)).is_ok());
+            expected_probes += 1;
+            prop_assert_eq!(b.probes(), expected_probes);
+            if probe_succeeds {
+                prop_assert!(b.record_success());
+                prop_assert_eq!(b.phase(), BreakerPhase::Closed);
+                prop_assert_eq!(b.consecutive_failures(), 0);
+            } else {
+                prop_assert!(b.record_failure_at(base + Duration::from_millis(t_ms)));
+                prop_assert_eq!(b.phase(), BreakerPhase::Open);
+                t_ms += 10;
+                // Recover for the next round so each failure above is
+                // the closed→open trip of a fresh cycle — the recovery
+                // admit is itself one more probe.
+                prop_assert!(b.admit_at(base + Duration::from_millis(t_ms)).is_ok());
+                expected_probes += 1;
+                prop_assert!(b.record_success());
+            }
+        }
+    }
+
+    /// No tenant starves: under any adversarial interleaving of pushes
+    /// across up to 5 tenants, every backlogged tenant receives at
+    /// least `floor(K / (lanes × max_weight)) × weight` of the first K
+    /// dequeues — and total pops equal total pushes (nothing is lost or
+    /// duplicated).
+    #[test]
+    fn weighted_fair_dequeue_never_starves_a_tenant(
+        arrivals in proptest::collection::vec((0usize..5, 0u64..1_000), 1..200),
+        weights in proptest::collection::vec(1u32..4, 5),
+    ) {
+        let tenants: Vec<TenantId> =
+            (0..5).map(|i| TenantId::new(format!("t{i}"))).collect();
+        let mut q: WeightedFairQueue<u64> = WeightedFairQueue::new();
+        for (i, t) in tenants.iter().enumerate() {
+            q.set_weight(t, weights[i]);
+        }
+        let mut pushed: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &(lane, item) in &arrivals {
+            q.push(tenants[lane].clone(), item);
+            pushed.entry(lane).or_default().push(item);
+        }
+        let total = arrivals.len();
+        prop_assert_eq!(q.len(), total);
+
+        let mut popped: HashMap<usize, Vec<u64>> = HashMap::new();
+        let mut order: Vec<usize> = Vec::with_capacity(total);
+        while let Some((t, item)) = q.pop() {
+            let lane = tenants.iter().position(|x| x == &t).expect("known tenant");
+            popped.entry(lane).or_default().push(item);
+            order.push(lane);
+        }
+        prop_assert!(q.is_empty());
+
+        // Conservation + FIFO within each lane.
+        for lane in 0..5 {
+            let sent = pushed.get(&lane).cloned().unwrap_or_default();
+            let got = popped.get(&lane).cloned().unwrap_or_default();
+            prop_assert_eq!(sent, got, "lane {} reordered or lost items", lane);
+        }
+
+        // Starvation bound: while a tenant stays backlogged, one full
+        // cursor rotation costs at most sum(weights) dequeues and pays
+        // the tenant `weight` of them. Check the bound over the prefix
+        // where every initially-backlogged tenant still has items.
+        let backlog: Vec<usize> = (0..5)
+            .filter(|l| pushed.get(l).map_or(0, Vec::len) > 0)
+            .collect();
+        let rotation: u64 = backlog.iter().map(|&l| u64::from(weights[l])).sum();
+        // Longest prefix of `order` during which no backlogged lane has
+        // been fully drained.
+        let mut remaining: HashMap<usize, usize> =
+            backlog.iter().map(|&l| (l, pushed[&l].len())).collect();
+        let mut prefix = 0usize;
+        for &lane in &order {
+            if remaining.values().any(|&r| r == 0) {
+                break;
+            }
+            prefix += 1;
+            if let Some(r) = remaining.get_mut(&lane) {
+                *r -= 1;
+            }
+        }
+        for &lane in &backlog {
+            let served = order[..prefix].iter().filter(|&&l| l == lane).count() as u64;
+            let floor_rotations = (prefix as u64) / rotation.max(1);
+            let entitled = floor_rotations.saturating_sub(1) * u64::from(weights[lane]);
+            prop_assert!(
+                served >= entitled,
+                "lane {} got {} of the first {} pops, entitled to {}",
+                lane,
+                served,
+                prefix,
+                entitled
+            );
+        }
+    }
+}

@@ -32,9 +32,18 @@ use std::time::{Duration, Instant};
 /// A shared cancellation flag: clone it, hand one handle to the worker
 /// and keep one to cancel from outside (another thread, a signal
 /// handler, a serve-driver admission loop).
+///
+/// Shutdown is two-phase. [`request_drain`](Self::request_drain) is the
+/// soft phase: admission loops stop accepting new work but in-flight
+/// requests run to completion — budget checks keep passing. [`cancel`]
+/// (Self::cancel) is the hard phase: every budget gate observes the
+/// stop at its next check point. Draining a token never cancels it;
+/// cancelling a token implies it is also draining (no admission while
+/// tearing down).
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
 }
 
 impl CancelToken {
@@ -51,6 +60,20 @@ impl CancelToken {
     /// True once any clone has called [`cancel`](Self::cancel).
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: stop admitting new work, let
+    /// in-flight work finish. Advisory — budget checks ignore it;
+    /// admission paths consult [`is_draining`](Self::is_draining).
+    /// Idempotent; visible to every clone.
+    pub fn request_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// True once any clone has requested a drain *or* a hard cancel
+    /// (cancellation implies no further admission).
+    pub fn is_draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst) || self.is_cancelled()
     }
 }
 
@@ -298,6 +321,22 @@ mod tests {
         assert!(matches!(stop.cause, StopCause::DeadlineExpired { .. }));
         assert!(stop.to_string().contains("phase-x"), "{stop}");
         assert!(stop.to_string().contains("3/10"), "{stop}");
+    }
+
+    #[test]
+    fn drain_is_advisory_and_cancel_implies_draining() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(token.clone());
+        token.request_drain();
+        // Drain stops admission, not in-flight work: checks still pass.
+        assert!(token.is_draining());
+        assert!(!token.is_cancelled());
+        assert!(b.check("in-flight", Progress::done(1)).is_ok());
+        // Hard cancel flips both.
+        let hard = CancelToken::new();
+        hard.cancel();
+        assert!(hard.is_cancelled());
+        assert!(hard.is_draining(), "cancel must imply draining");
     }
 
     #[test]

@@ -49,11 +49,7 @@ impl InferenceService for Scripted {
 }
 
 fn req(id: u64, model: &str, deadline: Duration) -> InferenceRequest {
-    InferenceRequest {
-        id,
-        model: model.to_string(),
-        deadline,
-    }
+    InferenceRequest::new(id, model, deadline)
 }
 
 #[test]
@@ -72,6 +68,9 @@ fn mixed_request_stream_exercises_every_policy() {
         ];
         let cfg = ServeConfig {
             queue_capacity: 4,
+            // Above queue_capacity so the shared-capacity check (not
+            // the per-tenant quota) rejects the 5th request below.
+            tenant_quota: 8,
             max_retries: 3,
             base_backoff: Duration::from_micros(200),
             max_backoff: Duration::from_millis(2),
@@ -79,6 +78,7 @@ fn mixed_request_stream_exercises_every_policy() {
             breaker_cooldown: Duration::from_secs(30),
             slip_threshold: 2,
             service_time_hint: Duration::from_millis(1),
+            ..ServeConfig::default()
         };
         let mut driver = BatchDriver::new(
             Scripted {
