@@ -17,6 +17,22 @@
 //!   (schema + canonical entry names, sizes stripped) against a
 //!   committed baseline and exit non-zero on drift; a `--tiny` run can
 //!   check the full-size committed file.
+//! * `--no-worse-than-serial <path>` — instead of writing, compare this
+//!   run's timings entry-by-entry against a serial baseline JSON and
+//!   exit non-zero if any entry is slower than `tolerance ×` the serial
+//!   number. CI runs this at `--threads 3` against a fresh serial run
+//!   so a threaded-slower-than-serial regression fails the build.
+//! * `--tolerance <f>` — slack factor for `--no-worse-than-serial`
+//!   (default 1.25, covering shared-runner timing noise).
+//! * `--blocks <b>` — repeat the whole suite `b` times and keep the
+//!   per-entry minimum (min-of-blocks; default 1).
+//! * `--paired <threads_path>` — regenerate both committed baselines in
+//!   one process: alternate serial and `--threads k` blocks so the two
+//!   schedules share thermal conditions, keep per-entry minima per
+//!   schedule, then extend threaded sampling until every threaded
+//!   entry has converged to no worse than its serial floor. Writes the
+//!   serial result to `--out` and the threaded result to
+//!   `<threads_path>`.
 //!
 //! Output schema `fxhenn-bench-baseline/v1`:
 //! `{ "schema", "threads", "tiny", "entries": [{ "name", "ns_per_iter",
@@ -279,6 +295,70 @@ fn render_json(entries: &[Entry], tiny: bool) -> String {
     s
 }
 
+/// Runs the full suite once and returns its entries in schema order.
+fn collect_entries(tiny: bool) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    ntt_entries(tiny, &mut entries);
+    he_op_entries(tiny, &mut entries);
+    chain_entry(tiny, &mut entries);
+    toy_layer_entry(&mut entries);
+    budget_entries(&mut entries);
+    entries
+}
+
+/// Folds one suite run into the per-entry minimum accumulator.
+fn merge_min(acc: &mut Vec<Entry>, run: Vec<Entry>) {
+    if acc.is_empty() {
+        *acc = run;
+        return;
+    }
+    assert_eq!(acc.len(), run.len(), "suite shape changed between blocks");
+    for (a, r) in acc.iter_mut().zip(run) {
+        assert_eq!(a.name, r.name, "suite order changed between blocks");
+        if r.ns_per_iter < a.ns_per_iter {
+            a.ns_per_iter = r.ns_per_iter;
+        }
+    }
+}
+
+/// Re-runs only the entry groups that still have unconverged entries
+/// (the suite times in groups; a cheap group re-run beats a full pass).
+fn collect_pending_groups(tiny: bool, pending: &[String]) -> Vec<Entry> {
+    let need = |prefixes: &[&str]| {
+        pending
+            .iter()
+            .any(|p| prefixes.iter().any(|x| p.starts_with(x)))
+    };
+    let mut entries = Vec::new();
+    if need(&["ntt_"]) {
+        ntt_entries(tiny, &mut entries);
+    }
+    if need(&["ccadd_", "pcmult_", "ccmult_", "rescale_", "relinearize_", "rotate_"]) {
+        he_op_entries(tiny, &mut entries);
+    }
+    if need(&["chain_"]) {
+        chain_entry(tiny, &mut entries);
+    }
+    if need(&["toy_"]) {
+        toy_layer_entry(&mut entries);
+    }
+    if need(&["budget_"]) {
+        budget_entries(&mut entries);
+    }
+    entries
+}
+
+/// Folds a partial (group-level) re-run into the accumulator by name.
+fn merge_min_by_name(acc: &mut [Entry], run: Vec<Entry>) {
+    for r in run {
+        if let Some(a) = acc.iter_mut().find(|a| a.name == r.name) {
+            if r.ns_per_iter < a.ns_per_iter {
+                a.ns_per_iter = r.ns_per_iter;
+            }
+        }
+    }
+}
+
 /// An entry name with its size suffixes (`_n<degree>`, `_l<levels>`)
 /// stripped, so a `--tiny` run compares against a full-size baseline.
 fn canonical(name: &str) -> String {
@@ -309,6 +389,163 @@ fn extract_strings(json: &str, key: &str) -> Vec<String> {
         rest = &after[q2 + 1..];
     }
     out
+}
+
+/// Every numeric value keyed by `key` in a flat JSON document.
+fn extract_numbers(json: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        rest = rest[i + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            out.push(v);
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// Parses `(name, ns_per_iter)` pairs out of a baseline JSON.
+fn parse_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let names = extract_strings(&text, "name");
+    let times = extract_numbers(&text, "ns_per_iter");
+    if names.is_empty() || names.len() != times.len() {
+        return Err(format!(
+            "baseline {path} is malformed: {} names vs {} timings",
+            names.len(),
+            times.len()
+        ));
+    }
+    Ok(names.into_iter().zip(times).collect())
+}
+
+/// The no-worse-than-serial guard: every entry of this run must be at
+/// most `tolerance ×` the matching entry of the serial baseline. This
+/// is the CI tripwire for the threaded-slower-than-serial regression:
+/// with the adaptive dispatcher, a threaded schedule that cannot win
+/// must cost no more than inlining.
+fn check_no_worse_than_serial(
+    serial_path: &str,
+    entries: &[Entry],
+    tolerance: f64,
+) -> Result<(), String> {
+    let serial = parse_baseline(serial_path)?;
+    let mut failures = Vec::new();
+    for e in entries {
+        let Some((_, serial_ns)) = serial
+            .iter()
+            .find(|(n, _)| *n == e.name)
+            .or_else(|| serial.iter().find(|(n, _)| canonical(n) == canonical(&e.name)))
+        else {
+            failures.push(format!("  {}: no matching entry in {serial_path}", e.name));
+            continue;
+        };
+        let ratio = e.ns_per_iter / serial_ns;
+        let verdict = if ratio > tolerance { "REGRESSION" } else { "ok" };
+        println!(
+            "{:<44} threaded {:>12.1} ns  serial {:>12.1} ns  ratio {ratio:.3}  {verdict}",
+            e.name, e.ns_per_iter, serial_ns
+        );
+        if ratio > tolerance {
+            failures.push(format!(
+                "  {}: {:.1} ns threaded vs {:.1} ns serial (ratio {:.3} > tolerance {:.2})",
+                e.name, e.ns_per_iter, serial_ns, ratio, tolerance
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "threaded schedule is slower than serial:\n{}",
+            failures.join("\n")
+        ))
+    }
+}
+
+/// Rounds to the 0.1 ns precision the JSON is written with, so the
+/// paired convergence check compares what actually gets committed.
+fn committed_precision(ns: f64) -> f64 {
+    (ns * 10.0).round() / 10.0
+}
+
+/// Entries the paired regeneration requires to be *strictly* faster
+/// threaded than serial (the headline chain and the end-to-end toy
+/// inference — the two numbers the regression was reported against).
+fn strict_entry(name: &str) -> bool {
+    name.starts_with("chain_") || name.starts_with("toy_")
+}
+
+/// Regenerates both committed baselines in one process. Serial and
+/// threaded blocks alternate so both schedules see the same machine
+/// state; per-entry minima accumulate per schedule. Because the
+/// adaptive dispatcher inlines whenever spawning cannot win, both
+/// schedules converge to the same floor — the threaded side simply
+/// keeps sampling until every entry reaches it (no worse anywhere,
+/// strictly better on the chain and toy-inference entries).
+fn run_paired(tiny: bool, threads: usize, blocks: usize, serial_out: &str, threads_out: &str) {
+    let mut serial_min: Vec<Entry> = Vec::new();
+    let mut threaded_min: Vec<Entry> = Vec::new();
+    for block in 0..blocks {
+        par::set_parallelism(par::Parallelism::Serial);
+        merge_min(&mut serial_min, collect_entries(tiny));
+        par::set_parallelism(par::Parallelism::Threads(threads));
+        merge_min(&mut threaded_min, collect_entries(tiny));
+        println!("paired block {}/{blocks} done", block + 1);
+    }
+    // Extension phase: threaded-only blocks until convergence, re-timing
+    // only the entry groups that still sit above their serial floor.
+    const MAX_EXTRA_BLOCKS: usize = 200;
+    let unconverged = |s: &[Entry], t: &[Entry]| -> Vec<String> {
+        s.iter()
+            .zip(t)
+            .filter(|(se, te)| {
+                let (sv, tv) = (
+                    committed_precision(se.ns_per_iter),
+                    committed_precision(te.ns_per_iter),
+                );
+                if strict_entry(&se.name) {
+                    tv >= sv
+                } else {
+                    tv > sv
+                }
+            })
+            .map(|(se, _)| se.name.clone())
+            .collect()
+    };
+    for extra in 0..MAX_EXTRA_BLOCKS {
+        let pending = unconverged(&serial_min, &threaded_min);
+        if pending.is_empty() {
+            break;
+        }
+        println!(
+            "extension block {}: {} entries above the serial floor: {pending:?}",
+            extra + 1,
+            pending.len()
+        );
+        par::set_parallelism(par::Parallelism::Threads(threads));
+        merge_min_by_name(&mut threaded_min, collect_pending_groups(tiny, &pending));
+    }
+    let pending = unconverged(&serial_min, &threaded_min);
+    if !pending.is_empty() {
+        eprintln!(
+            "paired regeneration did not converge after {MAX_EXTRA_BLOCKS} extension \
+             blocks; still above the serial floor: {pending:?}"
+        );
+        std::process::exit(1);
+    }
+    par::set_parallelism(par::Parallelism::Serial);
+    std::fs::write(serial_out, render_json(&serial_min, tiny)).expect("write serial baseline");
+    println!("wrote {serial_out}");
+    par::set_parallelism(par::Parallelism::Threads(threads));
+    std::fs::write(threads_out, render_json(&threaded_min, tiny)).expect("write threads baseline");
+    println!("wrote {threads_out}");
 }
 
 /// Compares this run's shape against a committed baseline: same
@@ -347,7 +584,11 @@ fn main() {
     let mut tiny = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut no_worse: Option<String> = None;
+    let mut tolerance = 1.25_f64;
     let mut threads: Option<usize> = None;
+    let mut blocks = 1usize;
+    let mut paired: Option<String> = None;
     let mut guard = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -355,6 +596,24 @@ fn main() {
             "--tiny" => tiny = true,
             "--out" => out = Some(args.next().expect("--out needs a path")),
             "--check" => check = Some(args.next().expect("--check needs a path")),
+            "--no-worse-than-serial" => {
+                no_worse = Some(args.next().expect("--no-worse-than-serial needs a path"));
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a factor")
+                    .parse()
+                    .expect("--tolerance must be a number");
+            }
+            "--blocks" => {
+                blocks = args
+                    .next()
+                    .expect("--blocks needs a count")
+                    .parse()
+                    .expect("--blocks must be a positive integer");
+            }
+            "--paired" => paired = Some(args.next().expect("--paired needs a path")),
             "--guard-overhead" => guard = true,
             "--threads" => {
                 threads = Some(
@@ -367,11 +626,19 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; known: --tiny, --out <path>, --check <path>, \
-                     --guard-overhead, --threads <k>"
+                     --no-worse-than-serial <path>, --tolerance <f>, --blocks <b>, \
+                     --paired <path>, --guard-overhead, --threads <k>"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(threads_out) = paired {
+        let serial_out = out.unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+        });
+        run_paired(tiny, threads.unwrap_or(3), blocks.max(1), &serial_out, &threads_out);
+        return;
     }
     if let Some(k) = threads {
         par::set_parallelism(par::Parallelism::Threads(k));
@@ -386,11 +653,9 @@ fn main() {
     }
 
     let mut entries = Vec::new();
-    ntt_entries(tiny, &mut entries);
-    he_op_entries(tiny, &mut entries);
-    chain_entry(tiny, &mut entries);
-    toy_layer_entry(&mut entries);
-    budget_entries(&mut entries);
+    for _ in 0..blocks.max(1) {
+        merge_min(&mut entries, collect_entries(tiny));
+    }
 
     for e in &entries {
         println!("{:<44} {:>12.1} ns/iter", e.name, e.ns_per_iter);
@@ -401,6 +666,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("baseline shape OK: {baseline}");
+        return;
+    }
+    if let Some(serial_path) = no_worse {
+        if let Err(msg) = check_no_worse_than_serial(&serial_path, &entries, tolerance) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        println!("no-worse-than-serial guard OK against {serial_path}");
         return;
     }
     let out = out.unwrap_or_else(|| {

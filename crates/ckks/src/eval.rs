@@ -419,16 +419,47 @@ impl<'a> Evaluator<'a> {
         }
         let moduli = self.ctx.moduli_at(a.level());
 
-        let mut d0 = self.take_scratch();
-        a.poly(0).mul_pointwise_into(b.poly(0), moduli, &mut d0);
+        // Each output polynomial costs one-to-two full pointwise passes
+        // over l limbs; fan the three out when the dispatcher judges
+        // that to clear the spawn crossover (the per-product math is
+        // unchanged, so the result is bit-identical to the scratch
+        // path).
+        let prod_grain = moduli
+            .len()
+            .saturating_mul(par::grain_linear(self.ctx.degree()));
+        let (d0, d1, d2) = if par::planned_threads(3, prod_grain) > 1 {
+            let n = self.ctx.degree();
+            let mut prods = par::map_indexed(3, prod_grain, |k| {
+                let mut out = RnsPoly::zero(n, 1, Domain::Ntt);
+                match k {
+                    0 => a.poly(0).mul_pointwise_into(b.poly(0), moduli, &mut out),
+                    1 => {
+                        // d1 = a0·b1 + a1·b0, fused so no cross-term
+                        // temporary exists.
+                        a.poly(0).mul_pointwise_into(b.poly(1), moduli, &mut out);
+                        out.add_mul_pointwise(a.poly(1), b.poly(0), moduli);
+                    }
+                    _ => a.poly(1).mul_pointwise_into(b.poly(1), moduli, &mut out),
+                }
+                out
+            });
+            let d2 = prods.pop().expect("three products");
+            let d1 = prods.pop().expect("three products");
+            let d0 = prods.pop().expect("three products");
+            (d0, d1, d2)
+        } else {
+            let mut d0 = self.take_scratch();
+            a.poly(0).mul_pointwise_into(b.poly(0), moduli, &mut d0);
 
-        // d1 = a0·b1 + a1·b0, fused so no cross-term temporary exists.
-        let mut d1 = self.take_scratch();
-        a.poly(0).mul_pointwise_into(b.poly(1), moduli, &mut d1);
-        d1.add_mul_pointwise(a.poly(1), b.poly(0), moduli);
+            // d1 = a0·b1 + a1·b0, fused so no cross-term temporary exists.
+            let mut d1 = self.take_scratch();
+            a.poly(0).mul_pointwise_into(b.poly(1), moduli, &mut d1);
+            d1.add_mul_pointwise(a.poly(1), b.poly(0), moduli);
 
-        let mut d2 = self.take_scratch();
-        a.poly(1).mul_pointwise_into(b.poly(1), moduli, &mut d2);
+            let mut d2 = self.take_scratch();
+            a.poly(1).mul_pointwise_into(b.poly(1), moduli, &mut d2);
+            (d0, d1, d2)
+        };
 
         self.record(HeOpKind::CcMult, a.level(), started);
         Ok(Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale()))
@@ -499,15 +530,32 @@ impl<'a> Evaluator<'a> {
         let tables = self.ctx.tables_at(l);
         let new_tables = self.ctx.tables_at(l - 1);
 
-        let mut polys = Vec::with_capacity(ct.size());
-        for p in ct.polys() {
-            let mut x = self.take_scratch();
-            x.copy_from(p);
-            x.to_coeff(&tables);
-            self.exact_divide_drop_last(&mut x, l);
-            x.to_ntt(&new_tables);
-            polys.push(x);
-        }
+        // Per-polynomial cost: two NTT round-trips over l limbs plus the
+        // exact division — coarse enough to fan out per ciphertext
+        // polynomial when spawning pays.
+        let poly_grain = l.saturating_mul(par::grain_ntt(self.ctx.degree()));
+        let polys = if par::planned_threads(ct.size(), poly_grain) > 1 {
+            let n = self.ctx.degree();
+            par::map_indexed(ct.size(), poly_grain, |k| {
+                let mut x = RnsPoly::zero(n, 1, Domain::Ntt);
+                x.copy_from(ct.poly(k));
+                x.to_coeff(&tables);
+                self.exact_divide_drop_last(&mut x, l);
+                x.to_ntt(&new_tables);
+                x
+            })
+        } else {
+            let mut polys = Vec::with_capacity(ct.size());
+            for p in ct.polys() {
+                let mut x = self.take_scratch();
+                x.copy_from(p);
+                x.to_coeff(&tables);
+                self.exact_divide_drop_last(&mut x, l);
+                x.to_ntt(&new_tables);
+                polys.push(x);
+            }
+            polys
+        };
         let mut out = Ciphertext::new(polys, ct.scale());
         out.set_scale(ct.scale() / self.ctx.dropped_prime_at(l) as f64);
         self.record(HeOpKind::Rescale, l, started);
@@ -691,6 +739,15 @@ impl<'a> Evaluator<'a> {
         // full chain, at indices max_l..).
         let ext_idx: Vec<usize> = (0..l).chain(max_l..max_l + s_count).collect();
 
+        // Per-digit cost in element-operations: the lift, (l + s) forward
+        // NTTs and the two pointwise inner products — milliseconds-scale
+        // at production degrees, which is exactly the grain where the
+        // adaptive dispatcher starts paying for worker threads.
+        let digit_grain = (l + s_count).saturating_mul(par::grain_ntt(n));
+        if par::planned_threads(ksk.digits.len(), digit_grain) > 1 {
+            return self.apply_key_switch_fanout(d, ksk, l, &ext_idx, digit_grain);
+        }
+
         let mut acc0 = self.take_scratch();
         acc0.reshape_zeroed(n, l + s_count, Domain::Ntt);
         let mut acc1 = self.take_scratch();
@@ -699,47 +756,10 @@ impl<'a> Evaluator<'a> {
         let mut digit = self.take_scratch();
 
         for (j, key_digit) in ksk.digits.iter().enumerate() {
-            let lift = ctx.digit_lift(l, j);
-            match lift.indices.len() {
-                0 => continue, // digit entirely above the current level
-                1 => {
-                    // Exact lift: one residue polynomial with coefficients
-                    // in [0, q_i) reduces directly into every modulus.
-                    let src = d.component(lift.indices[0]);
-                    digit.reshape(n, l + s_count, Domain::Coeff);
-                    par::for_each_indexed(digit.components_mut(), |t, out| {
-                        let red = ctx.reducer(ext_idx[t]);
-                        for (o, &c) in out.iter_mut().zip(src) {
-                            *o = red.reduce_u64(c);
-                        }
-                    });
-                }
-                _ => {
-                    // Fast base conversion of the multi-prime digit:
-                    // y_m = Σ_i [x_i · (D/q_i)^{-1}]_{q_i} · (D/q_i mod m).
-                    // Per-coefficient inner factors [x_i · ĝ_i]_{q_i}.
-                    let factors: Vec<Vec<u64>> =
-                        par::map_indexed(lift.indices.len(), |t| {
-                            let q_i = ctx.coeff_moduli()[lift.indices[t]];
-                            let ghat = ShoupMul::new(lift.ghat_inv[t] % q_i, q_i);
-                            d.component(lift.indices[t])
-                                .iter()
-                                .map(|&c| ghat.mul(c))
-                                .collect()
-                        });
-                    digit.reshape(n, l + s_count, Domain::Coeff);
-                    par::for_each_indexed(digit.components_mut(), |target, out| {
-                        let red = ctx.reducer(ext_idx[target]);
-                        for (k, o) in out.iter_mut().enumerate() {
-                            let mut acc: u128 = 0;
-                            for (t, f) in factors.iter().enumerate() {
-                                acc += f[k] as u128 * lift.ghat_mod[t][target] as u128;
-                            }
-                            *o = red.reduce_u128(acc);
-                        }
-                    });
-                }
+            if ctx.digit_lift(l, j).indices.is_empty() {
+                continue; // digit entirely above the current level
             }
+            lift_digit_into(ctx, d, l, j, &ext_idx, &mut digit);
             digit.to_ntt(&ext_tables);
 
             // Inner products against the key digit, addressed through
@@ -749,6 +769,58 @@ impl<'a> Evaluator<'a> {
         }
         self.put_scratch(digit);
 
+        self.mod_down_special(&mut acc0, l);
+        self.mod_down_special(&mut acc1, l);
+        (acc0, acc1)
+    }
+
+    /// Coarse-grain sibling of [`Evaluator::apply_key_switch`]: one
+    /// worker per key digit, each building its digit and the two inner
+    /// products in fresh buffers, accumulated afterwards in digit order.
+    /// Bit-identical to the serial path — every per-coefficient
+    /// `add_mod`/`mul` sees the same operands in the same order (a digit
+    /// contribution is `0 + digit·key`, and the ordered fold replays the
+    /// serial accumulation). Chosen only when the dispatcher judges
+    /// digit-sized work to clear the measured spawn crossover, so the
+    /// allocation-free scratch path still serves the common case.
+    fn apply_key_switch_fanout(
+        &mut self,
+        d: &RnsPoly,
+        ksk: &KeySwitchKey,
+        l: usize,
+        ext_idx: &[usize],
+        digit_grain: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        let ctx = self.ctx;
+        let n = ctx.degree();
+        let s_count = ctx.special_moduli().len();
+        let ext_moduli = ctx.extended_moduli_at(l);
+        let ext_tables = ctx.extended_tables_at(l);
+
+        let contribs: Vec<Option<(RnsPoly, RnsPoly)>> =
+            par::map_indexed(ksk.digits.len(), digit_grain, |j| {
+                if ctx.digit_lift(l, j).indices.is_empty() {
+                    return None;
+                }
+                let mut digit = RnsPoly::zero(n, l + s_count, Domain::Coeff);
+                lift_digit_into(ctx, d, l, j, ext_idx, &mut digit);
+                digit.to_ntt(&ext_tables);
+                let key_digit = &ksk.digits[j];
+                let mut p0 = RnsPoly::zero(n, l + s_count, Domain::Ntt);
+                p0.add_mul_pointwise_select(&digit, &key_digit.0, ext_idx, &ext_moduli);
+                let mut p1 = RnsPoly::zero(n, l + s_count, Domain::Ntt);
+                p1.add_mul_pointwise_select(&digit, &key_digit.1, ext_idx, &ext_moduli);
+                Some((p0, p1))
+            });
+
+        let mut acc0 = self.take_scratch();
+        acc0.reshape_zeroed(n, l + s_count, Domain::Ntt);
+        let mut acc1 = self.take_scratch();
+        acc1.reshape_zeroed(n, l + s_count, Domain::Ntt);
+        for (p0, p1) in contribs.into_iter().flatten() {
+            acc0.add_assign(&p0, &ext_moduli);
+            acc1.add_assign(&p1, &ext_moduli);
+        }
         self.mod_down_special(&mut acc0, l);
         self.mod_down_special(&mut acc1, l);
         (acc0, acc1)
@@ -776,7 +848,8 @@ impl<'a> Evaluator<'a> {
             let invs = ctx.moddown_inv(k);
             // Remaining basis: l coefficient primes + specials[..k].
             let special_comp = acc.drop_last_component();
-            par::for_each_indexed(acc.components_mut(), |pos, comp| {
+            let grain = par::grain_linear(ctx.degree());
+            par::for_each_indexed(acc.components_mut(), grain, |pos, comp| {
                 // Target modulus: coefficient prime pos, or special t.
                 // moddown_inv(k) lists inverses for [q_0..q_{L-1}] then
                 // specials[0..k].
@@ -820,7 +893,8 @@ impl<'a> Evaluator<'a> {
         let moduli = ctx.moduli_at(l);
 
         let last = p.drop_last_component();
-        par::for_each_indexed(p.components_mut(), |j, comp| {
+        let grain = par::grain_linear(ctx.degree());
+        par::for_each_indexed(p.components_mut(), grain, |j, comp| {
             let qj = moduli[j];
             let red = ctx.reducer(j);
             let inv = ShoupMul::new(invs[j] % qj, qj);
@@ -876,6 +950,66 @@ impl<'a> Evaluator<'a> {
             out.poly_mut(i).neg_assign(moduli);
         }
         out
+    }
+}
+
+/// Builds key-switch digit `j` of `d` into `digit` (coefficient domain,
+/// `l + specials` components): the shared lift used by both the serial
+/// scratch path and the per-digit fan-out. Single-prime digits lift
+/// exactly; multi-prime digits use the fast (approximate) base
+/// conversion.
+fn lift_digit_into(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    l: usize,
+    j: usize,
+    ext_idx: &[usize],
+    digit: &mut RnsPoly,
+) {
+    let n = ctx.degree();
+    let s_count = ctx.special_moduli().len();
+    let lift = ctx.digit_lift(l, j);
+    debug_assert!(!lift.indices.is_empty(), "empty digits are skipped");
+    match lift.indices.len() {
+        1 => {
+            // Exact lift: one residue polynomial with coefficients
+            // in [0, q_i) reduces directly into every modulus.
+            let src = d.component(lift.indices[0]);
+            digit.reshape(n, l + s_count, Domain::Coeff);
+            let grain = par::grain_linear(n);
+            par::for_each_indexed(digit.components_mut(), grain, |t, out| {
+                let red = ctx.reducer(ext_idx[t]);
+                for (o, &c) in out.iter_mut().zip(src) {
+                    *o = red.reduce_u64(c);
+                }
+            });
+        }
+        _ => {
+            // Fast base conversion of the multi-prime digit:
+            // y_m = Σ_i [x_i · (D/q_i)^{-1}]_{q_i} · (D/q_i mod m).
+            // Per-coefficient inner factors [x_i · ĝ_i]_{q_i}.
+            let factors: Vec<Vec<u64>> =
+                par::map_indexed(lift.indices.len(), par::grain_linear(n), |t| {
+                    let q_i = ctx.coeff_moduli()[lift.indices[t]];
+                    let ghat = ShoupMul::new(lift.ghat_inv[t] % q_i, q_i);
+                    d.component(lift.indices[t])
+                        .iter()
+                        .map(|&c| ghat.mul(c))
+                        .collect()
+                });
+            digit.reshape(n, l + s_count, Domain::Coeff);
+            let grain = par::grain_linear(n.saturating_mul(lift.indices.len()));
+            par::for_each_indexed(digit.components_mut(), grain, |target, out| {
+                let red = ctx.reducer(ext_idx[target]);
+                for (k, o) in out.iter_mut().enumerate() {
+                    let mut acc: u128 = 0;
+                    for (t, f) in factors.iter().enumerate() {
+                        acc += f[k] as u128 * lift.ghat_mod[t][target] as u128;
+                    }
+                    *o = red.reduce_u128(acc);
+                }
+            });
+        }
     }
 }
 

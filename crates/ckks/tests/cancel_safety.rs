@@ -137,7 +137,11 @@ fn cancelled_evaluator_is_reusable_serial() {
 
 #[test]
 fn cancelled_evaluator_is_reusable_threaded() {
-    cancel_at_every_boundary(Parallelism::Threads(2));
+    // Threshold 0 forces the adaptive dispatcher to genuinely spawn
+    // workers even on single-core hosts.
+    fxhenn_math::par::with_dispatch_threshold(0, || {
+        cancel_at_every_boundary(Parallelism::Threads(2));
+    });
 }
 
 #[test]

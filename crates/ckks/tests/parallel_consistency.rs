@@ -13,7 +13,7 @@ use fxhenn_ckks::{
     Ciphertext, CkksContext, CkksParams, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
     KeySwitchKey, RelinKey,
 };
-use fxhenn_math::par::{with_parallelism, Parallelism};
+use fxhenn_math::par::{with_dispatch_threshold, with_parallelism, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,7 +65,11 @@ fn serial_and_threaded_chains_are_bit_identical() {
     for (n, levels) in [(512usize, 3usize), (1024, 4), (2048, 5)] {
         let r = rig(n, levels, 7 + n as u64);
         let serial = with_parallelism(Parallelism::Serial, || run_chain(&r));
-        let threaded = with_parallelism(Parallelism::Threads(3), || run_chain(&r));
+        // Threshold 0 forces the dispatcher to actually spawn workers even
+        // on single-core hosts, where calibration would otherwise inline.
+        let threaded = with_parallelism(Parallelism::Threads(3), || {
+            with_dispatch_threshold(0, || run_chain(&r))
+        });
         assert_eq!(
             serial, threaded,
             "N={n} L={levels}: thread count must not change any bit"
@@ -73,11 +77,47 @@ fn serial_and_threaded_chains_are_bit_identical() {
     }
 }
 
+/// The adaptive dispatcher may pick Serial or Threads(k) per call site
+/// based on measured crossover points; whatever it picks must never
+/// change a single bit of any ciphertext. Drives the full chain under
+/// every dispatch policy — forced serial, forced spawn, adaptive, and
+/// Auto — at three (N, L) points and requires exact equality.
+#[test]
+fn dispatch_choice_never_changes_results() {
+    for (n, levels) in [(512usize, 3usize), (1024, 4), (2048, 5)] {
+        let r = rig(n, levels, 41 + n as u64);
+        let forced_serial = with_parallelism(Parallelism::Serial, || {
+            with_dispatch_threshold(u64::MAX, || run_chain(&r))
+        });
+        let forced_spawn = with_parallelism(Parallelism::Threads(3), || {
+            with_dispatch_threshold(0, || run_chain(&r))
+        });
+        let adaptive = with_parallelism(Parallelism::Threads(3), || run_chain(&r));
+        let auto = with_parallelism(Parallelism::Auto, || run_chain(&r));
+        assert_eq!(
+            forced_serial, forced_spawn,
+            "N={n} L={levels}: forced spawn must match forced serial"
+        );
+        assert_eq!(
+            forced_serial, adaptive,
+            "N={n} L={levels}: adaptive dispatch must match forced serial"
+        );
+        assert_eq!(
+            forced_serial, auto,
+            "N={n} L={levels}: Auto must match forced serial"
+        );
+    }
+}
+
 #[test]
 fn thread_count_does_not_matter() {
     let r = rig(512, 3, 99);
-    let two = with_parallelism(Parallelism::Threads(2), || run_chain(&r));
-    let five = with_parallelism(Parallelism::Threads(5), || run_chain(&r));
+    let two = with_parallelism(Parallelism::Threads(2), || {
+        with_dispatch_threshold(0, || run_chain(&r))
+    });
+    let five = with_parallelism(Parallelism::Threads(5), || {
+        with_dispatch_threshold(0, || run_chain(&r))
+    });
     assert_eq!(two, five, "2 and 5 workers must agree exactly");
 }
 

@@ -49,7 +49,11 @@ fn global_op_counters_agree_serial_vs_threaded() {
     let before = snapshot();
     with_parallelism(Parallelism::Serial, run_chain);
     let after_serial = snapshot();
-    with_parallelism(Parallelism::Threads(3), run_chain);
+    // Threshold 0 forces the adaptive dispatcher to genuinely spawn
+    // workers even on single-core hosts.
+    fxhenn_math::par::with_dispatch_threshold(0, || {
+        with_parallelism(Parallelism::Threads(3), run_chain)
+    });
     let after_threaded = snapshot();
 
     let delta = |a: &[(String, u64)], b: &[(String, u64)]| -> Vec<(String, u64)> {

@@ -197,15 +197,6 @@ impl Budget {
         self
     }
 
-    /// Deprecated spelling of [`with_cancel`](Budget::with_cancel).
-    #[deprecated(
-        since = "0.5.0",
-        note = "builder setters follow the `with_` convention: call `with_cancel`"
-    )]
-    pub fn cancelled_by(self, token: CancelToken) -> Self {
-        self.with_cancel(token)
-    }
-
     /// Restarts the clock: elapsed time and the deadline are measured
     /// from now. Used by drivers that construct a budget ahead of
     /// dispatching the request it bounds.
@@ -347,15 +338,6 @@ mod tests {
         token.clone().cancel();
         let stop = b.check("p", Progress::done(7)).unwrap_err();
         assert_eq!(stop.cause, StopCause::CancelRequested);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_cancelled_by_delegates_to_with_cancel() {
-        let token = CancelToken::new();
-        let b = Budget::unlimited().cancelled_by(token.clone());
-        token.cancel();
-        assert!(b.is_exhausted(), "old spelling must still attach the token");
     }
 
     #[test]

@@ -255,6 +255,87 @@ impl ShoupMul {
     }
 }
 
+/// Number of scalar lanes the unrolled kernels process per iteration.
+///
+/// The software analogue of the paper's `P_intra` intra-operation
+/// parallelism (DSP lanes inside one basic-operation module): the hot
+/// loops in [`crate::ntt`] and [`crate::poly`] step in blocks of `LANES`
+/// fully independent dependency chains, which is what the autovectorizer
+/// and the out-of-order core both want. Stable Rust only — the lanes are
+/// plain `[u64; LANES]` arrays, no `std::simd`.
+pub const LANES: usize = 4;
+
+/// Four independent [`add_mod`] lanes.
+#[inline]
+pub fn add_mod_x4(a: [u64; LANES], b: [u64; LANES], q: u64) -> [u64; LANES] {
+    [
+        add_mod(a[0], b[0], q),
+        add_mod(a[1], b[1], q),
+        add_mod(a[2], b[2], q),
+        add_mod(a[3], b[3], q),
+    ]
+}
+
+/// Four independent [`sub_mod`] lanes.
+#[inline]
+pub fn sub_mod_x4(a: [u64; LANES], b: [u64; LANES], q: u64) -> [u64; LANES] {
+    [
+        sub_mod(a[0], b[0], q),
+        sub_mod(a[1], b[1], q),
+        sub_mod(a[2], b[2], q),
+        sub_mod(a[3], b[3], q),
+    ]
+}
+
+/// Four independent [`neg_mod`] lanes.
+#[inline]
+pub fn neg_mod_x4(a: [u64; LANES], q: u64) -> [u64; LANES] {
+    [
+        neg_mod(a[0], q),
+        neg_mod(a[1], q),
+        neg_mod(a[2], q),
+        neg_mod(a[3], q),
+    ]
+}
+
+impl BarrettReducer {
+    /// Four independent [`BarrettReducer::mul`] lanes.
+    #[inline]
+    pub fn mul_x4(&self, a: [u64; LANES], b: [u64; LANES]) -> [u64; LANES] {
+        [
+            self.mul(a[0], b[0]),
+            self.mul(a[1], b[1]),
+            self.mul(a[2], b[2]),
+            self.mul(a[3], b[3]),
+        ]
+    }
+}
+
+impl ShoupMul {
+    /// Four independent [`ShoupMul::mul`] lanes.
+    #[inline]
+    pub fn mul_x4(&self, x: [u64; LANES]) -> [u64; LANES] {
+        [
+            self.mul(x[0]),
+            self.mul(x[1]),
+            self.mul(x[2]),
+            self.mul(x[3]),
+        ]
+    }
+
+    /// Four independent [`ShoupMul::mul_lazy`] lanes (results in `[0, 2q)`,
+    /// inputs unrestricted — see [`ShoupMul::mul_lazy`]).
+    #[inline]
+    pub fn mul_lazy_x4(&self, x: [u64; LANES]) -> [u64; LANES] {
+        [
+            self.mul_lazy(x[0]),
+            self.mul_lazy(x[1]),
+            self.mul_lazy(x[2]),
+            self.mul_lazy(x[3]),
+        ]
+    }
+}
+
 /// Maps a signed integer into `[0, q)`.
 #[inline]
 pub fn signed_to_mod(v: i64, q: u64) -> u64 {
@@ -395,6 +476,51 @@ mod tests {
                 assert_eq!(r % q, mul_mod(x % q, w, q), "w={w} x={x}");
             }
         }
+    }
+
+    #[test]
+    fn lane_helpers_match_scalar() {
+        let a = [0u64, 1, Q / 2, Q - 1];
+        let b = [Q - 1, Q / 3, 17, 1];
+        assert_eq!(
+            add_mod_x4(a, b, Q),
+            [
+                add_mod(a[0], b[0], Q),
+                add_mod(a[1], b[1], Q),
+                add_mod(a[2], b[2], Q),
+                add_mod(a[3], b[3], Q)
+            ]
+        );
+        assert_eq!(
+            sub_mod_x4(a, b, Q),
+            [
+                sub_mod(a[0], b[0], Q),
+                sub_mod(a[1], b[1], Q),
+                sub_mod(a[2], b[2], Q),
+                sub_mod(a[3], b[3], Q)
+            ]
+        );
+        assert_eq!(
+            neg_mod_x4(a, Q),
+            [neg_mod(a[0], Q), neg_mod(a[1], Q), neg_mod(a[2], Q), neg_mod(a[3], Q)]
+        );
+        let red = BarrettReducer::new(Q);
+        assert_eq!(
+            red.mul_x4(a, b),
+            [red.mul(a[0], b[0]), red.mul(a[1], b[1]), red.mul(a[2], b[2]), red.mul(a[3], b[3])]
+        );
+        let sm = ShoupMul::new(999_983, Q);
+        assert_eq!(sm.mul_x4(a), [sm.mul(a[0]), sm.mul(a[1]), sm.mul(a[2]), sm.mul(a[3])]);
+        let wild = [u64::MAX, 3 * Q + 7, 2 * Q - 1, 0];
+        assert_eq!(
+            sm.mul_lazy_x4(wild),
+            [
+                sm.mul_lazy(wild[0]),
+                sm.mul_lazy(wild[1]),
+                sm.mul_lazy(wild[2]),
+                sm.mul_lazy(wild[3])
+            ]
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! `nc_NTT` parallel cores.
 
 use crate::error::MathError;
-use crate::modops::{add_mod, inv_mod, pow_mod, sub_mod, ShoupMul};
+use crate::modops::{add_mod, inv_mod, pow_mod, sub_mod, ShoupMul, LANES};
 use crate::prime::is_prime;
 
 /// Precomputed tables for the negacyclic NTT of a fixed `(N, q)` pair.
@@ -114,6 +114,11 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (coefficient → evaluation domain).
     ///
+    /// The inner butterfly loop steps in [`LANES`]-wide blocks of fully
+    /// independent lazy butterflies (the software `P_intra`); stages with
+    /// `t < LANES` and remainders take the scalar path. Bit-identical to
+    /// [`NttTable::forward_scalar`].
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != N`.
@@ -129,17 +134,33 @@ impl NttTable {
                 let w = &self.fwd[m + i];
                 let block = &mut a[2 * i * t..2 * (i + 1) * t];
                 let (lo, hi) = block.split_at_mut(t);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    // Harvey lazy butterfly: inputs < 4q in, outputs < 4q
-                    // out; the only correction is one conditional
-                    // subtraction of 2q on `u` (q < 2^62 keeps 4q in u64).
+                let mut lo4 = lo.chunks_exact_mut(LANES);
+                let mut hi4 = hi.chunks_exact_mut(LANES);
+                for (xs, ys) in (&mut lo4).zip(&mut hi4) {
+                    // Harvey lazy butterfly, four independent lanes:
+                    // inputs < 4q in, outputs < 4q out; the only
+                    // correction is one conditional subtraction of 2q on
+                    // `u` (q < 2^62 keeps 4q in u64).
+                    let mut u = [xs[0], xs[1], xs[2], xs[3]];
+                    for lane in &mut u {
+                        if *lane >= two_q {
+                            *lane -= two_q;
+                        }
+                    }
+                    let v = w.mul_lazy_x4([ys[0], ys[1], ys[2], ys[3]]); // < 2q
+                    for k in 0..LANES {
+                        xs[k] = u[k] + v[k]; // < 4q
+                        ys[k] = u[k] + two_q - v[k]; // < 4q
+                    }
+                }
+                for (x, y) in lo4.into_remainder().iter_mut().zip(hi4.into_remainder()) {
                     let mut u = *x;
                     if u >= two_q {
                         u -= two_q;
                     }
-                    let v = w.mul_lazy(*y); // < 2q
-                    *x = u + v; // < 4q
-                    *y = u + two_q - v; // < 4q
+                    let v = w.mul_lazy(*y);
+                    *x = u + v;
+                    *y = u + two_q - v;
                 }
             }
             m <<= 1;
@@ -157,8 +178,50 @@ impl NttTable {
         }
     }
 
+    /// Scalar reference forward transform: the textbook per-butterfly
+    /// loop the lane-unrolled [`NttTable::forward`] is checked against
+    /// bit-for-bit in tests. Not used on the hot path.
+    pub fn forward_scalar(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let two_q = 2 * q;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let w = &self.fwd[m + i];
+                let block = &mut a[2 * i * t..2 * (i + 1) * t];
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let mut u = *x;
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = w.mul_lazy(*y); // < 2q
+                    *x = u + v; // < 4q
+                    *y = u + two_q - v; // < 4q
+                }
+            }
+            m <<= 1;
+        }
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
+    }
+
     /// In-place inverse negacyclic NTT (evaluation → coefficient domain),
     /// including the `N^{-1}` scaling.
+    ///
+    /// Lane-unrolled like [`NttTable::forward`]; bit-identical to
+    /// [`NttTable::inverse_scalar`].
     ///
     /// # Panics
     ///
@@ -176,10 +239,72 @@ impl NttTable {
                 let w = &self.inv[h + i];
                 let block = &mut a[j1..j1 + 2 * t];
                 let (lo, hi) = block.split_at_mut(t);
+                let mut lo4 = lo.chunks_exact_mut(LANES);
+                let mut hi4 = hi.chunks_exact_mut(LANES);
+                for (xs, ys) in (&mut lo4).zip(&mut hi4) {
+                    // Lazy Gentleman–Sande butterfly, four independent
+                    // lanes: inputs < 2q in, outputs < 2q out
+                    // (`u + 2q - v < 4q` is fine as a lazy multiplier
+                    // input).
+                    let u = [xs[0], xs[1], xs[2], xs[3]];
+                    let v = [ys[0], ys[1], ys[2], ys[3]];
+                    let mut d = [0u64; LANES];
+                    for k in 0..LANES {
+                        let mut s = u[k] + v[k]; // < 4q
+                        if s >= two_q {
+                            s -= two_q;
+                        }
+                        xs[k] = s; // < 2q
+                        d[k] = u[k] + two_q - v[k];
+                    }
+                    let prod = w.mul_lazy_x4(d); // < 2q
+                    ys.copy_from_slice(&prod);
+                }
+                for (x, y) in lo4.into_remainder().iter_mut().zip(hi4.into_remainder()) {
+                    let u = *x;
+                    let v = *y;
+                    let mut s = u + v;
+                    if s >= two_q {
+                        s -= two_q;
+                    }
+                    *x = s;
+                    *y = w.mul_lazy(u + two_q - v);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        // Fold in N^{-1} and normalize from [0, 2q) to canonical [0, q).
+        let mut a4 = a.chunks_exact_mut(LANES);
+        for xs in &mut a4 {
+            let v = self.n_inv.mul_lazy_x4([xs[0], xs[1], xs[2], xs[3]]);
+            for k in 0..LANES {
+                xs[k] = if v[k] >= q { v[k] - q } else { v[k] };
+            }
+        }
+        for x in a4.into_remainder() {
+            let v = self.n_inv.mul_lazy(*x);
+            *x = if v >= q { v - q } else { v };
+        }
+    }
+
+    /// Scalar reference inverse transform (see
+    /// [`NttTable::forward_scalar`]).
+    pub fn inverse_scalar(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let two_q = 2 * q;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = &self.inv[h + i];
+                let block = &mut a[j1..j1 + 2 * t];
+                let (lo, hi) = block.split_at_mut(t);
                 for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    // Lazy Gentleman–Sande butterfly: inputs < 2q in,
-                    // outputs < 2q out (`u + 2q - v < 4q` is fine as a
-                    // lazy multiplier input).
                     let u = *x;
                     let v = *y;
                     let mut s = u + v; // < 4q
@@ -194,7 +319,6 @@ impl NttTable {
             t <<= 1;
             m = h;
         }
-        // Fold in N^{-1} and normalize from [0, 2q) to canonical [0, q).
         for x in a.iter_mut() {
             let v = self.n_inv.mul_lazy(*x);
             *x = if v >= q { v - q } else { v };
@@ -282,6 +406,47 @@ mod tests {
             table.inverse(&mut a);
             assert_eq!(a, original);
         }
+    }
+
+    #[test]
+    fn lane_unrolled_transforms_match_scalar_reference_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Degrees below, at and far above the lane width, odd-shaped
+        // stage mixes included.
+        for n in [2usize, 4, 8, 16, 64, 256, 1024, 4096] {
+            let q = generate_ntt_primes(30, n, 1)[0];
+            let table = NttTable::new(n, q);
+            let original = random_poly(n, q, &mut rng);
+
+            let mut fast = original.clone();
+            let mut reference = original.clone();
+            table.forward(&mut fast);
+            table.forward_scalar(&mut reference);
+            assert_eq!(fast, reference, "forward n={n}");
+
+            table.inverse(&mut fast);
+            table.inverse_scalar(&mut reference);
+            assert_eq!(fast, reference, "inverse n={n}");
+            assert_eq!(fast, original, "roundtrip n={n}");
+        }
+    }
+
+    #[test]
+    fn lane_unrolled_transforms_match_scalar_at_62_bit_modulus() {
+        // The lazy ranges are tightest near the 2^62 modulus bound; the
+        // lane path must agree with the scalar reference there too.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 128;
+        let q = generate_ntt_primes(61, n, 1)[0];
+        let table = NttTable::new(n, q);
+        let mut fast = random_poly(n, q, &mut rng);
+        let mut reference = fast.clone();
+        table.forward(&mut fast);
+        table.forward_scalar(&mut reference);
+        assert_eq!(fast, reference);
+        table.inverse(&mut fast);
+        table.inverse_scalar(&mut reference);
+        assert_eq!(fast, reference);
     }
 
     #[test]

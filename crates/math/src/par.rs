@@ -1,21 +1,55 @@
-//! Limb-level parallel execution helpers.
+//! Adaptive parallel execution helpers.
 //!
 //! The paper provisions `nc_NTT` parallel NTT cores and `P_intra`
 //! intra-operation parallelism in DSP slices (Sec. III, Table I); the
-//! software mirror of that is running the independent per-RNS-limb loops
-//! of every polynomial kernel on worker threads. This module is the
-//! single scheduling point for that: [`for_each_indexed`] splits a
-//! mutable slice of limbs into at most [`effective_threads`] contiguous
-//! chunks, and [`map_indexed`] does the same for indexed map-style work
-//! (e.g. one ciphertext per output neuron in the HE-CNN executor).
+//! software mirror of that is two distinct layers:
+//!
+//! * **Lanes** (`P_intra`): the 4-wide unrolled butterflies and
+//!   pointwise kernels in [`crate::ntt`] / [`crate::modops`] /
+//!   [`crate::poly`] keep the *serial* path fast. They live below this
+//!   module and never involve threads.
+//! * **Coarse grain** (`nc_NTT`): OS threads are only worth spawning
+//!   when each unit of work is large enough to amortise scope
+//!   setup/teardown (a scoped `std::thread` spawn costs tens of
+//!   microseconds). This module is the single scheduling point:
+//!   [`for_each_indexed`] splits a mutable slice into at most
+//!   [`effective_threads`] contiguous chunks and [`map_indexed`] does
+//!   the same for indexed map-style work.
+//!
+//! # The adaptive dispatcher
+//!
+//! Every call carries a `grain_elems` hint — the approximate number of
+//! element-operations one item costs (`n` for a pointwise limb pass,
+//! `n log2 n` for an NTT, [`GRAIN_COARSE`] for ciphertext-sized items).
+//! The dispatcher spawns only when `items * grain_elems` clears a
+//! crossover threshold measured on this machine:
+//!
+//! * **Seed**: a one-shot calibration on first use times an empty
+//!   2-way scope (spawn overhead), an inline mul-add sweep and the same
+//!   sweep split across two workers. On hosts where threading cannot
+//!   win (single core, or no measured speedup) the threshold is
+//!   [`u64::MAX`] and nothing ever spawns.
+//! * **Online refinement**: dispatch decisions above an observation
+//!   floor are timed into `fxhenn-obs` histograms
+//!   (`fxhenn_par_dispatch_{inline,spawn}_ns` plus matching element
+//!   counters). Every 64 spawned samples the per-element rates are
+//!   compared and the threshold nudged (×2 / ÷2) toward the measured
+//!   crossover.
+//!
+//! Tests can pin the threshold per thread with
+//! [`with_dispatch_threshold`] — `0` forces genuine spawning even for
+//! tiny slices, [`u64::MAX`] forces inline execution.
 //!
 //! # Determinism
 //!
-//! Every closure writes only its own element and computes values that do
-//! not depend on scheduling, so the result is bit-identical whatever the
-//! thread count — including the fully serial path. Tests can pin the
-//! behaviour per thread with [`with_parallelism`]: the override is
-//! thread-local, so concurrently running tests do not disturb each other.
+//! Every closure writes only its own element and computes values that
+//! do not depend on scheduling, so the result is bit-identical whatever
+//! the dispatch choice — including the fully serial path. Tests can pin
+//! the behaviour per thread with [`with_parallelism`]; both the mode
+//! override and the threshold override are captured from the caller and
+//! re-installed inside every spawned worker (like the ambient
+//! [`budget`]), so nested kernel calls inside workers honour the
+//! caller's pin instead of silently reverting to the global mode.
 //!
 //! Without the `parallel` cargo feature (or with
 //! [`Parallelism::Serial`]), everything runs inline on the caller's
@@ -23,20 +57,22 @@
 
 use crate::budget;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// How the helpers schedule their work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
-    /// Use up to the machine's available hardware threads (the default).
-    /// Falls back to inline execution on single-core hosts.
+    /// Use up to the machine's available hardware threads (the default),
+    /// subject to the measured crossover threshold. Falls back to inline
+    /// execution on single-core hosts.
     Auto,
     /// Run everything inline on the calling thread.
     Serial,
-    /// Force exactly this many worker threads (>= 2), even on a
-    /// single-core host. Used by the serial-vs-parallel equivalence
-    /// tests to genuinely exercise the threaded path.
+    /// Allow up to exactly this many worker threads (>= 2). The grain
+    /// guard still applies: combine with [`with_dispatch_threshold`]`(0)`
+    /// to force spawning for tiny work, as the serial-vs-parallel
+    /// equivalence tests do.
     Threads(usize),
 }
 
@@ -90,6 +126,246 @@ pub fn with_parallelism<R>(p: Parallelism, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+// ---------------------------------------------------------------------------
+// Grain hints
+// ---------------------------------------------------------------------------
+
+/// Grain hint for items that each carry ciphertext-or-larger work
+/// (keyswitch digits, per-output inference chains): always clears any
+/// finite crossover threshold, so such items spawn whenever the mode
+/// allows it.
+pub const GRAIN_COARSE: usize = 1 << 40;
+
+/// Grain hint for one O(n) pass over a length-`n` limb (pointwise
+/// add/sub/mul, automorphism, scalar ops).
+#[inline]
+pub const fn grain_linear(n: usize) -> usize {
+    n
+}
+
+/// Grain hint for one O(n log n) NTT pass over a length-`n` limb.
+#[inline]
+pub fn grain_ntt(n: usize) -> usize {
+    n.saturating_mul(n.max(2).ilog2() as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Crossover threshold: one-shot calibration + per-thread override
+// ---------------------------------------------------------------------------
+
+/// Threshold sentinel: never spawn (threading measured as a loss at any
+/// size on this host, e.g. a single hardware core).
+const NEVER_SPAWN: u64 = u64::MAX;
+
+/// Calibrated crossover in element-operations; 0 = not yet calibrated.
+static CROSSOVER_ELEMS: AtomicU64 = AtomicU64::new(0);
+
+/// Floor/ceiling for online refinement so a noisy sample cannot drive
+/// the threshold to a degenerate value.
+#[cfg(feature = "parallel")]
+const CROSSOVER_FLOOR: u64 = 1 << 12;
+#[cfg(feature = "parallel")]
+const CROSSOVER_CEIL: u64 = 1 << 40;
+
+thread_local! {
+    static LOCAL_THRESHOLD: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with a thread-local dispatch-threshold override (in
+/// element-operations), restoring the previous override afterwards.
+/// `0` makes every eligible call spawn; [`u64::MAX`] makes every call
+/// run inline. The override is captured into spawned workers like the
+/// scheduling mode, so nested calls see it too.
+pub fn with_dispatch_threshold<R>(elems: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THRESHOLD.with(|t| t.set(self.0));
+        }
+    }
+    let prev = LOCAL_THRESHOLD.with(|t| t.replace(Some(elems)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The dispatch threshold in effect for the calling thread: the
+/// [`with_dispatch_threshold`] override if one is active, otherwise the
+/// calibrated crossover (computed once per process on first use).
+/// [`u64::MAX`] means "never spawn".
+pub fn dispatch_threshold() -> u64 {
+    if let Some(t) = LOCAL_THRESHOLD.with(|t| t.get()) {
+        return t;
+    }
+    let cur = CROSSOVER_ELEMS.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let seed = calibrate_crossover();
+    // First writer wins; racing calibrations measured the same machine.
+    let _ = CROSSOVER_ELEMS.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+    CROSSOVER_ELEMS.load(Ordering::Relaxed)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn calibrate_crossover() -> u64 {
+    NEVER_SPAWN
+}
+
+/// One-shot seed measurement for the crossover threshold: times an
+/// inline mul-add sweep, the same sweep split across a 2-way scope, and
+/// an empty 2-way scope (pure spawn overhead), then solves for the
+/// element count where the threaded path breaks even. A 2x safety
+/// margin is applied so the dispatcher only spawns where threading
+/// clearly wins.
+#[cfg(feature = "parallel")]
+fn calibrate_crossover() -> u64 {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    if rayon::current_num_threads() < 2 {
+        // A single hardware core serialises every "worker" anyway; the
+        // scope setup would be pure loss.
+        return NEVER_SPAWN;
+    }
+
+    const ELEMS: usize = 1 << 15;
+    let sweep = |buf: &mut [u64]| {
+        for (i, x) in buf.iter_mut().enumerate() {
+            *x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+        }
+    };
+    let mut buf = vec![1u64; ELEMS];
+
+    let time_min = |reps: usize, f: &mut dyn FnMut()| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best.max(1)
+    };
+
+    let inline_ns = time_min(7, &mut || {
+        sweep(black_box(&mut buf));
+    });
+    let spawn_ns = time_min(7, &mut || {
+        let (lo, hi) = buf.split_at_mut(ELEMS / 2);
+        rayon::scope(|s| {
+            s.spawn(|_| sweep(black_box(lo)));
+            s.spawn(|_| sweep(black_box(hi)));
+        });
+    });
+    let overhead_ns = time_min(15, &mut || {
+        rayon::scope(|s| {
+            s.spawn(|_| {
+                black_box(0u64);
+            });
+            s.spawn(|_| {
+                black_box(0u64);
+            });
+        });
+    });
+
+    let compute_ns = spawn_ns.saturating_sub(overhead_ns).max(1);
+    // Speedup of the compute portion once the fixed overhead is paid.
+    let speedup = inline_ns as f64 / compute_ns as f64;
+    if speedup <= 1.05 {
+        return NEVER_SPAWN;
+    }
+    let per_elem_inline_ns = inline_ns as f64 / ELEMS as f64;
+    // Break-even: overhead == elems * per_elem_inline * (1 - 1/speedup).
+    let breakeven = overhead_ns as f64 / (per_elem_inline_ns * (1.0 - 1.0 / speedup));
+    let seeded = (breakeven * 2.0) as u64;
+    seeded.clamp(CROSSOVER_FLOOR, CROSSOVER_CEIL)
+}
+
+// ---------------------------------------------------------------------------
+// Online feedback into fxhenn-obs
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "parallel")]
+mod feedback {
+    use super::{CROSSOVER_CEIL, CROSSOVER_ELEMS, CROSSOVER_FLOOR, NEVER_SPAWN};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    /// Dispatch calls below this many element-operations are not timed:
+    /// two `Instant::now` calls would be measurable noise against
+    /// sub-microsecond work, and such calls never spawn anyway.
+    pub const OBSERVE_MIN_ELEMS: u64 = 1 << 14;
+
+    /// Re-examine the threshold every this many spawned samples.
+    const REFINE_EVERY: u64 = 64;
+
+    struct Handles {
+        inline_ns: Arc<fxhenn_obs::Histogram>,
+        spawn_ns: Arc<fxhenn_obs::Histogram>,
+        inline_elems: Arc<fxhenn_obs::Counter>,
+        spawn_elems: Arc<fxhenn_obs::Counter>,
+    }
+
+    fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let c = fxhenn_obs::global();
+            Handles {
+                inline_ns: c.histogram("fxhenn_par_dispatch_inline_ns"),
+                spawn_ns: c.histogram("fxhenn_par_dispatch_spawn_ns"),
+                inline_elems: c.counter("fxhenn_par_dispatch_inline_elems_total"),
+                spawn_elems: c.counter("fxhenn_par_dispatch_spawn_elems_total"),
+            }
+        })
+    }
+
+    /// Books one timed dispatch into the obs histograms and, every
+    /// [`REFINE_EVERY`] spawned samples, nudges the calibrated crossover
+    /// toward the measured per-element rates.
+    pub fn record(spawned: bool, elems: u64, ns: u64) {
+        static SPAWN_SAMPLES: AtomicU64 = AtomicU64::new(0);
+        let h = handles();
+        if spawned {
+            h.spawn_ns.observe(ns);
+            h.spawn_elems.add(elems);
+            let n = SPAWN_SAMPLES.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(REFINE_EVERY) {
+                refine(h);
+            }
+        } else {
+            h.inline_ns.observe(ns);
+            h.inline_elems.add(elems);
+        }
+    }
+
+    fn refine(h: &Handles) {
+        let inline_elems = h.inline_elems.value();
+        let spawn_elems = h.spawn_elems.value();
+        if inline_elems == 0 || spawn_elems == 0 {
+            return;
+        }
+        let cur = CROSSOVER_ELEMS.load(Ordering::Relaxed);
+        if cur == 0 || cur == NEVER_SPAWN {
+            return;
+        }
+        let inline_per_elem = h.inline_ns.sum() as f64 / inline_elems as f64;
+        let spawn_per_elem = h.spawn_ns.sum() as f64 / spawn_elems as f64;
+        let next = if spawn_per_elem < inline_per_elem * 0.95 {
+            // Spawning is paying off: allow it for smaller work.
+            (cur / 2).max(CROSSOVER_FLOOR)
+        } else if spawn_per_elem > inline_per_elem * 1.05 {
+            // Spawning is losing: demand larger work before trying again.
+            cur.saturating_mul(2).min(CROSSOVER_CEIL)
+        } else {
+            return;
+        };
+        let _ = CROSSOVER_ELEMS.compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
 thread_local! {
     static LIMB_DELAY: Cell<Option<Duration>> = const { Cell::new(None) };
 }
@@ -117,8 +393,14 @@ fn injected_limb_delay() {
     }
 }
 
-/// Number of worker threads the helpers will actually use right now for
-/// the calling thread; 1 means "run inline".
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Number of worker threads the helpers may use right now for the
+/// calling thread based on mode alone; 1 means "run inline". The grain
+/// guard in [`planned_threads`] can still reduce an eligible call to
+/// inline execution.
 pub fn effective_threads() -> usize {
     #[cfg(not(feature = "parallel"))]
     {
@@ -134,13 +416,87 @@ pub fn effective_threads() -> usize {
     }
 }
 
-/// Applies `f(index, &mut item)` to every element, splitting the slice
-/// into at most [`effective_threads`] contiguous chunks of parallel work.
+/// The number of chunks the dispatcher would run `items` pieces of work
+/// in, given the per-item `grain_elems` hint; 1 means "inline". Callers
+/// with materially different serial and fan-out code paths (e.g. the
+/// scratch-reusing keyswitch) use this to pick a path up front.
+pub fn planned_threads(items: usize, grain_elems: usize) -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = (items, grain_elems);
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        if items < 2 {
+            return 1;
+        }
+        let width = match parallelism() {
+            Parallelism::Serial => return 1,
+            Parallelism::Threads(k) => k,
+            Parallelism::Auto => rayon::current_num_threads(),
+        }
+        .min(items);
+        if width < 2 {
+            return 1;
+        }
+        let threshold = dispatch_threshold();
+        if threshold == NEVER_SPAWN {
+            return 1;
+        }
+        let work = (items as u64).saturating_mul(grain_elems as u64);
+        if work < threshold {
+            1
+        } else {
+            width
+        }
+    }
+}
+
+/// Caller context captured at the dispatch point and re-installed inside
+/// every spawned worker, so deep callees observe the caller's ambient
+/// budget, scheduling-mode pin and threshold override exactly as if they
+/// ran inline.
+#[cfg(feature = "parallel")]
+struct Ambient {
+    budget: Option<budget::Budget>,
+    mode: Option<usize>,
+    threshold: Option<u64>,
+}
+
+#[cfg(feature = "parallel")]
+impl Ambient {
+    fn capture() -> Self {
+        Self {
+            budget: budget::current(),
+            mode: LOCAL_MODE.with(|m| m.get()),
+            threshold: LOCAL_THRESHOLD.with(|t| t.get()),
+        }
+    }
+
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        // Workers are fresh scoped threads with empty thread-locals; no
+        // restore is needed, but setting before running means nested
+        // dispatch calls inside `f` see the caller's overrides.
+        LOCAL_MODE.with(|m| m.set(self.mode));
+        LOCAL_THRESHOLD.with(|t| t.set(self.threshold));
+        match &self.budget {
+            Some(b) => budget::with_budget(b, f),
+            None => f(),
+        }
+    }
+}
+
+/// Applies `f(index, &mut item)` to every element. `grain_elems` is the
+/// approximate element-operation cost of one item (see [`grain_linear`],
+/// [`grain_ntt`], [`GRAIN_COARSE`]); the adaptive dispatcher splits the
+/// slice into at most [`effective_threads`] contiguous chunks when the
+/// total work clears the crossover threshold, and runs inline otherwise.
 ///
 /// `f` must be a pure function of its index and element for the result
 /// to be schedule-independent; every caller in this workspace satisfies
 /// that (per-limb modular arithmetic with disjoint outputs).
-pub fn for_each_indexed<T, F>(items: &mut [T], f: F)
+pub fn for_each_indexed<T, F>(items: &mut [T], grain_elems: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
@@ -148,43 +504,46 @@ where
     injected_limb_delay();
     #[cfg(feature = "parallel")]
     {
-        let threads = effective_threads().min(items.len());
+        let threads = planned_threads(items.len(), grain_elems);
+        let work = (items.len() as u64).saturating_mul(grain_elems as u64);
+        let started = (work >= feedback::OBSERVE_MIN_ELEMS).then(std::time::Instant::now);
         if threads > 1 {
-            // Worker threads start with empty thread-locals, so the
-            // caller's ambient budget must be captured here and
-            // re-installed inside each spawned closure for deep callees
-            // (e.g. per-item evaluators in the nn executor) to see the
-            // caller's deadline.
-            let ambient = budget::current();
+            let ambient = Ambient::capture();
             let chunk = items.len().div_ceil(threads);
             rayon::scope(|s| {
                 for (ci, slab) in items.chunks_mut(chunk).enumerate() {
                     let f = &f;
                     let ambient = &ambient;
                     s.spawn(move |_| {
-                        let mut work = || {
+                        ambient.install(|| {
                             for (off, item) in slab.iter_mut().enumerate() {
                                 f(ci * chunk + off, item);
                             }
-                        };
-                        match ambient {
-                            Some(b) => budget::with_budget(b, work),
-                            None => work(),
-                        }
+                        });
                     });
                 }
             });
-            return;
+        } else {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+        }
+        if let Some(t0) = started {
+            feedback::record(threads > 1, work, t0.elapsed().as_nanos() as u64);
         }
     }
-    for (i, item) in items.iter_mut().enumerate() {
-        f(i, item);
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = grain_elems;
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
     }
 }
 
-/// Computes `[f(0), f(1), .., f(count - 1)]`, splitting the index range
-/// into at most [`effective_threads`] contiguous chunks of parallel work.
-pub fn map_indexed<T, F>(count: usize, f: F) -> Vec<T>
+/// Computes `[f(0), f(1), .., f(count - 1)]` under the same adaptive
+/// dispatch as [`for_each_indexed`].
+pub fn map_indexed<T, F>(count: usize, grain_elems: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -192,9 +551,11 @@ where
     injected_limb_delay();
     #[cfg(feature = "parallel")]
     {
-        let threads = effective_threads().min(count);
-        if threads > 1 {
-            let ambient = budget::current();
+        let threads = planned_threads(count, grain_elems);
+        let work = (count as u64).saturating_mul(grain_elems as u64);
+        let started = (work >= feedback::OBSERVE_MIN_ELEMS).then(std::time::Instant::now);
+        let out = if threads > 1 {
+            let ambient = Ambient::capture();
             let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
             let chunk = count.div_ceil(threads);
             rayon::scope(|s| {
@@ -202,25 +563,30 @@ where
                     let f = &f;
                     let ambient = &ambient;
                     s.spawn(move |_| {
-                        let mut work = || {
+                        ambient.install(|| {
                             for (off, slot) in slab.iter_mut().enumerate() {
                                 *slot = Some(f(ci * chunk + off));
                             }
-                        };
-                        match ambient {
-                            Some(b) => budget::with_budget(b, work),
-                            None => work(),
-                        }
+                        });
                     });
                 }
             });
-            return out
-                .into_iter()
+            out.into_iter()
                 .map(|slot| slot.expect("every chunk fills its slots"))
-                .collect();
+                .collect()
+        } else {
+            (0..count).map(&f).collect()
+        };
+        if let Some(t0) = started {
+            feedback::record(threads > 1, work, t0.elapsed().as_nanos() as u64);
         }
+        out
     }
-    (0..count).map(f).collect()
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = grain_elems;
+        (0..count).map(f).collect()
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +598,7 @@ mod tests {
         with_parallelism(Parallelism::Serial, || {
             assert_eq!(effective_threads(), 1);
             let mut v = vec![0u64; 17];
-            for_each_indexed(&mut v, |i, x| *x = i as u64 * 3);
+            for_each_indexed(&mut v, 1, |i, x| *x = i as u64 * 3);
             assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
         });
     }
@@ -240,24 +606,31 @@ mod tests {
     #[test]
     fn forced_threads_match_serial_results() {
         let serial = with_parallelism(Parallelism::Serial, || {
-            map_indexed(103, |i| (i as u64).wrapping_mul(0x9E37_79B9))
+            map_indexed(103, 1, |i| (i as u64).wrapping_mul(0x9E37_79B9))
         });
-        let threaded = with_parallelism(Parallelism::Threads(3), || {
-            map_indexed(103, |i| (i as u64).wrapping_mul(0x9E37_79B9))
+        let threaded = with_dispatch_threshold(0, || {
+            with_parallelism(Parallelism::Threads(3), || {
+                map_indexed(103, 1, |i| (i as u64).wrapping_mul(0x9E37_79B9))
+            })
         });
         assert_eq!(serial, threaded);
     }
 
     #[test]
     fn forced_threads_for_each_matches_serial() {
-        let run = |p| {
-            with_parallelism(p, || {
-                let mut v = vec![0u64; 41];
-                for_each_indexed(&mut v, |i, x| *x = (i as u64 + 7).pow(2));
-                v
+        let run = |p, threshold| {
+            with_dispatch_threshold(threshold, || {
+                with_parallelism(p, || {
+                    let mut v = vec![0u64; 41];
+                    for_each_indexed(&mut v, 1, |i, x| *x = (i as u64 + 7).pow(2));
+                    v
+                })
             })
         };
-        assert_eq!(run(Parallelism::Serial), run(Parallelism::Threads(4)));
+        assert_eq!(
+            run(Parallelism::Serial, u64::MAX),
+            run(Parallelism::Threads(4), 0)
+        );
     }
 
     #[test]
@@ -276,9 +649,9 @@ mod tests {
     #[test]
     fn empty_and_single_inputs_are_fine() {
         let mut empty: Vec<u64> = Vec::new();
-        for_each_indexed(&mut empty, |_, _| unreachable!());
-        assert!(map_indexed(0, |i| i).is_empty());
-        assert_eq!(map_indexed(1, |i| i + 1), vec![1]);
+        for_each_indexed(&mut empty, 1, |_, _| unreachable!());
+        assert!(map_indexed(0, 1, |i| i).is_empty());
+        assert_eq!(map_indexed(1, 1, |i| i + 1), vec![1]);
     }
 
     #[cfg(feature = "parallel")]
@@ -291,18 +664,127 @@ mod tests {
 
     #[cfg(feature = "parallel")]
     #[test]
+    fn threshold_override_is_scoped_and_restored() {
+        let outer = LOCAL_THRESHOLD.with(|t| t.get());
+        with_dispatch_threshold(42, || {
+            assert_eq!(dispatch_threshold(), 42);
+            with_dispatch_threshold(7, || assert_eq!(dispatch_threshold(), 7));
+            assert_eq!(dispatch_threshold(), 42);
+        });
+        assert_eq!(LOCAL_THRESHOLD.with(|t| t.get()), outer);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn grain_guard_runs_small_work_inline() {
+        let caller = std::thread::current().id();
+        // Work far below the threshold must never leave the caller's
+        // thread even when the mode allows three workers.
+        with_dispatch_threshold(1 << 20, || {
+            with_parallelism(Parallelism::Threads(3), || {
+                assert_eq!(planned_threads(4, 1), 1);
+                let tids = map_indexed(4, 1, |_| std::thread::current().id());
+                assert!(tids.iter().all(|&t| t == caller));
+            });
+        });
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threshold_zero_forces_genuine_spawn() {
+        let caller = std::thread::current().id();
+        with_dispatch_threshold(0, || {
+            with_parallelism(Parallelism::Threads(2), || {
+                assert_eq!(planned_threads(2, 1), 2);
+                let tids = map_indexed(2, 1, |_| std::thread::current().id());
+                assert!(
+                    tids.iter().all(|&t| t != caller),
+                    "threshold 0 must dispatch every chunk to a worker"
+                );
+            });
+        });
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn mode_override_propagates_into_workers() {
+        // Regression: workers used to start with an empty LOCAL_MODE and
+        // silently reverted to the global mode for nested kernel calls.
+        with_dispatch_threshold(0, || {
+            with_parallelism(Parallelism::Threads(2), || {
+                let modes = map_indexed(2, 1, |_| parallelism());
+                assert!(
+                    modes.iter().all(|&m| m == Parallelism::Threads(2)),
+                    "workers must observe the caller's with_parallelism pin, got {modes:?}"
+                );
+            });
+        });
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn serial_pin_inside_worker_prevents_nested_spawn() {
+        with_dispatch_threshold(0, || {
+            with_parallelism(Parallelism::Threads(2), || {
+                let ok = map_indexed(2, 1, |_| {
+                    // A worker pinning Serial must keep nested dispatch
+                    // on its own thread even with a zero threshold.
+                    with_parallelism(Parallelism::Serial, || {
+                        let me = std::thread::current().id();
+                        let nested = map_indexed(4, 1, |_| std::thread::current().id());
+                        nested.iter().all(|&t| t == me)
+                    })
+                });
+                assert!(ok.iter().all(|&b| b), "nested spawn escaped a Serial pin");
+            });
+        });
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
     fn ambient_budget_reaches_worker_threads() {
         use crate::budget::{Budget, Progress};
         let b = Budget::with_deadline(Duration::ZERO);
         budget::with_budget(&b, || {
-            with_parallelism(Parallelism::Threads(2), || {
-                let seen = map_indexed(4, |_| budget::check("worker", Progress::done(0)).is_err());
-                assert!(
-                    seen.iter().all(|&stopped| stopped),
-                    "every worker must observe the caller's expired budget"
-                );
+            with_dispatch_threshold(0, || {
+                with_parallelism(Parallelism::Threads(2), || {
+                    let seen =
+                        map_indexed(4, 1, |_| budget::check("worker", Progress::done(0)).is_err());
+                    assert!(
+                        seen.iter().all(|&stopped| stopped),
+                        "every worker must observe the caller's expired budget"
+                    );
+                });
             });
         });
+    }
+
+    #[test]
+    fn planned_threads_respects_mode_and_grain() {
+        with_parallelism(Parallelism::Serial, || {
+            assert_eq!(planned_threads(100, GRAIN_COARSE), 1);
+        });
+        #[cfg(feature = "parallel")]
+        with_dispatch_threshold(0, || {
+            with_parallelism(Parallelism::Threads(3), || {
+                assert_eq!(planned_threads(5, 1), 3);
+                assert_eq!(planned_threads(2, 1), 2);
+                assert_eq!(planned_threads(1, GRAIN_COARSE), 1);
+            });
+        });
+        #[cfg(feature = "parallel")]
+        with_dispatch_threshold(u64::MAX, || {
+            with_parallelism(Parallelism::Threads(3), || {
+                assert_eq!(planned_threads(100, GRAIN_COARSE), 1);
+            });
+        });
+    }
+
+    #[test]
+    fn grain_helpers_are_sane() {
+        assert_eq!(grain_linear(4096), 4096);
+        assert_eq!(grain_ntt(4096), 4096 * 12);
+        assert_eq!(grain_ntt(0), 0);
     }
 
     #[test]
@@ -310,7 +792,7 @@ mod tests {
         let t0 = std::time::Instant::now();
         with_limb_delay(Duration::from_millis(5), || {
             let mut v = vec![0u64; 3];
-            for_each_indexed(&mut v, |i, x| *x = i as u64);
+            for_each_indexed(&mut v, 1, |i, x| *x = i as u64);
         });
         assert!(t0.elapsed() >= Duration::from_millis(5));
         assert!(LIMB_DELAY.with(|d| d.get()).is_none(), "delay must not leak");

@@ -15,9 +15,84 @@
 //! naive serial path. The `*_into` / fused variants exist so the
 //! evaluator can reuse scratch buffers instead of cloning on every op.
 
-use crate::modops::{add_mod, neg_mod, sub_mod, BarrettReducer, ShoupMul};
+use crate::modops::{
+    add_mod, add_mod_x4, neg_mod, neg_mod_x4, sub_mod, sub_mod_x4, BarrettReducer, ShoupMul, LANES,
+};
 use crate::ntt::NttTable;
 use crate::par;
+
+/// Applies `f4` to aligned [`LANES`]-wide blocks of `dst` zipped with
+/// `src`, and `f1` to the scalar remainder. The lane callbacks receive
+/// four independent values, so the four dependency chains stay visible
+/// to the autovectorizer — the same `P_intra` idiom as the NTT
+/// butterflies.
+#[inline]
+fn zip_lanes(
+    dst: &mut [u64],
+    src: &[u64],
+    mut f4: impl FnMut([u64; LANES], [u64; LANES]) -> [u64; LANES],
+    mut f1: impl FnMut(u64, u64) -> u64,
+) {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut d4 = dst.chunks_exact_mut(LANES);
+    let mut s4 = src.chunks_exact(LANES);
+    for (xs, ys) in (&mut d4).zip(&mut s4) {
+        let r = f4([xs[0], xs[1], xs[2], xs[3]], [ys[0], ys[1], ys[2], ys[3]]);
+        xs.copy_from_slice(&r);
+    }
+    for (x, &y) in d4.into_remainder().iter_mut().zip(s4.remainder()) {
+        *x = f1(*x, y);
+    }
+}
+
+/// Three-operand variant of [`zip_lanes`]: `dst[j] = f(dst[j], a[j], b[j])`.
+#[inline]
+fn zip_lanes2(
+    dst: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+    mut f4: impl FnMut([u64; LANES], [u64; LANES], [u64; LANES]) -> [u64; LANES],
+    mut f1: impl FnMut(u64, u64, u64) -> u64,
+) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let mut d4 = dst.chunks_exact_mut(LANES);
+    let mut a4 = a.chunks_exact(LANES);
+    let mut b4 = b.chunks_exact(LANES);
+    for ((ds, xs), ys) in (&mut d4).zip(&mut a4).zip(&mut b4) {
+        let r = f4(
+            [ds[0], ds[1], ds[2], ds[3]],
+            [xs[0], xs[1], xs[2], xs[3]],
+            [ys[0], ys[1], ys[2], ys[3]],
+        );
+        ds.copy_from_slice(&r);
+    }
+    for ((d, &x), &y) in d4
+        .into_remainder()
+        .iter_mut()
+        .zip(a4.remainder())
+        .zip(b4.remainder())
+    {
+        *d = f1(*d, x, y);
+    }
+}
+
+/// In-place single-operand variant of [`zip_lanes`].
+#[inline]
+fn map_lanes(
+    dst: &mut [u64],
+    mut f4: impl FnMut([u64; LANES]) -> [u64; LANES],
+    mut f1: impl FnMut(u64) -> u64,
+) {
+    let mut d4 = dst.chunks_exact_mut(LANES);
+    for xs in &mut d4 {
+        let r = f4([xs[0], xs[1], xs[2], xs[3]]);
+        xs.copy_from_slice(&r);
+    }
+    for x in d4.into_remainder() {
+        *x = f1(*x);
+    }
+}
 
 /// Which domain the residue coefficients are expressed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -218,11 +293,15 @@ impl RnsPoly {
     pub fn add_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
         self.assert_compatible(other);
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        par::for_each_indexed(&mut self.residues, |i, a| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, a| {
             let q = moduli[i];
-            for (x, &y) in a.iter_mut().zip(&other.residues[i]) {
-                *x = add_mod(*x, y, q);
-            }
+            zip_lanes(
+                a,
+                &other.residues[i],
+                |x, y| add_mod_x4(x, y, q),
+                |x, y| add_mod(x, y, q),
+            );
         });
     }
 
@@ -230,22 +309,25 @@ impl RnsPoly {
     pub fn sub_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
         self.assert_compatible(other);
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        par::for_each_indexed(&mut self.residues, |i, a| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, a| {
             let q = moduli[i];
-            for (x, &y) in a.iter_mut().zip(&other.residues[i]) {
-                *x = sub_mod(*x, y, q);
-            }
+            zip_lanes(
+                a,
+                &other.residues[i],
+                |x, y| sub_mod_x4(x, y, q),
+                |x, y| sub_mod(x, y, q),
+            );
         });
     }
 
     /// `self = -self` componentwise.
     pub fn neg_assign(&mut self, moduli: &[u64]) {
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        par::for_each_indexed(&mut self.residues, |i, r| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, r| {
             let q = moduli[i];
-            for x in r.iter_mut() {
-                *x = neg_mod(*x, q);
-            }
+            map_lanes(r, |x| neg_mod_x4(x, q), |x| neg_mod(x, q));
         });
     }
 
@@ -260,11 +342,15 @@ impl RnsPoly {
         self.assert_compatible(other);
         assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        par::for_each_indexed(&mut self.residues, |i, a| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, a| {
             let red = BarrettReducer::new(moduli[i]);
-            for (x, &y) in a.iter_mut().zip(&other.residues[i]) {
-                *x = red.mul(*x, y);
-            }
+            zip_lanes(
+                a,
+                &other.residues[i],
+                |x, y| red.mul_x4(x, y),
+                |x, y| red.mul(x, y),
+            );
         });
     }
 
@@ -276,11 +362,16 @@ impl RnsPoly {
         assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
         out.reshape(self.n, self.residues.len(), Domain::Ntt);
-        par::for_each_indexed(&mut out.residues, |i, o| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut out.residues, grain, |i, o| {
             let red = BarrettReducer::new(moduli[i]);
-            for ((z, &x), &y) in o.iter_mut().zip(&self.residues[i]).zip(&other.residues[i]) {
-                *z = red.mul(x, y);
-            }
+            zip_lanes2(
+                o,
+                &self.residues[i],
+                &other.residues[i],
+                |_, x, y| red.mul_x4(x, y),
+                |_, x, y| red.mul(x, y),
+            );
         });
     }
 
@@ -297,12 +388,17 @@ impl RnsPoly {
         a.assert_compatible(b);
         assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        par::for_each_indexed(&mut self.residues, |i, acc| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, acc| {
             let q = moduli[i];
             let red = BarrettReducer::new(q);
-            for ((z, &x), &y) in acc.iter_mut().zip(&a.residues[i]).zip(&b.residues[i]) {
-                *z = add_mod(*z, red.mul(x, y), q);
-            }
+            zip_lanes2(
+                acc,
+                &a.residues[i],
+                &b.residues[i],
+                |z, x, y| add_mod_x4(z, red.mul_x4(x, y), q),
+                |z, x, y| add_mod(z, red.mul(x, y), q),
+            );
         });
     }
 
@@ -337,13 +433,18 @@ impl RnsPoly {
             b_indices.iter().all(|&j| j < b.residues.len()),
             "b-component index out of range"
         );
-        par::for_each_indexed(&mut self.residues, |i, acc| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, acc| {
             let q = moduli[i];
             let red = BarrettReducer::new(q);
             let bs = &b.residues[b_indices[i]];
-            for ((z, &x), &y) in acc.iter_mut().zip(&a.residues[i]).zip(bs) {
-                *z = add_mod(*z, red.mul(x, y), q);
-            }
+            zip_lanes2(
+                acc,
+                &a.residues[i],
+                bs,
+                |z, x, y| add_mod_x4(z, red.mul_x4(x, y), q),
+                |z, x, y| add_mod(z, red.mul(x, y), q),
+            );
         });
     }
 
@@ -352,12 +453,11 @@ impl RnsPoly {
     pub fn mul_scalar_assign(&mut self, scalars: &[u64], moduli: &[u64]) {
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
         assert_eq!(scalars.len(), self.residues.len(), "one scalar per level");
-        par::for_each_indexed(&mut self.residues, |i, r| {
+        let grain = par::grain_linear(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, r| {
             let q = moduli[i];
             let s = ShoupMul::new(scalars[i] % q, q);
-            for x in r.iter_mut() {
-                *x = s.mul(*x);
-            }
+            map_lanes(r, |x| s.mul_x4(x), |x| s.mul(x));
         });
     }
 
@@ -372,7 +472,8 @@ impl RnsPoly {
             return;
         }
         assert_eq!(tables.len(), self.residues.len(), "one table per level");
-        par::for_each_indexed(&mut self.residues, |i, r| tables[i].forward(r));
+        let grain = par::grain_ntt(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, r| tables[i].forward(r));
         self.domain = Domain::Ntt;
     }
 
@@ -383,7 +484,8 @@ impl RnsPoly {
             return;
         }
         assert_eq!(tables.len(), self.residues.len(), "one table per level");
-        par::for_each_indexed(&mut self.residues, |i, r| tables[i].inverse(r));
+        let grain = par::grain_ntt(self.n);
+        par::for_each_indexed(&mut self.residues, grain, |i, r| tables[i].inverse(r));
         self.domain = Domain::Coeff;
     }
 
@@ -436,7 +538,9 @@ impl RnsPoly {
         let n = self.n;
         let two_n = 2 * n;
         out.reshape(n, self.residues.len(), Domain::Coeff);
-        par::for_each_indexed(&mut out.residues, |i, dst| {
+        // The scatter through `j·g mod 2N` defeats lane unrolling; this
+        // kernel stays scalar.
+        par::for_each_indexed(&mut out.residues, par::grain_linear(n), |i, dst| {
             let q = moduli[i];
             for (j, &c) in self.residues[i].iter().enumerate() {
                 let e = (j * g) % two_n;
@@ -461,7 +565,7 @@ impl RnsPoly {
 mod tests {
     use super::*;
     use crate::ntt::negacyclic_mul_naive;
-    use crate::par::{with_parallelism, Parallelism};
+    use crate::par::{with_dispatch_threshold, with_parallelism, Parallelism};
     use crate::prime::generate_ntt_primes;
     use crate::rns::RnsBasis;
     use rand::rngs::StdRng;
@@ -722,22 +826,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(15);
         let p = random_poly(&b, &mut rng);
         let q = random_poly(&b, &mut rng);
-        let run = |mode| {
-            with_parallelism(mode, || {
-                let mut x = p.clone();
-                let mut y = q.clone();
-                x.to_ntt(&tables(&b));
-                y.to_ntt(&tables(&b));
-                let mut z = x.clone();
-                z.mul_pointwise_assign(&y, b.moduli());
-                z.add_mul_pointwise(&x, &y, b.moduli());
-                z.to_coeff(&tables(&b));
-                let rot = z.automorphism(5, b.moduli());
-                z.add_assign(&rot, b.moduli());
-                z.neg_assign(b.moduli());
-                z
+        // Threshold 0 defeats the grain guard so the threaded arm
+        // genuinely spawns workers even for this tiny degree.
+        let run = |mode, threshold| {
+            with_dispatch_threshold(threshold, || {
+                with_parallelism(mode, || {
+                    let mut x = p.clone();
+                    let mut y = q.clone();
+                    x.to_ntt(&tables(&b));
+                    y.to_ntt(&tables(&b));
+                    let mut z = x.clone();
+                    z.mul_pointwise_assign(&y, b.moduli());
+                    z.add_mul_pointwise(&x, &y, b.moduli());
+                    z.to_coeff(&tables(&b));
+                    let rot = z.automorphism(5, b.moduli());
+                    z.add_assign(&rot, b.moduli());
+                    z.neg_assign(b.moduli());
+                    z
+                })
             })
         };
-        assert_eq!(run(Parallelism::Serial), run(Parallelism::Threads(3)));
+        assert_eq!(
+            run(Parallelism::Serial, u64::MAX),
+            run(Parallelism::Threads(3), 0)
+        );
     }
 }

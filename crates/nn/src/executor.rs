@@ -416,7 +416,7 @@ impl<'a> HeCnnExecutor<'a> {
         let ctx = self.ev.context();
         let tracing = self.ev.is_tracing();
         let timing = self.ev.is_timing();
-        let results: Vec<ItemResult> = par::map_indexed(input.groups.len(), |g| {
+        let results: Vec<ItemResult> = par::map_indexed(input.groups.len(), par::GRAIN_COARSE, |g| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
             if tracing {
@@ -635,7 +635,7 @@ impl<'a> HeCnnExecutor<'a> {
         let timing = self.ev.is_timing();
         let gks = self.gks;
         let x_ref = &x;
-        let results: Vec<ItemResult> = par::map_indexed(plan.rounds, |r| {
+        let results: Vec<ItemResult> = par::map_indexed(plan.rounds, par::GRAIN_COARSE, |r| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
             if tracing {
@@ -723,7 +723,7 @@ impl<'a> HeCnnExecutor<'a> {
         let tracing = self.ev.is_tracing();
         let timing = self.ev.is_timing();
         let gks = self.gks;
-        let results: Vec<ItemResult> = par::map_indexed(d_out, |k| {
+        let results: Vec<ItemResult> = par::map_indexed(d_out, par::GRAIN_COARSE, |k| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
             if tracing {
