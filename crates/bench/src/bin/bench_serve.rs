@@ -9,10 +9,18 @@
 //! is synchronous, so the pool buys fault isolation, not parallelism,
 //! and must cost nothing on the happy path.
 //!
+//! The busy-work entries alone leave w1 vs w4 within noise because each
+//! request is trivially small, so the run also measures a *real-eval*
+//! workload: every request is a v2 ciphertext frame ingested zero-copy
+//! from an aligned receive buffer and pushed through an actual
+//! square → relinearize → rescale chain — ciphertext-sized work, the
+//! serve path the paper's deployment model actually runs.
+//!
 //! Run with: `cargo run --release -p fxhenn-bench --bin bench_serve`
 //!
 //! Flags:
 //! * `--tiny` — shrink the request counts (CI smoke; do not commit).
+//! * `--real-eval` — measure only the real-eval entries.
 //! * `--out <path>` — write the JSON somewhere else.
 //! * `--check <path>` — compare this run's shape (schema + entry
 //!   names) against a committed baseline and exit non-zero on drift.
@@ -25,6 +33,11 @@ use fxhenn::math::budget::{Budget, Progress};
 use fxhenn::serve::{
     AttemptError, BatchDriver, InferenceRequest, InferenceService, ServeConfig,
 };
+use fxhenn::{ingest_ciphertext, push_frame, FrameCursor};
+use fxhenn_ckks::wire::{encode_ciphertext_v2, AlignedBytes};
+use fxhenn_ckks::{CkksContext, CkksParams, Encryptor, Evaluator, KeyGenerator, RelinKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -51,6 +64,56 @@ impl InferenceService for BusyService {
     }
 }
 
+/// A real CKKS backend: each request is a length-prefixed v2 ciphertext
+/// frame in an aligned receive buffer, ingested zero-copy (borrowed
+/// decode + range check) and run through square → relinearize →
+/// rescale — the full depth-1 evaluation chain at ciphertext size.
+struct CkksEvalService {
+    ctx: CkksContext,
+    relin: RelinKey,
+    rx: AlignedBytes,
+}
+
+impl CkksEvalService {
+    fn build(seed: u64) -> Self {
+        let params = CkksParams::new(1024, 3, 30, 45).expect("bench params are valid");
+        let ctx = CkksContext::new(params);
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(seed));
+        let pk = kg.public_key();
+        let relin = kg.relin_key();
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(seed ^ 0x5EED));
+        let ct = enc.encrypt(&[0.5, -1.25, 2.0, 0.125]);
+        let frame = encode_ciphertext_v2(&ct);
+        let mut rx = AlignedBytes::with_byte_capacity(frame.len() + 16);
+        push_frame(&mut rx, frame.as_bytes());
+        Self { ctx, relin, rx }
+    }
+}
+
+impl InferenceService for CkksEvalService {
+    type Output = u64;
+
+    fn infer(&mut self, req: &InferenceRequest, budget: &Budget) -> Result<u64, AttemptError> {
+        budget
+            .check("ckks-eval-service", Progress::done(0))
+            .map_err(AttemptError::Cancelled)?;
+        let payload = FrameCursor::new(self.rx.as_bytes())
+            .next()
+            .and_then(Result::ok)
+            .unwrap_or_default();
+        let view = ingest_ciphertext(&self.ctx, payload)
+            .map_err(|e| AttemptError::Permanent(format!("rejected request frame: {e}")))?;
+        let mut eval = Evaluator::new(&self.ctx);
+        let chained = eval
+            .square_view(&view)
+            .and_then(|sq| eval.relinearize(&sq, &self.relin))
+            .and_then(|lin| eval.rescale(&lin))
+            .map_err(|e| AttemptError::Permanent(format!("evaluation failed: {e}")))?;
+        black_box(chained);
+        Ok(req.id)
+    }
+}
+
 /// One measured configuration.
 struct Entry {
     name: String,
@@ -63,17 +126,27 @@ struct Entry {
     p99_us: f64,
 }
 
-fn driver(workers: usize) -> BatchDriver<BusyService> {
-    let cfg = ServeConfig {
+fn serve_config(workers: usize, hint: Duration) -> ServeConfig {
+    ServeConfig {
         queue_capacity: 64,
         tenant_quota: 64,
         worker_count: workers,
         slip_threshold: u32::MAX, // latency probe, not degradation study
-        service_time_hint: Duration::from_micros(100),
+        service_time_hint: hint,
         ..ServeConfig::default()
-    };
+    }
+}
+
+fn busy_driver(workers: usize) -> BatchDriver<BusyService> {
+    let cfg = serve_config(workers, Duration::from_micros(100));
     BatchDriver::with_factory(cfg, Box::new(|| Ok(BusyService { work_units: 20_000 })))
         .expect("busy service always builds")
+}
+
+fn real_eval_driver(workers: usize) -> BatchDriver<CkksEvalService> {
+    let cfg = serve_config(workers, Duration::from_micros(500));
+    BatchDriver::with_factory(cfg, Box::new(|| Ok(CkksEvalService::build(11))))
+        .expect("ckks service always builds")
 }
 
 /// Mixed deadlines: every 8th request carries a zero deadline (storm
@@ -86,9 +159,19 @@ fn deadline_for(id: u64) -> Duration {
     }
 }
 
-fn measure(workers: usize, throughput_requests: u64, latency_probes: u64) -> Entry {
+fn measure<S, F>(
+    name: String,
+    make_driver: F,
+    workers: usize,
+    throughput_requests: u64,
+    latency_probes: u64,
+) -> Entry
+where
+    S: InferenceService<Output = u64>,
+    F: Fn() -> BatchDriver<S>,
+{
     // Throughput: waves of up-to-capacity submissions, drained per wave.
-    let mut d = driver(workers);
+    let mut d = make_driver();
     let wave = 64u64;
     let start = Instant::now();
     let mut id = 0u64;
@@ -106,7 +189,7 @@ fn measure(workers: usize, throughput_requests: u64, latency_probes: u64) -> Ent
     // Latency: one request per run_queue call so each sample is a true
     // end-to-end admission→outcome time; p-quantiles over completed
     // requests only (storm victims cancel by design).
-    let mut lat = driver(workers);
+    let mut lat = make_driver();
     let mut samples_us: Vec<f64> = Vec::with_capacity(latency_probes as usize);
     for pid in 0..latency_probes {
         let t = Instant::now();
@@ -128,7 +211,7 @@ fn measure(workers: usize, throughput_requests: u64, latency_probes: u64) -> Ent
     };
 
     Entry {
-        name: format!("serve_mixed_deadlines_w{workers}"),
+        name,
         workers,
         requests: throughput_requests,
         completed: report.completed,
@@ -202,26 +285,53 @@ fn check_against(baseline_path: &str, entries: &[Entry]) -> Result<(), String> {
 
 fn main() {
     let mut tiny = false;
+    let mut real_eval_only = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
+            "--real-eval" => real_eval_only = true,
             "--out" => out = Some(args.next().expect("--out needs a path")),
             "--check" => check = Some(args.next().expect("--check needs a path")),
             other => {
-                eprintln!("unknown flag {other}; known: --tiny, --out <path>, --check <path>");
+                eprintln!(
+                    "unknown flag {other}; known: --tiny, --real-eval, --out <path>, \
+                     --check <path>"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let (throughput_requests, latency_probes) = if tiny { (256, 128) } else { (4_096, 1_024) };
-    let entries: Vec<Entry> = [1usize, 4]
-        .iter()
-        .map(|&w| measure(w, throughput_requests, latency_probes))
-        .collect();
+    // The real-eval chain is ~three orders of magnitude heavier per
+    // request than the busy spin, so it runs fewer requests for the
+    // same statistical weight.
+    let (real_requests, real_probes) = if tiny { (64, 32) } else { (512, 256) };
+
+    let mut entries: Vec<Entry> = Vec::with_capacity(4);
+    if !real_eval_only {
+        for w in [1usize, 4] {
+            entries.push(measure(
+                format!("serve_mixed_deadlines_w{w}"),
+                || busy_driver(w),
+                w,
+                throughput_requests,
+                latency_probes,
+            ));
+        }
+    }
+    for w in [1usize, 4] {
+        entries.push(measure(
+            format!("serve_real_eval_w{w}"),
+            || real_eval_driver(w),
+            w,
+            real_requests,
+            real_probes,
+        ));
+    }
 
     for e in &entries {
         println!(
@@ -230,12 +340,15 @@ fn main() {
             e.name, e.req_per_s, e.p50_us, e.p99_us, e.completed, e.cancelled
         );
     }
-    let single_p99 = entries[0].p99_us;
-    let pool_p99 = entries[1].p99_us;
-    println!(
-        "pool p99 / single p99 = {:.3} (pool must not regress the single-worker path)",
-        pool_p99 / single_p99
-    );
+    // Entries come in (w1, w4) pairs per workload.
+    for pair in entries.chunks(2) {
+        let (single, pool) = (&pair[0], &pair[1]);
+        println!(
+            "{}: pool p99 / single p99 = {:.3} (pool must not regress the single-worker path)",
+            pool.name,
+            pool.p99_us / single.p99_us
+        );
+    }
 
     if let Some(baseline) = check {
         if let Err(msg) = check_against(&baseline, &entries) {

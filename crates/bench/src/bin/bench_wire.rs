@@ -1,0 +1,297 @@
+//! Wire-path benchmark: encode, decode and ingest-to-first-op latency
+//! plus bytes copied per decode for the v1 owned layout versus the v2
+//! aligned zero-copy layout, written to `BENCH_wire.json` at the
+//! repository root.
+//!
+//! The claim the committed numbers back: v2 decode of an aligned
+//! ciphertext frame copies **zero** residue bytes (counter-verified via
+//! `fxhenn_wire_copied_bytes_total`), and the ingest-to-first-op path —
+//! receive buffer → structural decode → range check → first homomorphic
+//! add — is at least 2x faster than the v1 owned-decode path at
+//! `(N = 8192, L = 4)`.
+//!
+//! Run with: `cargo run --release -p fxhenn-bench --bin bench_wire`
+//!
+//! Flags:
+//! * `--tiny` — shrink the iteration counts (CI smoke; do not commit).
+//! * `--out <path>` — write the JSON somewhere else.
+//! * `--check <path>` — compare this run's shape (schema + entry
+//!   names) against a committed baseline and exit non-zero on drift.
+//!
+//! Output schema `fxhenn-bench-wire/v1`:
+//! `{ "schema", "tiny", "entries": [{ "name", "n", "levels",
+//! "payload_bytes", "encode_us", "decode_us", "ingest_to_first_op_us",
+//! "copied_bytes_per_decode" }] }`.
+
+use fxhenn::obs;
+use fxhenn::{ingest_ciphertext, push_frame, FrameCursor};
+use fxhenn_ckks::wire::{encode_ciphertext_v2, AlignedBytes};
+use fxhenn_ckks::serialize::{decode_ciphertext, encode_ciphertext};
+use fxhenn_ckks::{
+    register_wire_metrics, Ciphertext, CkksContext, CkksParams, Encryptor, Evaluator,
+    KeyGenerator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured (point, layout) configuration.
+struct Entry {
+    name: String,
+    n: usize,
+    levels: usize,
+    payload_bytes: usize,
+    encode_us: f64,
+    decode_us: f64,
+    ingest_us: f64,
+    copied_bytes_per_decode: u64,
+}
+
+/// The three paper-relevant (N, L) points: toy, mid, and the MNIST ring
+/// at serving depth.
+const POINTS: [(usize, usize); 3] = [(1024, 2), (4096, 3), (8192, 4)];
+
+fn average_us<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    f(); // warm-up: page in buffers, fill scratch pools
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn copied_delta<F: FnOnce()>(f: F) -> u64 {
+    let c = obs::global().counter("fxhenn_wire_copied_bytes_total");
+    let before = c.value();
+    f();
+    c.value() - before
+}
+
+fn fresh_ciphertext(ctx: &CkksContext, seed: u64) -> Ciphertext {
+    let mut kg = KeyGenerator::new(ctx, StdRng::seed_from_u64(seed));
+    let pk = kg.public_key();
+    let mut enc = Encryptor::new(ctx, pk, StdRng::seed_from_u64(seed ^ 0xA5A5));
+    let msg: Vec<f64> = (0..ctx.params().slot_count().min(64))
+        .map(|i| (i as f64).mul_add(0.125, 0.5))
+        .collect();
+    enc.encrypt(&msg)
+}
+
+fn measure_point(n: usize, levels: usize, iters: u64) -> (Entry, Entry) {
+    let params = CkksParams::new(n, levels, 30, 45).expect("bench points are valid");
+    let ctx = CkksContext::new(params);
+    let ct = fresh_ciphertext(&ctx, 7 + n as u64);
+
+    // ---- v1: owned byte-at-a-time layout ----------------------------
+    let v1_bytes = encode_ciphertext(&ct);
+    let v1_encode_us = average_us(iters, || {
+        black_box(encode_ciphertext(black_box(&ct)));
+    });
+    let v1_decode_us = average_us(iters, || {
+        black_box(decode_ciphertext(black_box(&v1_bytes)).expect("round-trip"));
+    });
+    let v1_copied = copied_delta(|| {
+        black_box(decode_ciphertext(&v1_bytes).expect("round-trip"));
+    });
+    // Ingest-to-first-op: bytes → owned decode → range check → add.
+    let mut eval = Evaluator::new(&ctx);
+    let v1_ingest_us = average_us(iters, || {
+        let owned = decode_ciphertext(black_box(&v1_bytes)).expect("round-trip");
+        ctx.validate_ciphertext(&owned).expect("honest bytes");
+        black_box(eval.add(&owned, &owned).expect("same level"));
+    });
+
+    // ---- v2: aligned zero-copy layout -------------------------------
+    let v2_frame = encode_ciphertext_v2(&ct);
+    let v2_encode_us = average_us(iters, || {
+        black_box(encode_ciphertext_v2(black_box(&ct)));
+    });
+    let v2_decode_us = average_us(iters, || {
+        black_box(
+            fxhenn_ckks::decode_ciphertext_v2(black_box(v2_frame.as_bytes()))
+                .expect("round-trip"),
+        );
+    });
+    let v2_copied = copied_delta(|| {
+        black_box(fxhenn_ckks::decode_ciphertext_v2(v2_frame.as_bytes()).expect("round-trip"));
+    });
+    // Ingest-to-first-op: receive buffer → borrowed decode + range
+    // check → add_view, exactly the serve request path.
+    let mut rx = AlignedBytes::new();
+    push_frame(&mut rx, v2_frame.as_bytes());
+    let v2_ingest_us = average_us(iters, || {
+        let payload = FrameCursor::new(black_box(rx.as_bytes()))
+            .next()
+            .expect("one frame")
+            .expect("well-formed");
+        let view = ingest_ciphertext(&ctx, payload).expect("honest bytes");
+        black_box(eval.add_view(&view, &view).expect("same level"));
+    });
+
+    let mk = |tag: &str, payload: usize, enc: f64, dec: f64, ing: f64, copied: u64| Entry {
+        name: format!("wire_n{n}_l{levels}_{tag}"),
+        n,
+        levels,
+        payload_bytes: payload,
+        encode_us: enc,
+        decode_us: dec,
+        ingest_us: ing,
+        copied_bytes_per_decode: copied,
+    };
+    (
+        mk("v1", v1_bytes.len(), v1_encode_us, v1_decode_us, v1_ingest_us, v1_copied),
+        mk("v2", v2_frame.len(), v2_encode_us, v2_decode_us, v2_ingest_us, v2_copied),
+    )
+}
+
+fn render_json(entries: &[Entry], tiny: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"fxhenn-bench-wire/v1\",\n");
+    s.push_str(&format!("  \"tiny\": {tiny},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"n\": {}, \"levels\": {}, \"payload_bytes\": {}, \
+             \"encode_us\": {:.2}, \"decode_us\": {:.2}, \"ingest_to_first_op_us\": {:.2}, \
+             \"copied_bytes_per_decode\": {} }}{comma}\n",
+            e.name, e.n, e.levels, e.payload_bytes, e.encode_us, e.decode_us, e.ingest_us,
+            e.copied_bytes_per_decode
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Every string value keyed by `key` in a flat JSON document.
+fn extract_strings(json: &str, key: &str) -> Vec<String> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        rest = &rest[i + pat.len()..];
+        let Some(q1) = rest.find('"') else { break };
+        let after = &rest[q1 + 1..];
+        let Some(q2) = after.find('"') else { break };
+        out.push(after[..q2].to_string());
+        rest = &after[q2 + 1..];
+    }
+    out
+}
+
+/// Compares this run's shape against a committed baseline: same
+/// schema, same entry names in the same order.
+fn check_against(baseline_path: &str, entries: &[Entry]) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let schema = extract_strings(&text, "schema");
+    if schema.first().map(String::as_str) != Some("fxhenn-bench-wire/v1") {
+        return Err(format!(
+            "baseline {baseline_path} schema mismatch: found {:?}, expected \
+             \"fxhenn-bench-wire/v1\"",
+            schema.first()
+        ));
+    }
+    let committed = extract_strings(&text, "name");
+    let measured: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+    if committed != measured {
+        return Err(format!(
+            "wire bench shape drifted from {baseline_path}:\n  committed: {committed:?}\n  \
+             measured:  {measured:?}\nregenerate the baseline with `cargo run --release -p \
+             fxhenn-bench --bin bench_wire` if the change is intentional"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut tiny = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--check" => check = Some(args.next().expect("--check needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; known: --tiny, --out <path>, --check <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    register_wire_metrics();
+    let mut entries: Vec<Entry> = Vec::with_capacity(POINTS.len() * 2);
+    for &(n, levels) in &POINTS {
+        let iters = if tiny {
+            8
+        } else {
+            // More repetitions for the small payloads, a floor of 64
+            // for the big ones — each sample stays well above timer
+            // resolution either way.
+            (1 << 22) / (n * levels).max(1) as u64 + 64
+        };
+        let (v1, v2) = measure_point(n, levels, iters);
+        entries.push(v1);
+        entries.push(v2);
+    }
+
+    for e in &entries {
+        println!(
+            "{:<18} {:>9} B   encode {:>8.2} µs   decode {:>8.2} µs   \
+             ingest→op {:>8.2} µs   copied/decode {:>9} B",
+            e.name, e.payload_bytes, e.encode_us, e.decode_us, e.ingest_us,
+            e.copied_bytes_per_decode
+        );
+    }
+    for pair in entries.chunks(2) {
+        let (v1, v2) = (&pair[0], &pair[1]);
+        println!(
+            "n={} L={}: ingest-to-first-op v1/v2 = {:.2}x, copied bytes {} → {}",
+            v1.n,
+            v1.levels,
+            v1.ingest_us / v2.ingest_us,
+            v1.copied_bytes_per_decode,
+            v2.copied_bytes_per_decode
+        );
+    }
+
+    // The headline claims, counter-verified on the largest point.
+    let v2_big = entries.last().expect("three points measured");
+    let v1_big = &entries[entries.len() - 2];
+    if !fxhenn_ckks::copy_fallback_forced() {
+        assert_eq!(
+            v2_big.copied_bytes_per_decode, 0,
+            "v2 decode of an aligned frame must copy zero residue bytes"
+        );
+    }
+    if !tiny {
+        let speedup = v1_big.ingest_us / v2_big.ingest_us;
+        assert!(
+            speedup >= 2.0,
+            "ingest-to-first-op must improve >= 2x over v1 at (N={}, L={}); measured {:.2}x",
+            v2_big.n,
+            v2_big.levels,
+            speedup
+        );
+    }
+
+    if let Some(baseline) = check {
+        if let Err(msg) = check_against(&baseline, &entries) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        println!("wire bench shape matches {baseline}");
+        return;
+    }
+
+    let path = out.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json").to_string()
+    });
+    let json = render_json(&entries, tiny);
+    std::fs::write(&path, &json).expect("write wire bench report");
+    println!("wrote {path}");
+}

@@ -416,6 +416,45 @@ impl CkksContext {
         Ok(())
     }
 
+    /// The borrowed-view twin of
+    /// [`validate_ciphertext`](Self::validate_ciphertext): range-checks a
+    /// [`crate::wire::CiphertextView`] in place over the receive buffer,
+    /// so a serve path can validate and evaluate a request frame without
+    /// ever materializing an owned ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptCiphertext`] naming the failed check.
+    pub fn validate_ciphertext_view(
+        &self,
+        ct: &crate::wire::CiphertextView<'_>,
+    ) -> Result<(), EvalError> {
+        let level = ct.level();
+        if level < 1 || level > self.max_level() {
+            return Err(EvalError::CorruptCiphertext {
+                what: "level outside the context's modulus chain",
+            });
+        }
+        if ct.degree() != self.degree() {
+            return Err(EvalError::CorruptCiphertext {
+                what: "polynomial degree differs from the context",
+            });
+        }
+        let moduli = self.moduli_at(level);
+        for p in 0..ct.size() {
+            let poly = ct.poly(p);
+            for (i, &q) in moduli.iter().enumerate() {
+                use fxhenn_math::PolyLimbs;
+                if poly.limb(i).iter().any(|&w| w >= q) {
+                    return Err(EvalError::CorruptCiphertext {
+                        what: "residue word not reduced modulo its prime",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Checks that a (possibly deserialized) key-switching key is
     /// semantically valid for this context: the expected digit count,
     /// every digit over the full extended basis (all coefficient primes
@@ -481,6 +520,78 @@ impl CkksContext {
         for g in gks.exponents() {
             if let Some(ksk) = gks.key(g) {
                 self.validate_key_switch_key(ksk)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The borrowed-view twin of
+    /// [`validate_key_switch_key`](Self::validate_key_switch_key):
+    /// range-checks a key-switch key in place over its (possibly mmap'd)
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptKeyMaterial`] naming the failed check.
+    pub fn validate_key_switch_ref(&self, ksk: &crate::wire::KskRef<'_>) -> Result<(), EvalError> {
+        use fxhenn_math::PolyLimbs;
+        if ksk.digit_count() != self.key_switch_digits() {
+            return Err(EvalError::CorruptKeyMaterial {
+                what: "digit count differs from the context",
+            });
+        }
+        let ext = self.extended_moduli_at(self.max_level());
+        for j in 0..ksk.digit_count() {
+            let (b, a) = ksk.digit(j);
+            for poly in [&b, &a] {
+                if poly.degree() != self.degree() {
+                    return Err(EvalError::CorruptKeyMaterial {
+                        what: "polynomial degree differs from the context",
+                    });
+                }
+                if poly.level_count() != ext.len() {
+                    return Err(EvalError::CorruptKeyMaterial {
+                        what: "digit not over the full extended basis",
+                    });
+                }
+                for (i, &q) in ext.iter().enumerate() {
+                    if poly.limb(i).iter().any(|&w| w >= q) {
+                        return Err(EvalError::CorruptKeyMaterial {
+                            what: "residue word not reduced modulo its prime",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a relinearization-key view in place (see
+    /// [`validate_key_switch_ref`](Self::validate_key_switch_ref)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptKeyMaterial`] naming the failed check.
+    pub fn validate_relin_key_view(
+        &self,
+        rk: &crate::wire::RelinKeyView<'_>,
+    ) -> Result<(), EvalError> {
+        self.validate_key_switch_ref(&rk.ksk())
+    }
+
+    /// Validates every key in a Galois-key view in place (see
+    /// [`validate_key_switch_ref`](Self::validate_key_switch_ref)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::CorruptKeyMaterial`] naming the failed check.
+    pub fn validate_galois_keys_view(
+        &self,
+        gks: &crate::wire::GaloisKeysView<'_>,
+    ) -> Result<(), EvalError> {
+        for g in gks.exponents() {
+            if let Some(ksk) = gks.key(g) {
+                self.validate_key_switch_ref(&ksk)?;
             }
         }
         Ok(())

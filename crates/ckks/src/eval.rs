@@ -23,7 +23,8 @@ use crate::trace::{HeOpKind, OpTrace};
 use fxhenn_math::budget::{self, Progress};
 use fxhenn_math::modops::{sub_mod, ShoupMul};
 use fxhenn_math::par;
-use fxhenn_math::poly::{Domain, RnsPoly};
+use crate::wire::CiphertextView;
+use fxhenn_math::poly::{mul_pointwise_of, Domain, RnsPoly};
 use std::time::Instant;
 
 /// Relative scale mismatch tolerated by additive operations.
@@ -473,6 +474,166 @@ impl<'a> Evaluator<'a> {
     /// Fails as [`mul`](Evaluator::mul) does.
     pub fn square(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
         self.mul(a, a)
+    }
+
+    fn check_matching_views(
+        op: &'static str,
+        a: &CiphertextView<'_>,
+        b: &CiphertextView<'_>,
+    ) -> Result<(), EvalError> {
+        if a.level() != b.level() {
+            return Err(EvalError::LevelMismatch {
+                op,
+                left: a.level(),
+                right: b.level(),
+            });
+        }
+        if a.size() != b.size() {
+            return Err(EvalError::SizeMismatch {
+                op,
+                left: a.size(),
+                right: b.size(),
+            });
+        }
+        Self::check_same_scale(a.scale(), b.scale())
+    }
+
+    /// CCadd directly from borrowed wire views: reads both operands in
+    /// place over their receive buffers and materializes only the output.
+    /// Bit-identical to decoding owned copies and calling
+    /// [`add`](Evaluator::add) — the limb kernels run on the same values
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`add`](Evaluator::add) does.
+    pub fn add_view(
+        &mut self,
+        a: &CiphertextView<'_>,
+        b: &CiphertextView<'_>,
+    ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
+        let started = Instant::now();
+        Self::check_matching_views("CCadd", a, b)?;
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut polys = Vec::with_capacity(a.size());
+        for i in 0..a.size() {
+            let mut p = self.take_scratch();
+            p.copy_from_limbs(&a.poly(i));
+            p.add_assign(&b.poly(i), moduli);
+            polys.push(p);
+        }
+        self.record(HeOpKind::CcAdd, a.level(), started);
+        Ok(Ciphertext::new(polys, a.scale()))
+    }
+
+    /// PCmult with the ciphertext operand read in place from a borrowed
+    /// wire view.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`mul_plain`](Evaluator::mul_plain) does.
+    pub fn mul_plain_view(
+        &mut self,
+        a: &CiphertextView<'_>,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
+        let started = Instant::now();
+        if a.level() != pt.level() {
+            return Err(EvalError::LevelMismatch {
+                op: "PCmult",
+                left: a.level(),
+                right: pt.level(),
+            });
+        }
+        let moduli = self.ctx.moduli_at(a.level());
+        let mut polys = Vec::with_capacity(a.size());
+        for i in 0..a.size() {
+            let mut p = self.take_scratch();
+            p.copy_from_limbs(&a.poly(i));
+            p.mul_pointwise_assign(pt.poly(), moduli);
+            polys.push(p);
+        }
+        self.record(HeOpKind::PcMult, a.level(), started);
+        Ok(Ciphertext::new(polys, a.scale() * pt.scale()))
+    }
+
+    /// CCmult directly from borrowed wire views: the three tensor
+    /// products read both operands straight out of the receive buffers.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`mul`](Evaluator::mul) does.
+    pub fn mul_view(
+        &mut self,
+        a: &CiphertextView<'_>,
+        b: &CiphertextView<'_>,
+    ) -> Result<Ciphertext, EvalError> {
+        self.budget_gate()?;
+        let started = Instant::now();
+        if !a.is_linear() || !b.is_linear() {
+            return Err(EvalError::NonLinearProduct {
+                size: if a.is_linear() { b.size() } else { a.size() },
+            });
+        }
+        if a.level() != b.level() {
+            return Err(EvalError::LevelMismatch {
+                op: "CCmult",
+                left: a.level(),
+                right: b.level(),
+            });
+        }
+        let moduli = self.ctx.moduli_at(a.level());
+
+        // Same fan-out decision and per-product math as the owned
+        // `mul`, so the result is bit-identical to decode-then-multiply.
+        let prod_grain = moduli
+            .len()
+            .saturating_mul(par::grain_linear(self.ctx.degree()));
+        let (d0, d1, d2) = if par::planned_threads(3, prod_grain) > 1 {
+            let n = self.ctx.degree();
+            let mut prods = par::map_indexed(3, prod_grain, |k| {
+                let mut out = RnsPoly::zero(n, 1, Domain::Ntt);
+                match k {
+                    0 => mul_pointwise_of(&a.poly(0), &b.poly(0), moduli, &mut out),
+                    1 => {
+                        mul_pointwise_of(&a.poly(0), &b.poly(1), moduli, &mut out);
+                        out.add_mul_pointwise(&a.poly(1), &b.poly(0), moduli);
+                    }
+                    _ => mul_pointwise_of(&a.poly(1), &b.poly(1), moduli, &mut out),
+                }
+                out
+            });
+            let d2 = prods.pop().expect("three products");
+            let d1 = prods.pop().expect("three products");
+            let d0 = prods.pop().expect("three products");
+            (d0, d1, d2)
+        } else {
+            let mut d0 = self.take_scratch();
+            mul_pointwise_of(&a.poly(0), &b.poly(0), moduli, &mut d0);
+
+            let mut d1 = self.take_scratch();
+            mul_pointwise_of(&a.poly(0), &b.poly(1), moduli, &mut d1);
+            d1.add_mul_pointwise(&a.poly(1), &b.poly(0), moduli);
+
+            let mut d2 = self.take_scratch();
+            mul_pointwise_of(&a.poly(1), &b.poly(1), moduli, &mut d2);
+            (d0, d1, d2)
+        };
+
+        self.record(HeOpKind::CcMult, a.level(), started);
+        Ok(Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale()))
+    }
+
+    /// Homomorphic squaring straight from a borrowed wire view — the
+    /// ingest-to-first-op path `bench_wire` measures.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`mul`](Evaluator::mul) does.
+    pub fn square_view(&mut self, a: &CiphertextView<'_>) -> Result<Ciphertext, EvalError> {
+        self.mul_view(a, a)
     }
 
     /// Relinearization (OP5 KeySwitch): reduces a 3-polynomial ciphertext

@@ -49,6 +49,7 @@ pub mod security;
 pub mod serialize;
 pub mod telemetry;
 pub mod trace;
+pub mod wire;
 
 pub use cipher::{Ciphertext, Plaintext};
 pub use context::CkksContext;
@@ -66,5 +67,12 @@ pub use serialize::{
     seal_checksummed, DecodeError,
 };
 pub use security::{estimate_security, SecurityLevel};
-pub use telemetry::{register_he_metrics, OpSpanLog};
+pub use telemetry::{register_he_metrics, register_wire_metrics, OpSpanLog};
 pub use trace::{HeOpKind, HeOpRecord, OpTrace};
+pub use wire::{
+    copy_fallback_forced, decode_ciphertext_v2, decode_galois_keys_v2, decode_plaintext_v2,
+    decode_public_key_v2, decode_relin_key_v2, encode_ciphertext_v2, encode_galois_keys_v2,
+    encode_plaintext_v2, encode_public_key_v2, encode_relin_key_v2, seal_checksummed_v2,
+    AlignedBytes, CiphertextView, GaloisKeysView, KskRef, LimbsRef, MappedFrame, PlaintextView,
+    PublicKeyView, RelinKeyView,
+};

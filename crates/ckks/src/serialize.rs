@@ -11,12 +11,13 @@ use crate::cipher::{Ciphertext, Plaintext};
 use crate::keys::{GaloisKeys, KeySwitchKey, PublicKey, RelinKey};
 use fxhenn_math::poly::{Domain, RnsPoly};
 
-const MAGIC: &[u8; 4] = b"FXHE";
+pub(crate) const MAGIC: &[u8; 4] = b"FXHE";
 const VERSION: u8 = 1;
 
-/// Type tags of the serializable objects.
+/// Type tags of the serializable objects (shared with the v2 layout in
+/// [`crate::wire`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Tag {
+pub(crate) enum Tag {
     Ciphertext = 1,
     Plaintext = 2,
     PublicKey = 3,
@@ -71,17 +72,73 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// v1 header length in bytes: magic + version + tag.
+const V1_HEADER_LEN: usize = 6;
+
+fn poly_encoded_len(p: &RnsPoly) -> usize {
+    3 * 8 + 8 * p.level_count() * p.degree()
+}
+
+fn ksk_encoded_len(ksk: &KeySwitchKey) -> usize {
+    8 + ksk
+        .digits
+        .iter()
+        .map(|(b, a)| poly_encoded_len(b) + poly_encoded_len(a))
+        .sum::<usize>()
+}
+
+/// Exact v1 encoding size of a ciphertext in bytes.
+pub fn encoded_len_ciphertext(ct: &Ciphertext) -> usize {
+    V1_HEADER_LEN + 2 * 8 + ct.polys().iter().map(poly_encoded_len).sum::<usize>()
+}
+
+/// Exact v1 encoding size of a plaintext in bytes.
+pub fn encoded_len_plaintext(pt: &Plaintext) -> usize {
+    V1_HEADER_LEN + 8 + poly_encoded_len(pt.poly())
+}
+
+/// Exact v1 encoding size of a public key in bytes.
+pub fn encoded_len_public_key(pk: &PublicKey) -> usize {
+    V1_HEADER_LEN + poly_encoded_len(&pk.b) + poly_encoded_len(&pk.a)
+}
+
+/// Exact v1 encoding size of a relinearization key in bytes.
+pub fn encoded_len_relin_key(rk: &RelinKey) -> usize {
+    V1_HEADER_LEN + ksk_encoded_len(&rk.0)
+}
+
+/// Exact v1 encoding size of a Galois key set in bytes.
+pub fn encoded_len_galois_keys(gks: &GaloisKeys) -> usize {
+    V1_HEADER_LEN
+        + 8
+        + gks
+            .exponents()
+            .iter()
+            .map(|&g| 8 + ksk_encoded_len(gks.key(g).expect("listed exponent")))
+            .sum::<usize>()
+}
+
 struct Writer {
     buf: Vec<u8>,
+    cap0: usize,
+    expected_len: usize,
 }
 
 impl Writer {
-    fn new(tag: Tag) -> Self {
-        let mut buf = Vec::with_capacity(64);
+    /// Starts a frame pre-sized to the exact `encoded_len` of the object
+    /// being written, so serialization never reallocates (debug-asserted
+    /// in [`Writer::finish`]).
+    fn new(tag: Tag, total_len: usize) -> Self {
+        let mut buf = Vec::with_capacity(total_len);
+        let cap0 = buf.capacity();
         buf.extend_from_slice(MAGIC);
         buf.push(VERSION);
         buf.push(tag as u8);
-        Self { buf }
+        Self {
+            buf,
+            cap0,
+            expected_len: total_len,
+        }
     }
 
     fn u64(&mut self, v: u64) {
@@ -107,6 +164,15 @@ impl Writer {
     }
 
     fn finish(self) -> Vec<u8> {
+        debug_assert_eq!(self.buf.len(), self.expected_len, "encoded_len was inexact");
+        debug_assert_eq!(
+            self.buf.capacity(),
+            self.cap0,
+            "encode buffer reallocated despite exact pre-sizing"
+        );
+        crate::telemetry::wire_metrics()
+            .encoded_bytes
+            .add(self.buf.len() as u64);
         self.buf
     }
 }
@@ -181,9 +247,25 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// True when `buf` carries a well-formed magic and the v2 version byte:
+/// the public v1 decoders dispatch such buffers to the aligned layout in
+/// [`crate::wire`] and upgrade the resulting view into owned objects, so
+/// existing callers transparently read both versions.
+fn is_v2_frame(buf: &[u8]) -> bool {
+    buf.len() >= V1_HEADER_LEN && &buf[..4] == MAGIC && buf[4] == crate::wire::VERSION_V2
+}
+
+/// Records an owned (v1-style) decode: every byte of the frame was
+/// materialized into fresh allocations.
+fn note_owned_decode(bytes: usize) {
+    let m = crate::telemetry::wire_metrics();
+    m.decoded_bytes.add(bytes as u64);
+    m.copied_bytes.add(bytes as u64);
+}
+
 /// Serializes a ciphertext.
 pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
-    let mut w = Writer::new(Tag::Ciphertext);
+    let mut w = Writer::new(Tag::Ciphertext, encoded_len_ciphertext(ct));
     w.f64(ct.scale());
     w.u64(ct.size() as u64);
     for p in ct.polys() {
@@ -198,6 +280,9 @@ pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on malformed input.
 pub fn decode_ciphertext(buf: &[u8]) -> Result<Ciphertext, DecodeError> {
+    if is_v2_frame(buf) {
+        return Ok(crate::wire::decode_ciphertext_v2(buf)?.to_owned_ciphertext());
+    }
     let mut r = Reader::new(buf, Tag::Ciphertext)?;
     let scale = r.f64()?;
     if !(scale.is_finite() && scale > 0.0) {
@@ -208,13 +293,24 @@ pub fn decode_ciphertext(buf: &[u8]) -> Result<Ciphertext, DecodeError> {
         return Err(DecodeError::InvalidField("polynomial count"));
     }
     let polys = (0..size).map(|_| r.poly()).collect::<Result<Vec<_>, _>>()?;
+    // Structural invariants `Ciphertext::new` would otherwise assert on:
+    // a malformed buffer must decode to an error, never a panic.
+    for p in &polys {
+        if p.domain() != Domain::Ntt {
+            return Err(DecodeError::InvalidField("ciphertext domain"));
+        }
+        if p.degree() != polys[0].degree() || p.level_count() != polys[0].level_count() {
+            return Err(DecodeError::InvalidField("component shape"));
+        }
+    }
     r.done()?;
+    note_owned_decode(buf.len());
     Ok(Ciphertext::new(polys, scale))
 }
 
 /// Serializes a plaintext.
 pub fn encode_plaintext(pt: &Plaintext) -> Vec<u8> {
-    let mut w = Writer::new(Tag::Plaintext);
+    let mut w = Writer::new(Tag::Plaintext, encoded_len_plaintext(pt));
     w.f64(pt.scale());
     w.poly(pt.poly());
     w.finish()
@@ -226,19 +322,26 @@ pub fn encode_plaintext(pt: &Plaintext) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on malformed input.
 pub fn decode_plaintext(buf: &[u8]) -> Result<Plaintext, DecodeError> {
+    if is_v2_frame(buf) {
+        return Ok(crate::wire::decode_plaintext_v2(buf)?.to_owned_plaintext());
+    }
     let mut r = Reader::new(buf, Tag::Plaintext)?;
     let scale = r.f64()?;
     if !(scale.is_finite() && scale > 0.0) {
         return Err(DecodeError::InvalidField("scale"));
     }
     let poly = r.poly()?;
+    if poly.domain() != Domain::Ntt {
+        return Err(DecodeError::InvalidField("plaintext domain"));
+    }
     r.done()?;
+    note_owned_decode(buf.len());
     Ok(Plaintext::new(poly, scale))
 }
 
 /// Serializes a public key.
 pub fn encode_public_key(pk: &PublicKey) -> Vec<u8> {
-    let mut w = Writer::new(Tag::PublicKey);
+    let mut w = Writer::new(Tag::PublicKey, encoded_len_public_key(pk));
     w.poly(&pk.b);
     w.poly(&pk.a);
     w.finish()
@@ -250,10 +353,14 @@ pub fn encode_public_key(pk: &PublicKey) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on malformed input.
 pub fn decode_public_key(buf: &[u8]) -> Result<PublicKey, DecodeError> {
+    if is_v2_frame(buf) {
+        return Ok(crate::wire::decode_public_key_v2(buf)?.to_owned_public_key());
+    }
     let mut r = Reader::new(buf, Tag::PublicKey)?;
     let b = r.poly()?;
     let a = r.poly()?;
     r.done()?;
+    note_owned_decode(buf.len());
     Ok(PublicKey { b, a })
 }
 
@@ -281,7 +388,7 @@ fn read_ksk(r: &mut Reader<'_>) -> Result<KeySwitchKey, DecodeError> {
 
 /// Serializes a relinearization key.
 pub fn encode_relin_key(rk: &RelinKey) -> Vec<u8> {
-    let mut w = Writer::new(Tag::RelinKey);
+    let mut w = Writer::new(Tag::RelinKey, encoded_len_relin_key(rk));
     write_ksk(&mut w, &rk.0);
     w.finish()
 }
@@ -292,15 +399,19 @@ pub fn encode_relin_key(rk: &RelinKey) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on malformed input.
 pub fn decode_relin_key(buf: &[u8]) -> Result<RelinKey, DecodeError> {
+    if is_v2_frame(buf) {
+        return Ok(crate::wire::decode_relin_key_v2(buf)?.to_owned_relin_key());
+    }
     let mut r = Reader::new(buf, Tag::RelinKey)?;
     let ksk = read_ksk(&mut r)?;
     r.done()?;
+    note_owned_decode(buf.len());
     Ok(RelinKey(ksk))
 }
 
 /// Serializes a set of Galois keys.
 pub fn encode_galois_keys(gks: &GaloisKeys) -> Vec<u8> {
-    let mut w = Writer::new(Tag::GaloisKeys);
+    let mut w = Writer::new(Tag::GaloisKeys, encoded_len_galois_keys(gks));
     let exps = gks.exponents();
     w.u64(exps.len() as u64);
     for g in exps {
@@ -316,6 +427,9 @@ pub fn encode_galois_keys(gks: &GaloisKeys) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on malformed input.
 pub fn decode_galois_keys(buf: &[u8]) -> Result<GaloisKeys, DecodeError> {
+    if is_v2_frame(buf) {
+        return Ok(crate::wire::decode_galois_keys_v2(buf)?.to_owned_galois_keys());
+    }
     let mut r = Reader::new(buf, Tag::GaloisKeys)?;
     let n = r.u64()? as usize;
     if n > 4096 {
@@ -328,6 +442,7 @@ pub fn decode_galois_keys(buf: &[u8]) -> Result<GaloisKeys, DecodeError> {
         keys.insert(g, ksk);
     }
     r.done()?;
+    note_owned_decode(buf.len());
     Ok(GaloisKeys::from_map(keys))
 }
 

@@ -15,7 +15,7 @@
 //!   structure so traces stay timing-free and byte-comparable.
 
 use crate::trace::HeOpKind;
-use fxhenn_obs::{global, Counter, Histogram, SpanLog};
+use fxhenn_obs::{global, Counter, Gauge, Histogram, SpanLog};
 use std::sync::{Arc, OnceLock};
 
 /// Wall-time spans of executed HE operations: label = `(kind, level)`.
@@ -46,6 +46,45 @@ pub fn register_he_metrics() {
     let _ = he_metrics();
 }
 
+/// Wire-path metric handles: byte volumes through encode/decode, the
+/// zero-copy vs fallback-copy decode split, and mmap'd key-frame state.
+/// `fxhenn_wire_copied_bytes_total` is the counter `bench_wire` uses to
+/// prove the v2 path copies nothing on aligned input.
+pub(crate) struct WireMetrics {
+    pub encoded_bytes: Arc<Counter>,
+    pub decoded_bytes: Arc<Counter>,
+    pub copied_bytes: Arc<Counter>,
+    pub zero_copy_decodes: Arc<Counter>,
+    pub fallback_decodes: Arc<Counter>,
+    // Only bumped by the mmap path, but always registered so the
+    // families render in the exposition on every build.
+    #[cfg_attr(not(all(feature = "mmap-keys", unix)), allow(dead_code))]
+    pub mmap_active: Arc<Gauge>,
+    #[cfg_attr(not(all(feature = "mmap-keys", unix)), allow(dead_code))]
+    pub mmap_maps: Arc<Counter>,
+    pub mmap_fallback: Arc<Counter>,
+}
+
+pub(crate) fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: OnceLock<WireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| WireMetrics {
+        encoded_bytes: global().counter("fxhenn_wire_encoded_bytes_total"),
+        decoded_bytes: global().counter("fxhenn_wire_decoded_bytes_total"),
+        copied_bytes: global().counter("fxhenn_wire_copied_bytes_total"),
+        zero_copy_decodes: global().counter("fxhenn_wire_decode_zero_copy_total"),
+        fallback_decodes: global().counter("fxhenn_wire_decode_fallback_total"),
+        mmap_active: global().gauge("fxhenn_wire_mmap_active"),
+        mmap_maps: global().counter("fxhenn_wire_mmap_maps_total"),
+        mmap_fallback: global().counter("fxhenn_wire_mmap_fallback_total"),
+    })
+}
+
+/// Registers the wire metric families so they render (at zero) before
+/// the first frame moves.
+pub fn register_wire_metrics() {
+    let _ = wire_metrics();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +100,26 @@ mod tests {
                 "missing {name}"
             );
         }
+    }
+
+    #[test]
+    fn wire_registration_exposes_all_families() {
+        register_wire_metrics();
+        let counters = global().counters();
+        for name in [
+            "fxhenn_wire_encoded_bytes_total",
+            "fxhenn_wire_decoded_bytes_total",
+            "fxhenn_wire_copied_bytes_total",
+            "fxhenn_wire_decode_zero_copy_total",
+            "fxhenn_wire_decode_fallback_total",
+            "fxhenn_wire_mmap_maps_total",
+            "fxhenn_wire_mmap_fallback_total",
+        ] {
+            assert!(counters.iter().any(|(n, _)| *n == name), "missing {name}");
+        }
+        assert!(global()
+            .gauges()
+            .iter()
+            .any(|(n, _)| *n == "fxhenn_wire_mmap_active"));
     }
 }

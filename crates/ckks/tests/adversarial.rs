@@ -211,6 +211,140 @@ fn every_truncated_prefix_of_every_blob_type_is_rejected() {
 }
 
 #[test]
+fn every_truncated_prefix_of_every_v2_blob_type_is_rejected() {
+    // The same exhaustive prefix fuzz as the v1 test, against the v2
+    // aligned layout: every strict prefix of every frame type must
+    // return a DecodeError — never panic, never decode. Non-word-sized
+    // prefixes exercise the body-alignment check, word-sized ones the
+    // exact-count checks.
+    use fxhenn_ckks::wire::{
+        decode_ciphertext_v2, decode_galois_keys_v2, decode_plaintext_v2,
+        decode_public_key_v2, decode_relin_key_v2, encode_ciphertext_v2,
+        encode_galois_keys_v2, encode_plaintext_v2, encode_public_key_v2,
+        encode_relin_key_v2,
+    };
+
+    let ctx = CkksContext::new(CkksParams::new(64, 2, 30, 45).expect("tiny params"));
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(30));
+    let pk = kg.public_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&[1, 2]);
+    let mut enc = Encryptor::new(&ctx, pk.clone(), StdRng::seed_from_u64(31));
+    let ct = enc.encrypt(&[1.0, -2.0]);
+    let ev = Evaluator::new(&ctx);
+    let pt = ev.encode_at(&[0.5, 0.25], 1024.0, 2).expect("encodable");
+
+    fn check<T>(
+        name: &str,
+        blob: &[u8],
+        decode: impl Fn(&[u8]) -> Result<T, fxhenn_ckks::DecodeError>,
+    ) {
+        for keep in 0..blob.len() {
+            assert!(
+                decode(&blob[..keep]).is_err(),
+                "{name}: {keep}-byte prefix of a {}-byte v2 frame must not decode",
+                blob.len()
+            );
+        }
+        assert!(decode(blob).is_ok(), "{name}: the full v2 frame must decode");
+    }
+
+    check("ciphertext", encode_ciphertext_v2(&ct).as_bytes(), |b| {
+        decode_ciphertext_v2(b).map(|v| v.to_owned_ciphertext())
+    });
+    check("plaintext", encode_plaintext_v2(&pt).as_bytes(), |b| {
+        decode_plaintext_v2(b).map(|v| v.to_owned_plaintext())
+    });
+    check("public key", encode_public_key_v2(&pk).as_bytes(), |b| {
+        decode_public_key_v2(b).map(|v| v.to_owned_public_key())
+    });
+    check("relin key", encode_relin_key_v2(&rk).as_bytes(), |b| {
+        decode_relin_key_v2(b).map(|v| v.to_owned_relin_key())
+    });
+    check("galois keys", encode_galois_keys_v2(&gks).as_bytes(), |b| {
+        decode_galois_keys_v2(b).map(|v| v.to_owned_galois_keys())
+    });
+}
+
+#[test]
+fn mmapped_key_frames_reject_truncation_without_panicking() {
+    // A checksummed relin-key frame on disk, loaded through the
+    // MappedFrame path (mmap when the feature is on, aligned read
+    // otherwise): the full file verifies, and every truncated copy is
+    // rejected by the checksum/structure checks — never a panic, even
+    // though the mapped bytes bypass the usual Vec bounds hygiene.
+    use fxhenn_ckks::decode_relin_key_checksummed;
+    use fxhenn_ckks::wire::{encode_relin_key_v2, seal_checksummed_v2, MappedFrame};
+
+    let ctx = CkksContext::new(CkksParams::new(64, 2, 30, 45).expect("tiny params"));
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(40));
+    kg.public_key();
+    let rk = kg.relin_key();
+    let sealed = seal_checksummed_v2(encode_relin_key_v2(&rk));
+
+    let dir = std::env::temp_dir().join(format!("fxhenn-adv-mmap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("relin.fxk");
+    std::fs::write(&path, sealed.as_bytes()).expect("write frame");
+
+    let frame = MappedFrame::open(&path).expect("open full frame");
+    let decoded = decode_relin_key_checksummed(frame.bytes()).expect("full frame verifies");
+    assert_eq!(
+        encode_relin_key_v2(&decoded).as_bytes(),
+        encode_relin_key_v2(&rk).as_bytes(),
+        "mapped decode must be bit-identical"
+    );
+
+    let total = sealed.as_bytes().len();
+    for keep in [0usize, 1, 7, 8, total / 2, total - 9, total - 8, total - 1] {
+        std::fs::write(&path, &sealed.as_bytes()[..keep]).expect("write truncated frame");
+        let frame = MappedFrame::open(&path).expect("open is structural, not semantic");
+        assert!(
+            decode_relin_key_checksummed(frame.bytes()).is_err(),
+            "{keep}-byte truncation of a {total}-byte key frame must not verify"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn structurally_inconsistent_v1_buffers_are_rejected_not_panicked() {
+    // Regression: a v1 buffer whose fields are individually parseable
+    // but mutually inconsistent (a Coeff-domain polynomial, or
+    // components of different shapes) used to reach the Ciphertext
+    // constructor's asserts and panic. The decoder must reject both
+    // with a DecodeError.
+    let ctx = ctx();
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(50));
+    let pk = kg.public_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(51));
+    let valid = encode_ciphertext(&enc.encrypt(&[2.0, -1.0]));
+
+    // Patch the first polynomial's domain word (header, scale, count,
+    // degree, levels) from Ntt to Coeff.
+    let domain_at = 6 + 8 + 8 + 8 + 8;
+    let mut coeff = valid.clone();
+    coeff[domain_at] = 0;
+    assert!(
+        decode_ciphertext(&coeff).is_err(),
+        "a Coeff-domain component must be rejected"
+    );
+
+    // Patch the second polynomial's levels word so the components
+    // disagree about their shape (leaves trailing bytes behind, or
+    // yields mismatched components — either way an error, not a panic).
+    let poly_bytes = 24 + 3 * 1024 * 8;
+    let second_levels_at = 6 + 8 + 8 + poly_bytes + 8;
+    let mut mixed = valid.clone();
+    mixed[second_levels_at] = 1;
+    assert!(
+        decode_ciphertext(&mixed).is_err(),
+        "mixed component shapes must be rejected"
+    );
+}
+
+#[test]
 fn out_of_range_residues_are_caught_by_semantic_validation() {
     // The wire decoder is context-free, so a bit-flipped residue word
     // >= q survives decoding; validate_ciphertext must reject it before

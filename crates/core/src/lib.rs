@@ -51,6 +51,7 @@ pub mod flow;
 pub mod report;
 pub mod serve;
 pub mod telemetry;
+pub mod wire;
 
 /// Re-export of the math substrate.
 pub use fxhenn_math as math;
@@ -79,6 +80,7 @@ pub use serve::{
     VerifiedModel, WeightedFairQueue,
 };
 pub use telemetry::register_serve_metrics;
+pub use wire::{ingest_ciphertext, push_frame, FrameCursor, FrameError, IngestError};
 
 /// Re-export of the observability substrate (collector, spans,
 /// exposition, attribution).

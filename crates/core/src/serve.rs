@@ -54,10 +54,12 @@
 
 use crate::flow::{generate_accelerator, DesignReport, FlowError};
 use crate::telemetry::{serve_metrics, tenant_metrics, TenantMetrics};
-use fxhenn_ckks::serialize::{decode_ciphertext, encode_ciphertext};
+use fxhenn_ckks::wire::{
+    encode_ciphertext_v2, encode_galois_keys_v2, encode_public_key_v2, encode_relin_key_v2,
+    seal_checksummed_v2, AlignedBytes, MappedFrame,
+};
 use fxhenn_ckks::{
     decode_galois_keys_checksummed, decode_public_key_checksummed, decode_relin_key_checksummed,
-    encode_galois_keys_checksummed, encode_public_key_checksummed, encode_relin_key_checksummed,
     Ciphertext, CkksContext, CkksParams, Encryptor, GaloisKeys, KeyGenerator, PublicKey, RelinKey,
 };
 use fxhenn_hw::modules::{HeOpModule, ModuleConfig, OpClass};
@@ -1416,11 +1418,44 @@ pub struct ModelCache {
     entries: HashMap<String, ModelEntry>,
 }
 
+/// Backing storage of one sealed key frame. Generated frames live in an
+/// [`AlignedBytes`] buffer and disk-loaded frames in a [`MappedFrame`]
+/// — both keep the frame 8-byte aligned, so the v2 decoders read the
+/// key material in place without copying residue words.
+enum FrameBytes {
+    Owned(AlignedBytes),
+    Mapped(MappedFrame),
+}
+
+impl FrameBytes {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            FrameBytes::Owned(b) => b.as_bytes(),
+            FrameBytes::Mapped(m) => m.bytes(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Flips one bit of the frame — the chaos harness's at-rest bit rot.
+    /// A mapped frame is copy-on-poisoned into an owned buffer first
+    /// (the mapping itself is read-only).
+    fn flip_byte(&mut self, idx: usize) {
+        let mut raw = self.bytes().to_vec();
+        raw[idx] ^= 0x01;
+        let mut owned = AlignedBytes::with_byte_capacity(raw.len());
+        owned.extend_from_slice(&raw);
+        *self = FrameBytes::Owned(owned);
+    }
+}
+
 struct ModelEntry {
     params: CkksParams,
-    public_frame: Vec<u8>,
-    relin_frame: Vec<u8>,
-    galois_frame: Vec<u8>,
+    public_frame: FrameBytes,
+    relin_frame: FrameBytes,
+    galois_frame: FrameBytes,
 }
 
 /// Key material that passed the cache's integrity checks.
@@ -1458,11 +1493,65 @@ impl ModelCache {
             model.to_string(),
             ModelEntry {
                 params,
-                public_frame: encode_public_key_checksummed(&pk),
-                relin_frame: encode_relin_key_checksummed(&rk),
-                galois_frame: encode_galois_keys_checksummed(&gks),
+                public_frame: FrameBytes::Owned(seal_checksummed_v2(encode_public_key_v2(&pk))),
+                relin_frame: FrameBytes::Owned(seal_checksummed_v2(encode_relin_key_v2(&rk))),
+                galois_frame: FrameBytes::Owned(seal_checksummed_v2(encode_galois_keys_v2(&gks))),
             },
         );
+    }
+
+    /// Writes the model's sealed frames to `dir` as
+    /// `<model>.{public,relin,galois}.fxk`, creating the directory if
+    /// needed. Returns `false` when the model is not cached.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error while creating the directory or writing a frame.
+    pub fn store_to_dir(&self, model: &str, dir: &std::path::Path) -> std::io::Result<bool> {
+        let Some(e) = self.entries.get(model) else {
+            return Ok(false);
+        };
+        std::fs::create_dir_all(dir)?;
+        for (suffix, frame) in [
+            ("public", &e.public_frame),
+            ("relin", &e.relin_frame),
+            ("galois", &e.galois_frame),
+        ] {
+            std::fs::write(dir.join(format!("{model}.{suffix}.fxk")), frame.bytes())?;
+        }
+        Ok(true)
+    }
+
+    /// Loads the model's sealed frames from `dir` (written by
+    /// [`store_to_dir`](Self::store_to_dir)). With the `mmap-keys`
+    /// feature the frames are memory-mapped — key material then streams
+    /// from the page cache on first use instead of being read (and
+    /// copied) up front; without it they are read into aligned buffers.
+    /// Either way [`verify`](Self::verify) checksums and range-checks
+    /// the bytes before any worker touches them.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error while opening or mapping a frame file.
+    pub fn load_from_dir(
+        &mut self,
+        model: &str,
+        params: CkksParams,
+        dir: &std::path::Path,
+    ) -> std::io::Result<()> {
+        let open = |suffix: &str| -> std::io::Result<FrameBytes> {
+            Ok(FrameBytes::Mapped(MappedFrame::open(
+                &dir.join(format!("{model}.{suffix}.fxk")),
+            )?))
+        };
+        let entry = ModelEntry {
+            params,
+            public_frame: open("public")?,
+            relin_frame: open("relin")?,
+            galois_frame: open("galois")?,
+        };
+        self.entries.insert(model.to_string(), entry);
+        Ok(())
     }
 
     /// Whether the cache holds `model`.
@@ -1480,9 +1569,9 @@ impl ModelCache {
     pub fn checksum_of(&self, model: &str) -> Option<u64> {
         let e = self.entries.get(model)?;
         Some(
-            fxhenn_ckks::content_checksum(&e.public_frame)
-                ^ fxhenn_ckks::content_checksum(&e.relin_frame).rotate_left(1)
-                ^ fxhenn_ckks::content_checksum(&e.galois_frame).rotate_left(2),
+            fxhenn_ckks::content_checksum(e.public_frame.bytes())
+                ^ fxhenn_ckks::content_checksum(e.relin_frame.bytes()).rotate_left(1)
+                ^ fxhenn_ckks::content_checksum(e.galois_frame.bytes()).rotate_left(2),
         )
     }
 
@@ -1498,11 +1587,11 @@ impl ModelCache {
             .entries
             .get(model)
             .ok_or_else(|| format!("model {model:?} is not in the cache"))?;
-        let public_key = decode_public_key_checksummed(&e.public_frame)
+        let public_key = decode_public_key_checksummed(e.public_frame.bytes())
             .map_err(|err| format!("public key frame: {err}"))?;
-        let relin_key = decode_relin_key_checksummed(&e.relin_frame)
+        let relin_key = decode_relin_key_checksummed(e.relin_frame.bytes())
             .map_err(|err| format!("relin key frame: {err}"))?;
-        let galois_keys = decode_galois_keys_checksummed(&e.galois_frame)
+        let galois_keys = decode_galois_keys_checksummed(e.galois_frame.bytes())
             .map_err(|err| format!("galois key frame: {err}"))?;
         let ctx = CkksContext::new(e.params.clone());
         ctx.validate_relin_key(&relin_key)
@@ -1525,7 +1614,7 @@ impl ModelCache {
         match self.entries.get_mut(model) {
             Some(e) if e.relin_frame.len() > 16 => {
                 let mid = e.relin_frame.len() / 2;
-                e.relin_frame[mid] ^= 0x01;
+                e.relin_frame.flip_byte(mid);
                 true
             }
             _ => false,
@@ -1671,26 +1760,28 @@ impl InferenceService for ChaosService {
                 ^ (self.calls << 17),
         ) % 100;
         if roll < 8 {
-            // Transport corruption: re-encode the healthy template,
-            // smash the tail residues, and run the received bytes
-            // through the same decode + range-check path a real
-            // ingress uses.
-            let mut bytes = encode_ciphertext(&self.template);
+            // Transport corruption: re-encode the healthy template as a
+            // v2 frame, smash the tail residues, and run the received
+            // bytes through the real ingress — a length-prefixed frame
+            // in an aligned receive buffer, decoded in place and
+            // range-checked before any evaluation.
+            let mut bytes = encode_ciphertext_v2(&self.template).as_bytes().to_vec();
             let n = bytes.len();
             if n >= 16 {
                 for b in &mut bytes[n - 16..] {
                     *b = 0xFF;
                 }
             }
-            return match decode_ciphertext(&bytes) {
-                Ok(ct) => match self.ctx.validate_ciphertext(&ct) {
-                    Ok(()) => Ok(req.id),
-                    Err(e) => Err(AttemptError::Permanent(format!(
-                        "rejected corrupt ciphertext: {e}"
-                    ))),
-                },
+            let mut rx = AlignedBytes::with_byte_capacity(bytes.len() + 16);
+            crate::wire::push_frame(&mut rx, &bytes);
+            let payload = crate::wire::FrameCursor::new(rx.as_bytes())
+                .next()
+                .and_then(Result::ok)
+                .unwrap_or_default();
+            return match crate::wire::ingest_ciphertext(&self.ctx, payload) {
+                Ok(_) => Ok(req.id),
                 Err(e) => Err(AttemptError::Permanent(format!(
-                    "rejected corrupt frame: {e}"
+                    "rejected corrupt ciphertext: {e}"
                 ))),
             };
         }
@@ -2293,6 +2384,35 @@ mod tests {
         assert_eq!(cache.checksum_of("toy"), Some(healthy_checksum));
         assert!(cache.verify("toy").is_ok());
         assert!(cache.verify("missing").is_err());
+    }
+
+    #[test]
+    fn model_cache_roundtrips_through_disk_frames() {
+        let mut cache = ModelCache::new();
+        cache.generate("toy", CkksParams::insecure_toy(3), &[1, 2], 7);
+        let checksum = cache.checksum_of("toy").expect("cached");
+        let dir =
+            std::env::temp_dir().join(format!("fxhenn-cache-test-{}", std::process::id()));
+        assert!(cache.store_to_dir("toy", &dir).expect("store"));
+        assert!(!cache.store_to_dir("missing", &dir).expect("store"));
+
+        let mut loaded = ModelCache::new();
+        loaded
+            .load_from_dir("toy", CkksParams::insecure_toy(3), &dir)
+            .expect("load");
+        assert_eq!(loaded.checksum_of("toy"), Some(checksum));
+        assert!(loaded.verify("toy").is_ok());
+
+        // Poisoning a loaded frame copy-on-writes the in-memory bytes;
+        // the files on disk stay intact and reload cleanly.
+        assert!(loaded.poison("toy"));
+        assert!(loaded.verify("toy").is_err());
+        let mut reloaded = ModelCache::new();
+        reloaded
+            .load_from_dir("toy", CkksParams::insecure_toy(3), &dir)
+            .expect("reload");
+        assert!(reloaded.verify("toy").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use bigint::BigUint;
 pub use budget::{Budget, BudgetStop, CancelToken, Progress, StopCause};
 pub use error::MathError;
 pub use ntt::NttTable;
-pub use poly::{Domain, RnsPoly};
+pub use poly::{mul_pointwise_of, BorrowedRnsPoly, Domain, PolyLimbs, RnsPoly};
 pub use rns::RnsBasis;

@@ -103,6 +103,163 @@ pub enum Domain {
     Ntt,
 }
 
+/// Read-only access to the residue limbs of an RNS polynomial,
+/// independent of how they are stored.
+///
+/// Implemented by [`RnsPoly`] (one owned `Vec<u64>` per limb) and by
+/// [`BorrowedRnsPoly`] (a contiguous `&[u64]` window over a wire buffer).
+/// The kernels below take their *read-only* operands through this trait,
+/// so a decoded-in-place ciphertext view can feed the evaluator without
+/// first being copied into owned vectors. `Sync` is a supertrait because
+/// the per-limb loops may fan out across threads via [`crate::par`].
+pub trait PolyLimbs: Sync {
+    /// Ring degree `N`.
+    fn degree(&self) -> usize;
+    /// Number of residue components (the ciphertext level `L`).
+    fn level_count(&self) -> usize;
+    /// Current domain.
+    fn domain(&self) -> Domain;
+    /// Residue polynomial for prime `i` (`N` coefficients).
+    fn limb(&self, i: usize) -> &[u64];
+}
+
+impl PolyLimbs for RnsPoly {
+    #[inline]
+    fn degree(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn level_count(&self) -> usize {
+        self.residues.len()
+    }
+    #[inline]
+    fn domain(&self) -> Domain {
+        self.domain
+    }
+    #[inline]
+    fn limb(&self, i: usize) -> &[u64] {
+        &self.residues[i]
+    }
+}
+
+/// An RNS polynomial borrowed from a contiguous word buffer: `levels`
+/// limbs of `n` words each, limb-major — the v2 wire layout's evaluation
+/// order. Construction only checks the shape; residue range checks are
+/// the caller's job (`validate_ciphertext`-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BorrowedRnsPoly<'a> {
+    n: usize,
+    levels: usize,
+    domain: Domain,
+    words: &'a [u64],
+}
+
+impl<'a> BorrowedRnsPoly<'a> {
+    /// Wraps `words` as `levels` limbs of degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two, `levels == 0`, or
+    /// `words.len() != n * levels`.
+    pub fn new(words: &'a [u64], n: usize, levels: usize, domain: Domain) -> Self {
+        assert!(n.is_power_of_two(), "degree must be a power of two");
+        assert!(levels > 0, "a polynomial needs at least one residue");
+        assert_eq!(words.len(), n * levels, "word count must equal n * levels");
+        Self {
+            n,
+            levels,
+            domain,
+            words,
+        }
+    }
+
+    /// The whole limb-major word window.
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Copies the borrowed limbs into an owned [`RnsPoly`].
+    pub fn to_owned_poly(&self) -> RnsPoly {
+        let residues = (0..self.levels)
+            .map(|i| self.words[i * self.n..(i + 1) * self.n].to_vec())
+            .collect();
+        RnsPoly {
+            n: self.n,
+            residues,
+            domain: self.domain,
+        }
+    }
+}
+
+impl PolyLimbs for BorrowedRnsPoly<'_> {
+    #[inline]
+    fn degree(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn level_count(&self) -> usize {
+        self.levels
+    }
+    #[inline]
+    fn domain(&self) -> Domain {
+        self.domain
+    }
+    #[inline]
+    fn limb(&self, i: usize) -> &[u64] {
+        &self.words[i * self.n..(i + 1) * self.n]
+    }
+}
+
+fn check_compatible<A: PolyLimbs + ?Sized, B: PolyLimbs + ?Sized>(a: &A, b: &B) {
+    assert_eq!(a.degree(), b.degree(), "degree mismatch");
+    assert_eq!(
+        a.level_count(),
+        b.level_count(),
+        "level mismatch: {} vs {}",
+        a.level_count(),
+        b.level_count()
+    );
+    assert_eq!(
+        a.domain(),
+        b.domain(),
+        "domain mismatch: {} vs {}",
+        a.domain(),
+        b.domain()
+    );
+}
+
+/// `out = a * b` pointwise over any two limb sources (both NTT-domain),
+/// reusing `out`'s buffers. The generic twin of
+/// [`RnsPoly::mul_pointwise_into`] for borrowed×borrowed products.
+///
+/// # Panics
+///
+/// Panics on shape/domain mismatch or if `moduli` does not match the
+/// level count.
+pub fn mul_pointwise_of<A: PolyLimbs + ?Sized, B: PolyLimbs + ?Sized>(
+    a: &A,
+    b: &B,
+    moduli: &[u64],
+    out: &mut RnsPoly,
+) {
+    check_compatible(a, b);
+    assert_eq!(a.domain(), Domain::Ntt, "pointwise product needs NTT domain");
+    assert_eq!(moduli.len(), a.level_count(), "one modulus per level");
+    out.reshape(a.degree(), a.level_count(), Domain::Ntt);
+    let grain = par::grain_linear(a.degree());
+    par::for_each_indexed(&mut out.residues, grain, |i, o| {
+        let red = BarrettReducer::new(moduli[i]);
+        zip_lanes2(
+            o,
+            a.limb(i),
+            b.limb(i),
+            |_, x, y| red.mul_x4(x, y),
+            |_, x, y| red.mul(x, y),
+        );
+    });
+}
+
 impl std::fmt::Display for Domain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -268,20 +425,24 @@ impl RnsPoly {
         self.residues.push(comp);
     }
 
-    fn assert_compatible(&self, other: &RnsPoly) {
-        assert_eq!(self.n, other.n, "degree mismatch");
-        assert_eq!(
-            self.residues.len(),
-            other.residues.len(),
-            "level mismatch: {} vs {}",
-            self.residues.len(),
-            other.residues.len()
-        );
-        assert_eq!(
-            self.domain, other.domain,
-            "domain mismatch: {} vs {}",
-            self.domain, other.domain
-        );
+    fn assert_compatible<P: PolyLimbs + ?Sized>(&self, other: &P) {
+        check_compatible(self, other);
+    }
+
+    /// Makes `self` a copy of any limb source, reusing `self`'s buffers
+    /// like [`RnsPoly::copy_from`] (its generic twin for borrowed views).
+    pub fn copy_from_limbs<P: PolyLimbs + ?Sized>(&mut self, other: &P) {
+        let (n, levels) = (other.degree(), other.level_count());
+        self.n = n;
+        self.domain = other.domain();
+        self.residues.truncate(levels);
+        for (i, r) in self.residues.iter_mut().enumerate() {
+            r.clear();
+            r.extend_from_slice(other.limb(i));
+        }
+        for i in self.residues.len()..levels {
+            self.residues.push(other.limb(i).to_vec());
+        }
     }
 
     /// `self += other` componentwise.
@@ -290,7 +451,7 @@ impl RnsPoly {
     ///
     /// Panics on degree, level or domain mismatch, or if `moduli` does not
     /// match the level count.
-    pub fn add_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
+    pub fn add_assign<P: PolyLimbs + ?Sized>(&mut self, other: &P, moduli: &[u64]) {
         self.assert_compatible(other);
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
         let grain = par::grain_linear(self.n);
@@ -298,7 +459,7 @@ impl RnsPoly {
             let q = moduli[i];
             zip_lanes(
                 a,
-                &other.residues[i],
+                other.limb(i),
                 |x, y| add_mod_x4(x, y, q),
                 |x, y| add_mod(x, y, q),
             );
@@ -306,7 +467,7 @@ impl RnsPoly {
     }
 
     /// `self -= other` componentwise.
-    pub fn sub_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
+    pub fn sub_assign<P: PolyLimbs + ?Sized>(&mut self, other: &P, moduli: &[u64]) {
         self.assert_compatible(other);
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
         let grain = par::grain_linear(self.n);
@@ -314,7 +475,7 @@ impl RnsPoly {
             let q = moduli[i];
             zip_lanes(
                 a,
-                &other.residues[i],
+                other.limb(i),
                 |x, y| sub_mod_x4(x, y, q),
                 |x, y| sub_mod(x, y, q),
             );
@@ -338,7 +499,7 @@ impl RnsPoly {
     ///
     /// Panics if either polynomial is in the coefficient domain, or on
     /// shape mismatch.
-    pub fn mul_pointwise_assign(&mut self, other: &RnsPoly, moduli: &[u64]) {
+    pub fn mul_pointwise_assign<P: PolyLimbs + ?Sized>(&mut self, other: &P, moduli: &[u64]) {
         self.assert_compatible(other);
         assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
@@ -347,7 +508,7 @@ impl RnsPoly {
             let red = BarrettReducer::new(moduli[i]);
             zip_lanes(
                 a,
-                &other.residues[i],
+                other.limb(i),
                 |x, y| red.mul_x4(x, y),
                 |x, y| red.mul(x, y),
             );
@@ -357,22 +518,13 @@ impl RnsPoly {
     /// `out = self * other` pointwise, reusing `out`'s buffers. Equivalent
     /// to `out = self.clone()` followed by
     /// [`RnsPoly::mul_pointwise_assign`], without the allocation.
-    pub fn mul_pointwise_into(&self, other: &RnsPoly, moduli: &[u64], out: &mut RnsPoly) {
-        self.assert_compatible(other);
-        assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
-        assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
-        out.reshape(self.n, self.residues.len(), Domain::Ntt);
-        let grain = par::grain_linear(self.n);
-        par::for_each_indexed(&mut out.residues, grain, |i, o| {
-            let red = BarrettReducer::new(moduli[i]);
-            zip_lanes2(
-                o,
-                &self.residues[i],
-                &other.residues[i],
-                |_, x, y| red.mul_x4(x, y),
-                |_, x, y| red.mul(x, y),
-            );
-        });
+    pub fn mul_pointwise_into<P: PolyLimbs + ?Sized>(
+        &self,
+        other: &P,
+        moduli: &[u64],
+        out: &mut RnsPoly,
+    ) {
+        mul_pointwise_of(self, other, moduli, out);
     }
 
     /// Fused multiply-accumulate: `self += a * b` pointwise. Replaces the
@@ -383,9 +535,14 @@ impl RnsPoly {
     ///
     /// Panics unless all three polynomials share degree, level count and
     /// the NTT domain.
-    pub fn add_mul_pointwise(&mut self, a: &RnsPoly, b: &RnsPoly, moduli: &[u64]) {
+    pub fn add_mul_pointwise<A: PolyLimbs + ?Sized, B: PolyLimbs + ?Sized>(
+        &mut self,
+        a: &A,
+        b: &B,
+        moduli: &[u64],
+    ) {
         self.assert_compatible(a);
-        a.assert_compatible(b);
+        check_compatible(a, b);
         assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
         let grain = par::grain_linear(self.n);
@@ -394,8 +551,8 @@ impl RnsPoly {
             let red = BarrettReducer::new(q);
             zip_lanes2(
                 acc,
-                &a.residues[i],
-                &b.residues[i],
+                a.limb(i),
+                b.limb(i),
                 |z, x, y| add_mod_x4(z, red.mul_x4(x, y), q),
                 |z, x, y| add_mod(z, red.mul(x, y), q),
             );
@@ -412,17 +569,17 @@ impl RnsPoly {
     ///
     /// Panics unless `self` and `a` are shape-compatible, all three are in
     /// the NTT domain with equal degree, and every index is in range.
-    pub fn add_mul_pointwise_select(
+    pub fn add_mul_pointwise_select<A: PolyLimbs + ?Sized, B: PolyLimbs + ?Sized>(
         &mut self,
-        a: &RnsPoly,
-        b: &RnsPoly,
+        a: &A,
+        b: &B,
         b_indices: &[usize],
         moduli: &[u64],
     ) {
         self.assert_compatible(a);
         assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
-        assert_eq!(b.domain, Domain::Ntt, "pointwise product needs NTT domain");
-        assert_eq!(b.n, self.n, "degree mismatch");
+        assert_eq!(b.domain(), Domain::Ntt, "pointwise product needs NTT domain");
+        assert_eq!(b.degree(), self.n, "degree mismatch");
         assert_eq!(
             b_indices.len(),
             self.residues.len(),
@@ -430,17 +587,17 @@ impl RnsPoly {
         );
         assert_eq!(moduli.len(), self.residues.len(), "one modulus per level");
         assert!(
-            b_indices.iter().all(|&j| j < b.residues.len()),
+            b_indices.iter().all(|&j| j < b.level_count()),
             "b-component index out of range"
         );
         let grain = par::grain_linear(self.n);
         par::for_each_indexed(&mut self.residues, grain, |i, acc| {
             let q = moduli[i];
             let red = BarrettReducer::new(q);
-            let bs = &b.residues[b_indices[i]];
+            let bs = b.limb(b_indices[i]);
             zip_lanes2(
                 acc,
-                &a.residues[i],
+                a.limb(i),
                 bs,
                 |z, x, y| add_mod_x4(z, red.mul_x4(x, y), q),
                 |z, x, y| add_mod(z, red.mul(x, y), q),
