@@ -25,9 +25,13 @@
 //! * `--check <path>` — compare this run's shape (schema + entry
 //!   names) against a committed baseline and exit non-zero on drift.
 //!
-//! Output schema `fxhenn-bench-serve/v1`:
+//! Output schema `fxhenn-bench-serve/v2`:
 //! `{ "schema", "tiny", "entries": [{ "name", "workers", "requests",
-//! "completed", "cancelled", "req_per_s", "p50_us", "p99_us" }] }`.
+//! "completed", "cancelled", "req_per_s", "p50_us", "p99_us",
+//! "budget_bits_min", "budget_bits_mean" }] }`. The budget fields are
+//! the per-request terminal noise-budget bits recorded by the real-eval
+//! entries (the tracked estimate after square → relinearize → rescale);
+//! busy-work entries report `null`.
 
 use fxhenn::math::budget::{Budget, Progress};
 use fxhenn::serve::{
@@ -39,7 +43,36 @@ use fxhenn_ckks::{CkksContext, CkksParams, Encryptor, Evaluator, KeyGenerator, R
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Per-request terminal noise-budget samples, shared across every
+/// worker a driver builds so the entry can report the whole run.
+#[derive(Default)]
+struct BudgetStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+}
+
+impl BudgetStats {
+    fn record(&mut self, bits: f64) {
+        if self.count == 0 || bits < self.min {
+            self.min = bits;
+        }
+        self.count += 1;
+        self.sum += bits;
+    }
+
+    /// `(min, mean)` over recorded samples, or `None` if none were.
+    fn summary(&self) -> Option<(f64, f64)> {
+        if self.count == 0 {
+            None
+        } else {
+            Some((self.min, self.sum / self.count as f64))
+        }
+    }
+}
 
 /// A deterministic busy-work backend: a fixed number of wrapping
 /// multiplications per call (≈ tens of microseconds), with the same
@@ -72,10 +105,11 @@ struct CkksEvalService {
     ctx: CkksContext,
     relin: RelinKey,
     rx: AlignedBytes,
+    budgets: Arc<Mutex<BudgetStats>>,
 }
 
 impl CkksEvalService {
-    fn build(seed: u64) -> Self {
+    fn build(seed: u64, budgets: Arc<Mutex<BudgetStats>>) -> Self {
         let params = CkksParams::new(1024, 3, 30, 45).expect("bench params are valid");
         let ctx = CkksContext::new(params);
         let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(seed));
@@ -86,7 +120,12 @@ impl CkksEvalService {
         let frame = encode_ciphertext_v2(&ct);
         let mut rx = AlignedBytes::with_byte_capacity(frame.len() + 16);
         push_frame(&mut rx, frame.as_bytes());
-        Self { ctx, relin, rx }
+        Self {
+            ctx,
+            relin,
+            rx,
+            budgets,
+        }
     }
 }
 
@@ -109,6 +148,11 @@ impl InferenceService for CkksEvalService {
             .and_then(|sq| eval.relinearize(&sq, &self.relin))
             .and_then(|lin| eval.rescale(&lin))
             .map_err(|e| AttemptError::Permanent(format!("evaluation failed: {e}")))?;
+        // Terminal health of this request's ciphertext: the tracked
+        // noise budget the chain leaves behind.
+        if let Ok(mut stats) = self.budgets.lock() {
+            stats.record(chained.budget_bits());
+        }
         black_box(chained);
         Ok(req.id)
     }
@@ -124,6 +168,9 @@ struct Entry {
     req_per_s: f64,
     p50_us: f64,
     p99_us: f64,
+    /// `(min, mean)` terminal noise-budget bits over the run's
+    /// requests; `None` for workloads that never touch a ciphertext.
+    terminal_budget: Option<(f64, f64)>,
 }
 
 fn serve_config(workers: usize, hint: Duration) -> ServeConfig {
@@ -143,10 +190,16 @@ fn busy_driver(workers: usize) -> BatchDriver<BusyService> {
         .expect("busy service always builds")
 }
 
-fn real_eval_driver(workers: usize) -> BatchDriver<CkksEvalService> {
+fn real_eval_driver(
+    workers: usize,
+    budgets: Arc<Mutex<BudgetStats>>,
+) -> BatchDriver<CkksEvalService> {
     let cfg = serve_config(workers, Duration::from_micros(500));
-    BatchDriver::with_factory(cfg, Box::new(|| Ok(CkksEvalService::build(11))))
-        .expect("ckks service always builds")
+    BatchDriver::with_factory(
+        cfg,
+        Box::new(move || Ok(CkksEvalService::build(11, budgets.clone()))),
+    )
+    .expect("ckks service always builds")
 }
 
 /// Mixed deadlines: every 8th request carries a zero deadline (storm
@@ -219,21 +272,27 @@ where
         req_per_s: throughput_requests as f64 / elapsed,
         p50_us: quantile(0.50),
         p99_us: quantile(0.99),
+        terminal_budget: None,
     }
 }
 
 fn render_json(entries: &[Entry], tiny: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"fxhenn-bench-serve/v1\",\n");
+    s.push_str("  \"schema\": \"fxhenn-bench-serve/v2\",\n");
     s.push_str(&format!("  \"tiny\": {tiny},\n"));
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let (bmin, bmean) = match e.terminal_budget {
+            Some((min, mean)) => (format!("{min:.1}"), format!("{mean:.1}")),
+            None => ("null".to_string(), "null".to_string()),
+        };
         s.push_str(&format!(
             "    {{ \"name\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"completed\": {}, \"cancelled\": {}, \"req_per_s\": {:.1}, \
-             \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{comma}\n",
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"budget_bits_min\": {bmin}, \
+             \"budget_bits_mean\": {bmean} }}{comma}\n",
             e.name, e.workers, e.requests, e.completed, e.cancelled, e.req_per_s, e.p50_us,
             e.p99_us
         ));
@@ -264,11 +323,19 @@ fn check_against(baseline_path: &str, entries: &[Entry]) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let schema = extract_strings(&text, "schema");
-    if schema.first().map(String::as_str) != Some("fxhenn-bench-serve/v1") {
+    if schema.first().map(String::as_str) != Some("fxhenn-bench-serve/v2") {
         return Err(format!(
             "baseline {baseline_path} schema mismatch: found {:?}, expected \
-             \"fxhenn-bench-serve/v1\"",
+             \"fxhenn-bench-serve/v2\"",
             schema.first()
+        ));
+    }
+    // v2 baselines must carry the terminal-budget fields (the real-eval
+    // entries record them; busy entries carry nulls).
+    if !text.contains("\"budget_bits_min\"") || !text.contains("\"budget_bits_mean\"") {
+        return Err(format!(
+            "baseline {baseline_path} is missing the v2 terminal-budget fields \
+             (budget_bits_min / budget_bits_mean)"
         ));
     }
     let committed = extract_strings(&text, "name");
@@ -324,19 +391,27 @@ fn main() {
         }
     }
     for w in [1usize, 4] {
-        entries.push(measure(
+        let budgets = Arc::new(Mutex::new(BudgetStats::default()));
+        let handle = budgets.clone();
+        let mut entry = measure(
             format!("serve_real_eval_w{w}"),
-            || real_eval_driver(w),
+            move || real_eval_driver(w, handle.clone()),
             w,
             real_requests,
             real_probes,
-        ));
+        );
+        entry.terminal_budget = budgets.lock().expect("budget stats lock").summary();
+        entries.push(entry);
     }
 
     for e in &entries {
+        let budget = match e.terminal_budget {
+            Some((min, mean)) => format!("   budget min {min:.1} / mean {mean:.1} bits"),
+            None => String::new(),
+        };
         println!(
             "{:<28} {:>9.1} req/s   p50 {:>8.1} µs   p99 {:>8.1} µs   \
-             ({} completed, {} cancelled)",
+             ({} completed, {} cancelled){budget}",
             e.name, e.req_per_s, e.p50_us, e.p99_us, e.completed, e.cancelled
         );
     }

@@ -1,0 +1,206 @@
+//! Decrypt-time canary verification.
+//!
+//! CKKS noise tracking is analytic: the evaluator predicts how much
+//! error a computation accumulates, but nothing checks the prediction
+//! against reality — a buggy kernel or corrupted key produces exactly
+//! the same "healthy" estimate while decrypting garbage. Canaries close
+//! that loop: a few *known* seeded values ride along in the trailing
+//! slots of a batched input, the caller mirrors the pointwise circuit on
+//! them in plaintext, and decrypt compares the measured canary error
+//! against the analytic slot-error prediction. Divergence beyond the
+//! stated margin raises [`EvalError::NoiseModelViolation`] — a
+//! *computation* fault, categorically different from an exhausted
+//! budget.
+//!
+//! The protocol only covers slot-pointwise circuits (add, multiply,
+//! square, scaling); rotations move the canary slots and are out of
+//! scope for the mirror — callers doing rotations verify on a separate
+//! canary-only ciphertext instead.
+
+use crate::context::CkksContext;
+use crate::error::EvalError;
+use crate::noise::NoiseEstimate;
+use crate::telemetry::noise_metrics;
+
+/// Default number of trailing slots reserved for canary values.
+pub const DEFAULT_CANARY_SLOTS: usize = 4;
+
+/// Default accepted margin: measured canary error may exceed the
+/// analytic prediction by this factor before a violation is raised.
+/// The heuristics are order-of-magnitude estimates (see the ratio
+/// bounds in `noise.rs` tests), so the margin is generous — it exists
+/// to catch *kernel faults* (errors off by many orders of magnitude),
+/// not to second-guess the model's constant factors.
+pub const DEFAULT_CANARY_MARGIN: f64 = 512.0;
+
+/// Deterministic value stream for canary slots (splitmix64 over the
+/// seed, mapped into `[-1, 1)`).
+fn canary_value(seed: u64, i: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 53 high bits → [0, 1) → [-1, 1)
+    (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+/// Tracks the expected plaintext values of the canary slots riding
+/// along a batched ciphertext.
+#[derive(Debug, Clone)]
+pub struct Canary {
+    start: usize,
+    expected: Vec<f64>,
+}
+
+impl Canary {
+    /// Seeds `count` canary values into the trailing slots of `values`
+    /// (the vector is zero-padded up to `slots` first), returning the
+    /// tracker that remembers where they live and what they should
+    /// decrypt to.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::TooManyValues`] when the payload plus
+    /// canaries do not fit in `slots`.
+    pub fn seed_into(
+        values: &mut Vec<f64>,
+        slots: usize,
+        count: usize,
+        seed: u64,
+    ) -> Result<Self, EvalError> {
+        if values.len() + count > slots {
+            return Err(EvalError::TooManyValues {
+                count: values.len() + count,
+                slots,
+            });
+        }
+        let start = slots - count;
+        values.resize(start, 0.0);
+        let expected: Vec<f64> = (0..count as u64).map(|i| canary_value(seed, i)).collect();
+        values.extend_from_slice(&expected);
+        Ok(Self { start, expected })
+    }
+
+    /// Slot index of the first canary value.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The values the canary slots should currently decrypt to.
+    #[inline]
+    pub fn expected(&self) -> &[f64] {
+        &self.expected
+    }
+
+    /// Mirrors an arbitrary slot-pointwise operation on the expected
+    /// values (the plaintext shadow of what the evaluator did to the
+    /// ciphertext).
+    pub fn apply(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.expected {
+            *v = f(*v);
+        }
+    }
+
+    /// Mirrors a homomorphic squaring.
+    pub fn square(&mut self) {
+        self.apply(|v| v * v);
+    }
+
+    /// Mirrors a scalar multiplication.
+    pub fn mul_scalar(&mut self, factor: f64) {
+        self.apply(|v| v * factor);
+    }
+
+    /// Mirrors a scalar addition.
+    pub fn add_scalar(&mut self, delta: f64) {
+        self.apply(|v| v + delta);
+    }
+
+    /// Cross-checks decrypted slots against the expected canary values:
+    /// the worst measured canary error must stay within `margin` times
+    /// the slot error `est` predicts.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::NoiseModelViolation`] when the measured
+    /// error exceeds the margin — evidence of a kernel or key fault
+    /// rather than ordinary noise growth.
+    pub fn verify(
+        &self,
+        decrypted: &[f64],
+        est: &NoiseEstimate,
+        ctx: &CkksContext,
+        margin: f64,
+    ) -> Result<(), EvalError> {
+        let metrics = noise_metrics();
+        metrics.canary_checks.inc();
+        let predicted = est.slot_error(ctx);
+        // An exact-zero prediction would make any rounding noise a
+        // "violation"; floor at the smallest meaningful slot error.
+        let tolerance = margin * predicted.max(f64::MIN_POSITIVE * 1e16);
+        let measured = self
+            .expected
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| {
+                decrypted
+                    .get(self.start + i)
+                    .map_or(f64::INFINITY, |&g| (g - e).abs())
+            })
+            .fold(0.0f64, f64::max);
+        // A NaN on either side must count as a violation, never a pass.
+        if measured.is_nan() || tolerance.is_nan() || measured > tolerance {
+            metrics.model_violations.inc();
+            return Err(EvalError::NoiseModelViolation {
+                measured,
+                predicted,
+                margin,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic_and_positioned_at_the_tail() {
+        let mut a = vec![1.0, 2.0];
+        let mut b = vec![1.0, 2.0, 3.0];
+        let ca = Canary::seed_into(&mut a, 16, 4, 7).unwrap();
+        let cb = Canary::seed_into(&mut b, 16, 4, 7).unwrap();
+        assert_eq!(a.len(), 16);
+        assert_eq!(ca.start(), 12);
+        assert_eq!(ca.expected(), cb.expected(), "same seed, same canaries");
+        assert_eq!(&a[12..], ca.expected());
+        assert!(a[2..12].iter().all(|&v| v == 0.0), "gap is zero-padded");
+        assert!(ca.expected().iter().all(|v| (-1.0..1.0).contains(v)));
+        let cc = Canary::seed_into(&mut vec![0.0], 16, 4, 8).unwrap();
+        assert_ne!(ca.expected(), cc.expected(), "seed changes the values");
+    }
+
+    #[test]
+    fn overfull_payload_is_typed() {
+        let mut v = vec![0.0; 15];
+        match Canary::seed_into(&mut v, 16, 4, 1) {
+            Err(EvalError::TooManyValues { count: 19, slots: 16 }) => {}
+            other => panic!("expected TooManyValues, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirrors_track_pointwise_ops() {
+        let mut c = Canary::seed_into(&mut vec![], 8, 2, 3).unwrap();
+        let base: Vec<f64> = c.expected().to_vec();
+        c.square();
+        c.mul_scalar(2.0);
+        c.add_scalar(-1.0);
+        for (e, b) in c.expected().iter().zip(&base) {
+            assert!((e - (b * b * 2.0 - 1.0)).abs() < 1e-12);
+        }
+    }
+}

@@ -6,13 +6,26 @@
 //! that additions and multiplications are pointwise, matching the
 //! evaluation-domain-resident layout of the FPGA buffers.
 
+use crate::noise::{fresh_public_std, NoiseEstimate};
 use fxhenn_math::poly::{Domain, RnsPoly};
 
 /// An encoded plaintext polynomial.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the polynomial and scale only; the `value_bound`
+/// noise-tracking metadata is advisory and excluded.
+#[derive(Debug, Clone)]
 pub struct Plaintext {
     poly: RnsPoly,
     scale: f64,
+    /// Bound on the absolute value of the encoded slot values (pre-scaling),
+    /// used by the evaluator's noise bookkeeping. Conservative default 1.0.
+    value_bound: f64,
+}
+
+impl PartialEq for Plaintext {
+    fn eq(&self, other: &Self) -> bool {
+        self.poly == other.poly && self.scale == other.scale
+    }
 }
 
 impl Plaintext {
@@ -25,7 +38,29 @@ impl Plaintext {
     pub fn new(poly: RnsPoly, scale: f64) -> Self {
         assert_eq!(poly.domain(), Domain::Ntt, "plaintexts live in NTT domain");
         assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
-        Self { poly, scale }
+        Self {
+            poly,
+            scale,
+            value_bound: 1.0,
+        }
+    }
+
+    /// Attaches the known bound on the encoded values' magnitude
+    /// (tightens the evaluator's noise bookkeeping for PCmult).
+    #[must_use]
+    pub fn with_value_bound(mut self, bound: f64) -> Self {
+        self.value_bound = if bound.is_finite() && bound > 0.0 {
+            bound
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Bound on the absolute encoded slot values (pre-scaling).
+    #[inline]
+    pub fn value_bound(&self) -> f64 {
+        self.value_bound
     }
 
     /// The underlying polynomial.
@@ -48,14 +83,38 @@ impl Plaintext {
 }
 
 /// An RLWE ciphertext: `size()` polynomials at a common level and scale.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every ciphertext also carries its analytic noise state — the standard
+/// deviation of the coefficient-domain noise and a bound on the encrypted
+/// message's magnitude — which the [`crate::eval::Evaluator`] updates on
+/// every operation and enforces against its noise floor. Equality
+/// compares the polynomials and scale only; the noise metadata is
+/// advisory and excluded.
+#[derive(Debug, Clone)]
 pub struct Ciphertext {
     polys: Vec<RnsPoly>,
     scale: f64,
+    /// Analytic std of the coefficient-domain noise. Constructors default
+    /// to the conservative fresh public-key estimate (correct for wire
+    /// ingest of client-encrypted inputs); the encryptors and evaluator
+    /// overwrite it with the tracked value.
+    noise_std: f64,
+    /// Bound on the absolute encrypted message values (pre-scaling).
+    msg_bound: f64,
+}
+
+impl PartialEq for Ciphertext {
+    fn eq(&self, other: &Self) -> bool {
+        self.polys == other.polys && self.scale == other.scale
+    }
 }
 
 impl Ciphertext {
     /// Wraps ciphertext polynomials (all NTT domain, equal level).
+    ///
+    /// The noise state defaults to a fresh public-key encryption at this
+    /// degree — the right assumption for deserialized client inputs; use
+    /// [`with_noise`](Self::with_noise) when the true state is known.
     ///
     /// # Panics
     ///
@@ -73,7 +132,61 @@ impl Ciphertext {
             assert_eq!(p.level_count(), level, "all polynomials at one level");
         }
         assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
-        Self { polys, scale }
+        let noise_std = fresh_public_std(polys[0].degree());
+        Self {
+            polys,
+            scale,
+            noise_std,
+            msg_bound: 1.0,
+        }
+    }
+
+    /// Replaces the tracked noise state (encryptor / evaluator
+    /// bookkeeping, or a caller that knows the provenance of a
+    /// deserialized ciphertext).
+    #[must_use]
+    pub fn with_noise(mut self, noise_std: f64, msg_bound: f64) -> Self {
+        self.set_noise_state(noise_std, msg_bound);
+        self
+    }
+
+    /// Updates the tracked noise state in place.
+    pub(crate) fn set_noise_state(&mut self, noise_std: f64, msg_bound: f64) {
+        self.noise_std = noise_std;
+        self.msg_bound = if msg_bound.is_finite() && msg_bound > 0.0 {
+            msg_bound
+        } else {
+            1.0
+        };
+    }
+
+    /// Analytic std of the coefficient-domain noise.
+    #[inline]
+    pub fn noise_std(&self) -> f64 {
+        self.noise_std
+    }
+
+    /// Bound on the absolute encrypted message values (pre-scaling).
+    #[inline]
+    pub fn msg_bound(&self) -> f64 {
+        self.msg_bound
+    }
+
+    /// The ciphertext's full analytic noise state.
+    #[inline]
+    pub fn noise_estimate(&self) -> NoiseEstimate {
+        NoiseEstimate {
+            noise_std: self.noise_std,
+            scale: self.scale,
+            level: self.level(),
+        }
+    }
+
+    /// Remaining noise budget in bits (see
+    /// [`NoiseEstimate::budget_bits`]).
+    #[inline]
+    pub fn budget_bits(&self) -> f64 {
+        self.noise_estimate().budget_bits()
     }
 
     /// Number of polynomials (2, or 3 before relinearization).
@@ -191,6 +304,22 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn bad_scale_panics() {
         Plaintext::new(ntt_poly(16, 2), 0.0);
+    }
+
+    #[test]
+    fn noise_metadata_defaults_and_is_excluded_from_equality() {
+        let ct = Ciphertext::new(vec![ntt_poly(16, 3), ntt_poly(16, 3)], 1024.0);
+        assert!(ct.noise_std() > 0.0, "default noise is a fresh pk estimate");
+        assert_eq!(ct.msg_bound(), 1.0);
+        assert_eq!(ct.noise_estimate().level, 3);
+        assert!(ct.budget_bits().is_finite());
+        let tracked = ct.clone().with_noise(3.2, 2.0);
+        assert_eq!(tracked.noise_std(), 3.2);
+        assert_eq!(tracked.msg_bound(), 2.0);
+        assert_eq!(ct, tracked, "noise metadata must not affect equality");
+        let pt = Plaintext::new(ntt_poly(16, 2), 512.0);
+        assert_eq!(pt.value_bound(), 1.0);
+        assert_eq!(pt, pt.clone().with_value_bound(7.0));
     }
 
     #[test]

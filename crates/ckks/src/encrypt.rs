@@ -5,12 +5,26 @@
 //! ciphertexts. Decryption requires the secret key and is used here for
 //! functional verification of HE-CNN inference results.
 
+use crate::canary::Canary;
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
+use crate::error::EvalError;
 use crate::keys::{PublicKey, SecretKey};
+use crate::noise::{fresh_public_std, fresh_symmetric_std};
+use crate::telemetry::noise_metrics;
 use fxhenn_math::poly::RnsPoly;
-use fxhenn_math::sampling::{sample_gaussian, sample_ternary, small_to_rns, STANDARD_SIGMA};
+use fxhenn_math::sampling::{
+    sample_gaussian, sample_ternary, sample_uniform, small_to_rns, STANDARD_SIGMA,
+};
 use rand::Rng;
+
+/// Largest absolute value in `values` (at least 1.0, the conservative
+/// floor the noise formulas use).
+fn value_bound(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .fold(1.0f64, |m, &v| if v.abs().is_finite() { m.max(v.abs()) } else { m })
+}
 
 /// Encrypts encoded plaintexts under a public key.
 #[derive(Debug)]
@@ -46,6 +60,7 @@ impl<'a, R: Rng> Encryptor<'a, R> {
         let mut m = self.ctx.encoder().encode_rns(values, scale, moduli);
         m.to_ntt(&tables);
         self.encrypt_poly(m, scale)
+            .with_noise(fresh_public_std(self.ctx.degree()), value_bound(values))
     }
 
     /// Encrypts a pre-encoded plaintext.
@@ -61,6 +76,7 @@ impl<'a, R: Rng> Encryptor<'a, R> {
             "fresh encryptions start at the top level"
         );
         self.encrypt_poly(pt.poly().clone(), pt.scale())
+            .with_noise(fresh_public_std(self.ctx.degree()), pt.value_bound())
     }
 
     fn encrypt_poly(&mut self, m: RnsPoly, scale: f64) -> Ciphertext {
@@ -87,6 +103,68 @@ impl<'a, R: Rng> Encryptor<'a, R> {
         c1.add_assign(&e1, moduli);
 
         Ciphertext::new(vec![c0, c1], scale)
+    }
+}
+
+/// Encrypts under the *secret key* (symmetric RLWE): `c1` is sampled
+/// uniformly and `c0 = -(c1·s) + e + m`, so the only noise term is the
+/// single Gaussian `e` — roughly `sqrt(4N/3)` less noise than a
+/// public-key encryption. This is the right encryptor when the key
+/// holder encrypts its own inputs (e.g. a client preparing a private
+/// inference request), and the attached estimate reflects it.
+#[derive(Debug)]
+pub struct SymmetricEncryptor<'a, R: Rng> {
+    ctx: &'a CkksContext,
+    sk: SecretKey,
+    rng: R,
+}
+
+impl<'a, R: Rng> SymmetricEncryptor<'a, R> {
+    /// Creates a symmetric encryptor from the secret key.
+    pub fn new(ctx: &'a CkksContext, sk: SecretKey, rng: R) -> Self {
+        Self { ctx, sk, rng }
+    }
+
+    /// Encodes `values` at the default scale and encrypts at the top
+    /// level.
+    pub fn encrypt(&mut self, values: &[f64]) -> Ciphertext {
+        let scale = self.ctx.params().scale();
+        self.encrypt_at(values, scale)
+    }
+
+    /// Encodes `values` at `scale` and encrypts at the top level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` values are supplied or the scale is not
+    /// positive.
+    pub fn encrypt_at(&mut self, values: &[f64], scale: f64) -> Ciphertext {
+        let ctx = self.ctx;
+        let l = ctx.max_level();
+        let moduli = ctx.moduli_at(l);
+        let tables = ctx.tables_at(l);
+        let n = ctx.degree();
+
+        let mut m = ctx.encoder().encode_rns(values, scale, moduli);
+        m.to_ntt(&tables);
+
+        // Uniform c1 (sampled in the coefficient domain, mapped to NTT —
+        // the distribution is invariant under the transform).
+        let mut a = sample_uniform(n, moduli, &mut self.rng);
+        a.to_ntt(&tables);
+        let mut e = small_to_rns(&sample_gaussian(n, STANDARD_SIGMA, &mut self.rng), moduli);
+        e.to_ntt(&tables);
+
+        // c0 = -(a·s) + e + m
+        let s = self.sk.at_level(l);
+        let mut c0 = a.clone();
+        c0.mul_pointwise_assign(&s, moduli);
+        c0.neg_assign(moduli);
+        c0.add_assign(&e, moduli);
+        c0.add_assign(&m, moduli);
+
+        Ciphertext::new(vec![c0, a], scale)
+            .with_noise(fresh_symmetric_std(), value_bound(values))
     }
 }
 
@@ -126,6 +204,32 @@ impl<'a> Decryptor<'a> {
         acc.to_coeff(&tables);
         let coeffs = ctx.centered_coefficients(&acc, l);
         ctx.encoder().decode_coefficients(&coeffs, ct.scale())
+    }
+
+    /// Decrypts with a canary cross-check: the known canary slots of the
+    /// result are compared against `canary.expected()`, and the measured
+    /// error must stay within `margin` times the slot error the
+    /// ciphertext's tracked [`crate::noise::NoiseEstimate`] predicts.
+    ///
+    /// Also records the decrypt-time floor margin (remaining budget
+    /// bits) into the `fxhenn_noise_*` metrics.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::NoiseModelViolation`] when reality
+    /// diverges from the model — the signature of a kernel or key
+    /// fault, not merely a deep circuit.
+    pub fn decrypt_verified(
+        &self,
+        ct: &Ciphertext,
+        canary: &Canary,
+        margin: f64,
+    ) -> Result<Vec<f64>, EvalError> {
+        let out = self.decrypt(ct);
+        let est = ct.noise_estimate();
+        noise_metrics().observe_decrypt(est.budget_bits());
+        canary.verify(&out, &est, self.ctx, margin)?;
+        Ok(out)
     }
 
     /// Decrypts and returns the centered raw plaintext coefficients

@@ -95,6 +95,26 @@ pub enum EvalError {
         /// Remaining budget in bits (non-positive).
         budget_bits: f64,
     },
+    /// An operation needs more active RNS primes than the ciphertext
+    /// has left (e.g. rescale at level 1).
+    LevelExhausted {
+        /// Active primes available.
+        have: usize,
+        /// Active primes the operation needs.
+        need: usize,
+    },
+    /// A decrypt-time canary measured a slot error beyond the stated
+    /// margin over the analytic prediction — the noise model and the
+    /// kernels disagree, the signature of a computation fault rather
+    /// than a deep circuit.
+    NoiseModelViolation {
+        /// Measured canary slot error.
+        measured: f64,
+        /// Analytically predicted slot error.
+        predicted: f64,
+        /// Accepted margin (multiples of the prediction).
+        margin: f64,
+    },
     /// A ciphertext is structurally well-formed but semantically invalid
     /// for this context (wrong degree, impossible level, or a residue
     /// word outside its modulus — the signature of transport corruption).
@@ -152,6 +172,20 @@ impl fmt::Display for EvalError {
             }
             EvalError::NoiseBudgetExhausted { budget_bits } => {
                 write!(f, "noise budget exhausted ({budget_bits:.1} bits remaining)")
+            }
+            EvalError::LevelExhausted { have, need } => {
+                write!(f, "level exhausted: need {need} active primes, have {have}")
+            }
+            EvalError::NoiseModelViolation {
+                measured,
+                predicted,
+                margin,
+            } => {
+                write!(
+                    f,
+                    "noise model violation: canary slot error {measured:.3e} exceeds \
+                     {margin:.0}x the predicted {predicted:.3e}"
+                )
             }
             EvalError::CorruptCiphertext { what } => {
                 write!(f, "corrupt ciphertext: {what}")

@@ -18,7 +18,8 @@ use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
 use crate::error::EvalError;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
-use crate::telemetry::{he_metrics, OpSpanLog};
+use crate::noise::{fresh_public_std, magnitude_add, NoiseEstimate};
+use crate::telemetry::{he_metrics, noise_metrics, OpSpanLog};
 use crate::trace::{HeOpKind, OpTrace};
 use fxhenn_math::budget::{self, Progress};
 use fxhenn_math::modops::{sub_mod, ShoupMul};
@@ -66,10 +67,13 @@ pub struct Evaluator<'a> {
     spans: Option<OpSpanLog>,
     scratch: Vec<RnsPoly>,
     ops_done: u64,
+    noise_floor_bits: f64,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator with tracing and span timing disabled.
+    /// Creates an evaluator with tracing and span timing disabled and
+    /// the noise floor at 0 bits (an op is refused once the analytic
+    /// budget would be fully exhausted).
     pub fn new(ctx: &'a CkksContext) -> Self {
         Self {
             ctx,
@@ -77,6 +81,53 @@ impl<'a> Evaluator<'a> {
             spans: None,
             scratch: Vec::new(),
             ops_done: 0,
+            noise_floor_bits: 0.0,
+        }
+    }
+
+    /// The minimum post-op noise budget (in bits) this evaluator
+    /// enforces: an operation whose predicted output budget would not
+    /// stay *above* this floor fails with
+    /// [`EvalError::NoiseBudgetExhausted`] before any kernel runs.
+    pub fn noise_floor_bits(&self) -> f64 {
+        self.noise_floor_bits
+    }
+
+    /// Raises (or lowers) the enforced noise floor. Non-finite values
+    /// are ignored.
+    pub fn set_noise_floor_bits(&mut self, bits: f64) {
+        if bits.is_finite() {
+            self.noise_floor_bits = bits;
+        }
+    }
+
+    /// Enforces the noise floor on the *predicted* post-op estimate —
+    /// called before the heavy compute, so a refused op costs nothing
+    /// and never produces a garbage ciphertext.
+    fn enforce_floor(&self, est: &NoiseEstimate) -> Result<(), EvalError> {
+        let bits = est.budget_bits();
+        if bits <= self.noise_floor_bits {
+            noise_metrics().exhausted.inc();
+            return Err(EvalError::NoiseBudgetExhausted { budget_bits: bits });
+        }
+        Ok(())
+    }
+
+    /// Stamps the tracked noise state onto an op's output and records
+    /// the post-op budget into the `fxhenn_noise_*` histograms.
+    fn stamp_noise(out: &mut Ciphertext, kind: HeOpKind, est: &NoiseEstimate, msg_bound: f64) {
+        noise_metrics().observe_op(kind, est.budget_bits());
+        out.set_noise_state(est.noise_std, msg_bound);
+    }
+
+    /// The conservative estimate attached to borrowed wire views: a
+    /// fresh public-key encryption at this degree — correct for the
+    /// serve ingest path, where views decode client-encrypted inputs.
+    fn view_estimate(&self, scale: f64, level: usize) -> NoiseEstimate {
+        NoiseEstimate {
+            noise_std: fresh_public_std(self.ctx.degree()),
+            scale,
+            level,
         }
     }
 
@@ -216,9 +267,10 @@ impl<'a> Evaluator<'a> {
         }
         let moduli = self.ctx.moduli_at(level);
         let tables = self.ctx.tables_at(level);
+        let bound = values.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
         let mut p = self.ctx.encoder().encode_rns(values, scale, moduli);
         p.to_ntt(&tables);
-        Ok(Plaintext::new(p, scale))
+        Ok(Plaintext::new(p, scale).with_value_bound(bound))
     }
 
     /// Encodes at the scale that makes a following `mul_plain` +
@@ -283,11 +335,14 @@ impl<'a> Evaluator<'a> {
         self.budget_gate()?;
         let started = Instant::now();
         Self::check_matching("CCadd", a, b)?;
+        let est = a.noise_estimate().after_add(&b.noise_estimate())?;
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         for i in 0..out.size() {
             out.poly_mut(i).add_assign(b.poly(i), moduli);
         }
+        Self::stamp_noise(&mut out, HeOpKind::CcAdd, &est, magnitude_add(a.msg_bound(), b.msg_bound()));
         self.record(HeOpKind::CcAdd, a.level(), started);
         Ok(out)
     }
@@ -301,11 +356,14 @@ impl<'a> Evaluator<'a> {
         self.budget_gate()?;
         let started = Instant::now();
         Self::check_matching("subtraction", a, b)?;
+        let est = a.noise_estimate().after_add(&b.noise_estimate())?;
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         for i in 0..out.size() {
             out.poly_mut(i).sub_assign(b.poly(i), moduli);
         }
+        Self::stamp_noise(&mut out, HeOpKind::CcAdd, &est, magnitude_add(a.msg_bound(), b.msg_bound()));
         self.record(HeOpKind::CcAdd, a.level(), started);
         Ok(out)
     }
@@ -331,9 +389,14 @@ impl<'a> Evaluator<'a> {
             });
         }
         Self::check_same_scale(a.scale(), pt.scale())?;
+        // Adding an exact plaintext leaves the noise term untouched
+        // (encoding rounding is absorbed by the estimate's slack).
+        let est = a.noise_estimate();
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         out.poly_mut(0).add_assign(pt.poly(), moduli);
+        Self::stamp_noise(&mut out, HeOpKind::PcAdd, &est, magnitude_add(a.msg_bound(), pt.value_bound()));
         self.record(HeOpKind::PcAdd, a.level(), started);
         Ok(out)
     }
@@ -358,9 +421,12 @@ impl<'a> Evaluator<'a> {
             });
         }
         Self::check_same_scale(a.scale(), pt.scale())?;
+        let est = a.noise_estimate();
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         out.poly_mut(0).sub_assign(pt.poly(), moduli);
+        Self::stamp_noise(&mut out, HeOpKind::PcAdd, &est, magnitude_add(a.msg_bound(), pt.value_bound()));
         self.record(HeOpKind::PcAdd, a.level(), started);
         Ok(out)
     }
@@ -386,12 +452,20 @@ impl<'a> Evaluator<'a> {
                 right: pt.level(),
             });
         }
+        let est = a.noise_estimate().after_mul_plain(pt.scale(), pt.value_bound());
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut out = a.clone();
         for i in 0..out.size() {
             out.poly_mut(i).mul_pointwise_assign(pt.poly(), moduli);
         }
         out.set_scale(a.scale() * pt.scale());
+        Self::stamp_noise(
+            &mut out,
+            HeOpKind::PcMult,
+            &est,
+            a.msg_bound() * pt.value_bound(),
+        );
         self.record(HeOpKind::PcMult, a.level(), started);
         Ok(out)
     }
@@ -418,6 +492,10 @@ impl<'a> Evaluator<'a> {
                 right: b.level(),
             });
         }
+        let est = a
+            .noise_estimate()
+            .after_mul(&b.noise_estimate(), a.msg_bound(), b.msg_bound())?;
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
 
         // Each output polynomial costs one-to-two full pointwise passes
@@ -463,7 +541,9 @@ impl<'a> Evaluator<'a> {
         };
 
         self.record(HeOpKind::CcMult, a.level(), started);
-        Ok(Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale()))
+        let mut out = Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale());
+        Self::stamp_noise(&mut out, HeOpKind::CcMult, &est, a.msg_bound() * b.msg_bound());
+        Ok(out)
     }
 
     /// Homomorphic squaring: CCmult of a ciphertext with itself (the form
@@ -515,6 +595,11 @@ impl<'a> Evaluator<'a> {
         self.budget_gate()?;
         let started = Instant::now();
         Self::check_matching_views("CCadd", a, b)?;
+        // Views carry no tracked state: assume two fresh client inputs.
+        let est = self
+            .view_estimate(a.scale(), a.level())
+            .after_add(&self.view_estimate(b.scale(), b.level()))?;
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut polys = Vec::with_capacity(a.size());
         for i in 0..a.size() {
@@ -524,7 +609,9 @@ impl<'a> Evaluator<'a> {
             polys.push(p);
         }
         self.record(HeOpKind::CcAdd, a.level(), started);
-        Ok(Ciphertext::new(polys, a.scale()))
+        let mut out = Ciphertext::new(polys, a.scale());
+        Self::stamp_noise(&mut out, HeOpKind::CcAdd, &est, 2.0);
+        Ok(out)
     }
 
     /// PCmult with the ciphertext operand read in place from a borrowed
@@ -547,6 +634,10 @@ impl<'a> Evaluator<'a> {
                 right: pt.level(),
             });
         }
+        let est = self
+            .view_estimate(a.scale(), a.level())
+            .after_mul_plain(pt.scale(), pt.value_bound());
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
         let mut polys = Vec::with_capacity(a.size());
         for i in 0..a.size() {
@@ -556,7 +647,9 @@ impl<'a> Evaluator<'a> {
             polys.push(p);
         }
         self.record(HeOpKind::PcMult, a.level(), started);
-        Ok(Ciphertext::new(polys, a.scale() * pt.scale()))
+        let mut out = Ciphertext::new(polys, a.scale() * pt.scale());
+        Self::stamp_noise(&mut out, HeOpKind::PcMult, &est, pt.value_bound());
+        Ok(out)
     }
 
     /// CCmult directly from borrowed wire views: the three tensor
@@ -584,6 +677,10 @@ impl<'a> Evaluator<'a> {
                 right: b.level(),
             });
         }
+        let est = self
+            .view_estimate(a.scale(), a.level())
+            .after_mul(&self.view_estimate(b.scale(), b.level()), 1.0, 1.0)?;
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
 
         // Same fan-out decision and per-product math as the owned
@@ -623,7 +720,9 @@ impl<'a> Evaluator<'a> {
         };
 
         self.record(HeOpKind::CcMult, a.level(), started);
-        Ok(Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale()))
+        let mut out = Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale());
+        Self::stamp_noise(&mut out, HeOpKind::CcMult, &est, 1.0);
+        Ok(out)
     }
 
     /// Homomorphic squaring straight from a borrowed wire view — the
@@ -653,6 +752,8 @@ impl<'a> Evaluator<'a> {
         if ct.size() != 3 {
             return Err(EvalError::NotThreePoly { size: ct.size() });
         }
+        let est = ct.noise_estimate().after_key_switch(self.ctx);
+        self.enforce_floor(&est)?;
         let l = ct.level();
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
@@ -667,7 +768,9 @@ impl<'a> Evaluator<'a> {
         ks1.add_assign(ct.poly(1), moduli);
 
         self.record(HeOpKind::Relinearize, l, started);
-        Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
+        let mut out = Ciphertext::new(vec![ks0, ks1], ct.scale());
+        Self::stamp_noise(&mut out, HeOpKind::Relinearize, &est, ct.msg_bound());
+        Ok(out)
     }
 
     /// Rescale (OP4): divides the ciphertext by the last prime of its
@@ -688,6 +791,8 @@ impl<'a> Evaluator<'a> {
         if l < 2 {
             return Err(EvalError::RescaleAtFloor);
         }
+        let est = ct.noise_estimate().after_rescale(self.ctx)?;
+        self.enforce_floor(&est)?;
         let tables = self.ctx.tables_at(l);
         let new_tables = self.ctx.tables_at(l - 1);
 
@@ -719,6 +824,7 @@ impl<'a> Evaluator<'a> {
         };
         let mut out = Ciphertext::new(polys, ct.scale());
         out.set_scale(ct.scale() / self.ctx.dropped_prime_at(l) as f64);
+        Self::stamp_noise(&mut out, HeOpKind::Rescale, &est, ct.msg_bound());
         self.record(HeOpKind::Rescale, l, started);
         Ok(out)
     }
@@ -748,6 +854,14 @@ impl<'a> Evaluator<'a> {
         if target_level == l {
             return Ok(ct.clone());
         }
+        // Dropping primes without scaling leaves message, scale and
+        // noise untouched — only the level changes.
+        let est = NoiseEstimate {
+            noise_std: ct.noise_std(),
+            scale: ct.scale(),
+            level: target_level,
+        };
+        self.enforce_floor(&est)?;
         let indices: Vec<usize> = (0..target_level).collect();
         let polys = ct
             .polys()
@@ -758,7 +872,9 @@ impl<'a> Evaluator<'a> {
         // components the switch reads (a no-op switch above returns
         // without recording — no work, no HOP).
         self.record(HeOpKind::ModSwitch, l, started);
-        Ok(Ciphertext::new(polys, ct.scale()))
+        let mut out = Ciphertext::new(polys, ct.scale());
+        Self::stamp_noise(&mut out, HeOpKind::ModSwitch, &est, ct.msg_bound());
+        Ok(out)
     }
 
     /// Rotate (OP5 KeySwitch): left-rotates the slot vector by `steps`.
@@ -786,6 +902,8 @@ impl<'a> Evaluator<'a> {
         let key = gks
             .key(g)
             .ok_or(EvalError::MissingGaloisKey { steps })?;
+        let est = ct.noise_estimate().after_rotate(self.ctx);
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
 
@@ -803,7 +921,9 @@ impl<'a> Evaluator<'a> {
         self.put_scratch(tg);
 
         self.record(HeOpKind::Rotate, l, started);
-        Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
+        let mut out = Ciphertext::new(vec![ks0, ks1], ct.scale());
+        Self::stamp_noise(&mut out, HeOpKind::Rotate, &est, ct.msg_bound());
+        Ok(out)
     }
 
     /// Shared Galois tail of Rotate and Conjugate: key-switches
@@ -851,6 +971,8 @@ impl<'a> Evaluator<'a> {
         }
         let l = ct.level();
         let g = self.ctx.conjugation_exponent();
+        let est = ct.noise_estimate().after_key_switch(self.ctx);
+        self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(l);
         let tables = self.ctx.tables_at(l);
 
@@ -867,7 +989,9 @@ impl<'a> Evaluator<'a> {
         self.put_scratch(tg);
 
         self.record(HeOpKind::Conjugate, l, started);
-        Ok(Ciphertext::new(vec![ks0, ks1], ct.scale()))
+        let mut out = Ciphertext::new(vec![ks0, ks1], ct.scale());
+        Self::stamp_noise(&mut out, HeOpKind::Conjugate, &est, ct.msg_bound());
+        Ok(out)
     }
 
     /// Core hybrid key switch. `d` must be a coefficient-domain polynomial

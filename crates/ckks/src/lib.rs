@@ -35,6 +35,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+pub mod canary;
 pub mod cipher;
 pub mod error;
 pub mod context;
@@ -51,14 +52,15 @@ pub mod telemetry;
 pub mod trace;
 pub mod wire;
 
+pub use canary::{Canary, DEFAULT_CANARY_MARGIN, DEFAULT_CANARY_SLOTS};
 pub use cipher::{Ciphertext, Plaintext};
 pub use context::CkksContext;
 pub use encoding::CkksEncoder;
-pub use encrypt::{Decryptor, Encryptor};
+pub use encrypt::{Decryptor, Encryptor, SymmetricEncryptor};
 pub use error::EvalError;
 pub use eval::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, RelinKey, SecretKey};
-pub use noise::NoiseEstimate;
+pub use noise::{NoiseEstimate, NoiseModel};
 pub use params::{CkksParams, ParamsError};
 pub use serialize::{
     content_checksum, decode_galois_keys_checksummed, decode_public_key_checksummed,
@@ -67,7 +69,9 @@ pub use serialize::{
     seal_checksummed, DecodeError,
 };
 pub use security::{estimate_security, SecurityLevel};
-pub use telemetry::{register_he_metrics, register_wire_metrics, OpSpanLog};
+pub use telemetry::{
+    register_he_metrics, register_noise_metrics, register_wire_metrics, OpSpanLog,
+};
 pub use trace::{HeOpKind, HeOpRecord, OpTrace};
 pub use wire::{
     copy_fallback_forced, decode_ciphertext_v2, decode_galois_keys_v2, decode_plaintext_v2,

@@ -9,11 +9,79 @@
 //! Estimates track the standard deviation of the coefficient-domain
 //! noise; the *slot* error after decoding is roughly
 //! `noise_std · sqrt(N) / scale`.
+//!
+//! Two front ends share one set of formulas:
+//!
+//! * [`NoiseEstimate`] methods taking a [`CkksContext`] use the exact
+//!   prime values — this is what the evaluator threads through every
+//!   ciphertext at runtime.
+//! * [`NoiseModel`] is built from [`CkksParams`] alone (primes
+//!   approximated by `2^prime_bits`), so the nn compiler can walk a
+//!   lowered plan's worst-case trajectory without paying for NTT tables.
+//!
+//! Mismatch conditions return typed [`EvalError`]s instead of panicking,
+//! and [`NoiseEstimate::budget_bits`] is total: degenerate noise values
+//! saturate at [`MAX_BUDGET_BITS`] instead of producing NaN or ±inf.
 
 use crate::context::CkksContext;
+use crate::error::EvalError;
+use crate::params::CkksParams;
 
 /// Standard deviation of the error distribution (HE standard).
-const SIGMA: f64 = 3.2;
+pub const SIGMA: f64 = 3.2;
+
+/// Saturation cap for [`NoiseEstimate::budget_bits`]: degenerate
+/// estimates (zero, negative or non-finite `noise_std`) clamp into
+/// `[-MAX_BUDGET_BITS, MAX_BUDGET_BITS]` instead of going NaN/±inf.
+pub const MAX_BUDGET_BITS: f64 = 1024.0;
+
+/// Standard deviation of fresh *public-key* encryption noise at ring
+/// degree `n`: the `e0 + u·e + e1·s` term with ternary `u, s` has
+/// std ≈ `σ · sqrt(4N/3 + 1)`.
+pub fn fresh_public_std(n: usize) -> f64 {
+    SIGMA * (4.0 * n as f64 / 3.0 + 1.0).sqrt()
+}
+
+/// Standard deviation of fresh *symmetric* (secret-key) encryption
+/// noise: only the single sampled error `e` contributes, so std = `σ`
+/// regardless of degree.
+pub fn fresh_symmetric_std() -> f64 {
+    SIGMA
+}
+
+/// Rounding noise of one rescale / mod-down step at degree `n`:
+/// ≈ `sqrt(N/12) · sqrt(1 + 2N/3)` against the ternary secret.
+fn rounding_std(n: f64) -> f64 {
+    (n / 12.0).sqrt() * (1.0 + 2.0 * n / 3.0).sqrt()
+}
+
+/// Core rescale formula: old noise divides by the dropped prime `q`,
+/// rounding adds [`rounding_std`].
+fn rescale_std(noise_std: f64, q: f64, n: f64) -> f64 {
+    ((noise_std / q).powi(2) + rounding_std(n).powi(2)).sqrt()
+}
+
+/// Core hybrid key-switch formula: with per-group digits of magnitude
+/// `q_max^group` and special product `p`, one switch contributes
+/// ≈ `sqrt(l) · q_max^group · sqrt(N/12) · σ / p` plus mod-down rounding.
+fn key_switch_std(noise_std: f64, level: f64, q_max: f64, group: f64, p: f64, n: f64) -> f64 {
+    let digit_mag = q_max.powf(group);
+    let switch = level.sqrt() * digit_mag * (n / 12.0).sqrt() * SIGMA / p;
+    let rounding = rounding_std(n);
+    (noise_std.powi(2) + switch.powi(2) + rounding.powi(2)).sqrt()
+}
+
+/// Combines two message-magnitude estimates across an addition.
+///
+/// The tracker feeds CCmult noise amplification, so it estimates the
+/// *typical* slot magnitude rather than the coherent worst case: slot
+/// values are treated as incoherent and combined root-sum-square. A
+/// coherent sum would refuse circuits (deep rotation-sum reductions)
+/// that demonstrably decrypt fine, while a genuinely huge operand still
+/// dominates the RSS.
+pub fn magnitude_add(a: f64, b: f64) -> f64 {
+    (a * a + b * b).sqrt()
+}
 
 /// An analytic estimate of a ciphertext's noise and scale state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,13 +96,20 @@ pub struct NoiseEstimate {
 
 impl NoiseEstimate {
     /// Noise of a fresh public-key encryption at the top level.
-    ///
-    /// Fresh noise is `e0 + u·e + e1·s` with ternary `u, s`: standard
-    /// deviation ≈ `σ · sqrt(4N/3 + 1)`.
     pub fn fresh(ctx: &CkksContext) -> Self {
-        let n = ctx.degree() as f64;
         Self {
-            noise_std: SIGMA * (4.0 * n / 3.0 + 1.0).sqrt(),
+            noise_std: fresh_public_std(ctx.degree()),
+            scale: ctx.params().scale(),
+            level: ctx.max_level(),
+        }
+    }
+
+    /// Noise of a fresh symmetric (secret-key) encryption at the top
+    /// level: only the sampled error `e` contributes, ≈ `σ` — roughly
+    /// `sqrt(4N/3)` smaller than the public-key estimate.
+    pub fn fresh_symmetric(ctx: &CkksContext) -> Self {
+        Self {
+            noise_std: fresh_symmetric_std(),
             scale: ctx.params().scale(),
             level: ctx.max_level(),
         }
@@ -42,23 +117,54 @@ impl NoiseEstimate {
 
     /// Expected absolute slot error after decryption and decoding.
     pub fn slot_error(&self, ctx: &CkksContext) -> f64 {
-        self.noise_std * (ctx.degree() as f64).sqrt() / self.scale
+        self.slot_error_at_degree(ctx.degree())
+    }
+
+    /// [`slot_error`](Self::slot_error) from the ring degree alone.
+    pub fn slot_error_at_degree(&self, degree: usize) -> f64 {
+        self.noise_std.max(0.0) * (degree as f64).sqrt() / self.scale
     }
 
     /// Remaining "noise budget" in bits: `log2(scale / noise_std)`.
     /// Decryption is meaningful while this stays comfortably positive.
+    ///
+    /// Total over all inputs: a zero or negative `noise_std` saturates
+    /// at [`MAX_BUDGET_BITS`]; an infinite one at `-MAX_BUDGET_BITS`;
+    /// NaN (unknown noise) conservatively reports `0.0` — exhausted.
     pub fn budget_bits(&self) -> f64 {
-        (self.scale / self.noise_std).log2()
+        if self.noise_std.is_nan() || !(self.scale.is_finite() && self.scale > 0.0) {
+            return 0.0;
+        }
+        if self.noise_std <= 0.0 {
+            return MAX_BUDGET_BITS;
+        }
+        if self.noise_std.is_infinite() {
+            return -MAX_BUDGET_BITS;
+        }
+        (self.scale / self.noise_std)
+            .log2()
+            .clamp(-MAX_BUDGET_BITS, MAX_BUDGET_BITS)
     }
 
     /// Noise after a ciphertext + ciphertext addition.
-    pub fn after_add(&self, other: &NoiseEstimate) -> Self {
-        assert_eq!(self.level, other.level, "addition needs matching levels");
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::LevelMismatch`] when the operands sit at
+    /// different levels.
+    pub fn after_add(&self, other: &NoiseEstimate) -> Result<Self, EvalError> {
+        if self.level != other.level {
+            return Err(EvalError::LevelMismatch {
+                op: "CCadd",
+                left: self.level,
+                right: other.level,
+            });
+        }
+        Ok(Self {
             noise_std: (self.noise_std.powi(2) + other.noise_std.powi(2)).sqrt(),
             scale: self.scale,
             level: self.level,
-        }
+        })
     }
 
     /// Noise after a plaintext multiplication, where the plaintext
@@ -76,65 +182,75 @@ impl NoiseEstimate {
     }
 
     /// Noise after a ciphertext × ciphertext multiplication, where the
-    /// two messages are bounded by `bound_a`, `bound_b` (pre-scaling).
+    /// two messages are bounded by `bound_self`, `bound_other`
+    /// (pre-scaling).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::LevelMismatch`] when the operands sit at
+    /// different levels.
     pub fn after_mul(
         &self,
         other: &NoiseEstimate,
         bound_self: f64,
         bound_other: f64,
-    ) -> Self {
-        assert_eq!(self.level, other.level, "CCmult needs matching levels");
+    ) -> Result<Self, EvalError> {
+        if self.level != other.level {
+            return Err(EvalError::LevelMismatch {
+                op: "CCmult",
+                left: self.level,
+                right: other.level,
+            });
+        }
         // n_out ≈ n1·|m2|·Δ2 + n2·|m1|·Δ1 + n1·n2
         let cross1 = self.noise_std * bound_other.max(1.0) * other.scale;
         let cross2 = other.noise_std * bound_self.max(1.0) * self.scale;
         let quad = self.noise_std * other.noise_std;
-        Self {
+        Ok(Self {
             noise_std: (cross1.powi(2) + cross2.powi(2) + quad.powi(2)).sqrt(),
             scale: self.scale * other.scale,
             level: self.level,
-        }
+        })
     }
 
     /// Noise after rescaling by the level's last prime.
     ///
-    /// The old noise divides by `q`; rounding adds ≈
-    /// `sqrt(N/12 · (1 + 2N/3))`-ish, approximated by the dominant
-    /// `sqrt(N/12) · sqrt(1 + N·2/3)` term from rounding against the
-    /// ternary secret.
-    pub fn after_rescale(&self, ctx: &CkksContext) -> Self {
-        assert!(self.level >= 2, "cannot rescale below level 1");
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::LevelExhausted`] at level 1 or below —
+    /// no prime is left to drop.
+    pub fn after_rescale(&self, ctx: &CkksContext) -> Result<Self, EvalError> {
+        if self.level < 2 {
+            return Err(EvalError::LevelExhausted {
+                have: self.level,
+                need: 2,
+            });
+        }
         let q = ctx.dropped_prime_at(self.level) as f64;
-        let n = ctx.degree() as f64;
-        let rounding = (n / 12.0).sqrt() * (1.0 + 2.0 * n / 3.0).sqrt();
-        Self {
-            noise_std: ((self.noise_std / q).powi(2) + rounding.powi(2)).sqrt(),
+        Ok(Self {
+            noise_std: rescale_std(self.noise_std, q, ctx.degree() as f64),
             scale: self.scale / q,
             level: self.level - 1,
-        }
+        })
     }
 
     /// Noise added by one key switch (relinearization or rotation).
-    ///
-    /// With per-prime digits and special prime `p`, the switch
-    /// contributes ≈ `sqrt(L) · q_max · sqrt(N/12) · σ / p` plus the
-    /// mod-down rounding.
     pub fn after_key_switch(&self, ctx: &CkksContext) -> Self {
-        let n = ctx.degree() as f64;
-        let l = self.level as f64;
-        let q_max = ctx.moduli_at(self.level)
+        let q_max = ctx
+            .moduli_at(self.level)
             .iter()
             .copied()
             .max()
-            .expect("non-empty") as f64;
-        // Digit magnitude: group_size primes per digit; the special
-        // product P suppresses it after mod-down.
-        let group = ctx.params().digit_group_size() as f64;
-        let digit_mag = q_max.powf(group);
-        let p = ctx.special_product_f64();
-        let switch = (l).sqrt() * digit_mag * (n / 12.0).sqrt() * SIGMA / p;
-        let rounding = (n / 12.0).sqrt() * (1.0 + 2.0 * n / 3.0).sqrt();
+            .unwrap_or(1) as f64;
         Self {
-            noise_std: (self.noise_std.powi(2) + switch.powi(2) + rounding.powi(2)).sqrt(),
+            noise_std: key_switch_std(
+                self.noise_std,
+                self.level as f64,
+                q_max,
+                ctx.params().digit_group_size() as f64,
+                ctx.special_product_f64(),
+                ctx.degree() as f64,
+            ),
             scale: self.scale,
             level: self.level,
         }
@@ -149,16 +265,145 @@ impl NoiseEstimate {
 
 /// Plans the noise of a square-activation step (CCmult + relinearize +
 /// rescale) on a message bounded by `bound`.
-pub fn square_step(est: &NoiseEstimate, bound: f64, ctx: &CkksContext) -> NoiseEstimate {
-    est.after_mul(est, bound, bound)
+///
+/// # Errors
+///
+/// Fails with [`EvalError::LevelExhausted`] when no level remains for
+/// the rescale.
+pub fn square_step(
+    est: &NoiseEstimate,
+    bound: f64,
+    ctx: &CkksContext,
+) -> Result<NoiseEstimate, EvalError> {
+    est.after_mul(est, bound, bound)?
         .after_key_switch(ctx)
         .after_rescale(ctx)
+}
+
+/// A context-free noise model built from [`CkksParams`] alone: primes
+/// are approximated by `2^prime_bits` and the special product by
+/// `2^(special_bits · digit_group)`. This is what plan-time admission
+/// uses — the trajectory of a lowered circuit can be walked without
+/// constructing NTT tables.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    degree: f64,
+    max_level: usize,
+    /// Dropped prime when rescaling from level `l` (index `l - 1`).
+    dropped: Vec<f64>,
+    /// Largest active prime at level `l` (index `l - 1`).
+    q_max: Vec<f64>,
+    special_product: f64,
+    digit_group: f64,
+    scale: f64,
+}
+
+impl NoiseModel {
+    /// Builds the approximate model from parameters only.
+    pub fn from_params(params: &CkksParams) -> Self {
+        let q = f64::from(params.prime_bits()).exp2();
+        let levels = params.levels();
+        Self {
+            degree: params.degree() as f64,
+            max_level: levels,
+            dropped: vec![q; levels],
+            q_max: vec![q; levels],
+            special_product: (f64::from(params.special_bits())
+                * params.digit_group_size() as f64)
+                .exp2(),
+            digit_group: params.digit_group_size() as f64,
+            scale: params.scale(),
+        }
+    }
+
+    /// Builds the exact model from a live context (the prime values the
+    /// evaluator actually uses).
+    pub fn from_context(ctx: &CkksContext) -> Self {
+        let levels = ctx.max_level();
+        Self {
+            degree: ctx.degree() as f64,
+            max_level: levels,
+            dropped: (1..=levels)
+                .map(|l| ctx.dropped_prime_at(l) as f64)
+                .collect(),
+            q_max: (1..=levels)
+                .map(|l| ctx.moduli_at(l).iter().copied().max().unwrap_or(1) as f64)
+                .collect(),
+            special_product: ctx.special_product_f64(),
+            digit_group: ctx.params().digit_group_size() as f64,
+            scale: ctx.params().scale(),
+        }
+    }
+
+    /// Maximum level of the modeled chain.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Fresh public-key estimate at the top level.
+    pub fn fresh(&self) -> NoiseEstimate {
+        NoiseEstimate {
+            noise_std: fresh_public_std(self.degree as usize),
+            scale: self.scale,
+            level: self.max_level,
+        }
+    }
+
+    /// The modeled prime dropped when rescaling from `level`.
+    pub fn dropped_prime(&self, level: usize) -> f64 {
+        self.dropped
+            .get(level.saturating_sub(1))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Applies a rescale to `est` under this model.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::LevelExhausted`] at level 1 or below.
+    pub fn rescale(&self, est: &NoiseEstimate) -> Result<NoiseEstimate, EvalError> {
+        if est.level < 2 {
+            return Err(EvalError::LevelExhausted {
+                have: est.level,
+                need: 2,
+            });
+        }
+        let q = self.dropped_prime(est.level);
+        Ok(NoiseEstimate {
+            noise_std: rescale_std(est.noise_std, q, self.degree),
+            scale: est.scale / q,
+            level: est.level - 1,
+        })
+    }
+
+    /// Applies one key switch (relinearize / rotate / conjugate) to
+    /// `est` under this model.
+    pub fn key_switch(&self, est: &NoiseEstimate) -> NoiseEstimate {
+        let q_max = self
+            .q_max
+            .get(est.level.saturating_sub(1))
+            .copied()
+            .unwrap_or(1.0);
+        NoiseEstimate {
+            noise_std: key_switch_std(
+                est.noise_std,
+                est.level as f64,
+                q_max,
+                self.digit_group,
+                self.special_product,
+                self.degree,
+            ),
+            scale: est.scale,
+            level: est.level,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::encrypt::{Decryptor, Encryptor, SymmetricEncryptor};
     use crate::eval::Evaluator;
     use crate::keys::KeyGenerator;
     use crate::params::CkksParams;
@@ -213,10 +458,37 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_fresh_noise_is_smaller_and_measures_right() {
+        let ctx = setup();
+        let kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(41));
+        let sk = kg.secret_key();
+        let mut enc = SymmetricEncryptor::new(&ctx, sk.clone(), StdRng::seed_from_u64(42));
+        let dec = Decryptor::new(&ctx, sk);
+
+        let est = NoiseEstimate::fresh_symmetric(&ctx);
+        assert!(
+            est.noise_std < NoiseEstimate::fresh(&ctx).noise_std / 10.0,
+            "symmetric noise must be far below public-key noise"
+        );
+
+        let slots = ctx.degree() / 2;
+        let values: Vec<f64> = (0..slots).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let ct = enc.encrypt(&values);
+        let measured = measured_noise(&ctx, &dec, &ct, &values);
+        // Symmetric noise is just `e`: the estimate must not be beaten
+        // by reality by more than an order of magnitude.
+        assert!(
+            measured <= est.noise_std * 10.0,
+            "measured {measured:.2} vs symmetric estimate {:.2}",
+            est.noise_std
+        );
+    }
+
+    #[test]
     fn addition_grows_noise_sublinearly() {
         let ctx = setup();
         let fresh = NoiseEstimate::fresh(&ctx);
-        let sum = fresh.after_add(&fresh);
+        let sum = fresh.after_add(&fresh).expect("matching levels");
         assert!(sum.noise_std > fresh.noise_std);
         assert!(sum.noise_std < 2.0 * fresh.noise_std, "RSS, not sum");
         assert_eq!(sum.level, fresh.level);
@@ -227,7 +499,7 @@ mod tests {
         let ctx = setup();
         let fresh = NoiseEstimate::fresh(&ctx);
         let big = fresh.after_mul_plain(ctx.dropped_prime_at(fresh.level) as f64, 1.0);
-        let rescaled = big.after_rescale(&ctx);
+        let rescaled = big.after_rescale(&ctx).expect("level above floor");
         assert_eq!(rescaled.level, fresh.level - 1);
         assert!(rescaled.noise_std < big.noise_std / 100.0);
         assert!((rescaled.scale - fresh.scale).abs() / fresh.scale < 1e-9);
@@ -240,7 +512,7 @@ mod tests {
         let mut est = NoiseEstimate::fresh(&ctx);
         let mut bound = 1.5f64;
         for depth in 0..3 {
-            est = square_step(&est, bound, &ctx);
+            est = square_step(&est, bound, &ctx).expect("levels remain");
             bound = bound * bound;
             assert!(
                 est.budget_bits() > 2.0,
@@ -280,7 +552,7 @@ mod tests {
         let lin = ev.relinearize(&sq, &rk).unwrap();
         let out = ev.rescale(&lin).unwrap();
 
-        let est = square_step(&NoiseEstimate::fresh(&ctx), 1.0, &ctx);
+        let est = square_step(&NoiseEstimate::fresh(&ctx), 1.0, &ctx).unwrap();
         let measured = measured_noise(&ctx, &dec, &out, &expected);
         // Heuristic bound: prediction within two orders of magnitude and
         // not an underestimate by more than 10x.
@@ -294,12 +566,90 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "matching levels")]
-    fn add_estimate_rejects_level_mismatch() {
+    fn add_estimate_rejects_level_mismatch_typed() {
         let ctx = setup();
         let a = NoiseEstimate::fresh(&ctx);
         let mut b = a;
         b.level -= 1;
-        a.after_add(&b);
+        match a.after_add(&b) {
+            Err(EvalError::LevelMismatch { op: "CCadd", .. }) => {}
+            other => panic!("expected typed level mismatch, got {other:?}"),
+        }
+        match a.after_mul(&b, 1.0, 1.0) {
+            Err(EvalError::LevelMismatch { op: "CCmult", .. }) => {}
+            other => panic!("expected typed level mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rescale_at_floor_is_typed_not_a_panic() {
+        let ctx = setup();
+        let mut est = NoiseEstimate::fresh(&ctx);
+        est.level = 1;
+        match est.after_rescale(&ctx) {
+            Err(EvalError::LevelExhausted { have: 1, need: 2 }) => {}
+            other => panic!("expected LevelExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_bits_is_total_and_saturating() {
+        let base = NoiseEstimate {
+            noise_std: 0.0,
+            scale: 2f64.powi(30),
+            level: 3,
+        };
+        assert_eq!(base.budget_bits(), MAX_BUDGET_BITS, "zero noise saturates");
+        let neg = NoiseEstimate {
+            noise_std: -1.0,
+            ..base
+        };
+        assert_eq!(neg.budget_bits(), MAX_BUDGET_BITS, "negative noise saturates");
+        let inf = NoiseEstimate {
+            noise_std: f64::INFINITY,
+            ..base
+        };
+        assert_eq!(inf.budget_bits(), -MAX_BUDGET_BITS, "infinite noise saturates");
+        let nan = NoiseEstimate {
+            noise_std: f64::NAN,
+            ..base
+        };
+        assert_eq!(nan.budget_bits(), 0.0, "unknown noise reads exhausted");
+        let bad_scale = NoiseEstimate {
+            noise_std: 1.0,
+            scale: f64::NAN,
+            level: 3,
+        };
+        assert_eq!(bad_scale.budget_bits(), 0.0, "broken scale reads exhausted");
+        for est in [base, neg, inf, nan, bad_scale] {
+            assert!(est.budget_bits().is_finite(), "budget must always be finite");
+        }
+    }
+
+    #[test]
+    fn params_model_tracks_context_model_within_a_few_bits() {
+        // The params-only approximation must land near the exact-prime
+        // trajectory: same shape, a few bits of slack at most.
+        let params = CkksParams::insecure_toy(4);
+        let ctx = CkksContext::new(params.clone());
+        let approx = NoiseModel::from_params(&params);
+        let exact = NoiseModel::from_context(&ctx);
+
+        let mut a = approx.fresh();
+        let mut e = NoiseEstimate::fresh(&ctx);
+        for _ in 0..3 {
+            a = a.after_mul(&a, 1.0, 1.0).unwrap();
+            a = approx.key_switch(&a);
+            a = approx.rescale(&a).unwrap();
+            e = square_step(&e, 1.0, &ctx).unwrap();
+        }
+        let _ = exact;
+        assert_eq!(a.level, e.level);
+        assert!(
+            (a.budget_bits() - e.budget_bits()).abs() < 6.0,
+            "params model {:.1} bits vs context model {:.1} bits",
+            a.budget_bits(),
+            e.budget_bits()
+        );
     }
 }

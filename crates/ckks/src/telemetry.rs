@@ -85,6 +85,58 @@ pub fn register_wire_metrics() {
     let _ = wire_metrics();
 }
 
+/// Noise-budget metric handles: per-op-kind histograms of the remaining
+/// budget bits after each evaluator op, the floor margin observed at
+/// decrypt, and counters for enforcement events (budget exhaustion,
+/// canary checks, model violations).
+pub(crate) struct NoiseMetrics {
+    /// Remaining budget bits (clamped at 0) after each op, per kind.
+    pub budget_bits: [Arc<Histogram>; 9],
+    /// Remaining budget bits at the most recent decrypt.
+    pub floor_margin_bits: Arc<Gauge>,
+    /// Histogram of budget bits observed at decrypt time.
+    pub decrypt_budget_bits: Arc<Histogram>,
+    /// Ops refused because they would cross the noise floor.
+    pub exhausted: Arc<Counter>,
+    /// Canary cross-checks performed at decrypt.
+    pub canary_checks: Arc<Counter>,
+    /// Canary checks whose measured error broke the model margin.
+    pub model_violations: Arc<Counter>,
+}
+
+impl NoiseMetrics {
+    /// Records the post-op budget for `kind` (negative budgets clamp
+    /// to the zero bucket).
+    pub fn observe_op(&self, kind: HeOpKind, budget_bits: f64) {
+        self.budget_bits[kind.index()].observe(budget_bits.max(0.0) as u64);
+    }
+
+    /// Records the floor margin seen at a decrypt.
+    pub fn observe_decrypt(&self, budget_bits: f64) {
+        self.floor_margin_bits.set(budget_bits as i64);
+        self.decrypt_budget_bits.observe(budget_bits.max(0.0) as u64);
+    }
+}
+
+pub(crate) fn noise_metrics() -> &'static NoiseMetrics {
+    static METRICS: OnceLock<NoiseMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| NoiseMetrics {
+        budget_bits: HeOpKind::ALL
+            .map(|k| global().histogram(&format!("fxhenn_noise_budget_bits{{op=\"{k}\"}}"))),
+        floor_margin_bits: global().gauge("fxhenn_noise_floor_margin_bits"),
+        decrypt_budget_bits: global().histogram("fxhenn_noise_decrypt_budget_bits"),
+        exhausted: global().counter("fxhenn_noise_exhausted_total"),
+        canary_checks: global().counter("fxhenn_noise_canary_checks_total"),
+        model_violations: global().counter("fxhenn_noise_model_violations_total"),
+    })
+}
+
+/// Registers the noise metric families so they render (at zero) before
+/// the first enforcement event.
+pub fn register_noise_metrics() {
+    let _ = noise_metrics();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +152,34 @@ mod tests {
                 "missing {name}"
             );
         }
+    }
+
+    #[test]
+    fn noise_registration_exposes_all_families() {
+        register_noise_metrics();
+        let counters = global().counters();
+        for name in [
+            "fxhenn_noise_exhausted_total",
+            "fxhenn_noise_canary_checks_total",
+            "fxhenn_noise_model_violations_total",
+        ] {
+            assert!(counters.iter().any(|(n, _)| *n == name), "missing {name}");
+        }
+        let histograms = global().histograms();
+        for kind in HeOpKind::ALL {
+            let name = format!("fxhenn_noise_budget_bits{{op=\"{kind}\"}}");
+            assert!(
+                histograms.iter().any(|(n, _)| *n == name),
+                "missing {name}"
+            );
+        }
+        assert!(histograms
+            .iter()
+            .any(|(n, _)| *n == "fxhenn_noise_decrypt_budget_bits"));
+        assert!(global()
+            .gauges()
+            .iter()
+            .any(|(n, _)| *n == "fxhenn_noise_floor_margin_bits"));
     }
 
     #[test]

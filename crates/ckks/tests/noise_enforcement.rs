@@ -1,0 +1,250 @@
+//! Runtime noise-budget enforcement, end to end: the tracked
+//! [`NoiseEstimate`] riding on every ciphertext must (a) upper-bound
+//! the error a real decrypt measures across random op chains, (b) stop
+//! an over-deep circuit with a typed error before it decrypts garbage,
+//! and (c) let the decrypt-time canary catch a kernel fault the
+//! analytic model cannot see.
+
+use fxhenn_ckks::{
+    Canary, Ciphertext, CkksContext, CkksParams, Decryptor, Encryptor, EvalError, Evaluator,
+    KeyGenerator, PublicKey, RelinKey, SecretKey, DEFAULT_CANARY_MARGIN, DEFAULT_CANARY_SLOTS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The analytic heuristics are order-of-magnitude estimates, so the
+/// envelope check allows the same generous factor the decrypt-time
+/// canary uses; the property being tested is "prediction bounds
+/// reality", not "prediction equals reality".
+const ENVELOPE_MARGIN: f64 = DEFAULT_CANARY_MARGIN;
+
+struct Fixture {
+    ctx: CkksContext,
+    pk: PublicKey,
+    dec_sk: SecretKey,
+    rk: RelinKey,
+}
+
+fn fixture(params: CkksParams, seed: u64) -> Fixture {
+    let ctx = CkksContext::new(params);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(seed));
+    let pk = kg.public_key();
+    let dec_sk = kg.secret_key();
+    let rk = kg.relin_key();
+    Fixture {
+        ctx,
+        pk,
+        dec_sk,
+        rk,
+    }
+}
+
+fn encryptor<'a>(f: &'a Fixture, seed: u64) -> Encryptor<'a, StdRng> {
+    Encryptor::new(&f.ctx, f.pk.clone(), StdRng::seed_from_u64(seed ^ 0x5EED))
+}
+
+fn max_slot_error(decrypted: &[f64], expected: &[f64]) -> f64 {
+    decrypted
+        .iter()
+        .zip(expected)
+        .map(|(&g, &e)| (g - e).abs())
+        .fold(0.0f64, f64::max)
+}
+
+/// One random pointwise op applied to both the ciphertext and its
+/// plaintext shadow. Level-consuming ops are gated on remaining depth,
+/// and magnitudes are kept small so the chain probes *noise* growth,
+/// not plaintext overflow (a separate failure mode with its own guard).
+fn random_step(
+    ev: &mut Evaluator<'_>,
+    rk: &RelinKey,
+    ct: Ciphertext,
+    shadow: &mut [f64],
+    rng: &mut StdRng,
+) -> Ciphertext {
+    let bound = shadow.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let delta: f64 = rng.gen_range(-0.5..0.5);
+            for v in shadow.iter_mut() {
+                *v += delta;
+            }
+            ev.add_scalar(&ct, delta).expect("add_scalar")
+        }
+        1 if ct.level() > 1 => {
+            let factor: f64 = rng.gen_range(-1.0..1.0);
+            for v in shadow.iter_mut() {
+                *v *= factor;
+            }
+            let scaled = ev.mul_scalar(&ct, factor).expect("mul_scalar");
+            ev.rescale(&scaled).expect("rescale")
+        }
+        2 if ct.level() > 1 && bound <= 1.5 => {
+            for v in shadow.iter_mut() {
+                *v *= *v;
+            }
+            let sq = ev.square(&ct).expect("square");
+            let lin = ev.relinearize(&sq, rk).expect("relinearize");
+            ev.rescale(&lin).expect("rescale")
+        }
+        _ => {
+            // Negation is free and keeps the chain moving at any level.
+            for v in shadow.iter_mut() {
+                *v = -*v;
+            }
+            ev.negate(&ct)
+        }
+    }
+}
+
+/// Across three (N, L) parameter points and several seeded random op
+/// chains, the measured slot error of a real decrypt stays within the
+/// analytic envelope, and the tracked budget never reads exhausted for
+/// a chain that decrypts fine.
+#[test]
+fn random_chains_stay_within_the_analytic_envelope() {
+    let points = [
+        CkksParams::insecure_toy(3),
+        CkksParams::new(2048, 4, 30, 45).expect("valid params"),
+        CkksParams::new(4096, 5, 30, 45).expect("valid params"),
+    ];
+    for (pi, params) in points.into_iter().enumerate() {
+        let f = fixture(params, 0xA11CE ^ pi as u64);
+        let dec = Decryptor::new(&f.ctx, f.dec_sk.clone());
+        for chain in 0..4u64 {
+            let seed = 0xC0FFEE ^ (pi as u64) << 8 ^ chain;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut enc = encryptor(&f, seed);
+            let mut ev = Evaluator::new(&f.ctx);
+
+            let mut shadow: Vec<f64> =
+                (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut ct = enc.encrypt(&shadow);
+            for _ in 0..6 {
+                ct = random_step(&mut ev, &f.rk, ct, &mut shadow, &mut rng);
+            }
+
+            let est = ct.noise_estimate();
+            let predicted = est.slot_error(&f.ctx);
+            let measured = max_slot_error(&dec.decrypt(&ct)[..16], &shadow);
+            assert!(
+                measured <= ENVELOPE_MARGIN * predicted,
+                "N={} chain {chain}: measured {measured:.3e} breaks the envelope \
+                 (predicted {predicted:.3e}, margin {ENVELOPE_MARGIN})",
+                f.ctx.degree(),
+            );
+            assert!(
+                ct.budget_bits() > 0.0,
+                "N={} chain {chain}: a chain that decrypts fine must not read \
+                 exhausted ({:.1} bits)",
+                f.ctx.degree(),
+                ct.budget_bits(),
+            );
+        }
+    }
+}
+
+/// An over-deep chain — repeated huge-constant multiplications — fails
+/// with the typed exhaustion error while the last accepted ciphertext
+/// still decrypts within its envelope: enforcement fires before the
+/// output would turn to garbage.
+#[test]
+fn over_deep_chain_fails_typed_instead_of_decrypting_garbage() {
+    let f = fixture(CkksParams::insecure_toy(7), 0xDEEB);
+    let dec = Decryptor::new(&f.ctx, f.dec_sk.clone());
+    let mut enc = encryptor(&f, 0xDEEB);
+    let mut ev = Evaluator::new(&f.ctx);
+    ev.set_noise_floor_bits(2.0);
+
+    let mut shadow = vec![0.5f64; 8];
+    let mut ct = enc.encrypt(&shadow);
+    let mut failure = None;
+    for _ in 0..f.ctx.max_level() {
+        let stepped = ev
+            .mul_scalar(&ct, 1e9)
+            .and_then(|scaled| ev.rescale(&scaled));
+        match stepped {
+            Ok(next) => {
+                for v in shadow.iter_mut() {
+                    *v *= 1e9;
+                }
+                ct = next;
+            }
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    let err = failure.expect("huge-constant chain must exhaust the budget");
+    assert!(
+        matches!(err, EvalError::NoiseBudgetExhausted { .. }),
+        "expected NoiseBudgetExhausted, got {err:?}"
+    );
+
+    // The last ciphertext the evaluator accepted is still meaningful.
+    let est = ct.noise_estimate();
+    let measured = max_slot_error(&dec.decrypt(&ct)[..8], &shadow);
+    let worst = shadow.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    assert!(
+        measured <= ENVELOPE_MARGIN * est.slot_error(&f.ctx),
+        "last accepted ciphertext broke its envelope: measured {measured:.3e}"
+    );
+    assert!(
+        measured < worst.abs() * 0.01,
+        "last accepted ciphertext is already garbage: error {measured:.3e} \
+         against magnitude {worst:.3e}"
+    );
+}
+
+/// A single flipped residue word — a kernel fault the analytic model
+/// cannot see — is caught by the decrypt-time canary as a typed
+/// [`EvalError::NoiseModelViolation`], while the unfaulted ciphertext
+/// verifies clean with the same canary.
+#[test]
+fn canary_catches_an_injected_kernel_fault() {
+    let f = fixture(CkksParams::insecure_toy(3), 0xFA117);
+    let dec = Decryptor::new(&f.ctx, f.dec_sk.clone());
+    let mut enc = encryptor(&f, 0xFA117);
+    let mut ev = Evaluator::new(&f.ctx);
+    let slots = f.ctx.degree() / 2;
+
+    let mut values = vec![0.5, -0.25, 0.75, 0.125];
+    let mut canary =
+        Canary::seed_into(&mut values, slots, DEFAULT_CANARY_SLOTS, 0xFA117).expect("fits");
+    let ct = enc.encrypt(&values);
+
+    // Mirror a pointwise circuit on the canary shadow.
+    let sq = ev.square(&ct).expect("square");
+    let lin = ev.relinearize(&sq, &f.rk).expect("relinearize");
+    let ct = ev.rescale(&lin).expect("rescale");
+    canary.square();
+    let ct = ev.add_scalar(&ct, 0.5).expect("add_scalar");
+    canary.add_scalar(0.5);
+
+    // Positive control: the healthy ciphertext verifies clean.
+    dec.decrypt_verified(&ct, &canary, DEFAULT_CANARY_MARGIN)
+        .expect("healthy ciphertext passes the canary check");
+
+    // Inject the fault: flip one residue word, keep the tracked noise
+    // state — exactly what a buggy kernel would produce.
+    let (scale, noise_std, msg_bound) = (ct.scale(), ct.noise_std(), ct.msg_bound());
+    let mut polys = ct.into_polys();
+    polys[0].components_mut()[0][0] ^= 1;
+    let faulty = Ciphertext::new(polys, scale).with_noise(noise_std, msg_bound);
+
+    match dec.decrypt_verified(&faulty, &canary, DEFAULT_CANARY_MARGIN) {
+        Err(EvalError::NoiseModelViolation {
+            measured,
+            predicted,
+            ..
+        }) => {
+            assert!(
+                measured > predicted,
+                "violation must report measured ({measured:.3e}) above \
+                 predicted ({predicted:.3e})"
+            );
+        }
+        other => panic!("expected NoiseModelViolation, got {other:?}"),
+    }
+}

@@ -5,7 +5,7 @@
 //! hand. The binary in `src/bin/fxhenn.rs` is a thin wrapper so the
 //! parser and command logic stay unit-testable.
 
-use crate::flow::generate_accelerator;
+use crate::flow::generate_accelerator_with_floor;
 use crate::report::{layer_table, module_table, summary};
 use crate::serve::{
     BatchDriver, ChaosService, DesignFlowService, InferenceRequest, InferenceService, ModelCache,
@@ -18,7 +18,7 @@ use fxhenn_obs::AttributionRow;
 use std::time::Duration;
 
 /// A parsed CLI invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run the design flow for a model on a device.
     Design {
@@ -26,6 +26,10 @@ pub enum Command {
         model: String,
         /// "acu9eg" or "acu15eg".
         device: String,
+        /// Plan-time noise-admission floor, in bits of remaining
+        /// budget; flows whose predicted trajectory dips to or below
+        /// this are rejected before DSE.
+        noise_floor_bits: f64,
     },
     /// Functionally co-simulate a toy network (real encryption).
     Cosim {
@@ -75,6 +79,10 @@ pub enum Command {
         seed: u64,
         /// "text" or "json".
         report: String,
+        /// Runtime noise floor for the executor's evaluator, in bits;
+        /// ops that would drop the tracked budget to or below this
+        /// fail typed instead of decrypting garbage.
+        noise_floor_bits: f64,
     },
     /// Print usage.
     Help,
@@ -126,8 +134,9 @@ fxhenn — FPGA accelerator designs for HE-CNN inference
 
 USAGE:
     fxhenn design --model <mnist|cifar10> --device <acu9eg|acu15eg>
+                  [--noise-floor-bits <f64>]
     fxhenn cosim  [--seed <u64>]
-    fxhenn infer  [--seed <u64>] [--report <text|json>]
+    fxhenn infer  [--seed <u64>] [--report <text|json>] [--noise-floor-bits <f64>]
     fxhenn info   --model <mnist|cifar10>
     fxhenn serve  [--model <mnist|cifar10>] [--requests <n>] [--deadline-ms <ms>]
                   [--queue <n>] [--tight-every <n>] [--tenants <n>] [--workers <n>]
@@ -162,6 +171,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Design {
                 model: model.to_string(),
                 device: device.to_string(),
+                noise_floor_bits: parse_f64_flag(
+                    args,
+                    "--noise-floor-bits",
+                    fxhenn_nn::DEFAULT_PLAN_FLOOR_BITS,
+                )?,
             })
         }
         Some("cosim") => Ok(Command::Cosim {
@@ -180,6 +194,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Infer {
                 seed: parse_flag(args, "--seed", 7)?,
                 report: report.to_string(),
+                noise_floor_bits: parse_f64_flag(args, "--noise-floor-bits", 0.0)?,
             })
         }
         Some("info") => {
@@ -227,6 +242,19 @@ fn parse_flag<T: std::str::FromStr>(
         Some(s) => s.parse().map_err(|_| {
             CliError::new("parse", format!("{flag} must be an integer, got {s:?}"))
         }),
+    }
+}
+
+fn parse_f64_flag(args: &[String], flag: &str, default: f64) -> Result<f64, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(CliError::new(
+                "parse",
+                format!("{flag} must be a finite number, got {s:?}"),
+            )),
+        },
     }
 }
 
@@ -280,10 +308,14 @@ fn device_of(name: &str) -> Result<FpgaDevice, CliError> {
 pub fn run(cmd: &Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Design { model, device } => {
+        Command::Design {
+            model,
+            device,
+            noise_floor_bits,
+        } => {
             let (net, params) = model_of(model)?;
             let dev = device_of(device)?;
-            let report = generate_accelerator(&net, &params, &dev)
+            let report = generate_accelerator_with_floor(&net, &params, &dev, *noise_floor_bits)
                 .map_err(|e| CliError::new(e.phase(), e.to_string()))?;
             Ok(format!(
                 "{}\n\nModules:\n{}\nLayers:\n{}",
@@ -340,6 +372,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 // this run never touches.
                 crate::telemetry::register_serve_metrics();
                 fxhenn_ckks::register_he_metrics();
+                fxhenn_ckks::register_noise_metrics();
                 fxhenn_nn::register_nn_metrics();
             }
             let cfg = ServeConfig {
@@ -424,7 +457,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Infer { seed, report } => run_infer(*seed, report),
+        Command::Infer {
+            seed,
+            report,
+            noise_floor_bits,
+        } => run_infer(*seed, report, *noise_floor_bits),
         Command::Cosim { seed } => {
             let net = fxhenn_nn::toy_mnist_like(*seed);
             let image = fxhenn_nn::synthetic_input(&net, *seed);
@@ -540,7 +577,7 @@ fn serve_metrics_once(
 /// joins the measured per-op/per-layer wall time against the analytic
 /// cycle model of the DSE-optimal design for the same program — the
 /// paper's Table I validation loop as a CLI command.
-fn run_infer(seed: u64, report: &str) -> Result<String, CliError> {
+fn run_infer(seed: u64, report: &str, noise_floor_bits: f64) -> Result<String, CliError> {
     use fxhenn_ckks::{CkksContext, Encryptor, HeOpKind, KeyGenerator};
     use fxhenn_hw::{HeOpModule, OpClass};
     use fxhenn_nn::executor::{try_encrypt_input, HeCnnExecutor};
@@ -579,6 +616,7 @@ fn run_infer(seed: u64, report: &str) -> Result<String, CliError> {
     let input = try_encrypt_input(&net, &image, &mut enc, ctx.degree() / 2)
         .map_err(|e| err(e.to_string()))?;
     let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
+    exec.set_noise_floor_bits(noise_floor_bits);
     exec.start_spans();
     exec.start_layer_spans();
     let _output = exec.try_run(&net, &input).map_err(|e| err(e.to_string()))?;
@@ -748,9 +786,38 @@ mod tests {
             cmd,
             Command::Design {
                 model: "mnist".into(),
-                device: "acu9eg".into()
+                device: "acu9eg".into(),
+                noise_floor_bits: fxhenn_nn::DEFAULT_PLAN_FLOOR_BITS,
             }
         );
+        let cmd = parse(&args(&[
+            "design",
+            "--model",
+            "mnist",
+            "--device",
+            "acu9eg",
+            "--noise-floor-bits",
+            "6.5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Design {
+                model: "mnist".into(),
+                device: "acu9eg".into(),
+                noise_floor_bits: 6.5,
+            }
+        );
+        assert!(parse(&args(&[
+            "design",
+            "--model",
+            "mnist",
+            "--device",
+            "acu9eg",
+            "--noise-floor-bits",
+            "NaN",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -806,12 +873,14 @@ mod tests {
         let err = run(&Command::Design {
             model: "resnet".into(),
             device: "acu9eg".into(),
+            noise_floor_bits: fxhenn_nn::DEFAULT_PLAN_FLOOR_BITS,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown model"), "{err}");
         let err = run(&Command::Design {
             model: "mnist".into(),
             device: "vu9p".into(),
+            noise_floor_bits: fxhenn_nn::DEFAULT_PLAN_FLOOR_BITS,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown device"), "{err}");
@@ -889,14 +958,25 @@ mod tests {
             parse(&args(&["infer"])).unwrap(),
             Command::Infer {
                 seed: 7,
-                report: "text".into()
+                report: "text".into(),
+                noise_floor_bits: 0.0,
             }
         );
         assert_eq!(
-            parse(&args(&["infer", "--seed", "3", "--report", "json"])).unwrap(),
+            parse(&args(&[
+                "infer",
+                "--seed",
+                "3",
+                "--report",
+                "json",
+                "--noise-floor-bits",
+                "1.5",
+            ]))
+            .unwrap(),
             Command::Infer {
                 seed: 3,
-                report: "json".into()
+                report: "json".into(),
+                noise_floor_bits: 1.5,
             }
         );
         let err = parse(&args(&["infer", "--report", "xml"])).unwrap_err();
@@ -1044,6 +1124,7 @@ mod tests {
         let text = run(&Command::Infer {
             seed: 3,
             report: "text".into(),
+            noise_floor_bits: 0.0,
         })
         .unwrap();
         assert!(text.contains("per-op attribution"), "{text}");
@@ -1054,6 +1135,7 @@ mod tests {
         let json = run(&Command::Infer {
             seed: 3,
             report: "json".into(),
+            noise_floor_bits: 0.0,
         })
         .unwrap();
         assert!(json.contains("\"schema\": \"fxhenn-infer-report/v1\""), "{json}");
@@ -1080,9 +1162,42 @@ mod tests {
         let cmd = Command::Design {
             model: "mnist".into(),
             device: "acu9eg".into(),
+            noise_floor_bits: fxhenn_nn::DEFAULT_PLAN_FLOOR_BITS,
         };
         let out = run(&cmd).unwrap();
         assert!(out.contains("FxHENN-MNIST"));
         assert!(out.contains("KeySwitch"));
+    }
+
+    #[test]
+    fn unreachable_noise_floor_rejects_the_design() {
+        // An absurd admission floor turns an otherwise feasible flow
+        // into a typed noise-admission failure naming the binding layer.
+        let err = run(&Command::Design {
+            model: "mnist".into(),
+            device: "acu9eg".into(),
+            noise_floor_bits: 1e6,
+        })
+        .unwrap_err();
+        assert_eq!(err.phase(), "noise-admission");
+        assert!(
+            err.to_string().contains("no noise-feasible evaluation"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unreachable_noise_floor_fails_infer_typed() {
+        // The runtime floor fires inside the executor's evaluator: the
+        // inference fails with the typed exhaustion error instead of
+        // decrypting garbage.
+        let err = run(&Command::Infer {
+            seed: 3,
+            report: "text".into(),
+            noise_floor_bits: 1e6,
+        })
+        .unwrap_err();
+        assert_eq!(err.phase(), "infer");
+        assert!(err.to_string().contains("noise budget exhausted"), "{err}");
     }
 }

@@ -7,7 +7,10 @@ use fxhenn_dse::explore::{try_explore_default, ExploredPoint};
 use fxhenn_dse::{DseError, InfeasibleDiagnosis};
 use fxhenn_hw::FpgaDevice;
 use fxhenn_math::budget::BudgetStop;
-use fxhenn_nn::{try_lower_network, HeCnnProgram, LowerError, Network};
+use fxhenn_nn::{
+    analyze_noise, try_lower_network, HeCnnProgram, LowerError, Network, NoiseInfeasible,
+    NoiseTrajectory, DEFAULT_PLAN_FLOOR_BITS,
+};
 use fxhenn_sim::{try_simulate, MeasuredResult, SimError, SimReport};
 
 /// Errors produced by the design flow.
@@ -16,6 +19,10 @@ pub enum FlowError {
     /// Lowering the network onto the parameter set failed (slots or
     /// level budget).
     Lower(LowerError),
+    /// The lowered circuit's predicted noise trajectory crosses the
+    /// admission floor: the parameters cannot evaluate this network to
+    /// a decryptable result, and the diagnosis names the binding layer.
+    NoiseInfeasible(NoiseInfeasible),
     /// No design point satisfies the device's resource constraints.
     NoFeasibleDesign {
         /// Device that rejected every point.
@@ -40,6 +47,7 @@ impl FlowError {
     pub fn phase(&self) -> &'static str {
         match self {
             FlowError::Lower(_) => "lower",
+            FlowError::NoiseInfeasible(_) => "noise-admission",
             FlowError::NoFeasibleDesign { .. } => "dse",
             FlowError::Sim(_) => "sim",
             FlowError::Cancelled(stop) => stop.phase,
@@ -51,6 +59,9 @@ impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FlowError::Lower(e) => write!(f, "lowering failed: {e}"),
+            // The diagnosis text already leads with
+            // "no noise-feasible evaluation …".
+            FlowError::NoiseInfeasible(e) => std::fmt::Display::fmt(e, f),
             // The diagnosis text already leads with
             // "no feasible accelerator design fits device …".
             FlowError::NoFeasibleDesign {
@@ -78,6 +89,7 @@ impl std::error::Error for FlowError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FlowError::Lower(e) => Some(e),
+            FlowError::NoiseInfeasible(e) => Some(e),
             FlowError::Sim(e) => Some(e),
             FlowError::Cancelled(stop) => Some(stop),
             FlowError::NoFeasibleDesign { .. } => None,
@@ -99,6 +111,8 @@ pub struct DesignReport {
     pub design: ExploredPoint,
     /// Cycle-simulated execution of the design.
     pub sim: SimReport,
+    /// The admitted plan's predicted noise trajectory.
+    pub noise: NoiseTrajectory,
     /// Security classification of the parameter set.
     pub security: SecurityLevel,
     /// Designs enumerated by the DSE.
@@ -121,12 +135,16 @@ impl DesignReport {
 }
 
 /// Runs the full FxHENN flow: lowers the network for the parameter set,
-/// explores the design space on the device, and simulates the optimum.
+/// admits the plan against the default noise floor
+/// ([`DEFAULT_PLAN_FLOOR_BITS`]), explores the design space on the
+/// device, and simulates the optimum.
 ///
 /// # Errors
 ///
 /// Returns [`FlowError::Lower`] when the network does not fit the
-/// parameter set (insufficient slots or levels), and
+/// parameter set (insufficient slots or levels),
+/// [`FlowError::NoiseInfeasible`] — naming the binding layer — when the
+/// predicted noise trajectory crosses the floor, and
 /// [`FlowError::NoFeasibleDesign`] — carrying the explorer's
 /// [`InfeasibleDiagnosis`] — when the device cannot host any
 /// configuration.
@@ -135,8 +153,21 @@ pub fn generate_accelerator(
     params: &CkksParams,
     device: &FpgaDevice,
 ) -> Result<DesignReport, FlowError> {
+    generate_accelerator_with_floor(net, params, device, DEFAULT_PLAN_FLOOR_BITS)
+}
+
+/// [`generate_accelerator`] with an explicit noise-admission floor in
+/// budget bits (the `--noise-floor-bits` knob).
+pub fn generate_accelerator_with_floor(
+    net: &Network,
+    params: &CkksParams,
+    device: &FpgaDevice,
+    noise_floor_bits: f64,
+) -> Result<DesignReport, FlowError> {
     let program =
         try_lower_network(net, params.degree(), params.levels()).map_err(FlowError::Lower)?;
+    let noise = analyze_noise(&program, net, params, noise_floor_bits)
+        .map_err(FlowError::NoiseInfeasible)?;
     let no_design = |diagnosis| FlowError::NoFeasibleDesign {
         device: device.name().to_string(),
         diagnosis,
@@ -159,6 +190,7 @@ pub fn generate_accelerator(
         program,
         design,
         sim,
+        noise,
         security: params.security(),
         points_explored,
     })
@@ -236,6 +268,57 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, FlowError::Lower(_)), "{err}");
         assert_eq!(err.phase(), "lower");
+    }
+
+    #[test]
+    fn paper_scale_flow_reports_noise_trajectory() {
+        let net = fxhenn_mnist(1);
+        let params = CkksParams::fxhenn_mnist();
+        let report =
+            generate_accelerator(&net, &params, &FpgaDevice::acu9eg()).expect("feasible");
+        assert_eq!(report.noise.layers.len(), net.layer_count());
+        assert!(
+            report.noise.terminal_budget_bits > DEFAULT_PLAN_FLOOR_BITS,
+            "terminal budget {:.1} bits",
+            report.noise.terminal_budget_bits
+        );
+    }
+
+    #[test]
+    fn pathological_weights_are_rejected_at_admission_naming_the_layer() {
+        let src = fxhenn_mnist(1);
+        let mut layers = src.layers().to_vec();
+        let first = layers[0].0.clone();
+        if let fxhenn_nn::Layer::Conv(ref mut conv) = layers[0].1 {
+            for w in conv.weights.iter_mut() {
+                *w = 1e60;
+            }
+        } else {
+            panic!("MNIST net starts with a conv");
+        }
+        let poisoned = Network::new("huge-weights", src.input_shape(), layers);
+        let err = generate_accelerator(
+            &poisoned,
+            &CkksParams::fxhenn_mnist(),
+            &FpgaDevice::acu9eg(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::NoiseInfeasible(_)), "{err}");
+        assert_eq!(err.phase(), "noise-admission");
+        assert!(err.to_string().contains(&first), "{err}");
+    }
+
+    #[test]
+    fn unreachable_floor_rejects_an_otherwise_feasible_flow() {
+        let net = fxhenn_mnist(1);
+        let err = generate_accelerator_with_floor(
+            &net,
+            &CkksParams::fxhenn_mnist(),
+            &FpgaDevice::acu9eg(),
+            1e6,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::NoiseInfeasible(_)), "{err}");
     }
 
     #[test]

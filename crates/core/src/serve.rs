@@ -60,7 +60,8 @@ use fxhenn_ckks::wire::{
 };
 use fxhenn_ckks::{
     decode_galois_keys_checksummed, decode_public_key_checksummed, decode_relin_key_checksummed,
-    Ciphertext, CkksContext, CkksParams, Encryptor, GaloisKeys, KeyGenerator, PublicKey, RelinKey,
+    Canary, Ciphertext, CkksContext, CkksParams, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+    PublicKey, RelinKey, DEFAULT_CANARY_MARGIN, DEFAULT_CANARY_SLOTS,
 };
 use fxhenn_hw::modules::{HeOpModule, ModuleConfig, OpClass};
 use fxhenn_hw::FpgaDevice;
@@ -1692,6 +1693,13 @@ impl InferenceService for DesignFlowService {
 ///   ciphertext's bytes are flipped, and the context's
 ///   `validate_ciphertext` range check rejects the decoded result
 ///   (a permanent failure);
+/// * ~5% of calls simulate noise exhaustion: a real evaluator with an
+///   unreachable noise floor refuses the operation typed
+///   (`NoiseBudgetExhausted`, a permanent failure);
+/// * ~4% of calls simulate a silent kernel fault: a decrypt-time
+///   canary check sees slot values unrelated to its expectation and
+///   raises `NoiseModelViolation` (permanent — the worker's penalty
+///   climbs toward quarantine);
 /// * ~12% of calls are transient blips (retried by the driver);
 /// * everything else succeeds, returning the request id.
 ///
@@ -1785,7 +1793,49 @@ impl InferenceService for ChaosService {
                 ))),
             };
         }
-        if roll < 20 {
+        if roll < 13 {
+            // Noise exhaustion: a real evaluator refuses the op because
+            // the predicted budget sits below the (unreachably high)
+            // floor — the same typed path a genuinely over-deep circuit
+            // takes at runtime.
+            let mut ev = Evaluator::new(&self.ctx);
+            ev.set_noise_floor_bits(1e6);
+            return match ev.add(&self.template, &self.template) {
+                Ok(_) => Ok(req.id),
+                Err(e) => Err(AttemptError::Permanent(format!(
+                    "evaluation refused: {e}"
+                ))),
+            };
+        }
+        if roll < 17 {
+            // Kernel fault: the decrypt-time canary cross-check sees
+            // slot values unrelated to its expectation and raises a
+            // noise-model violation.
+            let slots = self.ctx.degree() / 2;
+            let mut values = vec![0.25; 4];
+            let verdict = Canary::seed_into(
+                &mut values,
+                slots,
+                DEFAULT_CANARY_SLOTS,
+                self.seed ^ req.id,
+            )
+            .and_then(|canary| {
+                let garbage = vec![0.0; slots];
+                canary.verify(
+                    &garbage,
+                    &self.template.noise_estimate(),
+                    &self.ctx,
+                    DEFAULT_CANARY_MARGIN,
+                )
+            });
+            return match verdict {
+                Ok(()) => Ok(req.id),
+                Err(e) => Err(AttemptError::Permanent(format!(
+                    "canary verification failed: {e}"
+                ))),
+            };
+        }
+        if roll < 29 {
             return Err(AttemptError::Transient("injected transport blip".into()));
         }
         Ok(req.id)
@@ -2423,6 +2473,8 @@ mod tests {
         let mut b = ChaosService::from_cache(&cache, "toy", 99).expect("verifies");
         let budget = Budget::unlimited().start();
         let mut saw_corrupt = false;
+        let mut saw_exhausted = false;
+        let mut saw_canary = false;
         let mut saw_transient = false;
         let mut saw_ok = false;
         for id in 0..200 {
@@ -2433,14 +2485,23 @@ mod tests {
             match ra {
                 Ok(_) => saw_ok = true,
                 Err(AttemptError::Permanent(m)) => {
-                    assert!(m.contains("corrupt"), "{m}");
-                    saw_corrupt = true;
+                    if m.contains("corrupt") {
+                        saw_corrupt = true;
+                    } else if m.contains("evaluation refused") {
+                        assert!(m.contains("noise budget exhausted"), "{m}");
+                        saw_exhausted = true;
+                    } else if m.contains("canary verification failed") {
+                        assert!(m.contains("noise model violation"), "{m}");
+                        saw_canary = true;
+                    } else {
+                        panic!("unexpected permanent failure: {m}");
+                    }
                 }
                 Err(AttemptError::Transient(_)) => saw_transient = true,
                 Err(AttemptError::Cancelled(_)) => panic!("unlimited budget"),
             }
         }
-        assert!(saw_ok && saw_corrupt && saw_transient);
+        assert!(saw_ok && saw_corrupt && saw_exhausted && saw_canary && saw_transient);
         // Poisoned models always fail permanently.
         let r = req(0, "poisoned-v2", Duration::from_secs(1));
         assert!(matches!(

@@ -2,11 +2,16 @@
 //! batch driver.
 //!
 //! Thousands of requests across several tenants are pushed through a
-//! worker pool while five fault classes are injected on a fixed seed:
+//! worker pool while seven fault classes are injected on a fixed seed:
 //!
 //! * **corrupt ciphertexts** — `ChaosService` re-encodes its template
 //!   ciphertext with smashed tail residues and runs it through the real
 //!   decode + range-check ingress path;
+//! * **noise exhaustion** — a real evaluator with an unreachable noise
+//!   floor refuses the op with a typed `NoiseBudgetExhausted`;
+//! * **canary violations** — a decrypt-time canary cross-check sees
+//!   slot values unrelated to its expectation and raises
+//!   `NoiseModelViolation`;
 //! * **deadline storms** — every 7th request carries a zero deadline;
 //! * **poisoned models** — requests naming a `poisoned-*` model fail
 //!   permanently, and phase B poisons the shared key cache itself so
@@ -330,8 +335,11 @@ fn quarantine_cycle(seed: u64) -> (Totals, fxhenn::ServeReport) {
         driver.healthy_workers() >= 1,
         "recovery must return a worker to rotation"
     );
+    // The chaos schedule keeps injecting faults after recovery (~17%
+    // of calls fail permanently: corruption, noise exhaustion, canary
+    // violations), so "serves again" means a solid majority, not all.
     assert!(
-        served_after_repair >= 30,
+        served_after_repair >= 24,
         "the recovered pool must serve again, served {served_after_repair}"
     );
 

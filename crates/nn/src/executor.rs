@@ -15,10 +15,9 @@ use crate::model::Network;
 use crate::packing::{conv_bias_vectors, conv_offset_pack, conv_offset_weights, CtLayout};
 use crate::telemetry::{nn_metrics, LayerSpanLog};
 use crate::tensor::Tensor;
-use fxhenn_ckks::noise::square_step;
 use fxhenn_ckks::{
-    Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, NoiseEstimate, OpSpanLog,
-    OpTrace, RelinKey,
+    Ciphertext, Decryptor, Encryptor, EvalError, Evaluator, GaloisKeys, OpSpanLog, OpTrace,
+    RelinKey,
 };
 use fxhenn_math::budget::{self, Budget, Progress};
 use fxhenn_math::par;
@@ -30,12 +29,11 @@ use std::time::Instant;
 const LAYER_LEVEL_NEED: usize = 2;
 
 /// What one parallel work item (an output ciphertext) produces: the
-/// ciphertext, its analytic noise, and the child evaluator's trace and
-/// span log (when tracing/timing). Merged back into the executor in
-/// index order, so trace and spans are structured identically to a
-/// serial run's.
-type ItemResult =
-    Result<(Ciphertext, NoiseEstimate, Option<OpTrace>, Option<OpSpanLog>), ExecError>;
+/// ciphertext (carrying its analytic noise state, stamped by every
+/// evaluator op) and the child evaluator's trace and span log (when
+/// tracing/timing). Merged back into the executor in index order, so
+/// trace and spans are structured identically to a serial run's.
+type ItemResult = Result<(Ciphertext, Option<OpTrace>, Option<OpSpanLog>), ExecError>;
 
 /// The encrypted, offset-packed input of a network: one ciphertext per
 /// (output-map group, kernel offset).
@@ -122,10 +120,6 @@ struct RunState {
     abstract_layout: Layout,
     concrete: CtLayout,
     shape: Vec<usize>,
-    /// Conservative analytic noise estimate of the worst ciphertext,
-    /// advanced in lockstep with the executed HE operations so that a
-    /// run predicted to decrypt to garbage fails typed instead.
-    noise: NoiseEstimate,
 }
 
 /// Wraps an [`EvalError`] with the layer it occurred in.
@@ -134,12 +128,6 @@ fn at_layer(layer: &str) -> impl Fn(EvalError) -> ExecError + '_ {
         layer: layer.to_string(),
         source,
     }
-}
-
-/// Largest absolute value of a plaintext operand vector, for noise
-/// amplification bookkeeping.
-fn value_bound(values: &[f64]) -> f64 {
-    values.iter().fold(0.0f64, |b, &v| b.max(v.abs()))
 }
 
 impl<'a> HeCnnExecutor<'a> {
@@ -151,6 +139,18 @@ impl<'a> HeCnnExecutor<'a> {
             gks,
             layer_spans: None,
         }
+    }
+
+    /// Sets the noise floor (in remaining budget bits) below which any
+    /// evaluator operation fails typed. Propagated to the fan-out child
+    /// evaluators, so enforcement is uniform across the run.
+    pub fn set_noise_floor_bits(&mut self, bits: f64) {
+        self.ev.set_noise_floor_bits(bits);
+    }
+
+    /// The configured noise floor in budget bits.
+    pub fn noise_floor_bits(&self) -> f64 {
+        self.ev.noise_floor_bits()
     }
 
     /// Starts recording the executed HE operations.
@@ -359,15 +359,23 @@ impl<'a> HeCnnExecutor<'a> {
         }
     }
 
-    /// Checks the tracked noise estimate after an operation; fails the
-    /// run once the predicted budget is gone.
+    /// Layer-boundary defense-in-depth on the noise state the evaluator
+    /// stamps into every ciphertext: fails the run, naming the layer,
+    /// once the worst carried ciphertext has no predicted budget left.
+    /// The evaluator's own per-op floor usually fires first (wrapped as
+    /// [`ExecError::Eval`]); this check catches state assembled outside
+    /// evaluator ops.
     fn check_budget(
+        &self,
         layer: &str,
         op: &'static str,
-        noise: &NoiseEstimate,
+        cts: &[Ciphertext],
     ) -> Result<(), ExecError> {
-        let budget_bits = noise.budget_bits();
-        if budget_bits <= 0.0 {
+        let budget_bits = cts
+            .iter()
+            .map(Ciphertext::budget_bits)
+            .fold(f64::INFINITY, f64::min);
+        if budget_bits <= self.ev.noise_floor_bits() {
             return Err(ExecError::NoiseBudgetExhausted {
                 layer: layer.to_string(),
                 op,
@@ -416,9 +424,11 @@ impl<'a> HeCnnExecutor<'a> {
         let ctx = self.ev.context();
         let tracing = self.ev.is_tracing();
         let timing = self.ev.is_timing();
+        let floor = self.ev.noise_floor_bits();
         let results: Vec<ItemResult> = par::map_indexed(input.groups.len(), par::GRAIN_COARSE, |g| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
+            ev.set_noise_floor_bits(floor);
             if tracing {
                 ev.start_trace();
             }
@@ -427,25 +437,15 @@ impl<'a> HeCnnExecutor<'a> {
             }
             let offsets = &input.groups[g];
             let mut acc: Option<Ciphertext> = None;
-            let mut acc_noise = NoiseEstimate::fresh(ctx);
             for (i, ct) in offsets.iter().enumerate() {
                 let pw = ev
                     .encode_for_mul(&weights[g][i], ct.level())
                     .map_err(&err)?;
                 let prod = ev.mul_plain(ct, &pw).map_err(&err)?;
                 let rs = ev.rescale(&prod).map_err(&err)?;
-                let step = NoiseEstimate::fresh(ctx)
-                    .after_mul_plain(pw.scale(), value_bound(&weights[g][i]))
-                    .after_rescale(ctx);
                 acc = Some(match acc {
-                    None => {
-                        acc_noise = step;
-                        rs
-                    }
-                    Some(a) => {
-                        acc_noise = acc_noise.after_add(&step);
-                        ev.add(&a, &rs).map_err(&err)?
-                    }
+                    None => rs,
+                    Some(a) => ev.add(&a, &rs).map_err(&err)?,
                 });
             }
             let acc = acc.expect("at least one offset");
@@ -453,13 +453,12 @@ impl<'a> HeCnnExecutor<'a> {
                 .encode_at(&biases[g], acc.scale(), acc.level())
                 .map_err(&err)?;
             let out_ct = ev.add_plain(&acc, &bias_pt).map_err(&err)?;
-            Ok((out_ct, acc_noise, ev.take_trace(), ev.take_spans()))
+            Ok((out_ct, ev.take_trace(), ev.take_spans()))
         });
 
-        let mut noise = NoiseEstimate::fresh(ctx);
         let mut out = Vec::with_capacity(weights.len());
         for res in results {
-            let (ct, acc_noise, trace, spans) = res?;
+            let (ct, trace, spans) = res?;
             if let Some(t) = &trace {
                 self.ev.merge_trace(t);
             }
@@ -467,11 +466,8 @@ impl<'a> HeCnnExecutor<'a> {
                 self.ev.merge_spans(s);
             }
             out.push(ct);
-            if acc_noise.noise_std > noise.noise_std {
-                noise = acc_noise;
-            }
         }
-        Self::check_budget(name, "PCmult", &noise)?;
+        self.check_budget(name, "PCmult", &out)?;
 
         let n_values = conv.out_channels * positions;
         let concrete = crate::packing::conv_output_layout(conv, positions, slots);
@@ -488,7 +484,6 @@ impl<'a> HeCnnExecutor<'a> {
             abstract_layout,
             concrete,
             shape: vec![conv.out_channels, oh, ow],
-            noise,
         })
     }
 
@@ -500,9 +495,8 @@ impl<'a> HeCnnExecutor<'a> {
             let lin = self.ev.relinearize(&sq, self.rk).map_err(&err)?;
             cts.push(self.ev.rescale(&lin).map_err(&err)?);
         }
-        let noise = square_step(&st.noise, 1.0, self.ev.context());
-        Self::check_budget(name, "CCmult", &noise)?;
-        Ok(RunState { cts, noise, ..st })
+        self.check_budget(name, "CCmult", &cts)?;
+        Ok(RunState { cts, ..st })
     }
 
     fn run_channel_scale(
@@ -520,7 +514,6 @@ impl<'a> HeCnnExecutor<'a> {
             });
         }
         let per_map = st.shape[1] * st.shape[2];
-        let mut noise = st.noise;
         let mut cts = Vec::with_capacity(st.cts.len());
         for (m, ct) in st.cts.iter().enumerate() {
             let mut factors = vec![0.0; slots];
@@ -543,18 +536,9 @@ impl<'a> HeCnnExecutor<'a> {
                 .encode_at(&shifts, scaled.scale(), scaled.level())
                 .map_err(&err)?;
             cts.push(self.ev.add_plain(&scaled, &ps).map_err(&err)?);
-            let stepped = {
-                let ctx = self.ev.context();
-                st.noise
-                    .after_mul_plain(pf.scale(), value_bound(&factors))
-                    .after_rescale(ctx)
-            };
-            if stepped.noise_std > noise.noise_std || noise.level != stepped.level {
-                noise = stepped;
-            }
         }
-        Self::check_budget(name, "PCmult", &noise)?;
-        Ok(RunState { cts, noise, ..st })
+        self.check_budget(name, "PCmult", &cts)?;
+        Ok(RunState { cts, ..st })
     }
 
     fn run_dense_like(
@@ -567,30 +551,22 @@ impl<'a> HeCnnExecutor<'a> {
         bias: &(dyn Fn(usize) -> f64 + Sync),
     ) -> Result<RunState, ExecError> {
         let plan = plan_dense(&st.abstract_layout, d_out, slots);
-        let (round_cts, out_abstract, out_concrete, noise) = if plan.stacked {
+        let (round_cts, out_abstract, out_concrete) = if plan.stacked {
             self.dense_stacked(name, &st, d_out, slots, &plan, weight, bias)?
         } else {
             self.dense_per_output(name, &st, d_out, slots, &plan, weight, bias)?
         };
-        Self::check_budget(name, "PCmult", &noise)?;
+        self.check_budget(name, "PCmult", &round_cts)?;
 
         if plan.consolidate {
-            let (ct, abstract_layout, concrete, noise) = self.consolidate(
-                name,
-                &round_cts,
-                d_out,
-                slots,
-                &plan,
-                &out_abstract,
-                &noise,
-            )?;
-            Self::check_budget(name, "consolidate", &noise)?;
+            let (ct, abstract_layout, concrete) =
+                self.consolidate(name, &round_cts, d_out, slots, &plan, &out_abstract)?;
+            self.check_budget(name, "consolidate", std::slice::from_ref(&ct))?;
             Ok(RunState {
                 cts: vec![ct],
                 abstract_layout,
                 concrete,
                 shape: st.shape,
-                noise,
             })
         } else {
             Ok(RunState {
@@ -598,7 +574,6 @@ impl<'a> HeCnnExecutor<'a> {
                 abstract_layout: out_abstract,
                 concrete: out_concrete,
                 shape: st.shape,
-                noise,
             })
         }
     }
@@ -613,19 +588,16 @@ impl<'a> HeCnnExecutor<'a> {
         plan: &DensePlan,
         weight: &(dyn Fn(usize, usize) -> f64 + Sync),
         bias: &(dyn Fn(usize) -> f64 + Sync),
-    ) -> Result<(Vec<Ciphertext>, Layout, CtLayout, NoiseEstimate), ExecError> {
+    ) -> Result<(Vec<Ciphertext>, Layout, CtLayout), ExecError> {
         let err = at_layer(name);
         let d_in = st.abstract_layout.value_count();
         // Replicate the input into `copies` stacked copies. The stacking
         // prologue is a sequential dependency chain, so it runs on the
         // executor's own evaluator; only the rounds fan out.
         let mut x = st.cts[0].clone();
-        let mut x_noise = st.noise;
         for &shift in &plan.stack_shifts {
             let rot = self.ev.rotate(&x, shift, self.gks).map_err(&err)?;
             x = self.ev.add(&x, &rot).map_err(&err)?;
-            let rotated = x_noise.after_rotate(self.ev.context());
-            x_noise = x_noise.after_add(&rotated);
         }
 
         // Each round produces one independent output ciphertext from the
@@ -633,11 +605,13 @@ impl<'a> HeCnnExecutor<'a> {
         let ctx = self.ev.context();
         let tracing = self.ev.is_tracing();
         let timing = self.ev.is_timing();
+        let floor = self.ev.noise_floor_bits();
         let gks = self.gks;
         let x_ref = &x;
         let results: Vec<ItemResult> = par::map_indexed(plan.rounds, par::GRAIN_COARSE, |r| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
+            ev.set_noise_floor_bits(floor);
             if tracing {
                 ev.start_trace();
             }
@@ -658,14 +632,9 @@ impl<'a> HeCnnExecutor<'a> {
             let pw = ev.encode_for_mul(&wv, x_ref.level()).map_err(&err)?;
             let prod = ev.mul_plain(x_ref, &pw).map_err(&err)?;
             let mut acc = ev.rescale(&prod).map_err(&err)?;
-            let mut acc_noise = x_noise
-                .after_mul_plain(pw.scale(), value_bound(&wv))
-                .after_rescale(ctx);
             for &shift in &plan.sum_shifts {
                 let rot = ev.rotate(&acc, shift, gks).map_err(&err)?;
                 acc = ev.add(&acc, &rot).map_err(&err)?;
-                let rotated = acc_noise.after_rotate(ctx);
-                acc_noise = acc_noise.after_add(&rotated);
             }
             let mut bv = vec![0.0; slots];
             for s in 0..plan.copies {
@@ -678,13 +647,12 @@ impl<'a> HeCnnExecutor<'a> {
                 .encode_at(&bv, acc.scale(), acc.level())
                 .map_err(&err)?;
             let out_ct = ev.add_plain(&acc, &bias_pt).map_err(&err)?;
-            Ok((out_ct, acc_noise, ev.take_trace(), ev.take_spans()))
+            Ok((out_ct, ev.take_trace(), ev.take_spans()))
         });
 
-        let mut noise = x_noise;
         let mut round_cts = Vec::with_capacity(plan.rounds);
         for res in results {
-            let (ct, acc_noise, trace, spans) = res?;
+            let (ct, trace, spans) = res?;
             if let Some(t) = &trace {
                 self.ev.merge_trace(t);
             }
@@ -692,9 +660,6 @@ impl<'a> HeCnnExecutor<'a> {
                 self.ev.merge_spans(s);
             }
             round_cts.push(ct);
-            if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
-                noise = acc_noise;
-            }
         }
         let abstract_layout = Layout::Segmented {
             n: d_out,
@@ -703,7 +668,7 @@ impl<'a> HeCnnExecutor<'a> {
             cts: plan.rounds,
         };
         let concrete = CtLayout::segmented(d_out, plan.copies, plan.seg, slots);
-        Ok((round_cts, abstract_layout, concrete, noise))
+        Ok((round_cts, abstract_layout, concrete))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -716,16 +681,18 @@ impl<'a> HeCnnExecutor<'a> {
         plan: &DensePlan,
         weight: &(dyn Fn(usize, usize) -> f64 + Sync),
         bias: &(dyn Fn(usize) -> f64 + Sync),
-    ) -> Result<(Vec<Ciphertext>, Layout, CtLayout, NoiseEstimate), ExecError> {
+    ) -> Result<(Vec<Ciphertext>, Layout, CtLayout), ExecError> {
         // Each output k is computed independently from the shared input
         // ciphertexts: fan out with one child evaluator per output.
         let ctx = self.ev.context();
         let tracing = self.ev.is_tracing();
         let timing = self.ev.is_timing();
+        let floor = self.ev.noise_floor_bits();
         let gks = self.gks;
         let results: Vec<ItemResult> = par::map_indexed(d_out, par::GRAIN_COARSE, |k| {
             let err = at_layer(name);
             let mut ev = Evaluator::new(ctx);
+            ev.set_noise_floor_bits(floor);
             if tracing {
                 ev.start_trace();
             }
@@ -733,8 +700,6 @@ impl<'a> HeCnnExecutor<'a> {
                 ev.start_spans();
             }
             let mut prod_acc: Option<Ciphertext> = None;
-            let mut acc_noise = st.noise;
-            let mut acc_bound = 0.0f64;
             for (m, ct) in st.cts.iter().enumerate() {
                 let mut wv = vec![0.0; slots];
                 for (v, &(ct_idx, slot)) in st.concrete.placements().iter().enumerate() {
@@ -742,10 +707,8 @@ impl<'a> HeCnnExecutor<'a> {
                         wv[slot] = weight(k, v);
                     }
                 }
-                acc_bound = acc_bound.max(value_bound(&wv));
                 let pw = ev.encode_for_mul(&wv, ct.level()).map_err(&err)?;
                 let prod = ev.mul_plain(ct, &pw).map_err(&err)?;
-                acc_noise = st.noise.after_mul_plain(pw.scale(), acc_bound);
                 prod_acc = Some(match prod_acc {
                     None => prod,
                     Some(a) => ev.add(&a, &prod).map_err(&err)?,
@@ -753,12 +716,9 @@ impl<'a> HeCnnExecutor<'a> {
             }
             let prod_acc = prod_acc.expect("at least one input ct");
             let mut acc = ev.rescale(&prod_acc).map_err(&err)?;
-            acc_noise = acc_noise.after_rescale(ctx);
             for &shift in &plan.sum_shifts {
                 let rot = ev.rotate(&acc, shift, gks).map_err(&err)?;
                 acc = ev.add(&acc, &rot).map_err(&err)?;
-                let rotated = acc_noise.after_rotate(ctx);
-                acc_noise = acc_noise.after_add(&rotated);
             }
             let mut bv = vec![0.0; slots];
             bv[0] = bias(k);
@@ -766,13 +726,12 @@ impl<'a> HeCnnExecutor<'a> {
                 .encode_at(&bv, acc.scale(), acc.level())
                 .map_err(&err)?;
             let out_ct = ev.add_plain(&acc, &bias_pt).map_err(&err)?;
-            Ok((out_ct, acc_noise, ev.take_trace(), ev.take_spans()))
+            Ok((out_ct, ev.take_trace(), ev.take_spans()))
         });
 
-        let mut noise = st.noise;
         let mut round_cts = Vec::with_capacity(d_out);
         for res in results {
-            let (ct, acc_noise, trace, spans) = res?;
+            let (ct, trace, spans) = res?;
             if let Some(t) = &trace {
                 self.ev.merge_trace(t);
             }
@@ -780,13 +739,10 @@ impl<'a> HeCnnExecutor<'a> {
                 self.ev.merge_spans(s);
             }
             round_cts.push(ct);
-            if acc_noise.noise_std > noise.noise_std || noise.level != acc_noise.level {
-                noise = acc_noise;
-            }
         }
         let abstract_layout = Layout::PerOutput { n: d_out };
         let concrete = CtLayout::new(slots, d_out, (0..d_out).map(|k| (k, 0)).collect());
-        Ok((round_cts, abstract_layout, concrete, noise))
+        Ok((round_cts, abstract_layout, concrete))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -798,11 +754,9 @@ impl<'a> HeCnnExecutor<'a> {
         slots: usize,
         plan: &DensePlan,
         out_abstract: &Layout,
-        in_noise: &NoiseEstimate,
-    ) -> Result<(Ciphertext, Layout, CtLayout, NoiseEstimate), ExecError> {
+    ) -> Result<(Ciphertext, Layout, CtLayout), ExecError> {
         let err = at_layer(name);
         let mut acc: Option<Ciphertext> = None;
-        let mut noise = *in_noise;
         for (r, ct) in round_cts.iter().enumerate() {
             // Mask keeps only this round's valid output slots.
             let mut mask = vec![0.0; slots];
@@ -825,26 +779,15 @@ impl<'a> HeCnnExecutor<'a> {
             let pw = self.ev.encode_for_mul(&mask, ct.level()).map_err(&err)?;
             let prod = self.ev.mul_plain(ct, &pw).map_err(&err)?;
             let mut masked = self.ev.rescale(&prod).map_err(&err)?;
-            let mut masked_noise = {
-                let ctx = self.ev.context();
-                in_noise.after_mul_plain(pw.scale(), 1.0).after_rescale(ctx)
-            };
             if r > 0 {
                 masked = self
                     .ev
                     .rotate(&masked, plan.consolidate_shifts[r - 1], self.gks)
                     .map_err(&err)?;
-                masked_noise = masked_noise.after_rotate(self.ev.context());
             }
             acc = Some(match acc {
-                None => {
-                    noise = masked_noise;
-                    masked
-                }
-                Some(a) => {
-                    noise = noise.after_add(&masked_noise);
-                    self.ev.add(&a, &masked).map_err(&err)?
-                }
+                None => masked,
+                Some(a) => self.ev.add(&a, &masked).map_err(&err)?,
             });
         }
         let (copies, seg) = match out_abstract {
@@ -868,7 +811,7 @@ impl<'a> HeCnnExecutor<'a> {
             .collect();
         let concrete = CtLayout::new(slots, 1, placements);
         let out = acc.expect("at least one round");
-        Ok((out, abstract_layout, concrete, noise))
+        Ok((out, abstract_layout, concrete))
     }
 }
 
@@ -1213,10 +1156,16 @@ mod tests {
         let input = encrypt_input(&src, &image, &mut enc, rig.ctx.degree() / 2);
         let mut exec = HeCnnExecutor::new(&rig.ctx, &keys.rk, &keys.gks);
         let err = exec.try_run(&poisoned, &input).expect_err("must fail");
-        assert!(
-            matches!(err, ExecError::NoiseBudgetExhausted { .. }),
-            "expected NoiseBudgetExhausted, got {err:?}"
-        );
+        // The evaluator's per-op floor usually refuses the operation
+        // first (wrapped with the layer name); the executor's layer
+        // boundary check is the fallback. Either way the run must fail
+        // typed instead of decrypting garbage.
+        let exhausted = matches!(err, ExecError::NoiseBudgetExhausted { .. })
+            || matches!(
+                err.eval_source(),
+                Some(fxhenn_ckks::EvalError::NoiseBudgetExhausted { .. })
+            );
+        assert!(exhausted, "expected NoiseBudgetExhausted, got {err:?}");
     }
 
     #[test]

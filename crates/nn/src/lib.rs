@@ -15,6 +15,7 @@ pub mod executor;
 pub mod layers;
 pub mod lowering;
 pub mod model;
+pub mod noise_plan;
 pub mod packing;
 pub mod stats;
 pub mod telemetry;
@@ -29,6 +30,9 @@ pub use lowering::{
     HeLayerPlan, Layout,
 };
 pub use model::{fxhenn_cifar10, fxhenn_mnist, fxhenn_mnist_pooled, synthetic_input, toy_cryptonets_like, toy_mnist_like, Network};
+pub use noise_plan::{
+    analyze_noise, LayerNoiseProfile, NoiseInfeasible, NoiseTrajectory, DEFAULT_PLAN_FLOOR_BITS,
+};
 pub use packing::CtLayout;
 pub use telemetry::{register_nn_metrics, LayerSpanLog};
 pub use train::{accuracy, train, SyntheticTask, TrainConfig};

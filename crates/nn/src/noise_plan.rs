@@ -1,0 +1,469 @@
+//! Plan-time noise admission: the static analysis counterpart of the
+//! evaluator's runtime floor.
+//!
+//! [`analyze_noise`] walks every [`HeLayerPlan`]'s operation trace
+//! through the params-only [`NoiseModel`], carrying a worst-case
+//! [`NoiseEstimate`] and a coarse message-magnitude estimate derived
+//! from the actual layer weights. The walk predicts the budget (in
+//! bits) remaining after every HE operation, so a circuit whose noise
+//! trajectory crosses the configured floor is rejected *before* keys
+//! are generated or a single NTT runs — naming the binding layer, the
+//! same way the DSE names the binding resource of an infeasible device.
+//!
+//! The message-magnitude bookkeeping is a deliberate heuristic, matched
+//! to the evaluator's runtime tracker: plaintext-weight products scale
+//! the magnitude by the layer's largest weight times the RSS fan-in
+//! (slot values treated as incoherent), squaring activations square it.
+//! Exact per-slot bounds would require evaluating the network; the
+//! point here is catching order-of-magnitude infeasibility (over-deep
+//! chains, pathological weights) at admission time.
+
+use crate::layers::Layer;
+use crate::lowering::{HeCnnProgram, HeLayerPlan};
+use crate::model::Network;
+use fxhenn_ckks::noise::magnitude_add;
+use fxhenn_ckks::{CkksParams, HeOpKind, NoiseEstimate, NoiseModel};
+use std::fmt;
+
+/// Default plan-time admission floor in budget bits. Runtime
+/// enforcement defaults to 0 (refuse only once the message is
+/// predicted gone); admission keeps a small safety margin on top so a
+/// plan that *barely* clears zero — inside the heuristics' slack — is
+/// still rejected.
+pub const DEFAULT_PLAN_FLOOR_BITS: f64 = 2.0;
+
+/// The predicted noise trajectory of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNoiseProfile {
+    /// Layer name (Cnv1, Act1, …).
+    pub name: String,
+    /// Predicted budget bits on entry.
+    pub entry_budget_bits: f64,
+    /// Predicted budget bits after the layer's last operation.
+    pub exit_budget_bits: f64,
+    /// Worst predicted budget at any point inside the layer.
+    pub min_budget_bits: f64,
+    /// Ciphertext level after the layer.
+    pub exit_level: usize,
+}
+
+/// The predicted noise trajectory of a whole lowered program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseTrajectory {
+    /// Per-layer profiles in execution order.
+    pub layers: Vec<LayerNoiseProfile>,
+    /// Predicted budget bits at decrypt time.
+    pub terminal_budget_bits: f64,
+    /// The admission floor the trajectory was checked against.
+    pub floor_bits: f64,
+}
+
+impl NoiseTrajectory {
+    /// The layer with the least predicted headroom — the one that
+    /// binds the parameter choice.
+    pub fn binding_layer(&self) -> Option<&LayerNoiseProfile> {
+        self.layers
+            .iter()
+            .min_by(|a, b| a.min_budget_bits.total_cmp(&b.min_budget_bits))
+    }
+}
+
+/// A circuit rejected at plan time: its predicted noise trajectory
+/// crosses the admission floor (or runs out of levels to rescale).
+#[derive(Clone, PartialEq)]
+pub enum NoiseInfeasible {
+    /// The predicted budget crosses the floor at a specific operation.
+    BudgetExhausted {
+        /// The binding layer.
+        layer: String,
+        /// The operation that crosses the floor.
+        op: HeOpKind,
+        /// Predicted budget bits after that operation.
+        budget_bits: f64,
+        /// The admission floor.
+        floor_bits: f64,
+    },
+    /// The plan rescales below the last level.
+    LevelExhausted {
+        /// The binding layer.
+        layer: String,
+        /// Levels available at the offending rescale.
+        have: usize,
+        /// Levels a rescale needs.
+        need: usize,
+    },
+}
+
+impl NoiseInfeasible {
+    /// The binding layer's name.
+    pub fn layer(&self) -> &str {
+        match self {
+            NoiseInfeasible::BudgetExhausted { layer, .. }
+            | NoiseInfeasible::LevelExhausted { layer, .. } => layer,
+        }
+    }
+}
+
+impl fmt::Display for NoiseInfeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseInfeasible::BudgetExhausted {
+                layer,
+                op,
+                budget_bits,
+                floor_bits,
+            } => write!(
+                f,
+                "no noise-feasible evaluation: binding layer is {layer} \
+                 ({op} drops the predicted budget to {budget_bits:.1} bits, \
+                 floor {floor_bits:.1})"
+            ),
+            NoiseInfeasible::LevelExhausted { layer, have, need } => write!(
+                f,
+                "no noise-feasible evaluation: binding layer is {layer} \
+                 (rescale needs {need} active primes, have {have})"
+            ),
+        }
+    }
+}
+
+impl fmt::Debug for NoiseInfeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for NoiseInfeasible {}
+
+/// Largest absolute value of a slice, at least `floor`.
+fn max_abs(values: &[f64], floor: f64) -> f64 {
+    values.iter().fold(floor, |b, &v| b.max(v.abs()))
+}
+
+/// Per-layer magnitude facts the walk needs from the network: the
+/// largest plaintext operand the layer encodes (weights or scale
+/// factors) and the message magnitude its output carries, given the
+/// input's.
+struct LayerMagnitude {
+    /// Largest encoded plaintext value (weight vectors, masks,
+    /// factors); at least 1 so the clamp in `after_mul_plain` matches.
+    weight_bound: f64,
+    /// Output message magnitude from input magnitude `m`.
+    out_msg: Box<dyn Fn(f64) -> f64>,
+}
+
+fn layer_magnitude(layer: &Layer) -> LayerMagnitude {
+    match layer {
+        Layer::Conv(conv) => {
+            let w = max_abs(&conv.weights, 0.0);
+            let b = max_abs(&conv.bias, 0.0);
+            let fan_in = (conv.in_channels * conv.kernel.0 * conv.kernel.1) as f64;
+            LayerMagnitude {
+                weight_bound: w.max(1.0),
+                out_msg: Box::new(move |m| magnitude_add(m * w * fan_in.sqrt(), b)),
+            }
+        }
+        Layer::Dense(d) => {
+            let w = max_abs(&d.weights, 0.0);
+            let b = max_abs(&d.bias, 0.0);
+            let fan_in = d.in_features as f64;
+            LayerMagnitude {
+                weight_bound: w.max(1.0),
+                out_msg: Box::new(move |m| magnitude_add(m * w * fan_in.sqrt(), b)),
+            }
+        }
+        Layer::AvgPool(_) => LayerMagnitude {
+            // Pool weights are 1/(kh·kw) ≤ 1 and averaging cannot grow
+            // the message.
+            weight_bound: 1.0,
+            out_msg: Box::new(|m| m),
+        },
+        Layer::Scale(cs) => {
+            let fm = max_abs(&cs.factors, 0.0);
+            let sm = max_abs(&cs.shifts, 0.0);
+            LayerMagnitude {
+                weight_bound: fm.max(1.0),
+                out_msg: Box::new(move |m| magnitude_add(m * fm, sm)),
+            }
+        }
+        Layer::Activation(_) => LayerMagnitude {
+            weight_bound: 1.0,
+            out_msg: Box::new(|m| m * m),
+        },
+    }
+}
+
+/// Walks one layer's *per-ciphertext* operation chain, advancing
+/// `est`, and returns the worst budget seen inside the layer.
+///
+/// The plan's trace records the layer's ops across all parallel output
+/// ciphertexts; replaying them sequentially would compound noise that
+/// accumulates side by side. Instead the walk reconstructs the chain
+/// one output ciphertext experiences: op counts divide by
+/// `output_cts`, parallel products collapse into one multiplication
+/// whose add-tree grows noise by `sqrt(k)` (incoherent RSS), and the
+/// multiplicative depth comes from the layer's level delta.
+fn walk_layer(
+    plan: &HeLayerPlan,
+    model: &NoiseModel,
+    est: &mut NoiseEstimate,
+    msg_bound: f64,
+    weight_bound: f64,
+    floor_bits: f64,
+) -> Result<f64, NoiseInfeasible> {
+    let recs = plan.trace.records();
+    let outs = plan.output_cts.max(1);
+    let per = |kind: HeOpKind| {
+        let n = recs.iter().filter(|r| r.kind == kind).count();
+        n.div_ceil(outs)
+    };
+    let pc_mults = per(HeOpKind::PcMult);
+    let cc_mults = per(HeOpKind::CcMult);
+    let cc_adds = per(HeOpKind::CcAdd);
+    let key_switches =
+        per(HeOpKind::Relinearize) + per(HeOpKind::Rotate) + per(HeOpKind::Conjugate);
+    let rescales = plan.level_in.saturating_sub(plan.level_out);
+
+    est.level = plan.level_in;
+    let mut min_bits = est.budget_bits();
+    let mut check = |est: &NoiseEstimate, op: HeOpKind| -> Result<(), NoiseInfeasible> {
+        let bits = est.budget_bits();
+        min_bits = min_bits.min(bits);
+        if bits <= floor_bits {
+            return Err(NoiseInfeasible::BudgetExhausted {
+                layer: plan.name.clone(),
+                op,
+                budget_bits: bits,
+                floor_bits,
+            });
+        }
+        Ok(())
+    };
+
+    // Sequential multiplication stages one output ciphertext sees. The
+    // level delta is the ground truth for depth: a layer that consumes
+    // two levels really multiplies twice per output (e.g. mask then
+    // weights), even though its trace shows one flat pile of parallel
+    // PcMults. Pairing each mul stage with its rescale keeps the
+    // scale bookkeeping honest — rescaling more often than multiplying
+    // would divide the scale down unmatched and predict a collapse
+    // that never happens.
+    let cc_stage = cc_mults > 0;
+    let pc_stages = if pc_mults > 0 {
+        rescales.saturating_sub(usize::from(cc_stage)).max(1)
+    } else {
+        0
+    };
+    let mut remaining_rescales = rescales;
+    // The add tree combining the parallel products: k-way incoherent
+    // sum grows noise by sqrt(k). Applied once, after the first
+    // product stage.
+    let mut adds_pending = cc_adds;
+
+    if cc_stage {
+        *est = est
+            .after_mul(est, msg_bound, msg_bound)
+            .map_err(|_| NoiseInfeasible::BudgetExhausted {
+                layer: plan.name.clone(),
+                op: HeOpKind::CcMult,
+                budget_bits: est.budget_bits(),
+                floor_bits,
+            })?;
+        check(est, HeOpKind::CcMult)?;
+        if adds_pending > 0 {
+            est.noise_std *= ((1 + adds_pending) as f64).sqrt();
+            adds_pending = 0;
+            check(est, HeOpKind::CcAdd)?;
+        }
+        if remaining_rescales > 0 {
+            *est = model
+                .rescale(est)
+                .map_err(|_| NoiseInfeasible::LevelExhausted {
+                    layer: plan.name.clone(),
+                    have: est.level,
+                    need: 2,
+                })?;
+            remaining_rescales -= 1;
+            check(est, HeOpKind::Rescale)?;
+        }
+    }
+    for stage in 0..pc_stages {
+        *est = est.after_mul_plain(model.dropped_prime(est.level), weight_bound);
+        check(est, HeOpKind::PcMult)?;
+        if stage == 0 && adds_pending > 0 {
+            est.noise_std *= ((1 + adds_pending) as f64).sqrt();
+            adds_pending = 0;
+            check(est, HeOpKind::CcAdd)?;
+        }
+        if remaining_rescales > 0 {
+            *est = model
+                .rescale(est)
+                .map_err(|_| NoiseInfeasible::LevelExhausted {
+                    layer: plan.name.clone(),
+                    have: est.level,
+                    need: 2,
+                })?;
+            remaining_rescales -= 1;
+            check(est, HeOpKind::Rescale)?;
+        }
+    }
+    // Add-only layers (no product stage at all) still pay their tree.
+    if adds_pending > 0 {
+        est.noise_std *= ((1 + adds_pending) as f64).sqrt();
+        check(est, HeOpKind::CcAdd)?;
+    }
+    for _ in 0..remaining_rescales {
+        *est = model
+            .rescale(est)
+            .map_err(|_| NoiseInfeasible::LevelExhausted {
+                layer: plan.name.clone(),
+                have: est.level,
+                need: 2,
+            })?;
+        check(est, HeOpKind::Rescale)?;
+    }
+    // Key switches (relinearize, rotate-and-sum reductions) applied
+    // after the rescale: their additive noise is not divided down —
+    // correct for post-rescale rotations, conservative for the
+    // activation's relinearization.
+    for _ in 0..key_switches {
+        *est = model.key_switch(est);
+    }
+    check(est, HeOpKind::Rotate)?;
+    Ok(min_bits)
+}
+
+/// Predicts the worst-case noise trajectory of a lowered program and
+/// rejects it when the trajectory crosses `floor_bits` anywhere.
+///
+/// `net` must be the network `prog` was lowered from: the analysis
+/// reads the actual layer weights to bound message magnitudes, so a
+/// network with pathological weights fails here, naming the layer,
+/// instead of at runtime (or worse, decrypting garbage).
+///
+/// # Errors
+///
+/// Returns [`NoiseInfeasible`] naming the binding layer and operation
+/// when the predicted budget crosses the floor or a rescale runs out
+/// of levels.
+pub fn analyze_noise(
+    prog: &HeCnnProgram,
+    net: &Network,
+    params: &CkksParams,
+    floor_bits: f64,
+) -> Result<NoiseTrajectory, NoiseInfeasible> {
+    let model = NoiseModel::from_params(params);
+    let mut est = model.fresh();
+    // Inputs are assumed normalized into [-1, 1] (image convention).
+    let mut msg = 1.0f64;
+    let mut layers = Vec::with_capacity(prog.layers.len());
+    for (plan, (_, layer)) in prog.layers.iter().zip(net.layers()) {
+        let mag = layer_magnitude(layer);
+        let entry = est.budget_bits();
+        let min_bits = walk_layer(plan, &model, &mut est, msg, mag.weight_bound, floor_bits)?;
+        msg = (mag.out_msg)(msg);
+        layers.push(LayerNoiseProfile {
+            name: plan.name.clone(),
+            entry_budget_bits: entry,
+            exit_budget_bits: est.budget_bits(),
+            min_budget_bits: min_bits,
+            exit_level: est.level,
+        });
+    }
+    Ok(NoiseTrajectory {
+        layers,
+        terminal_budget_bits: est.budget_bits(),
+        floor_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowering::try_lower_network;
+    use crate::model::toy_mnist_like;
+    use fxhenn_ckks::CkksParams;
+
+    fn toy_setup() -> (Network, CkksParams, HeCnnProgram) {
+        let net = toy_mnist_like(7);
+        let params = CkksParams::insecure_toy(7);
+        let prog =
+            try_lower_network(&net, params.degree(), params.levels()).expect("toy net lowers");
+        (net, params, prog)
+    }
+
+    #[test]
+    fn toy_network_is_admitted_with_positive_terminal_budget() {
+        let (net, params, prog) = toy_setup();
+        let traj = analyze_noise(&prog, &net, &params, 0.0).expect("feasible");
+        assert_eq!(traj.layers.len(), net.layer_count());
+        assert!(
+            traj.terminal_budget_bits > 0.0,
+            "terminal budget {:.1} bits",
+            traj.terminal_budget_bits
+        );
+        // Budget can only shrink along the trajectory.
+        for w in traj.layers.windows(2) {
+            assert!(
+                w[1].exit_budget_bits <= w[0].exit_budget_bits + 1e-9,
+                "budget grew from {} to {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+        let binding = traj.binding_layer().expect("non-empty");
+        assert_eq!(
+            binding.name,
+            traj.layers.last().expect("non-empty").name,
+            "deepest layer binds a monotone trajectory"
+        );
+    }
+
+    #[test]
+    fn pathological_weights_are_rejected_naming_the_layer() {
+        let (src, params, _) = toy_setup();
+        let mut layers = src.layers().to_vec();
+        if let Layer::Conv(ref mut conv) = layers[0].1 {
+            for w in conv.weights.iter_mut() {
+                *w = 1e60;
+            }
+        } else {
+            panic!("toy net starts with a conv");
+        }
+        let poisoned = Network::new("huge-weights", &[1, 9, 9], layers);
+        let prog = try_lower_network(&poisoned, params.degree(), params.levels())
+            .expect("lowering is magnitude-blind");
+        let err = analyze_noise(&prog, &poisoned, &params, 0.0).expect_err("must reject");
+        assert_eq!(err.layer(), "Cnv1", "binding layer is the poisoned conv");
+        assert!(
+            matches!(err, NoiseInfeasible::BudgetExhausted { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("Cnv1"), "{err}");
+    }
+
+    #[test]
+    fn raising_the_floor_rejects_an_otherwise_feasible_plan() {
+        let (net, params, prog) = toy_setup();
+        let traj = analyze_noise(&prog, &net, &params, 0.0).expect("feasible at 0");
+        let binding = traj.binding_layer().expect("non-empty").clone();
+        // A floor above the worst observed margin must reject, naming
+        // the same binding layer the trajectory identified.
+        let err = analyze_noise(&prog, &net, &params, binding.min_budget_bits + 1.0)
+            .expect_err("floor above the binding margin");
+        assert_eq!(err.layer(), binding.name, "{err}");
+    }
+
+    #[test]
+    fn trajectory_tracks_level_consumption() {
+        let (net, params, prog) = toy_setup();
+        let traj = analyze_noise(&prog, &net, &params, 0.0).expect("feasible");
+        for (profile, plan) in traj.layers.iter().zip(&prog.layers) {
+            assert_eq!(
+                profile.exit_level, plan.level_out,
+                "analysis level for {} disagrees with the plan",
+                profile.name
+            );
+        }
+    }
+}

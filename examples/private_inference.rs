@@ -33,7 +33,7 @@ fn main() {
     let mut est = NoiseEstimate::fresh(&ctx);
     println!("fresh: {:.1} budget bits", est.budget_bits());
     for d in 1..=2 {
-        est = square_step(&est, 2.0, &ctx);
+        est = square_step(&est, 2.0, &ctx).expect("depth 2 fits the L = 7 budget");
         println!("after square #{d}: {:.1} budget bits (level {})", est.budget_bits(), est.level);
     }
 
