@@ -2,9 +2,10 @@
 //! the repository root so performance regressions are visible in review.
 //!
 //! Times the layers of the software stack the FPGA model accelerates:
-//! raw NTT passes, the five HE operations (paper OP1–OP5), the
-//! mul→relinearize→rescale→rotate hot chain at the MNIST ring degree,
-//! and one end-to-end toy HE-CNN inference.
+//! raw NTT passes, the five HE operations (paper OP1–OP5), the two
+//! composite workloads (OP6 sign evaluation, OP7 blocked ct×ct matmul),
+//! the mul→relinearize→rescale→rotate hot chain at the MNIST ring
+//! degree, and one end-to-end toy HE-CNN inference.
 //!
 //! Run with: `cargo run --release -p fxhenn-bench --bin bench_baseline`
 //!
@@ -161,6 +162,46 @@ fn he_op_entries(tiny: bool, entries: &mut Vec<Entry>) {
     entries.push(Entry { name: format!("rotate_op5_n{n}_l{l}"), ns_per_iter: ns, n, l });
 }
 
+fn composite_entries(tiny: bool, entries: &mut Vec<Entry>) {
+    // The two composite workloads registered behind OP6/OP7: a Low-preset
+    // composite sign evaluation (f∘g minimax stages) and one blocked
+    // ct×ct matmul at the degree's canonical block dimension. Both are
+    // macro-recorded ops, so these numbers are what the hardware model's
+    // OP6/OP7 cost rows are calibrated against.
+    let (n, l) = if tiny { (512, 9) } else { (4096, 9) };
+    let (rig, m) = setup(n, l);
+    let mut ev = Evaluator::new(&rig.ctx);
+    let iters = if tiny { 2 } else { 4 };
+    let ns = time_ns(1, iters, || {
+        black_box(
+            fxhenn_ckks::sign(&mut ev, &m.ct_a, &m.rk, fxhenn_ckks::SignPreset::Low)
+                .expect("bench sign"),
+        );
+    });
+    entries.push(Entry { name: format!("sign_eval_low_n{n}_l{l}"), ns_per_iter: ns, n, l });
+
+    let (n, l) = if tiny { (512, 5) } else { (4096, 5) };
+    let d = fxhenn_ckks::matmul_block_dim(n);
+    let params = CkksParams::new(n, l, 30, 45).expect("valid bench params");
+    let ctx = CkksContext::new(params);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(5));
+    let pk = kg.public_key();
+    let rk = kg.relin_key();
+    let gks = kg.galois_keys(&fxhenn_ckks::required_rotations(d, ctx.degree() / 2));
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(6));
+    let a: Vec<f64> = (0..d * d).map(|i| ((i % 7) as f64 - 3.0) / 8.0).collect();
+    let ct_a = enc.encrypt(&fxhenn_ckks::encode_block(&a, d, ctx.degree() / 2));
+    let ct_b = ct_a.clone();
+    let mut ev = Evaluator::new(&ctx);
+    let iters = if tiny { 2 } else { 3 };
+    let ns = time_ns(1, iters, || {
+        black_box(
+            fxhenn_ckks::ct_matmul(&mut ev, &ct_a, &ct_b, &rk, &gks, d).expect("bench matmul"),
+        );
+    });
+    entries.push(Entry { name: format!("ct_matmul_blocked_n{n}_l{l}"), ns_per_iter: ns, n, l });
+}
+
 fn chain_entry(tiny: bool, entries: &mut Vec<Entry>) {
     // The headline chain the in-place kernels target: one activation
     // step's worth of work at the paper's MNIST ring degree.
@@ -300,6 +341,7 @@ fn collect_entries(tiny: bool) -> Vec<Entry> {
     let mut entries = Vec::new();
     ntt_entries(tiny, &mut entries);
     he_op_entries(tiny, &mut entries);
+    composite_entries(tiny, &mut entries);
     chain_entry(tiny, &mut entries);
     toy_layer_entry(&mut entries);
     budget_entries(&mut entries);
@@ -335,6 +377,9 @@ fn collect_pending_groups(tiny: bool, pending: &[String]) -> Vec<Entry> {
     }
     if need(&["ccadd_", "pcmult_", "ccmult_", "rescale_", "relinearize_", "rotate_"]) {
         he_op_entries(tiny, &mut entries);
+    }
+    if need(&["sign_", "ct_matmul_"]) {
+        composite_entries(tiny, &mut entries);
     }
     if need(&["chain_"]) {
         chain_entry(tiny, &mut entries);

@@ -144,7 +144,7 @@ impl InferenceService for CkksEvalService {
             .map_err(|e| AttemptError::Permanent(format!("rejected request frame: {e}")))?;
         let mut eval = Evaluator::new(&self.ctx);
         let chained = eval
-            .square_view(&view)
+            .square(&view)
             .and_then(|sq| eval.relinearize(&sq, &self.relin))
             .and_then(|lin| eval.rescale(&lin))
             .map_err(|e| AttemptError::Permanent(format!("evaluation failed: {e}")))?;

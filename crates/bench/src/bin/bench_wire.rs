@@ -117,7 +117,7 @@ fn measure_point(n: usize, levels: usize, iters: u64) -> (Entry, Entry) {
         black_box(fxhenn_ckks::decode_ciphertext_v2(v2_frame.as_bytes()).expect("round-trip"));
     });
     // Ingest-to-first-op: receive buffer → borrowed decode + range
-    // check → add_view, exactly the serve request path.
+    // check → add on the view, exactly the serve request path.
     let mut rx = AlignedBytes::new();
     push_frame(&mut rx, v2_frame.as_bytes());
     let v2_ingest_us = average_us(iters, || {
@@ -126,7 +126,7 @@ fn measure_point(n: usize, levels: usize, iters: u64) -> (Entry, Entry) {
             .expect("one frame")
             .expect("well-formed");
         let view = ingest_ciphertext(&ctx, payload).expect("honest bytes");
-        black_box(eval.add_view(&view, &view).expect("same level"));
+        black_box(eval.add(&view, &view).expect("same level"));
     });
 
     let mk = |tag: &str, payload: usize, enc: f64, dec: f64, ing: f64, copied: u64| Entry {

@@ -25,8 +25,98 @@ use fxhenn_math::budget::{self, Progress};
 use fxhenn_math::modops::{sub_mod, ShoupMul};
 use fxhenn_math::par;
 use crate::wire::CiphertextView;
-use fxhenn_math::poly::{mul_pointwise_of, Domain, RnsPoly};
+use fxhenn_math::poly::{mul_pointwise_of, Domain, PolyLimbs, RnsPoly};
 use std::time::Instant;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for crate::cipher::Ciphertext {}
+    impl Sealed for crate::wire::CiphertextView<'_> {}
+}
+
+/// A unified evaluator operand: implemented for owned [`Ciphertext`]s
+/// and borrowed wire [`CiphertextView`]s, so `add`, `mul`, `mul_plain`
+/// and `square` accept any mix of the two without duplicated `*_view`
+/// method pairs.
+///
+/// The trait is sealed: the two implementations fix the noise-tracking
+/// contract (owned ciphertexts carry tracked estimates; views are
+/// costed as fresh client encryptions), and outside implementations
+/// could not uphold it.
+pub trait EvalOps: sealed::Sealed + Sync {
+    /// Borrowed limb source for one component polynomial.
+    type Limbs<'p>: PolyLimbs
+    where
+        Self: 'p;
+
+    /// Ciphertext level (number of RNS components).
+    fn level(&self) -> usize;
+    /// Number of component polynomials.
+    fn size(&self) -> usize;
+    /// Encoding scale.
+    fn scale(&self) -> f64;
+    /// Component polynomial `i` as a limb source.
+    fn limbs(&self, i: usize) -> Self::Limbs<'_>;
+    /// The noise estimate this operand enters an operation with.
+    fn operand_estimate(&self, ev: &Evaluator<'_>) -> NoiseEstimate;
+    /// The tracked message magnitude bound (1.0 for wire views).
+    fn operand_msg_bound(&self) -> f64;
+
+    /// True for 2-polynomial (relinearized) operands.
+    fn is_linear(&self) -> bool {
+        self.size() == 2
+    }
+}
+
+impl EvalOps for Ciphertext {
+    type Limbs<'p> = &'p RnsPoly;
+
+    fn level(&self) -> usize {
+        Ciphertext::level(self)
+    }
+    fn size(&self) -> usize {
+        Ciphertext::size(self)
+    }
+    fn scale(&self) -> f64 {
+        Ciphertext::scale(self)
+    }
+    fn limbs(&self, i: usize) -> &RnsPoly {
+        self.poly(i)
+    }
+    fn operand_estimate(&self, _ev: &Evaluator<'_>) -> NoiseEstimate {
+        self.noise_estimate()
+    }
+    fn operand_msg_bound(&self) -> f64 {
+        self.msg_bound()
+    }
+}
+
+impl EvalOps for CiphertextView<'_> {
+    type Limbs<'p>
+        = fxhenn_math::poly::BorrowedRnsPoly<'p>
+    where
+        Self: 'p;
+
+    fn level(&self) -> usize {
+        CiphertextView::level(self)
+    }
+    fn size(&self) -> usize {
+        CiphertextView::size(self)
+    }
+    fn scale(&self) -> f64 {
+        CiphertextView::scale(self)
+    }
+    fn limbs(&self, i: usize) -> fxhenn_math::poly::BorrowedRnsPoly<'_> {
+        self.poly(i)
+    }
+    fn operand_estimate(&self, ev: &Evaluator<'_>) -> NoiseEstimate {
+        // Views carry no tracked state: assume a fresh client input.
+        ev.view_estimate(CiphertextView::scale(self), CiphertextView::level(self))
+    }
+    fn operand_msg_bound(&self) -> f64 {
+        1.0
+    }
+}
 
 /// Relative scale mismatch tolerated by additive operations.
 const SCALE_TOLERANCE: f64 = 1e-9;
@@ -220,6 +310,33 @@ impl<'a> Evaluator<'a> {
         m.latency[kind.index()].observe(nanos);
     }
 
+    /// Runs a composite operation (`Sign` stage, `CtMatmul` block) with
+    /// trace and span recording *suspended*, then books a single macro
+    /// record of `kind` at `level` covering the whole region.
+    ///
+    /// Traces therefore describe workload structure — one record per
+    /// registered op, matching what the analytic lowering emits and what
+    /// the hardware model costs — while the always-on global telemetry
+    /// still counts every constituent primitive (plus the macro marker
+    /// itself), preserving cumulative work accounting.
+    pub(crate) fn record_macro<T>(
+        &mut self,
+        kind: HeOpKind,
+        level: usize,
+        f: impl FnOnce(&mut Self) -> Result<T, EvalError>,
+    ) -> Result<T, EvalError> {
+        self.budget_gate()?;
+        let started = Instant::now();
+        let trace = self.trace.take();
+        let spans = self.spans.take();
+        let result = f(self);
+        self.trace = trace;
+        self.spans = spans;
+        let out = result?;
+        self.record(kind, level, started);
+        Ok(out)
+    }
+
     /// Pops a scratch polynomial (arbitrary shape and contents — callers
     /// `reshape`/`copy_from` it) or mints one if the pool is empty.
     fn take_scratch(&mut self) -> RnsPoly {
@@ -303,10 +420,10 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn check_matching(
+    fn check_matching<A: EvalOps, B: EvalOps>(
         op: &'static str,
-        a: &Ciphertext,
-        b: &Ciphertext,
+        a: &A,
+        b: &B,
     ) -> Result<(), EvalError> {
         if a.level() != b.level() {
             return Err(EvalError::LevelMismatch {
@@ -325,24 +442,42 @@ impl<'a> Evaluator<'a> {
         Self::check_same_scale(a.scale(), b.scale())
     }
 
-    /// Ciphertext + ciphertext addition (CCadd, OP1).
+    /// Ciphertext + ciphertext addition (CCadd, OP1) over any operand
+    /// mix: owned ciphertexts or borrowed wire views, read in place.
+    /// Bit-identical across the operand types — the limb kernels run on
+    /// the same values either way.
     ///
     /// # Errors
     ///
     /// Fails on level, size or scale mismatch, or when the ambient
     /// budget has stopped.
-    pub fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+    pub fn add<A: EvalOps, B: EvalOps>(
+        &mut self,
+        a: &A,
+        b: &B,
+    ) -> Result<Ciphertext, EvalError> {
         self.budget_gate()?;
         let started = Instant::now();
         Self::check_matching("CCadd", a, b)?;
-        let est = a.noise_estimate().after_add(&b.noise_estimate())?;
+        let est = a
+            .operand_estimate(self)
+            .after_add(&b.operand_estimate(self))?;
         self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
-        let mut out = a.clone();
-        for i in 0..out.size() {
-            out.poly_mut(i).add_assign(b.poly(i), moduli);
+        let mut polys = Vec::with_capacity(a.size());
+        for i in 0..a.size() {
+            let mut p = self.take_scratch();
+            p.copy_from_limbs(&a.limbs(i));
+            p.add_assign(&b.limbs(i), moduli);
+            polys.push(p);
         }
-        Self::stamp_noise(&mut out, HeOpKind::CcAdd, &est, magnitude_add(a.msg_bound(), b.msg_bound()));
+        let mut out = Ciphertext::new(polys, a.scale());
+        Self::stamp_noise(
+            &mut out,
+            HeOpKind::CcAdd,
+            &est,
+            magnitude_add(a.operand_msg_bound(), b.operand_msg_bound()),
+        );
         self.record(HeOpKind::CcAdd, a.level(), started);
         Ok(out)
     }
@@ -431,16 +566,17 @@ impl<'a> Evaluator<'a> {
         Ok(out)
     }
 
-    /// Plaintext × ciphertext multiplication (PCmult, OP2). The output
-    /// scale is the product of the input scales; follow with
+    /// Plaintext × ciphertext multiplication (PCmult, OP2) over an owned
+    /// ciphertext or a borrowed wire view. The output scale is the
+    /// product of the input scales; follow with
     /// [`rescale`](Evaluator::rescale) to bring it back down.
     ///
     /// # Errors
     ///
     /// Fails on level mismatch or when the ambient budget has stopped.
-    pub fn mul_plain(
+    pub fn mul_plain<A: EvalOps>(
         &mut self,
-        a: &Ciphertext,
+        a: &A,
         pt: &Plaintext,
     ) -> Result<Ciphertext, EvalError> {
         self.budget_gate()?;
@@ -452,32 +588,42 @@ impl<'a> Evaluator<'a> {
                 right: pt.level(),
             });
         }
-        let est = a.noise_estimate().after_mul_plain(pt.scale(), pt.value_bound());
+        let est = a
+            .operand_estimate(self)
+            .after_mul_plain(pt.scale(), pt.value_bound());
         self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
-        let mut out = a.clone();
-        for i in 0..out.size() {
-            out.poly_mut(i).mul_pointwise_assign(pt.poly(), moduli);
+        let mut polys = Vec::with_capacity(a.size());
+        for i in 0..a.size() {
+            let mut p = self.take_scratch();
+            p.copy_from_limbs(&a.limbs(i));
+            p.mul_pointwise_assign(pt.poly(), moduli);
+            polys.push(p);
         }
-        out.set_scale(a.scale() * pt.scale());
+        let mut out = Ciphertext::new(polys, a.scale() * pt.scale());
         Self::stamp_noise(
             &mut out,
             HeOpKind::PcMult,
             &est,
-            a.msg_bound() * pt.value_bound(),
+            a.operand_msg_bound() * pt.value_bound(),
         );
         self.record(HeOpKind::PcMult, a.level(), started);
         Ok(out)
     }
 
-    /// Ciphertext × ciphertext multiplication (CCmult, OP3), producing a
+    /// Ciphertext × ciphertext multiplication (CCmult, OP3) over any
+    /// operand mix (owned or borrowed wire views), producing a
     /// 3-polynomial ciphertext; relinearize before rescaling or rotating.
     ///
     /// # Errors
     ///
     /// Fails unless both inputs are 2-polynomial ciphertexts at the
     /// same level, or when the ambient budget has stopped.
-    pub fn mul(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+    pub fn mul<A: EvalOps, B: EvalOps>(
+        &mut self,
+        a: &A,
+        b: &B,
+    ) -> Result<Ciphertext, EvalError> {
         self.budget_gate()?;
         let started = Instant::now();
         if !a.is_linear() || !b.is_linear() {
@@ -492,9 +638,11 @@ impl<'a> Evaluator<'a> {
                 right: b.level(),
             });
         }
-        let est = a
-            .noise_estimate()
-            .after_mul(&b.noise_estimate(), a.msg_bound(), b.msg_bound())?;
+        let est = a.operand_estimate(self).after_mul(
+            &b.operand_estimate(self),
+            a.operand_msg_bound(),
+            b.operand_msg_bound(),
+        )?;
         self.enforce_floor(&est)?;
         let moduli = self.ctx.moduli_at(a.level());
 
@@ -511,14 +659,14 @@ impl<'a> Evaluator<'a> {
             let mut prods = par::map_indexed(3, prod_grain, |k| {
                 let mut out = RnsPoly::zero(n, 1, Domain::Ntt);
                 match k {
-                    0 => a.poly(0).mul_pointwise_into(b.poly(0), moduli, &mut out),
+                    0 => mul_pointwise_of(&a.limbs(0), &b.limbs(0), moduli, &mut out),
                     1 => {
                         // d1 = a0·b1 + a1·b0, fused so no cross-term
                         // temporary exists.
-                        a.poly(0).mul_pointwise_into(b.poly(1), moduli, &mut out);
-                        out.add_mul_pointwise(a.poly(1), b.poly(0), moduli);
+                        mul_pointwise_of(&a.limbs(0), &b.limbs(1), moduli, &mut out);
+                        out.add_mul_pointwise(&a.limbs(1), &b.limbs(0), moduli);
                     }
-                    _ => a.poly(1).mul_pointwise_into(b.poly(1), moduli, &mut out),
+                    _ => mul_pointwise_of(&a.limbs(1), &b.limbs(1), moduli, &mut out),
                 }
                 out
             });
@@ -528,211 +676,38 @@ impl<'a> Evaluator<'a> {
             (d0, d1, d2)
         } else {
             let mut d0 = self.take_scratch();
-            a.poly(0).mul_pointwise_into(b.poly(0), moduli, &mut d0);
+            mul_pointwise_of(&a.limbs(0), &b.limbs(0), moduli, &mut d0);
 
             // d1 = a0·b1 + a1·b0, fused so no cross-term temporary exists.
             let mut d1 = self.take_scratch();
-            a.poly(0).mul_pointwise_into(b.poly(1), moduli, &mut d1);
-            d1.add_mul_pointwise(a.poly(1), b.poly(0), moduli);
+            mul_pointwise_of(&a.limbs(0), &b.limbs(1), moduli, &mut d1);
+            d1.add_mul_pointwise(&a.limbs(1), &b.limbs(0), moduli);
 
             let mut d2 = self.take_scratch();
-            a.poly(1).mul_pointwise_into(b.poly(1), moduli, &mut d2);
+            mul_pointwise_of(&a.limbs(1), &b.limbs(1), moduli, &mut d2);
             (d0, d1, d2)
         };
 
         self.record(HeOpKind::CcMult, a.level(), started);
         let mut out = Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale());
-        Self::stamp_noise(&mut out, HeOpKind::CcMult, &est, a.msg_bound() * b.msg_bound());
+        Self::stamp_noise(
+            &mut out,
+            HeOpKind::CcMult,
+            &est,
+            a.operand_msg_bound() * b.operand_msg_bound(),
+        );
         Ok(out)
     }
 
-    /// Homomorphic squaring: CCmult of a ciphertext with itself (the form
-    /// used by the square activation layers of HE-CNNs).
+    /// Homomorphic squaring: CCmult of an operand with itself (the form
+    /// used by the square activation layers of HE-CNNs), accepting owned
+    /// ciphertexts and borrowed wire views alike.
     ///
     /// # Errors
     ///
     /// Fails as [`mul`](Evaluator::mul) does.
-    pub fn square(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+    pub fn square<A: EvalOps>(&mut self, a: &A) -> Result<Ciphertext, EvalError> {
         self.mul(a, a)
-    }
-
-    fn check_matching_views(
-        op: &'static str,
-        a: &CiphertextView<'_>,
-        b: &CiphertextView<'_>,
-    ) -> Result<(), EvalError> {
-        if a.level() != b.level() {
-            return Err(EvalError::LevelMismatch {
-                op,
-                left: a.level(),
-                right: b.level(),
-            });
-        }
-        if a.size() != b.size() {
-            return Err(EvalError::SizeMismatch {
-                op,
-                left: a.size(),
-                right: b.size(),
-            });
-        }
-        Self::check_same_scale(a.scale(), b.scale())
-    }
-
-    /// CCadd directly from borrowed wire views: reads both operands in
-    /// place over their receive buffers and materializes only the output.
-    /// Bit-identical to decoding owned copies and calling
-    /// [`add`](Evaluator::add) — the limb kernels run on the same values
-    /// either way.
-    ///
-    /// # Errors
-    ///
-    /// Fails as [`add`](Evaluator::add) does.
-    pub fn add_view(
-        &mut self,
-        a: &CiphertextView<'_>,
-        b: &CiphertextView<'_>,
-    ) -> Result<Ciphertext, EvalError> {
-        self.budget_gate()?;
-        let started = Instant::now();
-        Self::check_matching_views("CCadd", a, b)?;
-        // Views carry no tracked state: assume two fresh client inputs.
-        let est = self
-            .view_estimate(a.scale(), a.level())
-            .after_add(&self.view_estimate(b.scale(), b.level()))?;
-        self.enforce_floor(&est)?;
-        let moduli = self.ctx.moduli_at(a.level());
-        let mut polys = Vec::with_capacity(a.size());
-        for i in 0..a.size() {
-            let mut p = self.take_scratch();
-            p.copy_from_limbs(&a.poly(i));
-            p.add_assign(&b.poly(i), moduli);
-            polys.push(p);
-        }
-        self.record(HeOpKind::CcAdd, a.level(), started);
-        let mut out = Ciphertext::new(polys, a.scale());
-        Self::stamp_noise(&mut out, HeOpKind::CcAdd, &est, 2.0);
-        Ok(out)
-    }
-
-    /// PCmult with the ciphertext operand read in place from a borrowed
-    /// wire view.
-    ///
-    /// # Errors
-    ///
-    /// Fails as [`mul_plain`](Evaluator::mul_plain) does.
-    pub fn mul_plain_view(
-        &mut self,
-        a: &CiphertextView<'_>,
-        pt: &Plaintext,
-    ) -> Result<Ciphertext, EvalError> {
-        self.budget_gate()?;
-        let started = Instant::now();
-        if a.level() != pt.level() {
-            return Err(EvalError::LevelMismatch {
-                op: "PCmult",
-                left: a.level(),
-                right: pt.level(),
-            });
-        }
-        let est = self
-            .view_estimate(a.scale(), a.level())
-            .after_mul_plain(pt.scale(), pt.value_bound());
-        self.enforce_floor(&est)?;
-        let moduli = self.ctx.moduli_at(a.level());
-        let mut polys = Vec::with_capacity(a.size());
-        for i in 0..a.size() {
-            let mut p = self.take_scratch();
-            p.copy_from_limbs(&a.poly(i));
-            p.mul_pointwise_assign(pt.poly(), moduli);
-            polys.push(p);
-        }
-        self.record(HeOpKind::PcMult, a.level(), started);
-        let mut out = Ciphertext::new(polys, a.scale() * pt.scale());
-        Self::stamp_noise(&mut out, HeOpKind::PcMult, &est, pt.value_bound());
-        Ok(out)
-    }
-
-    /// CCmult directly from borrowed wire views: the three tensor
-    /// products read both operands straight out of the receive buffers.
-    ///
-    /// # Errors
-    ///
-    /// Fails as [`mul`](Evaluator::mul) does.
-    pub fn mul_view(
-        &mut self,
-        a: &CiphertextView<'_>,
-        b: &CiphertextView<'_>,
-    ) -> Result<Ciphertext, EvalError> {
-        self.budget_gate()?;
-        let started = Instant::now();
-        if !a.is_linear() || !b.is_linear() {
-            return Err(EvalError::NonLinearProduct {
-                size: if a.is_linear() { b.size() } else { a.size() },
-            });
-        }
-        if a.level() != b.level() {
-            return Err(EvalError::LevelMismatch {
-                op: "CCmult",
-                left: a.level(),
-                right: b.level(),
-            });
-        }
-        let est = self
-            .view_estimate(a.scale(), a.level())
-            .after_mul(&self.view_estimate(b.scale(), b.level()), 1.0, 1.0)?;
-        self.enforce_floor(&est)?;
-        let moduli = self.ctx.moduli_at(a.level());
-
-        // Same fan-out decision and per-product math as the owned
-        // `mul`, so the result is bit-identical to decode-then-multiply.
-        let prod_grain = moduli
-            .len()
-            .saturating_mul(par::grain_linear(self.ctx.degree()));
-        let (d0, d1, d2) = if par::planned_threads(3, prod_grain) > 1 {
-            let n = self.ctx.degree();
-            let mut prods = par::map_indexed(3, prod_grain, |k| {
-                let mut out = RnsPoly::zero(n, 1, Domain::Ntt);
-                match k {
-                    0 => mul_pointwise_of(&a.poly(0), &b.poly(0), moduli, &mut out),
-                    1 => {
-                        mul_pointwise_of(&a.poly(0), &b.poly(1), moduli, &mut out);
-                        out.add_mul_pointwise(&a.poly(1), &b.poly(0), moduli);
-                    }
-                    _ => mul_pointwise_of(&a.poly(1), &b.poly(1), moduli, &mut out),
-                }
-                out
-            });
-            let d2 = prods.pop().expect("three products");
-            let d1 = prods.pop().expect("three products");
-            let d0 = prods.pop().expect("three products");
-            (d0, d1, d2)
-        } else {
-            let mut d0 = self.take_scratch();
-            mul_pointwise_of(&a.poly(0), &b.poly(0), moduli, &mut d0);
-
-            let mut d1 = self.take_scratch();
-            mul_pointwise_of(&a.poly(0), &b.poly(1), moduli, &mut d1);
-            d1.add_mul_pointwise(&a.poly(1), &b.poly(0), moduli);
-
-            let mut d2 = self.take_scratch();
-            mul_pointwise_of(&a.poly(1), &b.poly(1), moduli, &mut d2);
-            (d0, d1, d2)
-        };
-
-        self.record(HeOpKind::CcMult, a.level(), started);
-        let mut out = Ciphertext::new(vec![d0, d1, d2], a.scale() * b.scale());
-        Self::stamp_noise(&mut out, HeOpKind::CcMult, &est, 1.0);
-        Ok(out)
-    }
-
-    /// Homomorphic squaring straight from a borrowed wire view — the
-    /// ingest-to-first-op path `bench_wire` measures.
-    ///
-    /// # Errors
-    ///
-    /// Fails as [`mul`](Evaluator::mul) does.
-    pub fn square_view(&mut self, a: &CiphertextView<'_>) -> Result<Ciphertext, EvalError> {
-        self.mul_view(a, a)
     }
 
     /// Relinearization (OP5 KeySwitch): reduces a 3-polynomial ciphertext

@@ -44,10 +44,12 @@ pub mod encrypt;
 pub mod eval;
 pub mod keys;
 pub mod linalg;
+pub mod matmul;
 pub mod noise;
 pub mod params;
 pub mod security;
 pub mod serialize;
+pub mod sgn;
 pub mod telemetry;
 pub mod trace;
 pub mod wire;
@@ -58,7 +60,10 @@ pub use context::CkksContext;
 pub use encoding::CkksEncoder;
 pub use encrypt::{Decryptor, Encryptor, SymmetricEncryptor};
 pub use error::EvalError;
-pub use eval::Evaluator;
+pub use eval::{EvalOps, Evaluator};
+pub use matmul::{
+    ct_matmul, decode_block, encode_block, matmul_reference, required_rotations, MATMUL_DEPTH,
+};
 pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, RelinKey, SecretKey};
 pub use noise::{NoiseEstimate, NoiseModel};
 pub use params::{CkksParams, ParamsError};
@@ -72,7 +77,15 @@ pub use security::{estimate_security, SecurityLevel};
 pub use telemetry::{
     register_he_metrics, register_noise_metrics, register_wire_metrics, OpSpanLog,
 };
-pub use trace::{HeOpKind, HeOpRecord, OpTrace};
+pub use sgn::{
+    align_scale, argmax_depth, encrypted_argmax, max_pool2, max_pool2_depth, relu_approx,
+    relu_depth, sign, sign_reference, sign_reference_with_bound, sign_with_bound, ScoredClass,
+    SignPreset,
+};
+pub use trace::{
+    bsgs_rotations, matmul_block_dim, ntt_mults, HeOpKind, HeOpRecord, OpSpec, OpTrace,
+    OP_REGISTRY,
+};
 pub use wire::{
     copy_fallback_forced, decode_ciphertext_v2, decode_galois_keys_v2, decode_plaintext_v2,
     decode_public_key_v2, decode_relin_key_v2, encode_ciphertext_v2, encode_galois_keys_v2,

@@ -25,8 +25,8 @@ pub type OpSpanLog = SpanLog<(HeOpKind, usize)>;
 /// indexed by [`HeOpKind::index`] so the hot path is two relaxed
 /// atomic adds.
 pub(crate) struct HeMetrics {
-    pub ops: [Arc<Counter>; 9],
-    pub latency: [Arc<Histogram>; 9],
+    pub ops: [Arc<Counter>; HeOpKind::COUNT],
+    pub latency: [Arc<Histogram>; HeOpKind::COUNT],
 }
 
 pub(crate) fn he_metrics() -> &'static HeMetrics {
@@ -91,7 +91,7 @@ pub fn register_wire_metrics() {
 /// canary checks, model violations).
 pub(crate) struct NoiseMetrics {
     /// Remaining budget bits (clamped at 0) after each op, per kind.
-    pub budget_bits: [Arc<Histogram>; 9],
+    pub budget_bits: [Arc<Histogram>; HeOpKind::COUNT],
     /// Remaining budget bits at the most recent decrypt.
     pub floor_margin_bits: Arc<Gauge>,
     /// Histogram of budget bits observed at decrypt time.
@@ -142,7 +142,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registration_exposes_all_nine_kinds() {
+    fn registration_exposes_all_registered_kinds() {
         register_he_metrics();
         let counters = global().counters();
         for kind in HeOpKind::ALL {
@@ -151,6 +151,27 @@ mod tests {
                 counters.iter().any(|(n, _)| *n == name),
                 "missing {name}"
             );
+        }
+    }
+
+    #[test]
+    fn composite_op_families_render_in_exposition() {
+        // The OP6/OP7 composite workloads must show up in the Prometheus
+        // text exposition by their registry names — operators alert on
+        // these exact label values, so spell them out rather than trust
+        // the `ALL` loop above.
+        register_he_metrics();
+        register_noise_metrics();
+        let text = fxhenn_obs::render_prometheus(global());
+        for family in [
+            "fxhenn_he_ops_total{op=\"Sign\"}",
+            "fxhenn_he_ops_total{op=\"CtMatmul\"}",
+            "fxhenn_he_op_latency_ns_count{op=\"Sign\"}",
+            "fxhenn_he_op_latency_ns_count{op=\"CtMatmul\"}",
+            "fxhenn_noise_budget_bits_count{op=\"Sign\"}",
+            "fxhenn_noise_budget_bits_count{op=\"CtMatmul\"}",
+        ] {
+            assert!(text.contains(family), "exposition is missing {family}");
         }
     }
 

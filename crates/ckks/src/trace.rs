@@ -1,4 +1,5 @@
-//! HE operation vocabulary and operation traces.
+//! HE operation vocabulary, the unified op-descriptor registry, and
+//! operation traces.
 //!
 //! The paper accounts its workloads in *HE operations* (HOPs): PCadd,
 //! PCmult, CCadd, CCmult, Rescale, and KeySwitch (covering both
@@ -6,49 +7,200 @@
 //! vocabulary used by the evaluator (which can record what it executes),
 //! the HE-CNN lowering (which generates traces analytically) and the
 //! hardware model (which costs them).
+//!
+//! Every per-op property the stack needs — display name, span label,
+//! hardware module label, KeySwitch classification, word-multiplication
+//! cost hook, metric label and chaos fault class — lives in one
+//! [`OpSpec`] row of [`OP_REGISTRY`]. The registry is generated together
+//! with the enum by a single macro invocation, so registering a new
+//! operation (as `Sign` and `CtMatmul` were) is a one-site edit: add a
+//! row, and the trace vocabulary, telemetry families, cost model mapping
+//! and fault taxonomy all pick it up.
 
-/// One homomorphic operation kind, as the paper enumerates them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum HeOpKind {
+/// One row of the op-descriptor registry: everything the rest of the
+/// stack needs to know about a [`HeOpKind`], declared in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct OpSpec {
+    /// The operation kind this row describes.
+    pub kind: HeOpKind,
+    /// Canonical display name — also the `op="…"` label of the
+    /// `fxhenn_he_*` and `fxhenn_noise_*` metric families.
+    pub name: &'static str,
+    /// Human-readable span label for per-op attribution reports.
+    pub span_label: &'static str,
+    /// The hardware module label ("OP1" … "OP7") that keys this kind
+    /// into the `fxhenn-hw` module cost table.
+    pub module_label: &'static str,
+    /// True for the KeySwitch family the paper groups as "OP5".
+    pub is_key_switch: bool,
+    /// The chaos fault class that targets this operation family (the
+    /// `fxhenn-core` chaos harness draws its fault taxonomy from here).
+    pub fault_class: &'static str,
+    /// Modular multiplications performed by one such operation at
+    /// ciphertext level `level` over ring degree `n` (paper Table IV).
+    pub modmuls: fn(level: usize, n: usize) -> u64,
+}
+
+/// Declares the operation enum and its descriptor registry from one
+/// list — the single site where operations register.
+macro_rules! define_he_ops {
+    ($(
+        $(#[$doc:meta])*
+        $variant:ident {
+            name: $name:literal,
+            span: $span:literal,
+            module: $module:literal,
+            key_switch: $ks:literal,
+            fault_class: $fault:literal,
+            modmuls: $modmuls:expr,
+        }
+    ),* $(,)?) => {
+        /// One homomorphic operation kind, as the registry enumerates
+        /// them (the paper's OP1–OP5 set plus the composite workloads).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum HeOpKind {
+            $($(#[$doc])* $variant,)*
+        }
+
+        impl HeOpKind {
+            /// Number of registered operation kinds.
+            pub const COUNT: usize = <[HeOpKind]>::len(&[$(HeOpKind::$variant),*]);
+
+            /// All operation kinds, in registry (= declaration) order.
+            pub const ALL: [HeOpKind; Self::COUNT] = [$(HeOpKind::$variant),*];
+        }
+
+        /// The op-descriptor registry, indexed by [`HeOpKind::index`].
+        pub const OP_REGISTRY: [OpSpec; HeOpKind::COUNT] = [
+            $(OpSpec {
+                kind: HeOpKind::$variant,
+                name: $name,
+                span_label: $span,
+                module_label: $module,
+                is_key_switch: $ks,
+                fault_class: $fault,
+                modmuls: $modmuls,
+            },)*
+        ];
+    };
+}
+
+define_he_ops! {
     /// Ciphertext + ciphertext addition (paper "OP1").
-    CcAdd,
+    CcAdd {
+        name: "CCadd",
+        span: "ct+ct add",
+        module: "OP1",
+        key_switch: false,
+        fault_class: "arith",
+        modmuls: modmuls_free,
+    },
     /// Plaintext + ciphertext addition.
-    PcAdd,
+    PcAdd {
+        name: "PCadd",
+        span: "pt+ct add",
+        module: "OP1",
+        key_switch: false,
+        fault_class: "arith",
+        modmuls: modmuls_free,
+    },
     /// Plaintext × ciphertext multiplication (paper "OP2").
-    PcMult,
-    /// Ciphertext × ciphertext multiplication (paper "OP3"), excluding the
-    /// relinearization.
-    CcMult,
+    PcMult {
+        name: "PCmult",
+        span: "pt×ct mult",
+        module: "OP2",
+        key_switch: false,
+        fault_class: "arith",
+        modmuls: modmuls_pc_mult,
+    },
+    /// Ciphertext × ciphertext multiplication (paper "OP3"), excluding
+    /// the relinearization.
+    CcMult {
+        name: "CCmult",
+        span: "ct×ct mult",
+        module: "OP3",
+        key_switch: false,
+        fault_class: "arith",
+        modmuls: modmuls_cc_mult,
+    },
     /// Rescale after a multiplication (paper "OP4").
-    Rescale,
+    Rescale {
+        name: "Rescale",
+        span: "rescale",
+        module: "OP4",
+        key_switch: false,
+        fault_class: "scale",
+        modmuls: modmuls_rescale,
+    },
     /// Modulus switch: dropping RNS components to reach a lower level
     /// without dividing the scale. Costs like a truncated Rescale, so it
     /// shares the paper's "OP4" module.
-    ModSwitch,
+    ModSwitch {
+        name: "ModSwitch",
+        span: "mod switch",
+        module: "OP4",
+        key_switch: false,
+        fault_class: "scale",
+        modmuls: modmuls_free,
+    },
     /// Relinearization key switch (paper "OP5" KeySwitch).
-    Relinearize,
+    Relinearize {
+        name: "Relinearize",
+        span: "relinearize",
+        module: "OP5",
+        key_switch: true,
+        fault_class: "key-switch",
+        modmuls: modmuls_key_switch,
+    },
     /// Rotation key switch (paper "OP5" KeySwitch).
-    Rotate,
-    /// Conjugation key switch (paper "OP5" KeySwitch). Same datapath as a
-    /// rotation but under the Galois element `2N − 1`, so it is tracked
-    /// separately for accounting.
-    Conjugate,
+    Rotate {
+        name: "Rotate",
+        span: "rotate",
+        module: "OP5",
+        key_switch: true,
+        fault_class: "key-switch",
+        modmuls: modmuls_key_switch,
+    },
+    /// Conjugation key switch (paper "OP5" KeySwitch). Same datapath as
+    /// a rotation but under the Galois element `2N − 1`, so it is
+    /// tracked separately for accounting.
+    Conjugate {
+        name: "Conjugate",
+        span: "conjugate",
+        module: "OP5",
+        key_switch: true,
+        fault_class: "key-switch",
+        modmuls: modmuls_key_switch,
+    },
+    /// One composite-minimax sign stage: the odd degree-3 polynomial
+    /// `x·(a + b·x²)` evaluated homomorphically (square + relinearize +
+    /// rescale, coefficient PCmult + rescale, final CCmult + relinearize
+    /// + rescale). Recorded once per composition stage at the stage's
+    /// entry level; the constituent primitives are folded into this
+    /// macro record ("OP6").
+    Sign {
+        name: "Sign",
+        span: "sign stage",
+        module: "OP6",
+        key_switch: false,
+        fault_class: "sign-precision",
+        modmuls: modmuls_sign_stage,
+    },
+    /// One blocked ciphertext × ciphertext matrix multiply over a
+    /// `d × d` tile (baby-step/giant-step σ/τ diagonal transforms, the
+    /// column/row shift products and the closing relinearize). Recorded
+    /// once per block at the block's entry level ("OP7").
+    CtMatmul {
+        name: "CtMatmul",
+        span: "ct×ct matmul block",
+        module: "OP7",
+        key_switch: false,
+        fault_class: "matmul-block",
+        modmuls: modmuls_ct_matmul,
+    },
 }
 
 impl HeOpKind {
-    /// All operation kinds, in a stable order.
-    pub const ALL: [HeOpKind; 9] = [
-        HeOpKind::CcAdd,
-        HeOpKind::PcAdd,
-        HeOpKind::PcMult,
-        HeOpKind::CcMult,
-        HeOpKind::Rescale,
-        HeOpKind::ModSwitch,
-        HeOpKind::Relinearize,
-        HeOpKind::Rotate,
-        HeOpKind::Conjugate,
-    ];
-
     /// This kind's position in [`ALL`](HeOpKind::ALL) — a stable dense
     /// index used to address per-kind metric arrays.
     #[inline]
@@ -56,42 +208,159 @@ impl HeOpKind {
         self as usize
     }
 
+    /// This kind's registry row.
+    #[inline]
+    pub fn spec(self) -> &'static OpSpec {
+        &OP_REGISTRY[self as usize]
+    }
+
     /// True for the KeySwitch family (Relinearize, Rotate and Conjugate),
     /// the operations the paper groups as "OP5".
     pub fn is_key_switch(self) -> bool {
-        matches!(
-            self,
-            HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate
-        )
+        self.spec().is_key_switch
     }
 
-    /// The paper's module label for this operation ("OP1" … "OP5").
+    /// The hardware module label for this operation ("OP1" … "OP7").
     pub fn module_label(self) -> &'static str {
-        match self {
-            HeOpKind::CcAdd | HeOpKind::PcAdd => "OP1",
-            HeOpKind::PcMult => "OP2",
-            HeOpKind::CcMult => "OP3",
-            HeOpKind::Rescale | HeOpKind::ModSwitch => "OP4",
-            HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate => "OP5",
-        }
+        self.spec().module_label
+    }
+
+    /// The chaos fault class targeting this operation family.
+    pub fn fault_class(self) -> &'static str {
+        self.spec().fault_class
+    }
+
+    /// Modular multiplications one such operation performs at ciphertext
+    /// level `level` over ring degree `n` (the registry's cost hook).
+    pub fn modmuls(self, level: usize, n: usize) -> u64 {
+        (self.spec().modmuls)(level, n)
     }
 }
 
 impl std::fmt::Display for HeOpKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            HeOpKind::CcAdd => "CCadd",
-            HeOpKind::PcAdd => "PCadd",
-            HeOpKind::PcMult => "PCmult",
-            HeOpKind::CcMult => "CCmult",
-            HeOpKind::Rescale => "Rescale",
-            HeOpKind::ModSwitch => "ModSwitch",
-            HeOpKind::Relinearize => "Relinearize",
-            HeOpKind::Rotate => "Rotate",
-            HeOpKind::Conjugate => "Conjugate",
-        };
-        f.write_str(s)
+        f.write_str(self.spec().name)
     }
+}
+
+// ---------------------------------------------------------------------
+// Registry cost hooks: modular-multiplication counts per op (the
+// hardware-independent "MACs of HOPs" accounting, paper Table IV). The
+// formulas mirror the software evaluator in this crate.
+// ---------------------------------------------------------------------
+
+/// Modular multiplications in one NTT or INTT pass over `n` coefficients:
+/// `log2(n) · n/2` butterflies, one twiddle multiply each.
+pub fn ntt_mults(n: usize) -> u64 {
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+/// The canonical ct×ct matmul block dimension at ring degree `n`: the
+/// largest power of two `d ≤ 64` whose `d × d` tile (one matrix pattern
+/// per `d²`-slot period) fits the slot count. At the paper's `N = 8192`
+/// this is the full 64×64 tile; the toy test ring (`N = 1024`) gets 16.
+pub fn matmul_block_dim(n: usize) -> usize {
+    let slots = (n / 2).max(1);
+    let mut d = 1usize;
+    while d < 64 && (2 * d) * (2 * d) <= slots {
+        d *= 2;
+    }
+    d
+}
+
+fn modmuls_free(_level: usize, _n: usize) -> u64 {
+    0
+}
+
+fn modmuls_pc_mult(level: usize, n: usize) -> u64 {
+    2 * level as u64 * n as u64
+}
+
+fn modmuls_cc_mult(level: usize, n: usize) -> u64 {
+    4 * level as u64 * n as u64
+}
+
+fn modmuls_rescale(level: usize, n: usize) -> u64 {
+    let l = level as u64;
+    2 * (l * ntt_mults(n) + 2 * n as u64 * l.saturating_sub(1))
+}
+
+fn modmuls_key_switch(level: usize, n: usize) -> u64 {
+    let l = level as u64;
+    let n_u = n as u64;
+    let ntt = ntt_mults(n);
+    // digit lifts: level digits × (level + 1) NTTs
+    let lift = l * (l + 1) * ntt;
+    // inner products: 2 accumulators × level digits × (level+1) residues
+    let inner = 2 * l * (l + 1) * n_u;
+    // input INTT (one polynomial of `level` residues)
+    let input = l * ntt;
+    // mod-down: 2 polys × (level+1) INTT + 2 polys × level NTT back
+    // + 2 polys × level pointwise corrections
+    let down = 2 * (l + 1) * ntt + 2 * l * ntt + 2 * l * n_u;
+    lift + inner + input + down
+}
+
+/// One sign composition stage `x·(a + b·x²)` entered at `level`:
+/// square (CCmult + KeySwitch + Rescale at `level`), coefficient fold
+/// (PCmult + Rescale one level down), and the closing product
+/// (CCmult + KeySwitch + Rescale two levels down). Consumes 3 levels.
+fn modmuls_sign_stage(level: usize, n: usize) -> u64 {
+    let l1 = level.max(3);
+    let l2 = l1 - 1;
+    let l3 = l1 - 2;
+    modmuls_cc_mult(l1, n)
+        + modmuls_key_switch(l1, n)
+        + modmuls_rescale(l1, n)
+        + modmuls_pc_mult(l2, n)
+        + modmuls_rescale(l2, n)
+        + modmuls_cc_mult(l3, n)
+        + modmuls_key_switch(l3, n)
+        + modmuls_rescale(l3, n)
+}
+
+/// Rotation count of a baby-step/giant-step masked-rotation sum over
+/// `diagonals` distinct shifts: `⌈√diagonals⌉` baby rotations plus one
+/// giant rotation per group.
+pub fn bsgs_rotations(diagonals: usize) -> usize {
+    if diagonals <= 1 {
+        return 0;
+    }
+    let baby = (diagonals as f64).sqrt().ceil() as usize;
+    let giant = diagonals.div_ceil(baby);
+    // Baby shift 0 and giant shift 0 are free (identity rotations).
+    (baby - 1) + (giant - 1)
+}
+
+/// One blocked ct×ct matmul over the canonical `d × d` tile entered at
+/// `level`: BSGS σ (2d−1 diagonals) and τ (d diagonals) transforms with
+/// their mask PCmults and rescales, `d` column/row shift product terms
+/// (two masked column rotations each, one row rotation, one CCmult) and
+/// the single closing relinearize + rescale. Consumes 3 levels.
+fn modmuls_ct_matmul(level: usize, n: usize) -> u64 {
+    let d = matmul_block_dim(n);
+    let l1 = level.max(3);
+    let l2 = l1 - 1;
+    let l3 = l1 - 2;
+    // σ/τ transforms at the entry level.
+    let transform_rots = (bsgs_rotations(2 * d - 1) + bsgs_rotations(d)) as u64;
+    let transform_pcm = (2 * d - 1 + d) as u64;
+    let transforms = transform_rots * modmuls_key_switch(l1, n)
+        + transform_pcm * modmuls_pc_mult(l1, n)
+        + 2 * modmuls_rescale(l1, n);
+    // Column shifts of σA (two masked rotations + rescale per k ≥ 1) and
+    // row shifts of τB (one rotation per k ≥ 1), one level down.
+    let k_terms = (d - 1) as u64;
+    let shifts = k_terms
+        * (3 * modmuls_key_switch(l2, n)
+            + 2 * modmuls_pc_mult(l2, n)
+            + modmuls_rescale(l2, n));
+    // d shifted products accumulated in 3-poly form, then one
+    // relinearize + rescale, two levels down.
+    let products = d as u64 * modmuls_cc_mult(l3, n)
+        + modmuls_key_switch(l3, n)
+        + modmuls_rescale(l3, n);
+    transforms + shifts + products
 }
 
 /// One executed (or planned) HE operation: the kind and the ciphertext
@@ -201,6 +470,8 @@ mod tests {
             HeOpKind::CcMult,
             HeOpKind::Rescale,
             HeOpKind::ModSwitch,
+            HeOpKind::Sign,
+            HeOpKind::CtMatmul,
         ] {
             assert!(!k.is_key_switch(), "{k} is not a key switch");
         }
@@ -216,6 +487,8 @@ mod tests {
         assert_eq!(HeOpKind::Relinearize.module_label(), "OP5");
         assert_eq!(HeOpKind::Rotate.module_label(), "OP5");
         assert_eq!(HeOpKind::Conjugate.module_label(), "OP5");
+        assert_eq!(HeOpKind::Sign.module_label(), "OP6");
+        assert_eq!(HeOpKind::CtMatmul.module_label(), "OP7");
     }
 
     #[test]
@@ -227,6 +500,86 @@ mod tests {
         assert_eq!(sorted, HeOpKind::ALL);
         for k in HeOpKind::ALL {
             assert_eq!(HeOpKind::ALL.iter().filter(|&&x| x == k).count(), 1, "{k}");
+        }
+    }
+
+    #[test]
+    fn registry_is_the_single_site() {
+        // Compile-time: the registry length tracks the enum exactly — a
+        // new variant without a registry row (or vice versa) fails to
+        // build, so the macro invocation stays the one place ops
+        // register.
+        const _: [(); HeOpKind::COUNT] = [(); OP_REGISTRY.len()];
+        for (i, spec) in OP_REGISTRY.iter().enumerate() {
+            assert_eq!(spec.kind.index(), i, "registry row order matches enum");
+            assert_eq!(spec.kind.to_string(), spec.name);
+            assert!(!spec.span_label.is_empty());
+            assert!(!spec.fault_class.is_empty());
+            assert!(spec.module_label.starts_with("OP"));
+        }
+        // Names and metric labels are distinct per kind.
+        for a in &OP_REGISTRY {
+            assert_eq!(
+                OP_REGISTRY.iter().filter(|b| b.name == a.name).count(),
+                1,
+                "duplicate registry name {}",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn new_workloads_have_their_own_fault_classes() {
+        assert_eq!(HeOpKind::Sign.fault_class(), "sign-precision");
+        assert_eq!(HeOpKind::CtMatmul.fault_class(), "matmul-block");
+        // Distinct from every primitive class.
+        for k in HeOpKind::ALL {
+            if !matches!(k, HeOpKind::Sign | HeOpKind::CtMatmul) {
+                assert_ne!(k.fault_class(), "sign-precision");
+                assert_ne!(k.fault_class(), "matmul-block");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_costs_dominate_their_primitives() {
+        let n = 8192;
+        for l in 3..=7 {
+            let sign = HeOpKind::Sign.modmuls(l, n);
+            let matmul = HeOpKind::CtMatmul.modmuls(l, n);
+            let ks = HeOpKind::Relinearize.modmuls(l, n);
+            let cc = HeOpKind::CcMult.modmuls(l, n);
+            assert!(
+                sign > ks + cc,
+                "sign stage embeds key switches and products"
+            );
+            assert!(
+                matmul > sign,
+                "a 64×64 matmul block outweighs one sign stage"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_block_dim_tracks_ring_degree() {
+        assert_eq!(matmul_block_dim(8192), 64);
+        assert_eq!(matmul_block_dim(16384), 64);
+        assert_eq!(matmul_block_dim(1024), 16);
+        // One d²-slot tile always fits the ring: d² ≤ slots.
+        for n in [1024usize, 2048, 4096, 8192, 16384] {
+            let d = matmul_block_dim(n);
+            assert!(d * d <= n / 2, "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn bsgs_rotation_counts() {
+        assert_eq!(bsgs_rotations(1), 0);
+        // 16 diagonals: 4 baby + 4 giant, minus the two identities.
+        assert_eq!(bsgs_rotations(16), 6);
+        // BSGS beats the naive d−1 rotations for any sizable d.
+        for d in [16usize, 64, 127] {
+            assert!(bsgs_rotations(d) < d - 1, "d={d}");
         }
     }
 

@@ -187,7 +187,7 @@ fn owned_and_borrowed_evaluation_are_bit_identical_at_three_points() {
         let bv = decode_ciphertext_v2(b_frame.as_bytes()).expect("view b");
 
         let owned = ev.add(&a, &b).expect("owned add");
-        let borrowed = ev.add_view(&av, &bv).expect("borrowed add");
+        let borrowed = ev.add(&av, &bv).expect("borrowed add");
         assert_eq!(
             encode_ciphertext_v2(&owned).as_bytes(),
             encode_ciphertext_v2(&borrowed).as_bytes(),
@@ -195,7 +195,7 @@ fn owned_and_borrowed_evaluation_are_bit_identical_at_three_points() {
         );
 
         let owned = ev.mul_plain(&a, &pt).expect("owned mul_plain");
-        let borrowed = ev.mul_plain_view(&av, &pt).expect("borrowed mul_plain");
+        let borrowed = ev.mul_plain(&av, &pt).expect("borrowed mul_plain");
         assert_eq!(
             encode_ciphertext_v2(&owned).as_bytes(),
             encode_ciphertext_v2(&borrowed).as_bytes(),
@@ -203,7 +203,7 @@ fn owned_and_borrowed_evaluation_are_bit_identical_at_three_points() {
         );
 
         let owned = ev.mul(&a, &b).expect("owned mul");
-        let borrowed = ev.mul_view(&av, &bv).expect("borrowed mul");
+        let borrowed = ev.mul(&av, &bv).expect("borrowed mul");
         assert_eq!(
             encode_ciphertext_v2(&owned).as_bytes(),
             encode_ciphertext_v2(&borrowed).as_bytes(),
@@ -211,7 +211,7 @@ fn owned_and_borrowed_evaluation_are_bit_identical_at_three_points() {
         );
 
         let owned = ev.square(&a).expect("owned square");
-        let borrowed = ev.square_view(&av).expect("borrowed square");
+        let borrowed = ev.square(&av).expect("borrowed square");
         assert_eq!(
             encode_ciphertext_v2(&owned).as_bytes(),
             encode_ciphertext_v2(&borrowed).as_bytes(),

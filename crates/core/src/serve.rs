@@ -60,8 +60,8 @@ use fxhenn_ckks::wire::{
 };
 use fxhenn_ckks::{
     decode_galois_keys_checksummed, decode_public_key_checksummed, decode_relin_key_checksummed,
-    Canary, Ciphertext, CkksContext, CkksParams, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
-    PublicKey, RelinKey, DEFAULT_CANARY_MARGIN, DEFAULT_CANARY_SLOTS,
+    Canary, Ciphertext, CkksContext, CkksParams, Encryptor, Evaluator, GaloisKeys, HeOpKind,
+    KeyGenerator, PublicKey, RelinKey, SignPreset, DEFAULT_CANARY_MARGIN, DEFAULT_CANARY_SLOTS,
 };
 use fxhenn_hw::modules::{HeOpModule, ModuleConfig, OpClass};
 use fxhenn_hw::FpgaDevice;
@@ -1689,17 +1689,24 @@ impl InferenceService for DesignFlowService {
 ///
 /// * models named `poisoned*` always fail permanently (lowering
 ///   rejects them) — the breaker-isolation fault class;
-/// * ~8% of calls simulate transport corruption: the template
+/// * ~6% of calls simulate transport corruption: the template
 ///   ciphertext's bytes are flipped, and the context's
 ///   `validate_ciphertext` range check rejects the decoded result
 ///   (a permanent failure);
-/// * ~5% of calls simulate noise exhaustion: a real evaluator with an
+/// * ~4% of calls simulate noise exhaustion: a real evaluator with an
 ///   unreachable noise floor refuses the operation typed
 ///   (`NoiseBudgetExhausted`, a permanent failure);
-/// * ~4% of calls simulate a silent kernel fault: a decrypt-time
+/// * ~3% of calls simulate a silent kernel fault: a decrypt-time
 ///   canary check sees slot values unrelated to its expectation and
 ///   raises `NoiseModelViolation` (permanent — the worker's penalty
 ///   climbs toward quarantine);
+/// * ~2% of calls exercise the `sign-precision` class (from
+///   [`HeOpKind::Sign`]'s registry entry): a real composite sign
+///   evaluation is handed a ciphertext without the depth the preset
+///   needs and the typed level guard refuses it;
+/// * ~2% of calls exercise the `matmul-block` class
+///   ([`HeOpKind::CtMatmul`]): a blocked ct×ct matmul refused the same
+///   way, before any rotation key is touched;
 /// * ~12% of calls are transient blips (retried by the driver);
 /// * everything else succeeds, returning the request id.
 ///
@@ -1711,6 +1718,8 @@ pub struct ChaosService {
     calls: u64,
     ctx: CkksContext,
     template: Ciphertext,
+    relin: RelinKey,
+    gks: GaloisKeys,
     key_checksum: u64,
 }
 
@@ -1733,6 +1742,8 @@ impl ChaosService {
             calls: 0,
             ctx,
             template,
+            relin: verified.relin_key,
+            gks: verified.galois_keys,
             key_checksum: verified.checksum,
         })
     }
@@ -1767,7 +1778,7 @@ impl InferenceService for ChaosService {
                 ^ req.id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (self.calls << 17),
         ) % 100;
-        if roll < 8 {
+        if roll < 6 {
             // Transport corruption: re-encode the healthy template as a
             // v2 frame, smash the tail residues, and run the received
             // bytes through the real ingress — a length-prefixed frame
@@ -1793,7 +1804,7 @@ impl InferenceService for ChaosService {
                 ))),
             };
         }
-        if roll < 13 {
+        if roll < 10 {
             // Noise exhaustion: a real evaluator refuses the op because
             // the predicted budget sits below the (unreachably high)
             // floor — the same typed path a genuinely over-deep circuit
@@ -1807,7 +1818,7 @@ impl InferenceService for ChaosService {
                 ))),
             };
         }
-        if roll < 17 {
+        if roll < 13 {
             // Kernel fault: the decrypt-time canary cross-check sees
             // slot values unrelated to its expectation and raises a
             // noise-model violation.
@@ -1832,6 +1843,47 @@ impl InferenceService for ChaosService {
                 Ok(()) => Ok(req.id),
                 Err(e) => Err(AttemptError::Permanent(format!(
                     "canary verification failed: {e}"
+                ))),
+            };
+        }
+        if roll < 15 {
+            // Sign-precision fault: a real composite sign evaluation is
+            // handed a ciphertext too shallow for the preset's depth, and
+            // the typed level guard refuses it before any key is used.
+            // The class string comes from the op-descriptor registry.
+            let mut ev = Evaluator::new(&self.ctx);
+            let shallow = ev
+                .mod_switch_to(&self.template, 2)
+                .unwrap_or_else(|_| self.template.clone());
+            return match fxhenn_ckks::sign(&mut ev, &shallow, &self.relin, SignPreset::Low) {
+                Ok(_) => Ok(req.id),
+                Err(e) => Err(AttemptError::Permanent(format!(
+                    "{} fault: {e}",
+                    HeOpKind::Sign.fault_class()
+                ))),
+            };
+        }
+        if roll < 17 {
+            // Matmul-block fault: a blocked ct×ct matmul refused the
+            // same way — the level guard fires before any rotation key
+            // is touched, so the soak's minimal galois set suffices.
+            let mut ev = Evaluator::new(&self.ctx);
+            let shallow = ev
+                .mod_switch_to(&self.template, 2)
+                .unwrap_or_else(|_| self.template.clone());
+            let d = fxhenn_ckks::matmul_block_dim(self.ctx.degree());
+            return match fxhenn_ckks::ct_matmul(
+                &mut ev,
+                &shallow,
+                &shallow,
+                &self.relin,
+                &self.gks,
+                d,
+            ) {
+                Ok(_) => Ok(req.id),
+                Err(e) => Err(AttemptError::Permanent(format!(
+                    "{} fault: {e}",
+                    HeOpKind::CtMatmul.fault_class()
                 ))),
             };
         }
@@ -2475,6 +2527,8 @@ mod tests {
         let mut saw_corrupt = false;
         let mut saw_exhausted = false;
         let mut saw_canary = false;
+        let mut saw_sign = false;
+        let mut saw_matmul = false;
         let mut saw_transient = false;
         let mut saw_ok = false;
         for id in 0..200 {
@@ -2493,6 +2547,12 @@ mod tests {
                     } else if m.contains("canary verification failed") {
                         assert!(m.contains("noise model violation"), "{m}");
                         saw_canary = true;
+                    } else if m.starts_with(HeOpKind::Sign.fault_class()) {
+                        assert!(m.contains("level exhausted"), "{m}");
+                        saw_sign = true;
+                    } else if m.starts_with(HeOpKind::CtMatmul.fault_class()) {
+                        assert!(m.contains("level exhausted"), "{m}");
+                        saw_matmul = true;
                     } else {
                         panic!("unexpected permanent failure: {m}");
                     }
@@ -2501,7 +2561,14 @@ mod tests {
                 Err(AttemptError::Cancelled(_)) => panic!("unlimited budget"),
             }
         }
-        assert!(saw_ok && saw_corrupt && saw_exhausted && saw_canary && saw_transient);
+        assert!(
+            saw_ok && saw_corrupt && saw_exhausted && saw_canary && saw_transient,
+            "all legacy fault classes must fire in 200 calls"
+        );
+        assert!(
+            saw_sign && saw_matmul,
+            "registry-derived fault classes must fire in 200 calls"
+        );
         // Poisoned models always fail permanently.
         let r = req(0, "poisoned-v2", Duration::from_secs(1));
         assert!(matches!(

@@ -18,6 +18,10 @@ use fxhenn_nn::{HeCnnProgram, HeLayerClass};
 pub struct ProgramCost {
     degree: usize,
     layers: Vec<(LayerCostModel, LayerShape, HeLayerClass)>,
+    /// Composite module classes (Sign, CtMatmul) the program's traces
+    /// use: these are provisioned on top of every design point, since
+    /// the explorer's decision axes only cover the paper classes.
+    composites: Vec<OpClass>,
 }
 
 impl ProgramCost {
@@ -34,9 +38,19 @@ impl ProgramCost {
                 )
             })
             .collect();
+        let mut composites: Vec<OpClass> = Vec::new();
+        for plan in &prog.layers {
+            for rec in plan.trace.records() {
+                let class = OpClass::from(rec.kind);
+                if !OpClass::PAPER.contains(&class) && !composites.contains(&class) {
+                    composites.push(class);
+                }
+            }
+        }
         Self {
             degree: prog.degree,
             layers,
+            composites,
         }
     }
 
@@ -68,7 +82,17 @@ impl ProgramCost {
             per_layer_latency_s.push(cycles as f64 * device.cycle_seconds() * stall);
         }
         let latency_s = per_layer_latency_s.iter().sum();
-        let dsp_used = point.modules.total_dsp();
+        // Workload-composite modules the point did not configure are
+        // provisioned at the minimal configuration: a program that runs
+        // sign or ct×ct matmul stages pays their datapath DSP whether or
+        // not the explorer's axes touched them.
+        let provisioned: usize = self
+            .composites
+            .iter()
+            .filter(|&&class| !point.modules.iter().any(|(c, _)| c == class))
+            .map(|&class| fxhenn_hw::HeOpModule::new(class, ModuleConfig::minimal()).dsp_usage())
+            .sum();
+        let dsp_used = point.modules.total_dsp() + provisioned;
         let bram_peak = per_layer_bram.iter().copied().max().unwrap_or(0);
         DesignEval {
             latency_s,

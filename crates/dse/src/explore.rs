@@ -602,6 +602,81 @@ mod tests {
         );
     }
 
+    /// The MNIST program with one extra layer carrying the composite
+    /// sign and ct×ct matmul workloads, as a lowered program with both
+    /// new op kinds would.
+    fn mnist_with_composites() -> HeCnnProgram {
+        use fxhenn_ckks::{HeOpKind, OpTrace};
+        use fxhenn_nn::{HeLayerClass, HeLayerPlan};
+        let mut prog = mnist();
+        let mut trace = OpTrace::new();
+        trace.record(HeOpKind::Sign, 7);
+        trace.record(HeOpKind::Sign, 4);
+        trace.record(HeOpKind::CtMatmul, 7);
+        prog.layers.push(HeLayerPlan {
+            name: "SgnMm".to_string(),
+            class: HeLayerClass::Ks,
+            trace,
+            input_cts: 1,
+            output_cts: 1,
+            level_in: 7,
+            level_out: 1,
+            plaintext_words: 0,
+            rotation_steps: Vec::new(),
+        });
+        prog
+    }
+
+    #[test]
+    fn composite_workloads_explore_feasibly_and_cost_extra() {
+        // A program whose traces contain Sign and CtMatmul records must
+        // still find a feasible design on ACU9EG — the composite module
+        // DSP is provisioned on top of every point — and that design is
+        // slower than the plain program's, never faster.
+        let device = FpgaDevice::acu9eg();
+        let plain = explore_default(&mnist(), &device, 30).best.unwrap();
+        let res = explore_default(&mnist_with_composites(), &device, 30);
+        let best = res.best.expect("ACU9EG still admits the composite program");
+        assert!(best.eval.feasible);
+        assert!(
+            best.eval.latency_s >= plain.eval.latency_s,
+            "composite ops add latency: {:.3}s vs {:.3}s",
+            best.eval.latency_s,
+            plain.eval.latency_s
+        );
+    }
+
+    #[test]
+    fn composite_workloads_name_binding_constraint_when_infeasible() {
+        // On a device too small even for the provisioned composites the
+        // failure is a diagnosis naming the binding resource, exactly as
+        // for the plain program.
+        let prog = mnist_with_composites();
+        let tiny = FpgaDevice::new("tiny", 128, 912, 0, 250.0, 5.0);
+        let err = try_explore_default(&prog, &tiny, 30).unwrap_err();
+        let diag = err.diagnosis().expect("infeasible, not empty");
+        assert_eq!(diag.device, "tiny");
+        assert!(
+            matches!(diag.binding, BindingConstraint::Dsp { .. }),
+            "expected a DSP diagnosis, got {:?}",
+            diag.binding
+        );
+        // The composite provisioning raises the DSP floor above the
+        // plain program's.
+        let plain_err = try_explore_default(&mnist(), &tiny, 30).unwrap_err();
+        let plain_diag = plain_err.diagnosis().expect("plain also infeasible");
+        let floor = |d: &InfeasibleDiagnosis| match d.binding {
+            BindingConstraint::Dsp { required_min, .. } => required_min,
+            _ => panic!("DSP binding expected"),
+        };
+        assert!(
+            floor(diag) > floor(plain_diag),
+            "composites must raise the DSP floor: {} vs {}",
+            floor(diag),
+            floor(plain_diag)
+        );
+    }
+
     #[test]
     fn dsp_infeasibility_names_binding_constraint_and_minimal_fix() {
         let prog = mnist();

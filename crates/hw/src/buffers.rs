@@ -120,6 +120,18 @@ pub fn module_bram_blocks(
         OpClass::CcMult => 3 * l * poly_base_blocks(n, w_bits),
         OpClass::Rescale => 2 * l * bn_poly_blocks(n, w_bits, nc_ntt),
         OpClass::KeySwitch => (6 * l + 3) * bn_poly_blocks(n, w_bits, nc_ntt),
+        // One sign stage holds the 3-poly squaring result alongside the
+        // key-switch digit/accumulator state.
+        OpClass::Sign => {
+            3 * l * poly_base_blocks(n, w_bits) + (6 * l + 3) * bn_poly_blocks(n, w_bits, nc_ntt)
+        }
+        // A matmul block additionally caches the BSGS baby rotations of
+        // both operands (2·⌈√(2d−1)⌉ ≈ 2·⌈√d⌉ ciphertexts, bounded by
+        // the 3-poly accumulator plus two staged operands here).
+        OpClass::CtMatmul => {
+            (3 * l + 4 * l) * poly_base_blocks(n, w_bits)
+                + (6 * l + 3) * bn_poly_blocks(n, w_bits, nc_ntt)
+        }
     }
 }
 

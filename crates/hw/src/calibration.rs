@@ -73,6 +73,21 @@ pub fn dsp_const(class: OpClass, nc: usize) -> usize {
             8 => 721,
             _ => unreachable!(),
         },
+        // Fused composites instantiate the datapaths of the primitives
+        // they embed: a sign stage needs the CCmult array plus the
+        // rescale and key-switch cores; the matmul block adds the
+        // PCmult mask array on top.
+        OpClass::Sign => {
+            dsp_const(OpClass::CcMult, nc)
+                + dsp_const(OpClass::Rescale, nc)
+                + dsp_const(OpClass::KeySwitch, nc)
+        }
+        OpClass::CtMatmul => {
+            dsp_const(OpClass::PcMult, nc)
+                + dsp_const(OpClass::CcMult, nc)
+                + dsp_const(OpClass::Rescale, nc)
+                + dsp_const(OpClass::KeySwitch, nc)
+        }
     }
 }
 

@@ -55,13 +55,24 @@ pub struct ModuleSet {
 }
 
 impl ModuleSet {
-    /// All classes at the minimal configuration.
+    /// The five paper module classes at the minimal configuration.
+    ///
+    /// The composite workload classes (Sign, CtMatmul) are *not* seeded
+    /// here — they cost DSP only when a workload actually contains them,
+    /// via [`Self::provision`] — so the paper's resource model is
+    /// unchanged for paper networks.
     pub fn minimal() -> Self {
         let mut s = Self::default();
-        for class in OpClass::ALL {
+        for class in OpClass::PAPER {
             s.configs.insert(class, ModuleConfig::minimal());
         }
         s
+    }
+
+    /// Ensures a module for `class` is present (at the minimal
+    /// configuration when unset) so its resource cost is accounted.
+    pub fn provision(&mut self, class: OpClass) {
+        self.configs.entry(class).or_insert_with(ModuleConfig::minimal);
     }
 
     /// Sets the configuration of one class.
@@ -87,9 +98,9 @@ impl ModuleSet {
     /// left side of the DSE's DSP constraint when modules are shared
     /// across layers.
     pub fn total_dsp(&self) -> usize {
-        OpClass::ALL
-            .into_iter()
-            .map(|c| HeOpModule::new(c, self.get(c)).dsp_usage())
+        self.configs
+            .iter()
+            .map(|(&c, &cfg)| HeOpModule::new(c, cfg).dsp_usage())
             .sum()
     }
 }

@@ -7,6 +7,16 @@
 //! polynomial lanes, Fig. 4) and the inter-operation parallelism
 //! `P_inter` (module replication).
 //!
+//! Two fused composite classes extend the library beyond the paper:
+//! OP6 (one sign-composition stage) and OP7 (one blocked ct×ct matmul),
+//! modelled compositionally from the primitive modules they embed at
+//! the same configuration.
+//!
+//! The `HeOpKind → OpClass` mapping is driven by the op registry's
+//! `module_label` (see `fxhenn_ckks::OP_REGISTRY`), so registering a
+//! new op kind needs no edit here unless it also introduces a new
+//! hardware module class.
+//!
 //! Latency follows Eqs. (3)–(6); DSP usage follows Eq. (7) with the
 //! per-class constants of [`crate::calibration`].
 
@@ -14,9 +24,10 @@ use crate::calibration::{
     dsp_const, ELEM_LANES, KS_NTT_PASSES_PER_LEVEL, RESCALE_ELEM_TAIL_LANES,
     RESCALE_NTT_PASSES_PER_LEVEL,
 };
-use fxhenn_ckks::HeOpKind;
+use fxhenn_ckks::{bsgs_rotations, matmul_block_dim, HeOpKind};
 
-/// The five HE operation module classes of the paper's Table I.
+/// The five HE operation module classes of the paper's Table I, plus
+/// the two fused composite workload classes (OP6 sign, OP7 matmul).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpClass {
     /// OP1: ciphertext/plaintext additions.
@@ -29,11 +40,17 @@ pub enum OpClass {
     Rescale,
     /// OP5: KeySwitch (Relinearize and Rotate).
     KeySwitch,
+    /// OP6: one composite-minimax sign stage (fused square, coefficient
+    /// fold and closing product with their key switches and rescales).
+    Sign,
+    /// OP7: one blocked ct×ct matmul (BSGS transforms, shifted
+    /// products, closing relinearize) at the canonical block dimension.
+    CtMatmul,
 }
 
 impl OpClass {
-    /// All classes, in Table I order.
-    pub const ALL: [OpClass; 5] = [
+    /// The five primitive classes of the paper's Table I.
+    pub const PAPER: [OpClass; 5] = [
         OpClass::Add,
         OpClass::PcMult,
         OpClass::CcMult,
@@ -41,7 +58,19 @@ impl OpClass {
         OpClass::KeySwitch,
     ];
 
-    /// The paper's module label ("OP1" … "OP5").
+    /// All classes, in module-label order.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::Add,
+        OpClass::PcMult,
+        OpClass::CcMult,
+        OpClass::Rescale,
+        OpClass::KeySwitch,
+        OpClass::Sign,
+        OpClass::CtMatmul,
+    ];
+
+    /// The module label ("OP1" … "OP7") — the key the op registry's
+    /// `module_label` hook matches against.
     pub fn label(self) -> &'static str {
         match self {
             OpClass::Add => "OP1",
@@ -49,28 +78,32 @@ impl OpClass {
             OpClass::CcMult => "OP3",
             OpClass::Rescale => "OP4",
             OpClass::KeySwitch => "OP5",
+            OpClass::Sign => "OP6",
+            OpClass::CtMatmul => "OP7",
         }
     }
 
-    /// True for the classes whose basic modules are NTT cores.
+    /// True for the classes whose basic modules are NTT cores (the
+    /// composites are key-switch dominated, hence NTT-bound too).
     pub fn is_ntt_bound(self) -> bool {
-        matches!(self, OpClass::Rescale | OpClass::KeySwitch)
+        matches!(
+            self,
+            OpClass::Rescale | OpClass::KeySwitch | OpClass::Sign | OpClass::CtMatmul
+        )
     }
 }
 
 impl From<HeOpKind> for OpClass {
     fn from(kind: HeOpKind) -> Self {
-        match kind {
-            HeOpKind::CcAdd | HeOpKind::PcAdd => OpClass::Add,
-            HeOpKind::PcMult => OpClass::PcMult,
-            HeOpKind::CcMult => OpClass::CcMult,
-            // A modulus switch runs on the Rescale datapath (residue drop
-            // without the division's NTT passes).
-            HeOpKind::Rescale | HeOpKind::ModSwitch => OpClass::Rescale,
-            HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate => {
-                OpClass::KeySwitch
-            }
-        }
+        // Driven by the single-site op registry: every kind declares
+        // which hardware module runs it via `module_label` (ModSwitch,
+        // for instance, declares the Rescale datapath). Adding an op
+        // that reuses an existing module class needs no edit here.
+        OpClass::ALL
+            .iter()
+            .copied()
+            .find(|c| c.label() == kind.module_label())
+            .expect("every registered HeOpKind module label names an OpClass")
     }
 }
 
@@ -82,6 +115,8 @@ impl std::fmt::Display for OpClass {
             OpClass::CcMult => "CCmult",
             OpClass::Rescale => "Rescale",
             OpClass::KeySwitch => "KeySwitch",
+            OpClass::Sign => "SignStage",
+            OpClass::CtMatmul => "CtMatmul",
         };
         f.write_str(s)
     }
@@ -206,6 +241,46 @@ impl HeOpModule {
                 let ntt = ntt_latency_cycles(n, self.config.nc_ntt);
                 (KS_NTT_PASSES_PER_LEVEL * lanes as f64 * ntt as f64) as u64
             }
+            // Composite classes: sums of the primitive module latencies
+            // they embed, at the same configuration. One sign stage is
+            // square + relin + rescale, coefficient fold (PCmult +
+            // rescale + add), and the closing product + relin + rescale.
+            OpClass::Sign => {
+                let sib = |class| HeOpModule {
+                    class,
+                    config: self.config,
+                }
+                .op_latency_cycles(level, n);
+                2 * sib(OpClass::CcMult)
+                    + 2 * sib(OpClass::KeySwitch)
+                    + 3 * sib(OpClass::Rescale)
+                    + sib(OpClass::PcMult)
+                    + sib(OpClass::Add)
+            }
+            // One blocked ct×ct matmul at the canonical block dimension
+            // d = matmul_block_dim(N): two BSGS diagonal transforms
+            // (σ over 2d−1 diagonals, τ over d), then per shift k ≥ 1 a
+            // two-rotation masked φ, a ψ rotation, and a CCmult, closed
+            // by one relinearize + rescale.
+            OpClass::CtMatmul => {
+                let d = matmul_block_dim(n) as u64;
+                let sib = |class| HeOpModule {
+                    class,
+                    config: self.config,
+                }
+                .op_latency_cycles(level, n);
+                let bsgs = (bsgs_rotations(2 * d as usize - 1) + bsgs_rotations(d as usize)) as u64;
+                let ks_count = bsgs + 3 * (d - 1) + 1;
+                let pc_count = (3 * d - 1) + 2 * (d - 1);
+                let cc_count = d;
+                let rs_count = d + 2;
+                let add_count = 4 * d;
+                ks_count * sib(OpClass::KeySwitch)
+                    + pc_count * sib(OpClass::PcMult)
+                    + cc_count * sib(OpClass::CcMult)
+                    + rs_count * sib(OpClass::Rescale)
+                    + add_count * sib(OpClass::Add)
+            }
         }
     }
 
@@ -235,6 +310,40 @@ mod tests {
         assert_eq!(OpClass::from(HeOpKind::Rescale), OpClass::Rescale);
         assert_eq!(OpClass::from(HeOpKind::Relinearize), OpClass::KeySwitch);
         assert_eq!(OpClass::from(HeOpKind::Rotate), OpClass::KeySwitch);
+        assert_eq!(OpClass::from(HeOpKind::Sign), OpClass::Sign);
+        assert_eq!(OpClass::from(HeOpKind::CtMatmul), OpClass::CtMatmul);
+    }
+
+    #[test]
+    fn every_registered_kind_maps_to_a_module_class() {
+        // The mapping is label-keyed off the op registry, so this holds
+        // by construction for current kinds — and fails loudly if a new
+        // kind registers a module label no OpClass carries.
+        for kind in HeOpKind::ALL {
+            let class = OpClass::from(kind);
+            assert_eq!(
+                class.label(),
+                kind.module_label(),
+                "{kind:?} must run on the module its registry entry names"
+            );
+        }
+    }
+
+    #[test]
+    fn composite_modules_are_slower_than_any_primitive() {
+        let cfg = ModuleConfig::minimal();
+        let slowest_primitive = OpClass::PAPER
+            .iter()
+            .map(|&c| HeOpModule::new(c, cfg).op_latency_cycles(7, 8192))
+            .max()
+            .expect("non-empty");
+        for class in [OpClass::Sign, OpClass::CtMatmul] {
+            let composite = HeOpModule::new(class, cfg).op_latency_cycles(7, 8192);
+            assert!(
+                composite > slowest_primitive,
+                "{class:?} embeds several primitives"
+            );
+        }
     }
 
     #[test]

@@ -192,6 +192,25 @@ impl<'a> BorrowedRnsPoly<'a> {
     }
 }
 
+impl<P: PolyLimbs + ?Sized> PolyLimbs for &P {
+    #[inline]
+    fn degree(&self) -> usize {
+        (**self).degree()
+    }
+    #[inline]
+    fn level_count(&self) -> usize {
+        (**self).level_count()
+    }
+    #[inline]
+    fn domain(&self) -> Domain {
+        (**self).domain()
+    }
+    #[inline]
+    fn limb(&self, i: usize) -> &[u64] {
+        (**self).limb(i)
+    }
+}
+
 impl PolyLimbs for BorrowedRnsPoly<'_> {
     #[inline]
     fn degree(&self) -> usize {

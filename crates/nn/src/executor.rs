@@ -293,6 +293,10 @@ impl<'a> HeCnnExecutor<'a> {
                     let st = need_input(&mut state)?;
                     state = Some(self.run_channel_scale(name, st, cs, slots)?);
                 }
+                Layer::SignAct(relu) => {
+                    let st = need_input(&mut state)?;
+                    state = Some(self.run_sign_activation(name, st, relu)?);
+                }
             }
             self.note_layer(name, layer_started);
         }
@@ -496,6 +500,24 @@ impl<'a> HeCnnExecutor<'a> {
             cts.push(self.ev.rescale(&lin).map_err(&err)?);
         }
         self.check_budget(name, "CCmult", &cts)?;
+        Ok(RunState { cts, ..st })
+    }
+
+    fn run_sign_activation(
+        &mut self,
+        name: &str,
+        st: RunState,
+        relu: &crate::layers::SignRelu,
+    ) -> Result<RunState, ExecError> {
+        let err = at_layer(name);
+        let mut cts = Vec::with_capacity(st.cts.len());
+        for ct in &st.cts {
+            cts.push(
+                fxhenn_ckks::relu_approx(&mut self.ev, ct, self.rk, relu.preset, relu.bound)
+                    .map_err(&err)?,
+            );
+        }
+        self.check_budget(name, "Sign", &cts)?;
         Ok(RunState { cts, ..st })
     }
 
@@ -1054,6 +1076,57 @@ mod tests {
             ],
         );
         run_and_compare(&net, 0.1);
+    }
+
+    #[test]
+    fn conv_sign_relu_matches_plaintext_polynomial() {
+        // The plaintext SignRelu runs the same composite polynomial the
+        // evaluator does, so HE and plaintext agree to encryption noise
+        // — including inside the sign dead band.
+        use crate::layers::SignRelu;
+        let conv = Conv2d::new(1, 1, (1, 1), (1, 1), vec![1.0], vec![0.0]);
+        let net = Network::new(
+            "conv-sgn",
+            &[1, 2, 2],
+            vec![
+                ("Cnv1".to_string(), Layer::Conv(conv)),
+                (
+                    "Sgn1".to_string(),
+                    Layer::SignAct(SignRelu::new(fxhenn_ckks::SignPreset::Low, 1.0)),
+                ),
+            ],
+        );
+        let ctx = CkksContext::new(CkksParams::insecure_toy(11));
+        let prog = lower_network(&net, ctx.degree(), ctx.max_level());
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(77));
+        let pk = kg.public_key();
+        let sk = kg.secret_key();
+        let rk = kg.relin_key();
+        let gks = kg.galois_keys(&prog.required_rotations());
+        let image = Tensor::from_data(&[1, 2, 2], vec![-0.9, -0.2, 0.45, 0.8]);
+        let expected = net.forward(&image);
+
+        let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(78));
+        let input = encrypt_input(&net, &image, &mut enc, ctx.degree() / 2);
+        let mut exec = HeCnnExecutor::new(&ctx, &rk, &gks);
+        exec.start_trace();
+        let out = exec.run(&net, &input);
+        let measured = exec.take_trace().expect("trace started");
+        assert_eq!(
+            measured.count_of(fxhenn_ckks::HeOpKind::Sign),
+            prog.total_trace().count_of(fxhenn_ckks::HeOpKind::Sign),
+            "measured Sign macro records match the plan"
+        );
+
+        let dec = Decryptor::new(&ctx, sk);
+        let got = out.decrypt(&dec);
+        assert_eq!(got.len(), expected.len());
+        for (i, (&g, &e)) in got.iter().zip(expected.data()).enumerate() {
+            assert!(
+                (g - e).abs() < 2e-2,
+                "slot {i}: HE {g} vs plaintext polynomial {e}"
+            );
+        }
     }
 
     #[test]

@@ -370,6 +370,45 @@ impl ChannelScale {
     }
 }
 
+/// A sign-composition ReLU: `x ↦ x · (1 + sgn(x)) / 2` with the sign
+/// evaluated by the composite minimax polynomial of the chosen preset.
+/// Unlike [`Square`] it preserves magnitudes, at the price of the
+/// preset's multiplicative depth (a "KS" layer repeated per stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignRelu {
+    /// Polynomial composition preset (depth/accuracy trade).
+    pub preset: fxhenn_ckks::SignPreset,
+    /// Bound `B` with inputs expected in `[-B, B]`; the evaluator folds
+    /// operands into `[-1, 1]` by `1/B` before the composition.
+    pub bound: f64,
+}
+
+impl SignRelu {
+    /// Creates a sign-ReLU activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bound` is positive and finite.
+    pub fn new(preset: fxhenn_ckks::SignPreset, bound: f64) -> Self {
+        assert!(bound.is_finite() && bound > 0.0, "bound must be positive");
+        Self { preset, bound }
+    }
+
+    /// Plaintext forward pass: the same polynomial the evaluator runs,
+    /// so HE/plaintext agreement is exact up to encryption noise.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let data = input
+            .data()
+            .iter()
+            .map(|&v| {
+                let s = fxhenn_ckks::sign_reference_with_bound(v, self.preset, self.bound);
+                v * (1.0 + s) / 2.0
+            })
+            .collect();
+        Tensor::from_data(input.shape(), data)
+    }
+}
+
 /// Any HE-friendly layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Layer {
@@ -383,6 +422,9 @@ pub enum Layer {
     AvgPool(AvgPool2d),
     /// Per-channel affine map (folded batch norm; an "NKS" layer).
     Scale(ChannelScale),
+    /// Sign-composition ReLU (a deep "KS" layer: one composite sign
+    /// stage per preset stage, then the ReLU selection product).
+    SignAct(SignRelu),
 }
 
 impl Layer {
@@ -394,6 +436,7 @@ impl Layer {
             Layer::Dense(d) => d.forward(&input.clone().flattened()),
             Layer::AvgPool(p) => p.forward(input),
             Layer::Scale(cs) => cs.forward(input),
+            Layer::SignAct(r) => r.forward(input),
         }
     }
 
@@ -405,6 +448,7 @@ impl Layer {
             Layer::Dense(_) => "Fc",
             Layer::AvgPool(_) => "Pool",
             Layer::Scale(_) => "Bn",
+            Layer::SignAct(_) => "Sgn",
         }
     }
 }
@@ -483,6 +527,27 @@ mod tests {
         assert_eq!(l.forward(&input).data(), &[10.0]);
         assert_eq!(l.kind_name(), "Fc");
         assert_eq!(Layer::Activation(Square).kind_name(), "Act");
+    }
+
+    #[test]
+    fn sign_relu_approximates_relu_away_from_zero() {
+        let relu = SignRelu::new(fxhenn_ckks::SignPreset::Medium, 4.0);
+        let input = Tensor::from_data(&[4], vec![-3.0, -0.9, 0.9, 3.0]);
+        let out = relu.forward(&input);
+        // Well outside the preset's dead zone the polynomial ReLU must
+        // agree with exact ReLU to the preset's error bound.
+        let expect = [0.0, 0.0, 0.9, 3.0];
+        let tol = fxhenn_ckks::SignPreset::Medium.error_bound() * 4.0;
+        for (got, want) in out.data().iter().zip(expect) {
+            assert!((got - want).abs() <= tol, "relu({got}) vs {want}");
+        }
+        assert_eq!(Layer::SignAct(relu).kind_name(), "Sgn");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn sign_relu_rejects_nonpositive_bound() {
+        SignRelu::new(fxhenn_ckks::SignPreset::Low, 0.0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod train;
 
 pub use builder::{BuildError, NetworkBuilder};
 pub use error::{ExecError, LowerError};
-pub use layers::{AvgPool2d, ChannelScale, Conv2d, Dense, Layer, Square};
+pub use layers::{AvgPool2d, ChannelScale, Conv2d, Dense, Layer, SignRelu, Square};
 pub use lowering::{
     lower_network, plan_dense, try_lower_network, DensePlan, HeCnnProgram, HeLayerClass,
     HeLayerPlan, Layout,

@@ -431,6 +431,19 @@ pub fn try_lower_network(
                 level = p.level_out;
                 p
             }
+            Layer::SignAct(relu) => {
+                let lay = need_input(&layout)?;
+                let depth = 3 * relu.preset.stages().len() + 2;
+                if level < depth + 1 {
+                    return Err(LowerError::LevelBudgetExhausted {
+                        layer: name.clone(),
+                        max_level,
+                    });
+                }
+                let p = lower_sign_activation(name, &lay, relu.preset, level);
+                level = p.level_out;
+                p
+            }
         };
         if plan.level_out < 1 {
             return Err(LowerError::LevelBudgetExhausted {
@@ -528,6 +541,45 @@ fn lower_activation(name: &str, layout: &Layout, level: usize) -> HeLayerPlan {
         output_cts: cts,
         level_in: level,
         level_out: level - 1,
+        plaintext_words: 0,
+        rotation_steps: Vec::new(),
+    }
+}
+
+/// Lowers a sign-composition ReLU: one composite [`HeOpKind::Sign`]
+/// macro record per preset stage (each consuming three levels:
+/// square, coefficient fold, closing product), then the selection
+/// `x·(1+sgn)/2` — a halving PCmult and the ciphertext product with the
+/// mod-switched input — for two more levels.
+fn lower_sign_activation(
+    name: &str,
+    layout: &Layout,
+    preset: fxhenn_ckks::SignPreset,
+    level: usize,
+) -> HeLayerPlan {
+    let cts = layout.ct_count();
+    let stages = preset.stages().len();
+    let mut trace = OpTrace::new();
+    for _ in 0..cts {
+        let mut lv = level;
+        for _ in 0..stages {
+            trace.record(HeOpKind::Sign, lv);
+            lv -= 3;
+        }
+        trace.record(HeOpKind::PcMult, lv);
+        trace.record(HeOpKind::Rescale, lv);
+        trace.record(HeOpKind::CcMult, lv - 1);
+        trace.record(HeOpKind::Relinearize, lv - 1);
+        trace.record(HeOpKind::Rescale, lv - 1);
+    }
+    HeLayerPlan {
+        name: name.to_string(),
+        class: HeLayerClass::Ks,
+        trace,
+        input_cts: cts,
+        output_cts: cts,
+        level_in: level,
+        level_out: level - (3 * stages + 2),
         plaintext_words: 0,
         rotation_steps: Vec::new(),
     }

@@ -130,6 +130,7 @@ impl Network {
                     // One multiply per element.
                     total += cs.factors.len() * shape[1] * shape[2];
                 }
+                Layer::SignAct(_) => {}
             }
         }
         total

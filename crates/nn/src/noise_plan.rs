@@ -190,6 +190,12 @@ fn layer_magnitude(layer: &Layer) -> LayerMagnitude {
             weight_bound: 1.0,
             out_msg: Box::new(|m| m * m),
         },
+        Layer::SignAct(_) => LayerMagnitude {
+            // The sign composition folds operands into [-1, 1] and the
+            // selection x·(1+sgn)/2 cannot exceed the input magnitude.
+            weight_bound: 1.0,
+            out_msg: Box::new(|m| m),
+        },
     }
 }
 
@@ -210,6 +216,7 @@ fn walk_layer(
     msg_bound: f64,
     weight_bound: f64,
     floor_bits: f64,
+    degree: usize,
 ) -> Result<f64, NoiseInfeasible> {
     let recs = plan.trace.records();
     let outs = plan.output_cts.max(1);
@@ -220,6 +227,8 @@ fn walk_layer(
     let pc_mults = per(HeOpKind::PcMult);
     let cc_mults = per(HeOpKind::CcMult);
     let cc_adds = per(HeOpKind::CcAdd);
+    let sign_stages = per(HeOpKind::Sign);
+    let matmul_blocks = per(HeOpKind::CtMatmul);
     let key_switches =
         per(HeOpKind::Relinearize) + per(HeOpKind::Rotate) + per(HeOpKind::Conjugate);
     let rescales = plan.level_in.saturating_sub(plan.level_out);
@@ -240,6 +249,107 @@ fn walk_layer(
         Ok(())
     };
 
+    let mut remaining_rescales = rescales;
+    // The add tree combining the parallel products: k-way incoherent
+    // sum grows noise by sqrt(k). Applied once, after the first
+    // product stage.
+    let mut adds_pending = cc_adds;
+
+    // Composite macro records expand into the constituent walk the
+    // evaluator performs inside them (the trace suspension records only
+    // the macro marker, so their squarings and key switches are not in
+    // the primitive counts above). Each sign stage is square + relin +
+    // rescale, coefficient fold + rescale, closing product + relin +
+    // rescale; sign operands are bound-folded into [-1, 1].
+    for _ in 0..sign_stages {
+        for half in 0..2usize {
+            *est = est
+                .after_mul(est, 1.0, 1.0)
+                .map_err(|_| NoiseInfeasible::BudgetExhausted {
+                    layer: plan.name.clone(),
+                    op: HeOpKind::Sign,
+                    budget_bits: est.budget_bits(),
+                    floor_bits,
+                })?;
+            *est = model.key_switch(est);
+            check(est, HeOpKind::Sign)?;
+            if remaining_rescales > 0 {
+                *est = model
+                    .rescale(est)
+                    .map_err(|_| NoiseInfeasible::LevelExhausted {
+                        layer: plan.name.clone(),
+                        have: est.level,
+                        need: 2,
+                    })?;
+                remaining_rescales -= 1;
+                check(est, HeOpKind::Sign)?;
+            }
+            if half == 0 {
+                // Coefficient fold between the two products: PCmult by
+                // the largest stage coefficient (|b| ≤ 2.08) + rescale.
+                *est = est.after_mul_plain(model.dropped_prime(est.level), 2.1);
+                check(est, HeOpKind::Sign)?;
+                if remaining_rescales > 0 {
+                    *est = model
+                        .rescale(est)
+                        .map_err(|_| NoiseInfeasible::LevelExhausted {
+                            layer: plan.name.clone(),
+                            have: est.level,
+                            need: 2,
+                        })?;
+                    remaining_rescales -= 1;
+                    check(est, HeOpKind::Sign)?;
+                }
+            }
+        }
+    }
+    // One blocked ct×ct matmul: BSGS mask transforms (one rescale), the
+    // masked column shifts (one rescale), then the d accumulated
+    // shifted products with the closing relinearize + rescale.
+    let d = fxhenn_ckks::matmul_block_dim(degree);
+    for _ in 0..matmul_blocks {
+        for phase in 0..3usize {
+            match phase {
+                0 => {
+                    *est = est.after_mul_plain(model.dropped_prime(est.level), 1.0);
+                    let rots =
+                        (fxhenn_ckks::bsgs_rotations(2 * d - 1) + fxhenn_ckks::bsgs_rotations(d))
+                            as f64;
+                    est.noise_std *= rots.sqrt().max(1.0);
+                    *est = model.key_switch(est);
+                }
+                1 => {
+                    *est = est.after_mul_plain(model.dropped_prime(est.level), 1.0);
+                    *est = model.key_switch(est);
+                }
+                _ => {
+                    *est = est.after_mul(est, msg_bound, msg_bound).map_err(|_| {
+                        NoiseInfeasible::BudgetExhausted {
+                            layer: plan.name.clone(),
+                            op: HeOpKind::CtMatmul,
+                            budget_bits: est.budget_bits(),
+                            floor_bits,
+                        }
+                    })?;
+                    est.noise_std *= (d as f64).sqrt();
+                    *est = model.key_switch(est);
+                }
+            }
+            check(est, HeOpKind::CtMatmul)?;
+            if remaining_rescales > 0 {
+                *est = model
+                    .rescale(est)
+                    .map_err(|_| NoiseInfeasible::LevelExhausted {
+                        layer: plan.name.clone(),
+                        have: est.level,
+                        need: 2,
+                    })?;
+                remaining_rescales -= 1;
+                check(est, HeOpKind::CtMatmul)?;
+            }
+        }
+    }
+
     // Sequential multiplication stages one output ciphertext sees. The
     // level delta is the ground truth for depth: a layer that consumes
     // two levels really multiplies twice per output (e.g. mask then
@@ -247,20 +357,21 @@ fn walk_layer(
     // PcMults. Pairing each mul stage with its rescale keeps the
     // scale bookkeeping honest — rescaling more often than multiplying
     // would divide the scale down unmatched and predict a collapse
-    // that never happens.
-    let cc_stage = cc_mults > 0;
-    let pc_stages = if pc_mults > 0 {
-        rescales.saturating_sub(usize::from(cc_stage)).max(1)
+    // that never happens. Multi-square polynomial stages (several
+    // CCmults consuming several levels in sequence) each pair with one
+    // rescale, rather than collapsing into a single stage.
+    let cc_stages = if cc_mults > 0 {
+        cc_mults.min(remaining_rescales.max(1))
     } else {
         0
     };
-    let mut remaining_rescales = rescales;
-    // The add tree combining the parallel products: k-way incoherent
-    // sum grows noise by sqrt(k). Applied once, after the first
-    // product stage.
-    let mut adds_pending = cc_adds;
+    let pc_stages = if pc_mults > 0 {
+        remaining_rescales.saturating_sub(cc_stages).max(1)
+    } else {
+        0
+    };
 
-    if cc_stage {
+    for stage in 0..cc_stages {
         *est = est
             .after_mul(est, msg_bound, msg_bound)
             .map_err(|_| NoiseInfeasible::BudgetExhausted {
@@ -270,7 +381,7 @@ fn walk_layer(
                 floor_bits,
             })?;
         check(est, HeOpKind::CcMult)?;
-        if adds_pending > 0 {
+        if stage == 0 && adds_pending > 0 {
             est.noise_std *= ((1 + adds_pending) as f64).sqrt();
             adds_pending = 0;
             check(est, HeOpKind::CcAdd)?;
@@ -360,7 +471,15 @@ pub fn analyze_noise(
     for (plan, (_, layer)) in prog.layers.iter().zip(net.layers()) {
         let mag = layer_magnitude(layer);
         let entry = est.budget_bits();
-        let min_bits = walk_layer(plan, &model, &mut est, msg, mag.weight_bound, floor_bits)?;
+        let min_bits = walk_layer(
+            plan,
+            &model,
+            &mut est,
+            msg,
+            mag.weight_bound,
+            floor_bits,
+            params.degree(),
+        )?;
         msg = (mag.out_msg)(msg);
         layers.push(LayerNoiseProfile {
             name: plan.name.clone(),
@@ -452,6 +571,40 @@ mod tests {
         let err = analyze_noise(&prog, &net, &params, binding.min_budget_bits + 1.0)
             .expect_err("floor above the binding margin");
         assert_eq!(err.layer(), binding.name, "{err}");
+    }
+
+    #[test]
+    fn sign_activation_network_is_admitted() {
+        // A sign-composition ReLU burns 8 levels (Low preset) in
+        // multi-square stages; the walk must expand the composite
+        // records and pair each product with one rescale instead of
+        // collapsing them into a single stage (which would predict a
+        // scale collapse and reject a perfectly feasible circuit).
+        use crate::layers::{Conv2d, SignRelu};
+        let conv = Conv2d::new(1, 1, (1, 1), (1, 1), vec![1.0], vec![0.0]);
+        let net = Network::new(
+            "conv-sgn",
+            &[1, 2, 2],
+            vec![
+                ("Cnv1".to_string(), Layer::Conv(conv)),
+                (
+                    "Sgn1".to_string(),
+                    Layer::SignAct(SignRelu::new(fxhenn_ckks::SignPreset::Low, 1.0)),
+                ),
+            ],
+        );
+        let params = CkksParams::insecure_toy(11);
+        let prog =
+            try_lower_network(&net, params.degree(), params.levels()).expect("deep enough");
+        let traj = analyze_noise(&prog, &net, &params, 0.0).expect("feasible");
+        assert!(
+            traj.terminal_budget_bits > 0.0,
+            "terminal budget {:.1} bits",
+            traj.terminal_budget_bits
+        );
+        let sgn = &traj.layers[1];
+        assert_eq!(sgn.exit_level, prog.layers[1].level_out);
+        assert!(sgn.exit_budget_bits < sgn.entry_budget_bits);
     }
 
     #[test]

@@ -18,48 +18,17 @@ pub const MACS_PER_MODMUL: u64 = 3;
 /// Modular multiplications in one NTT or INTT pass over `n` coefficients:
 /// `log2(n) · n/2` butterflies, one twiddle multiply each.
 pub fn ntt_mults(n: usize) -> u64 {
-    (n as u64 / 2) * n.trailing_zeros() as u64
+    fxhenn_ckks::ntt_mults(n)
 }
 
 /// Modular multiplications performed by one HE operation at ciphertext
 /// level `level` over ring degree `n`.
 ///
-/// The formulas mirror the software evaluator in `fxhenn-ckks` (which is
-/// itself the paper's operation set):
-///
-/// * additions cost no multiplications;
-/// * `PCmult` multiplies 2 polynomials of `level` residues pointwise;
-/// * `CCmult` forms `d0, d1 (×2), d2`: 4 pointwise products;
-/// * `Rescale` runs one INTT plus `level-1` NTTs per polynomial (2
-///   polynomials) and two pointwise passes per remaining residue;
-/// * `KeySwitch` (Relinearize/Rotate) lifts `level` digits to the
-///   extended basis (`level+1` NTTs each), does the inner products, and
-///   mods back down (INTT + NTT per remaining residue).
+/// Delegates to the op registry's per-kind cost hook
+/// ([`HeOpKind::modmuls`]), the single site where each operation —
+/// including the composite sign/matmul workloads — declares its cost.
 pub fn op_modmuls(kind: HeOpKind, level: usize, n: usize) -> u64 {
-    let l = level as u64;
-    let n_u = n as u64;
-    let ntt = ntt_mults(n);
-    match kind {
-        HeOpKind::CcAdd | HeOpKind::PcAdd => 0,
-        // A modulus switch only drops residue components — no modular
-        // multiplications at all, like the additions.
-        HeOpKind::ModSwitch => 0,
-        HeOpKind::PcMult => 2 * l * n_u,
-        HeOpKind::CcMult => 4 * l * n_u,
-        HeOpKind::Rescale => 2 * (l * ntt + 2 * n_u * l.saturating_sub(1)),
-        HeOpKind::Relinearize | HeOpKind::Rotate | HeOpKind::Conjugate => {
-            // digit lifts: level digits × (level + 1) NTTs
-            let lift = l * (l + 1) * ntt;
-            // inner products: 2 accumulators × level digits × (level+1) residues
-            let inner = 2 * l * (l + 1) * n_u;
-            // input INTT (one polynomial of `level` residues)
-            let input = l * ntt;
-            // mod-down: 2 polys × (level+1) INTT + 2 polys × level NTT back
-            // + 2 polys × level pointwise corrections
-            let down = 2 * (l + 1) * ntt + 2 * l * ntt + 2 * l * n_u;
-            lift + inner + input + down
-        }
-    }
+    kind.modmuls(level, n)
 }
 
 /// Word MACs (`MACS_PER_MODMUL ×` modular multiplications) for one HE

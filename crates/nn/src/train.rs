@@ -183,6 +183,21 @@ fn backward(layer: &Layer, input: &Tensor, grad_out: &[f64]) -> (Vec<f64>, Layer
             }
             (grad_in, LayerGrads::default())
         }
+        Layer::SignAct(r) => {
+            // Straight-through estimate: d/dx [x·(1+s(x))/2] ≈ (1+s(x))/2,
+            // the gate itself — s'(x) is concentrated in the dead band
+            // where the approximation is unreliable anyway.
+            let grad_in = input
+                .data()
+                .iter()
+                .zip(grad_out)
+                .map(|(&x, &g)| {
+                    let s = fxhenn_ckks::sign_reference_with_bound(x, r.preset, r.bound);
+                    g * (1.0 + s) / 2.0
+                })
+                .collect();
+            (grad_in, LayerGrads::default())
+        }
         Layer::Scale(cs) => {
             let (c_n, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
             let per_map = h * w;
@@ -235,7 +250,7 @@ fn apply_grads(layer: &mut Layer, grads: &LayerGrads, lr: f64) {
                 *b -= lr * g;
             }
         }
-        Layer::Activation(_) | Layer::AvgPool(_) => {}
+        Layer::Activation(_) | Layer::AvgPool(_) | Layer::SignAct(_) => {}
     }
 }
 

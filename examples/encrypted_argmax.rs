@@ -1,0 +1,104 @@
+//! Oblivious classification verdicts: the server ranks encrypted
+//! per-class scores with a sign-polynomial tournament and returns one
+//! ciphertext holding the winning class index. Scores, comparisons and
+//! the winner all stay encrypted server-side — the client decrypts only
+//! the index it asked for.
+//!
+//! Run with: `cargo run --release --example encrypted_argmax`
+
+use fxhenn::ckks::{
+    argmax_depth, encrypted_argmax, sign_reference, CkksContext, CkksParams, Decryptor,
+    Encryptor, Evaluator, KeyGenerator, ScoredClass, SignPreset,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The comparison primitive: sign(x) as a composite minimax
+    //    polynomial. Each preset trades depth for a narrower dead band
+    //    around zero where the answer is unreliable.
+    println!("== 1. composite sign presets ==");
+    for preset in SignPreset::ALL {
+        println!(
+            "{preset:?}: depth {} ({} stages), dead band |x| < {:.2}, max error {:.2}",
+            preset.depth(),
+            preset.stages().len(),
+            preset.input_floor(),
+            preset.error_bound()
+        );
+    }
+    let preset = SignPreset::Low;
+    println!();
+    println!("Low-preset polynomial on a few inputs (plaintext reference):");
+    for x in [-0.8, -0.35, 0.35, 0.8] {
+        println!("  sgn({x:+.2}) ≈ {:+.3}", sign_reference(x, preset));
+    }
+
+    // 2. Client side: encrypt per-class scores, each paired with an
+    //    encrypted copy of its class index so the winner's identity can
+    //    travel through the tournament under encryption.
+    println!();
+    println!("== 2. client: encrypt scores and class indices ==");
+    // Scores are separated by more than the Low preset's dead band
+    // (2 · bound · input_floor over the pairwise differences), so every
+    // tournament decision saturates.
+    let scores = [-0.2f64, 0.85, -0.6, 0.05];
+    let levels = argmax_depth(scores.len(), preset) + 2;
+    println!(
+        "{} classes -> {} tournament rounds, {} levels provisioned",
+        scores.len(),
+        scores.len().next_power_of_two().trailing_zeros(),
+        levels
+    );
+    let ctx = CkksContext::new(CkksParams::insecure_toy(levels));
+    let slots = ctx.degree() / 2;
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(7));
+    let pk = kg.public_key();
+    let sk = kg.secret_key();
+    let rk = kg.relin_key();
+    let mut enc = Encryptor::new(&ctx, pk, StdRng::seed_from_u64(8));
+    let classes: Vec<ScoredClass> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| ScoredClass {
+            score: enc.encrypt(&vec![s; slots]),
+            index: enc.encrypt(&vec![i as f64; slots]),
+        })
+        .collect();
+
+    // 3. Server side: the tournament. Every round subtracts two scores,
+    //    runs the sign composition on the difference, and blends both
+    //    the scores and the indices by the resulting selector — the
+    //    server never branches on, or even sees, a comparison outcome.
+    println!();
+    println!("== 3. server: encrypted tournament ==");
+    let mut ev = Evaluator::new(&ctx);
+    ev.start_trace();
+    let winner = encrypted_argmax(&mut ev, &classes, &rk, preset, 1.0)
+        .expect("provisioned levels cover the tournament");
+    let trace = ev.take_trace().expect("traced");
+    println!(
+        "executed {} HOPs ({} key switches); winner ciphertext at level {}",
+        trace.hop_count(),
+        trace.key_switch_count(),
+        winner.index.level()
+    );
+
+    // 4. Client side: decrypt ONLY the winner's index. The per-class
+    //    scores and every intermediate comparison stay encrypted.
+    println!();
+    println!("== 4. client: decrypt the verdict ==");
+    let dec = Decryptor::new(&ctx, sk);
+    let idx = dec.decrypt(&winner.index)[0];
+    let rounded = idx.round() as usize;
+    let expected = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    println!("decrypted index: {idx:.3} -> class {rounded} (plaintext argmax: {expected})");
+    assert_eq!(rounded, expected, "encrypted and plaintext argmax must agree");
+    assert!((idx - expected as f64).abs() < 0.2, "index decodes cleanly");
+    println!("the server never saw a score, a comparison, or the winner ✔");
+}
